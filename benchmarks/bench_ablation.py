@@ -1,0 +1,31 @@
+"""Bench: Section VI ablations — mode sets, sliding windows, grouping."""
+
+import pytest
+
+from repro.experiments.ablation import run_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_report("ablation", result.format())
+
+    # Mode-set study: the complete set costs measurably more per iteration
+    # (the paper's 2^p - 1 vs p trade-off) without accuracy gains here.
+    single = next(r for r in result.modeset_rows if r[0] == "single-reference")
+    complete = next(r for r in result.modeset_rows if r[0] == "complete")
+    assert complete[1] > single[1]
+    assert complete[4] > 1.5 * single[4], "complete mode set must cost more"
+    assert single[2] < 0.05 and single[3] < 0.05
+
+    # Window study: a 2-iteration glitch defeats c/w <= 2/2 but is absorbed
+    # by 3/3 and larger; the drifting workflow defeats every window.
+    by_name = {name: (glitch, drift) for name, glitch, drift in result.window_rows}
+    assert by_name["sensor c/w=1/1"][0] == 1.0
+    assert by_name["sensor c/w=3/3"][0] == 0.0
+    assert by_name["sensor c/w=4/4"][0] == 0.0
+    assert all(drift > 0.5 for _, drift in by_name.values())
+
+    # Grouping study ran both directions.
+    assert any("rejected" in line for line in result.grouping_lines)
+    assert any("accepted" in line for line in result.grouping_lines)

@@ -1,0 +1,24 @@
+"""Bench: Section V-H — evasive-attack magnitude bounds.
+
+Asserts the paper's conclusion: to stay stealthy, an attacker must shrink
+the attack vectors to magnitudes far below the Table II attacks (paper:
+IPS < 0.02 m; wheels < 900 units) — too small to endanger the mission.
+"""
+
+import pytest
+
+from repro.experiments.evasive import run_evasive
+
+
+@pytest.mark.benchmark(group="evasive")
+def test_evasive(benchmark, save_report):
+    result = benchmark.pedantic(run_evasive, rounds=1, iterations=1)
+    save_report("evasive", result.format())
+
+    # Table II magnitudes must be detected.
+    assert result.ips_detected[-1], "0.07 m IPS shift must be detected"
+    assert result.wheel_detected[-1], "6000-unit wheel alteration must be detected"
+    # Stealth bounds exist and are far below the attack magnitudes
+    # (same-order as the paper's 20 mm / 900 units).
+    assert 0.0 < result.ips_stealth_bound <= 0.035
+    assert 0.0 < result.wheel_stealth_bound_units <= 3000.0

@@ -1,0 +1,37 @@
+"""Bench: Fig 6 — raw multi-mode engine outputs for scenario #8.
+
+Regenerates the eight panels as time series and checks the narrated
+waypoints: the IPS x anomaly steps to ~+0.07 m at 4 s (paper: +0.069 ±
+0.002), other sensors stay silent, the actuator anomaly shows the
+-/+6000-unit differential after 10 s, and the mode/alarm panels select S1
+and A1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6(benchmark, save_report):
+    result = benchmark.pedantic(run_fig6, kwargs={"seed": 42}, rounds=1, iterations=1)
+    cp = result.checkpoints()
+    save_report("fig6", result.format())
+
+    assert abs(cp["ips_x_before"]) < 0.01
+    assert cp["ips_x_after"] == pytest.approx(0.07, abs=0.005)
+    assert cp["ips_x_after_std"] < 0.02
+    assert cp["we_x_after"] < 0.02
+    assert cp["lidar_d_after"] < 0.03
+    assert cp["actuator_diff_after"] == pytest.approx(0.08, abs=0.02)
+    assert cp["sensor_mode_after_ips"] == 1.0
+    assert cp["actuator_mode_after_wheel"] > 0.9
+
+    # Panel 5/7 statistics cross their thresholds after the triggers.
+    after_ips = (result.times > 4.5) & (result.times < 10.0)
+    assert np.mean(result.sensor_statistic[after_ips] > result.sensor_threshold[after_ips]) > 0.95
+    after_wheel = result.times > 10.5
+    assert np.mean(
+        result.actuator_statistic[after_wheel] > result.actuator_threshold[after_wheel]
+    ) > 0.8

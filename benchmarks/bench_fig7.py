@@ -1,0 +1,43 @@
+"""Bench: Fig 7 — decision-parameter ROC curves and F1 grids.
+
+Asserts the paper's qualitative findings: the ROC hugs the top-left corner
+at sensible confidence levels; for a fixed window the F1 "increases first
+and reduces afterward" over the criteria; and the paper's chosen
+configurations (sensor 2/2 @ alpha=0.005, actuator 3/6 @ alpha=0.05) score
+within a whisker of the grid optimum.
+"""
+
+import pytest
+
+from repro.experiments.fig7 import run_fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7(benchmark, save_report):
+    result = benchmark.pedantic(run_fig7, kwargs={"n_trials": 1}, rounds=1, iterations=1)
+    save_report("fig7", result.format())
+
+    # 7a/7b: at small alpha the windowed detectors sit in the top-left
+    # corner (high TPR, tiny FPR) — the paper's inset region.
+    for channel in ("sensor", "actuator"):
+        fpr, tpr = result.roc_series(6, 6, channel)[1]  # alpha = 0.005
+        assert fpr < 0.05, channel
+    sensor_fpr, sensor_tpr = result.roc_series(3, 3, "sensor")[1]
+    assert sensor_tpr > 0.95
+
+    # ROC FPR grows with alpha for every series (curves sweep rightward).
+    for (w, c) in result.roc:
+        fprs = [p.sensor.false_positive_rate for p in result.roc[(w, c)]]
+        assert fprs[0] <= fprs[-1]
+
+    # 7c/7d: rise-then-fall of F1 in the criteria for the paper's windows,
+    # and the paper's chosen configs near the optimum.
+    sensor_grid = result.f1_grid("sensor")
+    actuator_grid = result.f1_grid("actuator")
+    (best_w, best_c), best_f1 = result.best_config("actuator")
+    assert actuator_grid[(6, 3)] >= best_f1 - 0.03, "paper's 3/6 config near-optimal"
+    assert sensor_grid[(2, 2)] >= result.best_config("sensor")[1] - 0.02
+    # Monotone rise at the start and fall at the end for w=6 (actuator).
+    w6 = [actuator_grid[(6, c)] for c in range(1, 7)]
+    assert w6[1] > w6[0]
+    assert w6[-1] < max(w6)

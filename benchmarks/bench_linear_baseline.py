@@ -1,0 +1,23 @@
+"""Bench: Section V-G — comparison against a linearize-once approach.
+
+Asserts the paper's finding: the linear-system baseline's estimation errors
+grow as the mission departs from the initial linearization point, producing
+a catastrophic sensor FPR (paper: 61.68%) where RoboADS stays clean, with
+no compensating FNR advantage.
+"""
+
+import pytest
+
+from repro.experiments.linear_benchmark import run_linear_benchmark
+
+
+@pytest.mark.benchmark(group="linear")
+def test_linear_baseline(benchmark, save_report):
+    result = benchmark.pedantic(run_linear_benchmark, rounds=1, iterations=1)
+    save_report("linear_baseline", result.format())
+
+    assert result.baseline_sensor_fpr > 0.40, "baseline must false-alarm massively"
+    assert result.roboads_sensor_fpr < 0.05, "RoboADS must stay clean on same runs"
+    assert result.gap > 0.35
+    # The baseline fails by false positives, not by missing things.
+    assert result.baseline_sensor_fnr < 0.10

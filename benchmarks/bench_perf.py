@@ -1,0 +1,66 @@
+"""Bench: engineering throughput of the detection pipeline.
+
+Not a paper table — it answers the deployment question Section IV raises
+implicitly: can the multi-mode engine keep up with a robot's control rate?
+Measured per control iteration for the paper's two prototypes and for the
+complete mode set, using pytest-benchmark's statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import complete_modes
+from repro.robots.khepera import khepera_rig
+from repro.robots.tamiya import tamiya_rig
+
+
+def _detector_and_stream(rig, modes=None, n_warm=5):
+    detector = rig.detector(modes=modes)
+    rng = np.random.default_rng(0)
+    state = np.array(rig.mission.start_pose, dtype=float)
+    control = np.full(rig.model.control_dim, 0.1)
+    readings = [rig.suite.measure(state, rng) for _ in range(64)]
+    for z in readings[:n_warm]:
+        detector.step(control, z)
+    index = {"i": n_warm}
+
+    def step():
+        z = readings[index["i"] % len(readings)]
+        index["i"] += 1
+        detector.step(control, z)
+
+    return step
+
+
+@pytest.mark.benchmark(group="perf")
+def test_khepera_iteration_throughput(benchmark, khepera_shared):
+    step = _detector_and_stream(khepera_shared)
+    benchmark(step)
+    # One detector iteration must fit comfortably inside the 50 ms control
+    # period (paper runs RoboADS inside the planner in real time).
+    assert benchmark.stats["mean"] < 0.05
+
+
+@pytest.mark.benchmark(group="perf")
+def test_khepera_complete_modeset_throughput(benchmark, khepera_shared):
+    modes = complete_modes(khepera_shared.suite, max_corrupted=2)
+    step = _detector_and_stream(khepera_shared, modes=modes)
+    benchmark(step)
+    assert benchmark.stats["mean"] < 0.1
+
+
+@pytest.mark.benchmark(group="perf")
+def test_tamiya_iteration_throughput(benchmark, tamiya_shared):
+    step = _detector_and_stream(tamiya_shared)
+    benchmark(step)
+    assert benchmark.stats["mean"] < 0.1
+
+
+@pytest.fixture(scope="module")
+def khepera_shared():
+    return khepera_rig()
+
+
+@pytest.fixture(scope="module")
+def tamiya_shared():
+    return tamiya_rig()

@@ -1,0 +1,23 @@
+"""Bench: Section V-D — generality on the Tamiya RC car.
+
+Asserts the paper's claim that the identical detector construction works on
+a robot with a different dynamic model and sensor mix, with error rates and
+delays of the same order as the paper's 2.77% / 0.83% / 0.33 s.
+"""
+
+import pytest
+
+from repro.experiments.tamiya_eval import run_tamiya_eval
+
+
+@pytest.mark.benchmark(group="tamiya")
+def test_tamiya(benchmark, save_report):
+    result = benchmark.pedantic(run_tamiya_eval, kwargs={"n_trials": 2}, rounds=1, iterations=1)
+    save_report("tamiya", result.format())
+
+    assert result.average_fpr < 0.05
+    assert result.average_fnr < 0.05
+    assert result.average_delay is not None and result.average_delay < 1.0
+    # Every sensor scenario's condition sequence must be identified exactly.
+    for row in result.rows:
+        assert row.detected_seq == row.truth_seq, f"scenario #{row.number}"

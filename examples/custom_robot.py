@@ -1,0 +1,81 @@
+"""Build RoboADS for your own robot, from the public API pieces.
+
+The detector needs exactly what any planning stack already has (paper
+Section III-A): a kinematic model ``f``, per-sensor measurement models
+``h_i`` with noise covariances, and the process noise. This example builds
+an outdoor unicycle robot with a GPS, a magnetometer and an odometry unit —
+including the Section VI situation where a heading-only magnetometer cannot
+anchor a mode by itself and must be *grouped* with the GPS.
+
+Run with::
+
+    python examples/custom_robot.py
+"""
+
+import numpy as np
+
+from repro import Mode, RoboADS
+from repro.dynamics import UnicycleModel
+from repro.errors import ObservabilityError
+from repro.sensors import GPS, Magnetometer, OdometryPoseSensor, SensorGroup, SensorSuite
+
+
+def main() -> None:
+    model = UnicycleModel(dt=0.1)
+    gps = GPS(sigma_xy=0.02)              # RTK-grade
+    magnetometer = Magnetometer(sigma_theta=0.02)
+    odometry = OdometryPoseSensor(sigma_xy=0.01, sigma_theta=0.01, name="odometry")
+
+    # First attempt: every sensor as its own reference (the default mode
+    # construction). The magnetometer alone cannot reconstruct the robot
+    # state, so NUISE refuses the mode — exactly the paper's Section VI
+    # "sensor capabilities" discussion.
+    naive_suite = SensorSuite([gps, magnetometer, odometry])
+    try:
+        RoboADS(
+            model,
+            naive_suite,
+            process_noise=np.diag([1e-5, 1e-5, 4e-5]),
+            initial_state=np.zeros(3),
+            nominal_control=np.array([0.3, 0.1]),
+        )
+    except ObservabilityError as exc:
+        print(f"As expected, the naive mode set is rejected:\n  {exc}\n")
+
+    # The fix: group GPS + magnetometer into one logical reference unit.
+    gps_mag = SensorGroup("gps+mag", [gps, magnetometer])
+    suite = SensorSuite([gps_mag, odometry])
+    detector = RoboADS(
+        model,
+        suite,
+        process_noise=np.diag([1e-5, 1e-5, 4e-5]),
+        initial_state=np.zeros(3),
+        modes=[Mode.for_suite(suite, ("gps+mag",)), Mode.for_suite(suite, ("odometry",))],
+        nominal_control=np.array([0.3, 0.1]),
+    )
+    print(f"Detector built with modes: {[m.name for m in detector.engine.modes]}\n")
+
+    # Feed it a synthetic drive with an odometry fault appearing at t = 5 s.
+    rng = np.random.default_rng(3)
+    x_true = np.zeros(3)
+    control = np.array([0.3, 0.15])
+    q_sigma = np.sqrt([1e-5, 1e-5, 4e-5])
+    for k in range(1, 101):
+        x_true = model.normalize_state(model.f(x_true, control) + q_sigma * rng.standard_normal(3))
+        z = suite.measure(x_true, rng)
+        if k * model.dt >= 5.0:  # odometry workflow starts lying
+            z[suite.slice_of("odometry")] += np.array([0.15, -0.1, 0.0])
+        report = detector.step(control, z)
+        if report.flagged_sensors:
+            print(
+                f"t={k * model.dt:.1f}s  misbehaving workflow(s): "
+                f"{sorted(report.flagged_sensors)}; "
+                f"d̂s = {np.round(report.sensor_anomaly('odometry'), 3)}"
+            )
+            break
+    else:
+        raise SystemExit("fault was not detected — unexpected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Quickstart: detect an IPS spoofing attack on the Khepera in ~30 lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import khepera_rig, khepera_scenarios, run_scenario
+
+
+def main() -> None:
+    # The Khepera III prototype from the paper: differential drive, three
+    # sensing workflows (IPS, wheel encoder, LiDAR), RRT* + PID mission.
+    rig = khepera_rig()
+
+    # Table II scenario #4: a fake IPS base station overpowers the authentic
+    # signal and shifts the reported X position by -0.1 m from t = 4 s.
+    scenario = next(s for s in khepera_scenarios() if s.number == 4)
+    print(f"Scenario: {scenario.name} — {scenario.detail}")
+
+    result = run_scenario(rig, scenario, seed=7)
+    print(result.summary())
+
+    # Walk the reports: when did RoboADS first blame the IPS?
+    for k, report in enumerate(result.trace.reports):
+        if report.flagged_sensors == frozenset({"ips"}):
+            t = result.trace.times[k]
+            estimate = report.sensor_anomaly("ips")
+            print(f"t={t:.2f}s  confirmed IPS misbehavior;"
+                  f" estimated corruption x={estimate[0]:+.3f} m (injected -0.100 m)")
+            break
+
+    delays = result.delays_for("sensor")
+    if delays and delays[0].delay is not None:
+        print(f"Detection delay: {delays[0].delay:.2f} s after the attack trigger")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Warehouse omnidirectional robot: a third platform from the public API.
+
+The paper's introduction counts warehouse robots among its targets; this
+example builds RoboADS for a mecanum-wheeled base (3-dimensional control:
+longitudinal, lateral, yaw) and detects a *lateral creep* actuator fault —
+an attack class that cannot even be expressed on a differential drive, and
+that shows the unknown-input dimension scaling transparently with the
+platform.
+
+Run with::
+
+    python examples/warehouse_omni.py
+"""
+
+import numpy as np
+
+from repro import RoboADS
+from repro.dynamics import OmnidirectionalModel
+from repro.sensors import IPS, OdometryPoseSensor, SensorSuite
+
+
+def main() -> None:
+    model = OmnidirectionalModel(dt=0.1)
+    suite = SensorSuite(
+        [
+            IPS(sigma_xy=0.002, sigma_theta=0.004),
+            OdometryPoseSensor(name="odometry"),
+        ]
+    )
+    detector = RoboADS(
+        model,
+        suite,
+        process_noise=np.diag([1e-6, 1e-6, 4e-6]),
+        initial_state=np.zeros(3),
+        nominal_control=np.array([0.1, 0.1, 0.1]),
+    )
+    print(f"Platform control channels: {model.control_labels}")
+
+    # Drive a shelf-to-shelf shuttle: forward with a gentle yaw. From
+    # t = 3 s a miscalibrated (or hijacked) wheel controller adds lateral
+    # drift the planner never commanded.
+    rng = np.random.default_rng(4)
+    x_true = np.zeros(3)
+    control = np.array([0.4, 0.0, 0.05])
+    creep = np.array([0.0, 0.15, 0.0])
+    q_sigma = np.sqrt([1e-6, 1e-6, 4e-6])
+
+    detected_at = None
+    for k in range(1, 121):
+        t = k * model.dt
+        executed = control + (creep if t >= 3.0 else 0.0)
+        x_true = model.normalize_state(
+            model.f(x_true, executed) + q_sigma * rng.standard_normal(3)
+        )
+        report = detector.step(control, suite.measure(x_true, rng))
+        if t >= 3.0 and report.actuator_alarm and detected_at is None:
+            detected_at = t
+            estimate = report.actuator_anomaly
+            print(
+                f"t={t:.1f}s  actuator misbehavior confirmed; "
+                f"d̂a = (vx {estimate[0]:+.3f}, vy {estimate[1]:+.3f}, "
+                f"ω {estimate[2]:+.3f}) — injected lateral +0.150 m/s"
+            )
+    if detected_at is None:
+        raise SystemExit("creep was not detected — unexpected")
+    print(f"Detection delay: {detected_at - 3.0:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""RoboADS reproduction: anomaly detection for sensor and actuator
+misbehaviors in mobile robots (Guo et al., DSN 2018).
+
+The package implements the paper's complete system and evaluation stack:
+
+* :mod:`repro.core` — NUISE multi-mode estimation, mode selection, decision
+  making (the paper's contribution).
+* :mod:`repro.dynamics`, :mod:`repro.sensors`, :mod:`repro.actuators` — the
+  robot models and measurement models the detector consumes.
+* :mod:`repro.world`, :mod:`repro.planning`, :mod:`repro.sim`,
+  :mod:`repro.attacks` — the simulated testbed: arenas, RRT* + PID missions,
+  staged sensing/actuation workflows and the Table I/II misbehavior catalog.
+* :mod:`repro.robots` — the Khepera and Tamiya prototypes.
+* :mod:`repro.eval`, :mod:`repro.experiments` — metrics, Monte-Carlo
+  running, parameter sweeps and one module per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import khepera_rig, khepera_scenarios, run_scenario
+
+    rig = khepera_rig()
+    scenario = khepera_scenarios()[3]        # IPS spoofing
+    result = run_scenario(rig, scenario, seed=7)
+    print(result.summary())
+"""
+
+from .attacks import khepera_scenarios, tamiya_scenarios
+from .core import (
+    DecisionConfig,
+    DetectionReport,
+    Mode,
+    MultiModeEstimationEngine,
+    NuiseFilter,
+    RoboADS,
+    build_linearized_once_detector,
+    complete_modes,
+    single_reference_modes,
+)
+from .eval import RunResult, run_scenario
+from .robots import RobotRig, khepera_rig, tamiya_rig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "RoboADS",
+    "NuiseFilter",
+    "MultiModeEstimationEngine",
+    "Mode",
+    "single_reference_modes",
+    "complete_modes",
+    "DecisionConfig",
+    "DetectionReport",
+    "build_linearized_once_detector",
+    "RobotRig",
+    "khepera_rig",
+    "tamiya_rig",
+    "khepera_scenarios",
+    "tamiya_scenarios",
+    "run_scenario",
+    "RunResult",
+]

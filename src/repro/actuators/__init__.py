@@ -1,0 +1,14 @@
+"""Actuation workflows: command limits, quantization and execution.
+
+Actuators sit between the planner's commands and the kinematic model: they
+apply the physical limits (saturation, servo clipping, firmware
+quantization) that real hardware imposes on ``u_{k-1}`` before the dynamics
+integrate it. Actuator *misbehaviors* are injected between the planner and
+the actuator by :mod:`repro.attacks`.
+"""
+
+from .ackermann import AckermannActuator
+from .base import Actuator
+from .differential import WheelPairActuator
+
+__all__ = ["Actuator", "WheelPairActuator", "AckermannActuator"]

@@ -1,0 +1,52 @@
+"""Ackermann actuator (Tamiya RC car): throttle ESC plus steering servo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Actuator
+
+__all__ = ["AckermannActuator"]
+
+
+class AckermannActuator(Actuator):
+    """Speed/steering execution with ESC and servo limits.
+
+    Parameters
+    ----------
+    max_speed:
+        ESC forward-speed saturation in m/s.
+    max_reverse:
+        Reverse-speed saturation in m/s (most RC ESCs reverse slower than
+        they drive forward).
+    max_steer:
+        Steering-servo limit in radians; should match the
+        :class:`~repro.dynamics.bicycle.BicycleModel` limit.
+    """
+
+    def __init__(
+        self,
+        max_speed: float = 2.0,
+        max_reverse: float = 0.5,
+        max_steer: float = 0.55,
+        name: str = "drivetrain",
+    ) -> None:
+        if max_speed <= 0.0 or max_reverse < 0.0:
+            raise ConfigurationError("speed limits must be positive")
+        if not 0.0 < max_steer < np.pi / 2.0:
+            raise ConfigurationError("max_steer must be in (0, pi/2)")
+        super().__init__(name=name, dim=2, labels=("v", "delta"))
+        self._max_speed = float(max_speed)
+        self._max_reverse = float(max_reverse)
+        self._max_steer = float(max_steer)
+
+    @property
+    def max_steer(self) -> float:
+        return self._max_steer
+
+    def execute(self, command: np.ndarray) -> np.ndarray:
+        command = self.validate(command)
+        v = float(np.clip(command[0], -self._max_reverse, self._max_speed))
+        delta = float(np.clip(command[1], -self._max_steer, self._max_steer))
+        return np.array([v, delta])

@@ -1,0 +1,63 @@
+"""Abstract actuator: the execution end of an actuation workflow."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..linalg import as_vector
+
+__all__ = ["Actuator"]
+
+
+class Actuator(ABC):
+    """Physical execution model for a block of control-command components.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the actuation workflow (e.g. ``"wheels"``).
+    dim:
+        Number of command components this actuator executes.
+    labels:
+        Component names matching the robot model's control labels.
+    """
+
+    def __init__(self, name: str, dim: int, labels: Sequence[str]) -> None:
+        if dim < 1:
+            raise ConfigurationError("actuator dimension must be at least 1")
+        if len(labels) != dim:
+            raise ConfigurationError("labels length must equal actuator dim")
+        self._name = str(name)
+        self._dim = int(dim)
+        self._labels = tuple(labels)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self._labels
+
+    @abstractmethod
+    def execute(self, command: np.ndarray) -> np.ndarray:
+        """Map a (possibly corrupted) command to the physically executed one.
+
+        Implementations apply saturation, quantization and other hardware
+        constraints. The returned vector is what the kinematic model
+        integrates.
+        """
+
+    def validate(self, command: np.ndarray) -> np.ndarray:
+        return as_vector(command, self._dim, f"{self._name} command")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self._name!r}, dim={self._dim})"

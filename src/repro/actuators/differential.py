@@ -1,0 +1,72 @@
+"""Differential wheel-pair actuator (Khepera III drive train).
+
+The Khepera firmware accepts integer wheel-speed commands in "speed units";
+the paper's calibration (Section V-H: 900 units = 0.006 m/s) fixes the unit
+scale. Commands are quantized to whole units and saturated at the motor
+limit, mirroring the real actuation workflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Actuator
+
+__all__ = ["WheelPairActuator", "SPEED_UNIT_M_PER_S"]
+
+#: Metres per second per Khepera firmware speed unit (from the paper's
+#: Section V-H calibration: 900 units = 0.006 m/s).
+SPEED_UNIT_M_PER_S = 0.006 / 900.0
+
+
+class WheelPairActuator(Actuator):
+    """Left/right wheel speed execution with quantization and saturation.
+
+    Parameters
+    ----------
+    max_speed:
+        Motor saturation in m/s per wheel (Khepera III tops out near
+        0.5 m/s).
+    speed_unit:
+        Quantization step in m/s (one firmware speed unit). Set to 0 to
+        disable quantization (useful for analytically exact tests).
+    """
+
+    def __init__(
+        self,
+        max_speed: float = 0.5,
+        speed_unit: float = SPEED_UNIT_M_PER_S,
+        name: str = "wheels",
+    ) -> None:
+        if max_speed <= 0.0:
+            raise ConfigurationError("max_speed must be positive")
+        if speed_unit < 0.0:
+            raise ConfigurationError("speed_unit must be nonnegative")
+        super().__init__(name=name, dim=2, labels=("v_l", "v_r"))
+        self._max_speed = float(max_speed)
+        self._speed_unit = float(speed_unit)
+
+    @property
+    def max_speed(self) -> float:
+        return self._max_speed
+
+    @property
+    def speed_unit(self) -> float:
+        return self._speed_unit
+
+    def to_units(self, speeds_m_per_s: np.ndarray) -> np.ndarray:
+        """Convert m/s wheel speeds to firmware speed units."""
+        if self._speed_unit == 0.0:
+            raise ConfigurationError("speed_unit is disabled (0); no unit conversion")
+        return np.asarray(speeds_m_per_s, dtype=float) / self._speed_unit
+
+    def from_units(self, speed_units: np.ndarray) -> np.ndarray:
+        """Convert firmware speed units to m/s wheel speeds."""
+        return np.asarray(speed_units, dtype=float) * self._speed_unit
+
+    def execute(self, command: np.ndarray) -> np.ndarray:
+        command = self.validate(command)
+        if self._speed_unit > 0.0:
+            command = np.round(command / self._speed_unit) * self._speed_unit
+        return np.clip(command, -self._max_speed, self._max_speed)

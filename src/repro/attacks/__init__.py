@@ -1,0 +1,76 @@
+"""Attack and failure injection (paper Section II-B, Tables I and II).
+
+Misbehaviors are modeled exactly as the paper models them: corruptions of
+sensor readings (``d^s_k``) or of control commands (``d^a_{k-1}``),
+regardless of origin. Each :class:`~repro.attacks.base.Attack` combines
+
+* a *target* — one sensing workflow or the actuation workflow,
+* a *channel* — cyber (inside the workflow software) or physical (at the
+  transducer), which determines where in a staged workflow the corruption is
+  injected,
+* an *activation window* — trigger and optional stop time,
+* a *signal* — how the clean value is corrupted (bias, ramp, zeroing,
+  stuck-at, scaling, replay, noise, override, ...).
+
+:mod:`repro.attacks.catalog` instantiates the paper's eleven Table II
+scenarios for the Khepera and an adapted suite for the Tamiya.
+"""
+
+from .base import Attack, AttackChannel, AttackTarget
+from .scheduler import AttackSchedule
+from .signals import (
+    BiasSignal,
+    NoiseSignal,
+    OdometryTickInjection,
+    OverrideSignal,
+    RampSignal,
+    ReplaySignal,
+    ScaleSignal,
+    Signal,
+    StuckSignal,
+    ZeroSignal,
+)
+from .sensor_attacks import (
+    sensor_bias,
+    sensor_dos,
+    sensor_replay,
+    sensor_noise_jamming,
+    sensor_spoof_ramp,
+)
+from .actuator_attacks import (
+    actuator_offset,
+    actuator_runaway,
+    tire_blowout,
+    wheel_jamming,
+)
+from .catalog import Scenario, extended_khepera_scenarios, khepera_scenarios, tamiya_scenarios
+
+__all__ = [
+    "Attack",
+    "AttackChannel",
+    "AttackTarget",
+    "AttackSchedule",
+    "Signal",
+    "BiasSignal",
+    "RampSignal",
+    "NoiseSignal",
+    "ZeroSignal",
+    "StuckSignal",
+    "ScaleSignal",
+    "OverrideSignal",
+    "ReplaySignal",
+    "OdometryTickInjection",
+    "sensor_bias",
+    "sensor_dos",
+    "sensor_replay",
+    "sensor_noise_jamming",
+    "sensor_spoof_ramp",
+    "actuator_offset",
+    "actuator_runaway",
+    "wheel_jamming",
+    "tire_blowout",
+    "Scenario",
+    "khepera_scenarios",
+    "extended_khepera_scenarios",
+    "tamiya_scenarios",
+]

@@ -1,0 +1,100 @@
+"""Convenience constructors for common actuator misbehaviors (Table I)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Attack, AttackChannel, AttackTarget
+from .signals import BiasSignal, OverrideSignal, RampSignal, ScaleSignal
+
+__all__ = ["actuator_offset", "wheel_jamming", "tire_blowout", "actuator_runaway"]
+
+
+def actuator_offset(
+    actuator: str,
+    offset: Sequence[float] | float,
+    start: float,
+    stop: float | None = None,
+    components: Sequence[int] | None = None,
+    channel: AttackChannel = AttackChannel.CYBER,
+    name: str | None = None,
+) -> Attack:
+    """Constant command alteration (wheel-controller logic bomb, Table II #1)."""
+    return Attack(
+        name=name or f"{actuator}-offset",
+        target=AttackTarget.ACTUATOR,
+        workflow=actuator,
+        channel=channel,
+        signal=BiasSignal(offset),
+        start=start,
+        stop=stop,
+        components=components,
+    )
+
+
+def wheel_jamming(
+    actuator: str,
+    wheel_component: int,
+    start: float,
+    stop: float | None = None,
+    name: str | None = None,
+) -> Attack:
+    """One wheel physically jammed: its executed speed is forced to zero
+
+    (Table II #2). Implemented as an override of the jammed component, so the
+    effective anomaly ``d^a = -u_planned`` varies with the planner's command —
+    which is why the paper sees a slightly higher FNR here (anomaly vanishes
+    whenever the planner commands that wheel near zero).
+    """
+    return Attack(
+        name=name or f"{actuator}-wheel-jam",
+        target=AttackTarget.ACTUATOR,
+        workflow=actuator,
+        channel=AttackChannel.PHYSICAL,
+        signal=OverrideSignal(0.0),
+        start=start,
+        stop=stop,
+        components=(wheel_component,),
+    )
+
+
+def tire_blowout(
+    actuator: str,
+    wheel_component: int,
+    drag_factor: float = 0.5,
+    start: float = 0.0,
+    stop: float | None = None,
+    name: str | None = None,
+) -> Attack:
+    """Tire blowout: enormous friction drags one wheel (Table I row 6)."""
+    return Attack(
+        name=name or f"{actuator}-blowout",
+        target=AttackTarget.ACTUATOR,
+        workflow=actuator,
+        channel=AttackChannel.PHYSICAL,
+        signal=ScaleSignal(drag_factor),
+        start=start,
+        stop=stop,
+        components=(wheel_component,),
+    )
+
+
+def actuator_runaway(
+    actuator: str,
+    rate: Sequence[float] | float,
+    start: float,
+    stop: float | None = None,
+    components: Sequence[int] | None = None,
+    name: str | None = None,
+) -> Attack:
+    """Unintended acceleration: command drifts upward (Toyota-style defect)."""
+    return Attack(
+        name=name or f"{actuator}-runaway",
+        target=AttackTarget.ACTUATOR,
+        workflow=actuator,
+        channel=AttackChannel.CYBER,
+        signal=RampSignal(rate),
+        start=start,
+        stop=stop,
+        components=components,
+    )

@@ -1,0 +1,118 @@
+"""Attack descriptor: target, channel, activation window and signal."""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .signals import Signal
+
+__all__ = ["AttackChannel", "AttackTarget", "Attack"]
+
+
+class AttackChannel(enum.Enum):
+    """Where in the workflow the corruption originates (paper Fig 2).
+
+    * ``PHYSICAL`` — at the transducer / physical environment (spoofed GPS
+      signal, ultrasonic jamming, cut wire, physically blocked laser,
+      jammed wheel).
+    * ``CYBER`` — inside the workflow software (logic bombs, packet
+      injection, buffer-overflow bugs).
+
+    For a staged workflow simulation the channel picks the injection stage;
+    the detector, by design, never sees the difference — both reduce to data
+    corruption (Section II-B).
+    """
+
+    PHYSICAL = "physical"
+    CYBER = "cyber"
+
+
+class AttackTarget(enum.Enum):
+    """Which workflow type the attack corrupts."""
+
+    SENSOR = "sensor"
+    ACTUATOR = "actuator"
+
+
+class Attack:
+    """A single misbehavior: one corrupted workflow over one time window.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (shows up in reports).
+    target:
+        ``AttackTarget.SENSOR`` or ``AttackTarget.ACTUATOR``.
+    workflow:
+        Name of the targeted sensing workflow (a sensor name from the
+        robot's suite) or actuation workflow.
+    channel:
+        Cyber or physical origin.
+    signal:
+        The corruption applied to the targeted components.
+    start:
+        Trigger time in seconds.
+    stop:
+        Optional end time (``None`` = active until mission end). Table II
+        scenario #10 uses a finite window ("LiDAR readings back to normal").
+    components:
+        Indices *within the workflow's vector* the signal corrupts; ``None``
+        corrupts the whole vector.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        target: AttackTarget,
+        workflow: str,
+        channel: AttackChannel,
+        signal: Signal,
+        start: float,
+        stop: float | None = None,
+        components: Sequence[int] | None = None,
+    ) -> None:
+        if start < 0.0:
+            raise ConfigurationError("attack start time must be nonnegative")
+        if stop is not None and stop <= start:
+            raise ConfigurationError("attack stop time must exceed start time")
+        self.name = str(name)
+        self.target = target
+        self.workflow = str(workflow)
+        self.channel = channel
+        self.signal = signal
+        self.start = float(start)
+        self.stop = None if stop is None else float(stop)
+        self.components = None if components is None else tuple(int(i) for i in components)
+
+    def active(self, t: float) -> bool:
+        """Whether the attack corrupts data at mission time *t*."""
+        if t < self.start:
+            return False
+        return self.stop is None or t < self.stop
+
+    def apply(self, clean: np.ndarray, t: float, rng: np.random.Generator) -> np.ndarray:
+        """Corrupt *clean* at time *t* (no-op outside the active window)."""
+        if not self.active(t):
+            return np.asarray(clean, dtype=float).copy()
+        clean = np.asarray(clean, dtype=float).copy()
+        elapsed = t - self.start
+        if self.components is None:
+            return np.asarray(self.signal.apply(clean, elapsed, rng), dtype=float)
+        idx = list(self.components)
+        clean[idx] = self.signal.apply(clean[idx], elapsed, rng)
+        return clean
+
+    def reset(self) -> None:
+        """Reset the signal's per-run state before a fresh simulation."""
+        self.signal.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        window = f"[{self.start}, {'inf' if self.stop is None else self.stop})"
+        return (
+            f"Attack({self.name!r}, {self.target.value}:{self.workflow}, "
+            f"{self.channel.value}, t={window})"
+        )

@@ -1,0 +1,357 @@
+"""Scenario catalog: the paper's Table II attack/failure suite.
+
+Each :class:`Scenario` matches one row of Table II (for the Khepera) or the
+adapted Tamiya suite of Section V-D. Scenarios are *factories*: calling
+:meth:`Scenario.build_schedule` constructs fresh :class:`Attack` objects (and
+therefore fresh stateful signals) for every simulation run.
+
+Magnitudes follow the paper:
+
+* Wheel logic bomb: -6000 / +6000 firmware speed units on the left/right
+  wheel (0.04 m/s with the Section V-H unit calibration).
+* IPS logic bomb / spoofing: +0.07 m / -0.1 m shifts on the X axis.
+* Wheel-encoder logic bomb: +100 steps injected into the left encoder.
+* LiDAR DoS: every distance reading drops to 0 m.
+* LiDAR blocking: the reading toward the west ("left") wall is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..actuators.differential import SPEED_UNIT_M_PER_S
+from .base import Attack, AttackChannel
+from .actuator_attacks import actuator_offset, wheel_jamming
+from .scheduler import AttackSchedule
+from .sensor_attacks import sensor_bias, sensor_dos
+from .signals import OdometryTickInjection
+from .base import AttackTarget
+
+__all__ = ["Scenario", "khepera_scenarios", "tamiya_scenarios", "extended_khepera_scenarios", "ENCODER_TICK_M"]
+
+#: Effective odometry arc length of one injected encoder step (metres).
+ENCODER_TICK_M = 1.0e-4
+
+#: Khepera wheel base used for the tick-injection pose effect (metres);
+#: must match :class:`repro.robots.khepera` geometry.
+KHEPERA_WHEEL_BASE = 0.0888
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One attack/failure scenario (a Table II row).
+
+    Attributes
+    ----------
+    number:
+        Row number in Table II (Khepera) or the Tamiya suite.
+    name, description, detail:
+        Table II's scenario/description/detail columns.
+    build_attacks:
+        Zero-argument factory returning fresh :class:`Attack` objects.
+    duration:
+        Mission length in seconds the scenario is evaluated over.
+    """
+
+    number: int
+    name: str
+    description: str
+    detail: str
+    build_attacks: Callable[[], list[Attack]]
+    duration: float = 20.0
+
+    def build_schedule(self) -> AttackSchedule:
+        """Fresh attack schedule for one simulation run."""
+        return AttackSchedule(self.build_attacks())
+
+    @property
+    def channels(self) -> tuple[str, ...]:
+        """Channels exercised (derived from a throwaway attack build)."""
+        return tuple(sorted({a.channel.value for a in self.build_attacks()}))
+
+    @property
+    def targets(self) -> tuple[str, ...]:
+        return tuple(sorted({a.target.value for a in self.build_attacks()}))
+
+
+def _khepera_wheel_bomb(start: float = 4.0) -> Attack:
+    magnitude = 6000.0 * SPEED_UNIT_M_PER_S
+    return actuator_offset(
+        "wheels",
+        offset=(-magnitude, magnitude),
+        start=start,
+        channel=AttackChannel.CYBER,
+        name="wheel-controller-logic-bomb",
+    )
+
+
+def _khepera_ips_bias(shift_x: float, start: float, channel: AttackChannel) -> Attack:
+    return sensor_bias(
+        "ips",
+        offset=(shift_x,),
+        start=start,
+        components=(0,),
+        channel=channel,
+        name=f"ips-shift-{shift_x:+.2f}m",
+    )
+
+
+def _khepera_we_ticks(start: float = 4.0) -> Attack:
+    return Attack(
+        name="wheel-encoder-logic-bomb",
+        target=AttackTarget.SENSOR,
+        workflow="wheel_encoder",
+        channel=AttackChannel.CYBER,
+        signal=OdometryTickInjection(
+            ticks=100.0,
+            tick_length=ENCODER_TICK_M,
+            wheel_base=KHEPERA_WHEEL_BASE,
+            wheel="left",
+        ),
+        start=start,
+    )
+
+
+def _khepera_lidar_block(start: float = 4.0) -> Attack:
+    # Blocking the laser toward the west ("left") wall: that feature reads a
+    # spurious nearer reflection.
+    return sensor_bias(
+        "lidar",
+        offset=(-0.25,),
+        start=start,
+        components=(0,),
+        channel=AttackChannel.PHYSICAL,
+        name="lidar-west-blocking",
+    )
+
+
+def khepera_scenarios() -> list[Scenario]:
+    """The eleven Table II scenarios for the Khepera prototype."""
+    return [
+        Scenario(
+            1,
+            "Wheel controller logic bomb",
+            "logic bomb in actuator utility lib that alters planned control commands (actuator/cyber)",
+            "-6000 speed units on vL, +6000 speed units on vR",
+            lambda: [_khepera_wheel_bomb(4.0)],
+        ),
+        Scenario(
+            2,
+            "Wheel jamming",
+            "left wheel is physically jammed (actuator/physical)",
+            "0 speed unit on vL",
+            lambda: [wheel_jamming("wheels", wheel_component=0, start=4.0)],
+        ),
+        Scenario(
+            3,
+            "IPS logic bomb",
+            "logic bomb in IPS data processing lib that alters positioning data (sensor/cyber)",
+            "shift +0.07m on X axis",
+            lambda: [_khepera_ips_bias(+0.07, 4.0, AttackChannel.CYBER)],
+        ),
+        Scenario(
+            4,
+            "IPS spoofing",
+            "fake IPS signal overpowers authentic source and sends fake data (sensor/physical)",
+            "shift -0.1m on X axis",
+            lambda: [_khepera_ips_bias(-0.10, 4.0, AttackChannel.PHYSICAL)],
+        ),
+        Scenario(
+            5,
+            "Wheel encoder logic bomb",
+            "logic bomb in wheel encoder data processing lib that alters readings (sensor/cyber)",
+            "increment 100 steps on left wheel encoder",
+            lambda: [_khepera_we_ticks(4.0)],
+        ),
+        Scenario(
+            6,
+            "LiDAR DoS",
+            "cutting off the LiDAR sensor wire connection (sensor/physical)",
+            "received distance reading is 0m reading in each direction",
+            lambda: [sensor_dos("lidar", start=0.0, name="lidar-dos")],
+        ),
+        Scenario(
+            7,
+            "LiDAR sensor blocking",
+            "blocking laser ejection and reception of LiDAR (sensor/physical)",
+            "received distance reading to the left wall is incorrect",
+            lambda: [_khepera_lidar_block(4.0)],
+        ),
+        Scenario(
+            8,
+            "Wheel controller & IPS logic bomb",
+            "altering both wheel control commands and IPS readings (sensor&actuator/cyber)",
+            "-/+6000 units on vL, vR; shift +0.07m on X axis",
+            lambda: [
+                _khepera_ips_bias(+0.07, 4.0, AttackChannel.CYBER),
+                _khepera_wheel_bomb(10.0),
+            ],
+        ),
+        Scenario(
+            9,
+            "LiDAR DoS & wheel encoder logic bomb",
+            "blocking LiDAR readings and altering wheel encoder readings (sensor/cyber&physical)",
+            "increment 100 steps on left wheel; 0m in each direction from LiDAR",
+            lambda: [
+                _khepera_we_ticks(4.0),
+                sensor_dos("lidar", start=8.0, name="lidar-dos"),
+            ],
+        ),
+        Scenario(
+            10,
+            "IPS spoofing & LiDAR DoS",
+            "altering IPS readings and blocking LiDAR readings (sensor/physical)",
+            "0m in each direction from LiDAR; shift +0.07m on X; LiDAR readings back to normal",
+            lambda: [
+                sensor_dos("lidar", start=3.0, stop=9.0, name="lidar-dos-window"),
+                _khepera_ips_bias(+0.07, 6.0, AttackChannel.PHYSICAL),
+            ],
+        ),
+        Scenario(
+            11,
+            "IPS & wheel encoder logic bomb",
+            "altering both IPS and wheel encoder readings (sensor/cyber)",
+            "increment 100 steps on left wheel; shift +0.1m on X axis",
+            lambda: [
+                _khepera_we_ticks(4.0),
+                _khepera_ips_bias(+0.10, 8.0, AttackChannel.CYBER),
+            ],
+        ),
+    ]
+
+
+def tamiya_scenarios() -> list[Scenario]:
+    """Adapted scenario suite for the Tamiya RC car (Section V-D).
+
+    The paper states it launched "similar attacks and failures" on the
+    Tamiya's sensors (LiDAR, IPS, IMU) and actuators (throttle, steering);
+    this suite mirrors the Khepera catalog on the car's hardware.
+    """
+    return [
+        Scenario(
+            1,
+            "Throttle logic bomb",
+            "logic bomb in ESC utility lib adds forward speed (actuator/cyber)",
+            "+0.3 m/s on commanded speed",
+            lambda: [
+                actuator_offset(
+                    "drivetrain", offset=(0.3,), start=4.0, components=(0,), name="throttle-bomb"
+                )
+            ],
+        ),
+        Scenario(
+            2,
+            "Steering takeover",
+            "injected steering command packets bias the servo (actuator/cyber)",
+            "+0.35 rad on steering angle",
+            lambda: [
+                actuator_offset(
+                    "drivetrain", offset=(0.35,), start=4.0, components=(1,), name="steer-takeover"
+                )
+            ],
+            duration=12.0,
+        ),
+        Scenario(
+            3,
+            "IPS logic bomb",
+            "logic bomb in IPS data processing lib (sensor/cyber)",
+            "shift +0.07m on X axis",
+            lambda: [_khepera_ips_bias(+0.07, 4.0, AttackChannel.CYBER)],
+        ),
+        Scenario(
+            4,
+            "IPS spoofing",
+            "fake IPS signal overpowers authentic source (sensor/physical)",
+            "shift -0.1m on X axis",
+            lambda: [_khepera_ips_bias(-0.10, 4.0, AttackChannel.PHYSICAL)],
+        ),
+        Scenario(
+            5,
+            "IMU drift bomb",
+            "logic bomb in the inertial-navigation integrator (sensor/cyber)",
+            "shift +0.08m on X, +0.1 rad on heading",
+            lambda: [
+                sensor_bias(
+                    "imu",
+                    offset=(0.08, 0.0, 0.10),
+                    start=4.0,
+                    channel=AttackChannel.CYBER,
+                    name="imu-drift-bomb",
+                )
+            ],
+        ),
+        Scenario(
+            6,
+            "LiDAR DoS",
+            "cutting off the LiDAR sensor wire connection (sensor/physical)",
+            "received distance reading is 0m in each direction",
+            lambda: [sensor_dos("lidar", start=0.0, name="lidar-dos")],
+        ),
+        Scenario(
+            7,
+            "LiDAR sensor blocking",
+            "blocking laser ejection and reception of LiDAR (sensor/physical)",
+            "received distance reading to the west wall is incorrect",
+            lambda: [_khepera_lidar_block(4.0)],
+        ),
+        Scenario(
+            8,
+            "Throttle bomb & IPS logic bomb",
+            "altering both speed commands and IPS readings (sensor&actuator/cyber)",
+            "+0.3 m/s on speed (t=7s); shift +0.07m on X axis (t=4s)",
+            lambda: [
+                _khepera_ips_bias(+0.07, 4.0, AttackChannel.CYBER),
+                actuator_offset(
+                    "drivetrain", offset=(0.3,), start=7.0, components=(0,), name="throttle-bomb"
+                ),
+            ],
+        ),
+    ]
+
+
+def extended_khepera_scenarios() -> list[Scenario]:
+    """Further misbehavior classes from Table I, beyond the Table II rows.
+
+    These exercise the remaining signal primitives end-to-end: replayed
+    sensor traffic, resonant-noise jamming, a tire blowout (multiplicative
+    actuator fault) and an unintended-acceleration ramp (the Toyota-style
+    defect of Table I).
+    """
+    from .sensor_attacks import sensor_noise_jamming, sensor_replay
+    from .actuator_attacks import actuator_runaway, tire_blowout
+
+    return [
+        Scenario(
+            101,
+            "IPS replay",
+            "recorded IPS packets are replayed with a delay (sensor/cyber)",
+            "readings lag by 40 iterations (2 s)",
+            lambda: [sensor_replay("ips", delay_steps=40, start=4.0)],
+        ),
+        Scenario(
+            102,
+            "LiDAR noise jamming",
+            "resonant interference swamps the LiDAR returns (sensor/physical)",
+            "additive noise sigma 0.15 m on each wall distance",
+            lambda: [
+                sensor_noise_jamming("lidar", sigma=(0.15, 0.15, 0.15, 0.0), start=4.0)
+            ],
+        ),
+        Scenario(
+            103,
+            "Tire blowout",
+            "blown left tire drags the wheel (actuator/physical)",
+            "left wheel executes at 40% of command",
+            lambda: [tire_blowout("wheels", wheel_component=0, drag_factor=0.4, start=4.0)],
+        ),
+        Scenario(
+            104,
+            "Unintended acceleration",
+            "stack-overflow defect ramps both wheels (actuator/cyber)",
+            "commands drift upward at 0.05 m/s per second",
+            lambda: [actuator_runaway("wheels", rate=(0.05, 0.05), start=4.0)],
+        ),
+    ]

@@ -1,0 +1,91 @@
+"""Attack schedule: the set of misbehaviors active during one mission run."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .base import Attack, AttackTarget
+
+__all__ = ["AttackSchedule"]
+
+
+class AttackSchedule:
+    """Applies a collection of attacks to workflow data streams.
+
+    Also serves as the evaluation ground truth: at any time ``t`` it reports
+    which sensing workflows and whether the actuation workflow are under
+    active misbehavior (the paper's S/A mode ground truth).
+    """
+
+    def __init__(self, attacks: Sequence[Attack] = ()) -> None:
+        self._attacks = list(attacks)
+
+    @property
+    def attacks(self) -> list[Attack]:
+        return list(self._attacks)
+
+    def add(self, attack: Attack) -> None:
+        self._attacks.append(attack)
+
+    def reset(self) -> None:
+        """Reset stateful signals before a fresh simulation run."""
+        for attack in self._attacks:
+            attack.reset()
+
+    # ------------------------------------------------------------------
+    # Data-plane application
+    # ------------------------------------------------------------------
+    def _matching(self, target: AttackTarget, workflow: str, t: float) -> list[Attack]:
+        return [
+            a
+            for a in self._attacks
+            if a.target is target and a.workflow == workflow and a.active(t)
+        ]
+
+    def corrupt_sensor(
+        self, sensor: str, clean: np.ndarray, t: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply every active attack on *sensor* to its clean reading."""
+        value = np.asarray(clean, dtype=float).copy()
+        for attack in self._matching(AttackTarget.SENSOR, sensor, t):
+            value = attack.apply(value, t, rng)
+        return value
+
+    def corrupt_actuator(
+        self, actuator: str, clean: np.ndarray, t: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply every active attack on *actuator* to the planned command."""
+        value = np.asarray(clean, dtype=float).copy()
+        for attack in self._matching(AttackTarget.ACTUATOR, actuator, t):
+            value = attack.apply(value, t, rng)
+        return value
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+    def corrupted_sensors(self, t: float) -> frozenset[str]:
+        """Names of sensing workflows under active misbehavior at time *t*."""
+        return frozenset(
+            a.workflow for a in self._attacks if a.target is AttackTarget.SENSOR and a.active(t)
+        )
+
+    def actuator_corrupted(self, t: float) -> bool:
+        """Whether any actuation workflow misbehaves at time *t*."""
+        return any(a.target is AttackTarget.ACTUATOR and a.active(t) for a in self._attacks)
+
+    def event_times(self) -> list[float]:
+        """Sorted unique trigger/stop times (mode-transition instants)."""
+        times: set[float] = set()
+        for a in self._attacks:
+            times.add(a.start)
+            if a.stop is not None:
+                times.add(a.stop)
+        return sorted(times)
+
+    def __len__(self) -> int:
+        return len(self._attacks)
+
+    def __iter__(self):
+        return iter(self._attacks)

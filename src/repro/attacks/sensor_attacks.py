@@ -1,0 +1,123 @@
+"""Convenience constructors for common sensor misbehaviors (Table I)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Attack, AttackChannel, AttackTarget
+from .signals import BiasSignal, NoiseSignal, RampSignal, ReplaySignal, ZeroSignal
+
+__all__ = [
+    "sensor_bias",
+    "sensor_spoof_ramp",
+    "sensor_dos",
+    "sensor_noise_jamming",
+    "sensor_replay",
+]
+
+
+def sensor_bias(
+    sensor: str,
+    offset: Sequence[float] | float,
+    start: float,
+    stop: float | None = None,
+    components: Sequence[int] | None = None,
+    channel: AttackChannel = AttackChannel.CYBER,
+    name: str | None = None,
+) -> Attack:
+    """Constant shift of sensor readings (logic bomb / constant spoofing)."""
+    return Attack(
+        name=name or f"{sensor}-bias",
+        target=AttackTarget.SENSOR,
+        workflow=sensor,
+        channel=channel,
+        signal=BiasSignal(offset),
+        start=start,
+        stop=stop,
+        components=components,
+    )
+
+
+def sensor_spoof_ramp(
+    sensor: str,
+    rate: Sequence[float] | float,
+    start: float,
+    stop: float | None = None,
+    max_offset: float | None = None,
+    components: Sequence[int] | None = None,
+    name: str | None = None,
+) -> Attack:
+    """Slowly drifting spoofing (GPS-spoofer style, physical channel)."""
+    return Attack(
+        name=name or f"{sensor}-spoof-ramp",
+        target=AttackTarget.SENSOR,
+        workflow=sensor,
+        channel=AttackChannel.PHYSICAL,
+        signal=RampSignal(rate, max_offset),
+        start=start,
+        stop=stop,
+        components=components,
+    )
+
+
+def sensor_dos(
+    sensor: str,
+    start: float,
+    stop: float | None = None,
+    components: Sequence[int] | None = None,
+    channel: AttackChannel = AttackChannel.PHYSICAL,
+    name: str | None = None,
+) -> Attack:
+    """Denial of service: readings drop to zero (cut wire, Table II #6)."""
+    return Attack(
+        name=name or f"{sensor}-dos",
+        target=AttackTarget.SENSOR,
+        workflow=sensor,
+        channel=channel,
+        signal=ZeroSignal(),
+        start=start,
+        stop=stop,
+        components=components,
+    )
+
+
+def sensor_noise_jamming(
+    sensor: str,
+    sigma: Sequence[float] | float,
+    start: float,
+    stop: float | None = None,
+    components: Sequence[int] | None = None,
+    name: str | None = None,
+) -> Attack:
+    """Resonant/RF jamming: readings swamped with extra noise."""
+    return Attack(
+        name=name or f"{sensor}-jamming",
+        target=AttackTarget.SENSOR,
+        workflow=sensor,
+        channel=AttackChannel.PHYSICAL,
+        signal=NoiseSignal(sigma),
+        start=start,
+        stop=stop,
+        components=components,
+    )
+
+
+def sensor_replay(
+    sensor: str,
+    delay_steps: int,
+    start: float,
+    stop: float | None = None,
+    components: Sequence[int] | None = None,
+    name: str | None = None,
+) -> Attack:
+    """Replay stale readings captured *delay_steps* iterations earlier."""
+    return Attack(
+        name=name or f"{sensor}-replay",
+        target=AttackTarget.SENSOR,
+        workflow=sensor,
+        channel=AttackChannel.CYBER,
+        signal=ReplaySignal(delay_steps),
+        start=start,
+        stop=stop,
+        components=components,
+    )

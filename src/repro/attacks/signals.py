@@ -1,0 +1,189 @@
+"""Corruption signal primitives.
+
+A :class:`Signal` maps the *clean* value of a reading/command (or a subset of
+its components) to its corrupted value at a given time since the attack
+triggered. Signals are stateful where the physical effect is stateful
+(stuck-at holds the first captured value; replay buffers past traffic), so a
+fresh signal instance must be used per simulation run — the
+:class:`~repro.attacks.catalog.Scenario` factories take care of that.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..linalg import as_vector
+
+__all__ = [
+    "Signal",
+    "BiasSignal",
+    "RampSignal",
+    "NoiseSignal",
+    "ZeroSignal",
+    "StuckSignal",
+    "ScaleSignal",
+    "OverrideSignal",
+    "ReplaySignal",
+    "OdometryTickInjection",
+]
+
+
+class Signal(ABC):
+    """Transforms clean component values into corrupted ones."""
+
+    @abstractmethod
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        """Corrupted value given the clean value and seconds since trigger."""
+
+    def reset(self) -> None:
+        """Clear any per-run state (default: stateless, nothing to do)."""
+
+
+class BiasSignal(Signal):
+    """Constant additive offset — logic bombs, spoofed constant shifts."""
+
+    def __init__(self, offset: Sequence[float] | float) -> None:
+        self._offset = np.atleast_1d(np.asarray(offset, dtype=float))
+
+    @property
+    def offset(self) -> np.ndarray:
+        return self._offset.copy()
+
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        return clean + self._offset
+
+
+class RampSignal(Signal):
+    """Linearly growing offset — slow-drift GPS spoofing."""
+
+    def __init__(self, rate: Sequence[float] | float, max_offset: float | None = None) -> None:
+        self._rate = np.atleast_1d(np.asarray(rate, dtype=float))
+        self._max = max_offset
+        if max_offset is not None and max_offset < 0:
+            raise ConfigurationError("max_offset must be nonnegative")
+
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        offset = self._rate * max(0.0, elapsed)
+        if self._max is not None:
+            offset = np.clip(offset, -self._max, self._max)
+        return clean + offset
+
+
+class NoiseSignal(Signal):
+    """Additive white noise — resonant ultrasonic jamming, RF interference."""
+
+    def __init__(self, sigma: Sequence[float] | float) -> None:
+        self._sigma = np.atleast_1d(np.asarray(sigma, dtype=float))
+        if np.any(self._sigma < 0):
+            raise ConfigurationError("noise sigma must be nonnegative")
+
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        return clean + self._sigma * rng.standard_normal(clean.shape)
+
+
+class ZeroSignal(Signal):
+    """Force the value to zero — DoS / cut wire (Table II #6)."""
+
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        return np.zeros_like(clean)
+
+
+class OverrideSignal(Signal):
+    """Replace the value with a fixed vector — packet injection."""
+
+    def __init__(self, value: Sequence[float] | float) -> None:
+        self._value = np.atleast_1d(np.asarray(value, dtype=float))
+
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        if self._value.shape == (1,) and clean.shape != (1,):
+            return np.full_like(clean, self._value[0])
+        return self._value.copy()
+
+
+class StuckSignal(Signal):
+    """Hold the first value seen after trigger — frozen transducer/servo."""
+
+    def __init__(self) -> None:
+        self._held: np.ndarray | None = None
+
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        if self._held is None:
+            self._held = np.array(clean, dtype=float, copy=True)
+        return self._held.copy()
+
+    def reset(self) -> None:
+        self._held = None
+
+
+class ScaleSignal(Signal):
+    """Multiplicative corruption — tire blowout (friction drags one wheel)."""
+
+    def __init__(self, factors: Sequence[float] | float) -> None:
+        self._factors = np.atleast_1d(np.asarray(factors, dtype=float))
+
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        return clean * self._factors
+
+
+class ReplaySignal(Signal):
+    """Replay values captured *delay_steps* iterations earlier.
+
+    Until enough history accumulates the first captured value is replayed,
+    matching a record-and-replay attacker who loops their first capture.
+    """
+
+    def __init__(self, delay_steps: int) -> None:
+        if delay_steps < 1:
+            raise ConfigurationError("delay_steps must be at least 1")
+        self._delay = int(delay_steps)
+        self._buffer: deque[np.ndarray] = deque()
+
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        self._buffer.append(np.array(clean, dtype=float, copy=True))
+        if len(self._buffer) > self._delay:
+            return self._buffer.popleft()
+        return self._buffer[0].copy()
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+
+class OdometryTickInjection(Signal):
+    """Encoder-tick injection into a dead-reckoned pose output (Table II #5).
+
+    Injecting *ticks* extra steps on one wheel makes the odometry utility
+    process believe that wheel travelled ``ticks * tick_length`` further.
+    Dead-reckoning converts that into a persistent pose corruption: the pose
+    advances by half the phantom arc along the *reported* heading, and the
+    heading rotates by ``-arc / wheel_base`` (left wheel) or ``+arc /
+    wheel_base`` (right wheel).
+
+    The signal expects the clean components to be the full ``(x, y, theta)``
+    odometry pose.
+    """
+
+    def __init__(self, ticks: float, tick_length: float, wheel_base: float, wheel: str = "left") -> None:
+        if tick_length <= 0 or wheel_base <= 0:
+            raise ConfigurationError("tick_length and wheel_base must be positive")
+        if wheel not in ("left", "right"):
+            raise ConfigurationError("wheel must be 'left' or 'right'")
+        self._arc = float(ticks) * float(tick_length)
+        self._wheel_base = float(wheel_base)
+        self._sign = -1.0 if wheel == "left" else 1.0
+
+    @property
+    def pose_offset_magnitude(self) -> tuple[float, float]:
+        """(translation, heading) magnitudes of the injected corruption."""
+        return abs(self._arc) / 2.0, abs(self._arc) / self._wheel_base
+
+    def apply(self, clean: np.ndarray, elapsed: float, rng: np.random.Generator) -> np.ndarray:
+        clean = as_vector(clean, 3, "odometry pose")
+        theta = clean[2]
+        forward = self._arc / 2.0
+        dtheta = self._sign * self._arc / self._wheel_base
+        return clean + np.array([forward * np.cos(theta), forward * np.sin(theta), dtheta])

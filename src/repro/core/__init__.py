@@ -1,0 +1,50 @@
+"""RoboADS core: the paper's detection pipeline (Section IV).
+
+Modules map one-to-one onto Fig 3:
+
+* :mod:`repro.core.nuise` — the NUISE filter (Algorithm 2): per-mode
+  unknown-input and state estimation with likelihoods.
+* :mod:`repro.core.modes` — sensor-condition hypotheses and mode-set
+  construction (single-reference by default; Section VI discussion).
+* :mod:`repro.core.engine` — the multi-mode estimation engine and mode
+  selector (Algorithm 1 lines 4–9).
+* :mod:`repro.core.decision` — Chi-square tests with sliding windows
+  (Algorithm 1 lines 10–25).
+* :mod:`repro.core.detector` — :class:`RoboADS`, the monitor + engine +
+  selector + decision maker composition (Algorithm 1).
+* :mod:`repro.core.baseline` — the linearize-once comparison detector
+  (Section V-G).
+"""
+
+from .baseline import build_linearized_once_detector
+from .decision import DecisionConfig, DecisionMaker, DecisionOutcome, SlidingWindow
+from .detector import DetectionReport, RoboADS
+from .engine import EngineOutput, MultiModeEstimationEngine
+from .linearization import EveryStepLinearization, FixedPointLinearization, LinearizationPolicy
+from .modes import Mode, complete_modes, single_reference_modes
+from .nuise import NuiseFilter, NuiseResult
+from .report import IterationStatistics
+from .response import NavigationFailover, ResponseEvent
+
+__all__ = [
+    "NuiseFilter",
+    "NuiseResult",
+    "Mode",
+    "single_reference_modes",
+    "complete_modes",
+    "MultiModeEstimationEngine",
+    "EngineOutput",
+    "DecisionConfig",
+    "DecisionMaker",
+    "DecisionOutcome",
+    "SlidingWindow",
+    "RoboADS",
+    "DetectionReport",
+    "IterationStatistics",
+    "LinearizationPolicy",
+    "EveryStepLinearization",
+    "FixedPointLinearization",
+    "build_linearized_once_detector",
+    "NavigationFailover",
+    "ResponseEvent",
+]

@@ -1,0 +1,66 @@
+"""Linearize-once baseline detector (paper Section V-G).
+
+The paper benchmarks RoboADS against a representative linear-system approach
+([20], Yong, Zhu & Frazzoli 2015) that "is linearized only once at the
+beginning": the same multi-mode unknown-input estimation structure, but the
+dynamic and measurement models are frozen to their first-order expansions at
+the mission's initial state and control. As the robot turns away from the
+initial heading the frozen model misdescribes the motion, estimation errors
+grow, and the detector false-alarms — the paper measures 61.68% FPR.
+
+Implemented by composing :class:`~repro.core.detector.RoboADS` with a
+:class:`~repro.core.linearization.FixedPointLinearization` policy so that
+*only* the linearization behaviour differs from the real detector.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..dynamics.base import RobotModel
+from ..sensors.suite import SensorSuite
+from .decision import DecisionConfig
+from .detector import RoboADS
+from .linearization import FixedPointLinearization
+from .modes import Mode
+
+__all__ = ["build_linearized_once_detector"]
+
+
+def build_linearized_once_detector(
+    model: RobotModel,
+    suite: SensorSuite,
+    process_noise,
+    initial_state: np.ndarray,
+    reference_control: np.ndarray | None = None,
+    modes: Sequence[Mode] | None = None,
+    decision: DecisionConfig | None = None,
+    initial_covariance: np.ndarray | float = 1e-4,
+) -> RoboADS:
+    """A RoboADS-shaped detector whose model is linearized once at start.
+
+    Parameters
+    ----------
+    reference_control:
+        Operating-point control for the one-time linearization; defaults to
+        a small straight-line cruise (a stationary linearization point would
+        make the control Jacobian degenerate for most robots, handing the
+        baseline an unfairly *worse* start than the published comparison).
+    """
+    initial_state = np.asarray(initial_state, dtype=float)
+    if reference_control is None:
+        reference_control = np.full(model.control_dim, 0.1)
+    policy = FixedPointLinearization(initial_state, np.asarray(reference_control, dtype=float))
+    return RoboADS(
+        model,
+        suite,
+        process_noise,
+        initial_state=initial_state,
+        modes=modes,
+        decision=decision,
+        initial_covariance=initial_covariance,
+        policy=policy,
+        nominal_control=reference_control,
+    )

@@ -1,0 +1,49 @@
+"""Chi-square hypothesis testing helpers (paper Section IV-D).
+
+Anomaly-vector estimates are normalized by their error covariances; under
+the no-misbehavior hypothesis the squared Mahalanobis norm is Chi-square
+distributed with the vector's (effective) dimension as degrees of freedom.
+Thresholds are cached since the decision maker queries the same
+``(alpha, dof)`` pairs every iteration.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ConfigurationError
+from ..linalg import pinv_and_pdet
+
+__all__ = ["chi_square_threshold", "anomaly_statistic"]
+
+
+@lru_cache(maxsize=512)
+def chi_square_threshold(alpha: float, dof: int) -> float:
+    """Critical value at confidence level *alpha* with *dof* degrees of freedom.
+
+    ``alpha`` is the tail probability: the test fires when the statistic
+    exceeds the ``1 - alpha`` quantile.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError("alpha must be in (0, 1)")
+    if dof < 1:
+        raise ConfigurationError("degrees of freedom must be at least 1")
+    return float(stats.chi2.ppf(1.0 - alpha, dof))
+
+
+def anomaly_statistic(estimate: np.ndarray, covariance: np.ndarray) -> tuple[float, int]:
+    """Normalized test statistic and effective degrees of freedom.
+
+    Uses the pseudo-inverse so singular covariance directions (components
+    the mode cannot estimate) contribute neither statistic nor degrees of
+    freedom.
+    """
+    estimate = np.asarray(estimate, dtype=float)
+    if estimate.size == 0:
+        return 0.0, 0
+    pinv, _, rank = pinv_and_pdet(covariance)
+    stat = float(estimate @ pinv @ estimate)
+    return stat, max(rank, 0)

@@ -1,0 +1,174 @@
+"""Decision maker: Chi-square tests behind sliding windows (Section IV-D).
+
+The decision maker is deliberately decoupled from the estimation engine: it
+consumes the raw :class:`~repro.core.report.IterationStatistics` and applies
+only decision parameters (confidence level ``alpha``, window size ``w``,
+criteria ``c``). This is what makes the Fig 7 parameter sweeps exact offline
+replays.
+
+Defaults follow the paper's tuned configuration (Section V-F): sensor tests
+at ``alpha = 0.005`` with ``c/w = 2/2``; actuator tests at ``alpha = 0.05``
+with ``c/w = 3/6``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .chi2 import chi_square_threshold
+from .report import IterationStatistics
+
+__all__ = ["SlidingWindow", "DecisionConfig", "DecisionOutcome", "DecisionMaker"]
+
+
+class SlidingWindow:
+    """c-of-w window: met when >= *criteria* of the last *window* pushes are True."""
+
+    def __init__(self, window: int, criteria: int) -> None:
+        if window < 1:
+            raise ConfigurationError("window size must be at least 1")
+        if not 1 <= criteria <= window:
+            raise ConfigurationError("criteria must be in [1, window]")
+        self._window = int(window)
+        self._criteria = int(criteria)
+        self._buffer: deque[bool] = deque(maxlen=self._window)
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def criteria(self) -> int:
+        return self._criteria
+
+    def push(self, positive: bool) -> bool:
+        """Record one test result; return whether the condition is met."""
+        self._buffer.append(bool(positive))
+        return sum(self._buffer) >= self._criteria
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+
+@dataclass(frozen=True)
+class DecisionConfig:
+    """Decision parameters (paper Section V-F notation: alpha, w, c)."""
+
+    sensor_alpha: float = 0.005
+    sensor_window: int = 2
+    sensor_criteria: int = 2
+    actuator_alpha: float = 0.05
+    actuator_window: int = 6
+    actuator_criteria: int = 3
+
+    def __post_init__(self) -> None:
+        for alpha in (self.sensor_alpha, self.actuator_alpha):
+            if not 0.0 < alpha < 1.0:
+                raise ConfigurationError("alpha must be in (0, 1)")
+        if not 1 <= self.sensor_criteria <= self.sensor_window:
+            raise ConfigurationError("sensor criteria must be in [1, window]")
+        if not 1 <= self.actuator_criteria <= self.actuator_window:
+            raise ConfigurationError("actuator criteria must be in [1, window]")
+
+
+@dataclass(frozen=True)
+class DecisionOutcome:
+    """Confirmed alarms for one control iteration.
+
+    Attributes
+    ----------
+    sensor_positive, actuator_positive:
+        Instantaneous Chi-square results this iteration (pre-window).
+    sensor_alarm:
+        Aggregate sensor misbehavior confirmed (window condition met).
+    flagged_sensors:
+        The confirmed misbehaving sensing workflows — the detector's sensor
+        condition output (empty set = condition S0).
+    actuator_alarm:
+        Actuator misbehavior confirmed.
+    """
+
+    sensor_positive: bool
+    actuator_positive: bool
+    sensor_alarm: bool
+    flagged_sensors: frozenset[str]
+    actuator_alarm: bool
+
+
+class DecisionMaker:
+    """Applies thresholds and sliding windows to raw iteration statistics.
+
+    Per-sensor confirmation follows Algorithm 1 lines 12–18: when the
+    aggregate sensor window condition is met, each testing sensor's own
+    Chi-square stream (also windowed, for stability against single-iteration
+    flickers) determines whether that sensor is confirmed misbehaving.
+    Actuator confirmation checks only the aggregate statistic (line 20–25;
+    the paper's technical report notes no per-actuator test is performed).
+    """
+
+    def __init__(self, config: DecisionConfig | None = None) -> None:
+        self._config = config or DecisionConfig()
+        cfg = self._config
+        self._sensor_window = SlidingWindow(cfg.sensor_window, cfg.sensor_criteria)
+        self._actuator_window = SlidingWindow(cfg.actuator_window, cfg.actuator_criteria)
+        self._per_sensor_windows: dict[str, SlidingWindow] = {}
+
+    @property
+    def config(self) -> DecisionConfig:
+        return self._config
+
+    def reset(self) -> None:
+        self._sensor_window.reset()
+        self._actuator_window.reset()
+        for window in self._per_sensor_windows.values():
+            window.reset()
+
+    def _sensor_window_for(self, name: str) -> SlidingWindow:
+        if name not in self._per_sensor_windows:
+            cfg = self._config
+            self._per_sensor_windows[name] = SlidingWindow(cfg.sensor_window, cfg.sensor_criteria)
+        return self._per_sensor_windows[name]
+
+    def step(self, stats: IterationStatistics) -> DecisionOutcome:
+        """One decision iteration over the engine's raw statistics."""
+        cfg = self._config
+
+        sensor_positive = False
+        if stats.sensor_dof > 0:
+            threshold = chi_square_threshold(cfg.sensor_alpha, stats.sensor_dof)
+            sensor_positive = stats.sensor_statistic > threshold
+        sensor_alarm = self._sensor_window.push(sensor_positive)
+
+        # Per-sensor streams advance every iteration so their windows carry
+        # history; sensors absent from this iteration's testing set (the
+        # selected mode's reference) push a negative.
+        per_sensor_met: dict[str, bool] = {}
+        for name, sensor_stat in stats.sensor_stats.items():
+            positive = False
+            if sensor_stat.dof > 0:
+                threshold = chi_square_threshold(cfg.sensor_alpha, sensor_stat.dof)
+                positive = sensor_stat.statistic > threshold
+            per_sensor_met[name] = self._sensor_window_for(name).push(positive)
+        for name in list(self._per_sensor_windows):
+            if name not in stats.sensor_stats:
+                self._per_sensor_windows[name].push(False)
+
+        flagged: frozenset[str] = frozenset()
+        if sensor_alarm:
+            flagged = frozenset(name for name, met in per_sensor_met.items() if met)
+
+        actuator_positive = False
+        if stats.actuator_dof > 0:
+            threshold = chi_square_threshold(cfg.actuator_alpha, stats.actuator_dof)
+            actuator_positive = stats.actuator_statistic > threshold
+        actuator_alarm = self._actuator_window.push(actuator_positive)
+
+        return DecisionOutcome(
+            sensor_positive=sensor_positive,
+            actuator_positive=actuator_positive,
+            sensor_alarm=sensor_alarm and bool(flagged),
+            flagged_sensors=flagged,
+            actuator_alarm=actuator_alarm,
+        )

@@ -1,0 +1,249 @@
+"""Multi-mode estimation engine and mode selector (Algorithm 1, lines 4–9).
+
+The engine maintains a bank of NUISE filters (one per mode) plus the shared
+state estimate all modes start each iteration from — Algorithm 1 feeds every
+mode the previous *selected* estimate ``x_hat_{k-1|k-1}``. Mode
+probabilities follow the recursive update ``mu^m_k = max(N^m_k mu^m_{k-1},
+epsilon)`` with per-iteration normalization; the probability floor
+``epsilon`` keeps defeated modes revivable, which is what lets the selector
+recover when an attack stops (Table II scenario #10's LiDAR recovery).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..dynamics.base import RobotModel
+from ..errors import ConfigurationError
+from ..sensors.suite import SensorSuite
+from .chi2 import anomaly_statistic
+from .linearization import LinearizationPolicy
+from .modes import Mode, single_reference_modes
+from .nuise import NuiseFilter, NuiseResult
+from .report import IterationStatistics, SensorStatistic
+
+__all__ = ["MultiModeEstimationEngine", "EngineOutput"]
+
+#: Probability floor for defeated modes (paper Algorithm 1 line 6's epsilon).
+#: Kept far below any live probability: a floor that is too high can erase
+#: the margin between a freshly-defeated mode and a consistently-good one at
+#: the very iteration an attack lands, letting the compromised mode keep the
+#: shared estimate (and hijack it toward the corrupted readings).
+DEFAULT_EPSILON = 1e-12
+
+#: Length (in control iterations) of the finite-memory consistency window
+#: used for mode selection. See ``MultiModeEstimationEngine`` notes.
+DEFAULT_CONSISTENCY_WINDOW = 40
+
+#: Log-likelihood floor per step inside the consistency window (exp(-300)
+#: underflows to 0.0; one such step must be able to outweigh a full window
+#: of good steps, but not leave the mode unrevivable).
+_LOG_FLOOR = -300.0
+
+
+@dataclass(frozen=True)
+class EngineOutput:
+    """Everything one engine iteration produced."""
+
+    iteration: int
+    results: dict[str, NuiseResult]
+    probabilities: dict[str, float]
+    likelihoods: dict[str, float]
+    selected_mode: str
+    selected: NuiseResult
+
+
+class MultiModeEstimationEngine:
+    """Bank of per-mode NUISE filters plus the maximum-likelihood selector.
+
+    Selection note
+    --------------
+    Algorithm 1 selects the mode maximizing the recursive probability
+    ``mu^m_k = max(N^m_k mu^m_{k-1}, epsilon)``. With exact arithmetic the
+    product encodes the full consistency history; the floor, however,
+    *erases* that history for every non-dominant mode (all crushed to
+    ``epsilon``), so at the instant the long-dominant mode's reference is
+    attacked, the floored probabilities cannot distinguish a consistently
+    clean runner-up from a corrupted-but-self-consistent one (a constant
+    odometry bias is launderable into a fake actuator anomaly, keeping its
+    own-reference likelihood high). We therefore select on a *finite-window
+    log-likelihood sum* — floor-free Bayesian evidence with bounded memory:
+    it preserves the revivability the paper's floor buys (old evidence ages
+    out of the window) while keeping enough history to reject the
+    self-consistent impostor. The recursive ``mu`` is still maintained and
+    reported, matching the paper's outputs.
+    """
+
+    def __init__(
+        self,
+        model: RobotModel,
+        suite: SensorSuite,
+        process_noise,
+        modes: Sequence[Mode] | None = None,
+        initial_state: np.ndarray | None = None,
+        initial_covariance: np.ndarray | float = 1e-4,
+        policy: LinearizationPolicy | None = None,
+        epsilon: float = DEFAULT_EPSILON,
+        consistency_window: int = DEFAULT_CONSISTENCY_WINDOW,
+        check_observability: bool = True,
+        nominal_state: np.ndarray | None = None,
+        nominal_control: np.ndarray | None = None,
+    ) -> None:
+        if modes is None:
+            modes = single_reference_modes(suite)
+        if not modes:
+            raise ConfigurationError("the engine needs at least one mode")
+        names = [m.name for m in modes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate mode names: {names}")
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError("epsilon must be in (0, 1)")
+        if consistency_window < 1:
+            raise ConfigurationError("consistency window must be at least 1")
+        self._window = int(consistency_window)
+        self._model = model
+        self._suite = suite
+        self._modes = list(modes)
+        self._epsilon = float(epsilon)
+        self._filters = {
+            m.name: NuiseFilter(
+                model,
+                suite,
+                m,
+                process_noise,
+                policy=policy,
+                check_observability=check_observability,
+                nominal_state=nominal_state,
+                nominal_control=nominal_control,
+            )
+            for m in modes
+        }
+        self._x0 = (
+            model.normalize_state(np.asarray(initial_state, dtype=float))
+            if initial_state is not None
+            else model.zero_state()
+        )
+        if np.isscalar(initial_covariance):
+            self._P0 = float(initial_covariance) * np.eye(model.state_dim)
+        else:
+            self._P0 = np.asarray(initial_covariance, dtype=float)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def modes(self) -> list[Mode]:
+        return list(self._modes)
+
+    @property
+    def state_estimate(self) -> np.ndarray:
+        return self._x.copy()
+
+    @property
+    def state_covariance(self) -> np.ndarray:
+        return self._P.copy()
+
+    @property
+    def probabilities(self) -> dict[str, float]:
+        return dict(self._mu)
+
+    def reset(self, initial_state: np.ndarray | None = None) -> None:
+        """Restore the shared estimate and uniform mode probabilities."""
+        if initial_state is not None:
+            self._x = self._model.normalize_state(np.asarray(initial_state, dtype=float))
+        else:
+            self._x = self._x0.copy()
+        self._P = self._P0.copy()
+        uniform = 1.0 / len(self._modes)
+        self._mu = {m.name: uniform for m in self._modes}
+        self._log_history: dict[str, deque[float]] = {
+            m.name: deque(maxlen=self._window) for m in self._modes
+        }
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+    # One iteration
+    # ------------------------------------------------------------------
+    def step(self, control: np.ndarray, stacked_reading: np.ndarray) -> EngineOutput:
+        """Run every mode, update probabilities, select and commit."""
+        self._iteration += 1
+        results: dict[str, NuiseResult] = {}
+        likelihoods: dict[str, float] = {}
+        for mode in self._modes:
+            result = self._filters[mode.name].step(control, self._x, self._P, stacked_reading)
+            results[mode.name] = result
+            likelihoods[mode.name] = result.likelihood
+
+        # Recursive probability update with floor, then normalization
+        # (Algorithm 1 line 6; reported, not used for selection — see class
+        # docstring).
+        raw = {name: max(likelihoods[name] * self._mu[name], self._epsilon) for name in self._mu}
+        total = sum(raw.values())
+        self._mu = {name: value / total for name, value in raw.items()}
+
+        # Finite-window consistency scores drive selection.
+        for name, value in likelihoods.items():
+            log_n = np.log(value) if value > 0.0 else _LOG_FLOOR
+            self._log_history[name].append(max(float(log_n), _LOG_FLOOR))
+        scores = {name: sum(hist) for name, hist in self._log_history.items()}
+        selected_name = max(scores, key=lambda name: scores[name])
+        selected = results[selected_name]
+        self._x = selected.state.copy()
+        self._P = selected.state_covariance.copy()
+
+        return EngineOutput(
+            iteration=self._iteration,
+            results=results,
+            probabilities=dict(self._mu),
+            likelihoods=likelihoods,
+            selected_mode=selected_name,
+            selected=selected,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics extraction
+    # ------------------------------------------------------------------
+    def statistics(self, output: EngineOutput) -> IterationStatistics:
+        """Raw per-iteration test statistics from the selected mode."""
+        selected = output.selected
+        mode_filter = self._filters[output.selected_mode]
+
+        sensor_stat, sensor_dof = anomaly_statistic(
+            selected.sensor_anomaly, selected.sensor_covariance
+        )
+        actuator_stat, actuator_dof = anomaly_statistic(
+            selected.actuator_anomaly, selected.actuator_covariance
+        )
+
+        per_sensor: dict[str, SensorStatistic] = {}
+        for name, sl in mode_filter.testing_slices().items():
+            estimate = selected.sensor_anomaly[sl]
+            covariance = selected.sensor_covariance[sl, sl]
+            stat, dof = anomaly_statistic(estimate, covariance)
+            per_sensor[name] = SensorStatistic(
+                name=name,
+                estimate=estimate.copy(),
+                covariance=covariance.copy(),
+                statistic=stat,
+                dof=dof,
+            )
+
+        return IterationStatistics(
+            iteration=output.iteration,
+            selected_mode=output.selected_mode,
+            mode_probabilities=dict(output.probabilities),
+            state_estimate=selected.state.copy(),
+            sensor_statistic=sensor_stat,
+            sensor_dof=sensor_dof,
+            actuator_statistic=actuator_stat,
+            actuator_dof=actuator_dof,
+            sensor_stats=per_sensor,
+            actuator_estimate=selected.actuator_anomaly.copy(),
+            actuator_covariance=selected.actuator_covariance.copy(),
+            likelihoods=dict(output.likelihoods),
+        )

@@ -1,0 +1,92 @@
+"""Sensor-condition modes (paper Section IV-B and Table III).
+
+A *mode* is one hypothesis about the sensor condition: a partition of the
+suite into *reference* sensors (assumed clean, used for estimation) and
+*testing* sensors (potentially corrupted, cross-validated against the
+estimate). The engine runs one NUISE instance per mode.
+
+Mode-set strategies (Section VI, "Mode set selection"):
+
+* :func:`single_reference_modes` — the paper's choice: one mode per sensor
+  with that sensor as the sole reference, so the mode count grows linearly
+  with the sensor count. The per-testing-sensor Chi-square tests inside the
+  selected mode still identify every subset of corrupted testing sensors, so
+  all ``2^(p-1)`` conditions of Table III remain distinguishable.
+* :func:`complete_modes` — all ``2^p - 1`` nonempty reference subsets
+  (excluding only the all-corrupted condition), for designers who trade
+  computation for redundant fusion; used by the ablation experiment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..sensors.suite import SensorSuite
+
+__all__ = ["Mode", "single_reference_modes", "complete_modes"]
+
+
+@dataclass(frozen=True)
+class Mode:
+    """One sensor-condition hypothesis.
+
+    Attributes
+    ----------
+    name:
+        Display name (e.g. ``"ref:ips"``).
+    reference:
+        Names of sensors hypothesized clean (estimation inputs, ``z_2``).
+    testing:
+        Names of sensors hypothesized potentially corrupted (``z_1``).
+    """
+
+    name: str
+    reference: tuple[str, ...]
+    testing: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.reference:
+            raise ConfigurationError("a mode needs at least one reference sensor")
+        overlap = set(self.reference) & set(self.testing)
+        if overlap:
+            raise ConfigurationError(f"sensors cannot be both reference and testing: {sorted(overlap)}")
+
+    @classmethod
+    def for_suite(cls, suite: SensorSuite, reference: Sequence[str], name: str | None = None) -> "Mode":
+        """Build a mode over *suite* with the given reference set.
+
+        All remaining suite sensors become testing sensors; suite ordering is
+        preserved for deterministic stacking.
+        """
+        ref_set = set(reference)
+        unknown = ref_set - set(suite.names)
+        if unknown:
+            raise ConfigurationError(f"unknown reference sensors: {sorted(unknown)}")
+        ref = tuple(s for s in suite.names if s in ref_set)
+        test = tuple(s for s in suite.names if s not in ref_set)
+        return cls(name=name or "ref:" + "+".join(ref), reference=ref, testing=test)
+
+
+def single_reference_modes(suite: SensorSuite) -> list[Mode]:
+    """One mode per sensor, with that sensor as the sole reference."""
+    return [Mode.for_suite(suite, (name,)) for name in suite.names]
+
+
+def complete_modes(suite: SensorSuite, max_corrupted: int | None = None) -> list[Mode]:
+    """All modes with a nonempty reference set.
+
+    ``max_corrupted`` optionally caps the testing-set size (hypotheses with
+    more simultaneously-corrupted sensors than the cap are dropped).
+    """
+    names = list(suite.names)
+    modes: list[Mode] = []
+    for r in range(1, len(names) + 1):
+        for ref in itertools.combinations(names, r):
+            n_testing = len(names) - len(ref)
+            if max_corrupted is not None and n_testing > max_corrupted:
+                continue
+            modes.append(Mode.for_suite(suite, ref))
+    return modes

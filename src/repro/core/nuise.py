@@ -1,0 +1,301 @@
+"""NUISE: nonlinear unknown input and state estimation (paper Algorithm 2).
+
+One NUISE instance serves one mode. Per control iteration it consumes the
+planned command ``u_{k-1}``, the shared previous estimate
+``(x_hat_{k-1|k-1}, P^x_{k-1})`` and the stacked reading ``z_k`` split into
+testing (``z_1``) and reference (``z_2``) blocks, and produces:
+
+1. **Actuator anomaly estimate** ``d_hat^a_{k-1}`` — weighted least squares
+   on the pre-compensation innovation (Algorithm 2 lines 2–6). Requires
+   ``C_2 G`` full column rank; rank-deficient directions (e.g. steering at
+   standstill) fall back to the minimum-norm estimate through the
+   pseudo-inverse.
+2. **Compensated state prediction** ``x_hat_{k|k-1} = f(x, u + d_hat^a)``
+   with the inflated covariance of lines 7–10.
+3. **State estimate** ``x_hat_{k|k}`` via the minimum-variance gain that
+   accounts for the correlation between the compensated prediction error and
+   the measurement noise (lines 11–14).
+4. **Sensor anomaly estimate** ``d_hat^s_k = z_1 - h_1(x_hat_{k|k})`` with
+   covariance ``C_1 P^x_k C_1^T + R_1`` (lines 15–16).
+5. **Mode likelihood** ``N_k`` — Gaussian density of the post-compensation
+   innovation under its (possibly singular) covariance, using the
+   pseudo-inverse and pseudo-determinant (lines 17–20).
+
+Sign convention note
+--------------------
+The printed Algorithm 2 carries ``+C2 G M2 R2 + R2 M2^T G^T C2^T`` cross
+terms in lines 11–14 but ``-`` cross terms in line 18. Deriving the filter
+from scratch: the compensated prediction error is
+
+.. math::
+    e_{k|k-1} = \\bar A e_{k-1} + (I - G M_2 C_2)\\zeta - G M_2 \\xi_2,
+
+so its cross-covariance with the measurement noise is
+``S = E[e_{k|k-1} xi_2^T] = -G M_2 R_2``, and the innovation covariance is
+``C_2 P C_2^T + R_2 + C_2 S + S^T C_2^T`` — i.e. with *minus* signs, exactly
+line 18. We therefore use ``S = -G M_2 R_2`` consistently in the gain and
+covariance update; the ``+`` signs in the printed lines 11–14 are
+typographical. The self-consistency is what makes ``N_k``'s covariance the
+true innovation covariance (verified by the filter-consistency tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dynamics.base import RobotModel
+from ..dynamics.noise import validate_covariance
+from ..errors import ConfigurationError, ObservabilityError
+from ..linalg import (
+    gaussian_likelihood,
+    pinv_and_pdet,
+    project_psd,
+    pseudo_inverse,
+    symmetrize,
+    wrap_residual,
+)
+from ..sensors.suite import SensorSuite
+from .linearization import EveryStepLinearization, LinearizationPolicy
+from .modes import Mode
+
+__all__ = ["NuiseFilter", "NuiseResult"]
+
+#: Condition threshold above which ``(C2 G)`` is considered column-rank
+#: deficient at construction-time observability checking.
+_RANK_TOL = 1e-8
+
+
+@dataclass(frozen=True)
+class NuiseResult:
+    """Outputs of one NUISE iteration (Algorithm 2's output line)."""
+
+    state: np.ndarray
+    state_covariance: np.ndarray
+    actuator_anomaly: np.ndarray
+    actuator_covariance: np.ndarray
+    sensor_anomaly: np.ndarray
+    sensor_covariance: np.ndarray
+    likelihood: float
+    innovation: np.ndarray
+    innovation_covariance: np.ndarray
+
+
+class NuiseFilter:
+    """One mode's nonlinear unknown-input and state estimator.
+
+    Parameters
+    ----------
+    model:
+        Robot kinematic model (provides ``f``, ``A``, ``G``).
+    suite:
+        Full sensor suite; the mode picks reference/testing blocks from it.
+    mode:
+        The sensor-condition hypothesis this instance estimates under.
+    process_noise:
+        Process-noise covariance ``Q``.
+    policy:
+        Linearization policy; every-step (default) reproduces RoboADS, a
+        fixed-point policy reproduces the Section V-G baseline.
+    check_observability:
+        Verify at construction that the reference block can support
+        unknown-input estimation (``C2 G`` full column rank at a nominal
+        operating point); raise :class:`ObservabilityError` otherwise.
+    nominal_state, nominal_control:
+        Operating point for the construction-time observability check.
+    """
+
+    def __init__(
+        self,
+        model: RobotModel,
+        suite: SensorSuite,
+        mode: Mode,
+        process_noise,
+        policy: LinearizationPolicy | None = None,
+        check_observability: bool = True,
+        nominal_state: np.ndarray | None = None,
+        nominal_control: np.ndarray | None = None,
+    ) -> None:
+        if suite.state_dim != model.state_dim:
+            raise ConfigurationError("sensor suite state_dim must match the model")
+        unknown = (set(mode.reference) | set(mode.testing)) - set(suite.names)
+        if unknown:
+            raise ConfigurationError(f"mode references unknown sensors: {sorted(unknown)}")
+        self._model = model
+        self._suite = suite
+        self._mode = mode
+        self._Q = validate_covariance(process_noise, model.state_dim, "process noise")
+        self._policy = policy or EveryStepLinearization()
+
+        self._ref_names = tuple(mode.reference)
+        self._test_names = tuple(mode.testing)
+        self._ref_idx = suite.indices_of(self._ref_names)
+        self._test_idx = suite.indices_of(self._test_names)
+        self._R2 = suite.covariance(self._ref_names)
+        self._R1 = (
+            suite.covariance(self._test_names)
+            if self._test_names
+            else np.zeros((0, 0))
+        )
+        self._ref_angular = suite.angular_mask(self._ref_names)
+        self._test_angular = (
+            suite.angular_mask(self._test_names) if self._test_names else np.zeros(0, dtype=bool)
+        )
+
+        if check_observability:
+            x0 = (
+                np.asarray(nominal_state, dtype=float)
+                if nominal_state is not None
+                else model.zero_state()
+            )
+            u0 = (
+                np.asarray(nominal_control, dtype=float)
+                if nominal_control is not None
+                else self._nominal_control_guess()
+            )
+            self._check_observability(x0, u0)
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> Mode:
+        return self._mode
+
+    @property
+    def reference_names(self) -> tuple[str, ...]:
+        return self._ref_names
+
+    @property
+    def testing_names(self) -> tuple[str, ...]:
+        return self._test_names
+
+    def testing_slices(self) -> dict[str, slice]:
+        """Slice of each testing sensor inside the stacked ``d_hat^s``."""
+        slices: dict[str, slice] = {}
+        offset = 0
+        for name in self._test_names:
+            dim = self._suite.sensor(name).dim
+            slices[name] = slice(offset, offset + dim)
+            offset += dim
+        return slices
+
+    def _nominal_control_guess(self) -> np.ndarray:
+        # A zero control makes many models' G degenerate (a parked car
+        # cannot reveal steering anomalies); probe at a small forward motion
+        # instead.
+        return np.full(self._model.control_dim, 0.1)
+
+    def _check_observability(self, x0: np.ndarray, u0: np.ndarray) -> None:
+        A, G = self._policy.jacobians(self._model, x0, u0)
+        C2 = self._policy.measurement_jacobian(self._suite, self._ref_names, self._model.f(x0, u0))
+        F = C2 @ G
+        if F.shape[0] < F.shape[1] or np.linalg.matrix_rank(F, tol=_RANK_TOL) < F.shape[1]:
+            raise ObservabilityError(
+                f"mode {self._mode.name!r}: reference sensors {self._ref_names} cannot "
+                f"estimate the {F.shape[1]}-dimensional actuator anomaly (rank(C2 G) "
+                f"= {np.linalg.matrix_rank(F, tol=_RANK_TOL)}); group additional sensors "
+                "into the reference set (see Section VI of the paper)"
+            )
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def split_reading(self, stacked: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(z_1 testing, z_2 reference)`` blocks of a stacked reading."""
+        stacked = np.asarray(stacked, dtype=float)
+        z1 = stacked[self._test_idx] if len(self._test_idx) else np.zeros(0)
+        z2 = stacked[self._ref_idx]
+        return z1, z2
+
+    def step(
+        self,
+        control: np.ndarray,
+        prev_state: np.ndarray,
+        prev_covariance: np.ndarray,
+        stacked_reading: np.ndarray,
+    ) -> NuiseResult:
+        """One NUISE iteration (Algorithm 2)."""
+        model, suite, policy = self._model, self._suite, self._policy
+        u = model.validate_control(control)
+        x_prev = model.validate_state(prev_state)
+        P_prev = symmetrize(np.asarray(prev_covariance, dtype=float))
+        z1, z2 = self.split_reading(stacked_reading)
+
+        A, G = policy.jacobians(model, x_prev, u)
+        Q = self._Q
+        R2 = self._R2
+
+        # --- Step 1: actuator anomaly estimation (lines 2-6) -----------
+        x_check = policy.f(model, x_prev, u)
+        C2 = policy.measurement_jacobian(suite, self._ref_names, x_check)
+        P_tilde = A @ P_prev @ A.T + Q
+        R_star = symmetrize(C2 @ P_tilde @ C2.T + R2)
+        R_star_inv = pseudo_inverse(R_star)
+        F = C2 @ G
+        FtRi = F.T @ R_star_inv
+        # (F' R*^-1 F)^dagger handles rank-deficient C2 G (unexcitable input
+        # directions get the minimum-norm zero estimate instead of a crash).
+        M2 = pseudo_inverse(FtRi @ F) @ FtRi
+        innovation0 = wrap_residual(z2 - policy.h(suite, self._ref_names, x_check), self._ref_angular)
+        d_a = M2 @ innovation0
+        P_a = project_psd(M2 @ R_star @ M2.T)
+
+        # --- Step 2: compensated state prediction (lines 7-10) ---------
+        # The paper writes f(x, u + d_a); we inject the compensation through
+        # the linearized channel G instead. The two agree to first order —
+        # the order at which d_a itself was estimated — but the linear form
+        # is stable when a noisy anomaly estimate lands outside f's
+        # linearization region (e.g. a 1-rad steering "anomaly" pushed
+        # through tan(delta) overshoots its own linear estimate and drives a
+        # divergent compensate/correct limit cycle on Ackermann platforms).
+        x_pred = policy.f(model, x_prev, u) + G @ d_a
+        I_n = np.eye(model.state_dim)
+        K = I_n - G @ M2 @ C2
+        A_bar = K @ A
+        Q_bar = K @ Q @ K.T + G @ M2 @ R2 @ M2.T @ G.T
+        P_pred = project_psd(A_bar @ P_prev @ A_bar.T + Q_bar)
+
+        # Cross-covariance between the compensated prediction error and the
+        # reference measurement noise (see module docstring): S = -G M2 R2.
+        S = -G @ M2 @ R2
+
+        # --- Step 3: state estimation (lines 11-14) --------------------
+        C2p = policy.measurement_jacobian(suite, self._ref_names, x_pred)
+        innovation = wrap_residual(z2 - policy.h(suite, self._ref_names, x_pred), self._ref_angular)
+        R2_tilde = symmetrize(C2p @ P_pred @ C2p.T + R2 + C2p @ S + S.T @ C2p.T)
+        L = (P_pred @ C2p.T + S) @ pseudo_inverse(R2_tilde)
+        x_new = model.normalize_state(x_pred + L @ innovation)
+        I_LC = I_n - L @ C2p
+        P_new = (
+            I_LC @ P_pred @ I_LC.T
+            + L @ R2 @ L.T
+            - I_LC @ S @ L.T
+            - L @ S.T @ I_LC.T
+        )
+        P_new = project_psd(P_new)
+
+        # --- Step 4: sensor anomaly estimation (lines 15-16) -----------
+        if self._test_names:
+            C1 = policy.measurement_jacobian(suite, self._test_names, x_new)
+            d_s = wrap_residual(z1 - policy.h(suite, self._test_names, x_new), self._test_angular)
+            P_s = project_psd(C1 @ P_new @ C1.T + self._R1)
+        else:
+            d_s = np.zeros(0)
+            P_s = np.zeros((0, 0))
+
+        # --- Likelihood (lines 17-20) -----------------------------------
+        likelihood = gaussian_likelihood(innovation, R2_tilde)
+
+        return NuiseResult(
+            state=x_new,
+            state_covariance=P_new,
+            actuator_anomaly=d_a,
+            actuator_covariance=P_a,
+            sensor_anomaly=d_s,
+            sensor_covariance=P_s,
+            likelihood=likelihood,
+            innovation=innovation,
+            innovation_covariance=R2_tilde,
+        )

@@ -1,0 +1,70 @@
+"""Typed records flowing between the engine, decision maker and evaluators.
+
+:class:`IterationStatistics` is deliberately *decision-parameter free*: it
+carries the raw test statistics and anomaly estimates of one control
+iteration, so offline sweeps (Fig 7) can re-run only the decision maker over
+recorded statistics and remain exactly consistent with online detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["SensorStatistic", "IterationStatistics"]
+
+
+@dataclass(frozen=True)
+class SensorStatistic:
+    """Per-testing-sensor anomaly estimate and Chi-square inputs."""
+
+    name: str
+    estimate: np.ndarray
+    covariance: np.ndarray
+    statistic: float
+    dof: int
+
+
+@dataclass(frozen=True)
+class IterationStatistics:
+    """Raw outputs of one multi-mode estimation iteration.
+
+    Attributes
+    ----------
+    iteration:
+        1-based control-iteration index.
+    selected_mode:
+        Name of the maximum-likelihood mode.
+    mode_probabilities:
+        Normalized mode probabilities ``mu_k`` keyed by mode name.
+    state_estimate:
+        ``x_hat_{k|k}`` from the selected mode.
+    sensor_statistic, sensor_dof:
+        Aggregate testing-sensor Chi-square statistic and degrees of
+        freedom (Algorithm 1 line 10).
+    actuator_statistic, actuator_dof:
+        Aggregate actuator Chi-square statistic and degrees of freedom
+        (line 11).
+    sensor_stats:
+        Per-testing-sensor statistics, keyed by sensor name (lines 13–18).
+        Sensors serving as the selected mode's reference do not appear.
+    actuator_estimate, actuator_covariance:
+        ``d_hat^a_{k-1}`` and its error covariance from the selected mode.
+    likelihoods:
+        Raw per-mode likelihoods ``N^m_k`` keyed by mode name.
+    """
+
+    iteration: int
+    selected_mode: str
+    mode_probabilities: dict[str, float]
+    state_estimate: np.ndarray
+    sensor_statistic: float
+    sensor_dof: int
+    actuator_statistic: float
+    actuator_dof: int
+    sensor_stats: dict[str, SensorStatistic]
+    actuator_estimate: np.ndarray
+    actuator_covariance: np.ndarray
+    likelihoods: dict[str, float] = field(default_factory=dict)

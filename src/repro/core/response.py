@@ -1,0 +1,140 @@
+"""Response module: act on confirmed misbehaviors (paper future work).
+
+The paper's conclusion names "designing computationally efficient response
+algorithms" as future work. This module implements the natural first
+response for the paper's architecture: **navigation failover** — when
+RoboADS confirms that the sensor the planner navigates by is misbehaving,
+switch navigation to a clean pose-capable sensor (or to the detector's own
+state estimate), and switch back once the sensor is confirmed clean again.
+
+The responder is deliberately conservative and hysteretic: failover
+triggers only on a *confirmed* alarm (post sliding-window), and recovery to
+the preferred sensor requires a clean streak, so a flickering detection
+cannot thrash the navigation source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .detector import DetectionReport
+
+__all__ = ["NavigationFailover", "ResponseEvent"]
+
+
+@dataclass(frozen=True)
+class ResponseEvent:
+    """One navigation-source change."""
+
+    iteration: int
+    time: float
+    source: str
+    reason: str
+
+
+class NavigationFailover:
+    """Chooses the pose source the planner should navigate by.
+
+    Parameters
+    ----------
+    preference:
+        Pose-capable sensors in descending order of preference; the first
+        un-flagged one wins. The paper's Khepera would use
+        ``("ips", "wheel_encoder")``.
+    allow_estimate:
+        When *every* listed sensor is flagged, fall back to the detector's
+        own state estimate (``"<estimate>"``) instead of a flagged sensor.
+    recovery_streak:
+        Number of consecutive iterations a preferred sensor must be
+        un-flagged before navigation switches back to it.
+    """
+
+    ESTIMATE = "<estimate>"
+
+    def __init__(
+        self,
+        preference: Sequence[str],
+        allow_estimate: bool = True,
+        recovery_streak: int = 20,
+    ) -> None:
+        if not preference:
+            raise ConfigurationError("failover needs at least one preferred sensor")
+        if recovery_streak < 1:
+            raise ConfigurationError("recovery_streak must be at least 1")
+        self._preference = tuple(preference)
+        self._allow_estimate = bool(allow_estimate)
+        self._recovery_streak = int(recovery_streak)
+        self._current = self._preference[0]
+        self._clean_streaks = {name: 0 for name in self._preference}
+        self._events: list[ResponseEvent] = []
+
+    @property
+    def current_source(self) -> str:
+        return self._current
+
+    @property
+    def events(self) -> list[ResponseEvent]:
+        return list(self._events)
+
+    def reset(self) -> None:
+        self._current = self._preference[0]
+        self._clean_streaks = {name: 0 for name in self._preference}
+        self._events = []
+
+    def update(self, report: DetectionReport) -> str:
+        """Consume one detection report; return the navigation source to use."""
+        flagged = report.flagged_sensors
+        for name in self._preference:
+            if name in flagged:
+                self._clean_streaks[name] = 0
+            else:
+                self._clean_streaks[name] += 1
+
+        desired = self._select(flagged)
+        if desired != self._current:
+            reason = (
+                f"{self._current} flagged"
+                if self._current in flagged or self._current == self.ESTIMATE
+                else f"recovered to preferred source"
+            )
+            self._current = desired
+            self._events.append(
+                ResponseEvent(
+                    iteration=report.iteration,
+                    time=report.time,
+                    source=desired,
+                    reason=reason,
+                )
+            )
+        return self._current
+
+    def _select(self, flagged: frozenset[str]) -> str:
+        for name in self._preference:
+            if name in flagged:
+                continue
+            if name == self._current:
+                return name
+            # Switching *to* a sensor (recovery or failover target) requires
+            # a clean streak so flickering alarms cannot thrash the source.
+            if self._clean_streaks[name] >= self._recovery_streak:
+                return name
+            if self._current in flagged or self._current == self.ESTIMATE:
+                # Emergency: current source is bad — take the best clean one
+                # immediately rather than waiting out the streak.
+                return name
+        if self._allow_estimate:
+            return self.ESTIMATE
+        return self._current
+
+    def navigation_pose(
+        self, readings: dict[str, np.ndarray], report: DetectionReport
+    ) -> np.ndarray:
+        """The pose the planner should navigate by this iteration."""
+        source = self.update(report)
+        if source == self.ESTIMATE:
+            return np.asarray(report.state_estimate[:3], dtype=float)
+        return np.asarray(readings[source][:3], dtype=float)

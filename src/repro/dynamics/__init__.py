@@ -1,0 +1,23 @@
+"""Robot kinematic models (paper Eq. (1), first line).
+
+Each model implements the discrete-time kinematic function
+``x_k = f(x_{k-1}, u_{k-1}) + zeta_{k-1}`` plus its Jacobians with respect to
+state (``A``) and control (``G``), which NUISE linearizes at every iteration.
+"""
+
+from .base import RobotModel
+from .bicycle import BicycleModel
+from .differential_drive import DifferentialDriveModel
+from .noise import GaussianNoise, validate_covariance
+from .omnidirectional import OmnidirectionalModel
+from .unicycle import UnicycleModel
+
+__all__ = [
+    "RobotModel",
+    "DifferentialDriveModel",
+    "BicycleModel",
+    "UnicycleModel",
+    "OmnidirectionalModel",
+    "GaussianNoise",
+    "validate_covariance",
+]

@@ -1,0 +1,138 @@
+"""Abstract robot kinematic model.
+
+A :class:`RobotModel` is the ``f`` of the paper's dynamic model (Eq. (1)):
+
+.. math:: x_k = f(x_{k-1}, u_{k-1}) + \\zeta_{k-1}
+
+NUISE additionally needs the Jacobians ``A = df/dx`` and ``G = df/du``
+evaluated at the current estimate (the paper linearizes at every control
+iteration — this is the capability the Section V-G baseline lacks). Models
+may rely on the numerical-differentiation defaults, but the built-in models
+provide analytic Jacobians which the test-suite cross-checks numerically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..linalg import as_vector, numerical_jacobian, wrap_angle
+
+__all__ = ["RobotModel"]
+
+
+class RobotModel(ABC):
+    """Discrete-time nonlinear kinematic model of a mobile robot."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        control_dim: int,
+        dt: float,
+        state_labels: Sequence[str],
+        control_labels: Sequence[str],
+        angular_states: Sequence[int] = (),
+    ) -> None:
+        if dt <= 0.0:
+            raise ConfigurationError("time step dt must be positive")
+        if len(state_labels) != state_dim:
+            raise ConfigurationError("state_labels length must equal state_dim")
+        if len(control_labels) != control_dim:
+            raise ConfigurationError("control_labels length must equal control_dim")
+        self._state_dim = state_dim
+        self._control_dim = control_dim
+        self._dt = float(dt)
+        self._state_labels = tuple(state_labels)
+        self._control_labels = tuple(control_labels)
+        self._angular_states = tuple(int(i) for i in angular_states)
+        for i in self._angular_states:
+            if not 0 <= i < state_dim:
+                raise ConfigurationError(f"angular state index {i} out of range")
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def state_dim(self) -> int:
+        return self._state_dim
+
+    @property
+    def control_dim(self) -> int:
+        return self._control_dim
+
+    @property
+    def dt(self) -> float:
+        """Control-iteration period in seconds."""
+        return self._dt
+
+    @property
+    def state_labels(self) -> tuple[str, ...]:
+        return self._state_labels
+
+    @property
+    def control_labels(self) -> tuple[str, ...]:
+        return self._control_labels
+
+    @property
+    def angular_states(self) -> tuple[int, ...]:
+        """Indices of state components that are angles (wrapped to (-pi, pi])."""
+        return self._angular_states
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def f(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        """Kinematic function: next state given current state and control."""
+
+    def jacobian_state(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        """``A = df/dx`` evaluated at ``(state, control)``.
+
+        Default: central-difference numerical Jacobian. Override with the
+        analytic expression where available.
+        """
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        return numerical_jacobian(lambda x: self.f(x, control), state)
+
+    def jacobian_control(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        """``G = df/du`` evaluated at ``(state, control)``.
+
+        This is also the gain through which an actuator anomaly ``d^a`` enters
+        the state (paper Eq. (2): ``f(x, u + d^a)``), so NUISE uses it as the
+        unknown-input matrix.
+        """
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        return numerical_jacobian(lambda u: self.f(state, u), control)
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def validate_state(self, state: np.ndarray) -> np.ndarray:
+        return as_vector(state, self._state_dim, "state")
+
+    def validate_control(self, control: np.ndarray) -> np.ndarray:
+        return as_vector(control, self._control_dim, "control")
+
+    def normalize_state(self, state: np.ndarray) -> np.ndarray:
+        """Wrap angular state components to ``(-pi, pi]``."""
+        state = self.validate_state(state).copy()
+        for i in self._angular_states:
+            state[i] = wrap_angle(state[i])
+        return state
+
+    def zero_state(self) -> np.ndarray:
+        return np.zeros(self._state_dim)
+
+    def zero_control(self) -> np.ndarray:
+        return np.zeros(self._control_dim)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(state={list(self._state_labels)}, "
+            f"control={list(self._control_labels)}, dt={self._dt})"
+        )

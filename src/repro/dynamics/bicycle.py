@@ -1,0 +1,115 @@
+"""Kinematic bicycle model (the Tamiya TT-02 RC car of Section V-D).
+
+State ``x = (x, y, theta)`` — rear-axle position and heading.
+Control ``u = (v, delta)`` — commanded forward speed (m/s) and front-wheel
+steering angle (rad).
+
+Discrete-time update (forward-Euler on the rear-axle kinematic bicycle):
+
+.. math::
+    x_{k+1} = x_k + v \\cos\\theta\\, dt \\\\
+    y_{k+1} = y_k + v \\sin\\theta\\, dt \\\\
+    \\theta_{k+1} = \\theta_k + (v / L) \\tan\\delta\\, dt
+
+where ``L`` is the wheelbase. Unknown-input estimation through a
+position/heading reference sensor needs ``C2 G`` full column rank, which
+holds whenever the car is moving (``v != 0``); the steering column vanishes
+at standstill — the same physical unobservability a real car has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..linalg import wrap_angle
+from .base import RobotModel
+
+__all__ = ["BicycleModel"]
+
+
+class BicycleModel(RobotModel):
+    """Kinematic bicycle (Ackermann-steered car).
+
+    Parameters
+    ----------
+    wheelbase:
+        Distance between front and rear axles in metres (Tamiya TT-02:
+        0.257 m).
+    max_steer:
+        Mechanical steering limit in radians; commands are clipped to
+        ``[-max_steer, max_steer]`` exactly like a steering servo would.
+    dt:
+        Control-iteration period in seconds.
+    """
+
+    def __init__(self, wheelbase: float = 0.257, max_steer: float = 0.55, dt: float = 0.05) -> None:
+        if wheelbase <= 0.0:
+            raise ConfigurationError("wheelbase must be positive")
+        if not 0.0 < max_steer < np.pi / 2.0:
+            raise ConfigurationError("max_steer must be in (0, pi/2)")
+        super().__init__(
+            state_dim=3,
+            control_dim=2,
+            dt=dt,
+            state_labels=("x", "y", "theta"),
+            control_labels=("v", "delta"),
+            angular_states=(2,),
+        )
+        self._wheelbase = float(wheelbase)
+        self._max_steer = float(max_steer)
+
+    @property
+    def wheelbase(self) -> float:
+        return self._wheelbase
+
+    @property
+    def max_steer(self) -> float:
+        return self._max_steer
+
+    def clip_control(self, control: np.ndarray) -> np.ndarray:
+        """Apply the steering-servo limit (speed is passed through)."""
+        control = self.validate_control(control).copy()
+        control[1] = float(np.clip(control[1], -self._max_steer, self._max_steer))
+        return control
+
+    def f(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        v, delta = control
+        # NOTE: f must stay smooth in the control for the Jacobian-based
+        # unknown-input estimate, so the servo clip is applied by the
+        # *actuator* in simulation, not here.
+        x, y, theta = state
+        dt = self.dt
+        nx = x + v * np.cos(theta) * dt
+        ny = y + v * np.sin(theta) * dt
+        ntheta = theta + (v / self._wheelbase) * np.tan(delta) * dt
+        return np.array([nx, ny, wrap_angle(ntheta)])
+
+    def jacobian_state(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        v, _ = control
+        theta = state[2]
+        dt = self.dt
+        jac = np.eye(3)
+        jac[0, 2] = -v * np.sin(theta) * dt
+        jac[1, 2] = v * np.cos(theta) * dt
+        return jac
+
+    def jacobian_control(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        v, delta = control
+        theta = state[2]
+        dt = self.dt
+        L = self._wheelbase
+        sec2 = 1.0 / np.cos(delta) ** 2
+        return np.array(
+            [
+                [np.cos(theta) * dt, 0.0],
+                [np.sin(theta) * dt, 0.0],
+                [np.tan(delta) * dt / L, v * sec2 * dt / L],
+            ]
+        )

@@ -1,0 +1,150 @@
+"""Differential-drive kinematics (the Khepera III robot of Section V-A).
+
+State ``x = (x, y, theta)`` — planar position and heading.
+Control ``u = (v_l, v_r)`` — left/right wheel *linear* speeds in m/s.
+
+The Khepera firmware commands wheel speeds in integer "speed units"; the
+paper's Section V-H calibration (900 units = 0.006 m/s) implies 1 unit =
+6.67e-6 m/s. The conversion lives in
+:data:`repro.robots.khepera.SPEED_UNIT_M_PER_S` so the scenario catalog can
+speak the paper's units while the model stays in SI.
+
+Discrete-time update (exact integration of the unicycle twist over one
+period, with the well-known straight-line limit when the wheel speeds are
+nearly equal):
+
+.. math::
+    v = (v_l + v_r) / 2, \\qquad \\omega = (v_r - v_l) / b
+
+where ``b`` is the wheel base (axle length).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..linalg import wrap_angle
+from .base import RobotModel
+
+__all__ = ["DifferentialDriveModel"]
+
+#: Below this |omega * dt| the straight-line Taylor limit replaces the exact
+#: arc update. The threshold is deliberately wide: the arc-branch Jacobian
+#: divides differences of O(1) trigonometric terms by omega**2, which loses
+#: ~1e-16/(omega*dt)**2 to cancellation, while the Taylor branch's truncation
+#: error is O((omega*dt)**2) — they cross near 1e-4.
+_OMEGA_EPS = 1e-4
+
+
+class DifferentialDriveModel(RobotModel):
+    """Two-wheel differential-drive robot.
+
+    Parameters
+    ----------
+    wheel_base:
+        Distance between the two wheels in metres (Khepera III: 0.0888 m).
+    dt:
+        Control-iteration period in seconds.
+    """
+
+    def __init__(self, wheel_base: float = 0.0888, dt: float = 0.05) -> None:
+        if wheel_base <= 0.0:
+            raise ConfigurationError("wheel base must be positive")
+        super().__init__(
+            state_dim=3,
+            control_dim=2,
+            dt=dt,
+            state_labels=("x", "y", "theta"),
+            control_labels=("v_l", "v_r"),
+            angular_states=(2,),
+        )
+        self._wheel_base = float(wheel_base)
+
+    @property
+    def wheel_base(self) -> float:
+        return self._wheel_base
+
+    def body_twist(self, control: np.ndarray) -> tuple[float, float]:
+        """Forward speed ``v`` and yaw rate ``omega`` from wheel speeds."""
+        control = self.validate_control(control)
+        v = 0.5 * (control[0] + control[1])
+        omega = (control[1] - control[0]) / self._wheel_base
+        return float(v), float(omega)
+
+    def wheel_speeds(self, v: float, omega: float) -> np.ndarray:
+        """Inverse of :meth:`body_twist` (used by the tracking controller)."""
+        half = 0.5 * omega * self._wheel_base
+        return np.array([v - half, v + half])
+
+    def f(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        v, omega = self.body_twist(control)
+        x, y, theta = state
+        dt = self.dt
+        if abs(omega * dt) < _OMEGA_EPS:
+            # First-order Taylor limit of the arc update — keeping the O(omega)
+            # lateral term makes f differentiable across the branch switch
+            # (its control Jacobian depends on it).
+            nx = x + v * dt * np.cos(theta) - 0.5 * v * omega * dt**2 * np.sin(theta)
+            ny = y + v * dt * np.sin(theta) + 0.5 * v * omega * dt**2 * np.cos(theta)
+            ntheta = theta + omega * dt
+        else:
+            # Exact integration along the circular arc.
+            radius = v / omega
+            ntheta = theta + omega * dt
+            nx = x + radius * (np.sin(ntheta) - np.sin(theta))
+            ny = y - radius * (np.cos(ntheta) - np.cos(theta))
+        return np.array([nx, ny, wrap_angle(ntheta)])
+
+    def jacobian_state(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        v, omega = self.body_twist(control)
+        theta = state[2]
+        dt = self.dt
+        jac = np.eye(3)
+        if abs(omega * dt) < _OMEGA_EPS:
+            jac[0, 2] = -v * np.sin(theta) * dt
+            jac[1, 2] = v * np.cos(theta) * dt
+        else:
+            radius = v / omega
+            ntheta = theta + omega * dt
+            jac[0, 2] = radius * (np.cos(ntheta) - np.cos(theta))
+            jac[1, 2] = radius * (np.sin(ntheta) - np.sin(theta))
+        return jac
+
+    def jacobian_control(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        # The chain rule through (v, omega) is exact; the (v, omega) -> pose
+        # part is differentiated analytically below.
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        v, omega = self.body_twist(control)
+        theta = state[2]
+        dt = self.dt
+        b = self._wheel_base
+        # d(v, omega)/d(v_l, v_r)
+        dtwist = np.array([[0.5, 0.5], [-1.0 / b, 1.0 / b]])
+        if abs(omega * dt) < _OMEGA_EPS:
+            # Straight-line limit: expand the arc update to first order in
+            # omega so the Jacobian stays continuous across omega = 0:
+            #   x += v dt cos(theta) - v dt^2/2 sin(theta) * omega + O(w^2)
+            #   y += v dt sin(theta) + v dt^2/2 cos(theta) * omega + O(w^2)
+            dpose = np.array(
+                [
+                    [np.cos(theta) * dt, -0.5 * v * np.sin(theta) * dt**2],
+                    [np.sin(theta) * dt, 0.5 * v * np.cos(theta) * dt**2],
+                    [0.0, dt],
+                ]
+            )
+        else:
+            ntheta = theta + omega * dt
+            sin_d = np.sin(ntheta) - np.sin(theta)
+            cos_d = np.cos(ntheta) - np.cos(theta)
+            dpose = np.array(
+                [
+                    [sin_d / omega, -v * sin_d / omega**2 + v * dt * np.cos(ntheta) / omega],
+                    [-cos_d / omega, v * cos_d / omega**2 + v * dt * np.sin(ntheta) / omega],
+                    [0.0, dt],
+                ]
+            )
+        return dpose @ dtwist

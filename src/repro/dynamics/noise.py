@@ -1,0 +1,76 @@
+"""Gaussian noise models for process and measurement noise.
+
+The paper assumes zero-mean Gaussian noise with known covariances ``Q``
+(process) and ``R`` (measurement); this module provides the sampler the
+simulator uses and the validation shared by every covariance-bearing
+component.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, DimensionError
+from ..linalg import as_matrix, is_psd, symmetrize
+
+__all__ = ["validate_covariance", "GaussianNoise"]
+
+
+def validate_covariance(cov: Iterable[Iterable[float]] | Iterable[float], dim: int, name: str = "covariance") -> np.ndarray:
+    """Validate and normalize a covariance specification.
+
+    Accepts a full ``(dim, dim)`` matrix, a length-``dim`` vector of variances
+    (interpreted as a diagonal), or a scalar variance applied to every
+    component. The result is a symmetric PSD ``(dim, dim)`` array.
+    """
+    arr = np.asarray(cov, dtype=float)
+    if arr.ndim == 0:
+        matrix = float(arr) * np.eye(dim)
+    elif arr.ndim == 1:
+        if arr.shape[0] != dim:
+            raise DimensionError(f"{name} diagonal must have length {dim}, got {arr.shape[0]}")
+        matrix = np.diag(arr)
+    else:
+        matrix = as_matrix(arr, (dim, dim), name)
+    matrix = symmetrize(matrix)
+    if not is_psd(matrix):
+        raise ConfigurationError(f"{name} must be positive semidefinite")
+    return matrix
+
+
+class GaussianNoise:
+    """Zero-mean Gaussian noise source with a fixed covariance.
+
+    Sampling uses the Cholesky-like square root from an eigendecomposition so
+    semidefinite covariances (exactly-zero variance components) are allowed.
+    """
+
+    def __init__(self, covariance: Iterable, dim: int, name: str = "noise") -> None:
+        self._cov = validate_covariance(covariance, dim, name)
+        self._dim = dim
+        eigvals, eigvecs = np.linalg.eigh(self._cov)
+        eigvals = np.clip(eigvals, 0.0, None)
+        self._sqrt = eigvecs @ np.diag(np.sqrt(eigvals))
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def covariance(self) -> np.ndarray:
+        return self._cov.copy()
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray:
+        """Draw one sample of shape ``(dim,)`` or *size* samples ``(size, dim)``."""
+        if size is None:
+            return self._sqrt @ rng.standard_normal(self._dim)
+        draws = rng.standard_normal((size, self._dim))
+        return draws @ self._sqrt.T
+
+    @classmethod
+    def from_sigmas(cls, sigmas: Sequence[float], name: str = "noise") -> "GaussianNoise":
+        """Build from per-component standard deviations."""
+        sigmas = np.asarray(sigmas, dtype=float)
+        return cls(sigmas**2, sigmas.shape[0], name)

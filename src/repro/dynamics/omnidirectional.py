@@ -1,0 +1,76 @@
+"""Omnidirectional (mecanum/holonomic) drive kinematics.
+
+State ``x = (x, y, theta)``; control ``u = (v_x, v_y, omega)`` — body-frame
+longitudinal/lateral velocities and yaw rate, as produced by a mecanum or
+omni-wheel base (warehouse robots, the paper's introduction mentions them
+among representative mobile robots).
+
+This model exercises a case neither built-in prototype covers: a
+*three-dimensional* actuator anomaly. Unknown-input estimation then needs a
+reference block with ``rank(C2 G) = 3`` — a full pose sensor qualifies,
+a position-only or heading-only sensor does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import wrap_angle
+from .base import RobotModel
+
+__all__ = ["OmnidirectionalModel"]
+
+
+class OmnidirectionalModel(RobotModel):
+    """Forward-Euler holonomic base with body-frame velocity commands."""
+
+    def __init__(self, dt: float = 0.05) -> None:
+        super().__init__(
+            state_dim=3,
+            control_dim=3,
+            dt=dt,
+            state_labels=("x", "y", "theta"),
+            control_labels=("v_x", "v_y", "omega"),
+            angular_states=(2,),
+        )
+
+    def f(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        x, y, theta = state
+        vx, vy, omega = control
+        dt = self.dt
+        cos_t, sin_t = np.cos(theta), np.sin(theta)
+        return np.array(
+            [
+                x + (vx * cos_t - vy * sin_t) * dt,
+                y + (vx * sin_t + vy * cos_t) * dt,
+                wrap_angle(theta + omega * dt),
+            ]
+        )
+
+    def jacobian_state(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        theta = state[2]
+        vx, vy, _ = control
+        dt = self.dt
+        cos_t, sin_t = np.cos(theta), np.sin(theta)
+        jac = np.eye(3)
+        jac[0, 2] = (-vx * sin_t - vy * cos_t) * dt
+        jac[1, 2] = (vx * cos_t - vy * sin_t) * dt
+        return jac
+
+    def jacobian_control(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        self.validate_control(control)
+        theta = state[2]
+        dt = self.dt
+        cos_t, sin_t = np.cos(theta), np.sin(theta)
+        return np.array(
+            [
+                [cos_t * dt, -sin_t * dt, 0.0],
+                [sin_t * dt, cos_t * dt, 0.0],
+                [0.0, 0.0, dt],
+            ]
+        )

@@ -1,0 +1,68 @@
+"""Unicycle model: the simplest nonlinear mobile-robot kinematics.
+
+State ``x = (x, y, theta)``; control ``u = (v, omega)`` — forward speed and
+yaw rate commanded directly. Used in the quickstart example and as the small
+deterministic model for unit tests; it is also the body-frame abstraction
+both built-in robots reduce to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import wrap_angle
+from .base import RobotModel
+
+__all__ = ["UnicycleModel"]
+
+
+class UnicycleModel(RobotModel):
+    """Forward-Euler unicycle."""
+
+    def __init__(self, dt: float = 0.05) -> None:
+        super().__init__(
+            state_dim=3,
+            control_dim=2,
+            dt=dt,
+            state_labels=("x", "y", "theta"),
+            control_labels=("v", "omega"),
+            angular_states=(2,),
+        )
+
+    def f(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        v, omega = control
+        x, y, theta = state
+        dt = self.dt
+        return np.array(
+            [
+                x + v * np.cos(theta) * dt,
+                y + v * np.sin(theta) * dt,
+                wrap_angle(theta + omega * dt),
+            ]
+        )
+
+    def jacobian_state(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        control = self.validate_control(control)
+        v = control[0]
+        theta = state[2]
+        dt = self.dt
+        jac = np.eye(3)
+        jac[0, 2] = -v * np.sin(theta) * dt
+        jac[1, 2] = v * np.cos(theta) * dt
+        return jac
+
+    def jacobian_control(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        state = self.validate_state(state)
+        self.validate_control(control)
+        theta = state[2]
+        dt = self.dt
+        return np.array(
+            [
+                [np.cos(theta) * dt, 0.0],
+                [np.sin(theta) * dt, 0.0],
+                [0.0, dt],
+            ]
+        )

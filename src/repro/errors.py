@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish configuration problems from numerical ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ObservabilityError",
+    "DimensionError",
+    "SimulationError",
+    "PlanningError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was assembled with inconsistent or invalid settings."""
+
+
+class ObservabilityError(ConfigurationError):
+    """A mode's reference sensors cannot support unknown-input estimation.
+
+    Raised when the reference measurement Jacobian ``C2`` applied to the
+    control Jacobian ``G`` does not have full column rank, which makes the
+    weighted-least-squares actuator anomaly estimate (NUISE step 1) undefined.
+    The paper discusses this requirement in Section VI ("Sensor
+    capabilities"); grouping sensors via
+    :class:`repro.sensors.suite.SensorGroup` is the suggested remedy.
+    """
+
+
+class DimensionError(ReproError):
+    """An array argument did not have the expected shape."""
+
+
+class SimulationError(ReproError):
+    """The closed-loop simulation reached an invalid state."""
+
+
+class PlanningError(ReproError):
+    """A motion planner failed to produce a feasible path."""

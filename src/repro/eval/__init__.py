@@ -1,0 +1,30 @@
+"""Evaluation harness: metrics, Monte-Carlo running and parameter sweeps.
+
+Implements the paper's Section V metrics verbatim: a *true positive* is an
+alarm that **correctly identifies** the misbehaving condition; any other
+positive is a *false positive*; a *false negative* is silence while the
+robot misbehaves; detection *delay* is the time from trigger to correct
+identification.
+"""
+
+from .forensics import QuantificationReport, quantify_run
+from .metrics import ConfusionCounts, DelayEvent, confusion_from_run, detection_delays
+from .runner import RunResult, monte_carlo, run_scenario
+from .sweeps import f1_sweep, redecide, roc_sweep
+from .tables import format_table
+
+__all__ = [
+    "ConfusionCounts",
+    "DelayEvent",
+    "confusion_from_run",
+    "detection_delays",
+    "RunResult",
+    "run_scenario",
+    "monte_carlo",
+    "redecide",
+    "roc_sweep",
+    "f1_sweep",
+    "format_table",
+    "QuantificationReport",
+    "quantify_run",
+]

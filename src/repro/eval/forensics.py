@@ -1,0 +1,185 @@
+"""Forensics: quantification accuracy of the anomaly vector estimates.
+
+The paper motivates estimating (not just detecting) the anomaly vectors
+"for forensics purposes" and reports quantification accuracy for scenario
+#8: IPS x-shift estimated at +0.069 ± 0.002 m against the injected
++0.07 m, normalized average errors of 1.91% (sensor) and 0.41% / 1.79%
+(actuator wheels). This module computes the same statistics for any run:
+the simulator records both the delivered and the *clean* readings, so the
+ground-truth corruption ``d^s = delivered − clean`` (and ``d^a = executed −
+planned``) is available per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.trace import SimulationTrace
+
+__all__ = ["QuantificationReport", "quantify_run"]
+
+
+@dataclass(frozen=True)
+class ChannelQuantification:
+    """Quantification accuracy for one workflow (sensor or actuator).
+
+    Two error measures are reported: the *per-iteration* normalized error
+    (estimate noise relative to the true magnitude — dominated by the
+    estimator's single-step variance) and the *normalized bias* of the
+    time-averaged estimate (the forensics-relevant number: how accurately
+    the attack magnitude is reconstructed from the whole attacked window;
+    this is the analog of the paper's 1.91% / 0.41% / 1.79% figures).
+    """
+
+    name: str
+    n_iterations: int
+    mean_true_magnitude: float
+    mean_estimate_error: float
+    normalized_error: float
+    normalized_bias: float
+
+    def row(self) -> list[str]:
+        return [
+            self.name,
+            str(self.n_iterations),
+            f"{self.mean_true_magnitude:.4f}",
+            f"{self.mean_estimate_error:.4f}",
+            f"{self.normalized_error:.2%}",
+            f"{self.normalized_bias:.2%}",
+        ]
+
+
+@dataclass
+class QuantificationReport:
+    """Per-workflow quantification accuracy over a run's attacked windows."""
+
+    sensors: list[ChannelQuantification]
+    actuator: ChannelQuantification | None
+
+    def format(self) -> str:
+        from .tables import format_table
+
+        rows = [c.row() for c in self.sensors]
+        if self.actuator is not None:
+            rows.append(self.actuator.row())
+        return format_table(
+            ["workflow", "iterations", "mean |d| true", "mean |error|", "per-iter error", "bias of mean"],
+            rows,
+            title="Anomaly quantification accuracy (forensics)",
+        )
+
+    def worst_normalized_error(self) -> float:
+        errors = [c.normalized_error for c in self.sensors]
+        if self.actuator is not None:
+            errors.append(self.actuator.normalized_error)
+        return max(errors) if errors else 0.0
+
+    def worst_normalized_bias(self) -> float:
+        biases = [c.normalized_bias for c in self.sensors]
+        if self.actuator is not None:
+            biases.append(self.actuator.normalized_bias)
+        return max(biases) if biases else 0.0
+
+
+def _wrap_angles(residual: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    out = residual.copy()
+    if mask.any():
+        out[..., mask] = np.arctan2(np.sin(out[..., mask]), np.cos(out[..., mask]))
+    return out
+
+
+def quantify_run(trace: SimulationTrace, suite, settle_iterations: int = 5) -> QuantificationReport:
+    """Quantification accuracy of one run with detector reports.
+
+    For each sensing workflow under misbehavior the estimated
+    ``d_hat^s`` (from the selected mode's testing block) is compared
+    against the recorded ground-truth corruption; likewise for the
+    actuator channel. ``settle_iterations`` after each truth transition
+    are excluded (the paper's windows also blank transitions).
+    """
+    true_sensor = trace.actual_sensor_anomaly()
+    true_actuator = trace.actual_actuator_anomaly()
+
+    # Iterations considered "settled": the truth condition unchanged for at
+    # least settle_iterations.
+    settled = np.zeros(len(trace), dtype=bool)
+    streak = 0
+    previous = None
+    for k in range(len(trace)):
+        condition = (trace.truth_sensors[k], trace.truth_actuator[k])
+        streak = streak + 1 if condition == previous else 0
+        previous = condition
+        settled[k] = streak >= settle_iterations
+
+    sensors: list[ChannelQuantification] = []
+    for name in suite.names:
+        sl = suite.slice_of(name)
+        mask = suite.sensor(name).angular_mask
+        true_errors: list[float] = []
+        est_errors: list[float] = []
+        truths: list[np.ndarray] = []
+        estimates: list[np.ndarray] = []
+        for k in range(len(trace)):
+            if not settled[k] or name not in trace.truth_sensors[k]:
+                continue
+            report = trace.reports[k]
+            if report is None:
+                continue
+            estimate = report.sensor_anomaly(name)
+            if estimate is None:
+                continue
+            truth = _wrap_angles(true_sensor[k, sl], mask)
+            error = _wrap_angles(estimate - truth, mask)
+            true_errors.append(float(np.linalg.norm(truth)))
+            est_errors.append(float(np.linalg.norm(error)))
+            truths.append(truth)
+            estimates.append(np.asarray(estimate, dtype=float))
+        if true_errors:
+            mean_true = float(np.mean(true_errors))
+            mean_err = float(np.mean(est_errors))
+            mean_truth_vec = np.mean(truths, axis=0)
+            mean_est_vec = np.mean(estimates, axis=0)
+            bias = float(np.linalg.norm(_wrap_angles(mean_est_vec - mean_truth_vec, mask)))
+            denom = float(np.linalg.norm(mean_truth_vec))
+            sensors.append(
+                ChannelQuantification(
+                    name=name,
+                    n_iterations=len(true_errors),
+                    mean_true_magnitude=mean_true,
+                    mean_estimate_error=mean_err,
+                    normalized_error=mean_err / mean_true if mean_true > 0 else 0.0,
+                    normalized_bias=bias / denom if denom > 0 else 0.0,
+                )
+            )
+
+    actuator = None
+    true_errors, est_errors = [], []
+    truths, estimates = [], []
+    for k in range(len(trace)):
+        if not settled[k] or not trace.truth_actuator[k]:
+            continue
+        report = trace.reports[k]
+        if report is None:
+            continue
+        truth = true_actuator[k]
+        error = report.actuator_anomaly - truth
+        true_errors.append(float(np.linalg.norm(truth)))
+        est_errors.append(float(np.linalg.norm(error)))
+        truths.append(truth)
+        estimates.append(np.asarray(report.actuator_anomaly, dtype=float))
+    if true_errors:
+        mean_true = float(np.mean(true_errors))
+        mean_err = float(np.mean(est_errors))
+        bias = float(np.linalg.norm(np.mean(estimates, axis=0) - np.mean(truths, axis=0)))
+        denom = float(np.linalg.norm(np.mean(truths, axis=0)))
+        actuator = ChannelQuantification(
+            name="actuators",
+            n_iterations=len(true_errors),
+            mean_true_magnitude=mean_true,
+            mean_estimate_error=mean_err,
+            normalized_error=mean_err / mean_true if mean_true > 0 else 0.0,
+            normalized_bias=bias / denom if denom > 0 else 0.0,
+        )
+    return QuantificationReport(sensors=sensors, actuator=actuator)

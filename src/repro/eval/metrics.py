@@ -1,0 +1,195 @@
+"""Detection metrics: confusion counts, rates, F1 and detection delays.
+
+Paper definitions (Section V, "Metrics"):
+
+* **TP** — the system raises an alarm *and* correctly identifies the
+  sensor/actuator misbehaving condition;
+* **FP** — any other positive detection result;
+* **FN** — no alarm while the robot is misbehaving;
+* **TN** — no misbehavior and no alarm;
+* **delay** — time between a misbehavior trigger and the first correct
+  identification of the new condition.
+
+Counts are accumulated per control iteration over a run's trace, separately
+for the sensor and the actuator channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ConfusionCounts", "DelayEvent", "confusion_from_run", "detection_delays"]
+
+
+@dataclass
+class ConfusionCounts:
+    """Accumulated confusion counts with the paper's rate definitions."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    def add(self, other: "ConfusionCounts") -> None:
+        self.tp += other.tp
+        self.fp += other.fp
+        self.fn += other.fn
+        self.tn += other.tn
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        denom = self.fn + self.tp
+        return self.fn / denom if denom else 0.0
+
+    @property
+    def true_positive_rate(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.true_positive_rate
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0.0 else 0.0
+
+    def classify(self, detected_positive: bool, correct: bool, truth_positive: bool) -> None:
+        """Classify one iteration and accumulate.
+
+        ``detected_positive`` — the detector reported some misbehavior;
+        ``correct`` — the reported condition equals the ground truth;
+        ``truth_positive`` — the robot actually misbehaves.
+        """
+        if detected_positive:
+            if correct and truth_positive:
+                self.tp += 1
+            else:
+                self.fp += 1
+        else:
+            if truth_positive:
+                self.fn += 1
+            else:
+                self.tn += 1
+
+
+@dataclass(frozen=True)
+class DelayEvent:
+    """One ground-truth condition transition and its detection latency."""
+
+    channel: str
+    trigger_time: float
+    truth: object
+    detected_time: float | None
+
+    @property
+    def delay(self) -> float | None:
+        if self.detected_time is None:
+            return None
+        return self.detected_time - self.trigger_time
+
+
+def _iterate_conditions(
+    truth_sensor: Sequence[frozenset[str]],
+    truth_actuator: Sequence[bool],
+    detected_sensor: Sequence[frozenset[str]],
+    detected_actuator: Sequence[bool],
+) -> tuple[ConfusionCounts, ConfusionCounts]:
+    sensor = ConfusionCounts()
+    actuator = ConfusionCounts()
+    for ts, ta, ds, da in zip(truth_sensor, truth_actuator, detected_sensor, detected_actuator):
+        sensor.classify(
+            detected_positive=bool(ds),
+            correct=(ds == ts),
+            truth_positive=bool(ts),
+        )
+        actuator.classify(
+            detected_positive=bool(da),
+            correct=(da == ta),
+            truth_positive=bool(ta),
+        )
+    return sensor, actuator
+
+
+def confusion_from_run(trace) -> tuple[ConfusionCounts, ConfusionCounts]:
+    """Sensor and actuator confusion counts for a trace with reports.
+
+    ``trace`` is a :class:`~repro.sim.trace.SimulationTrace` whose reports
+    are :class:`~repro.core.detector.DetectionReport` objects.
+    """
+    detected_sensor = [
+        frozenset() if r is None else r.flagged_sensors for r in trace.reports
+    ]
+    detected_actuator = [False if r is None else r.actuator_alarm for r in trace.reports]
+    return _iterate_conditions(
+        trace.truth_sensors, trace.truth_actuator, detected_sensor, detected_actuator
+    )
+
+
+def detection_delays(trace, max_delay: float | None = None) -> list[DelayEvent]:
+    """Detection delay for every ground-truth condition transition.
+
+    For each change of the sensor condition (or actuator flag), the delay is
+    the time until the detector's reported condition first equals the new
+    truth. Transitions *to* the clean condition also count (the detector
+    must clear its alarm — scenario #10's LiDAR recovery). ``None`` marks a
+    transition never correctly identified before the trace (or *max_delay*
+    horizon) ends.
+    """
+    events: list[DelayEvent] = []
+    times = trace.times_array()
+    detected_sensor = [
+        frozenset() if r is None else r.flagged_sensors for r in trace.reports
+    ]
+    detected_actuator = [False if r is None else r.actuator_alarm for r in trace.reports]
+
+    def scan(channel: str, truth: Sequence, detected: Sequence) -> None:
+        previous = truth[0]
+        # The initial condition counts as a transition at t=0 only if it is
+        # not the clean condition (scenario #6 starts under attack).
+        transition_indices = [0] if bool(previous) else []
+        for idx in range(1, len(truth)):
+            if truth[idx] != previous:
+                transition_indices.append(idx)
+                previous = truth[idx]
+        for idx in transition_indices:
+            target = truth[idx]
+            detected_time = None
+            for j in range(idx, len(detected)):
+                if truth[j] != target:
+                    break  # the condition changed again before detection
+                if max_delay is not None and times[j] - times[idx] > max_delay:
+                    break
+                if detected[j] == target:
+                    detected_time = float(times[j])
+                    break
+            events.append(
+                DelayEvent(
+                    channel=channel,
+                    trigger_time=float(times[idx]),
+                    truth=target,
+                    detected_time=detected_time,
+                )
+            )
+
+    scan("sensor", trace.truth_sensors, detected_sensor)
+    scan("actuator", trace.truth_actuator, detected_actuator)
+    return events

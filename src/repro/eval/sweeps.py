@@ -1,0 +1,112 @@
+"""Offline decision-parameter sweeps (Fig 7's ROC and F1 studies).
+
+The decision maker consumes only raw per-iteration statistics, so any
+``(alpha, w, c)`` configuration can be replayed *offline* over recorded
+runs — bit-exact with what online detection would have produced — making
+dense parameter grids cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.decision import DecisionConfig, DecisionMaker, DecisionOutcome
+from ..core.report import IterationStatistics
+from .metrics import ConfusionCounts
+from .runner import RunResult
+
+__all__ = ["redecide", "SweepPoint", "roc_sweep", "f1_sweep"]
+
+
+def redecide(stats: Sequence[IterationStatistics], config: DecisionConfig) -> list[DecisionOutcome]:
+    """Replay the decision maker over recorded statistics with new parameters."""
+    maker = DecisionMaker(config)
+    return [maker.step(s) for s in stats]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter configuration's aggregate performance."""
+
+    config: DecisionConfig
+    sensor: ConfusionCounts
+    actuator: ConfusionCounts
+
+
+def _evaluate_config(results: Sequence[RunResult], config: DecisionConfig) -> SweepPoint:
+    sensor_total = ConfusionCounts()
+    actuator_total = ConfusionCounts()
+    for result in results:
+        stats = [r.statistics for r in result.trace.reports if r is not None]
+        outcomes = redecide(stats, config)
+        for outcome, truth_s, truth_a in zip(
+            outcomes, result.trace.truth_sensors, result.trace.truth_actuator
+        ):
+            sensor_total.classify(
+                detected_positive=bool(outcome.flagged_sensors),
+                correct=(outcome.flagged_sensors == truth_s),
+                truth_positive=bool(truth_s),
+            )
+            actuator_total.classify(
+                detected_positive=outcome.actuator_alarm,
+                correct=(outcome.actuator_alarm == truth_a),
+                truth_positive=truth_a,
+            )
+    return SweepPoint(config=config, sensor=sensor_total, actuator=actuator_total)
+
+
+def roc_sweep(
+    results: Sequence[RunResult],
+    alphas: Iterable[float],
+    window: int,
+    criteria: int,
+    base: DecisionConfig | None = None,
+) -> list[SweepPoint]:
+    """ROC points over confidence levels at a fixed c/w (Fig 7a/7b).
+
+    Each alpha is applied to *both* the sensor and the actuator tests; the
+    caller reads the sensor or actuator confusion as needed.
+    """
+    base = base or DecisionConfig()
+    points = []
+    for alpha in alphas:
+        config = DecisionConfig(
+            sensor_alpha=alpha,
+            sensor_window=window,
+            sensor_criteria=criteria,
+            actuator_alpha=alpha,
+            actuator_window=window,
+            actuator_criteria=criteria,
+        )
+        points.append(_evaluate_config(results, config))
+    return points
+
+
+def f1_sweep(
+    results: Sequence[RunResult],
+    windows: Iterable[int],
+    sensor_alpha: float = 0.005,
+    actuator_alpha: float = 0.05,
+) -> list[SweepPoint]:
+    """F1 over (w, c) grids at the paper's chosen alphas (Fig 7c/7d).
+
+    For each window size ``w`` every criteria value ``c in [1, w]`` is
+    evaluated; both channels share the (w, c) configuration, with their own
+    alphas.
+    """
+    points = []
+    for window in windows:
+        for criteria in range(1, window + 1):
+            config = DecisionConfig(
+                sensor_alpha=sensor_alpha,
+                sensor_window=window,
+                sensor_criteria=criteria,
+                actuator_alpha=actuator_alpha,
+                actuator_window=window,
+                actuator_criteria=criteria,
+            )
+            points.append(_evaluate_config(results, config))
+    return points

@@ -1,0 +1,53 @@
+"""Paper experiments: one module per table/figure (see DESIGN.md index).
+
+Every experiment exposes a ``run_*`` function returning a structured result
+object with a ``format()`` method that prints the same rows/series the paper
+reports. The benchmark harness under ``benchmarks/`` calls these functions.
+"""
+
+from .common import (
+    KHEPERA_SENSOR_ORDER,
+    condition_label,
+    condition_sequence,
+    sensor_mode_table,
+)
+from .table2 import Table2Result, run_table2
+from .table4 import Table4Result, run_table4
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import Fig7Result, run_fig7
+from .tamiya_eval import TamiyaResult, run_tamiya_eval
+from .linear_benchmark import LinearBenchmarkResult, run_linear_benchmark
+from .evasive import EvasiveResult, run_evasive
+from .ablation import AblationResult, run_ablation
+from .response import ResponseResult, run_response
+from .sensor_quality import SensorQualityResult, run_sensor_quality
+from .switching import SwitchingResult, run_switching
+
+__all__ = [
+    "KHEPERA_SENSOR_ORDER",
+    "condition_label",
+    "condition_sequence",
+    "sensor_mode_table",
+    "run_table2",
+    "Table2Result",
+    "run_table4",
+    "Table4Result",
+    "run_fig6",
+    "Fig6Result",
+    "run_fig7",
+    "Fig7Result",
+    "run_tamiya_eval",
+    "TamiyaResult",
+    "run_linear_benchmark",
+    "LinearBenchmarkResult",
+    "run_evasive",
+    "EvasiveResult",
+    "run_ablation",
+    "AblationResult",
+    "run_response",
+    "ResponseResult",
+    "run_switching",
+    "SwitchingResult",
+    "run_sensor_quality",
+    "SensorQualityResult",
+]

@@ -1,0 +1,75 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table/figure (or extension study) from a terminal::
+
+    python -m repro.experiments table2
+    python -m repro.experiments fig7 --trials 2
+    python -m repro.experiments all
+
+The same experiments run (with assertions) under
+``pytest benchmarks/ --benchmark-only``; this entry point is for quick
+interactive regeneration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import (
+    run_ablation,
+    run_evasive,
+    run_fig6,
+    run_fig7,
+    run_linear_benchmark,
+    run_table2,
+    run_table4,
+    run_tamiya_eval,
+)
+from .response import run_response
+from .sensor_quality import run_sensor_quality
+from .switching import run_switching
+
+EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "table2": lambda args: run_table2(n_trials=args.trials),
+    "table4": lambda args: run_table4(),
+    "fig6": lambda args: run_fig6(seed=args.seed),
+    "fig7": lambda args: run_fig7(n_trials=args.trials),
+    "tamiya": lambda args: run_tamiya_eval(n_trials=args.trials),
+    "linear": lambda args: run_linear_benchmark(seed=args.seed),
+    "evasive": lambda args: run_evasive(seed=args.seed),
+    "ablation": lambda args: run_ablation(seed=args.seed),
+    "response": lambda args: run_response(seed=args.seed),
+    "switching": lambda args: run_switching(seed=args.seed),
+    "sensor-quality": lambda args: run_sensor_quality(seed=args.seed),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the RoboADS paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument("--trials", type=int, default=2, help="Monte-Carlo trials where applicable")
+    parser.add_argument("--seed", type=int, default=42, help="base random seed")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](args)
+        elapsed = time.perf_counter() - start
+        print(f"\n=== {name} ({elapsed:.1f}s) ===")
+        print(result.format())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Shared experiment helpers: Table III condition labels and sequences."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..sim.trace import SimulationTrace
+
+__all__ = [
+    "KHEPERA_SENSOR_ORDER",
+    "TAMIYA_SENSOR_ORDER",
+    "sensor_mode_table",
+    "condition_label",
+    "condition_sequence",
+    "truth_sequence",
+    "detected_sequence",
+]
+
+#: Suite ordering used for the S-mode numbering (paper Table III: S1=IPS,
+#: S2=wheel encoder, S3=LiDAR, S4=WE+LiDAR, S5=IPS+LiDAR, S6=IPS+WE).
+KHEPERA_SENSOR_ORDER = ("ips", "wheel_encoder", "lidar")
+TAMIYA_SENSOR_ORDER = ("ips", "imu", "lidar")
+
+
+def sensor_mode_table(sensor_order: Sequence[str] = KHEPERA_SENSOR_ORDER) -> dict[frozenset, str]:
+    """Mapping from corrupted-sensor sets to Table III mode labels.
+
+    The paper enumerates singles first (S1..Sp), then pairs in Table III's
+    order (complements of the singles, reversed), then larger subsets.
+    """
+    order = list(sensor_order)
+    table: dict[frozenset, str] = {frozenset(): "S0"}
+    index = 1
+    for name in order:
+        table[frozenset({name})] = f"S{index}"
+        index += 1
+    # Pairs: Table III lists S4 = WE+LiDAR, S5 = IPS+LiDAR, S6 = IPS+WE,
+    # i.e. each pair is the complement of a single, in S1..S3 order.
+    for name in order:
+        pair = frozenset(order) - {name}
+        if len(pair) == 2:
+            table[pair] = f"S{index}"
+            index += 1
+    # Any remaining subsets (3 sensors and beyond, for complete mode sets).
+    for r in range(3, len(order) + 1):
+        for combo in itertools.combinations(order, r):
+            table[frozenset(combo)] = f"S{index}"
+            index += 1
+    return table
+
+
+def condition_label(
+    corrupted: Iterable[str], sensor_order: Sequence[str] = KHEPERA_SENSOR_ORDER
+) -> str:
+    """Table III label (``"S0"``..) for a corrupted-sensor set."""
+    table = sensor_mode_table(sensor_order)
+    key = frozenset(corrupted)
+    if key not in table:
+        return "S?" + "+".join(sorted(key))
+    return table[key]
+
+
+def _compress(labels: Sequence[str], min_run: int = 1) -> list[str]:
+    """Collapse consecutive duplicates, dropping runs shorter than min_run."""
+    out: list[str] = []
+    run_label, run_len = None, 0
+    for label in labels:
+        if label == run_label:
+            run_len += 1
+            continue
+        if run_label is not None and run_len >= min_run:
+            if not out or out[-1] != run_label:
+                out.append(run_label)
+        run_label, run_len = label, 1
+    if run_label is not None and run_len >= min_run:
+        if not out or out[-1] != run_label:
+            out.append(run_label)
+    return out
+
+
+def truth_sequence(trace: SimulationTrace, sensor_order: Sequence[str]) -> str:
+    """Ground-truth sensor-condition transitions, e.g. ``"S0→2→4"``."""
+    labels = [condition_label(s, sensor_order) for s in trace.truth_sensors]
+    seq = _compress(labels)
+    return _arrow(seq)
+
+
+def detected_sequence(
+    trace: SimulationTrace, sensor_order: Sequence[str], min_run: int = 4
+) -> str:
+    """Detected sensor-condition transitions (short flickers suppressed)."""
+    labels = [
+        condition_label(frozenset() if r is None else r.flagged_sensors, sensor_order)
+        for r in trace.reports
+    ]
+    return _arrow(_compress(labels, min_run=min_run))
+
+
+def condition_sequence(labels: Sequence[str], min_run: int = 1) -> str:
+    """Compress an arbitrary label sequence into an arrow string."""
+    return _arrow(_compress(labels, min_run=min_run))
+
+
+def _arrow(seq: Sequence[str]) -> str:
+    if not seq:
+        return "S0"
+    # "S0→1→3" style: strip the repeated "S" prefix after the first element.
+    head = seq[0]
+    tail = [s[1:] if s.startswith("S") else s for s in seq[1:]]
+    return "→".join([head] + tail)

@@ -1,0 +1,170 @@
+"""Section V-H: evasive-attack magnitude bounds.
+
+An attacker who wants to stay below the detection threshold must shrink the
+attack vector. The paper finds that, under the chosen configuration, a
+stealthy IPS shift must stay under 0.02 m and a wheel-controller speed
+alteration under 900 speed units (0.006 m/s) — magnitudes too small to
+matter operationally. This experiment sweeps both attack magnitudes and
+reports the largest value that evades detection, plus the smallest that is
+reliably caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..actuators.differential import SPEED_UNIT_M_PER_S
+from ..attacks.base import AttackChannel
+from ..attacks.catalog import Scenario
+from ..attacks.actuator_attacks import actuator_offset
+from ..attacks.sensor_attacks import sensor_bias
+from ..eval.runner import run_scenario
+from ..eval.tables import format_table
+from ..robots.khepera import khepera_rig
+
+__all__ = ["EvasiveResult", "run_evasive"]
+
+
+@dataclass
+class EvasiveResult:
+    ips_magnitudes: list[float]
+    ips_detected: list[bool]
+    wheel_magnitudes_units: list[float]
+    wheel_detected: list[bool]
+
+    @property
+    def ips_stealth_bound(self) -> float:
+        """Largest swept IPS shift that evaded detection (metres)."""
+        undetected = [m for m, d in zip(self.ips_magnitudes, self.ips_detected) if not d]
+        return max(undetected) if undetected else 0.0
+
+    @property
+    def wheel_stealth_bound_units(self) -> float:
+        """Largest swept wheel alteration that evaded detection (speed units)."""
+        undetected = [
+            m for m, d in zip(self.wheel_magnitudes_units, self.wheel_detected) if not d
+        ]
+        return max(undetected) if undetected else 0.0
+
+    def format(self) -> str:
+        rows = [
+            [f"{m * 1000:.1f} mm", "detected" if d else "stealthy"]
+            for m, d in zip(self.ips_magnitudes, self.ips_detected)
+        ]
+        t1 = format_table(
+            ["IPS shift", "outcome"],
+            rows,
+            title="Section V-H: stealthy IPS spoofing sweep",
+        )
+        rows = [
+            [f"{int(m)} units ({m * SPEED_UNIT_M_PER_S * 1000:.2f} mm/s)", "detected" if d else "stealthy"]
+            for m, d in zip(self.wheel_magnitudes_units, self.wheel_detected)
+        ]
+        t2 = format_table(
+            ["Wheel speed alteration", "outcome"],
+            rows,
+            title="Section V-H: stealthy wheel-controller sweep",
+        )
+        return (
+            t1
+            + "\n\n"
+            + t2
+            + f"\n\nStealth bounds: IPS {self.ips_stealth_bound * 1000:.1f} mm "
+            f"(paper: < 20 mm), wheels {self.wheel_stealth_bound_units:.0f} units "
+            "(paper: < 900 units) — both far below the Table II attack magnitudes "
+            "(70-100 mm, 6000 units)."
+        )
+
+
+def _ips_scenario(shift: float) -> Scenario:
+    return Scenario(
+        0,
+        f"evasive-ips-{shift:.3f}",
+        "stealthy IPS spoofing",
+        f"shift {shift:+.3f} m on X",
+        lambda: [
+            sensor_bias(
+                "ips", offset=(shift,), start=4.0, components=(0,), channel=AttackChannel.PHYSICAL
+            )
+        ],
+    )
+
+
+def _wheel_scenario(units: float) -> Scenario:
+    magnitude = units * SPEED_UNIT_M_PER_S
+    return Scenario(
+        0,
+        f"evasive-wheel-{units:.0f}u",
+        "stealthy wheel-controller alteration",
+        f"-/+{units:.0f} units on vL/vR",
+        lambda: [actuator_offset("wheels", offset=(-magnitude, magnitude), start=4.0)],
+    )
+
+
+#: Fraction of attacked iterations that must raise the (correct) alarm for
+#: the attack to count as detected. Real Table II attacks sustain ~100%
+#: alarm duty; the decision maker's background false-alarm duty is a few
+#: percent (the paper's own FPRs reach 3%), so "any alarm ever" would call
+#: every magnitude detected. A 25% duty cleanly separates the two regimes.
+DETECTION_DUTY = 0.25
+
+
+def _attack_window(result) -> list[int]:
+    return [
+        k
+        for k, (ts, ta) in enumerate(
+            zip(result.trace.truth_sensors, result.trace.truth_actuator)
+        )
+        if ts or ta
+    ]
+
+
+def _sensor_detected(result) -> bool:
+    window = _attack_window(result)
+    if not window:
+        return False
+    hits = sum(
+        1
+        for k in window
+        if result.trace.reports[k] is not None
+        and "ips" in result.trace.reports[k].flagged_sensors
+    )
+    return hits >= DETECTION_DUTY * len(window)
+
+
+def _actuator_detected(result) -> bool:
+    window = _attack_window(result)
+    if not window:
+        return False
+    hits = sum(
+        1
+        for k in window
+        if result.trace.reports[k] is not None and result.trace.reports[k].actuator_alarm
+    )
+    return hits >= DETECTION_DUTY * len(window)
+
+
+def run_evasive(
+    seed: int = 600,
+    ips_magnitudes=(0.002, 0.005, 0.010, 0.020, 0.035, 0.070),
+    wheel_units=(150.0, 300.0, 600.0, 1200.0, 2400.0, 6000.0),
+) -> EvasiveResult:
+    """Sweep stealthy attack magnitudes on the Khepera."""
+    rig = khepera_rig()
+    rig.plan_path(0)
+    ips_detected = []
+    for shift in ips_magnitudes:
+        result = run_scenario(rig, _ips_scenario(shift), seed=seed)
+        ips_detected.append(_sensor_detected(result))
+    wheel_detected = []
+    for units in wheel_units:
+        result = run_scenario(rig, _wheel_scenario(units), seed=seed)
+        wheel_detected.append(_actuator_detected(result))
+    return EvasiveResult(
+        ips_magnitudes=list(ips_magnitudes),
+        ips_detected=ips_detected,
+        wheel_magnitudes_units=list(wheel_units),
+        wheel_detected=wheel_detected,
+    )

@@ -1,0 +1,237 @@
+"""Numerical linear-algebra helpers shared across the library.
+
+The NUISE filter (paper Algorithm 2) needs a handful of operations that are
+not one-liners in NumPy:
+
+* Gaussian likelihoods over possibly *singular* innovation covariances, which
+  the paper handles with the matrix pseudo-inverse and pseudo-determinant
+  (Algorithm 2 line 20, footnote 3).
+* Symmetrization / positive-semidefinite projection to keep covariance
+  recursions numerically sane over thousands of iterations.
+* Numerical Jacobians used both as a fallback for models without analytic
+  derivatives and to cross-check analytic ones in tests.
+* Angle wrapping for heading states and angular measurement residuals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .errors import DimensionError
+
+__all__ = [
+    "symmetrize",
+    "project_psd",
+    "pseudo_inverse",
+    "pseudo_determinant",
+    "pinv_and_pdet",
+    "gaussian_likelihood",
+    "mahalanobis_squared",
+    "numerical_jacobian",
+    "wrap_angle",
+    "wrap_residual",
+    "as_vector",
+    "as_matrix",
+    "block_diag",
+    "is_psd",
+]
+
+#: Relative eigenvalue tolerance below which a covariance direction is
+#: treated as exactly singular (consumed by the unknown-input estimator).
+EIG_TOL = 1e-10
+
+
+def as_vector(value: Iterable[float] | float, dim: int | None = None, name: str = "vector") -> np.ndarray:
+    """Coerce *value* to a 1-D float array, optionally checking its length."""
+    arr = np.atleast_1d(np.asarray(value, dtype=float))
+    if arr.ndim != 1:
+        raise DimensionError(f"{name} must be 1-D, got shape {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise DimensionError(f"{name} must have length {dim}, got {arr.shape[0]}")
+    return arr
+
+
+def as_matrix(value: Iterable[Iterable[float]], shape: tuple[int, int] | None = None, name: str = "matrix") -> np.ndarray:
+    """Coerce *value* to a 2-D float array, optionally checking its shape."""
+    arr = np.atleast_2d(np.asarray(value, dtype=float))
+    if arr.ndim != 2:
+        raise DimensionError(f"{name} must be 2-D, got shape {arr.shape}")
+    if shape is not None and arr.shape != shape:
+        raise DimensionError(f"{name} must have shape {shape}, got {arr.shape}")
+    return arr
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(M + M.T) / 2`` of a square matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    return 0.5 * (matrix + matrix.T)
+
+
+def is_psd(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """Check whether a symmetric matrix is positive semidefinite.
+
+    The check is performed on the symmetrized matrix and tolerates
+    eigenvalues down to ``-tol * max(1, |lambda|_max)``.
+    """
+    sym = symmetrize(matrix)
+    eigvals = np.linalg.eigvalsh(sym)
+    if eigvals.size == 0:
+        return True
+    scale = max(1.0, float(np.max(np.abs(eigvals))))
+    return bool(np.min(eigvals) >= -tol * scale)
+
+
+def project_psd(matrix: np.ndarray, floor: float = 0.0) -> np.ndarray:
+    """Project a symmetric matrix onto the PSD cone.
+
+    Negative eigenvalues (numerical noise from covariance recursions) are
+    clipped to *floor*. The result is exactly symmetric.
+    """
+    sym = symmetrize(matrix)
+    eigvals, eigvecs = np.linalg.eigh(sym)
+    clipped = np.clip(eigvals, floor, None)
+    return symmetrize(eigvecs @ np.diag(clipped) @ eigvecs.T)
+
+
+def _eig_decompose(matrix: np.ndarray, tol: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Eigendecompose a symmetric matrix and split spectrum at *tol*.
+
+    Returns ``(eigvals, eigvecs, keep_mask)`` where ``keep_mask`` selects
+    eigenvalues considered numerically nonzero.
+    """
+    sym = symmetrize(matrix)
+    eigvals, eigvecs = np.linalg.eigh(sym)
+    scale = float(np.max(np.abs(eigvals))) if eigvals.size else 0.0
+    if scale <= 0.0:
+        keep = np.zeros_like(eigvals, dtype=bool)
+    else:
+        keep = np.abs(eigvals) > tol * scale
+    return eigvals, eigvecs, keep
+
+
+def pseudo_inverse(matrix: np.ndarray, tol: float = EIG_TOL) -> np.ndarray:
+    """Moore–Penrose pseudo-inverse of a symmetric PSD matrix."""
+    eigvals, eigvecs, keep = _eig_decompose(matrix, tol)
+    inv_vals = np.zeros_like(eigvals)
+    inv_vals[keep] = 1.0 / eigvals[keep]
+    return symmetrize(eigvecs @ np.diag(inv_vals) @ eigvecs.T)
+
+
+def pseudo_determinant(matrix: np.ndarray, tol: float = EIG_TOL) -> tuple[float, int]:
+    """Pseudo-determinant and rank of a symmetric PSD matrix.
+
+    The pseudo-determinant is the product of nonzero eigenvalues; the rank is
+    the count of nonzero eigenvalues (paper Algorithm 2 footnote 3).
+    """
+    eigvals, _, keep = _eig_decompose(matrix, tol)
+    rank = int(np.count_nonzero(keep))
+    if rank == 0:
+        return 1.0, 0
+    pdet = float(np.prod(eigvals[keep]))
+    return pdet, rank
+
+
+def pinv_and_pdet(matrix: np.ndarray, tol: float = EIG_TOL) -> tuple[np.ndarray, float, int]:
+    """Pseudo-inverse, pseudo-determinant and rank in one decomposition."""
+    eigvals, eigvecs, keep = _eig_decompose(matrix, tol)
+    inv_vals = np.zeros_like(eigvals)
+    inv_vals[keep] = 1.0 / eigvals[keep]
+    pinv = symmetrize(eigvecs @ np.diag(inv_vals) @ eigvecs.T)
+    rank = int(np.count_nonzero(keep))
+    pdet = float(np.prod(eigvals[keep])) if rank else 1.0
+    return pinv, pdet, rank
+
+
+def mahalanobis_squared(residual: np.ndarray, covariance: np.ndarray, tol: float = EIG_TOL) -> float:
+    """Squared Mahalanobis distance ``r.T @ pinv(S) @ r`` of a residual."""
+    residual = as_vector(residual, name="residual")
+    pinv = pseudo_inverse(covariance, tol)
+    return float(residual @ pinv @ residual)
+
+
+def gaussian_likelihood(residual: np.ndarray, covariance: np.ndarray, tol: float = EIG_TOL) -> float:
+    """Gaussian density of *residual* under ``N(0, covariance)``.
+
+    Implements Algorithm 2 line 20: uses the pseudo-inverse and
+    pseudo-determinant so singular innovation covariances (directions consumed
+    by the unknown-input estimate) contribute no probability mass.
+    """
+    residual = as_vector(residual, name="residual")
+    pinv, pdet, rank = pinv_and_pdet(covariance, tol)
+    if rank == 0:
+        return 1.0
+    quad = float(residual @ pinv @ residual)
+    norm = (2.0 * np.pi) ** (rank / 2.0) * np.sqrt(max(pdet, np.finfo(float).tiny))
+    return float(np.exp(-0.5 * quad) / norm)
+
+
+def numerical_jacobian(
+    func: Callable[[np.ndarray], np.ndarray],
+    point: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference Jacobian of ``func`` at ``point``.
+
+    ``func`` maps an ``(n,)`` vector to an ``(m,)`` vector; the result has
+    shape ``(m, n)``. The step is scaled with the magnitude of each
+    coordinate so the derivative is accurate for both tiny and large states.
+    """
+    point = as_vector(point, name="point")
+    base = np.asarray(func(point), dtype=float)
+    jac = np.zeros((base.shape[0], point.shape[0]))
+    for j in range(point.shape[0]):
+        step = epsilon * max(1.0, abs(point[j]))
+        plus = point.copy()
+        minus = point.copy()
+        plus[j] += step
+        minus[j] -= step
+        jac[:, j] = (np.asarray(func(plus), dtype=float) - np.asarray(func(minus), dtype=float)) / (2.0 * step)
+    return jac
+
+
+def wrap_angle(angle: float | np.ndarray) -> float | np.ndarray:
+    """Wrap angle(s) to the interval ``(-pi, pi]``."""
+    wrapped = np.mod(np.asarray(angle, dtype=float) + np.pi, 2.0 * np.pi) - np.pi
+    # np.mod maps exact multiples of 2*pi to -pi; keep +pi convention instead.
+    wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+    if np.isscalar(angle) or np.asarray(angle).ndim == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def wrap_residual(residual: np.ndarray, angular_mask: Sequence[bool] | np.ndarray | None) -> np.ndarray:
+    """Wrap the angular components of a measurement residual.
+
+    ``angular_mask`` flags which components of the residual are angles; those
+    are wrapped to ``(-pi, pi]`` so that, e.g., a heading innovation of
+    ``2*pi - 0.01`` is treated as ``-0.01`` rather than a huge anomaly.
+    """
+    residual = as_vector(residual, name="residual").copy()
+    if angular_mask is None:
+        return residual
+    mask = np.asarray(angular_mask, dtype=bool)
+    if mask.shape[0] != residual.shape[0]:
+        raise DimensionError(
+            f"angular mask length {mask.shape[0]} does not match residual length {residual.shape[0]}"
+        )
+    if mask.any():
+        residual[mask] = wrap_angle(residual[mask])
+    return residual
+
+
+def block_diag(blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """Block-diagonal concatenation of square (or rectangular) matrices."""
+    mats = [as_matrix(b, name="block") for b in blocks]
+    if not mats:
+        return np.zeros((0, 0))
+    rows = sum(m.shape[0] for m in mats)
+    cols = sum(m.shape[1] for m in mats)
+    out = np.zeros((rows, cols))
+    r = c = 0
+    for m in mats:
+        out[r : r + m.shape[0], c : c + m.shape[1]] = m
+        r += m.shape[0]
+        c += m.shape[1]
+    return out

@@ -1,0 +1,23 @@
+"""Mission planning and path tracking (the paper's Section V-A mission).
+
+The evaluation mission is: receive a map and goal, plan a collision-free
+path with RRT*, then track it with PID closed-loop control using real-time
+positioning. This package implements all three pieces.
+"""
+
+from .mission import Mission
+from .path import Path
+from .pid import PID
+from .rrt_star import RRTStar, RRTStarConfig
+from .tracking import BicycleTracker, DifferentialDriveTracker, TrackingController
+
+__all__ = [
+    "Path",
+    "RRTStar",
+    "RRTStarConfig",
+    "PID",
+    "TrackingController",
+    "DifferentialDriveTracker",
+    "BicycleTracker",
+    "Mission",
+]

@@ -1,0 +1,64 @@
+"""Mission specification: map, start pose, goal and duration.
+
+A mission bundles everything the planner needs before the robot moves
+(Section V-A: "Before the mission starts, the robot receives map information
+and a target location").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..world.map import WorldMap
+from .path import Path
+from .rrt_star import RRTStar, RRTStarConfig
+
+__all__ = ["Mission"]
+
+
+@dataclass
+class Mission:
+    """A point-to-point motion-planning mission.
+
+    Attributes
+    ----------
+    world:
+        The arena map (walls + obstacles).
+    start_pose:
+        Initial robot pose ``(x, y, theta)``.
+    goal:
+        Target position ``(x, y)``.
+    duration:
+        Mission length in seconds the simulation runs for.
+    planner_config:
+        RRT* tunables.
+    """
+
+    world: WorldMap
+    start_pose: tuple[float, float, float]
+    goal: tuple[float, float]
+    duration: float = 20.0
+    planner_config: RRTStarConfig = field(default_factory=RRTStarConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ConfigurationError("mission duration must be positive")
+        if not self.world.point_free(self.start_pose[:2], self.planner_config.robot_margin):
+            raise ConfigurationError("mission start pose is not in free space")
+        if not self.world.point_free(self.goal, self.planner_config.robot_margin):
+            raise ConfigurationError("mission goal is not in free space")
+
+    def plan(self, rng: np.random.Generator) -> Path:
+        """Run RRT* from the start position to the goal."""
+        planner = RRTStar(self.world, self.planner_config)
+        return planner.plan(self.start_pose[:2], self.goal, rng)
+
+    def n_steps(self, dt: float) -> int:
+        """Number of control iterations the mission spans at period *dt*."""
+        if dt <= 0.0:
+            raise ConfigurationError("dt must be positive")
+        return int(round(self.duration / dt))

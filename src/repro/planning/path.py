@@ -1,0 +1,108 @@
+"""Polyline paths with arc-length parameterization.
+
+The RRT* planner outputs a waypoint polyline; the tracking controller needs
+arc-length queries (point at distance *s*, nearest point, look-ahead point).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["Path"]
+
+
+class Path:
+    """An ordered polyline through 2-D waypoints."""
+
+    def __init__(self, waypoints: Iterable[Sequence[float]]) -> None:
+        pts = np.asarray(list(waypoints), dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 2:
+            raise ConfigurationError("a path needs at least two 2-D waypoints")
+        self._points = pts
+        deltas = np.diff(pts, axis=0)
+        seg_lengths = np.linalg.norm(deltas, axis=1)
+        self._cumulative = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+
+    @property
+    def waypoints(self) -> np.ndarray:
+        return self._points.copy()
+
+    @property
+    def length(self) -> float:
+        """Total arc length."""
+        return float(self._cumulative[-1])
+
+    @property
+    def start(self) -> np.ndarray:
+        return self._points[0].copy()
+
+    @property
+    def goal(self) -> np.ndarray:
+        return self._points[-1].copy()
+
+    def point_at(self, s: float) -> np.ndarray:
+        """Point at arc length *s* (clamped to ``[0, length]``)."""
+        s = float(np.clip(s, 0.0, self.length))
+        idx = int(np.searchsorted(self._cumulative, s, side="right")) - 1
+        idx = min(idx, len(self._points) - 2)
+        seg_len = self._cumulative[idx + 1] - self._cumulative[idx]
+        if seg_len <= 0.0:
+            return self._points[idx].copy()
+        frac = (s - self._cumulative[idx]) / seg_len
+        return (1.0 - frac) * self._points[idx] + frac * self._points[idx + 1]
+
+    def heading_at(self, s: float) -> float:
+        """Tangent direction at arc length *s*."""
+        s = float(np.clip(s, 0.0, self.length))
+        idx = int(np.searchsorted(self._cumulative, s, side="right")) - 1
+        idx = min(max(idx, 0), len(self._points) - 2)
+        delta = self._points[idx + 1] - self._points[idx]
+        return float(np.arctan2(delta[1], delta[0]))
+
+    def project(self, point: Sequence[float], s_hint: float | None = None, window: float = 1.0) -> float:
+        """Arc length of the nearest path point to *point*.
+
+        With *s_hint* the search is restricted to ``[s_hint - window/4,
+        s_hint + window]`` so tracking does not jump across path
+        self-proximity (e.g. S-curves around an obstacle).
+        """
+        point = np.asarray(point, dtype=float)
+        lo, hi = 0.0, self.length
+        if s_hint is not None:
+            lo = max(0.0, s_hint - window / 4.0)
+            hi = min(self.length, s_hint + window)
+        best_s, best_d = lo, np.inf
+        for idx in range(len(self._points) - 1):
+            s0, s1 = self._cumulative[idx], self._cumulative[idx + 1]
+            if s1 < lo or s0 > hi:
+                continue
+            a, b = self._points[idx], self._points[idx + 1]
+            ab = b - a
+            denom = float(ab @ ab)
+            t = 0.0 if denom <= 0.0 else float(np.clip((point - a) @ ab / denom, 0.0, 1.0))
+            candidate = a + t * ab
+            s = s0 + t * (s1 - s0)
+            if not lo <= s <= hi:
+                s = float(np.clip(s, lo, hi))
+                candidate = self.point_at(s)
+            d = float(np.linalg.norm(point - candidate))
+            if d < best_d:
+                best_s, best_d = s, d
+        return float(best_s)
+
+    def lookahead(self, point: Sequence[float], lookahead: float, s_hint: float | None = None) -> tuple[np.ndarray, float]:
+        """Look-ahead target: path point *lookahead* metres past the projection.
+
+        Returns ``(target_point, s_projection)``.
+        """
+        s = self.project(point, s_hint)
+        return self.point_at(s + lookahead), s
+
+    def cross_track_error(self, point: Sequence[float], s_hint: float | None = None) -> float:
+        """Distance from *point* to its path projection."""
+        s = self.project(point, s_hint)
+        return float(np.linalg.norm(np.asarray(point, dtype=float) - self.point_at(s)))

@@ -1,0 +1,73 @@
+"""Discrete PID controller with output saturation and anti-windup.
+
+The paper's Section V-A step 3: "the robot executes PID closed-loop control
+to track the planned path".
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["PID"]
+
+
+class PID:
+    """Textbook PID with clamping anti-windup.
+
+    Parameters
+    ----------
+    kp, ki, kd:
+        Proportional / integral / derivative gains.
+    output_limit:
+        Symmetric saturation on the output; integral accumulation is frozen
+        while the output saturates (clamping anti-windup). ``None`` disables
+        saturation.
+    """
+
+    def __init__(
+        self,
+        kp: float,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        output_limit: float | None = None,
+    ) -> None:
+        if output_limit is not None and output_limit <= 0.0:
+            raise ConfigurationError("output_limit must be positive")
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self._limit = output_limit
+        self._integral = 0.0
+        self._prev_error: float | None = None
+
+    def reset(self) -> None:
+        """Clear the integral state and derivative history."""
+        self._integral = 0.0
+        self._prev_error = None
+
+    @property
+    def integral(self) -> float:
+        return self._integral
+
+    def step(self, error: float, dt: float) -> float:
+        """One control update for *error* over period *dt* seconds."""
+        if dt <= 0.0:
+            raise ConfigurationError("dt must be positive")
+        derivative = 0.0
+        if self._prev_error is not None:
+            derivative = (error - self._prev_error) / dt
+        self._prev_error = error
+
+        candidate_integral = self._integral + error * dt
+        output = self.kp * error + self.ki * candidate_integral + self.kd * derivative
+
+        if self._limit is None:
+            self._integral = candidate_integral
+            return output
+
+        saturated = max(-self._limit, min(self._limit, output))
+        # Clamping anti-windup: only integrate when not pushing further into
+        # saturation.
+        if output == saturated or (output > saturated) != (error > 0.0):
+            self._integral = candidate_integral
+        return saturated

@@ -1,0 +1,180 @@
+"""Optimal rapidly-exploring random trees (RRT*), Karaman & Frazzoli 2011.
+
+The paper's mission planner (Section V-A step 2) computes a collision-free
+path with RRT*. This is a standard geometric RRT* on the 2-D workspace:
+uniform free-space sampling with goal bias, steering with a bounded step,
+near-neighbour rewiring with the ``gamma (log n / n)^(1/2)`` radius, and an
+optional shortcut-smoothing pass on the extracted path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PlanningError
+from ..world.geometry import Segment
+from ..world.map import WorldMap
+from .path import Path
+
+__all__ = ["RRTStarConfig", "RRTStar"]
+
+
+@dataclass(frozen=True)
+class RRTStarConfig:
+    """Tunables for the RRT* planner."""
+
+    max_iterations: int = 2000
+    step_size: float = 0.3
+    goal_bias: float = 0.1
+    goal_tolerance: float = 0.15
+    neighbor_gamma: float = 1.5
+    robot_margin: float = 0.08
+    smooth_iterations: int = 60
+
+
+class RRTStar:
+    """Geometric RRT* planner over a :class:`~repro.world.map.WorldMap`."""
+
+    def __init__(self, world: WorldMap, config: RRTStarConfig | None = None) -> None:
+        self._world = world
+        self._config = config or RRTStarConfig()
+
+    @property
+    def config(self) -> RRTStarConfig:
+        return self._config
+
+    def plan(
+        self,
+        start: Sequence[float],
+        goal: Sequence[float],
+        rng: np.random.Generator,
+    ) -> Path:
+        """Plan a collision-free path from *start* to *goal*.
+
+        Raises :class:`~repro.errors.PlanningError` when no path is found
+        within the iteration budget.
+        """
+        cfg = self._config
+        start = np.asarray(start, dtype=float)
+        goal = np.asarray(goal, dtype=float)
+        margin = cfg.robot_margin
+        if not self._world.point_free(start, margin):
+            raise PlanningError(f"start {start} is not in free space")
+        if not self._world.point_free(goal, margin):
+            raise PlanningError(f"goal {goal} is not in free space")
+
+        nodes = [start]
+        parents = [-1]
+        costs = [0.0]
+        goal_nodes: list[int] = []
+
+        for iteration in range(cfg.max_iterations):
+            if rng.uniform() < cfg.goal_bias:
+                sample = goal.copy()
+            else:
+                sample = self._world.sample_free(rng, margin)
+
+            nearest_idx = self._nearest(nodes, sample)
+            new_point = self._steer(nodes[nearest_idx], sample, cfg.step_size)
+            if not self._world.point_free(new_point, margin):
+                continue
+            if not self._edge_free(nodes[nearest_idx], new_point, margin):
+                continue
+
+            # Choose the best parent among near neighbours.
+            radius = self._near_radius(len(nodes))
+            near = self._near(nodes, new_point, radius)
+            best_parent = nearest_idx
+            best_cost = costs[nearest_idx] + self._dist(nodes[nearest_idx], new_point)
+            for idx in near:
+                candidate = costs[idx] + self._dist(nodes[idx], new_point)
+                if candidate < best_cost and self._edge_free(nodes[idx], new_point, margin):
+                    best_parent, best_cost = idx, candidate
+
+            nodes.append(new_point)
+            parents.append(best_parent)
+            costs.append(best_cost)
+            new_idx = len(nodes) - 1
+
+            # Rewire neighbours through the new node where cheaper.
+            for idx in near:
+                candidate = best_cost + self._dist(new_point, nodes[idx])
+                if candidate < costs[idx] and self._edge_free(new_point, nodes[idx], margin):
+                    parents[idx] = new_idx
+                    costs[idx] = candidate
+
+            if self._dist(new_point, goal) <= cfg.goal_tolerance and self._edge_free(
+                new_point, goal, margin
+            ):
+                goal_nodes.append(new_idx)
+
+        if not goal_nodes:
+            raise PlanningError(
+                f"RRT* found no path after {cfg.max_iterations} iterations"
+            )
+
+        best_goal = min(goal_nodes, key=lambda i: costs[i] + self._dist(nodes[i], goal))
+        waypoints = self._extract(nodes, parents, best_goal)
+        waypoints.append(goal)
+        waypoints = self._smooth(waypoints, rng, margin)
+        return Path(waypoints)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dist(a: np.ndarray, b: np.ndarray) -> float:
+        return float(np.linalg.norm(np.asarray(a) - np.asarray(b)))
+
+    @staticmethod
+    def _nearest(nodes: list[np.ndarray], point: np.ndarray) -> int:
+        arr = np.asarray(nodes)
+        return int(np.argmin(np.linalg.norm(arr - point, axis=1)))
+
+    def _near(self, nodes: list[np.ndarray], point: np.ndarray, radius: float) -> list[int]:
+        arr = np.asarray(nodes)
+        dists = np.linalg.norm(arr - point, axis=1)
+        return [int(i) for i in np.nonzero(dists <= radius)[0]]
+
+    def _near_radius(self, n_nodes: int) -> float:
+        cfg = self._config
+        n = max(n_nodes, 2)
+        return min(cfg.neighbor_gamma * np.sqrt(np.log(n) / n), cfg.step_size * 3.0)
+
+    @staticmethod
+    def _steer(from_point: np.ndarray, to_point: np.ndarray, step: float) -> np.ndarray:
+        delta = to_point - from_point
+        dist = float(np.linalg.norm(delta))
+        if dist <= step:
+            return to_point.copy()
+        return from_point + (step / dist) * delta
+
+    def _edge_free(self, a: np.ndarray, b: np.ndarray, margin: float) -> bool:
+        return self._world.segment_free(Segment(tuple(a), tuple(b)), margin)
+
+    @staticmethod
+    def _extract(nodes: list[np.ndarray], parents: list[int], leaf: int) -> list[np.ndarray]:
+        order = []
+        idx = leaf
+        while idx != -1:
+            order.append(nodes[idx])
+            idx = parents[idx]
+        order.reverse()
+        return order
+
+    def _smooth(
+        self, waypoints: list[np.ndarray], rng: np.random.Generator, margin: float
+    ) -> list[np.ndarray]:
+        """Shortcut smoothing: repeatedly replace sub-chains with free segments."""
+        pts = list(waypoints)
+        for _ in range(self._config.smooth_iterations):
+            if len(pts) <= 2:
+                break
+            i = int(rng.integers(0, len(pts) - 2))
+            j = int(rng.integers(i + 2, len(pts)))
+            if self._edge_free(pts[i], pts[j], margin):
+                pts = pts[: i + 1] + pts[j:]
+        return pts

@@ -1,0 +1,162 @@
+"""Path-tracking controllers.
+
+A :class:`TrackingController` turns the *navigation pose* (the planner's
+real-time position source — the IPS readings in the paper's mission, which
+means a spoofed IPS genuinely steers the robot off course) into a body twist
+``(v, omega)`` toward a look-ahead point, using PID on the heading error and
+a speed profile that slows into the goal. Robot-specific subclasses convert
+the twist to the platform's command vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dynamics.bicycle import BicycleModel
+from ..dynamics.differential_drive import DifferentialDriveModel
+from ..errors import ConfigurationError
+from ..linalg import wrap_angle
+from .path import Path
+from .pid import PID
+
+__all__ = ["TrackingController", "DifferentialDriveTracker", "BicycleTracker"]
+
+
+class TrackingController:
+    """Look-ahead PID path tracker producing body twists.
+
+    Parameters
+    ----------
+    path:
+        The planned path to follow.
+    cruise_speed:
+        Nominal forward speed in m/s.
+    lookahead:
+        Look-ahead distance along the path in metres.
+    heading_pid:
+        PID on heading error producing the yaw rate; defaults to a tuned
+        P-dominant controller with a modest yaw-rate saturation.
+    goal_tolerance:
+        Distance at which the mission counts as reached and the commanded
+        twist drops to zero.
+    loop:
+        Patrol mode: on reaching the goal, restart tracking from the path
+        start instead of stopping (the path should end near where it
+        begins). Used for long-horizon soak runs and patrol missions.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        cruise_speed: float = 0.15,
+        lookahead: float = 0.25,
+        heading_pid: PID | None = None,
+        goal_tolerance: float = 0.05,
+        slowdown_radius: float = 0.3,
+        loop: bool = False,
+    ) -> None:
+        if cruise_speed <= 0.0:
+            raise ConfigurationError("cruise_speed must be positive")
+        if lookahead <= 0.0:
+            raise ConfigurationError("lookahead must be positive")
+        self._path = path
+        self._speed = float(cruise_speed)
+        self._lookahead = float(lookahead)
+        self._pid = heading_pid or PID(kp=2.5, ki=0.1, kd=0.05, output_limit=2.0)
+        self._goal_tol = float(goal_tolerance)
+        self._slowdown = float(slowdown_radius)
+        self._loop = bool(loop)
+        self._s_hint = 0.0
+        self._reached = False
+        self._laps = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def goal_reached(self) -> bool:
+        return self._reached
+
+    @property
+    def laps(self) -> int:
+        """Completed circuits (patrol mode only)."""
+        return self._laps
+
+    def reset(self) -> None:
+        self._pid.reset()
+        self._s_hint = 0.0
+        self._reached = False
+        self._laps = 0
+
+    def twist(self, pose: np.ndarray, dt: float) -> tuple[float, float]:
+        """Body twist ``(v, omega)`` for the current navigation *pose*."""
+        pose = np.asarray(pose, dtype=float)
+        position = pose[:2]
+        heading = float(pose[2])
+
+        goal_dist = float(np.linalg.norm(position - self._path.goal))
+        # Patrol mode restarts the circuit only once the *end* of the path is
+        # being tracked (goal proximity alone would re-trigger every lap on
+        # closed circuits whose start equals their goal).
+        near_path_end = self._s_hint > 0.8 * self._path.length
+        if goal_dist <= self._goal_tol and (not self._loop or near_path_end):
+            if self._loop:
+                self._laps += 1
+                self._s_hint = 0.0
+            else:
+                self._reached = True
+        if self._reached:
+            return 0.0, 0.0
+
+        target, s_proj = self._path.lookahead(position, self._lookahead, self._s_hint)
+        self._s_hint = s_proj
+        to_target = target - position
+        desired_heading = float(np.arctan2(to_target[1], to_target[0]))
+        heading_error = wrap_angle(desired_heading - heading)
+        omega = self._pid.step(heading_error, dt)
+
+        # Slow down into the goal and through sharp heading corrections.
+        speed = self._speed
+        if goal_dist < self._slowdown:
+            speed *= max(goal_dist / self._slowdown, 0.2)
+        if abs(heading_error) > np.pi / 3.0:
+            speed *= 0.3
+        return speed, float(omega)
+
+
+class DifferentialDriveTracker(TrackingController):
+    """Tracker emitting left/right wheel speeds for a differential drive."""
+
+    def __init__(self, model: DifferentialDriveModel, path: Path, **kwargs) -> None:
+        super().__init__(path, **kwargs)
+        self._model = model
+
+    def command(self, pose: np.ndarray, dt: float) -> np.ndarray:
+        """Planned control command ``(v_l, v_r)`` in m/s."""
+        v, omega = self.twist(pose, dt)
+        return self._model.wheel_speeds(v, omega)
+
+
+class BicycleTracker(TrackingController):
+    """Tracker emitting ``(v, delta)`` for an Ackermann-steered car."""
+
+    def __init__(self, model: BicycleModel, path: Path, **kwargs) -> None:
+        kwargs.setdefault("cruise_speed", 0.4)
+        kwargs.setdefault("lookahead", 0.45)
+        super().__init__(path, **kwargs)
+        self._model = model
+
+    def command(self, pose: np.ndarray, dt: float) -> np.ndarray:
+        """Planned control command ``(v, delta)``.
+
+        The yaw-rate demand converts through the bicycle relation
+        ``omega = (v / L) tan(delta)``; steering saturates at the model's
+        servo limit.
+        """
+        v, omega = self.twist(pose, dt)
+        if v <= 1e-6:
+            return np.array([0.0, 0.0])
+        delta = float(np.arctan(omega * self._model.wheelbase / v))
+        delta = float(np.clip(delta, -self._model.max_steer, self._model.max_steer))
+        return np.array([v, delta])

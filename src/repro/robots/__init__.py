@@ -1,0 +1,15 @@
+"""Robot prototypes: the paper's two evaluation platforms, ready-made.
+
+:func:`~repro.robots.khepera.khepera_rig` reproduces Section V-A's Khepera
+III (differential drive; wheel encoder + LiDAR + IPS) and
+:func:`~repro.robots.tamiya.tamiya_rig` Section V-D's Tamiya RC car
+(bicycle model; LiDAR + IPS + IMU). A :class:`~repro.robots.rig.RobotRig`
+bundles everything one evaluation run needs: model, sensors, mission,
+platform/controller/detector factories.
+"""
+
+from .khepera import khepera_rig
+from .rig import RobotRig
+from .tamiya import tamiya_rig
+
+__all__ = ["RobotRig", "khepera_rig", "tamiya_rig"]

@@ -1,0 +1,148 @@
+"""The Khepera III prototype (paper Section V-A, Fig 5).
+
+A differential-drive robot in a Vicon-instrumented room, carrying three
+sensing workflows — wheel encoder (odometry pose), LiDAR (wall distances +
+heading) and IPS (Vicon pose) — and one actuation workflow (the wheel pair).
+The mission steers from a start pose to a goal across the room, around a box
+obstacle, tracking an RRT* path with PID control on real-time IPS data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..actuators.differential import SPEED_UNIT_M_PER_S, WheelPairActuator
+from ..core.decision import DecisionConfig
+from ..core.detector import RoboADS
+from ..core.linearization import LinearizationPolicy
+from ..core.modes import Mode
+from ..dynamics.differential_drive import DifferentialDriveModel
+from ..errors import ConfigurationError
+from ..planning.mission import Mission
+from ..planning.path import Path
+from ..planning.tracking import DifferentialDriveTracker
+from ..sensors.lidar import RayCastLidar, WallDistanceSensor
+from ..sensors.pose_sensors import IPS, OdometryPoseSensor
+from ..sensors.suite import SensorSuite
+from ..sim.platform import RobotPlatform
+from ..sim.workflows import (
+    ActuationWorkflow,
+    FeatureSensingWorkflow,
+    LidarRawWorkflow,
+    OdometryWorkflow,
+    SensingWorkflow,
+)
+from ..world.map import WorldMap
+from ..world.presets import paper_arena
+from .rig import RobotRig
+
+__all__ = ["khepera_rig", "KHEPERA_WHEEL_BASE", "SPEED_UNIT_M_PER_S"]
+
+#: Khepera III axle length in metres.
+KHEPERA_WHEEL_BASE = 0.0888
+
+#: Default per-step process noise standard deviations (x, y, theta) — floor
+#: vibration, wheel slip and ground unevenness over one 50 ms iteration.
+DEFAULT_PROCESS_SIGMAS = (0.0005, 0.0005, 0.0015)
+
+
+def khepera_rig(
+    world: WorldMap | None = None,
+    mission: Mission | None = None,
+    dt: float = 0.05,
+    lidar_mode: str = "feature",
+    odometry_mode: str = "feature",
+    process_sigmas: Sequence[float] = DEFAULT_PROCESS_SIGMAS,
+    cruise_speed: float = 0.18,
+) -> RobotRig:
+    """Assemble the Khepera prototype.
+
+    Parameters
+    ----------
+    lidar_mode:
+        ``"feature"`` simulates the LiDAR at the measurement-model level;
+        ``"raw"`` ray-casts full scans and runs the scan feature extractor
+        (the staged physical pipeline).
+    odometry_mode:
+        ``"feature"`` draws the wheel-encoder pose from the stationary
+        measurement model; ``"raw"`` integrates executed wheel speeds with
+        tick noise (drifting — used by the ablation experiment).
+    """
+    if lidar_mode not in ("feature", "raw"):
+        raise ConfigurationError("lidar_mode must be 'feature' or 'raw'")
+    if odometry_mode not in ("feature", "raw"):
+        raise ConfigurationError("odometry_mode must be 'feature' or 'raw'")
+
+    world = world or paper_arena()
+    mission = mission or Mission(
+        world=world,
+        start_pose=(0.4, 0.4, np.pi / 4.0),
+        goal=(2.5, 2.5),
+        duration=20.0,
+    )
+
+    model = DifferentialDriveModel(wheel_base=KHEPERA_WHEEL_BASE, dt=dt)
+    ips = IPS()
+    wheel_encoder = OdometryPoseSensor()
+    if lidar_mode == "raw":
+        # The scan feature extractor's output noise is a little heavier than
+        # the feature-level model (association jitter, heading estimation);
+        # the detector's assumed R reflects the calibrated pipeline noise.
+        lidar = WallDistanceSensor(world, sigma_distance=0.007, sigma_theta=0.015)
+    else:
+        lidar = WallDistanceSensor(world)
+    suite = SensorSuite([ips, wheel_encoder, lidar])
+    process_noise = np.diag(np.square(np.asarray(process_sigmas, dtype=float)))
+    initial_state = np.array(mission.start_pose, dtype=float)
+
+    def make_platform() -> RobotPlatform:
+        workflows: dict[str, SensingWorkflow] = {"ips": FeatureSensingWorkflow(ips)}
+        if odometry_mode == "feature":
+            workflows["wheel_encoder"] = FeatureSensingWorkflow(wheel_encoder)
+        else:
+            workflows["wheel_encoder"] = OdometryWorkflow(wheel_encoder, model)
+        if lidar_mode == "feature":
+            workflows["lidar"] = FeatureSensingWorkflow(lidar)
+        else:
+            workflows["lidar"] = LidarRawWorkflow(lidar, RayCastLidar(world))
+        return RobotPlatform(
+            model=model,
+            suite=suite,
+            workflows=workflows,
+            actuation=ActuationWorkflow(WheelPairActuator()),
+            process_noise=process_noise,
+            initial_state=initial_state,
+        )
+
+    def make_controller(path: Path) -> DifferentialDriveTracker:
+        return DifferentialDriveTracker(model, path, cruise_speed=cruise_speed)
+
+    def make_detector(
+        decision: DecisionConfig | None = None,
+        modes: Sequence[Mode] | None = None,
+        policy: LinearizationPolicy | None = None,
+    ) -> RoboADS:
+        return RoboADS(
+            model,
+            suite,
+            process_noise,
+            initial_state=initial_state,
+            modes=modes,
+            decision=decision,
+            policy=policy,
+            nominal_control=np.array([0.1, 0.12]),
+        )
+
+    return RobotRig(
+        name="khepera",
+        model=model,
+        suite=suite,
+        process_noise=process_noise,
+        mission=mission,
+        nav_sensor="ips",
+        make_platform=make_platform,
+        make_controller=make_controller,
+        make_detector=make_detector,
+    )

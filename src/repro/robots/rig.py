@@ -1,0 +1,75 @@
+"""Robot rig: a reusable bundle of everything one evaluation run needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.decision import DecisionConfig
+from ..core.detector import RoboADS
+from ..core.linearization import LinearizationPolicy
+from ..core.modes import Mode
+from ..dynamics.base import RobotModel
+from ..planning.mission import Mission
+from ..planning.path import Path
+from ..sensors.suite import SensorSuite
+from ..sim.platform import RobotPlatform
+
+__all__ = ["RobotRig"]
+
+
+@dataclass
+class RobotRig:
+    """A robot prototype plus its evaluation mission.
+
+    Factories return *fresh* objects so Monte-Carlo trials never share
+    state (workflow integrators, PID memory, detector windows).
+
+    Attributes
+    ----------
+    name:
+        Display name (e.g. ``"khepera"``).
+    model, suite, process_noise:
+        The dynamic model the platform simulates and the detector uses.
+    mission:
+        The point-to-point mission evaluated on.
+    nav_sensor:
+        The sensor whose readings the planner navigates by (the paper's
+        missions use the IPS).
+    make_platform, make_controller, make_detector:
+        Per-run factories.
+    """
+
+    name: str
+    model: RobotModel
+    suite: SensorSuite
+    process_noise: np.ndarray
+    mission: Mission
+    nav_sensor: str
+    make_platform: Callable[[], RobotPlatform]
+    make_controller: Callable[[Path], object]
+    make_detector: Callable[..., RoboADS]
+    _path_cache: dict[int, Path] = field(default_factory=dict, repr=False)
+
+    def plan_path(self, seed: int = 0) -> Path:
+        """Plan (and cache) the mission path for a given planner seed.
+
+        Monte-Carlo trials share the planned path — as in the paper, where
+        every trial runs the same mission — while noise and attacks use the
+        per-trial generator.
+        """
+        if seed not in self._path_cache:
+            rng = np.random.default_rng(seed)
+            self._path_cache[seed] = self.mission.plan(rng)
+        return self._path_cache[seed]
+
+    def detector(
+        self,
+        decision: DecisionConfig | None = None,
+        modes: Sequence[Mode] | None = None,
+        policy: LinearizationPolicy | None = None,
+    ) -> RoboADS:
+        """Fresh detector with optional overrides."""
+        return self.make_detector(decision=decision, modes=modes, policy=policy)

@@ -1,0 +1,32 @@
+"""Measurement models (paper Eq. (1), second line) and simulated sensors.
+
+Each sensor implements ``z_i = h_i(x) + xi_i`` for its sensing workflow, plus
+the measurement Jacobian ``C_i = dh_i/dx`` NUISE linearizes each iteration.
+A :class:`~repro.sensors.suite.SensorSuite` stacks sensors into the full
+measurement vector and provides the per-mode reference/testing slicing.
+"""
+
+from .base import Sensor
+from .calibration import CalibrationResult, calibrate_covariance, calibration_consistency
+from .gps import GPS
+from .lidar import RayCastLidar, ScanFeatureExtractor, WallDistanceSensor
+from .magnetometer import Magnetometer
+from .pose_sensors import IPS, InertialNavSensor, OdometryPoseSensor
+from .suite import SensorGroup, SensorSuite
+
+__all__ = [
+    "Sensor",
+    "IPS",
+    "OdometryPoseSensor",
+    "InertialNavSensor",
+    "GPS",
+    "Magnetometer",
+    "WallDistanceSensor",
+    "RayCastLidar",
+    "ScanFeatureExtractor",
+    "SensorGroup",
+    "SensorSuite",
+    "calibrate_covariance",
+    "CalibrationResult",
+    "calibration_consistency",
+]

@@ -1,0 +1,131 @@
+"""Abstract sensor: a measurement model plus a noise description.
+
+The detection algorithm only ever sees a sensor through three things: the
+measurement function ``h``, its Jacobian ``C`` and the noise covariance
+``R``. Simulation additionally uses :meth:`Sensor.measure` to produce noisy
+readings from the true state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..dynamics.noise import GaussianNoise, validate_covariance
+from ..errors import ConfigurationError
+from ..linalg import as_vector, numerical_jacobian, wrap_residual
+
+__all__ = ["Sensor"]
+
+
+class Sensor(ABC):
+    """A sensing workflow's measurement model.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a suite (e.g. ``"ips"``, ``"lidar"``).
+    dim:
+        Number of measurement components this sensor reports per iteration.
+    state_dim:
+        Dimension of the robot state the measurement function consumes.
+    covariance:
+        Measurement-noise covariance ``R_i`` — full matrix, diagonal vector,
+        or scalar.
+    labels:
+        Human-readable component names (used in reports and Fig 6-style
+        plots).
+    angular_components:
+        Indices of components that are angles; their residuals are wrapped.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dim: int,
+        state_dim: int,
+        covariance: Iterable,
+        labels: Sequence[str] | None = None,
+        angular_components: Sequence[int] = (),
+    ) -> None:
+        if dim < 1:
+            raise ConfigurationError("sensor dimension must be at least 1")
+        self._name = str(name)
+        self._dim = int(dim)
+        self._state_dim = int(state_dim)
+        self._cov = validate_covariance(covariance, dim, f"{name} covariance")
+        self._noise = GaussianNoise(self._cov, dim, f"{name} noise")
+        if labels is None:
+            labels = tuple(f"{name}[{i}]" for i in range(dim))
+        if len(labels) != dim:
+            raise ConfigurationError("labels length must equal sensor dim")
+        self._labels = tuple(labels)
+        self._angular = tuple(int(i) for i in angular_components)
+        for i in self._angular:
+            if not 0 <= i < dim:
+                raise ConfigurationError(f"angular component index {i} out of range")
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def state_dim(self) -> int:
+        return self._state_dim
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Measurement-noise covariance ``R_i``."""
+        return self._cov.copy()
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self._labels
+
+    @property
+    def angular_components(self) -> tuple[int, ...]:
+        return self._angular
+
+    @property
+    def angular_mask(self) -> np.ndarray:
+        mask = np.zeros(self._dim, dtype=bool)
+        for i in self._angular:
+            mask[i] = True
+        return mask
+
+    # ------------------------------------------------------------------
+    # Measurement model
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def h(self, state: np.ndarray) -> np.ndarray:
+        """Noise-free measurement of *state*."""
+
+    def jacobian(self, state: np.ndarray) -> np.ndarray:
+        """``C_i = dh_i/dx``; numerical fallback, override when analytic."""
+        state = as_vector(state, self._state_dim, "state")
+        return numerical_jacobian(self.h, state)
+
+    def residual(self, reading: np.ndarray, state: np.ndarray) -> np.ndarray:
+        """``z - h(x)`` with angular components wrapped to (-pi, pi]."""
+        reading = as_vector(reading, self._dim, f"{self._name} reading")
+        raw = reading - self.h(as_vector(state, self._state_dim, "state"))
+        return wrap_residual(raw, self.angular_mask)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def measure(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Simulate a noisy reading from the true state."""
+        return self.h(as_vector(state, self._state_dim, "state")) + self._noise.sample(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self._name!r}, dim={self._dim})"

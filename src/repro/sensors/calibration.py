@@ -1,0 +1,95 @@
+"""Empirical measurement-noise calibration.
+
+The estimator's optimality and the Chi-square thresholds both assume the
+measurement covariances ``R_i`` describe the *delivered* readings. For
+feature-level sensors that is true by construction, but staged pipelines
+(the raw LiDAR workflow's scan-to-feature extraction, tick-integrating
+odometry) deliver readings whose noise is *induced* by the pipeline and
+must be measured. This module provides the calibration pass a deployment
+would run on clean recorded data — and that this repository ran to pick the
+raw-mode LiDAR covariance in :func:`repro.robots.khepera.khepera_rig`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..linalg import wrap_residual
+from .base import Sensor
+
+__all__ = ["calibrate_covariance", "CalibrationResult", "calibration_consistency"]
+
+
+class CalibrationResult:
+    """Empirical error moments of a sensing pipeline against ground truth."""
+
+    def __init__(self, errors: np.ndarray, labels: Sequence[str]) -> None:
+        if errors.ndim != 2 or errors.shape[0] < 2:
+            raise ConfigurationError("calibration needs at least two error samples")
+        self._errors = errors
+        self._labels = tuple(labels)
+
+    @property
+    def n_samples(self) -> int:
+        return self._errors.shape[0]
+
+    @property
+    def bias(self) -> np.ndarray:
+        """Mean error per component (should be ~0 for an unbiased pipeline)."""
+        return self._errors.mean(axis=0)
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Empirical covariance — the calibrated ``R`` candidate."""
+        return np.cov(self._errors.T, ddof=1).reshape(
+            self._errors.shape[1], self._errors.shape[1]
+        )
+
+    @property
+    def sigmas(self) -> np.ndarray:
+        return np.sqrt(np.diag(self.covariance))
+
+    def summary(self) -> str:
+        lines = ["calibration over %d samples:" % self.n_samples]
+        for i, label in enumerate(self._labels):
+            lines.append(
+                f"  {label}: bias {self.bias[i]:+.5f}, sigma {self.sigmas[i]:.5f}"
+            )
+        return "\n".join(lines)
+
+
+def calibrate_covariance(
+    sensor: Sensor,
+    produce_reading: Callable[[np.ndarray, np.random.Generator], np.ndarray],
+    states: Sequence[np.ndarray],
+    rng: np.random.Generator,
+) -> CalibrationResult:
+    """Measure a pipeline's delivered-reading noise against ground truth.
+
+    ``produce_reading(state, rng)`` runs the full (clean) sensing pipeline
+    at a known true *state*; the errors against ``sensor.h(state)`` (with
+    angular components wrapped) form the empirical noise model.
+    """
+    errors = []
+    for state in states:
+        state = np.asarray(state, dtype=float)
+        reading = np.asarray(produce_reading(state, rng), dtype=float)
+        errors.append(wrap_residual(reading - sensor.h(state), sensor.angular_mask))
+    return CalibrationResult(np.asarray(errors), sensor.labels)
+
+
+def calibration_consistency(result: CalibrationResult, assumed: np.ndarray) -> float:
+    """Largest per-component variance ratio between empirical and assumed R.
+
+    Values near 1 mean the assumed covariance matches the pipeline; values
+    far above 1 mean the detector would false-alarm (assumed noise too
+    small), far below 1 that it would be needlessly insensitive.
+    """
+    assumed = np.asarray(assumed, dtype=float)
+    empirical = np.diag(result.covariance)
+    assumed_diag = np.diag(assumed) if assumed.ndim == 2 else assumed
+    ratios = empirical / np.maximum(assumed_diag, 1e-18)
+    return float(np.max(ratios))

@@ -1,0 +1,51 @@
+"""GPS-style position-only sensor.
+
+Reports ``(x, y)`` without heading. On its own it does *not* render a
+pose-state robot observable for unknown-input estimation in a single step —
+this is exactly the Section VI "sensor capabilities" situation the paper
+resolves by grouping (e.g. GPS + magnetometer); see
+:class:`repro.sensors.suite.SensorGroup` and the ablation experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Sensor
+
+__all__ = ["GPS"]
+
+
+class GPS(Sensor):
+    """Planar position fix with isotropic Gaussian noise."""
+
+    def __init__(
+        self,
+        sigma_xy: float = 0.5,
+        name: str = "gps",
+        state_dim: int = 3,
+        position_indices: Sequence[int] = (0, 1),
+    ) -> None:
+        if len(position_indices) != 2:
+            raise ConfigurationError("position_indices must select (x, y)")
+        super().__init__(
+            name=name,
+            dim=2,
+            state_dim=state_dim,
+            covariance=np.diag([sigma_xy**2, sigma_xy**2]),
+            labels=(f"{name}.x", f"{name}.y"),
+        )
+        self._idx = tuple(int(i) for i in position_indices)
+
+    def h(self, state: np.ndarray) -> np.ndarray:
+        state = np.asarray(state, dtype=float)
+        return state[list(self._idx)]
+
+    def jacobian(self, state: np.ndarray) -> np.ndarray:
+        jac = np.zeros((2, self._state_dim))
+        for row, col in enumerate(self._idx):
+            jac[row, col] = 1.0
+        return jac

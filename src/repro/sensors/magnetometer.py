@@ -1,0 +1,47 @@
+"""Magnetometer: heading-only sensor.
+
+The paper's Section VI example of a sensor that cannot reconstruct the state
+alone ("a magnetometer only measures the orientation of a robot") and must be
+grouped with a position sensor to serve as a reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Sensor
+
+__all__ = ["Magnetometer"]
+
+
+class Magnetometer(Sensor):
+    """Absolute heading measurement with Gaussian noise."""
+
+    def __init__(
+        self,
+        sigma_theta: float = 0.02,
+        name: str = "magnetometer",
+        state_dim: int = 3,
+        heading_index: int = 2,
+    ) -> None:
+        if not 0 <= heading_index < state_dim:
+            raise ConfigurationError("heading_index out of state range")
+        super().__init__(
+            name=name,
+            dim=1,
+            state_dim=state_dim,
+            covariance=np.array([[sigma_theta**2]]),
+            labels=(f"{name}.theta",),
+            angular_components=(0,),
+        )
+        self._heading_index = int(heading_index)
+
+    def h(self, state: np.ndarray) -> np.ndarray:
+        state = np.asarray(state, dtype=float)
+        return np.array([state[self._heading_index]])
+
+    def jacobian(self, state: np.ndarray) -> np.ndarray:
+        jac = np.zeros((1, self._state_dim))
+        jac[0, self._heading_index] = 1.0
+        return jac

@@ -1,0 +1,208 @@
+"""Sensor suites: stacking individual sensors into the full measurement.
+
+A robot's measurement vector ``z_k`` is the concatenation of its ``p``
+sensing-workflow outputs. :class:`SensorSuite` owns the ordering, the index
+bookkeeping (which components of ``z`` belong to which sensor) and the
+stacked measurement model used by the estimator. :class:`SensorGroup`
+implements the paper's Section VI remedy for weak sensors: several physical
+sensors treated as a single logical reference unit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, DimensionError
+from ..linalg import block_diag
+from .base import Sensor
+
+__all__ = ["SensorSuite", "SensorGroup"]
+
+
+class SensorGroup(Sensor):
+    """Several sensors fused into one logical sensor.
+
+    The paper (Section VI, "Sensor capabilities"): *"a magnetometer can be
+    grouped together with a GPS sensor to measure both the orientation and
+    the position"* — the group then qualifies as a reference unit even though
+    neither member alone renders the state observable.
+    """
+
+    def __init__(self, name: str, members: Sequence[Sensor]) -> None:
+        if len(members) < 2:
+            raise ConfigurationError("a sensor group needs at least two members")
+        state_dims = {s.state_dim for s in members}
+        if len(state_dims) != 1:
+            raise ConfigurationError("group members must share state_dim")
+        dim = sum(s.dim for s in members)
+        labels: list[str] = []
+        angular: list[int] = []
+        offset = 0
+        for sensor in members:
+            labels.extend(sensor.labels)
+            angular.extend(offset + i for i in sensor.angular_components)
+            offset += sensor.dim
+        covariance = block_diag([s.covariance for s in members])
+        super().__init__(
+            name=name,
+            dim=dim,
+            state_dim=state_dims.pop(),
+            covariance=covariance,
+            labels=labels,
+            angular_components=angular,
+        )
+        self._members = tuple(members)
+
+    @property
+    def members(self) -> tuple[Sensor, ...]:
+        return self._members
+
+    def h(self, state: np.ndarray) -> np.ndarray:
+        return np.concatenate([s.h(state) for s in self._members])
+
+    def jacobian(self, state: np.ndarray) -> np.ndarray:
+        return np.vstack([s.jacobian(state) for s in self._members])
+
+    def measure(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.concatenate([s.measure(state, rng) for s in self._members])
+
+
+class SensorSuite:
+    """Ordered collection of a robot's sensors with stacked-model helpers."""
+
+    def __init__(self, sensors: Sequence[Sensor]) -> None:
+        if not sensors:
+            raise ConfigurationError("a sensor suite needs at least one sensor")
+        names = [s.name for s in sensors]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate sensor names: {names}")
+        state_dims = {s.state_dim for s in sensors}
+        if len(state_dims) != 1:
+            raise ConfigurationError("all sensors in a suite must share state_dim")
+        self._sensors = tuple(sensors)
+        self._state_dim = state_dims.pop()
+        self._slices: dict[str, slice] = {}
+        offset = 0
+        for sensor in sensors:
+            self._slices[sensor.name] = slice(offset, offset + sensor.dim)
+            offset += sensor.dim
+        self._total_dim = offset
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def sensors(self) -> tuple[Sensor, ...]:
+        return self._sensors
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self._sensors)
+
+    @property
+    def state_dim(self) -> int:
+        return self._state_dim
+
+    @property
+    def total_dim(self) -> int:
+        """Dimension of the stacked measurement vector ``z``."""
+        return self._total_dim
+
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def __iter__(self):
+        return iter(self._sensors)
+
+    def sensor(self, name: str) -> Sensor:
+        for s in self._sensors:
+            if s.name == name:
+                return s
+        raise ConfigurationError(f"unknown sensor {name!r}; available: {list(self.names)}")
+
+    def slice_of(self, name: str) -> slice:
+        """Position of *name*'s components inside the stacked vector."""
+        self.sensor(name)  # raise with a helpful message on typos
+        return self._slices[name]
+
+    def indices_of(self, names: Iterable[str]) -> np.ndarray:
+        """Integer indices of the listed sensors' components, in suite order."""
+        ordered = [s.name for s in self._sensors if s.name in set(names)]
+        requested = set(names)
+        known = set(self.names)
+        if not requested <= known:
+            raise ConfigurationError(f"unknown sensors: {sorted(requested - known)}")
+        idx: list[int] = []
+        for name in ordered:
+            sl = self._slices[name]
+            idx.extend(range(sl.start, sl.stop))
+        return np.array(idx, dtype=int)
+
+    # ------------------------------------------------------------------
+    # Stacked measurement model
+    # ------------------------------------------------------------------
+    def h(self, state: np.ndarray, names: Sequence[str] | None = None) -> np.ndarray:
+        """Stacked noise-free measurement, optionally restricted to *names*."""
+        sensors = self._select(names)
+        return np.concatenate([s.h(state) for s in sensors])
+
+    def jacobian(self, state: np.ndarray, names: Sequence[str] | None = None) -> np.ndarray:
+        sensors = self._select(names)
+        return np.vstack([s.jacobian(state) for s in sensors])
+
+    def covariance(self, names: Sequence[str] | None = None) -> np.ndarray:
+        sensors = self._select(names)
+        return block_diag([s.covariance for s in sensors])
+
+    def angular_mask(self, names: Sequence[str] | None = None) -> np.ndarray:
+        sensors = self._select(names)
+        return np.concatenate([s.angular_mask for s in sensors])
+
+    def labels(self, names: Sequence[str] | None = None) -> tuple[str, ...]:
+        sensors = self._select(names)
+        out: list[str] = []
+        for s in sensors:
+            out.extend(s.labels)
+        return tuple(out)
+
+    def _select(self, names: Sequence[str] | None) -> tuple[Sensor, ...]:
+        if names is None:
+            return self._sensors
+        requested = set(names)
+        known = set(self.names)
+        if not requested <= known:
+            raise ConfigurationError(f"unknown sensors: {sorted(requested - known)}")
+        return tuple(s for s in self._sensors if s.name in requested)
+
+    # ------------------------------------------------------------------
+    # Readings
+    # ------------------------------------------------------------------
+    def measure(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Simulate the full stacked reading."""
+        return np.concatenate([s.measure(state, rng) for s in self._sensors])
+
+    def split(self, reading: np.ndarray) -> dict[str, np.ndarray]:
+        """Break a stacked reading into per-sensor sub-vectors."""
+        reading = np.asarray(reading, dtype=float)
+        if reading.shape != (self._total_dim,):
+            raise DimensionError(
+                f"stacked reading must have shape ({self._total_dim},), got {reading.shape}"
+            )
+        return {name: reading[sl].copy() for name, sl in self._slices.items()}
+
+    def stack(self, readings: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Assemble a stacked reading from per-sensor sub-vectors."""
+        missing = set(self.names) - set(readings)
+        if missing:
+            raise ConfigurationError(f"missing readings for sensors: {sorted(missing)}")
+        out = np.zeros(self._total_dim)
+        for sensor in self._sensors:
+            part = np.asarray(readings[sensor.name], dtype=float)
+            if part.shape != (sensor.dim,):
+                raise DimensionError(
+                    f"reading for {sensor.name!r} must have shape ({sensor.dim},), got {part.shape}"
+                )
+            out[self._slices[sensor.name]] = part
+        return out

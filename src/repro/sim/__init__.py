@@ -1,0 +1,35 @@
+"""Closed-loop robot simulation (the paper's Fig 1 system model).
+
+The simulator plays the role of the physical testbed: it integrates the true
+(noisy) dynamics, runs the sensing and actuation workflows with their attack
+injection points, closes the loop through the path-tracking planner, and
+records everything the detector and the evaluation harness need.
+"""
+
+from .bus import CommunicationBus, Packet
+from .platform import PlatformStep, RobotPlatform
+from .simulator import ClosedLoopSimulator
+from .trace import SimulationTrace
+from .workflows import (
+    ActuationWorkflow,
+    FeatureSensingWorkflow,
+    LidarRawWorkflow,
+    OdometryWorkflow,
+    SensingWorkflow,
+    WorkflowContext,
+)
+
+__all__ = [
+    "CommunicationBus",
+    "Packet",
+    "SensingWorkflow",
+    "FeatureSensingWorkflow",
+    "LidarRawWorkflow",
+    "OdometryWorkflow",
+    "ActuationWorkflow",
+    "WorkflowContext",
+    "RobotPlatform",
+    "PlatformStep",
+    "ClosedLoopSimulator",
+    "SimulationTrace",
+]

@@ -1,0 +1,59 @@
+"""Communication bus: the CAN-style backbone connecting workflows and planner.
+
+A synchronous publish/subscribe bus with a bounded packet log. The detector
+never parses packets (it is content-based, not metadata-based — Section
+II-C), but the bus makes the Fig 1 data flows explicit, gives tests a place
+to observe workflow traffic, and supports packet-injection demonstrations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Packet", "CommunicationBus"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One message on the bus."""
+
+    topic: str
+    iteration: int
+    t: float
+    payload: Any
+    source: str
+
+
+class CommunicationBus:
+    """Synchronous topic bus with a bounded history log."""
+
+    def __init__(self, log_size: int = 10000) -> None:
+        self._subscribers: dict[str, list[Callable[[Packet], None]]] = {}
+        self._log: deque[Packet] = deque(maxlen=log_size)
+
+    def subscribe(self, topic: str, callback: Callable[[Packet], None]) -> None:
+        """Register *callback* for packets on *topic*."""
+        self._subscribers.setdefault(topic, []).append(callback)
+
+    def publish(self, packet: Packet) -> None:
+        """Deliver *packet* to all subscribers and append it to the log."""
+        self._log.append(packet)
+        for callback in self._subscribers.get(packet.topic, []):
+            callback(packet)
+
+    def send(self, topic: str, iteration: int, t: float, payload: Any, source: str) -> Packet:
+        """Convenience: build and publish a packet."""
+        packet = Packet(topic=topic, iteration=iteration, t=t, payload=payload, source=source)
+        self.publish(packet)
+        return packet
+
+    def history(self, topic: str | None = None) -> list[Packet]:
+        """Logged packets, optionally filtered by topic."""
+        if topic is None:
+            return list(self._log)
+        return [p for p in self._log if p.topic == topic]
+
+    def clear(self) -> None:
+        self._log.clear()

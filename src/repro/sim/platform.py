@@ -1,0 +1,198 @@
+"""Robot platform: true dynamics plus the sensing/actuation workflows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..attacks.scheduler import AttackSchedule
+from ..dynamics.base import RobotModel
+from ..dynamics.noise import GaussianNoise
+from ..errors import ConfigurationError
+from ..sensors.suite import SensorSuite
+from .bus import CommunicationBus
+from .workflows import ActuationWorkflow, SensingWorkflow, WorkflowContext
+
+__all__ = ["RobotPlatform", "PlatformStep"]
+
+
+@dataclass(frozen=True)
+class PlatformStep:
+    """Result of one physical control iteration.
+
+    ``clean_reading`` is the stacked pre-attack reading (noise included,
+    corruption excluded) — hidden from the detector, used by the
+    evaluation layer's forensics metrics.
+    """
+
+    state: np.ndarray
+    executed_control: np.ndarray
+    readings: dict[str, np.ndarray]
+    stacked_reading: np.ndarray
+    clean_reading: np.ndarray
+
+
+class RobotPlatform:
+    """The physical robot: dynamics, actuators and sensors with workflows.
+
+    Parameters
+    ----------
+    model:
+        Kinematic model integrated with process noise.
+    suite:
+        The measurement models (what the detector knows about the sensors).
+    workflows:
+        One sensing workflow per suite sensor (keyed by sensor name).
+    actuation:
+        The actuation workflow executing planned commands.
+    process_noise:
+        Process-noise covariance ``Q`` (matrix, diagonal or scalar).
+    initial_state:
+        True state at mission start.
+    bus:
+        Optional communication bus (Fig 1's backbone). When present, every
+        sensing workflow publishes its reading to ``sensors/<name>`` and the
+        actuation workflow's executed command to ``actuators/<name>`` — the
+        packet traffic time/fingerprint-based defenses inspect, observable
+        here for tests and demonstrations.
+    """
+
+    def __init__(
+        self,
+        model: RobotModel,
+        suite: SensorSuite,
+        workflows: Mapping[str, SensingWorkflow],
+        actuation: ActuationWorkflow,
+        process_noise,
+        initial_state: Sequence[float],
+        bus: CommunicationBus | None = None,
+    ) -> None:
+        if set(workflows) != set(suite.names):
+            raise ConfigurationError(
+                f"workflows {sorted(workflows)} must match suite sensors {sorted(suite.names)}"
+            )
+        if suite.state_dim != model.state_dim:
+            raise ConfigurationError("sensor suite state_dim must match the model")
+        self._model = model
+        self._suite = suite
+        self._workflows = dict(workflows)
+        self._actuation = actuation
+        self._noise = GaussianNoise(process_noise, model.state_dim, "process noise")
+        self._initial_state = model.normalize_state(np.asarray(initial_state, dtype=float))
+        self._state = self._initial_state.copy()
+        self._bus = bus
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> RobotModel:
+        return self._model
+
+    @property
+    def suite(self) -> SensorSuite:
+        return self._suite
+
+    @property
+    def actuation(self) -> ActuationWorkflow:
+        return self._actuation
+
+    @property
+    def state(self) -> np.ndarray:
+        """The true (hidden) robot state."""
+        return self._state.copy()
+
+    @property
+    def process_noise_covariance(self) -> np.ndarray:
+        return self._noise.covariance
+
+    @property
+    def bus(self) -> CommunicationBus | None:
+        return self._bus
+
+    def reset(self) -> None:
+        """Restore the initial state and reset stateful workflows."""
+        self._state = self._initial_state.copy()
+        self._iteration = 0
+        for workflow in self._workflows.values():
+            workflow.reset(self._state)
+
+    # ------------------------------------------------------------------
+    # Physics
+    # ------------------------------------------------------------------
+    def sense(
+        self,
+        t: float,
+        rng: np.random.Generator,
+        schedule: AttackSchedule,
+        pose_prior: np.ndarray | None = None,
+        executed_control: np.ndarray | None = None,
+    ) -> tuple[dict[str, np.ndarray], np.ndarray, np.ndarray]:
+        """Run every sensing workflow at time *t*.
+
+        Returns ``(per-sensor readings, stacked reading, stacked clean
+        reading)``; the clean stack is the evaluation-layer ground truth.
+        """
+        if pose_prior is None:
+            pose_prior = self._state[:3]
+        if executed_control is None:
+            executed_control = self._model.zero_control()
+        ctx = WorkflowContext(
+            true_state=self._state.copy(),
+            executed_control=np.asarray(executed_control, dtype=float),
+            t=t,
+            rng=rng,
+            schedule=schedule,
+            pose_prior=np.asarray(pose_prior, dtype=float),
+        )
+        readings = {name: wf.produce(ctx) for name, wf in self._workflows.items()}
+        if self._bus is not None:
+            for name, reading in readings.items():
+                self._bus.send(f"sensors/{name}", self._iteration, t, reading.copy(), name)
+        clean = {
+            name: (wf.last_clean if wf.last_clean is not None else readings[name])
+            for name, wf in self._workflows.items()
+        }
+        return readings, self._suite.stack(readings), self._suite.stack(clean)
+
+    def step(
+        self,
+        planned_control: np.ndarray,
+        t_command: float,
+        rng: np.random.Generator,
+        schedule: AttackSchedule,
+        pose_prior: np.ndarray | None = None,
+    ) -> PlatformStep:
+        """One control iteration: execute, integrate, sense.
+
+        *t_command* is the time the command is issued (``t_{k-1}``); sensor
+        readings are taken at ``t_command + dt`` (``t_k``), matching the
+        paper's iteration indexing for ``u_{k-1}`` and ``z_k``.
+        """
+        planned_control = self._model.validate_control(planned_control)
+        self._iteration += 1
+        executed = self._actuation.execute(planned_control, t_command, rng, schedule)
+        if self._bus is not None:
+            self._bus.send(
+                f"actuators/{self._actuation.name}",
+                self._iteration,
+                t_command,
+                np.asarray(executed, dtype=float).copy(),
+                self._actuation.name,
+            )
+        next_state = self._model.f(self._state, executed) + self._noise.sample(rng)
+        self._state = self._model.normalize_state(next_state)
+        t_sense = t_command + self._model.dt
+        readings, stacked, clean = self.sense(
+            t_sense, rng, schedule, pose_prior=pose_prior, executed_control=executed
+        )
+        return PlatformStep(
+            state=self._state.copy(),
+            executed_control=np.asarray(executed, dtype=float),
+            readings=readings,
+            stacked_reading=stacked,
+            clean_reading=clean,
+        )

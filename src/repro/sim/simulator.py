@@ -1,0 +1,160 @@
+"""Closed-loop simulator: planner + platform + attacks (+ detector).
+
+One iteration follows the paper's control loop exactly:
+
+1. the planner reads its latest navigation pose (from the — possibly
+   corrupted — navigation sensor's reading, as in the paper's mission where
+   PID tracking consumes real-time IPS data),
+2. generates the planned command ``u_{k-1}``,
+3. the actuation workflow executes it (attacks may corrupt it),
+4. the true state evolves with process noise,
+5. sensing workflows deliver ``z_k`` (attacks may corrupt them),
+6. optionally, the detector consumes ``(u_{k-1}, z_k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+import numpy as np
+
+from ..attacks.scheduler import AttackSchedule
+from ..errors import ConfigurationError, SimulationError
+from .platform import RobotPlatform
+from .trace import SimulationTrace
+
+__all__ = ["ClosedLoopSimulator"]
+
+
+class _Controller(Protocol):
+    def command(self, pose: np.ndarray, dt: float) -> np.ndarray: ...
+    def reset(self) -> None: ...
+
+
+class _Detector(Protocol):
+    def step(self, planned_control: np.ndarray, reading: np.ndarray) -> Any: ...
+
+
+class ClosedLoopSimulator:
+    """Runs a mission with attacks and (optionally) online detection.
+
+    Parameters
+    ----------
+    platform:
+        The physical robot.
+    controller:
+        A tracking controller with a ``command(pose, dt)`` method.
+    schedule:
+        The run's attack schedule (empty schedule = clean run).
+    nav_sensor:
+        Name of the sensor whose readings the planner navigates by. The
+        first three components of that sensor's reading must be a pose.
+    detector:
+        Optional online detector with a ``step(u, z)`` method whose return
+        value is recorded per iteration.
+    responder:
+        Optional response module (e.g.
+        :class:`repro.core.response.NavigationFailover`) with a
+        ``navigation_pose(readings, report)`` method; when present (and a
+        detector is), it chooses the pose the planner navigates by each
+        iteration instead of the fixed ``nav_sensor``.
+    """
+
+    def __init__(
+        self,
+        platform: RobotPlatform,
+        controller: _Controller,
+        schedule: AttackSchedule | None = None,
+        nav_sensor: str = "ips",
+        detector: Any = None,
+        responder: Any = None,
+    ) -> None:
+        if nav_sensor not in platform.suite.names:
+            raise ConfigurationError(
+                f"nav sensor {nav_sensor!r} not in suite {list(platform.suite.names)}"
+            )
+        if platform.suite.sensor(nav_sensor).dim < 3:
+            raise ConfigurationError("navigation sensor must report at least (x, y, theta)")
+        self._platform = platform
+        self._controller = controller
+        self._schedule = schedule or AttackSchedule()
+        if responder is not None and detector is None:
+            raise ConfigurationError("a responder requires a detector")
+        self._nav_sensor = nav_sensor
+        self._detector = detector
+        self._responder = responder
+
+    @property
+    def platform(self) -> RobotPlatform:
+        return self._platform
+
+    @property
+    def schedule(self) -> AttackSchedule:
+        return self._schedule
+
+    def run(
+        self,
+        n_steps: int,
+        rng: np.random.Generator,
+        on_iteration: Callable[[int, SimulationTrace], None] | None = None,
+        stop_condition: Callable[[], bool] | None = None,
+    ) -> SimulationTrace:
+        """Simulate up to *n_steps* control iterations and return the trace.
+
+        ``stop_condition`` is polled after each iteration; returning True
+        ends the mission early (e.g. goal reached).
+        """
+        if n_steps < 1:
+            raise SimulationError("n_steps must be at least 1")
+        platform = self._platform
+        model = platform.model
+        dt = model.dt
+
+        platform.reset()
+        self._schedule.reset()
+        self._controller.reset()
+        if self._responder is not None:
+            self._responder.reset()
+
+        trace = SimulationTrace(dt=dt, sensor_names=platform.suite.names)
+
+        # Initial readings at t=0 bootstrap the planner's navigation pose.
+        initial_readings, _, _ = platform.sense(0.0, rng, self._schedule)
+        nav_pose = np.asarray(initial_readings[self._nav_sensor][:3], dtype=float)
+
+        for k in range(1, n_steps + 1):
+            t_command = (k - 1) * dt
+            planned = model.validate_control(self._controller.command(nav_pose, dt))
+            step = platform.step(
+                planned, t_command, rng, self._schedule, pose_prior=nav_pose
+            )
+            t_sense = t_command + dt
+
+            report = None
+            if self._detector is not None:
+                report = self._detector.step(planned, step.stacked_reading)
+
+            if self._responder is not None and report is not None:
+                nav_pose = np.asarray(
+                    self._responder.navigation_pose(step.readings, report), dtype=float
+                )
+            else:
+                nav_pose = np.asarray(step.readings[self._nav_sensor][:3], dtype=float)
+
+            trace.append(
+                t=t_sense,
+                true_state=step.state,
+                planned=planned,
+                executed=step.executed_control,
+                reading=step.stacked_reading,
+                nav_pose=nav_pose,
+                corrupted_sensors=self._schedule.corrupted_sensors(t_sense),
+                actuator_corrupted=self._schedule.actuator_corrupted(t_command),
+                report=report,
+                clean_reading=step.clean_reading,
+            )
+            if on_iteration is not None:
+                on_iteration(k, trace)
+            if stop_condition is not None and stop_condition():
+                break
+        return trace

@@ -1,0 +1,171 @@
+"""Simulation traces: everything one closed-loop run produced.
+
+A trace stores, per control iteration ``k`` (1-based, at time ``t_k``):
+
+* the true state ``x_k`` (hidden from the detector),
+* planned ``u_{k-1}`` and executed ``u_{k-1} + d^a`` commands,
+* the stacked sensor reading ``z_k`` the planner received,
+* ground truth: the set of sensing workflows under active misbehavior at
+  ``t_k`` and whether the actuation workflow was under misbehavior at
+  ``t_{k-1}``,
+* optionally the detector's per-iteration report.
+
+Traces are the single interchange format between the simulator, the
+evaluation metrics and the offline decision-parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["SimulationTrace"]
+
+
+@dataclass
+class SimulationTrace:
+    """Recorded closed-loop run."""
+
+    dt: float
+    sensor_names: tuple[str, ...]
+    times: list[float] = field(default_factory=list)
+    true_states: list[np.ndarray] = field(default_factory=list)
+    planned_controls: list[np.ndarray] = field(default_factory=list)
+    executed_controls: list[np.ndarray] = field(default_factory=list)
+    readings: list[np.ndarray] = field(default_factory=list)
+    nav_poses: list[np.ndarray] = field(default_factory=list)
+    truth_sensors: list[frozenset[str]] = field(default_factory=list)
+    truth_actuator: list[bool] = field(default_factory=list)
+    reports: list[Any] = field(default_factory=list)
+    clean_readings: list[np.ndarray] = field(default_factory=list)
+
+    def append(
+        self,
+        t: float,
+        true_state: np.ndarray,
+        planned: np.ndarray,
+        executed: np.ndarray,
+        reading: np.ndarray,
+        nav_pose: np.ndarray,
+        corrupted_sensors: frozenset[str],
+        actuator_corrupted: bool,
+        report: Any = None,
+        clean_reading: np.ndarray | None = None,
+    ) -> None:
+        self.times.append(float(t))
+        self.true_states.append(np.asarray(true_state, dtype=float).copy())
+        self.planned_controls.append(np.asarray(planned, dtype=float).copy())
+        self.executed_controls.append(np.asarray(executed, dtype=float).copy())
+        self.readings.append(np.asarray(reading, dtype=float).copy())
+        self.nav_poses.append(np.asarray(nav_pose, dtype=float).copy())
+        self.truth_sensors.append(frozenset(corrupted_sensors))
+        self.truth_actuator.append(bool(actuator_corrupted))
+        self.reports.append(report)
+        if clean_reading is None:
+            clean_reading = reading
+        self.clean_readings.append(np.asarray(clean_reading, dtype=float).copy())
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def has_reports(self) -> bool:
+        return any(r is not None for r in self.reports)
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+    def times_array(self) -> np.ndarray:
+        return np.asarray(self.times)
+
+    def states_array(self) -> np.ndarray:
+        return np.asarray(self.true_states)
+
+    def planned_array(self) -> np.ndarray:
+        return np.asarray(self.planned_controls)
+
+    def executed_array(self) -> np.ndarray:
+        return np.asarray(self.executed_controls)
+
+    def readings_array(self) -> np.ndarray:
+        return np.asarray(self.readings)
+
+    def actual_actuator_anomaly(self) -> np.ndarray:
+        """Ground-truth ``d^a`` per iteration (executed minus planned)."""
+        return self.executed_array() - self.planned_array()
+
+    def clean_readings_array(self) -> np.ndarray:
+        return np.asarray(self.clean_readings)
+
+    def actual_sensor_anomaly(self) -> np.ndarray:
+        """Ground-truth ``d^s`` per iteration (delivered minus clean reading)."""
+        return self.readings_array() - self.clean_readings_array()
+
+    def first_index_at(self, t: float) -> int:
+        """Index of the first iteration at or after mission time *t*."""
+        times = self.times_array()
+        idx = int(np.searchsorted(times, t - 1e-9))
+        if idx >= len(times):
+            raise SimulationError(f"time {t} is beyond the trace end {times[-1] if len(times) else 0}")
+        return idx
+
+    def truth_condition(self, index: int) -> tuple[frozenset[str], bool]:
+        """Ground-truth (corrupted sensors, actuator corrupted) at *index*."""
+        return self.truth_sensors[index], self.truth_actuator[index]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the trace to a compressed ``.npz`` archive.
+
+        Everything except the detector reports round-trips (reports hold
+        rich nested objects; regenerate them offline by replaying the saved
+        controls/readings through :meth:`repro.core.detector.RoboADS.replay`).
+        """
+        np.savez_compressed(
+            path,
+            dt=np.array(self.dt),
+            sensor_names=np.array(self.sensor_names, dtype=np.str_),
+            times=self.times_array(),
+            true_states=self.states_array(),
+            planned=self.planned_array(),
+            executed=self.executed_array(),
+            readings=self.readings_array(),
+            clean_readings=self.clean_readings_array(),
+            nav_poses=np.asarray(self.nav_poses),
+            truth_sensors=np.array(
+                ["|".join(sorted(s)) for s in self.truth_sensors], dtype=np.str_
+            ),
+            truth_actuator=np.asarray(self.truth_actuator, dtype=bool),
+        )
+
+    @classmethod
+    def load(cls, path) -> "SimulationTrace":
+        """Load a trace saved with :meth:`save` (reports come back as None)."""
+        with np.load(path, allow_pickle=False) as data:
+            trace = cls(
+                dt=float(data["dt"]),
+                sensor_names=tuple(str(n) for n in data["sensor_names"]),
+            )
+            n = data["times"].shape[0]
+            for k in range(n):
+                encoded = str(data["truth_sensors"][k])
+                sensors = frozenset(encoded.split("|")) if encoded else frozenset()
+                trace.append(
+                    t=float(data["times"][k]),
+                    true_state=data["true_states"][k],
+                    planned=data["planned"][k],
+                    executed=data["executed"][k],
+                    reading=data["readings"][k],
+                    nav_pose=data["nav_poses"][k],
+                    corrupted_sensors=sensors,
+                    actuator_corrupted=bool(data["truth_actuator"][k]),
+                    report=None,
+                    clean_reading=data["clean_readings"][k],
+                )
+        return trace

@@ -1,0 +1,296 @@
+"""Sensing and actuation workflows (paper Fig 1/Fig 2).
+
+A *sensing workflow* carries a physical signal through capture, digitization
+and processing into the reading the planner receives; an *actuation workflow*
+carries a planned command through decoding and amplification into a physical
+actuation. Misbehaviors inject at the stage matching their channel:
+
+* **physical** — at the transducer: before (actuation) or during (sensing)
+  the physical interaction;
+* **cyber** — in the workflow software: after capture (sensing) or before
+  hardware execution (actuation).
+
+The detector never observes which stage was corrupted; the distinction only
+shapes *what* corruption is physically plausible (e.g. wheel jamming applies
+after motor saturation — a jammed wheel ignores whatever the firmware
+commands).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..actuators.base import Actuator
+from ..attacks.base import AttackChannel, AttackTarget
+from ..attacks.scheduler import AttackSchedule
+from ..dynamics.differential_drive import DifferentialDriveModel
+from ..errors import ConfigurationError
+from ..linalg import wrap_angle
+from ..sensors.base import Sensor
+from ..sensors.lidar import RayCastLidar, ScanFeatureExtractor, WallDistanceSensor
+
+__all__ = [
+    "WorkflowContext",
+    "SensingWorkflow",
+    "FeatureSensingWorkflow",
+    "LidarRawWorkflow",
+    "OdometryWorkflow",
+    "ActuationWorkflow",
+]
+
+
+@dataclass(frozen=True)
+class WorkflowContext:
+    """Everything a workflow may need for one control iteration.
+
+    Attributes
+    ----------
+    true_state:
+        The robot's true state after this iteration's motion.
+    executed_control:
+        The control the actuators physically executed this iteration.
+    t:
+        Mission time of the new sensor readings (``t_k``).
+    rng:
+        The run's random generator.
+    schedule:
+        Active attack schedule.
+    pose_prior:
+        The planner's latest pose belief — available to utility processes
+        that need a rough prior (scan-to-wall association), mirroring a real
+        localization stack.
+    """
+
+    true_state: np.ndarray
+    executed_control: np.ndarray
+    t: float
+    rng: np.random.Generator
+    schedule: AttackSchedule
+    pose_prior: np.ndarray
+
+
+def _apply_channel(
+    schedule: AttackSchedule,
+    sensor_name: str,
+    value: np.ndarray,
+    t: float,
+    rng: np.random.Generator,
+    channel: AttackChannel,
+    whole_vector_only: bool = False,
+) -> np.ndarray:
+    """Apply the schedule's attacks of one channel to a sensing value."""
+    out = np.asarray(value, dtype=float).copy()
+    for attack in schedule.attacks:
+        if attack.target is not AttackTarget.SENSOR or attack.workflow != sensor_name:
+            continue
+        if attack.channel is not channel or not attack.active(t):
+            continue
+        if whole_vector_only and attack.components is not None:
+            continue
+        out = attack.apply(out, t, rng)
+    return out
+
+
+class SensingWorkflow(ABC):
+    """A sensing workflow: produces the reading one sensor delivers.
+
+    Implementations stash the *clean* value (post-noise, pre-attack) in
+    :attr:`last_clean` each iteration; the simulator records it so the
+    evaluation layer can compute the ground-truth corruption
+    ``d^s = delivered - clean`` for forensics quantification metrics.
+    """
+
+    def __init__(self, sensor: Sensor) -> None:
+        self._sensor = sensor
+        self.last_clean: np.ndarray | None = None
+
+    @property
+    def sensor(self) -> Sensor:
+        """The measurement model of this workflow's output."""
+        return self._sensor
+
+    @property
+    def name(self) -> str:
+        return self._sensor.name
+
+    @abstractmethod
+    def produce(self, ctx: WorkflowContext) -> np.ndarray:
+        """The (possibly corrupted) reading delivered to the planner."""
+
+    def reset(self, initial_state: np.ndarray) -> None:
+        """Reset per-run state (default: stateless)."""
+
+
+class FeatureSensingWorkflow(SensingWorkflow):
+    """Feature-level workflow: measure, then corrupt per channel.
+
+    Physical attacks corrupt the captured signal; cyber attacks corrupt the
+    processed reading. For a feature-level simulation both act on the same
+    vector, in physical-then-cyber order (matching the pipeline direction of
+    Fig 2a).
+    """
+
+    def produce(self, ctx: WorkflowContext) -> np.ndarray:
+        reading = self._sensor.measure(ctx.true_state, ctx.rng)
+        self.last_clean = reading.copy()
+        reading = _apply_channel(
+            ctx.schedule, self.name, reading, ctx.t, ctx.rng, AttackChannel.PHYSICAL
+        )
+        reading = _apply_channel(
+            ctx.schedule, self.name, reading, ctx.t, ctx.rng, AttackChannel.CYBER
+        )
+        return reading
+
+
+class LidarRawWorkflow(SensingWorkflow):
+    """Raw-pipeline LiDAR workflow: ray-cast scan -> feature extraction.
+
+    Whole-vector physical attacks (DoS / wire cut) corrupt the *scan ranges*;
+    component-targeted physical attacks (blocking one direction) and all
+    cyber attacks corrupt the extracted features — the closest faithful
+    mapping of Table II's LiDAR scenarios onto a staged pipeline.
+    """
+
+    def __init__(
+        self,
+        feature_sensor: WallDistanceSensor,
+        raycaster: RayCastLidar,
+        extractor: ScanFeatureExtractor | None = None,
+    ) -> None:
+        super().__init__(feature_sensor)
+        if extractor is None:
+            extractor = ScanFeatureExtractor(feature_sensor.world, feature_sensor.wall_names)
+        if tuple(extractor.wall_names) != tuple(feature_sensor.wall_names):
+            raise ConfigurationError("extractor walls must match the feature sensor's walls")
+        self._raycaster = raycaster
+        self._extractor = extractor
+
+    def produce(self, ctx: WorkflowContext) -> np.ndarray:
+        scan = self._raycaster.scan(ctx.true_state[:3], ctx.rng)
+        ranges = np.asarray(scan.ranges, dtype=float)
+        corrupted_ranges = _apply_channel(
+            ctx.schedule,
+            self.name,
+            ranges,
+            ctx.t,
+            ctx.rng,
+            AttackChannel.PHYSICAL,
+            whole_vector_only=True,
+        )
+        from ..sensors.lidar import LidarScan
+
+        clean_scan = LidarScan(tuple(ranges), scan.relative_angles, scan.max_range)
+        self.last_clean = self._extractor.extract(clean_scan, ctx.pose_prior)
+        scan = LidarScan(tuple(corrupted_ranges), scan.relative_angles, scan.max_range)
+        features = self._extractor.extract(scan, ctx.pose_prior)
+        for attack in ctx.schedule.attacks:
+            if (
+                attack.target is AttackTarget.SENSOR
+                and attack.workflow == self.name
+                and attack.active(ctx.t)
+                and not (attack.channel is AttackChannel.PHYSICAL and attack.components is None)
+            ):
+                features = attack.apply(features, ctx.t, ctx.rng)
+        return features
+
+
+class OdometryWorkflow(SensingWorkflow):
+    """Tick-integrating wheel-encoder workflow (drift-realistic mode).
+
+    Dead-reckons a pose from the *executed* wheel speeds with per-step tick
+    quantization noise. Unlike the feature-level
+    :class:`~repro.sensors.pose_sensors.OdometryPoseSensor`, its error
+    accumulates over the mission — the model mismatch the ablation experiment
+    quantifies, and one practical reason the paper's decision maker needs a
+    sliding window.
+    """
+
+    def __init__(
+        self,
+        sensor: Sensor,
+        drive: DifferentialDriveModel,
+        tick_sigma: float = 5.0e-4,
+    ) -> None:
+        super().__init__(sensor)
+        self._drive = drive
+        self._tick_sigma = float(tick_sigma)
+        self._pose: np.ndarray | None = None
+
+    def reset(self, initial_state: np.ndarray) -> None:
+        self._pose = np.asarray(initial_state[:3], dtype=float).copy()
+
+    def produce(self, ctx: WorkflowContext) -> np.ndarray:
+        if self._pose is None:
+            self._pose = np.asarray(ctx.true_state[:3], dtype=float).copy()
+        # Wheel arc lengths over the period, quantized with tick noise.
+        speeds = np.asarray(ctx.executed_control, dtype=float)
+        arcs = speeds * self._drive.dt + self._tick_sigma * ctx.rng.standard_normal(2)
+        forward = float(np.mean(arcs))
+        dtheta = float((arcs[1] - arcs[0]) / self._drive.wheel_base)
+        theta = self._pose[2]
+        self._pose = np.array(
+            [
+                self._pose[0] + forward * np.cos(theta),
+                self._pose[1] + forward * np.sin(theta),
+                wrap_angle(theta + dtheta),
+            ]
+        )
+        reading = self._pose.copy()
+        self.last_clean = reading.copy()
+        reading = _apply_channel(
+            ctx.schedule, self.name, reading, ctx.t, ctx.rng, AttackChannel.PHYSICAL
+        )
+        reading = _apply_channel(
+            ctx.schedule, self.name, reading, ctx.t, ctx.rng, AttackChannel.CYBER
+        )
+        return reading
+
+
+class ActuationWorkflow:
+    """An actuation workflow: planned command -> physically executed command.
+
+    Pipeline order (Fig 2b): cyber corruption of the command inside the
+    workflow software, hardware execution (saturation/quantization), then
+    physical corruption at the actuator (jamming, blowout — effects the
+    motor driver cannot override).
+    """
+
+    def __init__(self, actuator: Actuator) -> None:
+        self._actuator = actuator
+
+    @property
+    def actuator(self) -> Actuator:
+        return self._actuator
+
+    @property
+    def name(self) -> str:
+        return self._actuator.name
+
+    def execute(
+        self,
+        planned: np.ndarray,
+        t: float,
+        rng: np.random.Generator,
+        schedule: AttackSchedule,
+    ) -> np.ndarray:
+        """The command the physical world actually receives at time *t*."""
+        command = np.asarray(planned, dtype=float).copy()
+        for attack in schedule.attacks:
+            if (
+                attack.target is AttackTarget.ACTUATOR
+                and attack.workflow == self.name
+                and attack.channel is AttackChannel.CYBER
+            ):
+                command = attack.apply(command, t, rng)
+        command = self._actuator.execute(command)
+        for attack in schedule.attacks:
+            if (
+                attack.target is AttackTarget.ACTUATOR
+                and attack.workflow == self.name
+                and attack.channel is AttackChannel.PHYSICAL
+            ):
+                command = attack.apply(command, t, rng)
+        return command

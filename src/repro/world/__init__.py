@@ -1,0 +1,35 @@
+"""2-D world substrate: geometry, obstacles, wall maps and arena presets.
+
+The mobile robots in the paper operate in an indoor arena bounded by walls
+(the Khepera experiments run inside a Vicon-instrumented room). This package
+provides the geometric world the simulator and the LiDAR sensors ray-cast
+against, plus the obstacle maps the RRT* planner plans around.
+"""
+
+from .geometry import (
+    Ray,
+    Segment,
+    distance_point_to_segment,
+    ray_segment_intersection,
+    segments_intersect,
+)
+from .obstacles import CircleObstacle, Obstacle, PolygonObstacle, RectangleObstacle
+from .map import Wall, WorldMap
+from .presets import cluttered_arena, corridor_arena, paper_arena
+
+__all__ = [
+    "Ray",
+    "Segment",
+    "distance_point_to_segment",
+    "ray_segment_intersection",
+    "segments_intersect",
+    "Obstacle",
+    "CircleObstacle",
+    "PolygonObstacle",
+    "RectangleObstacle",
+    "Wall",
+    "WorldMap",
+    "paper_arena",
+    "corridor_arena",
+    "cluttered_arena",
+]

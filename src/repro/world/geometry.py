@@ -1,0 +1,198 @@
+"""Planar geometry primitives used by maps, LiDAR ray casting and planning.
+
+Everything works on plain ``(x, y)`` float pairs (NumPy arrays of shape
+``(2,)``) to avoid forcing a Point class on callers; small frozen dataclasses
+wrap segments and rays where named fields help readability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import DimensionError
+
+__all__ = [
+    "Segment",
+    "Ray",
+    "as_point",
+    "segments_intersect",
+    "ray_segment_intersection",
+    "distance_point_to_segment",
+    "distance_point_to_line",
+    "project_point_to_segment",
+]
+
+_EPS = 1e-12
+
+
+def as_point(value: Iterable[float]) -> np.ndarray:
+    """Coerce *value* into a ``(2,)`` float array."""
+    arr = np.asarray(value, dtype=float).reshape(-1)
+    if arr.shape != (2,):
+        raise DimensionError(f"a 2-D point is required, got shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A closed line segment between two endpoints."""
+
+    start: tuple[float, float]
+    end: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", tuple(float(v) for v in self.start))
+        object.__setattr__(self, "end", tuple(float(v) for v in self.end))
+
+    @property
+    def p0(self) -> np.ndarray:
+        return np.array(self.start, dtype=float)
+
+    @property
+    def p1(self) -> np.ndarray:
+        return np.array(self.end, dtype=float)
+
+    @property
+    def length(self) -> float:
+        return float(np.linalg.norm(self.p1 - self.p0))
+
+    @property
+    def direction(self) -> np.ndarray:
+        """Unit vector from start to end (zero vector for degenerate segments)."""
+        delta = self.p1 - self.p0
+        norm = np.linalg.norm(delta)
+        if norm < _EPS:
+            return np.zeros(2)
+        return delta / norm
+
+    @property
+    def normal(self) -> np.ndarray:
+        """Unit normal (left of the direction of travel)."""
+        d = self.direction
+        return np.array([-d[1], d[0]])
+
+    @property
+    def angle(self) -> float:
+        """Orientation of the segment in radians."""
+        delta = self.p1 - self.p0
+        return float(np.arctan2(delta[1], delta[0]))
+
+    def midpoint(self) -> np.ndarray:
+        return 0.5 * (self.p0 + self.p1)
+
+
+@dataclass(frozen=True)
+class Ray:
+    """A half-line from *origin* in direction *angle* (radians)."""
+
+    origin: tuple[float, float]
+    angle: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "origin", tuple(float(v) for v in self.origin))
+        object.__setattr__(self, "angle", float(self.angle))
+
+    @property
+    def p0(self) -> np.ndarray:
+        return np.array(self.origin, dtype=float)
+
+    @property
+    def direction(self) -> np.ndarray:
+        return np.array([np.cos(self.angle), np.sin(self.angle)])
+
+    def point_at(self, distance: float) -> np.ndarray:
+        return self.p0 + distance * self.direction
+
+
+def _cross(a: np.ndarray, b: np.ndarray) -> float:
+    return float(a[0] * b[1] - a[1] * b[0])
+
+
+def segments_intersect(seg_a: Segment, seg_b: Segment) -> bool:
+    """Whether two closed segments intersect (including touching endpoints)."""
+    p, r = seg_a.p0, seg_a.p1 - seg_a.p0
+    q, s = seg_b.p0, seg_b.p1 - seg_b.p0
+    rxs = _cross(r, s)
+    qp = q - p
+    if abs(rxs) < _EPS:
+        # Parallel: intersect only if collinear and overlapping.
+        if abs(_cross(qp, r)) > _EPS:
+            return False
+        rr = float(r @ r)
+        if rr < _EPS:
+            # seg_a degenerates to a point; test it against seg_b instead.
+            return distance_point_to_segment(p, seg_b) < _EPS
+        t0 = float(qp @ r) / rr
+        t1 = t0 + float(s @ r) / rr
+        lo, hi = min(t0, t1), max(t0, t1)
+        return hi >= -_EPS and lo <= 1.0 + _EPS
+    t = _cross(qp, s) / rxs
+    u = _cross(qp, r) / rxs
+    return -_EPS <= t <= 1.0 + _EPS and -_EPS <= u <= 1.0 + _EPS
+
+
+def ray_segment_intersection(ray: Ray, segment: Segment) -> float | None:
+    """Distance along *ray* to its first intersection with *segment*.
+
+    Returns ``None`` when the ray misses the segment. Distances smaller than
+    a tiny epsilon (the ray origin lying exactly on the segment) count as 0.
+    """
+    p = ray.p0
+    r = ray.direction
+    q = segment.p0
+    s = segment.p1 - segment.p0
+    rxs = _cross(r, s)
+    qp = q - p
+    if abs(rxs) < _EPS:
+        if abs(_cross(qp, r)) > _EPS:
+            return None
+        # Collinear: the nearest endpoint ahead of the origin.
+        t0 = float(qp @ r)
+        t1 = float((q + s - p) @ r)
+        candidates = [t for t in (t0, t1) if t >= -_EPS]
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))
+    t = _cross(qp, s) / rxs
+    u = _cross(qp, r) / rxs
+    if t >= -_EPS and -_EPS <= u <= 1.0 + _EPS:
+        return max(0.0, t)
+    return None
+
+
+def project_point_to_segment(point: Iterable[float], segment: Segment) -> tuple[np.ndarray, float]:
+    """Closest point on *segment* to *point* and the clamped parameter t."""
+    p = as_point(point)
+    a, b = segment.p0, segment.p1
+    ab = b - a
+    denom = float(ab @ ab)
+    if denom < _EPS:
+        return a.copy(), 0.0
+    t = float((p - a) @ ab) / denom
+    t = min(1.0, max(0.0, t))
+    return a + t * ab, t
+
+
+def distance_point_to_segment(point: Iterable[float], segment: Segment) -> float:
+    """Euclidean distance from *point* to the closed segment."""
+    p = as_point(point)
+    closest, _ = project_point_to_segment(p, segment)
+    return float(np.linalg.norm(p - closest))
+
+
+def distance_point_to_line(point: Iterable[float], segment: Segment) -> float:
+    """Signed perpendicular distance from *point* to the infinite line of *segment*.
+
+    Positive on the left of the segment direction. Used by the LiDAR
+    wall-distance measurement model, where walls extend across the whole
+    arena side and perpendicular distance is the natural feature.
+    """
+    p = as_point(point)
+    d = segment.direction
+    if not d.any():
+        return float(np.linalg.norm(p - segment.p0))
+    n = np.array([-d[1], d[0]])
+    return float((p - segment.p0) @ n)

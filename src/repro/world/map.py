@@ -1,0 +1,202 @@
+"""World map: named boundary walls, obstacles, ray casting and free-space tests.
+
+The arena corresponds to the Vicon-instrumented room in the paper's Khepera
+experiments. Walls are *named* so the LiDAR wall-distance measurement model
+(Fig 6, plot 3: distances to three walls) can reference specific walls, and
+so the "LiDAR sensor blocking" scenario (Table II #7) can corrupt the reading
+toward one particular wall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .geometry import Ray, Segment, as_point, distance_point_to_line, segments_intersect
+from .obstacles import Obstacle
+
+__all__ = ["Wall", "WorldMap"]
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A named boundary wall.
+
+    The wall's segment direction defines its inward normal (left-hand side);
+    perpendicular distance from a robot inside the arena is positive when the
+    walls wind counter-clockwise.
+    """
+
+    name: str
+    segment: Segment
+
+    def distance_from(self, point: Iterable[float]) -> float:
+        """Perpendicular distance from *point* to the wall line."""
+        return distance_point_to_line(point, self.segment)
+
+
+class WorldMap:
+    """A bounded rectangular (or polygonal) arena with walls and obstacles.
+
+    Parameters
+    ----------
+    walls:
+        Boundary walls. For the common axis-aligned rectangular arena use
+        :meth:`WorldMap.rectangle`, which names walls ``south``, ``east``,
+        ``north`` and ``west`` and winds them counter-clockwise so inward
+        distances are positive.
+    obstacles:
+        Interior obstacles (planning keep-out regions, also visible to
+        ray-cast LiDAR).
+    """
+
+    def __init__(self, walls: Sequence[Wall], obstacles: Sequence[Obstacle] = ()) -> None:
+        if not walls:
+            raise ConfigurationError("a world map needs at least one wall")
+        names = [w.name for w in walls]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate wall names: {names}")
+        self._walls: dict[str, Wall] = {w.name: w for w in walls}
+        self._wall_list = list(walls)
+        self._obstacles = list(obstacles)
+        xs = [w.segment.start[0] for w in walls] + [w.segment.end[0] for w in walls]
+        ys = [w.segment.start[1] for w in walls] + [w.segment.end[1] for w in walls]
+        self._bounds = (min(xs), min(ys), max(xs), max(ys))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def rectangle(
+        cls,
+        width: float,
+        height: float,
+        obstacles: Sequence[Obstacle] = (),
+    ) -> "WorldMap":
+        """Axis-aligned rectangular arena ``[0, width] x [0, height]``.
+
+        Walls wind counter-clockwise: ``south`` (y=0), ``east`` (x=width),
+        ``north`` (y=height), ``west`` (x=0).
+        """
+        if width <= 0 or height <= 0:
+            raise ConfigurationError("arena width/height must be positive")
+        walls = [
+            Wall("south", Segment((0.0, 0.0), (width, 0.0))),
+            Wall("east", Segment((width, 0.0), (width, height))),
+            Wall("north", Segment((width, height), (0.0, height))),
+            Wall("west", Segment((0.0, height), (0.0, 0.0))),
+        ]
+        return cls(walls, obstacles)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def walls(self) -> list[Wall]:
+        return list(self._wall_list)
+
+    @property
+    def obstacles(self) -> list[Obstacle]:
+        return list(self._obstacles)
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` bounding box of the walls."""
+        return self._bounds
+
+    def wall(self, name: str) -> Wall:
+        try:
+            return self._walls[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown wall {name!r}; available: {sorted(self._walls)}"
+            ) from None
+
+    def wall_names(self) -> list[str]:
+        return [w.name for w in self._wall_list]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def in_bounds(self, point: Iterable[float], margin: float = 0.0) -> bool:
+        x, y = as_point(point)
+        xmin, ymin, xmax, ymax = self._bounds
+        return (xmin + margin) <= x <= (xmax - margin) and (ymin + margin) <= y <= (ymax - margin)
+
+    def point_free(self, point: Iterable[float], margin: float = 0.0) -> bool:
+        """Whether *point* lies in free space (inside bounds, outside obstacles)."""
+        if not self.in_bounds(point, margin):
+            return False
+        return not any(obs.contains(point, margin) for obs in self._obstacles)
+
+    def segment_free(self, segment: Segment, margin: float = 0.0) -> bool:
+        """Whether *segment* avoids all obstacles and stays within bounds."""
+        if not (self.in_bounds(segment.start, margin) and self.in_bounds(segment.end, margin)):
+            return False
+        for wall in self._wall_list:
+            if segments_intersect(segment, wall.segment):
+                # Touching the boundary exactly counts as collision.
+                if not (self.in_bounds(segment.start, 0.0) and self.in_bounds(segment.end, 0.0)):
+                    return False
+        return not any(obs.intersects_segment(segment, margin) for obs in self._obstacles)
+
+    def wall_distances(self, point: Iterable[float], wall_names: Sequence[str]) -> np.ndarray:
+        """Perpendicular distances from *point* to the named walls."""
+        return np.array([self.wall(name).distance_from(point) for name in wall_names])
+
+    # ------------------------------------------------------------------
+    # Ray casting
+    # ------------------------------------------------------------------
+    def cast_ray(self, ray: Ray, max_range: float = np.inf) -> float:
+        """Range to the nearest wall or obstacle along *ray* (capped at max_range)."""
+        from .geometry import ray_segment_intersection
+
+        best = max_range
+        for wall in self._wall_list:
+            hit = ray_segment_intersection(ray, wall.segment)
+            if hit is not None and hit < best:
+                best = hit
+        for obs in self._obstacles:
+            for seg in obs.boundary_segments():
+                hit = ray_segment_intersection(ray, seg)
+                if hit is not None and hit < best:
+                    best = hit
+        return float(best)
+
+    def scan(
+        self,
+        origin: Iterable[float],
+        heading: float,
+        fov: float,
+        n_beams: int,
+        max_range: float,
+    ) -> np.ndarray:
+        """Simulate a LiDAR scan: *n_beams* ranges over *fov* centred on *heading*."""
+        origin = tuple(as_point(origin))
+        if n_beams < 1:
+            raise ConfigurationError("a scan needs at least one beam")
+        if n_beams == 1:
+            angles = np.array([heading])
+        else:
+            angles = heading + np.linspace(-fov / 2.0, fov / 2.0, n_beams)
+        return np.array([self.cast_ray(Ray(origin, a), max_range) for a in angles])
+
+    def beam_angles(self, heading: float, fov: float, n_beams: int) -> np.ndarray:
+        """Absolute beam angles matching :meth:`scan` ordering."""
+        if n_beams == 1:
+            return np.array([heading])
+        return heading + np.linspace(-fov / 2.0, fov / 2.0, n_beams)
+
+    def sample_free(self, rng: np.random.Generator, margin: float = 0.0, max_tries: int = 1000) -> np.ndarray:
+        """Uniformly sample a free-space point (used by RRT*)."""
+        xmin, ymin, xmax, ymax = self._bounds
+        for _ in range(max_tries):
+            point = np.array(
+                [rng.uniform(xmin + margin, xmax - margin), rng.uniform(ymin + margin, ymax - margin)]
+            )
+            if self.point_free(point, margin):
+                return point
+        raise ConfigurationError("could not sample a free point; map may be fully blocked")

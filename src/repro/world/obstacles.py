@@ -1,0 +1,127 @@
+"""Obstacles the planner must avoid and the LiDAR can see.
+
+Obstacles expose three operations: point containment (with an inflation
+margin for robot radius), segment collision (for RRT* edge checks) and the
+boundary segments used for ray casting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .geometry import Segment, as_point, distance_point_to_segment, segments_intersect
+
+__all__ = ["Obstacle", "CircleObstacle", "PolygonObstacle", "RectangleObstacle"]
+
+
+class Obstacle(ABC):
+    """Interface shared by all obstacle shapes."""
+
+    @abstractmethod
+    def contains(self, point: Iterable[float], margin: float = 0.0) -> bool:
+        """Whether *point* lies inside the obstacle inflated by *margin*."""
+
+    @abstractmethod
+    def intersects_segment(self, segment: Segment, margin: float = 0.0) -> bool:
+        """Whether *segment* passes through the obstacle inflated by *margin*."""
+
+    @abstractmethod
+    def boundary_segments(self) -> list[Segment]:
+        """Boundary of the obstacle as segments for LiDAR ray casting."""
+
+
+@dataclass(frozen=True)
+class CircleObstacle(Obstacle):
+    """A disc obstacle; its ray-casting boundary is a polygonal approximation."""
+
+    center: tuple[float, float]
+    radius: float
+    boundary_vertices: int = 24
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ConfigurationError("circle obstacle radius must be positive")
+        object.__setattr__(self, "center", tuple(float(v) for v in self.center))
+
+    def contains(self, point: Iterable[float], margin: float = 0.0) -> bool:
+        p = as_point(point)
+        return float(np.linalg.norm(p - np.array(self.center))) <= self.radius + margin
+
+    def intersects_segment(self, segment: Segment, margin: float = 0.0) -> bool:
+        return distance_point_to_segment(self.center, segment) <= self.radius + margin
+
+    def boundary_segments(self) -> list[Segment]:
+        angles = np.linspace(0.0, 2.0 * np.pi, self.boundary_vertices + 1)
+        cx, cy = self.center
+        points = [(cx + self.radius * np.cos(a), cy + self.radius * np.sin(a)) for a in angles]
+        return [Segment(points[i], points[i + 1]) for i in range(len(points) - 1)]
+
+
+@dataclass(frozen=True)
+class PolygonObstacle(Obstacle):
+    """A simple (non self-intersecting) polygon obstacle."""
+
+    vertices: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        verts = tuple(tuple(float(v) for v in vertex) for vertex in self.vertices)
+        if len(verts) < 3:
+            raise ConfigurationError("polygon obstacle needs at least 3 vertices")
+        object.__setattr__(self, "vertices", verts)
+
+    def boundary_segments(self) -> list[Segment]:
+        verts = list(self.vertices)
+        return [Segment(verts[i], verts[(i + 1) % len(verts)]) for i in range(len(verts))]
+
+    def _contains_strict(self, point: np.ndarray) -> bool:
+        """Ray-crossing test (even-odd rule)."""
+        x, y = point
+        inside = False
+        verts = self.vertices
+        j = len(verts) - 1
+        for i in range(len(verts)):
+            xi, yi = verts[i]
+            xj, yj = verts[j]
+            if (yi > y) != (yj > y):
+                x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+                if x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def contains(self, point: Iterable[float], margin: float = 0.0) -> bool:
+        p = as_point(point)
+        if self._contains_strict(p):
+            return True
+        if margin <= 0.0:
+            return False
+        return any(distance_point_to_segment(p, seg) <= margin for seg in self.boundary_segments())
+
+    def intersects_segment(self, segment: Segment, margin: float = 0.0) -> bool:
+        if self.contains(segment.start, margin) or self.contains(segment.end, margin):
+            return True
+        for edge in self.boundary_segments():
+            if segments_intersect(segment, edge):
+                return True
+            if margin > 0.0:
+                # Inflate by checking endpoint-to-edge distances both ways.
+                if distance_point_to_segment(edge.start, segment) <= margin:
+                    return True
+                if distance_point_to_segment(edge.end, segment) <= margin:
+                    return True
+        return False
+
+
+def RectangleObstacle(
+    lower: Sequence[float], upper: Sequence[float]
+) -> PolygonObstacle:
+    """Axis-aligned rectangular obstacle from lower-left and upper-right corners."""
+    (x0, y0), (x1, y1) = as_point(lower), as_point(upper)
+    if x1 <= x0 or y1 <= y0:
+        raise ConfigurationError("rectangle upper corner must exceed lower corner")
+    return PolygonObstacle(((x0, y0), (x1, y0), (x1, y1), (x0, y1)))

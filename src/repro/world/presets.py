@@ -1,0 +1,49 @@
+"""Ready-made arenas used by experiments, examples and tests.
+
+``paper_arena`` mirrors the indoor Vicon room of the Khepera experiments:
+a small rectangular arena with a box obstacle between the start and goal so
+the RRT* path has to curve (which exercises the nonlinear dynamics that the
+linearize-once baseline of Section V-G fails on).
+"""
+
+from __future__ import annotations
+
+from .map import WorldMap
+from .obstacles import CircleObstacle, RectangleObstacle
+
+__all__ = ["paper_arena", "corridor_arena", "cluttered_arena"]
+
+
+def paper_arena() -> WorldMap:
+    """A 3 m x 3 m room with one box obstacle (default experiment arena)."""
+    return WorldMap.rectangle(
+        3.0,
+        3.0,
+        obstacles=[RectangleObstacle((1.2, 1.1), (1.8, 1.9))],
+    )
+
+
+def corridor_arena() -> WorldMap:
+    """A long 6 m x 2 m corridor with two staggered boxes (forces S-curves)."""
+    return WorldMap.rectangle(
+        6.0,
+        2.0,
+        obstacles=[
+            RectangleObstacle((1.5, 0.0), (2.0, 1.2)),
+            RectangleObstacle((3.5, 0.8), (4.0, 2.0)),
+        ],
+    )
+
+
+def cluttered_arena() -> WorldMap:
+    """A 4 m x 4 m room with mixed obstacles (stress test for RRT*)."""
+    return WorldMap.rectangle(
+        4.0,
+        4.0,
+        obstacles=[
+            RectangleObstacle((0.8, 0.8), (1.4, 1.4)),
+            RectangleObstacle((2.4, 2.2), (3.0, 2.8)),
+            CircleObstacle((2.0, 1.0), 0.3),
+            CircleObstacle((1.0, 2.8), 0.35),
+        ],
+    )

@@ -1,0 +1,32 @@
+"""Shared fixtures: seeded generators and session-scoped robot rigs.
+
+The rigs are session-scoped because RRT* planning dominates setup time;
+tests must not mutate them (per-run objects come from the rig factories).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.robots.khepera import khepera_rig
+from repro.robots.tamiya import tamiya_rig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def khepera():
+    rig = khepera_rig()
+    rig.plan_path(0)
+    return rig
+
+
+@pytest.fixture(scope="session")
+def tamiya():
+    rig = tamiya_rig()
+    rig.plan_path(0)
+    return rig

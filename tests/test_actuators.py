@@ -1,0 +1,75 @@
+"""Tests for actuation hardware models."""
+
+import numpy as np
+import pytest
+
+from repro.actuators.ackermann import AckermannActuator
+from repro.actuators.differential import SPEED_UNIT_M_PER_S, WheelPairActuator
+from repro.errors import ConfigurationError, DimensionError
+
+
+class TestWheelPairActuator:
+    def test_unit_calibration_matches_paper(self):
+        # Section V-H: 900 speed units = 0.006 m/s.
+        assert 900.0 * SPEED_UNIT_M_PER_S == pytest.approx(0.006)
+
+    def test_quantization(self):
+        actuator = WheelPairActuator(speed_unit=0.001)
+        executed = actuator.execute(np.array([0.01042, -0.00051]))
+        assert np.allclose(executed, [0.010, -0.001])
+
+    def test_quantization_disabled(self):
+        actuator = WheelPairActuator(speed_unit=0.0)
+        command = np.array([0.123456, -0.07891])
+        assert np.allclose(actuator.execute(command), command)
+
+    def test_saturation(self):
+        actuator = WheelPairActuator(max_speed=0.5)
+        executed = actuator.execute(np.array([0.9, -0.9]))
+        assert np.allclose(executed, [0.5, -0.5])
+
+    def test_unit_conversions_roundtrip(self):
+        actuator = WheelPairActuator()
+        speeds = np.array([0.04, -0.02])
+        units = actuator.to_units(speeds)
+        assert np.allclose(actuator.from_units(units), speeds)
+
+    def test_to_units_requires_quantization(self):
+        actuator = WheelPairActuator(speed_unit=0.0)
+        with pytest.raises(ConfigurationError):
+            actuator.to_units(np.array([0.1, 0.1]))
+
+    def test_validation(self):
+        actuator = WheelPairActuator()
+        with pytest.raises(DimensionError):
+            actuator.execute(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            WheelPairActuator(max_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            WheelPairActuator(speed_unit=-1.0)
+
+    def test_metadata(self):
+        actuator = WheelPairActuator()
+        assert actuator.dim == 2
+        assert actuator.labels == ("v_l", "v_r")
+        assert actuator.name == "wheels"
+
+
+class TestAckermannActuator:
+    def test_limits(self):
+        actuator = AckermannActuator(max_speed=2.0, max_reverse=0.5, max_steer=0.55)
+        executed = actuator.execute(np.array([5.0, 1.0]))
+        assert np.allclose(executed, [2.0, 0.55])
+        executed = actuator.execute(np.array([-5.0, -1.0]))
+        assert np.allclose(executed, [-0.5, -0.55])
+
+    def test_passthrough_within_limits(self):
+        actuator = AckermannActuator()
+        command = np.array([0.7, 0.2])
+        assert np.allclose(actuator.execute(command), command)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AckermannActuator(max_speed=-1.0)
+        with pytest.raises(ConfigurationError):
+            AckermannActuator(max_steer=3.0)

@@ -1,0 +1,60 @@
+"""Public API surface tests: imports, __all__ consistency, version."""
+
+import importlib
+
+import pytest
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_all_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.dynamics",
+        "repro.sensors",
+        "repro.actuators",
+        "repro.attacks",
+        "repro.planning",
+        "repro.sim",
+        "repro.world",
+        "repro.eval",
+        "repro.robots",
+        "repro.experiments",
+    ],
+)
+def test_subpackage_all_importable(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_quickstart_snippet_runs():
+    """The module docstring's quickstart must actually work."""
+    from repro import khepera_rig, khepera_scenarios, run_scenario
+
+    rig = khepera_rig()
+    scenario = khepera_scenarios()[3]
+    result = run_scenario(rig, scenario, seed=7, duration=6.0)
+    assert "FPR" in result.summary()
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    assert issubclass(errors.ConfigurationError, errors.ReproError)
+    assert issubclass(errors.ObservabilityError, errors.ConfigurationError)
+    assert issubclass(errors.DimensionError, errors.ReproError)
+    assert issubclass(errors.PlanningError, errors.ReproError)
+    assert issubclass(errors.SimulationError, errors.ReproError)

@@ -1,0 +1,268 @@
+"""Tests for the attack framework: signals, attacks, schedules, catalog."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import Attack, AttackChannel, AttackTarget
+from repro.attacks.catalog import ENCODER_TICK_M, khepera_scenarios, tamiya_scenarios
+from repro.attacks.scheduler import AttackSchedule
+from repro.attacks.sensor_attacks import (
+    sensor_bias,
+    sensor_dos,
+    sensor_noise_jamming,
+    sensor_replay,
+    sensor_spoof_ramp,
+)
+from repro.attacks.actuator_attacks import (
+    actuator_offset,
+    actuator_runaway,
+    tire_blowout,
+    wheel_jamming,
+)
+from repro.attacks.signals import (
+    BiasSignal,
+    NoiseSignal,
+    OdometryTickInjection,
+    OverrideSignal,
+    RampSignal,
+    ReplaySignal,
+    ScaleSignal,
+    StuckSignal,
+    ZeroSignal,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(0)
+
+
+class TestSignals:
+    def test_bias(self, gen):
+        signal = BiasSignal([1.0, -2.0])
+        assert np.allclose(signal.apply(np.array([0.5, 0.5]), 0.0, gen), [1.5, -1.5])
+
+    def test_ramp(self, gen):
+        signal = RampSignal(0.1)
+        assert np.allclose(signal.apply(np.zeros(1), 5.0, gen), [0.5])
+
+    def test_ramp_capped(self, gen):
+        signal = RampSignal(0.1, max_offset=0.2)
+        assert np.allclose(signal.apply(np.zeros(1), 50.0, gen), [0.2])
+
+    def test_ramp_negative_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RampSignal(0.1, max_offset=-1.0)
+
+    def test_zero(self, gen):
+        signal = ZeroSignal()
+        assert np.allclose(signal.apply(np.array([3.0, -1.0]), 1.0, gen), 0.0)
+
+    def test_override_broadcast(self, gen):
+        signal = OverrideSignal(7.0)
+        assert np.allclose(signal.apply(np.zeros(3), 0.0, gen), 7.0)
+
+    def test_override_vector(self, gen):
+        signal = OverrideSignal([1.0, 2.0])
+        assert np.allclose(signal.apply(np.zeros(2), 0.0, gen), [1.0, 2.0])
+
+    def test_stuck_holds_first_value(self, gen):
+        signal = StuckSignal()
+        first = signal.apply(np.array([3.0]), 0.0, gen)
+        later = signal.apply(np.array([9.0]), 1.0, gen)
+        assert np.allclose(first, later)
+        signal.reset()
+        assert np.allclose(signal.apply(np.array([5.0]), 0.0, gen), [5.0])
+
+    def test_scale(self, gen):
+        signal = ScaleSignal(0.5)
+        assert np.allclose(signal.apply(np.array([2.0]), 0.0, gen), [1.0])
+
+    def test_noise_changes_value(self, gen):
+        signal = NoiseSignal(1.0)
+        out = signal.apply(np.zeros(4), 0.0, gen)
+        assert np.any(out != 0.0)
+
+    def test_noise_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            NoiseSignal(-1.0)
+
+    def test_replay_delays(self, gen):
+        signal = ReplaySignal(delay_steps=2)
+        v1 = signal.apply(np.array([1.0]), 0.0, gen)
+        v2 = signal.apply(np.array([2.0]), 0.1, gen)
+        v3 = signal.apply(np.array([3.0]), 0.2, gen)
+        # While the buffer fills the first capture is replayed; afterwards
+        # values lag by exactly two steps.
+        assert v1[0] == 1.0 and v2[0] == 1.0 and v3[0] == 1.0
+        v4 = signal.apply(np.array([4.0]), 0.3, gen)
+        assert v4[0] == 2.0
+
+    def test_replay_requires_positive_delay(self):
+        with pytest.raises(ConfigurationError):
+            ReplaySignal(0)
+
+    def test_tick_injection_geometry(self, gen):
+        signal = OdometryTickInjection(ticks=100, tick_length=1e-4, wheel_base=0.1, wheel="left")
+        pose = np.array([1.0, 2.0, 0.0])
+        out = signal.apply(pose, 0.0, gen)
+        # Arc = 0.01 m: forward 5 mm along heading, heading -0.1 rad (left).
+        assert out[0] == pytest.approx(1.005)
+        assert out[1] == pytest.approx(2.0)
+        assert out[2] == pytest.approx(-0.1)
+
+    def test_tick_injection_right_wheel_sign(self, gen):
+        signal = OdometryTickInjection(ticks=100, tick_length=1e-4, wheel_base=0.1, wheel="right")
+        out = signal.apply(np.zeros(3), 0.0, gen)
+        assert out[2] == pytest.approx(+0.1)
+
+    def test_tick_injection_validation(self):
+        with pytest.raises(ConfigurationError):
+            OdometryTickInjection(10, tick_length=0.0, wheel_base=0.1)
+        with pytest.raises(ConfigurationError):
+            OdometryTickInjection(10, tick_length=1e-4, wheel_base=0.1, wheel="middle")
+
+
+class TestAttack:
+    def test_window_semantics(self, gen):
+        attack = sensor_bias("ips", offset=(1.0,), start=2.0, stop=5.0, components=(0,))
+        assert not attack.active(1.9)
+        assert attack.active(2.0)
+        assert attack.active(4.999)
+        assert not attack.active(5.0)
+
+    def test_apply_outside_window_is_noop(self, gen):
+        attack = sensor_bias("ips", offset=(1.0,), start=2.0, components=(0,))
+        clean = np.array([0.0, 0.0, 0.0])
+        assert np.allclose(attack.apply(clean, 1.0, gen), clean)
+
+    def test_apply_components(self, gen):
+        attack = sensor_bias("ips", offset=(1.0,), start=0.0, components=(1,))
+        out = attack.apply(np.zeros(3), 0.5, gen)
+        assert np.allclose(out, [0.0, 1.0, 0.0])
+
+    def test_apply_whole_vector(self, gen):
+        attack = sensor_dos("lidar", start=0.0)
+        out = attack.apply(np.array([1.0, 2.0]), 0.5, gen)
+        assert np.allclose(out, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sensor_bias("ips", offset=(1.0,), start=-1.0)
+        with pytest.raises(ConfigurationError):
+            sensor_bias("ips", offset=(1.0,), start=5.0, stop=4.0)
+
+    def test_constructors_set_channels(self):
+        assert sensor_spoof_ramp("gps", 0.01, 1.0).channel is AttackChannel.PHYSICAL
+        assert sensor_replay("ips", 5, 1.0).channel is AttackChannel.CYBER
+        assert sensor_noise_jamming("sonar", 1.0, 1.0).channel is AttackChannel.PHYSICAL
+        assert wheel_jamming("wheels", 0, 1.0).channel is AttackChannel.PHYSICAL
+        assert actuator_offset("wheels", (0.1, 0.1), 1.0).channel is AttackChannel.CYBER
+        assert tire_blowout("wheels", 0).channel is AttackChannel.PHYSICAL
+        assert actuator_runaway("throttle", 0.1, 1.0).channel is AttackChannel.CYBER
+
+    def test_targets(self):
+        assert sensor_dos("lidar", 0.0).target is AttackTarget.SENSOR
+        assert wheel_jamming("wheels", 0, 0.0).target is AttackTarget.ACTUATOR
+
+
+class TestAttackSchedule:
+    def test_corrupt_sensor_applies_matching_only(self, gen):
+        schedule = AttackSchedule(
+            [
+                sensor_bias("ips", offset=(1.0,), start=0.0, components=(0,)),
+                sensor_bias("lidar", offset=(9.0,), start=0.0, components=(0,)),
+            ]
+        )
+        out = schedule.corrupt_sensor("ips", np.zeros(3), 1.0, gen)
+        assert np.allclose(out, [1.0, 0.0, 0.0])
+
+    def test_corrupt_actuator(self, gen):
+        schedule = AttackSchedule([actuator_offset("wheels", (0.1, -0.1), start=0.0)])
+        out = schedule.corrupt_actuator("wheels", np.zeros(2), 1.0, gen)
+        assert np.allclose(out, [0.1, -0.1])
+
+    def test_stacked_attacks_compose(self, gen):
+        schedule = AttackSchedule(
+            [
+                sensor_bias("ips", offset=(1.0,), start=0.0, components=(0,)),
+                sensor_bias("ips", offset=(2.0,), start=0.0, components=(0,)),
+            ]
+        )
+        out = schedule.corrupt_sensor("ips", np.zeros(3), 1.0, gen)
+        assert out[0] == pytest.approx(3.0)
+
+    def test_ground_truth(self):
+        schedule = AttackSchedule(
+            [
+                sensor_dos("lidar", start=3.0, stop=9.0),
+                sensor_bias("ips", offset=(0.1,), start=6.0),
+                wheel_jamming("wheels", 0, start=4.0),
+            ]
+        )
+        assert schedule.corrupted_sensors(2.0) == frozenset()
+        assert schedule.corrupted_sensors(4.0) == frozenset({"lidar"})
+        assert schedule.corrupted_sensors(7.0) == frozenset({"lidar", "ips"})
+        assert schedule.corrupted_sensors(10.0) == frozenset({"ips"})
+        assert not schedule.actuator_corrupted(3.0)
+        assert schedule.actuator_corrupted(4.5)
+        assert schedule.event_times() == [3.0, 4.0, 6.0, 9.0]
+
+    def test_reset_resets_signals(self, gen):
+        attack = Attack(
+            "stuck", AttackTarget.SENSOR, "ips", AttackChannel.CYBER, StuckSignal(), 0.0
+        )
+        schedule = AttackSchedule([attack])
+        schedule.corrupt_sensor("ips", np.array([1.0]), 0.0, gen)
+        schedule.reset()
+        out = schedule.corrupt_sensor("ips", np.array([2.0]), 0.0, gen)
+        assert out[0] == pytest.approx(2.0)
+
+    def test_len_and_iter(self):
+        schedule = AttackSchedule([sensor_dos("a", 0.0)])
+        assert len(schedule) == 1
+        assert [a.workflow for a in schedule] == ["a"]
+
+    def test_add(self):
+        schedule = AttackSchedule()
+        schedule.add(sensor_dos("a", 0.0))
+        assert len(schedule) == 1
+
+
+class TestCatalog:
+    def test_khepera_has_eleven_scenarios(self):
+        scenarios = khepera_scenarios()
+        assert [s.number for s in scenarios] == list(range(1, 12))
+
+    def test_tamiya_has_eight_scenarios(self):
+        assert len(tamiya_scenarios()) == 8
+
+    def test_scenarios_build_fresh_schedules(self):
+        scenario = khepera_scenarios()[0]
+        s1, s2 = scenario.build_schedule(), scenario.build_schedule()
+        assert s1.attacks[0] is not s2.attacks[0]
+
+    def test_scenario_metadata(self):
+        scenario = khepera_scenarios()[0]
+        assert scenario.channels == ("cyber",)
+        assert scenario.targets == ("actuator",)
+        combo = khepera_scenarios()[8]  # LiDAR DoS & WE logic bomb
+        assert set(combo.channels) == {"cyber", "physical"}
+
+    def test_wheel_bomb_magnitude_is_6000_units(self):
+        from repro.actuators.differential import SPEED_UNIT_M_PER_S
+
+        scenario = khepera_scenarios()[0]
+        attack = scenario.build_attacks()[0]
+        offset = attack.signal.offset
+        assert np.allclose(np.abs(offset), 6000.0 * SPEED_UNIT_M_PER_S)
+
+    def test_scenario10_lidar_recovers(self):
+        scenario = khepera_scenarios()[9]
+        schedule = scenario.build_schedule()
+        assert "lidar" in schedule.corrupted_sensors(5.0)
+        assert "lidar" not in schedule.corrupted_sensors(9.5)
+
+    def test_encoder_tick_constant_positive(self):
+        assert ENCODER_TICK_M > 0

@@ -1,0 +1,82 @@
+"""Tests for the measurement-noise calibration helper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors.calibration import (
+    CalibrationResult,
+    calibrate_covariance,
+    calibration_consistency,
+)
+from repro.sensors.lidar import RayCastLidar, ScanFeatureExtractor, WallDistanceSensor
+from repro.sensors.pose_sensors import IPS
+from repro.world.presets import paper_arena
+
+
+class TestCalibrateCovariance:
+    def test_recovers_known_sigma(self, rng):
+        sensor = IPS(sigma_xy=0.004, sigma_theta=0.01)
+        states = [np.array([1.0, 1.0, 0.2])] * 3000
+        result = calibrate_covariance(
+            sensor, lambda state, gen: sensor.measure(state, gen), states, rng
+        )
+        assert np.allclose(result.bias, 0.0, atol=5e-4)
+        assert np.allclose(result.sigmas, [0.004, 0.004, 0.01], rtol=0.15)
+        assert "sigma" in result.summary()
+
+    def test_wraps_angular_errors(self, rng):
+        sensor = IPS(sigma_xy=1e-6, sigma_theta=1e-6)
+        # True heading near +pi; readings wrap to near -pi: without wrapping
+        # the calibration would report a ~2*pi bias.
+        states = [np.array([0.0, 0.0, np.pi - 1e-4])] * 10
+
+        def produce(state, gen):
+            reading = sensor.measure(state, gen)
+            reading[2] = reading[2] - 2.0 * np.pi
+            return reading
+
+        result = calibrate_covariance(sensor, produce, states, rng)
+        assert abs(result.bias[2]) < 0.01
+
+    def test_requires_samples(self, rng):
+        sensor = IPS()
+        with pytest.raises(ConfigurationError):
+            calibrate_covariance(sensor, lambda s, g: sensor.measure(s, g), [np.zeros(3)], rng)
+
+    def test_consistency_ratio(self, rng):
+        sensor = IPS(sigma_xy=0.01, sigma_theta=0.01)
+        states = [np.array([1.0, 1.0, 0.2])] * 2000
+        result = calibrate_covariance(
+            sensor, lambda state, gen: sensor.measure(state, gen), states, rng
+        )
+        good = calibration_consistency(result, sensor.covariance)
+        assert 0.5 < good < 2.0
+        optimistic = calibration_consistency(result, sensor.covariance / 100.0)
+        assert optimistic > 50.0
+
+
+class TestLidarPipelineCalibration:
+    def test_raw_pipeline_within_assumed_covariance(self, rng):
+        """The raw-mode rig's assumed LiDAR R must cover the pipeline noise."""
+        world = paper_arena()
+        assumed = WallDistanceSensor(world, sigma_distance=0.007, sigma_theta=0.015)
+        raycaster = RayCastLidar(world)
+        extractor = ScanFeatureExtractor(world)
+
+        def produce(state, gen):
+            scan = raycaster.scan(state, gen)
+            return extractor.extract(scan, state + gen.normal(0.0, 0.003, 3))
+
+        states = []
+        while len(states) < 150:
+            candidate = np.array(
+                [rng.uniform(0.3, 2.7), rng.uniform(0.3, 2.7), rng.uniform(-np.pi, np.pi)]
+            )
+            if world.point_free(candidate[:2], 0.15):
+                states.append(candidate)
+        result = calibrate_covariance(assumed, produce, states, rng)
+        assert np.all(np.abs(result.bias[:3]) < 0.01)
+        # The detector's assumed covariance must not be optimistic by more
+        # than ~2x in variance, or clean missions would false-alarm.
+        assert calibration_consistency(result, assumed.covariance) < 2.0

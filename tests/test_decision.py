@@ -1,0 +1,197 @@
+"""Tests for the Chi-square decision maker and sliding windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chi2 import anomaly_statistic, chi_square_threshold
+from repro.core.decision import DecisionConfig, DecisionMaker, SlidingWindow
+from repro.core.report import IterationStatistics, SensorStatistic
+from repro.errors import ConfigurationError
+
+
+class TestChi2:
+    def test_threshold_monotone_in_alpha(self):
+        assert chi_square_threshold(0.005, 3) > chi_square_threshold(0.05, 3)
+
+    def test_threshold_monotone_in_dof(self):
+        assert chi_square_threshold(0.05, 5) > chi_square_threshold(0.05, 2)
+
+    def test_known_value(self):
+        # chi2(0.95, dof=2) = 5.991
+        assert chi_square_threshold(0.05, 2) == pytest.approx(5.991, abs=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_threshold(0.0, 3)
+        with pytest.raises(ConfigurationError):
+            chi_square_threshold(0.05, 0)
+
+    def test_anomaly_statistic(self):
+        stat, dof = anomaly_statistic(np.array([2.0, 0.0]), np.diag([4.0, 1.0]))
+        assert stat == pytest.approx(1.0)
+        assert dof == 2
+
+    def test_anomaly_statistic_singular(self):
+        stat, dof = anomaly_statistic(np.array([1.0, 1.0]), np.diag([1.0, 0.0]))
+        assert dof == 1
+        assert stat == pytest.approx(1.0)
+
+    def test_anomaly_statistic_empty(self):
+        stat, dof = anomaly_statistic(np.zeros(0), np.zeros((0, 0)))
+        assert (stat, dof) == (0.0, 0)
+
+
+class TestSlidingWindow:
+    def test_basic_c_of_w(self):
+        window = SlidingWindow(3, 2)
+        assert not window.push(True)
+        assert window.push(True)
+        assert window.push(False)  # two of last three still true
+        assert not window.push(False)
+
+    def test_w1_c1_immediate(self):
+        window = SlidingWindow(1, 1)
+        assert window.push(True)
+        assert not window.push(False)
+
+    def test_reset(self):
+        window = SlidingWindow(2, 2)
+        window.push(True)
+        window.reset()
+        assert not window.push(True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(0, 1)
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(2, 3)
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(2, 0)
+
+    @given(st.integers(1, 8), st.lists(st.booleans(), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_semantics(self, window_size, pushes):
+        criteria = max(1, window_size // 2)
+        window = SlidingWindow(window_size, criteria)
+        history = []
+        for value in pushes:
+            history.append(value)
+            met = window.push(value)
+            expected = sum(history[-window_size:]) >= criteria
+            assert met == expected
+
+
+def make_stats(
+    sensor_stat=0.0,
+    per_sensor=None,
+    actuator_stat=0.0,
+    iteration=1,
+    sensor_dof=3,
+    actuator_dof=2,
+):
+    per_sensor = per_sensor or {}
+    sensor_stats = {
+        name: SensorStatistic(
+            name=name,
+            estimate=np.zeros(3),
+            covariance=np.eye(3),
+            statistic=value,
+            dof=3,
+        )
+        for name, value in per_sensor.items()
+    }
+    return IterationStatistics(
+        iteration=iteration,
+        selected_mode="ref:x",
+        mode_probabilities={"ref:x": 1.0},
+        state_estimate=np.zeros(3),
+        sensor_statistic=sensor_stat,
+        sensor_dof=sensor_dof,
+        actuator_statistic=actuator_stat,
+        actuator_dof=actuator_dof,
+        sensor_stats=sensor_stats,
+        actuator_estimate=np.zeros(2),
+        actuator_covariance=np.eye(2),
+    )
+
+
+class TestDecisionConfig:
+    def test_defaults_match_paper(self):
+        config = DecisionConfig()
+        assert config.sensor_alpha == 0.005
+        assert (config.sensor_criteria, config.sensor_window) == (2, 2)
+        assert config.actuator_alpha == 0.05
+        assert (config.actuator_criteria, config.actuator_window) == (3, 6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DecisionConfig(sensor_alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            DecisionConfig(sensor_criteria=3, sensor_window=2)
+        with pytest.raises(ConfigurationError):
+            DecisionConfig(actuator_criteria=0)
+
+
+class TestDecisionMaker:
+    def test_no_alarm_below_threshold(self):
+        maker = DecisionMaker()
+        outcome = maker.step(make_stats(sensor_stat=1.0, per_sensor={"a": 1.0}))
+        assert not outcome.sensor_alarm
+        assert outcome.flagged_sensors == frozenset()
+        assert not outcome.actuator_alarm
+
+    def test_sensor_alarm_after_window(self):
+        maker = DecisionMaker(DecisionConfig(sensor_window=2, sensor_criteria=2))
+        high = make_stats(sensor_stat=100.0, per_sensor={"a": 100.0, "b": 1.0})
+        first = maker.step(high)
+        second = maker.step(high)
+        assert not first.sensor_alarm
+        assert second.sensor_alarm
+        assert second.flagged_sensors == frozenset({"a"})
+
+    def test_actuator_alarm_c_of_w(self):
+        maker = DecisionMaker(DecisionConfig(actuator_window=6, actuator_criteria=3))
+        high = make_stats(actuator_stat=100.0)
+        low = make_stats(actuator_stat=0.1)
+        outcomes = [maker.step(s) for s in (high, low, high, high)]
+        assert not outcomes[2].actuator_alarm
+        assert outcomes[3].actuator_alarm  # 3 positives within last 6
+
+    def test_reference_sensor_window_decays(self):
+        maker = DecisionMaker(DecisionConfig(sensor_window=2, sensor_criteria=1))
+        high = make_stats(sensor_stat=100.0, per_sensor={"a": 100.0})
+        maker.step(high)
+        # Sensor "a" becomes the reference (absent from stats) for two
+        # iterations: its window must decay and stop being flagged.
+        absent = make_stats(sensor_stat=100.0, per_sensor={"b": 100.0})
+        maker.step(absent)
+        outcome = maker.step(absent)
+        assert "a" not in outcome.flagged_sensors
+        assert "b" in outcome.flagged_sensors
+
+    def test_zero_dof_is_negative(self):
+        maker = DecisionMaker(DecisionConfig(sensor_window=1, sensor_criteria=1,
+                                             actuator_window=1, actuator_criteria=1))
+        stats = make_stats(sensor_stat=100.0, sensor_dof=0, actuator_stat=100.0, actuator_dof=0)
+        outcome = maker.step(stats)
+        assert not outcome.sensor_positive
+        assert not outcome.actuator_positive
+
+    def test_alarm_requires_confirmed_sensor(self):
+        # Aggregate fires but no individual sensor confirms: no sensor alarm.
+        maker = DecisionMaker(DecisionConfig(sensor_window=1, sensor_criteria=1))
+        stats = make_stats(sensor_stat=100.0, per_sensor={"a": 0.1, "b": 0.1})
+        outcome = maker.step(stats)
+        assert outcome.sensor_positive
+        assert not outcome.sensor_alarm
+        assert outcome.flagged_sensors == frozenset()
+
+    def test_reset(self):
+        maker = DecisionMaker(DecisionConfig(sensor_window=2, sensor_criteria=2))
+        high = make_stats(sensor_stat=100.0, per_sensor={"a": 100.0})
+        maker.step(high)
+        maker.reset()
+        outcome = maker.step(high)
+        assert not outcome.sensor_alarm

@@ -1,0 +1,177 @@
+"""Integration tests for the composed RoboADS detector on synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision import DecisionConfig
+from repro.core.detector import RoboADS
+from repro.core.baseline import build_linearized_once_detector
+from repro.core.modes import Mode
+from repro.dynamics.unicycle import UnicycleModel
+from repro.sensors.pose_sensors import IPS, InertialNavSensor, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+
+Q = np.diag([1e-6, 1e-6, 4e-6])
+
+
+def make_detector(**kwargs):
+    model = UnicycleModel(dt=0.1)
+    suite = SensorSuite(
+        [
+            IPS(sigma_xy=0.002, sigma_theta=0.004),
+            OdometryPoseSensor(sigma_xy=0.003, sigma_theta=0.006),
+            InertialNavSensor(sigma_xy=0.004, sigma_theta=0.008),
+        ]
+    )
+    defaults = dict(
+        initial_state=np.array([0.5, 0.5, 0.2]),
+        nominal_control=np.array([0.2, 0.1]),
+    )
+    defaults.update(kwargs)
+    detector = RoboADS(model, suite, Q, **defaults)
+    return model, suite, detector
+
+
+def drive(
+    detector,
+    model,
+    suite,
+    n_steps,
+    sensor_bias=None,
+    actuator_anomaly=None,
+    trigger=20,
+    seed=0,
+):
+    """Feed the detector synthetic (u, z) streams with optional corruption."""
+    rng = np.random.default_rng(seed)
+    x_true = np.array([0.5, 0.5, 0.2])
+    control = np.array([0.2, 0.15])
+    d_a = np.zeros(2) if actuator_anomaly is None else np.asarray(actuator_anomaly)
+    reports = []
+    for k in range(n_steps):
+        executed = control + (d_a if k >= trigger else 0.0)
+        x_true = model.normalize_state(
+            model.f(x_true, executed) + np.sqrt(np.diag(Q)) * rng.standard_normal(3)
+        )
+        z = suite.measure(x_true, rng)
+        if sensor_bias is not None and k >= trigger:
+            name, vector = sensor_bias
+            z[suite.slice_of(name)] += vector
+        reports.append(detector.step(control, z))
+    return reports
+
+
+class TestRoboADS:
+    def test_clean_run_no_alarms(self):
+        model, suite, detector = make_detector()
+        reports = drive(detector, model, suite, 80)
+        flagged = [r for r in reports if r.flagged_sensors]
+        actuator = [r for r in reports if r.actuator_alarm]
+        assert len(flagged) <= 2
+        assert len(actuator) <= 4
+
+    def test_detects_and_identifies_sensor_bias(self):
+        model, suite, detector = make_detector()
+        reports = drive(
+            detector, model, suite, 60, sensor_bias=("imu", np.array([0.1, 0.0, 0.0]))
+        )
+        post = reports[25:]
+        hits = sum(1 for r in post if r.flagged_sensors == frozenset({"imu"}))
+        assert hits / len(post) > 0.9
+
+    def test_detects_actuator_anomaly(self):
+        model, suite, detector = make_detector()
+        reports = drive(detector, model, suite, 60, actuator_anomaly=np.array([0.08, 0.0]))
+        post = reports[30:]
+        assert sum(1 for r in post if r.actuator_alarm) / len(post) > 0.9
+
+    def test_actuator_anomaly_quantified(self):
+        model, suite, detector = make_detector()
+        reports = drive(detector, model, suite, 80, actuator_anomaly=np.array([0.08, -0.05]))
+        estimates = np.array([r.actuator_anomaly for r in reports[40:]])
+        assert np.allclose(estimates.mean(axis=0), [0.08, -0.05], atol=0.03)
+
+    def test_sensor_anomaly_quantified(self):
+        model, suite, detector = make_detector()
+        bias = np.array([0.07, 0.0, 0.0])
+        reports = drive(detector, model, suite, 80, sensor_bias=("ips", bias))
+        estimates = [r.sensor_anomaly("ips") for r in reports[40:]]
+        estimates = np.array([e for e in estimates if e is not None])
+        assert estimates.shape[0] > 20
+        assert np.allclose(estimates.mean(axis=0), bias, atol=0.02)
+
+    def test_report_fields(self):
+        model, suite, detector = make_detector()
+        report = drive(detector, model, suite, 1)[0]
+        assert report.iteration == 1
+        assert report.time == pytest.approx(model.dt)
+        assert report.selected_mode in {"ref:ips", "ref:wheel_encoder", "ref:imu"}
+        assert report.state_estimate.shape == (3,)
+        # The reference sensor of the selected mode has no anomaly estimate.
+        reference = report.selected_mode.split(":", 1)[1]
+        assert report.sensor_anomaly(reference) is None
+
+    def test_reset(self):
+        model, suite, detector = make_detector()
+        drive(detector, model, suite, 10)
+        detector.reset()
+        report = drive(detector, model, suite, 1)[0]
+        assert report.iteration == 1
+
+    def test_custom_decision_config(self):
+        config = DecisionConfig(sensor_window=4, sensor_criteria=4)
+        model, suite, detector = make_detector(decision=config)
+        assert detector.decision_config.sensor_window == 4
+
+    def test_mode_probabilities_exposed(self):
+        model, suite, detector = make_detector()
+        drive(detector, model, suite, 5)
+        probs = detector.mode_probabilities
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_custom_modes(self):
+        model0, suite0, _ = make_detector()
+        modes = [Mode.for_suite(suite0, ("ips", "wheel_encoder"))]
+        model, suite, detector = make_detector(modes=modes)
+        report = drive(detector, model, suite, 3)[-1]
+        assert report.selected_mode == "ref:ips+wheel_encoder"
+
+
+class TestBaselineDetector:
+    def test_builds_and_runs(self):
+        model = UnicycleModel(dt=0.1)
+        suite = SensorSuite(
+            [IPS(sigma_xy=0.002, sigma_theta=0.004), OdometryPoseSensor(sigma_xy=0.003, sigma_theta=0.006)]
+        )
+        detector = build_linearized_once_detector(
+            model, suite, Q, initial_state=np.array([0.5, 0.5, 0.2])
+        )
+        report = detector.step(np.array([0.2, 0.0]), suite.h(np.array([0.52, 0.5, 0.2])))
+        assert report.iteration == 1
+
+    def test_baseline_false_positives_on_turns(self):
+        """The frozen linearization false-alarms once the robot turns."""
+        model = UnicycleModel(dt=0.1)
+        suite = SensorSuite(
+            [IPS(sigma_xy=0.002, sigma_theta=0.004), OdometryPoseSensor(sigma_xy=0.003, sigma_theta=0.006)]
+        )
+        x0 = np.array([0.5, 0.5, 0.2])
+        baseline = build_linearized_once_detector(model, suite, Q, initial_state=x0)
+        adaptive = RoboADS(
+            model, suite, Q, initial_state=x0, nominal_control=np.array([0.2, 0.1])
+        )
+        rng = np.random.default_rng(5)
+        x_true = x0.copy()
+        control = np.array([0.2, 0.3])
+        base_flags = ours_flags = 0
+        for _ in range(120):
+            x_true = model.normalize_state(
+                model.f(x_true, control) + np.sqrt(np.diag(Q)) * rng.standard_normal(3)
+            )
+            z = suite.measure(x_true, rng)
+            if baseline.step(control, z).flagged_sensors:
+                base_flags += 1
+            if adaptive.step(control, z).flagged_sensors:
+                ours_flags += 1
+        assert base_flags > 30
+        assert ours_flags <= 3

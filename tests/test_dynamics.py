@@ -1,0 +1,217 @@
+"""Tests for the robot kinematic models and noise utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics.base import RobotModel
+from repro.dynamics.bicycle import BicycleModel
+from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.dynamics.noise import GaussianNoise, validate_covariance
+from repro.dynamics.unicycle import UnicycleModel
+from repro.errors import ConfigurationError, DimensionError
+from repro.linalg import numerical_jacobian
+
+state_floats = st.floats(min_value=-3.0, max_value=3.0)
+speed_floats = st.floats(min_value=-0.5, max_value=0.5)
+
+
+def numeric_A(model, x, u):
+    return numerical_jacobian(lambda s: model.f(s, u), x)
+
+
+def numeric_G(model, x, u):
+    return numerical_jacobian(lambda c: model.f(x, c), u)
+
+
+class TestValidateCovariance:
+    def test_scalar(self):
+        assert np.allclose(validate_covariance(2.0, 3), 2.0 * np.eye(3))
+
+    def test_diagonal(self):
+        assert np.allclose(validate_covariance([1.0, 4.0], 2), np.diag([1.0, 4.0]))
+
+    def test_full_matrix(self):
+        m = np.array([[2.0, 0.5], [0.5, 1.0]])
+        assert np.allclose(validate_covariance(m, 2), m)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(DimensionError):
+            validate_covariance([1.0, 2.0, 3.0], 2)
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(ConfigurationError):
+            validate_covariance(np.array([[1.0, 2.0], [2.0, 1.0]]), 2)
+
+
+class TestGaussianNoise:
+    def test_sample_statistics(self, rng):
+        cov = np.array([[0.04, 0.01], [0.01, 0.09]])
+        noise = GaussianNoise(cov, 2)
+        samples = noise.sample(rng, size=20000)
+        assert np.allclose(samples.mean(axis=0), 0.0, atol=0.01)
+        assert np.allclose(np.cov(samples.T), cov, atol=0.01)
+
+    def test_semidefinite_allowed(self, rng):
+        noise = GaussianNoise(np.diag([1.0, 0.0]), 2)
+        samples = noise.sample(rng, size=100)
+        assert np.allclose(samples[:, 1], 0.0)
+
+    def test_from_sigmas(self):
+        noise = GaussianNoise.from_sigmas([0.1, 0.2])
+        assert np.allclose(noise.covariance, np.diag([0.01, 0.04]))
+
+
+class TestDifferentialDrive:
+    @pytest.fixture
+    def model(self):
+        return DifferentialDriveModel(wheel_base=0.0888, dt=0.05)
+
+    def test_straight_line(self, model):
+        x = model.f(np.array([0.0, 0.0, 0.0]), np.array([0.2, 0.2]))
+        assert np.allclose(x, [0.01, 0.0, 0.0])
+
+    def test_pure_rotation(self, model):
+        x = model.f(np.zeros(3), np.array([-0.1, 0.1]))
+        expected_dtheta = 0.2 / 0.0888 * 0.05
+        assert np.allclose(x[:2], 0.0, atol=1e-12)
+        assert x[2] == pytest.approx(expected_dtheta)
+
+    def test_arc_exact_integration(self, model):
+        # Quarter-turn circle: the chord matches the closed-form arc.
+        v, omega = 0.1, 0.5
+        u = model.wheel_speeds(v, omega)
+        x = np.zeros(3)
+        for _ in range(int(np.pi / 2 / (omega * model.dt))):
+            x = model.f(x, u)
+        radius = v / omega
+        assert x[0] == pytest.approx(radius * np.sin(x[2]), abs=1e-6)
+        assert x[1] == pytest.approx(radius * (1 - np.cos(x[2])), abs=1e-6)
+
+    def test_twist_roundtrip(self, model):
+        u = np.array([0.12, 0.2])
+        v, omega = model.body_twist(u)
+        assert np.allclose(model.wheel_speeds(v, omega), u)
+
+    @given(state_floats, state_floats, st.floats(-3.0, 3.0), speed_floats, speed_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_jacobians_match_numeric(self, x, y, theta, vl, vr):
+        model = DifferentialDriveModel()
+        state = np.array([x, y, theta])
+        control = np.array([vl, vr])
+        assert np.allclose(
+            model.jacobian_state(state, control), numeric_A(model, state, control), atol=1e-5
+        )
+        assert np.allclose(
+            model.jacobian_control(state, control), numeric_G(model, state, control), atol=1e-5
+        )
+
+    def test_jacobian_continuous_across_zero_omega(self):
+        model = DifferentialDriveModel()
+        state = np.array([0.1, -0.2, 0.7])
+        g_straight = model.jacobian_control(state, np.array([0.2, 0.2]))
+        g_near = model.jacobian_control(state, np.array([0.2, 0.2 + 1e-7]))
+        assert np.allclose(g_straight, g_near, atol=1e-5)
+
+    def test_invalid_wheel_base(self):
+        with pytest.raises(ConfigurationError):
+            DifferentialDriveModel(wheel_base=0.0)
+
+
+class TestBicycle:
+    @pytest.fixture
+    def model(self):
+        return BicycleModel(wheelbase=0.257, dt=0.1)
+
+    def test_straight(self, model):
+        x = model.f(np.zeros(3), np.array([1.0, 0.0]))
+        assert np.allclose(x, [0.1, 0.0, 0.0])
+
+    def test_turning_direction(self, model):
+        x = model.f(np.zeros(3), np.array([1.0, 0.3]))
+        assert x[2] > 0.0  # left steer turns left
+
+    def test_clip_control(self, model):
+        clipped = model.clip_control(np.array([1.0, 2.0]))
+        assert clipped[1] == pytest.approx(model.max_steer)
+
+    @given(state_floats, state_floats, st.floats(-3.0, 3.0),
+           st.floats(0.0, 1.5), st.floats(-0.5, 0.5))
+    @settings(max_examples=50, deadline=None)
+    def test_jacobians_match_numeric(self, x, y, theta, v, delta):
+        model = BicycleModel()
+        state = np.array([x, y, theta])
+        control = np.array([v, delta])
+        assert np.allclose(
+            model.jacobian_state(state, control), numeric_A(model, state, control), atol=1e-5
+        )
+        assert np.allclose(
+            model.jacobian_control(state, control), numeric_G(model, state, control), atol=1e-4
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BicycleModel(wheelbase=-1.0)
+        with pytest.raises(ConfigurationError):
+            BicycleModel(max_steer=2.0)
+
+
+class TestUnicycle:
+    def test_f_and_jacobians(self):
+        model = UnicycleModel(dt=0.1)
+        state = np.array([1.0, 2.0, np.pi / 3])
+        control = np.array([0.5, 0.2])
+        assert np.allclose(
+            model.jacobian_state(state, control), numeric_A(model, state, control), atol=1e-6
+        )
+        assert np.allclose(
+            model.jacobian_control(state, control), numeric_G(model, state, control), atol=1e-6
+        )
+
+    def test_heading_wraps(self):
+        model = UnicycleModel(dt=1.0)
+        x = model.f(np.array([0.0, 0.0, 3.0]), np.array([0.0, 1.0]))
+        assert -np.pi < x[2] <= np.pi
+
+
+class TestRobotModelBase:
+    def test_validation(self):
+        model = UnicycleModel()
+        with pytest.raises(DimensionError):
+            model.validate_state(np.zeros(4))
+        with pytest.raises(DimensionError):
+            model.validate_control(np.zeros(3))
+
+    def test_normalize_state(self):
+        model = UnicycleModel()
+        state = model.normalize_state(np.array([0.0, 0.0, 5.0]))
+        assert -np.pi < state[2] <= np.pi
+
+    def test_metadata(self):
+        model = DifferentialDriveModel()
+        assert model.state_labels == ("x", "y", "theta")
+        assert model.control_labels == ("v_l", "v_r")
+        assert model.angular_states == (2,)
+        assert model.zero_state().shape == (3,)
+        assert model.zero_control().shape == (2,)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ConfigurationError):
+            UnicycleModel(dt=0.0)
+
+    def test_numerical_jacobian_fallback(self):
+        class Fallback(RobotModel):
+            def __init__(self):
+                super().__init__(2, 1, 0.1, ("a", "b"), ("u",))
+
+            def f(self, state, control):
+                state = self.validate_state(state)
+                control = self.validate_control(control)
+                return np.array([state[0] + control[0] * self.dt, state[1] * 0.9])
+
+        model = Fallback()
+        A = model.jacobian_state(np.array([1.0, 2.0]), np.array([0.5]))
+        G = model.jacobian_control(np.array([1.0, 2.0]), np.array([0.5]))
+        assert np.allclose(A, [[1.0, 0.0], [0.0, 0.9]], atol=1e-6)
+        assert np.allclose(G, [[0.1], [0.0]], atol=1e-6)

@@ -1,0 +1,148 @@
+"""Edge-case coverage across the detection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision import DecisionConfig
+from repro.core.detector import RoboADS
+from repro.core.modes import Mode
+from repro.dynamics.unicycle import UnicycleModel
+from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+
+Q = np.diag([1e-6, 1e-6, 4e-6])
+
+
+def make_suite():
+    return SensorSuite(
+        [
+            IPS(sigma_xy=0.002, sigma_theta=0.004),
+            OdometryPoseSensor(sigma_xy=0.003, sigma_theta=0.006),
+        ]
+    )
+
+
+class TestAllReferenceMode:
+    """A mode with every sensor as reference (Table IV's 'all 3' row)."""
+
+    def test_detector_runs_with_empty_testing_set(self, rng):
+        model = UnicycleModel(dt=0.1)
+        suite = make_suite()
+        mode = Mode.for_suite(suite, ("ips", "wheel_encoder"))
+        detector = RoboADS(
+            model, suite, Q,
+            initial_state=np.zeros(3),
+            modes=[mode],
+            nominal_control=np.array([0.2, 0.1]),
+        )
+        x_true = np.zeros(3)
+        control = np.array([0.2, 0.1])
+        for _ in range(20):
+            x_true = model.normalize_state(
+                model.f(x_true, control) + np.sqrt(np.diag(Q)) * rng.standard_normal(3)
+            )
+            report = detector.step(control, suite.measure(x_true, rng))
+        # No testing sensors: the sensor channel has no statistic and never
+        # alarms; the actuator channel still works.
+        assert report.statistics.sensor_dof == 0
+        assert report.flagged_sensors == frozenset()
+        assert report.statistics.actuator_dof == 2
+
+
+class TestHeadingWrapEndToEnd:
+    def test_mission_across_pi_boundary(self, rng):
+        """A robot spinning through +/-pi must not trip false alarms."""
+        model = UnicycleModel(dt=0.1)
+        suite = make_suite()
+        detector = RoboADS(
+            model, suite, Q, initial_state=np.array([0.0, 0.0, 3.0]),
+            nominal_control=np.array([0.2, 0.1]),
+        )
+        x_true = np.array([0.0, 0.0, 3.0])
+        control = np.array([0.1, 0.5])  # fast spin: crosses pi repeatedly
+        false_alarms = 0
+        for _ in range(150):
+            x_true = model.normalize_state(
+                model.f(x_true, control) + np.sqrt(np.diag(Q)) * rng.standard_normal(3)
+            )
+            report = detector.step(control, suite.measure(x_true, rng))
+            if report.flagged_sensors or report.actuator_alarm:
+                false_alarms += 1
+        assert false_alarms <= 3
+
+
+class TestStationaryRobot:
+    def test_parked_robot_is_quiet(self, rng):
+        """Zero control: degenerate excitation must not produce alarms."""
+        model = UnicycleModel(dt=0.1)
+        suite = make_suite()
+        detector = RoboADS(
+            model, suite, Q, initial_state=np.zeros(3),
+            nominal_control=np.array([0.2, 0.1]),
+        )
+        x_true = np.zeros(3)
+        control = np.zeros(2)
+        for _ in range(50):
+            x_true = model.normalize_state(
+                model.f(x_true, control) + np.sqrt(np.diag(Q)) * rng.standard_normal(3)
+            )
+            report = detector.step(control, suite.measure(x_true, rng))
+            assert not report.actuator_alarm
+            assert not report.flagged_sensors
+
+
+class TestDetectorReconfiguration:
+    def test_decision_window_longer_than_mission(self, rng):
+        """A window larger than the run cannot crash or alarm spuriously."""
+        model = UnicycleModel(dt=0.1)
+        suite = make_suite()
+        config = DecisionConfig(sensor_window=6, sensor_criteria=6,
+                                actuator_window=6, actuator_criteria=6)
+        detector = RoboADS(
+            model, suite, Q, initial_state=np.zeros(3), decision=config,
+            nominal_control=np.array([0.2, 0.1]),
+        )
+        x_true = np.zeros(3)
+        control = np.array([0.2, 0.0])
+        for _ in range(4):
+            x_true = model.f(x_true, control)
+            report = detector.step(control, suite.measure(x_true, rng))
+        assert not report.flagged_sensors
+
+    def test_reset_to_new_start_pose(self, rng):
+        model = UnicycleModel(dt=0.1)
+        suite = make_suite()
+        detector = RoboADS(
+            model, suite, Q, initial_state=np.zeros(3),
+            nominal_control=np.array([0.2, 0.1]),
+        )
+        detector.reset(np.array([5.0, 5.0, 1.0]))
+        x_true = np.array([5.0, 5.0, 1.0])
+        report = detector.step(np.array([0.1, 0.0]), suite.measure(
+            model.f(x_true, np.array([0.1, 0.0])), rng))
+        # No spurious alarm from the relocated start.
+        assert not report.flagged_sensors
+
+    def test_huge_initial_uncertainty_converges(self, rng):
+        """Unknown start pose: large P0 must converge without alarms after
+        a short burn-in."""
+        model = UnicycleModel(dt=0.1)
+        suite = make_suite()
+        detector = RoboADS(
+            model, suite, Q,
+            initial_state=np.zeros(3),
+            initial_covariance=1.0,
+            nominal_control=np.array([0.2, 0.1]),
+        )
+        x_true = np.array([0.4, -0.3, 0.5])  # far from the assumed start
+        control = np.array([0.2, 0.1])
+        flagged_late = 0
+        for k in range(60):
+            x_true = model.normalize_state(
+                model.f(x_true, control) + np.sqrt(np.diag(Q)) * rng.standard_normal(3)
+            )
+            report = detector.step(control, suite.measure(x_true, rng))
+            if k >= 20 and report.flagged_sensors:
+                flagged_late += 1
+        assert flagged_late <= 2
+        assert np.linalg.norm(report.state_estimate[:2] - x_true[:2]) < 0.02

@@ -1,0 +1,210 @@
+"""Tests for the experiment helpers and fast experiment smoke runs.
+
+The full experiments live in ``benchmarks/``; here the label machinery gets
+unit coverage and the cheapest experiments run once to validate structure
+and the paper's qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    KHEPERA_SENSOR_ORDER,
+    condition_label,
+    condition_sequence,
+    detected_sequence,
+    sensor_mode_table,
+    truth_sequence,
+)
+
+
+class TestModeTable:
+    def test_matches_paper_table3(self):
+        table = sensor_mode_table(KHEPERA_SENSOR_ORDER)
+        assert table[frozenset()] == "S0"
+        assert table[frozenset({"ips"})] == "S1"
+        assert table[frozenset({"wheel_encoder"})] == "S2"
+        assert table[frozenset({"lidar"})] == "S3"
+        assert table[frozenset({"wheel_encoder", "lidar"})] == "S4"
+        assert table[frozenset({"ips", "lidar"})] == "S5"
+        assert table[frozenset({"ips", "wheel_encoder"})] == "S6"
+
+    def test_condition_label_unknown(self):
+        assert condition_label({"radar"}, KHEPERA_SENSOR_ORDER).startswith("S?")
+
+    def test_condition_sequence_compression(self):
+        labels = ["S0", "S0", "S1", "S1", "S1", "S0"]
+        assert condition_sequence(labels) == "S0→1→0"
+
+    def test_condition_sequence_min_run_suppresses_flicker(self):
+        labels = ["S0"] * 10 + ["S2"] + ["S0"] * 10 + ["S1"] * 10
+        assert condition_sequence(labels, min_run=3) == "S0→1"
+
+    def test_sequence_from_trace(self):
+        from repro.sim.trace import SimulationTrace
+
+        class FakeReport:
+            def __init__(self, flagged):
+                self.flagged_sensors = frozenset(flagged)
+                self.actuator_alarm = False
+
+        trace = SimulationTrace(dt=0.1, sensor_names=KHEPERA_SENSOR_ORDER)
+        sequence = [set()] * 5 + [{"wheel_encoder"}] * 8 + [{"wheel_encoder", "lidar"}] * 8
+        for k, corrupted in enumerate(sequence):
+            trace.append(
+                t=(k + 1) * 0.1,
+                true_state=np.zeros(3),
+                planned=np.zeros(2),
+                executed=np.zeros(2),
+                reading=np.zeros(10),
+                nav_pose=np.zeros(3),
+                corrupted_sensors=frozenset(corrupted),
+                actuator_corrupted=False,
+                report=FakeReport(corrupted),
+            )
+        assert truth_sequence(trace, KHEPERA_SENSOR_ORDER) == "S0→2→4"
+        assert detected_sequence(trace, KHEPERA_SENSOR_ORDER) == "S0→2→4"
+
+
+@pytest.mark.slow
+class TestExperimentRuns:
+    def test_table4_ordering(self):
+        from repro.experiments.table4 import run_table4
+
+        result = run_table4(duration=10.0)
+        assert result.ordering_holds()
+        text = result.format()
+        assert "IPS" in text and "LiDAR" in text
+
+    def test_fig6_checkpoints(self):
+        from repro.experiments.fig6 import run_fig6
+
+        result = run_fig6(seed=42)
+        cp = result.checkpoints()
+        assert cp["ips_x_after"] == pytest.approx(0.07, abs=0.01)
+        assert abs(cp["ips_x_before"]) < 0.01
+        assert cp["actuator_diff_after"] == pytest.approx(0.08, abs=0.02)
+        assert cp["sensor_mode_after_ips"] == 1.0  # S1
+        assert cp["actuator_mode_after_wheel"] > 0.9
+        assert "Fig 6" in result.format()
+
+    def test_linear_benchmark_gap(self):
+        from repro.experiments.linear_benchmark import run_linear_benchmark
+
+        result = run_linear_benchmark(scenario_numbers=(4,))
+        assert result.baseline_sensor_fpr > 0.3
+        assert result.roboads_sensor_fpr < 0.05
+        assert result.gap > 0.25
+        assert "61.68%" in result.format()
+
+    def test_evasive_bounds(self):
+        from repro.experiments.evasive import run_evasive
+
+        result = run_evasive(
+            ips_magnitudes=(0.002, 0.070),
+            wheel_units=(150.0, 6000.0),
+        )
+        # The Table II magnitudes are detected; the tiny ones are stealthy.
+        assert result.ips_detected == [False, True]
+        assert result.wheel_detected == [False, True]
+
+    def test_ablation_grouping_lines(self):
+        from repro.experiments.ablation import _grouping_study
+
+        lines = _grouping_study()
+        assert any("rejected" in line for line in lines)
+        assert any("accepted" in line for line in lines)
+
+
+@pytest.mark.slow
+class TestFig6Export:
+    def test_csv_roundtrip(self, tmp_path):
+        import csv
+
+        from repro.experiments.fig6 import run_fig6
+
+        result = run_fig6(seed=42)
+        path = tmp_path / "fig6.csv"
+        result.to_csv(path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "t"
+        assert len(rows) - 1 == len(result.times)
+        assert len(rows[1]) == 19
+
+
+class TestAngledWalls:
+    def test_wall_distance_sensor_with_diamond_arena(self, rng):
+        """Non-axis-aligned walls: the sensor's analytic Jacobian and the
+        detection stack must work with arbitrary wall normals."""
+        import numpy as np
+
+        from repro.linalg import numerical_jacobian
+        from repro.sensors.lidar import WallDistanceSensor
+        from repro.world.geometry import Segment
+        from repro.world.map import Wall, WorldMap
+
+        # A diamond (square rotated 45 degrees), wound counter-clockwise.
+        diamond = WorldMap(
+            [
+                Wall("se", Segment((2.0, 0.0), (4.0, 2.0))),
+                Wall("ne", Segment((4.0, 2.0), (2.0, 4.0))),
+                Wall("nw", Segment((2.0, 4.0), (0.0, 2.0))),
+                Wall("sw", Segment((0.0, 2.0), (2.0, 0.0))),
+            ]
+        )
+        sensor = WallDistanceSensor(diamond, wall_names=("se", "nw", "sw"))
+        state = np.array([2.0, 2.0, 0.3])
+        z = sensor.h(state)
+        # Centre of the diamond: perpendicular distance to every wall is
+        # half the diagonal spacing = sqrt(2).
+        assert np.allclose(z[:3], np.sqrt(2.0), atol=1e-9)
+        assert np.allclose(
+            sensor.jacobian(state), numerical_jacobian(sensor.h, state), atol=1e-6
+        )
+
+    def test_detection_in_diamond_arena(self, rng):
+        import numpy as np
+
+        from repro.core.detector import RoboADS
+        from repro.dynamics.unicycle import UnicycleModel
+        from repro.sensors.lidar import WallDistanceSensor
+        from repro.sensors.pose_sensors import IPS
+        from repro.sensors.suite import SensorSuite
+        from repro.world.geometry import Segment
+        from repro.world.map import Wall, WorldMap
+
+        diamond = WorldMap(
+            [
+                Wall("se", Segment((2.0, 0.0), (4.0, 2.0))),
+                Wall("ne", Segment((4.0, 2.0), (2.0, 4.0))),
+                Wall("nw", Segment((2.0, 4.0), (0.0, 2.0))),
+                Wall("sw", Segment((0.0, 2.0), (2.0, 0.0))),
+            ]
+        )
+        model = UnicycleModel(dt=0.1)
+        suite = SensorSuite(
+            [
+                IPS(sigma_xy=0.002, sigma_theta=0.004),
+                WallDistanceSensor(diamond, wall_names=("se", "nw", "sw")),
+            ]
+        )
+        q = np.diag([1e-6, 1e-6, 4e-6])
+        detector = RoboADS(
+            model, suite, q, initial_state=np.array([2.0, 2.0, 0.0]),
+            nominal_control=np.array([0.2, 0.1]),
+        )
+        x_true = np.array([2.0, 2.0, 0.0])
+        control = np.array([0.15, 0.2])
+        hits = 0
+        for k in range(60):
+            x_true = model.normalize_state(
+                model.f(x_true, control) + np.sqrt(np.diag(q)) * rng.standard_normal(3)
+            )
+            z = suite.measure(x_true, rng)
+            if k >= 20:
+                z[suite.slice_of("lidar")][0] -= 0.3  # blocked SE direction
+            report = detector.step(control, z)
+            if k >= 25 and report.flagged_sensors == frozenset({"lidar"}):
+                hits += 1
+        assert hits >= 30

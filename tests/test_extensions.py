@@ -1,0 +1,170 @@
+"""Tests for forensics, switching attacks, sensor quality, mecanum, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.omnidirectional import OmnidirectionalModel
+from repro.linalg import numerical_jacobian
+
+
+class TestOmnidirectionalModel:
+    def test_body_frame_translation(self):
+        model = OmnidirectionalModel(dt=0.1)
+        # Heading 90 degrees: body +x is world +y.
+        state = np.array([0.0, 0.0, np.pi / 2])
+        out = model.f(state, np.array([1.0, 0.0, 0.0]))
+        assert np.allclose(out, [0.0, 0.1, np.pi / 2], atol=1e-12)
+
+    def test_lateral_translation(self):
+        model = OmnidirectionalModel(dt=0.1)
+        out = model.f(np.zeros(3), np.array([0.0, 1.0, 0.0]))
+        assert np.allclose(out, [0.0, 0.1, 0.0])
+
+    def test_jacobians_match_numeric(self):
+        model = OmnidirectionalModel()
+        state = np.array([0.3, -0.2, 0.8])
+        control = np.array([0.2, -0.1, 0.4])
+        assert np.allclose(
+            model.jacobian_state(state, control),
+            numerical_jacobian(lambda x: model.f(x, control), state),
+            atol=1e-6,
+        )
+        assert np.allclose(
+            model.jacobian_control(state, control),
+            numerical_jacobian(lambda u: model.f(state, u), control),
+            atol=1e-6,
+        )
+
+    def test_three_dim_unknown_input_needs_full_pose_reference(self):
+        from repro.core.modes import Mode
+        from repro.core.nuise import NuiseFilter
+        from repro.errors import ObservabilityError
+        from repro.sensors.gps import GPS
+        from repro.sensors.pose_sensors import IPS
+        from repro.sensors.suite import SensorSuite
+
+        model = OmnidirectionalModel()
+        suite = SensorSuite([IPS(), GPS()])
+        # Full pose: rank(C2 G) = 3 — accepted.
+        NuiseFilter(model, suite, Mode.for_suite(suite, ("ips",)), 1e-6,
+                    nominal_control=np.array([0.1, 0.1, 0.1]))
+        # Position-only: rank 2 < 3 — rejected.
+        with pytest.raises(ObservabilityError):
+            NuiseFilter(model, suite, Mode.for_suite(suite, ("gps",)), 1e-6,
+                        nominal_control=np.array([0.1, 0.1, 0.1]))
+
+    def test_detects_lateral_actuator_anomaly(self):
+        """A mecanum-specific attack: lateral creep no diff-drive could make."""
+        from repro.core.detector import RoboADS
+        from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
+        from repro.sensors.suite import SensorSuite
+
+        model = OmnidirectionalModel(dt=0.1)
+        suite = SensorSuite([IPS(sigma_xy=0.002, sigma_theta=0.004), OdometryPoseSensor()])
+        detector = RoboADS(
+            model,
+            suite,
+            process_noise=np.diag([1e-6, 1e-6, 4e-6]),
+            initial_state=np.zeros(3),
+            nominal_control=np.array([0.1, 0.1, 0.1]),
+        )
+        rng = np.random.default_rng(2)
+        x_true = np.zeros(3)
+        control = np.array([0.2, 0.0, 0.1])
+        alarms = 0
+        for k in range(60):
+            executed = control + (np.array([0.0, 0.15, 0.0]) if k >= 20 else 0.0)
+            x_true = model.normalize_state(
+                model.f(x_true, executed) + np.sqrt([1e-6, 1e-6, 4e-6]) * rng.standard_normal(3)
+            )
+            report = detector.step(control, suite.measure(x_true, rng))
+            if k >= 30 and report.actuator_alarm:
+                alarms += 1
+        assert alarms >= 25
+
+
+class TestForensics:
+    def test_quantifies_known_bias(self, khepera):
+        from repro.attacks.catalog import khepera_scenarios
+        from repro.eval.forensics import quantify_run
+        from repro.eval.runner import run_scenario
+
+        scenario = next(s for s in khepera_scenarios() if s.number == 3)
+        result = run_scenario(khepera, scenario, seed=42)
+        report = quantify_run(result.trace, khepera.suite)
+        ips = next(c for c in report.sensors if c.name == "ips")
+        assert ips.mean_true_magnitude == pytest.approx(0.07, abs=0.005)
+        assert ips.normalized_bias < 0.05
+        assert "forensics" in report.format()
+
+    def test_actuator_quantification(self, khepera):
+        from repro.attacks.catalog import khepera_scenarios
+        from repro.eval.forensics import quantify_run
+        from repro.eval.runner import run_scenario
+
+        scenario = next(s for s in khepera_scenarios() if s.number == 1)
+        result = run_scenario(khepera, scenario, seed=42)
+        report = quantify_run(result.trace, khepera.suite)
+        assert report.actuator is not None
+        assert report.actuator.normalized_bias < 0.2
+
+    def test_clean_run_reports_nothing(self, khepera):
+        from repro.eval.forensics import quantify_run
+        from repro.eval.runner import run_scenario
+
+        result = run_scenario(khepera, None, seed=1, duration=4.0)
+        report = quantify_run(result.trace, khepera.suite)
+        assert report.sensors == []
+        assert report.actuator is None
+
+    def test_trace_ground_truth_corruption(self, khepera):
+        from repro.attacks.catalog import khepera_scenarios
+        from repro.eval.runner import run_scenario
+
+        scenario = next(s for s in khepera_scenarios() if s.number == 3)
+        result = run_scenario(khepera, scenario, seed=42)
+        trace = result.trace
+        sl = khepera.suite.slice_of("ips")
+        ds = trace.actual_sensor_anomaly()
+        attacked = [k for k in range(len(trace)) if "ips" in trace.truth_sensors[k]]
+        clean = [k for k in range(len(trace)) if not trace.truth_sensors[k]]
+        assert np.allclose(ds[attacked][:, sl.start], 0.07, atol=1e-9)
+        assert np.allclose(ds[clean], 0.0, atol=1e-9)
+
+
+@pytest.mark.slow
+class TestSwitchingExperiment:
+    def test_degradation_shape(self):
+        from repro.experiments.switching import run_switching
+
+        result = run_switching(periods=(0.5, 4.0), seed=900)
+        assert result.monotone_degradation()
+        assert result.identification_accuracy[-1] > 0.9
+        assert result.alarm_recall[-1] > 0.9
+        assert "switching" in result.format().lower()
+
+
+@pytest.mark.slow
+class TestSensorQualityExperiment:
+    def test_monotonicity(self):
+        from repro.experiments.sensor_quality import run_sensor_quality
+
+        result = run_sensor_quality(sigmas=(0.001, 0.004), seed=1000)
+        assert result.quality_monotone()
+        assert result.quantity_monotone()
+        assert "quality" in result.format()
+
+
+class TestCli:
+    def test_cli_runs_an_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table4"]) == 0
+        captured = capsys.readouterr()
+        assert "Table IV" in captured.out
+
+    def test_cli_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])

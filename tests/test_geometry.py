@@ -1,0 +1,170 @@
+"""Tests for planar geometry primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.world.geometry import (
+    Ray,
+    Segment,
+    as_point,
+    distance_point_to_line,
+    distance_point_to_segment,
+    project_point_to_segment,
+    ray_segment_intersection,
+    segments_intersect,
+)
+
+finite_coord = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestSegment:
+    def test_length_and_direction(self):
+        seg = Segment((0.0, 0.0), (3.0, 4.0))
+        assert seg.length == pytest.approx(5.0)
+        assert np.allclose(seg.direction, [0.6, 0.8])
+
+    def test_normal_is_left_perpendicular(self):
+        seg = Segment((0.0, 0.0), (1.0, 0.0))
+        assert np.allclose(seg.normal, [0.0, 1.0])
+
+    def test_angle(self):
+        assert Segment((0, 0), (1, 1)).angle == pytest.approx(np.pi / 4)
+
+    def test_midpoint(self):
+        assert np.allclose(Segment((0, 0), (2, 4)).midpoint(), [1.0, 2.0])
+
+    def test_degenerate_direction_zero(self):
+        seg = Segment((1.0, 1.0), (1.0, 1.0))
+        assert np.allclose(seg.direction, [0.0, 0.0])
+
+
+class TestAsPoint:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(DimensionError):
+            as_point([1.0, 2.0, 3.0])
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        a = Segment((0, 0), (2, 2))
+        b = Segment((0, 2), (2, 0))
+        assert segments_intersect(a, b)
+
+    def test_parallel_non_overlapping(self):
+        a = Segment((0, 0), (1, 0))
+        b = Segment((0, 1), (1, 1))
+        assert not segments_intersect(a, b)
+
+    def test_collinear_overlapping(self):
+        a = Segment((0, 0), (2, 0))
+        b = Segment((1, 0), (3, 0))
+        assert segments_intersect(a, b)
+
+    def test_collinear_disjoint(self):
+        a = Segment((0, 0), (1, 0))
+        b = Segment((2, 0), (3, 0))
+        assert not segments_intersect(a, b)
+
+    def test_touching_endpoint(self):
+        a = Segment((0, 0), (1, 1))
+        b = Segment((1, 1), (2, 0))
+        assert segments_intersect(a, b)
+
+    def test_near_miss(self):
+        a = Segment((0, 0), (1, 0))
+        b = Segment((0.5, 0.01), (0.5, 1.0))
+        assert not segments_intersect(a, b)
+
+    @given(finite_coord, finite_coord, finite_coord, finite_coord)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric(self, x0, y0, x1, y1):
+        a = Segment((x0, y0), (x1, y1))
+        b = Segment((y0, x1), (x0, y1))
+        assert segments_intersect(a, b) == segments_intersect(b, a)
+
+
+class TestRaySegment:
+    def test_perpendicular_hit(self):
+        ray = Ray((0.0, 0.0), 0.0)
+        seg = Segment((2.0, -1.0), (2.0, 1.0))
+        assert ray_segment_intersection(ray, seg) == pytest.approx(2.0)
+
+    def test_miss_behind(self):
+        ray = Ray((0.0, 0.0), 0.0)
+        seg = Segment((-2.0, -1.0), (-2.0, 1.0))
+        assert ray_segment_intersection(ray, seg) is None
+
+    def test_miss_beside(self):
+        ray = Ray((0.0, 0.0), 0.0)
+        seg = Segment((2.0, 1.0), (2.0, 3.0))
+        assert ray_segment_intersection(ray, seg) is None
+
+    def test_angled_hit(self):
+        ray = Ray((0.0, 0.0), np.pi / 4)
+        seg = Segment((0.0, 2.0), (2.0, 0.0))
+        assert ray_segment_intersection(ray, seg) == pytest.approx(np.sqrt(2.0))
+
+    def test_collinear_ray(self):
+        ray = Ray((0.0, 0.0), 0.0)
+        seg = Segment((1.0, 0.0), (3.0, 0.0))
+        assert ray_segment_intersection(ray, seg) == pytest.approx(1.0)
+
+    def test_origin_on_segment(self):
+        ray = Ray((2.0, 0.0), np.pi / 2)
+        seg = Segment((0.0, 0.0), (4.0, 0.0))
+        assert ray_segment_intersection(ray, seg) == pytest.approx(0.0)
+
+    @given(
+        st.floats(min_value=-np.pi, max_value=np.pi),
+        st.floats(min_value=0.5, max_value=20.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hit_point_lies_on_segment_line(self, angle, offset):
+        # A long vertical wall at x=offset is hit by any ray with positive
+        # x-direction; the hit distance must place the point on the wall.
+        ray = Ray((0.0, 0.0), angle)
+        seg = Segment((offset, -1000.0), (offset, 1000.0))
+        hit = ray_segment_intersection(ray, seg)
+        if np.cos(angle) > 1e-6:
+            assert hit is not None
+            point = ray.point_at(hit)
+            assert point[0] == pytest.approx(offset, abs=1e-6)
+        elif np.cos(angle) < -1e-6:
+            assert hit is None
+
+
+class TestDistances:
+    def test_projection_interior(self):
+        seg = Segment((0.0, 0.0), (10.0, 0.0))
+        closest, t = project_point_to_segment((3.0, 4.0), seg)
+        assert np.allclose(closest, [3.0, 0.0])
+        assert t == pytest.approx(0.3)
+
+    def test_projection_clamps(self):
+        seg = Segment((0.0, 0.0), (1.0, 0.0))
+        closest, t = project_point_to_segment((5.0, 1.0), seg)
+        assert np.allclose(closest, [1.0, 0.0])
+        assert t == 1.0
+
+    def test_distance_point_to_segment(self):
+        seg = Segment((0.0, 0.0), (10.0, 0.0))
+        assert distance_point_to_segment((3.0, 4.0), seg) == pytest.approx(4.0)
+        assert distance_point_to_segment((-3.0, 4.0), seg) == pytest.approx(5.0)
+
+    def test_signed_line_distance(self):
+        seg = Segment((0.0, 0.0), (1.0, 0.0))
+        assert distance_point_to_line((0.5, 2.0), seg) == pytest.approx(2.0)
+        assert distance_point_to_line((0.5, -2.0), seg) == pytest.approx(-2.0)
+
+    def test_line_distance_degenerate_segment(self):
+        seg = Segment((1.0, 1.0), (1.0, 1.0))
+        assert distance_point_to_line((4.0, 5.0), seg) == pytest.approx(5.0)
+
+    @given(finite_coord, finite_coord)
+    @settings(max_examples=50, deadline=None)
+    def test_segment_distance_nonnegative(self, x, y):
+        seg = Segment((-1.0, 0.0), (1.0, 0.0))
+        assert distance_point_to_segment((x, y), seg) >= 0.0

@@ -1,0 +1,137 @@
+"""End-to-end detection tests: full closed loop, attack to identification.
+
+These are the load-bearing reproduction tests: each asserts that a Table II
+style misbehavior launched mid-mission is detected, correctly identified and
+quantified by the full pipeline (simulator -> workflows -> RoboADS).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.catalog import khepera_scenarios, tamiya_scenarios
+from repro.eval.runner import run_scenario
+
+
+def scenario_by_number(scenarios, number):
+    return next(s for s in scenarios if s.number == number)
+
+
+@pytest.fixture(scope="module")
+def khepera_rig_():
+    from repro.robots.khepera import khepera_rig
+
+    rig = khepera_rig()
+    rig.plan_path(0)
+    return rig
+
+
+@pytest.fixture(scope="module")
+def tamiya_rig_():
+    from repro.robots.tamiya import tamiya_rig
+
+    rig = tamiya_rig()
+    rig.plan_path(0)
+    return rig
+
+
+class TestKheperaScenarios:
+    def test_wheel_logic_bomb_detected(self, khepera_rig_):
+        result = run_scenario(khepera_rig_, scenario_by_number(khepera_scenarios(), 1), seed=7)
+        assert result.actuator_confusion.false_negative_rate < 0.15
+        assert result.sensor_confusion.false_positive_rate < 0.05
+        assert result.mean_delay("actuator") < 1.0
+
+    def test_wheel_jamming_detected(self, khepera_rig_):
+        result = run_scenario(khepera_rig_, scenario_by_number(khepera_scenarios(), 2), seed=7)
+        assert result.actuator_confusion.false_negative_rate < 0.15
+
+    def test_ips_spoofing_identified(self, khepera_rig_):
+        result = run_scenario(khepera_rig_, scenario_by_number(khepera_scenarios(), 4), seed=7)
+        assert result.sensor_confusion.false_negative_rate < 0.05
+        # The identified set must be exactly {ips} once confirmed.
+        post = [
+            r.flagged_sensors
+            for k, r in enumerate(result.trace.reports)
+            if result.trace.truth_sensors[k]
+        ]
+        exact = sum(1 for f in post if f == frozenset({"ips"}))
+        assert exact / len(post) > 0.9
+
+    def test_anomaly_quantification_matches_injection(self, khepera_rig_):
+        result = run_scenario(khepera_rig_, scenario_by_number(khepera_scenarios(), 3), seed=7)
+        estimates = []
+        for k, r in enumerate(result.trace.reports):
+            if result.trace.truth_sensors[k] and r.sensor_anomaly("ips") is not None:
+                estimates.append(r.sensor_anomaly("ips")[0])
+        assert np.mean(estimates[10:]) == pytest.approx(0.07, abs=0.01)
+
+    def test_lidar_dos_from_start(self, khepera_rig_):
+        result = run_scenario(khepera_rig_, scenario_by_number(khepera_scenarios(), 6), seed=7)
+        assert result.sensor_confusion.false_negative_rate < 0.05
+
+    def test_two_corrupted_sensors_identified_without_voting(self, khepera_rig_):
+        """Scenarios with 2/3 sensors corrupted: no majority voting needed."""
+        result = run_scenario(khepera_rig_, scenario_by_number(khepera_scenarios(), 11), seed=7)
+        # After the second trigger, condition is {ips, wheel_encoder}.
+        idx = result.trace.first_index_at(8.5)
+        post = [
+            r.flagged_sensors for r in result.trace.reports[idx:]
+        ]
+        exact = sum(1 for f in post if f == frozenset({"ips", "wheel_encoder"}))
+        assert exact / len(post) > 0.85
+
+    def test_lidar_recovery_clears_flag(self, khepera_rig_):
+        """Scenario 10: after the DoS window ends the LiDAR flag must clear."""
+        result = run_scenario(khepera_rig_, scenario_by_number(khepera_scenarios(), 10), seed=7)
+        idx = result.trace.first_index_at(10.0)
+        post = [r.flagged_sensors for r in result.trace.reports[idx:]]
+        assert sum(1 for f in post if "lidar" in f) / len(post) < 0.1
+        assert sum(1 for f in post if f == frozenset({"ips"})) / len(post) > 0.85
+
+    def test_combined_sensor_actuator(self, khepera_rig_):
+        result = run_scenario(khepera_rig_, scenario_by_number(khepera_scenarios(), 8), seed=7)
+        assert result.sensor_confusion.false_negative_rate < 0.05
+        assert result.actuator_confusion.false_negative_rate < 0.15
+
+
+class TestKheperaRawPipelines:
+    """The raw LiDAR pipeline must support the same detection story."""
+
+    def test_lidar_raw_clean_no_false_alarms(self):
+        from repro.robots.khepera import khepera_rig
+
+        rig = khepera_rig(lidar_mode="raw")
+        rig.plan_path(0)
+        result = run_scenario(rig, None, seed=3, duration=8.0)
+        assert result.sensor_confusion.false_positive_rate < 0.10
+
+    def test_lidar_raw_dos_detected(self):
+        from repro.robots.khepera import khepera_rig
+
+        rig = khepera_rig(lidar_mode="raw")
+        rig.plan_path(0)
+        scenario = scenario_by_number(khepera_scenarios(), 6)
+        result = run_scenario(rig, scenario, seed=3, duration=8.0)
+        assert result.sensor_confusion.false_negative_rate < 0.10
+
+
+class TestTamiyaScenarios:
+    def test_throttle_bomb(self, tamiya_rig_):
+        result = run_scenario(tamiya_rig_, scenario_by_number(tamiya_scenarios(), 1), seed=5)
+        assert result.actuator_confusion.false_negative_rate < 0.20
+
+    def test_imu_bomb_identified(self, tamiya_rig_):
+        result = run_scenario(tamiya_rig_, scenario_by_number(tamiya_scenarios(), 5), seed=5)
+        assert result.sensor_confusion.false_negative_rate < 0.05
+        post = [
+            r.flagged_sensors
+            for k, r in enumerate(result.trace.reports)
+            if result.trace.truth_sensors[k]
+        ]
+        exact = sum(1 for f in post if f == frozenset({"imu"}))
+        assert exact / len(post) > 0.9
+
+    def test_clean_mission_quiet(self, tamiya_rig_):
+        result = run_scenario(tamiya_rig_, None, seed=5)
+        assert result.sensor_confusion.false_positive_rate < 0.03
+        assert result.actuator_confusion.false_positive_rate < 0.05

@@ -1,0 +1,146 @@
+"""Tests for the LiDAR stack: feature sensor, ray caster, extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.linalg import numerical_jacobian
+from repro.sensors.lidar import LidarScan, RayCastLidar, ScanFeatureExtractor, WallDistanceSensor
+from repro.world.map import WorldMap
+from repro.world.obstacles import RectangleObstacle
+from repro.world.presets import paper_arena
+
+
+@pytest.fixture
+def world():
+    return WorldMap.rectangle(3.0, 3.0)
+
+
+class TestWallDistanceSensor:
+    def test_h_values(self, world):
+        sensor = WallDistanceSensor(world)
+        state = np.array([1.0, 0.5, 0.3])
+        z = sensor.h(state)
+        # Default walls: west, south, east + heading.
+        assert np.allclose(z, [1.0, 0.5, 2.0, 0.3])
+
+    def test_jacobian_matches_numeric(self, world):
+        sensor = WallDistanceSensor(world)
+        state = np.array([1.2, 0.7, -0.4])
+        assert np.allclose(sensor.jacobian(state), numerical_jacobian(sensor.h, state), atol=1e-6)
+
+    def test_labels_and_angular(self, world):
+        sensor = WallDistanceSensor(world)
+        assert sensor.labels == ("lidar.d_west", "lidar.d_south", "lidar.d_east", "lidar.theta")
+        assert sensor.angular_components == (3,)
+
+    def test_custom_walls(self, world):
+        sensor = WallDistanceSensor(world, wall_names=("north",))
+        z = sensor.h(np.array([1.0, 1.0, 0.0]))
+        assert np.allclose(z, [2.0, 0.0])
+
+    def test_unknown_wall_rejected(self, world):
+        with pytest.raises(ConfigurationError):
+            WallDistanceSensor(world, wall_names=("ceiling",))
+
+    def test_empty_walls_rejected(self, world):
+        with pytest.raises(ConfigurationError):
+            WallDistanceSensor(world, wall_names=())
+
+
+class TestRayCastLidar:
+    def test_ranges_match_geometry(self, world):
+        lidar = RayCastLidar(world, fov=np.pi, n_beams=3, sigma_range=0.0)
+        scan = lidar.scan(np.array([1.5, 1.5, 0.0]))
+        ranges, rel = scan.as_arrays()
+        # Beams at -90, 0, +90 degrees from the centre of a 3x3 arena.
+        assert np.allclose(ranges, [1.5, 1.5, 1.5], atol=1e-9)
+        assert np.allclose(rel, [-np.pi / 2, 0.0, np.pi / 2])
+
+    def test_noise_applied_with_rng(self, world, rng):
+        lidar = RayCastLidar(world, n_beams=30, sigma_range=0.01)
+        scan = lidar.scan(np.array([1.5, 1.5, 0.0]), rng)
+        clean = lidar.scan(np.array([1.5, 1.5, 0.0]))
+        diff = np.asarray(scan.ranges) - np.asarray(clean.ranges)
+        assert diff.std() == pytest.approx(0.01, rel=0.5)
+
+    def test_obstacle_shortens_beam(self):
+        world = WorldMap.rectangle(5.0, 5.0, obstacles=[RectangleObstacle((3.0, 2.0), (4.0, 3.0))])
+        lidar = RayCastLidar(world, fov=np.pi / 2, n_beams=3, sigma_range=0.0)
+        scan = lidar.scan(np.array([1.0, 2.5, 0.0]))
+        assert min(scan.ranges) <= 2.0 + 1e-6
+
+    def test_config_validation(self, world):
+        with pytest.raises(ConfigurationError):
+            RayCastLidar(world, n_beams=1)
+        with pytest.raises(ConfigurationError):
+            RayCastLidar(world, fov=7.0)
+
+    def test_scan_dataclass_validation(self):
+        with pytest.raises(DimensionError):
+            LidarScan((1.0, 2.0), (0.0,), 10.0)
+
+
+class TestScanFeatureExtractor:
+    @pytest.mark.parametrize("theta", [0.0, 0.4, -0.9, 2.5])
+    def test_recovers_features_from_clean_scan(self, world, theta):
+        pose = np.array([1.2, 0.9, theta])
+        lidar = RayCastLidar(world, n_beams=120, sigma_range=0.0)
+        extractor = ScanFeatureExtractor(world)
+        sensor = WallDistanceSensor(world)
+        scan = lidar.scan(pose)
+        # Prior is slightly off, as a planner estimate would be.
+        prior = pose + np.array([0.01, -0.01, 0.02])
+        features = extractor.extract(scan, prior)
+        expected = sensor.h(pose)
+        # Distances to walls actually visible should be centimetre-accurate.
+        for i in range(3):
+            if features[i] != 0.0:
+                assert features[i] == pytest.approx(expected[i], abs=0.03)
+        # Heading estimate from wall orientations.
+        assert features[3] == pytest.approx(theta, abs=0.03)
+
+    def test_dos_scan_yields_degenerate_features(self, world):
+        lidar = RayCastLidar(world, n_beams=60, sigma_range=0.0)
+        extractor = ScanFeatureExtractor(world)
+        pose = np.array([1.5, 1.5, 0.0])
+        scan = lidar.scan(pose)
+        dead = LidarScan(tuple(0.0 for _ in scan.ranges), scan.relative_angles, scan.max_range)
+        features = extractor.extract(dead, pose)
+        assert np.allclose(features[:3], 0.0)
+
+    def test_dead_scan_declared_by_valid_fraction(self, world):
+        extractor = ScanFeatureExtractor(world)
+        scan = LidarScan((0.0, 0.0, 0.0), (-0.5, 0.0, 0.5), 10.0)
+        features = extractor.extract(scan, np.array([1.0, 1.0, 0.77]))
+        assert np.allclose(features, 0.0)
+
+    def test_occluded_wall_falls_back_to_prior(self, world):
+        # Heading east with a narrow FOV: the west wall is behind the robot,
+        # so its feature comes from the localization prior.
+        pose = np.array([1.0, 1.5, 0.0])
+        lidar = RayCastLidar(world, fov=np.deg2rad(90.0), n_beams=30, sigma_range=0.0)
+        extractor = ScanFeatureExtractor(world)
+        prior = pose + np.array([0.02, 0.0, 0.0])
+        features = extractor.extract(lidar.scan(pose), prior)
+        assert features[0] == pytest.approx(prior[0], abs=1e-6)
+
+    def test_with_noise_still_reasonable(self, world, rng):
+        pose = np.array([2.0, 1.0, 0.5])
+        lidar = RayCastLidar(world, n_beams=120, sigma_range=0.004)
+        extractor = ScanFeatureExtractor(world)
+        sensor = WallDistanceSensor(world)
+        features = extractor.extract(lidar.scan(pose, rng), pose)
+        expected = sensor.h(pose)
+        mask = features[:3] != 0.0
+        assert np.allclose(features[:3][mask], expected[:3][mask], atol=0.05)
+
+    def test_extractor_in_cluttered_arena(self, rng):
+        world = paper_arena()
+        pose = np.array([0.5, 0.5, np.pi / 4])
+        lidar = RayCastLidar(world, n_beams=120, sigma_range=0.0)
+        extractor = ScanFeatureExtractor(world)
+        features = extractor.extract(lidar.scan(pose), pose)
+        # West and south walls are visible from the start corner.
+        assert features[0] == pytest.approx(0.5, abs=0.05)
+        assert features[1] == pytest.approx(0.5, abs=0.05)

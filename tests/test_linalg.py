@@ -1,0 +1,200 @@
+"""Unit and property tests for the numerical helpers in repro.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import DimensionError
+from repro.linalg import (
+    as_matrix,
+    as_vector,
+    block_diag,
+    gaussian_likelihood,
+    is_psd,
+    mahalanobis_squared,
+    numerical_jacobian,
+    pinv_and_pdet,
+    project_psd,
+    pseudo_determinant,
+    pseudo_inverse,
+    symmetrize,
+    wrap_angle,
+    wrap_residual,
+)
+
+
+def random_psd(rng: np.random.Generator, n: int, rank: int | None = None) -> np.ndarray:
+    rank = n if rank is None else rank
+    basis = rng.standard_normal((n, rank))
+    return basis @ basis.T
+
+
+class TestVectorsAndMatrices:
+    def test_as_vector_accepts_scalar(self):
+        assert as_vector(3.0).tolist() == [3.0]
+
+    def test_as_vector_checks_length(self):
+        with pytest.raises(DimensionError):
+            as_vector([1.0, 2.0], dim=3)
+
+    def test_as_matrix_checks_shape(self):
+        with pytest.raises(DimensionError):
+            as_matrix(np.eye(2), shape=(3, 3))
+
+    def test_symmetrize(self):
+        m = np.array([[1.0, 2.0], [0.0, 1.0]])
+        sym = symmetrize(m)
+        assert np.allclose(sym, sym.T)
+        assert sym[0, 1] == pytest.approx(1.0)
+
+
+class TestPsd:
+    def test_is_psd_identity(self):
+        assert is_psd(np.eye(3))
+
+    def test_is_psd_rejects_negative(self):
+        assert not is_psd(np.diag([1.0, -0.5]))
+
+    def test_project_psd_clips_negative_eigenvalues(self):
+        m = np.diag([2.0, -1.0])
+        projected = project_psd(m)
+        eigvals = np.linalg.eigvalsh(projected)
+        assert np.all(eigvals >= 0.0)
+        assert eigvals.max() == pytest.approx(2.0)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_project_psd_idempotent(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.standard_normal((n, n))
+        projected = project_psd(m)
+        assert is_psd(projected)
+        assert np.allclose(project_psd(projected), projected, atol=1e-9)
+
+
+class TestPseudoInverse:
+    def test_full_rank_matches_inverse(self, rng):
+        m = random_psd(rng, 4) + 0.5 * np.eye(4)
+        assert np.allclose(pseudo_inverse(m), np.linalg.inv(m), atol=1e-8)
+
+    def test_singular_matrix(self, rng):
+        m = random_psd(rng, 4, rank=2)
+        pinv = pseudo_inverse(m)
+        # Moore-Penrose identities for symmetric matrices.
+        assert np.allclose(m @ pinv @ m, m, atol=1e-8)
+        assert np.allclose(pinv @ m @ pinv, pinv, atol=1e-8)
+
+    def test_pseudo_determinant_full_rank(self, rng):
+        m = random_psd(rng, 3) + np.eye(3)
+        pdet, rank = pseudo_determinant(m)
+        assert rank == 3
+        assert pdet == pytest.approx(np.linalg.det(m), rel=1e-8)
+
+    def test_pseudo_determinant_rank_deficient(self, rng):
+        m = random_psd(rng, 4, rank=2)
+        pdet, rank = pseudo_determinant(m)
+        assert rank == 2
+        eigvals = np.sort(np.linalg.eigvalsh(m))[-2:]
+        assert pdet == pytest.approx(np.prod(eigvals), rel=1e-6)
+
+    def test_zero_matrix(self):
+        pdet, rank = pseudo_determinant(np.zeros((3, 3)))
+        assert rank == 0
+        assert pdet == 1.0
+        assert np.allclose(pseudo_inverse(np.zeros((3, 3))), 0.0)
+
+    def test_pinv_and_pdet_consistent(self, rng):
+        m = random_psd(rng, 5, rank=3)
+        pinv, pdet, rank = pinv_and_pdet(m)
+        assert np.allclose(pinv, pseudo_inverse(m), atol=1e-9)
+        pdet2, rank2 = pseudo_determinant(m)
+        assert rank == rank2
+        assert pdet == pytest.approx(pdet2, rel=1e-9)
+
+
+class TestGaussianLikelihood:
+    def test_matches_scipy_full_rank(self, rng):
+        from scipy import stats
+
+        cov = random_psd(rng, 3) + np.eye(3)
+        x = rng.standard_normal(3)
+        ours = gaussian_likelihood(x, cov)
+        ref = stats.multivariate_normal(mean=np.zeros(3), cov=cov).pdf(x)
+        assert ours == pytest.approx(ref, rel=1e-8)
+
+    def test_zero_rank_returns_one(self):
+        assert gaussian_likelihood(np.zeros(2), np.zeros((2, 2))) == 1.0
+
+    def test_larger_residual_less_likely(self, rng):
+        cov = np.eye(2)
+        assert gaussian_likelihood(np.array([0.1, 0.0]), cov) > gaussian_likelihood(
+            np.array([2.0, 0.0]), cov
+        )
+
+    def test_mahalanobis(self):
+        cov = np.diag([4.0, 1.0])
+        d2 = mahalanobis_squared(np.array([2.0, 1.0]), cov)
+        assert d2 == pytest.approx(1.0 + 1.0)
+
+
+class TestJacobian:
+    def test_linear_function_exact(self):
+        A = np.array([[1.0, 2.0], [3.0, -1.0], [0.5, 0.0]])
+        jac = numerical_jacobian(lambda x: A @ x, np.array([0.3, -0.7]))
+        assert np.allclose(jac, A, atol=1e-7)
+
+    def test_nonlinear_function(self):
+        def f(x):
+            return np.array([np.sin(x[0]), x[0] * x[1]])
+
+        point = np.array([0.4, 2.0])
+        jac = numerical_jacobian(f, point)
+        expected = np.array([[np.cos(0.4), 0.0], [2.0, 0.4]])
+        assert np.allclose(jac, expected, atol=1e-6)
+
+
+class TestAngles:
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_wrap_angle_range(self, angle):
+        wrapped = wrap_angle(angle)
+        assert -np.pi < wrapped <= np.pi
+        # The wrap preserves the angle modulo 2*pi.
+        assert np.isclose(np.sin(wrapped), np.sin(angle), atol=1e-9)
+        assert np.isclose(np.cos(wrapped), np.cos(angle), atol=1e-9)
+
+    def test_wrap_angle_vector(self):
+        wrapped = wrap_angle(np.array([0.0, 3.0 * np.pi, -3.0 * np.pi]))
+        assert np.allclose(wrapped, [0.0, np.pi, np.pi])
+
+    def test_wrap_residual_masks(self):
+        residual = np.array([5.0, 2.0 * np.pi - 0.01])
+        wrapped = wrap_residual(residual, [False, True])
+        assert wrapped[0] == pytest.approx(5.0)
+        assert wrapped[1] == pytest.approx(-0.01)
+
+    def test_wrap_residual_none_mask(self):
+        residual = np.array([7.0])
+        assert np.allclose(wrap_residual(residual, None), residual)
+
+    def test_wrap_residual_bad_mask(self):
+        with pytest.raises(DimensionError):
+            wrap_residual(np.zeros(3), [True])
+
+
+class TestBlockDiag:
+    def test_empty(self):
+        assert block_diag([]).shape == (0, 0)
+
+    def test_two_blocks(self):
+        out = block_diag([np.eye(2), 3.0 * np.eye(1)])
+        expected = np.diag([1.0, 1.0, 3.0])
+        assert np.allclose(out, expected)
+
+    def test_rectangular_blocks(self):
+        out = block_diag([np.ones((1, 2)), np.ones((2, 1))])
+        assert out.shape == (3, 3)
+        assert out[0, :2].tolist() == [1.0, 1.0]
+        assert out[1:, 2].tolist() == [1.0, 1.0]

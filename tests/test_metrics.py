@@ -1,0 +1,200 @@
+"""Tests for the evaluation metrics (paper Section V definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import ConfusionCounts, DelayEvent, confusion_from_run, detection_delays
+from repro.eval.tables import format_table
+from repro.sim.trace import SimulationTrace
+
+
+class FakeReport:
+    def __init__(self, flagged=frozenset(), actuator=False):
+        self.flagged_sensors = frozenset(flagged)
+        self.actuator_alarm = actuator
+
+
+def make_trace(truth_sensors, truth_actuator, detected_sensors, detected_actuator, dt=0.1):
+    trace = SimulationTrace(dt=dt, sensor_names=("a", "b"))
+    for k, (ts, ta, ds, da) in enumerate(
+        zip(truth_sensors, truth_actuator, detected_sensors, detected_actuator)
+    ):
+        trace.append(
+            t=(k + 1) * dt,
+            true_state=np.zeros(3),
+            planned=np.zeros(2),
+            executed=np.zeros(2),
+            reading=np.zeros(6),
+            nav_pose=np.zeros(3),
+            corrupted_sensors=frozenset(ts),
+            actuator_corrupted=ta,
+            report=FakeReport(ds, da),
+        )
+    return trace
+
+
+class TestConfusionCounts:
+    def test_classify_tp(self):
+        counts = ConfusionCounts()
+        counts.classify(detected_positive=True, correct=True, truth_positive=True)
+        assert counts.tp == 1
+
+    def test_classify_fp_on_misidentification(self):
+        """Paper: a positive that misidentifies the condition is a FP."""
+        counts = ConfusionCounts()
+        counts.classify(detected_positive=True, correct=False, truth_positive=True)
+        assert counts.fp == 1
+        assert counts.tp == 0
+
+    def test_classify_fn_and_tn(self):
+        counts = ConfusionCounts()
+        counts.classify(False, False, True)
+        counts.classify(False, True, False)
+        assert counts.fn == 1 and counts.tn == 1
+
+    def test_rates(self):
+        counts = ConfusionCounts(tp=8, fp=2, fn=2, tn=88)
+        assert counts.false_positive_rate == pytest.approx(2 / 90)
+        assert counts.false_negative_rate == pytest.approx(2 / 10)
+        assert counts.true_positive_rate == pytest.approx(0.8)
+        assert counts.precision == pytest.approx(0.8)
+        assert counts.f1 == pytest.approx(0.8)
+
+    def test_rates_zero_denominators(self):
+        counts = ConfusionCounts()
+        assert counts.false_positive_rate == 0.0
+        assert counts.false_negative_rate == 0.0
+        assert counts.f1 == 0.0
+
+    def test_add(self):
+        a = ConfusionCounts(tp=1, fp=2, fn=3, tn=4)
+        b = ConfusionCounts(tp=10, fp=20, fn=30, tn=40)
+        a.add(b)
+        assert (a.tp, a.fp, a.fn, a.tn) == (11, 22, 33, 44)
+        assert a.total == 110
+
+
+class TestConfusionFromRun:
+    def test_all_correct(self):
+        trace = make_trace(
+            truth_sensors=[set(), {"a"}, {"a"}],
+            truth_actuator=[False, False, True],
+            detected_sensors=[set(), {"a"}, {"a"}],
+            detected_actuator=[False, False, True],
+        )
+        sensor, actuator = confusion_from_run(trace)
+        assert (sensor.tp, sensor.fp, sensor.fn, sensor.tn) == (2, 0, 0, 1)
+        assert (actuator.tp, actuator.fp, actuator.fn, actuator.tn) == (1, 0, 0, 2)
+
+    def test_misidentified_sensor_is_fp(self):
+        trace = make_trace(
+            truth_sensors=[{"a"}],
+            truth_actuator=[False],
+            detected_sensors=[{"b"}],
+            detected_actuator=[False],
+        )
+        sensor, _ = confusion_from_run(trace)
+        assert sensor.fp == 1
+
+    def test_partial_set_is_fp(self):
+        trace = make_trace(
+            truth_sensors=[{"a", "b"}],
+            truth_actuator=[False],
+            detected_sensors=[{"a"}],
+            detected_actuator=[False],
+        )
+        sensor, _ = confusion_from_run(trace)
+        assert sensor.fp == 1 and sensor.tp == 0
+
+    def test_none_reports_count_negative(self):
+        trace = make_trace([{"a"}], [True], [set()], [False])
+        trace.reports[0] = None
+        sensor, actuator = confusion_from_run(trace)
+        assert sensor.fn == 1
+        assert actuator.fn == 1
+
+
+class TestDetectionDelays:
+    def test_single_transition(self):
+        trace = make_trace(
+            truth_sensors=[set(), {"a"}, {"a"}, {"a"}],
+            truth_actuator=[False] * 4,
+            detected_sensors=[set(), set(), {"a"}, {"a"}],
+            detected_actuator=[False] * 4,
+        )
+        events = detection_delays(trace)
+        sensor_events = [e for e in events if e.channel == "sensor"]
+        assert len(sensor_events) == 1
+        assert sensor_events[0].trigger_time == pytest.approx(0.2)
+        assert sensor_events[0].delay == pytest.approx(0.1)
+
+    def test_initial_corruption_counts(self):
+        trace = make_trace(
+            truth_sensors=[{"a"}, {"a"}],
+            truth_actuator=[False, False],
+            detected_sensors=[{"a"}, {"a"}],
+            detected_actuator=[False, False],
+        )
+        events = [e for e in detection_delays(trace) if e.channel == "sensor"]
+        assert len(events) == 1
+        assert events[0].delay == pytest.approx(0.0)
+
+    def test_never_detected(self):
+        trace = make_trace(
+            truth_sensors=[set(), {"a"}, {"a"}],
+            truth_actuator=[False] * 3,
+            detected_sensors=[set()] * 3,
+            detected_actuator=[False] * 3,
+        )
+        events = [e for e in detection_delays(trace) if e.channel == "sensor"]
+        assert events[0].detected_time is None
+        assert events[0].delay is None
+
+    def test_recovery_transition_counts(self):
+        trace = make_trace(
+            truth_sensors=[{"a"}, {"a"}, set(), set()],
+            truth_actuator=[False] * 4,
+            detected_sensors=[{"a"}, {"a"}, {"a"}, set()],
+            detected_actuator=[False] * 4,
+        )
+        events = [e for e in detection_delays(trace) if e.channel == "sensor"]
+        assert len(events) == 2  # initial corruption + recovery to clean
+        recovery = events[1]
+        assert recovery.truth == frozenset()
+        assert recovery.delay == pytest.approx(0.1)
+
+    def test_actuator_channel(self):
+        trace = make_trace(
+            truth_sensors=[set()] * 4,
+            truth_actuator=[False, True, True, True],
+            detected_sensors=[set()] * 4,
+            detected_actuator=[False, False, False, True],
+        )
+        events = [e for e in detection_delays(trace) if e.channel == "actuator"]
+        assert events[0].delay == pytest.approx(0.2)
+
+    def test_condition_changes_before_detection(self):
+        # Truth changes again before the first condition is detected: the
+        # first event is recorded as undetected.
+        trace = make_trace(
+            truth_sensors=[set(), {"a"}, {"a", "b"}, {"a", "b"}],
+            truth_actuator=[False] * 4,
+            detected_sensors=[set(), set(), {"a", "b"}, {"a", "b"}],
+            detected_actuator=[False] * 4,
+        )
+        events = [e for e in detection_delays(trace) if e.channel == "sensor"]
+        assert events[0].delay is None
+        assert events[1].delay == pytest.approx(0.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert all("|" in line for line in lines[1:] if "-" not in line)
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text

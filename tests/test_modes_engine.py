@@ -1,0 +1,181 @@
+"""Tests for mode construction and the multi-mode estimation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MultiModeEstimationEngine
+from repro.core.modes import Mode, complete_modes, single_reference_modes
+from repro.dynamics.unicycle import UnicycleModel
+from repro.errors import ConfigurationError
+from repro.sensors.pose_sensors import IPS, InertialNavSensor, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+
+
+def make_suite():
+    return SensorSuite(
+        [
+            IPS(sigma_xy=0.002, sigma_theta=0.004),
+            OdometryPoseSensor(sigma_xy=0.003, sigma_theta=0.006),
+            InertialNavSensor(sigma_xy=0.004, sigma_theta=0.008),
+        ]
+    )
+
+
+class TestModes:
+    def test_for_suite_orders_by_suite(self):
+        suite = make_suite()
+        mode = Mode.for_suite(suite, ("imu", "ips"))
+        assert mode.reference == ("ips", "imu")
+        assert mode.testing == ("wheel_encoder",)
+
+    def test_default_name(self):
+        suite = make_suite()
+        assert Mode.for_suite(suite, ("ips",)).name == "ref:ips"
+
+    def test_unknown_sensor(self):
+        suite = make_suite()
+        with pytest.raises(ConfigurationError):
+            Mode.for_suite(suite, ("sonar",))
+
+    def test_reference_required(self):
+        with pytest.raises(ConfigurationError):
+            Mode("m", (), ("a",))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Mode("m", ("a",), ("a", "b"))
+
+    def test_single_reference_modes(self):
+        modes = single_reference_modes(make_suite())
+        assert len(modes) == 3
+        assert all(len(m.reference) == 1 for m in modes)
+        # Each mode tests every other sensor.
+        assert all(len(m.testing) == 2 for m in modes)
+
+    def test_complete_modes(self):
+        modes = complete_modes(make_suite())
+        assert len(modes) == 7  # 2^3 - 1 nonempty reference subsets
+
+    def test_complete_modes_with_cap(self):
+        modes = complete_modes(make_suite(), max_corrupted=1)
+        # testing-set size <= 1: reference sets of size 2 or 3.
+        assert len(modes) == 4
+
+
+def make_engine(**kwargs):
+    model = UnicycleModel(dt=0.1)
+    suite = make_suite()
+    defaults = dict(
+        initial_state=np.array([0.5, 0.5, 0.2]),
+        nominal_control=np.array([0.2, 0.1]),
+    )
+    defaults.update(kwargs)
+    engine = MultiModeEstimationEngine(model, suite, np.diag([1e-6, 1e-6, 4e-6]), **defaults)
+    return model, suite, engine
+
+
+def run_engine(engine, model, suite, n_steps, corrupt=None, seed=0, control=(0.2, 0.15)):
+    rng = np.random.default_rng(seed)
+    x_true = np.array([0.5, 0.5, 0.2])
+    control = np.asarray(control, dtype=float)
+    outputs = []
+    for k in range(n_steps):
+        x_true = model.normalize_state(
+            model.f(x_true, control) + np.sqrt([1e-6, 1e-6, 4e-6]) * rng.standard_normal(3)
+        )
+        z = suite.measure(x_true, rng)
+        if corrupt is not None:
+            corrupt(k, z, suite)
+        outputs.append(engine.step(control, z))
+    return outputs
+
+
+class TestEngine:
+    def test_probabilities_normalized(self):
+        model, suite, engine = make_engine()
+        outputs = run_engine(engine, model, suite, 10)
+        for out in outputs:
+            assert sum(out.probabilities.values()) == pytest.approx(1.0)
+            assert all(p >= 0.0 for p in out.probabilities.values())
+
+    def test_selected_mode_consistent_when_clean(self):
+        model, suite, engine = make_engine()
+        outputs = run_engine(engine, model, suite, 60)
+        # After burn-in the selection should be stable on one mode.
+        selected = {out.selected_mode for out in outputs[20:]}
+        assert len(selected) == 1
+
+    def test_switches_away_from_corrupted_reference(self):
+        model, suite, engine = make_engine()
+        clean = run_engine(engine, model, suite, 50)
+        stable_mode = clean[-1].selected_mode
+        stable_ref = stable_mode.split(":", 1)[1]
+
+        def corrupt(k, z, suite_):
+            z[suite_.slice_of(stable_ref)] += np.array([0.2, 0.2, 0.0])
+
+        attacked = run_engine(engine, model, suite, 10, corrupt=corrupt, seed=1)
+        assert attacked[-1].selected_mode != stable_mode
+
+    def test_statistics_extraction(self):
+        model, suite, engine = make_engine()
+        out = run_engine(engine, model, suite, 5)[-1]
+        stats = engine.statistics(out)
+        assert stats.selected_mode == out.selected_mode
+        assert stats.sensor_dof > 0
+        assert stats.actuator_dof == 2
+        assert set(stats.sensor_stats) == set(
+            next(m.testing for m in engine.modes if m.name == out.selected_mode)
+        )
+        assert stats.actuator_estimate.shape == (2,)
+
+    def test_reset_restores_uniform(self):
+        model, suite, engine = make_engine()
+        run_engine(engine, model, suite, 10)
+        engine.reset()
+        probs = engine.probabilities
+        assert all(p == pytest.approx(1.0 / 3.0) for p in probs.values())
+        assert np.allclose(engine.state_estimate, [0.5, 0.5, 0.2])
+
+    def test_reset_with_new_state(self):
+        model, suite, engine = make_engine()
+        engine.reset(np.array([1.0, 1.0, 0.0]))
+        assert np.allclose(engine.state_estimate, [1.0, 1.0, 0.0])
+
+    def test_custom_modes(self):
+        suite = make_suite()
+        modes = [Mode.for_suite(suite, ("ips", "imu"))]
+        model, suite2, engine = make_engine(modes=[Mode.for_suite(make_suite(), ("ips", "imu"))])
+        outputs = run_engine(engine, model, suite2, 5)
+        assert outputs[-1].selected_mode == "ref:ips+imu"
+
+    def test_duplicate_mode_names_rejected(self):
+        suite = make_suite()
+        duplicated = [Mode.for_suite(suite, ("ips",)), Mode.for_suite(suite, ("ips",))]
+        with pytest.raises(ConfigurationError):
+            make_engine(modes=duplicated)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            make_engine(epsilon=0.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            make_engine(consistency_window=0)
+
+    def test_empty_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_engine(modes=[])
+
+    def test_defeated_mode_revives_after_attack_stops(self):
+        model, suite, engine = make_engine(consistency_window=20)
+        clean = run_engine(engine, model, suite, 40)
+        stable_mode = clean[-1].selected_mode
+        stable_ref = stable_mode.split(":", 1)[1]
+
+        def corrupt(k, z, suite_):
+            z[suite_.slice_of(stable_ref)] += np.array([0.3, 0.3, 0.0])
+
+        run_engine(engine, model, suite, 25, corrupt=corrupt, seed=1)
+        recovered = run_engine(engine, model, suite, 40, seed=2)
+        assert recovered[-1].selected_mode == stable_mode

@@ -1,0 +1,254 @@
+"""Tests for paths, RRT*, PID and tracking controllers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics.bicycle import BicycleModel
+from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.errors import ConfigurationError, PlanningError
+from repro.planning.mission import Mission
+from repro.planning.path import Path
+from repro.planning.pid import PID
+from repro.planning.rrt_star import RRTStar, RRTStarConfig
+from repro.planning.tracking import BicycleTracker, DifferentialDriveTracker
+from repro.world.map import WorldMap
+from repro.world.obstacles import RectangleObstacle
+from repro.world.presets import paper_arena
+
+
+class TestPath:
+    @pytest.fixture
+    def path(self):
+        return Path([(0.0, 0.0), (2.0, 0.0), (2.0, 2.0)])
+
+    def test_length(self, path):
+        assert path.length == pytest.approx(4.0)
+
+    def test_point_at(self, path):
+        assert np.allclose(path.point_at(1.0), [1.0, 0.0])
+        assert np.allclose(path.point_at(3.0), [2.0, 1.0])
+        assert np.allclose(path.point_at(-1.0), [0.0, 0.0])
+        assert np.allclose(path.point_at(99.0), [2.0, 2.0])
+
+    def test_heading_at(self, path):
+        assert path.heading_at(1.0) == pytest.approx(0.0)
+        assert path.heading_at(3.0) == pytest.approx(np.pi / 2)
+
+    def test_project(self, path):
+        s = path.project((1.0, 0.5))
+        assert s == pytest.approx(1.0)
+        s = path.project((2.4, 1.0))
+        assert s == pytest.approx(3.0)
+
+    def test_project_with_hint_window(self, path):
+        # Point equidistant-ish from two path branches; the hint confines the
+        # search to the second leg.
+        s = path.project((2.0, 0.1), s_hint=2.5, window=1.0)
+        assert s >= 2.0
+
+    def test_lookahead(self, path):
+        target, s = path.lookahead((1.0, 0.0), lookahead=0.5)
+        assert s == pytest.approx(1.0)
+        assert np.allclose(target, [1.5, 0.0])
+
+    def test_cross_track_error(self, path):
+        assert path.cross_track_error((1.0, 0.3)) == pytest.approx(0.3)
+
+    def test_requires_two_waypoints(self):
+        with pytest.raises(ConfigurationError):
+            Path([(0.0, 0.0)])
+
+    @given(st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=50, deadline=None)
+    def test_point_at_on_polyline(self, s):
+        path = Path([(0.0, 0.0), (2.0, 0.0), (2.0, 2.0)])
+        p = path.point_at(s)
+        # Every arc-length point lies on one of the two legs.
+        on_leg1 = abs(p[1]) < 1e-9 and -1e-9 <= p[0] <= 2.0 + 1e-9
+        on_leg2 = abs(p[0] - 2.0) < 1e-9 and -1e-9 <= p[1] <= 2.0 + 1e-9
+        assert on_leg1 or on_leg2
+
+    @given(st.floats(-1.0, 3.0), st.floats(-1.0, 3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_projection_minimizes_distance(self, x, y):
+        path = Path([(0.0, 0.0), (2.0, 0.0), (2.0, 2.0)])
+        s = path.project((x, y))
+        best = min(
+            np.linalg.norm(np.array([x, y]) - path.point_at(t))
+            for t in np.linspace(0.0, path.length, 200)
+        )
+        actual = np.linalg.norm(np.array([x, y]) - path.point_at(s))
+        assert actual <= best + 1e-6
+
+
+class TestPID:
+    def test_proportional(self):
+        pid = PID(kp=2.0)
+        assert pid.step(1.5, dt=0.1) == pytest.approx(3.0)
+
+    def test_integral_accumulates(self):
+        pid = PID(kp=0.0, ki=1.0)
+        pid.step(1.0, dt=0.5)
+        out = pid.step(1.0, dt=0.5)
+        assert out == pytest.approx(1.0)
+
+    def test_derivative(self):
+        pid = PID(kp=0.0, kd=1.0)
+        pid.step(0.0, dt=0.1)
+        assert pid.step(1.0, dt=0.1) == pytest.approx(10.0)
+
+    def test_saturation(self):
+        pid = PID(kp=10.0, output_limit=1.0)
+        assert pid.step(5.0, dt=0.1) == pytest.approx(1.0)
+        assert pid.step(-5.0, dt=0.1) == pytest.approx(-1.0)
+
+    def test_anti_windup_freezes_integral(self):
+        pid = PID(kp=0.0, ki=1.0, output_limit=0.5)
+        for _ in range(100):
+            pid.step(10.0, dt=0.1)
+        # Integral must not have grown unboundedly past the saturation point.
+        assert pid.integral <= 0.6 / 1.0 + 10.0 * 0.1 + 1e-9
+
+    def test_reset(self):
+        pid = PID(kp=0.0, ki=1.0, kd=1.0)
+        pid.step(1.0, dt=0.1)
+        pid.reset()
+        assert pid.integral == 0.0
+        # Derivative history cleared: first step has zero derivative.
+        assert pid.step(1.0, dt=0.1) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PID(1.0, output_limit=0.0)
+        with pytest.raises(ConfigurationError):
+            PID(1.0).step(0.0, dt=0.0)
+
+    def test_closed_loop_converges(self):
+        # First-order plant x' = u; PID drives x to the setpoint.
+        pid = PID(kp=2.0, ki=0.5)
+        x, dt = 0.0, 0.05
+        for _ in range(400):
+            x += pid.step(1.0 - x, dt) * dt
+        assert x == pytest.approx(1.0, abs=0.02)
+
+
+class TestRRTStar:
+    def test_finds_straight_path_in_empty_map(self, rng):
+        world = WorldMap.rectangle(3.0, 3.0)
+        planner = RRTStar(world, RRTStarConfig(max_iterations=600))
+        path = planner.plan((0.3, 0.3), (2.7, 2.7), rng)
+        assert np.allclose(path.start, [0.3, 0.3])
+        assert np.allclose(path.goal, [2.7, 2.7])
+        # Smoothing should leave a near-optimal path.
+        assert path.length <= np.hypot(2.4, 2.4) * 1.3
+
+    def test_path_avoids_obstacles(self, rng):
+        world = paper_arena()
+        planner = RRTStar(world)
+        path = planner.plan((0.4, 0.4), (2.5, 2.5), rng)
+        from repro.world.geometry import Segment
+
+        pts = path.waypoints
+        for i in range(len(pts) - 1):
+            assert world.segment_free(Segment(tuple(pts[i]), tuple(pts[i + 1])), margin=0.0)
+
+    def test_start_in_collision_raises(self, rng):
+        world = paper_arena()
+        with pytest.raises(PlanningError):
+            RRTStar(world).plan((1.5, 1.5), (2.5, 2.5), rng)
+
+    def test_unreachable_goal_raises(self, rng):
+        world = WorldMap.rectangle(
+            3.0, 3.0, obstacles=[RectangleObstacle((1.4, 0.0), (1.6, 3.0))]
+        )
+        planner = RRTStar(world, RRTStarConfig(max_iterations=150))
+        with pytest.raises(PlanningError):
+            planner.plan((0.3, 1.5), (2.7, 1.5), rng)
+
+    def test_deterministic_given_seed(self):
+        world = paper_arena()
+        planner = RRTStar(world)
+        p1 = planner.plan((0.4, 0.4), (2.5, 2.5), np.random.default_rng(7))
+        p2 = planner.plan((0.4, 0.4), (2.5, 2.5), np.random.default_rng(7))
+        assert np.allclose(p1.waypoints, p2.waypoints)
+
+
+class TestTrackers:
+    def test_differential_tracker_reaches_goal(self):
+        model = DifferentialDriveModel(dt=0.05)
+        path = Path([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)])
+        tracker = DifferentialDriveTracker(model, path, cruise_speed=0.2)
+        pose = np.array([0.0, 0.0, 0.0])
+        for _ in range(800):
+            command = tracker.command(pose, model.dt)
+            pose = model.f(pose, command)
+            if tracker.goal_reached:
+                break
+        assert tracker.goal_reached
+        assert np.linalg.norm(pose[:2] - [1.0, 1.0]) < 0.1
+
+    def test_bicycle_tracker_reaches_goal(self):
+        model = BicycleModel(dt=0.1)
+        path = Path([(0.0, 0.0), (2.0, 0.0), (3.5, 1.0)])
+        tracker = BicycleTracker(model, path, cruise_speed=0.5)
+        pose = np.array([0.0, 0.0, 0.0])
+        for _ in range(600):
+            command = tracker.command(pose, model.dt)
+            pose = model.f(pose, model.clip_control(command))
+            if tracker.goal_reached:
+                break
+        assert tracker.goal_reached
+
+    def test_tracker_stops_at_goal(self):
+        model = DifferentialDriveModel()
+        path = Path([(0.0, 0.0), (1.0, 0.0)])
+        tracker = DifferentialDriveTracker(model, path)
+        command = tracker.command(np.array([1.0, 0.0, 0.0]), model.dt)
+        assert np.allclose(command, 0.0)
+        assert tracker.goal_reached
+
+    def test_reset(self):
+        model = DifferentialDriveModel()
+        path = Path([(0.0, 0.0), (1.0, 0.0)])
+        tracker = DifferentialDriveTracker(model, path)
+        tracker.command(np.array([1.0, 0.0, 0.0]), model.dt)
+        tracker.reset()
+        assert not tracker.goal_reached
+
+    def test_bicycle_steering_saturates(self):
+        model = BicycleModel(max_steer=0.4)
+        path = Path([(0.0, 0.0), (0.0, 2.0)])  # 90 degrees off current heading
+        tracker = BicycleTracker(model, path, cruise_speed=0.5)
+        command = tracker.command(np.array([0.2, 0.0, 0.0]), model.dt)
+        assert abs(command[1]) <= 0.4 + 1e-9
+
+    def test_validation(self):
+        model = DifferentialDriveModel()
+        path = Path([(0.0, 0.0), (1.0, 0.0)])
+        with pytest.raises(ConfigurationError):
+            DifferentialDriveTracker(model, path, cruise_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            DifferentialDriveTracker(model, path, lookahead=0.0)
+
+
+class TestMission:
+    def test_plan_produces_path(self, rng):
+        mission = Mission(paper_arena(), (0.4, 0.4, 0.0), (2.5, 2.5), duration=10.0)
+        path = mission.plan(rng)
+        assert np.allclose(path.goal, [2.5, 2.5])
+
+    def test_n_steps(self):
+        mission = Mission(paper_arena(), (0.4, 0.4, 0.0), (2.5, 2.5), duration=10.0)
+        assert mission.n_steps(0.05) == 200
+        with pytest.raises(ConfigurationError):
+            mission.n_steps(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Mission(paper_arena(), (1.5, 1.5, 0.0), (2.5, 2.5))  # start inside obstacle
+        with pytest.raises(ConfigurationError):
+            Mission(paper_arena(), (0.4, 0.4, 0.0), (1.5, 1.5))  # goal inside obstacle
+        with pytest.raises(ConfigurationError):
+            Mission(paper_arena(), (0.4, 0.4, 0.0), (2.5, 2.5), duration=0.0)

@@ -1,0 +1,97 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.base import AttackChannel
+from repro.attacks.scheduler import AttackSchedule
+from repro.attacks.sensor_attacks import sensor_bias
+from repro.eval.metrics import ConfusionCounts
+from repro.linalg import wrap_angle
+
+
+class TestAttackProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.0, max_value=30.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_apply_is_identity_outside_window(self, start, width, t):
+        attack = sensor_bias("s", offset=(1.0, 1.0), start=start, stop=start + width)
+        clean = np.array([3.0, -2.0])
+        out = attack.apply(clean, t, np.random.default_rng(0))
+        inside = start <= t < start + width
+        if inside:
+            assert np.allclose(out, clean + 1.0)
+        else:
+            assert np.allclose(out, clean)
+
+    @given(st.lists(st.tuples(st.floats(0.0, 10.0), st.floats(0.1, 5.0)), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_ground_truth_matches_windows(self, windows):
+        attacks = [
+            sensor_bias("s", offset=(1.0,), start=s, stop=s + w, components=(0,))
+            for s, w in windows
+        ]
+        schedule = AttackSchedule(attacks)
+        for t in np.linspace(0.0, 16.0, 33):
+            expected = any(s <= t < s + w for s, w in windows)
+            assert (("s" in schedule.corrupted_sensors(t)) == expected)
+
+    @given(st.floats(0.0, 20.0), st.floats(0.0, 20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_bias_attacks_commute(self, t, start):
+        a = sensor_bias("s", offset=(1.0,), start=start, components=(0,))
+        b = sensor_bias("s", offset=(2.0,), start=start, components=(0,))
+        rng = np.random.default_rng(0)
+        clean = np.array([0.5, 0.5])
+        ab = b.apply(a.apply(clean, t, rng), t, rng)
+        ba = a.apply(b.apply(clean, t, rng), t, rng)
+        assert np.allclose(ab, ba)
+
+
+class TestConfusionProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.booleans(), st.booleans()),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counts_partition_iterations(self, events):
+        counts = ConfusionCounts()
+        for detected, correct, truth in events:
+            counts.classify(detected, correct, truth)
+        assert counts.total == len(events)
+        assert 0.0 <= counts.false_positive_rate <= 1.0
+        assert 0.0 <= counts.false_negative_rate <= 1.0
+        assert 0.0 <= counts.f1 <= 1.0
+
+    @given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 50), st.integers(0, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_f1_harmonic_mean(self, tp, fp, fn, tn):
+        counts = ConfusionCounts(tp=tp, fp=fp, fn=fn, tn=tn)
+        p, r = counts.precision, counts.recall
+        if p + r > 0:
+            assert counts.f1 == pytest.approx(2 * p * r / (p + r))
+        else:
+            assert counts.f1 == 0.0
+
+
+class TestAngleProperties:
+    @given(st.floats(-1000.0, 1000.0), st.floats(-1000.0, 1000.0))
+    @settings(max_examples=80, deadline=None)
+    def test_wrap_is_additive_mod_2pi(self, a, b):
+        lhs = wrap_angle(wrap_angle(a) + wrap_angle(b))
+        rhs = wrap_angle(a + b)
+        assert np.isclose(np.sin(lhs), np.sin(rhs), atol=1e-6)
+        assert np.isclose(np.cos(lhs), np.cos(rhs), atol=1e-6)
+
+    @given(st.floats(-np.pi + 1e-9, np.pi))
+    @settings(max_examples=50, deadline=None)
+    def test_wrap_is_identity_in_range(self, angle):
+        assert wrap_angle(angle) == pytest.approx(angle, abs=1e-12)

@@ -1,0 +1,124 @@
+"""Tests for the response module (navigation failover)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision import DecisionOutcome
+from repro.core.detector import DetectionReport
+from repro.core.report import IterationStatistics
+from repro.core.response import NavigationFailover
+from repro.errors import ConfigurationError
+
+
+def make_report(iteration=1, flagged=(), actuator=False, state=(0.0, 0.0, 0.0)):
+    stats = IterationStatistics(
+        iteration=iteration,
+        selected_mode="ref:x",
+        mode_probabilities={"ref:x": 1.0},
+        state_estimate=np.asarray(state, dtype=float),
+        sensor_statistic=0.0,
+        sensor_dof=3,
+        actuator_statistic=0.0,
+        actuator_dof=2,
+        sensor_stats={},
+        actuator_estimate=np.zeros(2),
+        actuator_covariance=np.eye(2),
+    )
+    outcome = DecisionOutcome(
+        sensor_positive=bool(flagged),
+        actuator_positive=actuator,
+        sensor_alarm=bool(flagged),
+        flagged_sensors=frozenset(flagged),
+        actuator_alarm=actuator,
+    )
+    return DetectionReport(iteration=iteration, time=iteration * 0.05, statistics=stats, outcome=outcome)
+
+
+class TestNavigationFailover:
+    def test_prefers_first_sensor_when_clean(self):
+        responder = NavigationFailover(("ips", "wheel_encoder"))
+        assert responder.update(make_report()) == "ips"
+        assert responder.events == []
+
+    def test_fails_over_on_flag(self):
+        responder = NavigationFailover(("ips", "wheel_encoder"))
+        responder.update(make_report(1))
+        source = responder.update(make_report(2, flagged=("ips",)))
+        assert source == "wheel_encoder"
+        assert len(responder.events) == 1
+        assert responder.events[0].source == "wheel_encoder"
+
+    def test_recovery_requires_streak(self):
+        responder = NavigationFailover(("ips", "wheel_encoder"), recovery_streak=3)
+        responder.update(make_report(1, flagged=("ips",)))
+        assert responder.current_source == "wheel_encoder"
+        # One clean report is not enough to switch back...
+        responder.update(make_report(2))
+        assert responder.current_source == "wheel_encoder"
+        responder.update(make_report(3))
+        assert responder.current_source == "wheel_encoder"
+        # ...the third consecutive clean one is.
+        responder.update(make_report(4))
+        assert responder.current_source == "ips"
+
+    def test_flicker_does_not_thrash(self):
+        responder = NavigationFailover(("ips", "wheel_encoder"), recovery_streak=5)
+        responder.update(make_report(1, flagged=("ips",)))
+        for k in range(2, 6):
+            flagged = ("ips",) if k % 2 == 0 else ()
+            responder.update(make_report(k, flagged=flagged))
+        assert responder.current_source == "wheel_encoder"
+        assert len(responder.events) == 1
+
+    def test_all_flagged_falls_back_to_estimate(self):
+        responder = NavigationFailover(("ips", "wheel_encoder"))
+        source = responder.update(make_report(1, flagged=("ips", "wheel_encoder")))
+        assert source == NavigationFailover.ESTIMATE
+
+    def test_estimate_disallowed_keeps_current(self):
+        responder = NavigationFailover(("ips",), allow_estimate=False)
+        source = responder.update(make_report(1, flagged=("ips",)))
+        assert source == "ips"
+
+    def test_navigation_pose_sources(self):
+        responder = NavigationFailover(("ips", "wheel_encoder"))
+        readings = {
+            "ips": np.array([1.0, 2.0, 0.1]),
+            "wheel_encoder": np.array([5.0, 6.0, 0.2]),
+        }
+        pose = responder.navigation_pose(readings, make_report(1))
+        assert np.allclose(pose, [1.0, 2.0, 0.1])
+        pose = responder.navigation_pose(readings, make_report(2, flagged=("ips",)))
+        assert np.allclose(pose, [5.0, 6.0, 0.2])
+
+    def test_navigation_pose_estimate(self):
+        responder = NavigationFailover(("ips",))
+        readings = {"ips": np.array([1.0, 2.0, 0.1])}
+        report = make_report(1, flagged=("ips",), state=(9.0, 9.0, 0.5))
+        pose = responder.navigation_pose(readings, report)
+        assert np.allclose(pose, [9.0, 9.0, 0.5])
+
+    def test_reset(self):
+        responder = NavigationFailover(("ips", "wheel_encoder"))
+        responder.update(make_report(1, flagged=("ips",)))
+        responder.reset()
+        assert responder.current_source == "ips"
+        assert responder.events == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NavigationFailover(())
+        with pytest.raises(ConfigurationError):
+            NavigationFailover(("ips",), recovery_streak=0)
+
+
+@pytest.mark.slow
+class TestResponseExperiment:
+    def test_mission_saved(self):
+        from repro.experiments.response import run_response
+
+        result = run_response(seed=800)
+        assert result.mission_saved
+        assert result.failover_events
+        assert result.failover_events[0].source == "wheel_encoder"
+        assert "failover" in result.format()

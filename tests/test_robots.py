@@ -1,0 +1,106 @@
+"""Tests for the Khepera and Tamiya prototype rigs."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import RoboADS
+from repro.core.modes import complete_modes
+from repro.errors import ConfigurationError
+from repro.robots.khepera import KHEPERA_WHEEL_BASE, khepera_rig
+from repro.robots.tamiya import TAMIYA_WHEELBASE, tamiya_rig
+from repro.sim.workflows import FeatureSensingWorkflow, LidarRawWorkflow, OdometryWorkflow
+
+
+class TestKheperaRig:
+    def test_structure(self, khepera):
+        assert khepera.name == "khepera"
+        assert khepera.suite.names == ("ips", "wheel_encoder", "lidar")
+        assert khepera.model.control_labels == ("v_l", "v_r")
+        assert khepera.nav_sensor == "ips"
+        assert khepera.model.dt == pytest.approx(0.05)
+
+    def test_geometry_matches_catalog(self, khepera):
+        from repro.attacks.catalog import KHEPERA_WHEEL_BASE as CATALOG_BASE
+
+        assert KHEPERA_WHEEL_BASE == CATALOG_BASE
+        assert khepera.model.wheel_base == KHEPERA_WHEEL_BASE
+
+    def test_platform_factory_fresh_objects(self, khepera):
+        p1, p2 = khepera.make_platform(), khepera.make_platform()
+        assert p1 is not p2
+
+    def test_detector_factory(self, khepera):
+        detector = khepera.detector()
+        assert isinstance(detector, RoboADS)
+        assert {m.name for m in detector.engine.modes} == {
+            "ref:ips",
+            "ref:wheel_encoder",
+            "ref:lidar",
+        }
+
+    def test_detector_with_custom_modes(self, khepera):
+        modes = complete_modes(khepera.suite, max_corrupted=1)
+        detector = khepera.detector(modes=modes)
+        assert len(detector.engine.modes) == len(modes)
+
+    def test_path_cache(self, khepera):
+        p1 = khepera.plan_path(0)
+        p2 = khepera.plan_path(0)
+        assert p1 is p2
+
+    def test_invalid_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            khepera_rig(lidar_mode="sonar")
+        with pytest.raises(ConfigurationError):
+            khepera_rig(odometry_mode="banana")
+
+    def test_raw_workflow_variants(self):
+        rig = khepera_rig(lidar_mode="raw", odometry_mode="raw")
+        platform = rig.make_platform()
+        workflows = platform._workflows  # test-only peek
+        assert isinstance(workflows["lidar"], LidarRawWorkflow)
+        assert isinstance(workflows["wheel_encoder"], OdometryWorkflow)
+        assert isinstance(workflows["ips"], FeatureSensingWorkflow)
+
+    def test_controller_factory(self, khepera):
+        controller = khepera.make_controller(khepera.plan_path(0))
+        command = controller.command(np.array(khepera.mission.start_pose), khepera.model.dt)
+        assert command.shape == (2,)
+
+
+class TestTamiyaRig:
+    def test_structure(self, tamiya):
+        assert tamiya.name == "tamiya"
+        assert tamiya.suite.names == ("ips", "imu", "lidar")
+        assert tamiya.model.control_labels == ("v", "delta")
+        assert tamiya.model.wheelbase == TAMIYA_WHEELBASE
+        assert tamiya.model.dt == pytest.approx(0.1)
+
+    def test_detector_builds(self, tamiya):
+        detector = tamiya.detector()
+        assert len(detector.engine.modes) == 3
+
+    def test_mission_differs_from_khepera(self, khepera, tamiya):
+        assert tamiya.mission.world.bounds != khepera.mission.world.bounds
+
+    def test_invalid_lidar_mode(self):
+        with pytest.raises(ConfigurationError):
+            tamiya_rig(lidar_mode="x")
+
+
+class TestClosedLoopBehaviour:
+    def test_khepera_reaches_goal_on_clean_run(self, khepera):
+        from repro.eval.runner import run_scenario
+
+        result = run_scenario(khepera, None, seed=2)
+        final = result.trace.true_states[-1][:2]
+        goal = np.array(khepera.mission.goal)
+        assert np.linalg.norm(final - goal) < 0.25
+
+    def test_tamiya_reaches_goal_on_clean_run(self, tamiya):
+        from repro.eval.runner import run_scenario
+
+        result = run_scenario(tamiya, None, seed=2)
+        final = result.trace.true_states[-1][:2]
+        goal = np.array(tamiya.mission.goal)
+        assert np.linalg.norm(final - goal) < 0.3

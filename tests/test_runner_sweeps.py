@@ -1,0 +1,105 @@
+"""Tests for the scenario runner and offline decision-parameter sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.catalog import khepera_scenarios
+from repro.core.decision import DecisionConfig, DecisionMaker
+from repro.eval.runner import monte_carlo, run_scenario
+from repro.eval.sweeps import f1_sweep, redecide, roc_sweep
+
+
+@pytest.fixture(scope="module")
+def clean_run(khepera_module):
+    return run_scenario(khepera_module, None, seed=9, duration=8.0)
+
+
+@pytest.fixture(scope="module")
+def khepera_module():
+    from repro.robots.khepera import khepera_rig
+
+    rig = khepera_rig()
+    rig.plan_path(0)
+    return rig
+
+
+@pytest.fixture(scope="module")
+def attacked_run(khepera_module):
+    scenario = khepera_scenarios()[2]  # IPS logic bomb at 4 s
+    return run_scenario(khepera_module, scenario, seed=9, duration=8.0)
+
+
+class TestRunScenario:
+    def test_clean_run_structure(self, clean_run):
+        assert clean_run.scenario_name == "clean"
+        assert len(clean_run.trace) > 50
+        assert clean_run.reports, "detector reports recorded"
+        assert clean_run.sensor_confusion.total == len(clean_run.trace)
+
+    def test_detects_scenario(self, attacked_run):
+        assert attacked_run.sensor_confusion.tp > 0
+        delays = attacked_run.delays_for("sensor")
+        assert delays and delays[0].delay is not None
+        assert attacked_run.mean_delay("sensor") < 0.5
+
+    def test_summary_text(self, clean_run):
+        text = clean_run.summary()
+        assert "khepera" in text and "FPR" in text
+
+    def test_monte_carlo_distinct_seeds(self, khepera_module):
+        results = monte_carlo(khepera_module, None, 2, base_seed=20, duration=4.0)
+        assert results[0].seed == 20 and results[1].seed == 21
+        assert not np.allclose(
+            results[0].trace.states_array(), results[1].trace.states_array()
+        )
+
+    def test_duration_override(self, khepera_module):
+        result = run_scenario(khepera_module, None, seed=1, duration=2.0, stop_at_goal=False)
+        assert len(result.trace) == int(round(2.0 / khepera_module.model.dt))
+
+    def test_same_seed_reproducible(self, khepera_module):
+        a = run_scenario(khepera_module, None, seed=33, duration=3.0)
+        b = run_scenario(khepera_module, None, seed=33, duration=3.0)
+        assert np.allclose(a.trace.states_array(), b.trace.states_array())
+
+
+class TestRedecide:
+    def test_offline_matches_online(self, attacked_run):
+        """Replaying recorded statistics reproduces online decisions exactly."""
+        config = DecisionConfig()
+        stats = [r.statistics for r in attacked_run.reports]
+        offline = redecide(stats, config)
+        for report, outcome in zip(attacked_run.reports, offline):
+            assert outcome.flagged_sensors == report.outcome.flagged_sensors
+            assert outcome.actuator_alarm == report.outcome.actuator_alarm
+
+    def test_different_config_changes_outcomes(self, attacked_run):
+        stats = [r.statistics for r in attacked_run.reports]
+        strict = redecide(stats, DecisionConfig(sensor_alpha=1e-6))
+        lax = redecide(stats, DecisionConfig(sensor_alpha=0.5))
+        strict_flags = sum(bool(o.flagged_sensors) for o in strict)
+        lax_flags = sum(bool(o.flagged_sensors) for o in lax)
+        assert lax_flags >= strict_flags
+
+
+class TestSweeps:
+    def test_roc_fpr_monotone_in_alpha(self, clean_run, attacked_run):
+        points = roc_sweep([clean_run, attacked_run], alphas=[0.001, 0.05, 0.5, 0.99], window=1, criteria=1)
+        fprs = [p.sensor.false_positive_rate for p in points]
+        assert fprs == sorted(fprs)
+
+    def test_roc_high_alpha_high_fpr(self, clean_run):
+        points = roc_sweep([clean_run], alphas=[0.99], window=1, criteria=1)
+        assert points[0].sensor.false_positive_rate > 0.5
+
+    def test_f1_sweep_grid_complete(self, clean_run, attacked_run):
+        points = f1_sweep([clean_run, attacked_run], windows=[1, 2, 3])
+        configs = {(p.config.sensor_window, p.config.sensor_criteria) for p in points}
+        assert configs == {(1, 1), (2, 1), (2, 2), (3, 1), (3, 2), (3, 3)}
+
+    def test_f1_reasonable_at_paper_config(self, clean_run, attacked_run):
+        points = f1_sweep([clean_run, attacked_run], windows=[2])
+        by_config = {
+            (p.config.sensor_window, p.config.sensor_criteria): p.sensor.f1 for p in points
+        }
+        assert by_config[(2, 2)] > 0.9

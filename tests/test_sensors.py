@@ -1,0 +1,209 @@
+"""Tests for measurement models: pose sensors, GPS, magnetometer, suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.linalg import numerical_jacobian
+from repro.sensors.gps import GPS
+from repro.sensors.magnetometer import Magnetometer
+from repro.sensors.pose_sensors import IPS, InertialNavSensor, OdometryPoseSensor
+from repro.sensors.suite import SensorGroup, SensorSuite
+
+
+class TestPoseSensors:
+    @pytest.mark.parametrize("cls", [IPS, OdometryPoseSensor, InertialNavSensor])
+    def test_h_is_pose(self, cls):
+        sensor = cls()
+        state = np.array([1.0, 2.0, 0.5])
+        assert np.allclose(sensor.h(state), state)
+
+    @pytest.mark.parametrize("cls", [IPS, OdometryPoseSensor, InertialNavSensor])
+    def test_jacobian_matches_numeric(self, cls):
+        sensor = cls()
+        state = np.array([1.0, 2.0, 0.5])
+        assert np.allclose(sensor.jacobian(state), numerical_jacobian(sensor.h, state))
+
+    def test_angular_component(self):
+        sensor = IPS()
+        assert sensor.angular_components == (2,)
+        assert sensor.angular_mask.tolist() == [False, False, True]
+
+    def test_residual_wraps_heading(self):
+        sensor = IPS()
+        state = np.array([0.0, 0.0, np.pi - 0.01])
+        reading = np.array([0.0, 0.0, -np.pi + 0.01])
+        residual = sensor.residual(reading, state)
+        assert residual[2] == pytest.approx(0.02, abs=1e-9)
+
+    def test_measure_noise_statistics(self, rng):
+        sensor = IPS(sigma_xy=0.01, sigma_theta=0.02)
+        state = np.array([1.0, 1.0, 0.3])
+        readings = np.array([sensor.measure(state, rng) for _ in range(4000)])
+        errors = readings - state
+        assert np.allclose(errors.mean(axis=0), 0.0, atol=2e-3)
+        assert np.allclose(errors.std(axis=0), [0.01, 0.01, 0.02], rtol=0.15)
+
+    def test_pose_indices_for_bigger_state(self):
+        sensor = IPS(state_dim=5, pose_indices=(0, 1, 4))
+        state = np.array([1.0, 2.0, 9.0, 9.0, 0.7])
+        assert np.allclose(sensor.h(state), [1.0, 2.0, 0.7])
+        jac = sensor.jacobian(state)
+        assert jac.shape == (3, 5)
+        assert jac[2, 4] == 1.0
+
+    def test_invalid_pose_indices(self):
+        with pytest.raises(ConfigurationError):
+            IPS(pose_indices=(0, 1))
+        with pytest.raises(ConfigurationError):
+            IPS(pose_indices=(0, 1, 7))
+
+
+class TestGPS:
+    def test_h_and_jacobian(self):
+        gps = GPS()
+        state = np.array([3.0, 4.0, 1.0])
+        assert np.allclose(gps.h(state), [3.0, 4.0])
+        assert np.allclose(gps.jacobian(state), [[1, 0, 0], [0, 1, 0]])
+
+    def test_no_angular_components(self):
+        assert GPS().angular_components == ()
+
+
+class TestMagnetometer:
+    def test_h_and_jacobian(self):
+        mag = Magnetometer()
+        state = np.array([1.0, 2.0, 0.4])
+        assert np.allclose(mag.h(state), [0.4])
+        assert np.allclose(mag.jacobian(state), [[0, 0, 1]])
+
+    def test_angular(self):
+        assert Magnetometer().angular_components == (0,)
+
+    def test_invalid_heading_index(self):
+        with pytest.raises(ConfigurationError):
+            Magnetometer(heading_index=5)
+
+
+class TestSensorSuite:
+    @pytest.fixture
+    def suite(self):
+        return SensorSuite([IPS(), GPS(), Magnetometer()])
+
+    def test_total_dim_and_names(self, suite):
+        assert suite.total_dim == 6
+        assert suite.names == ("ips", "gps", "magnetometer")
+        assert len(suite) == 3
+
+    def test_slices(self, suite):
+        assert suite.slice_of("ips") == slice(0, 3)
+        assert suite.slice_of("gps") == slice(3, 5)
+        assert suite.slice_of("magnetometer") == slice(5, 6)
+
+    def test_indices_in_suite_order(self, suite):
+        idx = suite.indices_of(["magnetometer", "ips"])
+        assert idx.tolist() == [0, 1, 2, 5]
+
+    def test_unknown_sensor_rejected(self, suite):
+        with pytest.raises(ConfigurationError):
+            suite.indices_of(["radar"])
+        with pytest.raises(ConfigurationError):
+            suite.sensor("radar")
+
+    def test_stacked_h(self, suite):
+        state = np.array([1.0, 2.0, 0.3])
+        z = suite.h(state)
+        assert np.allclose(z, [1.0, 2.0, 0.3, 1.0, 2.0, 0.3])
+
+    def test_subset_h_preserves_order(self, suite):
+        state = np.array([1.0, 2.0, 0.3])
+        z = suite.h(state, ["magnetometer", "gps"])
+        # Suite order (gps before magnetometer) is preserved regardless of
+        # the order names are listed in.
+        assert np.allclose(z, [1.0, 2.0, 0.3])
+
+    def test_covariance_block_diag(self, suite):
+        cov = suite.covariance()
+        assert cov.shape == (6, 6)
+        assert np.allclose(cov, cov.T)
+        assert np.allclose(cov[:3, 3:], 0.0)
+
+    def test_angular_mask(self, suite):
+        assert suite.angular_mask().tolist() == [False, False, True, False, False, True]
+
+    def test_labels(self, suite):
+        labels = suite.labels(["gps"])
+        assert labels == ("gps.x", "gps.y")
+
+    def test_split_stack_roundtrip(self, suite, rng):
+        reading = rng.standard_normal(6)
+        parts = suite.split(reading)
+        assert set(parts) == {"ips", "gps", "magnetometer"}
+        assert np.allclose(suite.stack(parts), reading)
+
+    def test_split_rejects_bad_shape(self, suite):
+        with pytest.raises(DimensionError):
+            suite.split(np.zeros(5))
+
+    def test_stack_rejects_missing(self, suite):
+        with pytest.raises(ConfigurationError):
+            suite.stack({"ips": np.zeros(3)})
+
+    def test_measure_shape(self, suite, rng):
+        z = suite.measure(np.array([0.0, 0.0, 0.0]), rng)
+        assert z.shape == (6,)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorSuite([IPS(), IPS()])
+
+    def test_mismatched_state_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorSuite([IPS(), GPS(state_dim=4)])
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorSuite([])
+
+    @given(st.lists(st.floats(-10, 10), min_size=6, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, values):
+        suite = SensorSuite([IPS(), GPS(), Magnetometer()])
+        reading = np.array(values)
+        assert np.allclose(suite.stack(suite.split(reading)), reading)
+
+
+class TestSensorGroup:
+    def test_group_concatenates(self):
+        group = SensorGroup("gps+mag", [GPS(), Magnetometer()])
+        state = np.array([1.0, 2.0, 0.4])
+        assert group.dim == 3
+        assert np.allclose(group.h(state), [1.0, 2.0, 0.4])
+        assert group.angular_components == (2,)
+        assert np.allclose(group.jacobian(state), [[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+    def test_group_covariance_block_diag(self):
+        gps = GPS(sigma_xy=0.5)
+        mag = Magnetometer(sigma_theta=0.02)
+        group = SensorGroup("g", [gps, mag])
+        assert np.allclose(np.diag(group.covariance), [0.25, 0.25, 0.0004])
+
+    def test_group_measure(self, rng):
+        group = SensorGroup("g", [GPS(), Magnetometer()])
+        assert group.measure(np.zeros(3), rng).shape == (3,)
+
+    def test_group_needs_two_members(self):
+        with pytest.raises(ConfigurationError):
+            SensorGroup("solo", [GPS()])
+
+    def test_group_rejects_mixed_state_dims(self):
+        with pytest.raises(ConfigurationError):
+            SensorGroup("bad", [GPS(), Magnetometer(state_dim=4)])
+
+    def test_group_usable_in_suite(self):
+        group = SensorGroup("gps+mag", [GPS(), Magnetometer()])
+        suite = SensorSuite([IPS(), group])
+        assert suite.total_dim == 6
+        assert suite.slice_of("gps+mag") == slice(3, 6)

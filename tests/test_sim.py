@@ -1,0 +1,401 @@
+"""Tests for the simulation layer: bus, workflows, platform, simulator."""
+
+import numpy as np
+import pytest
+
+from repro.actuators.differential import WheelPairActuator
+from repro.attacks.base import Attack, AttackChannel, AttackTarget
+from repro.attacks.scheduler import AttackSchedule
+from repro.attacks.sensor_attacks import sensor_bias, sensor_dos
+from repro.attacks.actuator_attacks import actuator_offset, wheel_jamming
+from repro.attacks.signals import BiasSignal
+from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.errors import ConfigurationError, SimulationError
+from repro.sensors.lidar import RayCastLidar, WallDistanceSensor
+from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+from repro.sim.bus import CommunicationBus, Packet
+from repro.sim.platform import RobotPlatform
+from repro.sim.simulator import ClosedLoopSimulator
+from repro.sim.trace import SimulationTrace
+from repro.sim.workflows import (
+    ActuationWorkflow,
+    FeatureSensingWorkflow,
+    LidarRawWorkflow,
+    OdometryWorkflow,
+    WorkflowContext,
+)
+from repro.world.map import WorldMap
+
+
+@pytest.fixture
+def world():
+    return WorldMap.rectangle(3.0, 3.0)
+
+
+@pytest.fixture
+def model():
+    return DifferentialDriveModel(dt=0.05)
+
+
+def make_ctx(state, t=1.0, schedule=None, control=None, rng=None, prior=None):
+    return WorkflowContext(
+        true_state=np.asarray(state, dtype=float),
+        executed_control=np.zeros(2) if control is None else np.asarray(control, dtype=float),
+        t=t,
+        rng=rng or np.random.default_rng(0),
+        schedule=schedule or AttackSchedule(),
+        pose_prior=np.asarray(state, dtype=float)[:3] if prior is None else prior,
+    )
+
+
+class TestBus:
+    def test_publish_subscribe(self):
+        bus = CommunicationBus()
+        received = []
+        bus.subscribe("sensors/ips", received.append)
+        packet = bus.send("sensors/ips", iteration=1, t=0.05, payload=[1.0], source="ips")
+        assert received == [packet]
+
+    def test_history_filtering(self):
+        bus = CommunicationBus()
+        bus.send("a", 1, 0.0, None, "x")
+        bus.send("b", 1, 0.0, None, "y")
+        assert len(bus.history()) == 2
+        assert len(bus.history("a")) == 1
+
+    def test_log_bounded(self):
+        bus = CommunicationBus(log_size=3)
+        for i in range(10):
+            bus.send("a", i, 0.0, None, "x")
+        assert len(bus.history()) == 3
+        assert bus.history()[0].iteration == 7
+
+    def test_clear(self):
+        bus = CommunicationBus()
+        bus.send("a", 1, 0.0, None, "x")
+        bus.clear()
+        assert bus.history() == []
+
+
+class TestFeatureSensingWorkflow:
+    def test_clean_reading_near_truth(self, rng):
+        workflow = FeatureSensingWorkflow(IPS(sigma_xy=0.001, sigma_theta=0.001))
+        ctx = make_ctx([1.0, 2.0, 0.3], rng=rng)
+        reading = workflow.produce(ctx)
+        assert np.allclose(reading, [1.0, 2.0, 0.3], atol=0.01)
+
+    def test_cyber_attack_applied(self, rng):
+        schedule = AttackSchedule([sensor_bias("ips", offset=(0.5,), start=0.0, components=(0,))])
+        workflow = FeatureSensingWorkflow(IPS(sigma_xy=1e-6, sigma_theta=1e-6))
+        reading = workflow.produce(make_ctx([1.0, 2.0, 0.3], schedule=schedule, rng=rng))
+        assert reading[0] == pytest.approx(1.5, abs=0.01)
+
+    def test_physical_applied_before_cyber(self, rng):
+        # Physical zeroing then cyber bias: order matters.
+        physical = sensor_dos("ips", start=0.0)
+        cyber = sensor_bias("ips", offset=(0.5, 0.5, 0.5), start=0.0)
+        schedule = AttackSchedule([cyber, physical])
+        workflow = FeatureSensingWorkflow(IPS(sigma_xy=1e-9, sigma_theta=1e-9))
+        reading = workflow.produce(make_ctx([1.0, 2.0, 0.3], schedule=schedule, rng=rng))
+        assert np.allclose(reading, [0.5, 0.5, 0.5], atol=1e-6)
+
+
+class TestLidarRawWorkflow:
+    def test_clean_features(self, world, rng):
+        sensor = WallDistanceSensor(world, sigma_distance=1e-9, sigma_theta=1e-9)
+        workflow = LidarRawWorkflow(sensor, RayCastLidar(world, n_beams=120, sigma_range=0.0))
+        state = np.array([1.0, 0.8, 0.2])
+        reading = workflow.produce(make_ctx(state, rng=rng))
+        assert np.allclose(reading, sensor.h(state), atol=0.05)
+
+    def test_dos_zeroes_scan_and_features(self, world, rng):
+        sensor = WallDistanceSensor(world)
+        workflow = LidarRawWorkflow(sensor, RayCastLidar(world, n_beams=60, sigma_range=0.0))
+        schedule = AttackSchedule([sensor_dos("lidar", start=0.0)])
+        reading = workflow.produce(make_ctx([1.5, 1.5, 0.0], schedule=schedule, rng=rng))
+        assert np.allclose(reading[:3], 0.0)
+
+    def test_component_attack_hits_features(self, world, rng):
+        sensor = WallDistanceSensor(world, sigma_distance=1e-9, sigma_theta=1e-9)
+        workflow = LidarRawWorkflow(sensor, RayCastLidar(world, n_beams=120, sigma_range=0.0))
+        schedule = AttackSchedule(
+            [
+                sensor_bias(
+                    "lidar",
+                    offset=(-0.25,),
+                    start=0.0,
+                    components=(0,),
+                    channel=AttackChannel.PHYSICAL,
+                )
+            ]
+        )
+        state = np.array([1.0, 0.8, 0.2])
+        reading = workflow.produce(make_ctx(state, schedule=schedule, rng=rng))
+        assert reading[0] == pytest.approx(sensor.h(state)[0] - 0.25, abs=0.05)
+
+    def test_mismatched_extractor_rejected(self, world):
+        from repro.sensors.lidar import ScanFeatureExtractor
+
+        sensor = WallDistanceSensor(world)
+        extractor = ScanFeatureExtractor(world, wall_names=("north",))
+        with pytest.raises(ConfigurationError):
+            LidarRawWorkflow(sensor, RayCastLidar(world), extractor)
+
+
+class TestOdometryWorkflow:
+    def test_integrates_executed_speeds(self, model, rng):
+        workflow = OdometryWorkflow(OdometryPoseSensor(), model, tick_sigma=0.0)
+        workflow.reset(np.zeros(3))
+        pose = None
+        for k in range(10):
+            ctx = make_ctx(np.zeros(3), t=k * model.dt, control=[0.2, 0.2], rng=rng)
+            pose = workflow.produce(ctx)
+        assert pose[0] == pytest.approx(0.2 * model.dt * 10, abs=1e-9)
+        assert pose[1] == pytest.approx(0.0)
+
+    def test_reset_restores_initial_pose(self, model, rng):
+        workflow = OdometryWorkflow(OdometryPoseSensor(), model, tick_sigma=0.0)
+        workflow.reset(np.array([1.0, 1.0, 0.0]))
+        workflow.produce(make_ctx(np.zeros(3), control=[0.5, 0.5], rng=rng))
+        workflow.reset(np.array([1.0, 1.0, 0.0]))
+        pose = workflow.produce(make_ctx(np.zeros(3), control=[0.0, 0.0], rng=rng))
+        assert np.allclose(pose, [1.0, 1.0, 0.0])
+
+    def test_turning_integration(self, model, rng):
+        workflow = OdometryWorkflow(OdometryPoseSensor(), model, tick_sigma=0.0)
+        workflow.reset(np.zeros(3))
+        pose = workflow.produce(make_ctx(np.zeros(3), control=[-0.1, 0.1], rng=rng))
+        expected_dtheta = 0.2 * model.dt / model.wheel_base
+        assert pose[2] == pytest.approx(expected_dtheta)
+
+
+class TestActuationWorkflow:
+    def test_clean_execution_applies_hardware_limits(self, rng):
+        workflow = ActuationWorkflow(WheelPairActuator(max_speed=0.5, speed_unit=0.0))
+        out = workflow.execute(np.array([0.9, 0.1]), 0.0, rng, AttackSchedule())
+        assert np.allclose(out, [0.5, 0.1])
+
+    def test_cyber_attack_before_limits(self, rng):
+        # A cyber offset that pushes past saturation is clipped by hardware.
+        schedule = AttackSchedule([actuator_offset("wheels", (1.0, 0.0), start=0.0)])
+        workflow = ActuationWorkflow(WheelPairActuator(max_speed=0.5, speed_unit=0.0))
+        out = workflow.execute(np.array([0.1, 0.1]), 1.0, rng, schedule)
+        assert out[0] == pytest.approx(0.5)
+
+    def test_physical_jam_overrides_hardware(self, rng):
+        schedule = AttackSchedule([wheel_jamming("wheels", 0, start=0.0)])
+        workflow = ActuationWorkflow(WheelPairActuator())
+        out = workflow.execute(np.array([0.2, 0.2]), 1.0, rng, schedule)
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(0.2, abs=1e-5)
+
+
+def build_platform(world, model):
+    ips = IPS()
+    wheel_encoder = OdometryPoseSensor()
+    lidar = WallDistanceSensor(world)
+    suite = SensorSuite([ips, wheel_encoder, lidar])
+    workflows = {
+        "ips": FeatureSensingWorkflow(ips),
+        "wheel_encoder": FeatureSensingWorkflow(wheel_encoder),
+        "lidar": FeatureSensingWorkflow(lidar),
+    }
+    return RobotPlatform(
+        model=model,
+        suite=suite,
+        workflows=workflows,
+        actuation=ActuationWorkflow(WheelPairActuator(speed_unit=0.0)),
+        process_noise=1e-8,
+        initial_state=[1.0, 1.0, 0.0],
+    )
+
+
+class TestRobotPlatform:
+    def test_step_advances_state(self, world, model, rng):
+        platform = build_platform(world, model)
+        step = platform.step(np.array([0.2, 0.2]), 0.0, rng, AttackSchedule())
+        assert step.state[0] > 1.0
+        assert step.stacked_reading.shape == (platform.suite.total_dim,)
+        assert set(step.readings) == {"ips", "wheel_encoder", "lidar"}
+
+    def test_reset(self, world, model, rng):
+        platform = build_platform(world, model)
+        platform.step(np.array([0.2, 0.2]), 0.0, rng, AttackSchedule())
+        platform.reset()
+        assert np.allclose(platform.state, [1.0, 1.0, 0.0])
+
+    def test_sense_without_step(self, world, model, rng):
+        platform = build_platform(world, model)
+        readings, stacked, clean = platform.sense(0.0, rng, AttackSchedule())
+        assert np.allclose(readings["ips"], [1.0, 1.0, 0.0], atol=0.02)
+
+    def test_workflow_suite_mismatch_rejected(self, world, model):
+        ips = IPS()
+        suite = SensorSuite([ips])
+        with pytest.raises(ConfigurationError):
+            RobotPlatform(
+                model=model,
+                suite=suite,
+                workflows={},
+                actuation=ActuationWorkflow(WheelPairActuator()),
+                process_noise=1e-8,
+                initial_state=[0.0, 0.0, 0.0],
+            )
+
+
+class _StraightController:
+    def __init__(self):
+        self.calls = 0
+
+    def command(self, pose, dt):
+        self.calls += 1
+        return np.array([0.2, 0.2])
+
+    def reset(self):
+        self.calls = 0
+
+
+class TestClosedLoopSimulator:
+    def test_run_records_trace(self, world, model, rng):
+        platform = build_platform(world, model)
+        sim = ClosedLoopSimulator(platform, _StraightController())
+        trace = sim.run(20, rng)
+        assert len(trace) == 20
+        assert trace.times[0] == pytest.approx(model.dt)
+        assert trace.times[-1] == pytest.approx(20 * model.dt)
+        # Straight drive moves along +x.
+        assert trace.true_states[-1][0] > 1.1
+
+    def test_ground_truth_recorded(self, world, model, rng):
+        platform = build_platform(world, model)
+        schedule = AttackSchedule([sensor_dos("lidar", start=0.5)])
+        sim = ClosedLoopSimulator(platform, _StraightController(), schedule=schedule)
+        trace = sim.run(20, rng)
+        idx = trace.first_index_at(0.5)
+        assert trace.truth_sensors[idx] == frozenset({"lidar"})
+        assert trace.truth_sensors[0] == frozenset()
+
+    def test_actuator_truth_uses_command_time(self, world, model, rng):
+        platform = build_platform(world, model)
+        schedule = AttackSchedule([actuator_offset("wheels", (0.05, 0.0), start=0.5)])
+        sim = ClosedLoopSimulator(platform, _StraightController(), schedule=schedule)
+        trace = sim.run(20, rng)
+        anomalies = trace.actual_actuator_anomaly()
+        truth = np.array(trace.truth_actuator)
+        assert np.allclose(anomalies[truth, 0], 0.05, atol=1e-5)
+        assert np.allclose(anomalies[~truth, 0], 0.0, atol=1e-5)
+
+    def test_stop_condition(self, world, model, rng):
+        platform = build_platform(world, model)
+        controller = _StraightController()
+        sim = ClosedLoopSimulator(platform, controller)
+        trace = sim.run(100, rng, stop_condition=lambda: controller.calls >= 5)
+        assert len(trace) == 5
+
+    def test_detector_hook_invoked(self, world, model, rng):
+        platform = build_platform(world, model)
+
+        class Recorder:
+            def __init__(self):
+                self.count = 0
+
+            def step(self, u, z):
+                self.count += 1
+                return self.count
+
+        recorder = Recorder()
+        sim = ClosedLoopSimulator(platform, _StraightController(), detector=recorder)
+        trace = sim.run(7, rng)
+        assert recorder.count == 7
+        assert trace.reports == [1, 2, 3, 4, 5, 6, 7]
+        assert trace.has_reports
+
+    def test_invalid_nav_sensor(self, world, model):
+        platform = build_platform(world, model)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopSimulator(platform, _StraightController(), nav_sensor="radar")
+
+    def test_invalid_n_steps(self, world, model, rng):
+        platform = build_platform(world, model)
+        sim = ClosedLoopSimulator(platform, _StraightController())
+        with pytest.raises(SimulationError):
+            sim.run(0, rng)
+
+
+class TestTrace:
+    def test_first_index_beyond_end_raises(self):
+        trace = SimulationTrace(dt=0.1, sensor_names=("a",))
+        trace.append(0.1, np.zeros(3), np.zeros(2), np.zeros(2), np.zeros(3), np.zeros(3), frozenset(), False)
+        with pytest.raises(SimulationError):
+            trace.first_index_at(1.0)
+
+    def test_arrays(self):
+        trace = SimulationTrace(dt=0.1, sensor_names=("a",))
+        for k in range(3):
+            trace.append(
+                0.1 * (k + 1),
+                np.full(3, k),
+                np.full(2, k),
+                np.full(2, k + 0.5),
+                np.zeros(3),
+                np.zeros(3),
+                frozenset(),
+                False,
+            )
+        assert trace.states_array().shape == (3, 3)
+        assert np.allclose(trace.actual_actuator_anomaly(), 0.5)
+        assert trace.truth_condition(1) == (frozenset(), False)
+
+
+class TestBusIntegration:
+    def test_platform_publishes_traffic(self, world, model, rng):
+        from repro.sim.bus import CommunicationBus
+
+        bus = CommunicationBus()
+        ips = IPS()
+        wheel_encoder = OdometryPoseSensor()
+        lidar = WallDistanceSensor(world)
+        suite = SensorSuite([ips, wheel_encoder, lidar])
+        platform = RobotPlatform(
+            model=model,
+            suite=suite,
+            workflows={
+                "ips": FeatureSensingWorkflow(ips),
+                "wheel_encoder": FeatureSensingWorkflow(wheel_encoder),
+                "lidar": FeatureSensingWorkflow(lidar),
+            },
+            actuation=ActuationWorkflow(WheelPairActuator(speed_unit=0.0)),
+            process_noise=1e-8,
+            initial_state=[1.0, 1.0, 0.0],
+            bus=bus,
+        )
+        platform.step(np.array([0.2, 0.2]), 0.0, rng, AttackSchedule())
+        platform.step(np.array([0.2, 0.2]), 0.05, rng, AttackSchedule())
+        assert len(bus.history("sensors/ips")) == 2
+        assert len(bus.history("actuators/wheels")) == 2
+        packet = bus.history("sensors/ips")[-1]
+        assert packet.payload.shape == (3,)
+        assert packet.iteration == 2
+
+    def test_bus_sees_corrupted_readings(self, world, model, rng):
+        """The bus carries what the planner receives — corruption included."""
+        from repro.sim.bus import CommunicationBus
+
+        bus = CommunicationBus()
+        ips = IPS(sigma_xy=1e-9, sigma_theta=1e-9)
+        suite = SensorSuite([ips])
+        platform = RobotPlatform(
+            model=model,
+            suite=suite,
+            workflows={"ips": FeatureSensingWorkflow(ips)},
+            actuation=ActuationWorkflow(WheelPairActuator(speed_unit=0.0)),
+            process_noise=1e-12,
+            initial_state=[1.0, 1.0, 0.0],
+            bus=bus,
+        )
+        schedule = AttackSchedule([sensor_bias("ips", offset=(0.5,), start=0.0, components=(0,))])
+        step = platform.step(np.array([0.0, 0.0]), 0.0, rng, schedule)
+        packet = bus.history("sensors/ips")[-1]
+        assert packet.payload[0] == pytest.approx(step.readings["ips"][0])
+        assert packet.payload[0] == pytest.approx(1.5, abs=1e-4)

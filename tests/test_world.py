@@ -1,0 +1,162 @@
+"""Tests for obstacles, world maps, ray casting and arena presets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.world.geometry import Ray, Segment
+from repro.world.map import WorldMap
+from repro.world.obstacles import CircleObstacle, PolygonObstacle, RectangleObstacle
+from repro.world.presets import cluttered_arena, corridor_arena, paper_arena
+
+
+class TestCircleObstacle:
+    def test_contains(self):
+        obs = CircleObstacle((1.0, 1.0), 0.5)
+        assert obs.contains((1.2, 1.2))
+        assert not obs.contains((2.0, 2.0))
+        assert obs.contains((1.6, 1.0), margin=0.2)
+
+    def test_segment_intersection(self):
+        obs = CircleObstacle((0.0, 0.0), 1.0)
+        assert obs.intersects_segment(Segment((-2.0, 0.0), (2.0, 0.0)))
+        assert not obs.intersects_segment(Segment((-2.0, 2.0), (2.0, 2.0)))
+        assert obs.intersects_segment(Segment((-2.0, 1.2), (2.0, 1.2)), margin=0.3)
+
+    def test_boundary_segments_close_loop(self):
+        obs = CircleObstacle((0.0, 0.0), 1.0, boundary_vertices=8)
+        segs = obs.boundary_segments()
+        assert len(segs) == 8
+        assert np.allclose(segs[0].p0, segs[-1].p1, atol=1e-9)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ConfigurationError):
+            CircleObstacle((0, 0), -1.0)
+
+
+class TestPolygonObstacle:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ConfigurationError):
+            PolygonObstacle(((0, 0), (1, 0)))
+
+    def test_contains_even_odd(self):
+        tri = PolygonObstacle(((0, 0), (2, 0), (1, 2)))
+        assert tri.contains((1.0, 0.5))
+        assert not tri.contains((0.1, 1.5))
+
+    def test_margin_contains_near_edge(self):
+        tri = PolygonObstacle(((0, 0), (2, 0), (1, 2)))
+        assert not tri.contains((1.0, -0.05))
+        assert tri.contains((1.0, -0.05), margin=0.1)
+
+    def test_rectangle_factory(self):
+        rect = RectangleObstacle((0.0, 0.0), (2.0, 1.0))
+        assert rect.contains((1.0, 0.5))
+        assert not rect.contains((3.0, 0.5))
+        with pytest.raises(ConfigurationError):
+            RectangleObstacle((1.0, 1.0), (0.0, 0.0))
+
+    def test_segment_through(self):
+        rect = RectangleObstacle((0.0, 0.0), (1.0, 1.0))
+        assert rect.intersects_segment(Segment((-1.0, 0.5), (2.0, 0.5)))
+        assert not rect.intersects_segment(Segment((-1.0, 2.0), (2.0, 2.0)))
+        # Fully inside: no edge crossings, but contained endpoints.
+        assert rect.intersects_segment(Segment((0.2, 0.2), (0.8, 0.8)))
+
+
+class TestWorldMap:
+    def test_rectangle_wall_names_and_distances(self):
+        world = WorldMap.rectangle(3.0, 2.0)
+        assert world.wall_names() == ["south", "east", "north", "west"]
+        point = (1.0, 0.5)
+        assert world.wall("south").distance_from(point) == pytest.approx(0.5)
+        assert world.wall("west").distance_from(point) == pytest.approx(1.0)
+        assert world.wall("east").distance_from(point) == pytest.approx(2.0)
+        assert world.wall("north").distance_from(point) == pytest.approx(1.5)
+
+    def test_unknown_wall(self):
+        world = WorldMap.rectangle(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            world.wall("ceiling")
+
+    def test_bounds_and_in_bounds(self):
+        world = WorldMap.rectangle(3.0, 2.0)
+        assert world.bounds == (0.0, 0.0, 3.0, 2.0)
+        assert world.in_bounds((1.5, 1.0))
+        assert not world.in_bounds((3.5, 1.0))
+        assert not world.in_bounds((0.05, 1.0), margin=0.1)
+
+    def test_point_free_with_obstacle(self):
+        world = WorldMap.rectangle(3.0, 3.0, obstacles=[RectangleObstacle((1, 1), (2, 2))])
+        assert world.point_free((0.5, 0.5))
+        assert not world.point_free((1.5, 1.5))
+
+    def test_segment_free(self):
+        world = WorldMap.rectangle(3.0, 3.0, obstacles=[RectangleObstacle((1, 1), (2, 2))])
+        assert world.segment_free(Segment((0.5, 0.5), (0.5, 2.5)))
+        assert not world.segment_free(Segment((0.5, 1.5), (2.5, 1.5)))
+
+    def test_wall_distances_vector(self):
+        world = WorldMap.rectangle(3.0, 3.0)
+        d = world.wall_distances((1.0, 1.0), ["west", "south", "east"])
+        assert np.allclose(d, [1.0, 1.0, 2.0])
+
+    def test_cast_ray_hits_wall(self):
+        world = WorldMap.rectangle(3.0, 3.0)
+        assert world.cast_ray(Ray((1.0, 1.0), 0.0)) == pytest.approx(2.0)
+        assert world.cast_ray(Ray((1.0, 1.0), np.pi)) == pytest.approx(1.0)
+
+    def test_cast_ray_hits_obstacle_first(self):
+        world = WorldMap.rectangle(5.0, 5.0, obstacles=[RectangleObstacle((2, 0.5), (3, 1.5))])
+        assert world.cast_ray(Ray((1.0, 1.0), 0.0)) == pytest.approx(1.0)
+
+    def test_cast_ray_max_range(self):
+        world = WorldMap.rectangle(10.0, 10.0)
+        assert world.cast_ray(Ray((1.0, 1.0), 0.0), max_range=2.0) == pytest.approx(2.0)
+
+    def test_scan_shape_and_symmetry(self):
+        world = WorldMap.rectangle(4.0, 4.0)
+        scan = world.scan((2.0, 2.0), 0.0, fov=np.pi, n_beams=5, max_range=10.0)
+        assert scan.shape == (5,)
+        # Centre beam straight ahead, symmetric arena: first and last beams
+        # point +/-90 degrees and hit walls at equal distance.
+        assert scan[0] == pytest.approx(scan[-1])
+        assert scan[2] == pytest.approx(2.0)
+
+    def test_scan_single_beam(self):
+        world = WorldMap.rectangle(4.0, 4.0)
+        scan = world.scan((2.0, 2.0), 0.0, fov=np.pi, n_beams=1, max_range=10.0)
+        assert scan.shape == (1,)
+        assert scan[0] == pytest.approx(2.0)
+
+    def test_sample_free_respects_obstacles(self, rng):
+        world = WorldMap.rectangle(2.0, 2.0, obstacles=[RectangleObstacle((0.5, 0.5), (1.5, 1.5))])
+        for _ in range(20):
+            point = world.sample_free(rng, margin=0.05)
+            assert world.point_free(point, margin=0.05)
+
+    def test_duplicate_wall_names_rejected(self):
+        from repro.world.map import Wall
+
+        wall = Wall("a", Segment((0, 0), (1, 0)))
+        with pytest.raises(ConfigurationError):
+            WorldMap([wall, Wall("a", Segment((1, 0), (1, 1)))])
+
+    def test_empty_walls_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorldMap([])
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory", [paper_arena, corridor_arena, cluttered_arena])
+    def test_presets_build_and_have_free_space(self, factory, rng):
+        world = factory()
+        assert len(world.walls) == 4
+        point = world.sample_free(rng, margin=0.05)
+        assert world.point_free(point)
+
+    def test_paper_arena_blocks_centre(self):
+        world = paper_arena()
+        assert not world.point_free((1.5, 1.5))
