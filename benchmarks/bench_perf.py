@@ -3,12 +3,20 @@
 Not a paper table — it answers the deployment question Section IV raises
 implicitly: can the multi-mode engine keep up with a robot's control rate?
 Measured per control iteration for the paper's two prototypes and for the
-complete mode set, using pytest-benchmark's statistics.
+complete mode set, using pytest-benchmark's statistics. A batched-replay
+benchmark covers the offline path (:func:`repro.core.batch.replay_batch`)
+that experiment sweeps amortize Python overhead with.
+
+All tests here carry the ``bench_smoke`` marker; ``scripts/bench_smoke.py``
+runs exactly this file and records the means to ``BENCH_perf.json`` so every
+PR leaves a perf trajectory behind. See ``docs/PERFORMANCE.md`` for the
+cost model and the recorded baselines.
 """
 
 import numpy as np
 import pytest
 
+from repro.core.batch import replay_batch
 from repro.core.modes import complete_modes
 from repro.robots.khepera import khepera_rig
 from repro.robots.tamiya import tamiya_rig
@@ -32,6 +40,20 @@ def _detector_and_stream(rig, modes=None, n_warm=5):
     return step
 
 
+def _synthetic_traces(rig, n_traces, n_steps, seed=0):
+    """Recorded (controls, readings) logs for the batched-replay benchmark."""
+    rng = np.random.default_rng(seed)
+    state = np.array(rig.mission.start_pose, dtype=float)
+    control = np.full(rig.model.control_dim, 0.1)
+    traces = []
+    for _ in range(n_traces):
+        controls = [control.copy() for _ in range(n_steps)]
+        readings = [rig.suite.measure(state, rng) for _ in range(n_steps)]
+        traces.append((controls, readings))
+    return traces
+
+
+@pytest.mark.bench_smoke
 @pytest.mark.benchmark(group="perf")
 def test_khepera_iteration_throughput(benchmark, khepera_shared):
     step = _detector_and_stream(khepera_shared)
@@ -41,19 +63,44 @@ def test_khepera_iteration_throughput(benchmark, khepera_shared):
     assert benchmark.stats["mean"] < 0.05
 
 
+@pytest.mark.bench_smoke
 @pytest.mark.benchmark(group="perf")
 def test_khepera_complete_modeset_throughput(benchmark, khepera_shared):
     modes = complete_modes(khepera_shared.suite, max_corrupted=2)
     step = _detector_and_stream(khepera_shared, modes=modes)
     benchmark(step)
-    assert benchmark.stats["mean"] < 0.1
+    # The shared-workspace bank runs the 7-mode complete set in ~2.2 ms on
+    # the reference machine; the pre-workspace implementation took ~4.3 ms,
+    # so this bound both fails a regression to the old code path and leaves
+    # ~2x headroom for slower hardware.
+    assert benchmark.stats["mean"] < 0.004
 
 
+@pytest.mark.bench_smoke
 @pytest.mark.benchmark(group="perf")
 def test_tamiya_iteration_throughput(benchmark, tamiya_shared):
     step = _detector_and_stream(tamiya_shared)
     benchmark(step)
     assert benchmark.stats["mean"] < 0.1
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.benchmark(group="perf")
+def test_batched_replay_throughput(benchmark, khepera_shared):
+    """Offline sweep path: 16 recorded missions through one detector."""
+    n_traces, n_steps = 16, 25
+    traces = _synthetic_traces(khepera_shared, n_traces, n_steps)
+    detector = khepera_shared.detector()
+
+    def run_batch():
+        replay_batch(detector, traces, keep_reports=False)
+
+    benchmark.pedantic(run_batch, rounds=3, iterations=1, warmup_rounds=1)
+    # Per-iteration cost of the batched path must stay in the same band as
+    # online stepping — the batch's value is amortized setup and stacked
+    # outputs, not a different filter.
+    per_step = benchmark.stats["mean"] / (n_traces * n_steps)
+    assert per_step < 0.004
 
 
 @pytest.fixture(scope="module")

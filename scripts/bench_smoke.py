@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Run the perf smoke benchmarks and record the means to BENCH_perf.json.
+
+Usage (from the repository root)::
+
+    python scripts/bench_smoke.py [extra pytest args...]
+
+Runs every ``bench_smoke``-marked benchmark in ``benchmarks/bench_perf.py``
+via pytest-benchmark and reduces the statistics to a small committed JSON
+file, so the repository carries a recorded perf trajectory across PRs:
+mean/stddev iteration latency per rig and per mode-set, plus the pinned
+pre-optimization baseline the current numbers are compared against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+OUTPUT = REPO / "BENCH_perf.json"
+
+#: Mean iteration latency (seconds) measured at the pre-workspace seed
+#: revision on the reference machine — the "before" of the shared-workspace
+#: optimization (see docs/PERFORMANCE.md). Kept pinned so regressions are
+#: judged against a fixed point, not a moving average.
+PRE_CHANGE_BASELINE_S = {
+    "test_khepera_iteration_throughput": 2.9258e-3,
+    "test_khepera_complete_modeset_throughput": 6.2906e-3,
+    "test_tamiya_iteration_throughput": 2.9669e-3,
+}
+
+
+def main(argv: list[str]) -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = pathlib.Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(REPO / "benchmarks" / "bench_perf.py"),
+            "-m",
+            "bench_smoke",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            f"--benchmark-json={raw}",
+            *argv,
+        ]
+        env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+        proc = subprocess.run(cmd, cwd=REPO, env=env)
+        if proc.returncode != 0:
+            return proc.returncode
+        data = json.loads(raw.read_text())
+
+    results = {}
+    for bench in data.get("benchmarks", []):
+        name = bench["name"]
+        stats = bench["stats"]
+        entry = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+            "group": bench.get("group"),
+        }
+        baseline = PRE_CHANGE_BASELINE_S.get(name)
+        if baseline is not None:
+            entry["pre_change_mean_s"] = baseline
+            entry["speedup_vs_pre_change"] = baseline / stats["mean"]
+        results[name] = entry
+
+    payload = {
+        "datetime": data.get("datetime"),
+        "machine": data.get("machine_info", {}).get("node"),
+        "python": data.get("machine_info", {}).get("python_version"),
+        "comment": (
+            "Mean detector iteration latency per rig/mode-set; "
+            "pre_change_mean_s pins the pre-shared-workspace seed revision "
+            "measured on the reference machine (docs/PERFORMANCE.md)."
+        ),
+        "results": results,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -17,6 +17,7 @@ Modules map one-to-one onto Fig 3:
 """
 
 from .baseline import build_linearized_once_detector
+from .batch import BatchReplayResult, replay_batch
 from .decision import DecisionConfig, DecisionMaker, DecisionOutcome, SlidingWindow
 from .detector import DetectionReport, RoboADS
 from .engine import EngineOutput, MultiModeEstimationEngine
@@ -40,6 +41,8 @@ __all__ = [
     "SlidingWindow",
     "RoboADS",
     "DetectionReport",
+    "BatchReplayResult",
+    "replay_batch",
     "IterationStatistics",
     "LinearizationPolicy",
     "EveryStepLinearization",

@@ -1,0 +1,182 @@
+"""Batched offline replay: many recorded missions through one detector.
+
+Forensic sweeps and parameter studies replay whole fleets of recorded
+``(u_{k-1}, z_k)`` logs — Monte-Carlo trials of the Table II scenarios, or a
+vehicle fleet's day of bus traffic. Looping :meth:`RoboADS.replay` per trace
+and then picking results out of per-iteration report objects leaves the
+sweep code dominated by Python attribute chasing. :func:`replay_batch` runs
+the traces back-to-back on a single detector (one filter bank, one set of
+preallocated workspaces) and returns the quantities every sweep wants as
+stacked, padded NumPy arrays, so downstream reductions (confusion counts,
+delay scans, threshold sweeps) are vectorized array passes.
+
+The replay itself is exactly online detection — the detector is
+deterministic given its inputs, and it is reset between traces — so the
+stacked outputs match what :meth:`RoboADS.step` produced (or would have
+produced) during the original missions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, DimensionError
+from .detector import DetectionReport, RoboADS
+
+__all__ = ["BatchReplayResult", "replay_batch"]
+
+
+@dataclass(frozen=True)
+class BatchReplayResult:
+    """Stacked outputs of replaying ``N`` traces through one detector.
+
+    Traces may have different lengths; all per-iteration arrays are padded to
+    the longest trace (``max_length``). Integer arrays pad with ``-1``, float
+    arrays with ``NaN``, boolean arrays with ``False``; ``lengths`` gives each
+    trace's true number of iterations.
+    """
+
+    #: Mode names in the detector's bank order; ``selected_mode`` indexes this.
+    mode_names: tuple[str, ...]
+    #: Suite sensor names; the last axis of ``flagged`` follows this order.
+    sensor_names: tuple[str, ...]
+    #: ``(N,)`` true length (iterations) of each trace.
+    lengths: np.ndarray
+    #: ``(N, T)`` selected mode index per iteration (``-1`` = padding).
+    selected_mode: np.ndarray
+    #: ``(N, T, n)`` selected-mode state estimate (NaN padded).
+    state_estimate: np.ndarray
+    #: ``(N, T, l)`` actuator anomaly estimate ``d_hat^a`` (NaN padded).
+    actuator_estimate: np.ndarray
+    #: ``(N, T)`` joint sensor chi-square statistic (NaN padded).
+    sensor_statistic: np.ndarray
+    #: ``(N, T)`` actuator chi-square statistic (NaN padded).
+    actuator_statistic: np.ndarray
+    #: ``(N, T, p)`` confirmed per-sensor alarms, suite order.
+    flagged: np.ndarray
+    #: ``(N, T)`` confirmed actuator alarms.
+    actuator_alarm: np.ndarray
+    #: Per-trace report lists (``None`` when replayed with ``keep_reports=False``).
+    reports: tuple[tuple[DetectionReport, ...], ...] | None
+
+    @property
+    def n_traces(self) -> int:
+        return int(self.lengths.shape[0])
+
+    @property
+    def max_length(self) -> int:
+        return int(self.selected_mode.shape[1])
+
+    def mode_name_at(self, trace: int, step: int) -> str | None:
+        """Selected mode name at (*trace*, *step*), None in the padding."""
+        idx = int(self.selected_mode[trace, step])
+        return None if idx < 0 else self.mode_names[idx]
+
+    def flagged_sensors_at(self, trace: int, step: int) -> frozenset[str]:
+        """Confirmed misbehaving sensors at (*trace*, *step*)."""
+        mask = self.flagged[trace, step]
+        return frozenset(name for name, hit in zip(self.sensor_names, mask) if hit)
+
+    def trace_reports(self, trace: int) -> tuple[DetectionReport, ...]:
+        """The retained report list of one trace."""
+        if self.reports is None:
+            raise ConfigurationError(
+                "reports were not retained; replay with keep_reports=True"
+            )
+        return self.reports[trace]
+
+
+def _controls_and_readings(trace: Any) -> tuple[Sequence[np.ndarray], Sequence[np.ndarray]]:
+    """Accept a SimulationTrace-like object or a raw (controls, readings) pair."""
+    if hasattr(trace, "planned_controls") and hasattr(trace, "readings"):
+        return trace.planned_controls, trace.readings
+    try:
+        controls, readings = trace
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            "each trace must be a SimulationTrace or a (controls, readings) pair"
+        ) from exc
+    return controls, readings
+
+
+def replay_batch(
+    detector: RoboADS,
+    traces: Sequence[Any],
+    keep_reports: bool = True,
+) -> BatchReplayResult:
+    """Replay every trace through *detector* and stack the outputs.
+
+    Parameters
+    ----------
+    detector:
+        The detector to replay with; it is reset before each trace, so one
+        instance (one filter bank) serves the whole batch.
+    traces:
+        :class:`repro.sim.trace.SimulationTrace` objects (their recorded
+        planned controls and stacked readings are used) or raw
+        ``(controls, readings)`` pairs.
+    keep_reports:
+        Also retain the full per-iteration :class:`DetectionReport` lists
+        (``result.reports``). Disable for large sweeps that only need the
+        stacked arrays.
+    """
+    if not traces:
+        raise ConfigurationError("replay_batch needs at least one trace")
+    pairs = [_controls_and_readings(t) for t in traces]
+    for controls, readings in pairs:
+        if len(controls) != len(readings):
+            raise DimensionError(
+                f"controls ({len(controls)}) and readings ({len(readings)}) "
+                "must have equal length"
+            )
+
+    mode_names = tuple(m.name for m in detector.engine.modes)
+    mode_index = {name: i for i, name in enumerate(mode_names)}
+    sensor_names = tuple(detector.suite.names)
+    n_states = detector.model.state_dim
+    n_controls = detector.model.control_dim
+
+    all_reports: list[list[DetectionReport]] = [
+        detector.replay(controls, readings, reset=True) for controls, readings in pairs
+    ]
+
+    lengths = np.array([len(reports) for reports in all_reports], dtype=int)
+    n_traces = len(all_reports)
+    t_max = int(lengths.max()) if n_traces else 0
+
+    selected = np.full((n_traces, t_max), -1, dtype=int)
+    state = np.full((n_traces, t_max, n_states), np.nan)
+    actuator = np.full((n_traces, t_max, n_controls), np.nan)
+    sensor_stat = np.full((n_traces, t_max), np.nan)
+    actuator_stat = np.full((n_traces, t_max), np.nan)
+    flagged = np.zeros((n_traces, t_max, len(sensor_names)), dtype=bool)
+    alarm = np.zeros((n_traces, t_max), dtype=bool)
+
+    for i, reports in enumerate(all_reports):
+        for k, report in enumerate(reports):
+            stats = report.statistics
+            selected[i, k] = mode_index[stats.selected_mode]
+            state[i, k] = stats.state_estimate
+            actuator[i, k] = stats.actuator_estimate
+            sensor_stat[i, k] = stats.sensor_statistic
+            actuator_stat[i, k] = stats.actuator_statistic
+            for name in report.flagged_sensors:
+                flagged[i, k, sensor_names.index(name)] = True
+            alarm[i, k] = report.actuator_alarm
+
+    return BatchReplayResult(
+        mode_names=mode_names,
+        sensor_names=sensor_names,
+        lengths=lengths,
+        selected_mode=selected,
+        state_estimate=state,
+        actuator_estimate=actuator,
+        sensor_statistic=sensor_stat,
+        actuator_statistic=actuator_stat,
+        flagged=flagged,
+        actuator_alarm=alarm,
+        reports=tuple(tuple(r) for r in all_reports) if keep_reports else None,
+    )

@@ -15,7 +15,7 @@ import numpy as np
 from scipy import stats
 
 from ..errors import ConfigurationError
-from ..linalg import pinv_and_pdet
+from ..linalg import chol_psd, chol_solve, pinv_and_pdet
 
 __all__ = ["chi_square_threshold", "anomaly_statistic"]
 
@@ -44,6 +44,13 @@ def anomaly_statistic(estimate: np.ndarray, covariance: np.ndarray) -> tuple[flo
     estimate = np.asarray(estimate, dtype=float)
     if estimate.size == 0:
         return 0.0, 0
+    # Well-conditioned PD covariance (the common case every iteration): full
+    # rank by definition, quadratic form via the Cholesky factor. Singular or
+    # near-truncation covariances keep the eigendecomposition semantics.
+    factor = chol_psd(covariance)
+    if factor is not None:
+        stat = float(estimate @ chol_solve(factor, estimate))
+        return stat, estimate.shape[0]
     pinv, _, rank = pinv_and_pdet(covariance)
     stat = float(estimate @ pinv @ estimate)
     return stat, max(rank, 0)

@@ -123,6 +123,14 @@ class RoboADS:
     # Accessors
     # ------------------------------------------------------------------
     @property
+    def model(self) -> RobotModel:
+        return self._model
+
+    @property
+    def suite(self) -> SensorSuite:
+        return self._suite
+
+    @property
     def engine(self) -> MultiModeEstimationEngine:
         return self._engine
 

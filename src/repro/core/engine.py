@@ -21,7 +21,7 @@ from ..dynamics.base import RobotModel
 from ..errors import ConfigurationError
 from ..sensors.suite import SensorSuite
 from .chi2 import anomaly_statistic
-from .linearization import LinearizationPolicy
+from .linearization import EveryStepLinearization, LinearizationPolicy
 from .modes import Mode, single_reference_modes
 from .nuise import NuiseFilter, NuiseResult
 from .report import IterationStatistics, SensorStatistic
@@ -109,13 +109,16 @@ class MultiModeEstimationEngine:
         self._suite = suite
         self._modes = list(modes)
         self._epsilon = float(epsilon)
+        # One shared policy instance: the per-iteration workspace built from
+        # it (see step) must be the same object the filters linearize with.
+        self._policy = policy or EveryStepLinearization()
         self._filters = {
             m.name: NuiseFilter(
                 model,
                 suite,
                 m,
                 process_noise,
-                policy=policy,
+                policy=self._policy,
                 check_observability=check_observability,
                 nominal_state=nominal_state,
                 nominal_control=nominal_control,
@@ -170,12 +173,23 @@ class MultiModeEstimationEngine:
     # One iteration
     # ------------------------------------------------------------------
     def step(self, control: np.ndarray, stacked_reading: np.ndarray) -> EngineOutput:
-        """Run every mode, update probabilities, select and commit."""
+        """Run every mode, update probabilities, select and commit.
+
+        Algorithm 1 hands every mode the same previous selected estimate, so
+        the linearization products around ``(x_hat_{k-1|k-1}, u_{k-1})`` are
+        computed once in a shared workspace and reused by all M filters.
+        """
         self._iteration += 1
+        stacked_reading = np.asarray(stacked_reading, dtype=float)
+        workspace = self._policy.workspace(
+            self._model, self._suite, self._x, control, covariance=self._P
+        )
         results: dict[str, NuiseResult] = {}
         likelihoods: dict[str, float] = {}
         for mode in self._modes:
-            result = self._filters[mode.name].step(control, self._x, self._P, stacked_reading)
+            result = self._filters[mode.name].step(
+                workspace.control, self._x, self._P, stacked_reading, workspace=workspace
+            )
             results[mode.name] = result
             likelihoods[mode.name] = result.likelihood
 

@@ -17,9 +17,15 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..dynamics.base import RobotModel
+from ..linalg import symmetrize
 from ..sensors.suite import SensorSuite
 
-__all__ = ["LinearizationPolicy", "EveryStepLinearization", "FixedPointLinearization"]
+__all__ = [
+    "LinearizationPolicy",
+    "EveryStepLinearization",
+    "FixedPointLinearization",
+    "IterationWorkspace",
+]
 
 
 class LinearizationPolicy(ABC):
@@ -46,6 +52,129 @@ class LinearizationPolicy(ABC):
         self, suite: SensorSuite, names: Sequence[str], state: np.ndarray
     ) -> np.ndarray:
         """``C`` for the named sensors."""
+
+    def workspace(
+        self,
+        model: RobotModel,
+        suite: SensorSuite,
+        state: np.ndarray,
+        control: np.ndarray,
+        covariance: np.ndarray | None = None,
+    ) -> "IterationWorkspace":
+        """Shared per-iteration workspace (see :class:`IterationWorkspace`)."""
+        return IterationWorkspace(self, model, suite, state, control, covariance)
+
+
+class IterationWorkspace:
+    """Shared linearization products for one control iteration.
+
+    Algorithm 1 feeds every mode the *same* previous estimate
+    ``x_hat_{k-1|k-1}`` and control ``u_{k-1}``, so the dynamics propagation
+    ``f(x, u)``, the process Jacobians ``A``/``G``, the propagated prior
+    ``A P A^T`` and the per-sensor measurement model at the shared predicted
+    point ``x_check = f(x, u)`` are all mode-independent. The engine builds
+    one workspace per iteration and hands it to every
+    :meth:`~repro.core.nuise.NuiseFilter.step`; each mode then row-stacks its
+    ``C2``/``h2`` blocks from the cached per-sensor rows instead of
+    re-linearizing from scratch. Everything is lazy, so a standalone filter
+    (no engine) pays only for what it touches.
+
+    Only quantities evaluated at the shared point are cached here; the
+    per-mode re-linearizations at the compensated prediction ``x_pred`` and
+    the posterior ``x_new`` stay inside the filter, because those points
+    differ per mode.
+    """
+
+    __slots__ = (
+        "policy",
+        "model",
+        "suite",
+        "state",
+        "control",
+        "covariance",
+        "_x_check",
+        "_jacobians",
+        "_propagated_prior",
+        "_sensor_rows",
+        "_stacked",
+    )
+
+    def __init__(
+        self,
+        policy: LinearizationPolicy,
+        model: RobotModel,
+        suite: SensorSuite,
+        state: np.ndarray,
+        control: np.ndarray,
+        covariance: np.ndarray | None = None,
+    ) -> None:
+        self.policy = policy
+        self.model = model
+        self.suite = suite
+        self.state = model.validate_state(state)
+        self.control = model.validate_control(control)
+        self.covariance = (
+            symmetrize(np.asarray(covariance, dtype=float)) if covariance is not None else None
+        )
+        self._x_check: np.ndarray | None = None
+        self._jacobians: tuple[np.ndarray, np.ndarray] | None = None
+        self._propagated_prior: np.ndarray | None = None
+        self._sensor_rows: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._stacked: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]] = {}
+
+    def propagate(self) -> np.ndarray:
+        """``x_check = f(x_{k-1|k-1}, u_{k-1})`` (shared across modes)."""
+        if self._x_check is None:
+            self._x_check = self.policy.f(self.model, self.state, self.control)
+        return self._x_check
+
+    def jacobians(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(A, G)`` at the shared linearization point."""
+        if self._jacobians is None:
+            self._jacobians = self.policy.jacobians(self.model, self.state, self.control)
+        return self._jacobians
+
+    def propagated_prior(self) -> np.ndarray:
+        """``A P_{k-1} A^T`` (each mode adds its own ``Q``)."""
+        if self._propagated_prior is None:
+            if self.covariance is None:
+                raise ValueError("workspace was built without a shared covariance")
+            A, _ = self.jacobians()
+            self._propagated_prior = A @ self.covariance @ A.T
+        return self._propagated_prior
+
+    def measurement(self, names: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+        """``(h(x_check), C(x_check))`` stacked over *names* in suite order.
+
+        Per-sensor rows are evaluated once per iteration no matter how many
+        modes reference the sensor; mode-level stacks are additionally memoized
+        by name tuple.
+        """
+        key = tuple(names)
+        stacked = self._stacked.get(key)
+        if stacked is None:
+            wanted = set(key)
+            hs: list[np.ndarray] = []
+            Cs: list[np.ndarray] = []
+            for name in self.suite.names:
+                if name not in wanted:
+                    continue
+                rows = self._sensor_rows.get(name)
+                if rows is None:
+                    x_check = self.propagate()
+                    rows = (
+                        self.policy.h(self.suite, (name,), x_check),
+                        self.policy.measurement_jacobian(self.suite, (name,), x_check),
+                    )
+                    self._sensor_rows[name] = rows
+                hs.append(rows[0])
+                Cs.append(rows[1])
+            if hs:
+                stacked = (np.concatenate(hs), np.vstack(Cs))
+            else:
+                stacked = (np.zeros(0), np.zeros((0, self.model.state_dim)))
+            self._stacked[key] = stacked
+        return stacked
 
 
 class EveryStepLinearization(LinearizationPolicy):

@@ -49,15 +49,15 @@ from ..dynamics.base import RobotModel
 from ..dynamics.noise import validate_covariance
 from ..errors import ConfigurationError, ObservabilityError
 from ..linalg import (
-    gaussian_likelihood,
+    EIG_TOL,
+    gaussian_likelihood_pinv,
     pinv_and_pdet,
     project_psd,
-    pseudo_inverse,
+    solve_psd,
     symmetrize,
-    wrap_residual,
 )
 from ..sensors.suite import SensorSuite
-from .linearization import EveryStepLinearization, LinearizationPolicy
+from .linearization import EveryStepLinearization, IterationWorkspace, LinearizationPolicy
 from .modes import Mode
 
 __all__ = ["NuiseFilter", "NuiseResult"]
@@ -65,6 +65,20 @@ __all__ = ["NuiseFilter", "NuiseResult"]
 #: Condition threshold above which ``(C2 G)`` is considered column-rank
 #: deficient at construction-time observability checking.
 _RANK_TOL = 1e-8
+
+
+def _wrap_inplace(residual: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Wrap the angular components (at *idx*) of a freshly-built residual.
+
+    Numerically identical to :func:`repro.linalg.wrap_residual` but skips its
+    per-call mask coercion/validation; the filter precomputes the integer
+    index set once and the residual is always a fresh array safe to mutate.
+    """
+    if idx.size:
+        wrapped = np.mod(residual[idx] + np.pi, 2.0 * np.pi) - np.pi
+        wrapped[wrapped == -np.pi] = np.pi
+        residual[idx] = wrapped
+    return residual
 
 
 @dataclass(frozen=True)
@@ -142,6 +156,26 @@ class NuiseFilter:
         self._test_angular = (
             suite.angular_mask(self._test_names) if self._test_names else np.zeros(0, dtype=bool)
         )
+        self._ref_wrap = np.flatnonzero(self._ref_angular)
+        self._test_wrap = np.flatnonzero(self._test_angular)
+        # Absolute spectral floor for the innovation covariance: eigenvalues
+        # below EIG_TOL times the measurement-noise scale are round-off, not
+        # information. Without it, a reference block whose C2 G is square
+        # invertible (the unknown-input estimate consumes *every* innovation
+        # direction, R2_tilde == 0 up to round-off) would pseudo-invert pure
+        # noise — a chaotic gain instead of the correct L = 0.
+        self._R2_abs_tol = (
+            EIG_TOL * float(np.abs(self._R2).max()) if self._R2.size else 0.0
+        )
+        self._I_n = np.eye(model.state_dim)
+        # Built once: rebuilt-per-call construction showed up in the engine's
+        # statistics hot path.
+        self._testing_slices: dict[str, slice] = {}
+        offset = 0
+        for name in self._test_names:
+            dim = suite.sensor(name).dim
+            self._testing_slices[name] = slice(offset, offset + dim)
+            offset += dim
 
         if check_observability:
             x0 = (
@@ -173,13 +207,7 @@ class NuiseFilter:
 
     def testing_slices(self) -> dict[str, slice]:
         """Slice of each testing sensor inside the stacked ``d_hat^s``."""
-        slices: dict[str, slice] = {}
-        offset = 0
-        for name in self._test_names:
-            dim = self._suite.sensor(name).dim
-            slices[name] = slice(offset, offset + dim)
-            offset += dim
-        return slices
+        return dict(self._testing_slices)
 
     def _nominal_control_guess(self) -> np.ndarray:
         # A zero control makes many models' G degenerate (a parked car
@@ -215,30 +243,47 @@ class NuiseFilter:
         prev_state: np.ndarray,
         prev_covariance: np.ndarray,
         stacked_reading: np.ndarray,
+        workspace: IterationWorkspace | None = None,
     ) -> NuiseResult:
-        """One NUISE iteration (Algorithm 2)."""
+        """One NUISE iteration (Algorithm 2).
+
+        When the engine supplies a shared *workspace* (built from the same
+        previous estimate/control handed to every mode), the dynamics
+        propagation, process Jacobians, ``A P A^T`` and the reference block's
+        measurement model at the shared predicted point come from it instead
+        of being recomputed per mode. A standalone call builds a private
+        workspace, so the two entry points run identical math.
+        """
         model, suite, policy = self._model, self._suite, self._policy
-        u = model.validate_control(control)
-        x_prev = model.validate_state(prev_state)
-        P_prev = symmetrize(np.asarray(prev_covariance, dtype=float))
+        if workspace is None:
+            workspace = IterationWorkspace(
+                policy, model, suite, prev_state, control, prev_covariance
+            )
+        P_prev = workspace.covariance
         z1, z2 = self.split_reading(stacked_reading)
 
-        A, G = policy.jacobians(model, x_prev, u)
+        A, G = workspace.jacobians()
         Q = self._Q
         R2 = self._R2
 
         # --- Step 1: actuator anomaly estimation (lines 2-6) -----------
-        x_check = policy.f(model, x_prev, u)
-        C2 = policy.measurement_jacobian(suite, self._ref_names, x_check)
-        P_tilde = A @ P_prev @ A.T + Q
+        x_check = workspace.propagate()
+        h2_check, C2 = workspace.measurement(self._ref_names)
+        if P_prev is None:
+            # Caller-supplied workspace without a shared covariance.
+            P_prev = symmetrize(np.asarray(prev_covariance, dtype=float))
+            P_tilde = A @ P_prev @ A.T + Q
+        else:
+            P_tilde = workspace.propagated_prior() + Q
         R_star = symmetrize(C2 @ P_tilde @ C2.T + R2)
-        R_star_inv = pseudo_inverse(R_star)
         F = C2 @ G
-        FtRi = F.T @ R_star_inv
+        FtRi = solve_psd(R_star, F).T
         # (F' R*^-1 F)^dagger handles rank-deficient C2 G (unexcitable input
-        # directions get the minimum-norm zero estimate instead of a crash).
-        M2 = pseudo_inverse(FtRi @ F) @ FtRi
-        innovation0 = wrap_residual(z2 - policy.h(suite, self._ref_names, x_check), self._ref_angular)
+        # directions get the minimum-norm zero estimate instead of a crash);
+        # solve_psd takes the Cholesky fast path when C2 G is well excited
+        # and falls back to the pseudo-inverse otherwise.
+        M2 = solve_psd(FtRi @ F, FtRi)
+        innovation0 = _wrap_inplace(z2 - h2_check, self._ref_wrap)
         d_a = M2 @ innovation0
         P_a = project_psd(M2 @ R_star @ M2.T)
 
@@ -250,22 +295,31 @@ class NuiseFilter:
         # linearization region (e.g. a 1-rad steering "anomaly" pushed
         # through tan(delta) overshoots its own linear estimate and drives a
         # divergent compensate/correct limit cycle on Ackermann platforms).
-        x_pred = policy.f(model, x_prev, u) + G @ d_a
-        I_n = np.eye(model.state_dim)
-        K = I_n - G @ M2 @ C2
+        x_pred = x_check + G @ d_a
+        I_n = self._I_n
+        GM2 = G @ M2
+        K = I_n - GM2 @ C2
         A_bar = K @ A
-        Q_bar = K @ Q @ K.T + G @ M2 @ R2 @ M2.T @ G.T
+        Q_bar = K @ Q @ K.T + GM2 @ R2 @ GM2.T
         P_pred = project_psd(A_bar @ P_prev @ A_bar.T + Q_bar)
 
         # Cross-covariance between the compensated prediction error and the
         # reference measurement noise (see module docstring): S = -G M2 R2.
-        S = -G @ M2 @ R2
+        S = -GM2 @ R2
 
         # --- Step 3: state estimation (lines 11-14) --------------------
         C2p = policy.measurement_jacobian(suite, self._ref_names, x_pred)
-        innovation = wrap_residual(z2 - policy.h(suite, self._ref_names, x_pred), self._ref_angular)
-        R2_tilde = symmetrize(C2p @ P_pred @ C2p.T + R2 + C2p @ S + S.T @ C2p.T)
-        L = (P_pred @ C2p.T + S) @ pseudo_inverse(R2_tilde)
+        innovation = _wrap_inplace(z2 - policy.h(suite, self._ref_names, x_pred), self._ref_wrap)
+        CS = C2p @ S
+        R2_tilde = symmetrize(C2p @ P_pred @ C2p.T + R2 + CS + CS.T)
+        gain_rhs = P_pred @ C2p.T + S
+        # The post-compensation innovation covariance is structurally
+        # singular whenever C2 G excites any input direction (the
+        # unknown-input estimate consumes rank(C2 G) directions — hence the
+        # paper's pseudo-determinant), so no Cholesky attempt is made here;
+        # one eigendecomposition serves both the gain and the likelihood.
+        R2t_pinv, R2t_pdet, R2t_rank = pinv_and_pdet(R2_tilde, abs_tol=self._R2_abs_tol)
+        L = gain_rhs @ R2t_pinv
         x_new = model.normalize_state(x_pred + L @ innovation)
         I_LC = I_n - L @ C2p
         P_new = (
@@ -279,14 +333,16 @@ class NuiseFilter:
         # --- Step 4: sensor anomaly estimation (lines 15-16) -----------
         if self._test_names:
             C1 = policy.measurement_jacobian(suite, self._test_names, x_new)
-            d_s = wrap_residual(z1 - policy.h(suite, self._test_names, x_new), self._test_angular)
+            d_s = _wrap_inplace(z1 - policy.h(suite, self._test_names, x_new), self._test_wrap)
             P_s = project_psd(C1 @ P_new @ C1.T + self._R1)
         else:
             d_s = np.zeros(0)
             P_s = np.zeros((0, 0))
 
         # --- Likelihood (lines 17-20) -----------------------------------
-        likelihood = gaussian_likelihood(innovation, R2_tilde)
+        # Reuses the gain computation's decomposition; pseudo-determinant
+        # semantics are preserved for the singular directions.
+        likelihood = gaussian_likelihood_pinv(innovation, R2t_pinv, R2t_pdet, R2t_rank)
 
         return NuiseResult(
             state=x_new,

@@ -8,16 +8,18 @@ result so decision-parameter sweeps can replay them offline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from ..attacks.catalog import Scenario
 from ..attacks.scheduler import AttackSchedule
+from ..core.batch import replay_batch
 from ..core.decision import DecisionConfig
 from ..core.linearization import LinearizationPolicy
 from ..core.modes import Mode
+from ..errors import ConfigurationError
 from ..robots.rig import RobotRig
 from ..sim.simulator import ClosedLoopSimulator
 from ..sim.trace import SimulationTrace
@@ -65,6 +67,57 @@ class RunResult:
         )
 
 
+def _simulate(
+    rig: RobotRig,
+    scenario: Scenario | None,
+    seed: int,
+    path_seed: int,
+    duration: float | None,
+    detector,
+    responder,
+    stop_at_goal: bool,
+) -> SimulationTrace:
+    """Simulate one mission (``detector=None`` records the raw logs only)."""
+    rng = np.random.default_rng(seed)
+    path = rig.plan_path(path_seed)
+    platform = rig.make_platform()
+    controller = rig.make_controller(path)
+    schedule = scenario.build_schedule() if scenario is not None else AttackSchedule()
+
+    simulator = ClosedLoopSimulator(
+        platform,
+        controller,
+        schedule=schedule,
+        nav_sensor=rig.nav_sensor,
+        detector=detector,
+        responder=responder,
+    )
+    if duration is None:
+        duration = scenario.duration if scenario is not None else rig.mission.duration
+    n_steps = max(1, int(round(duration / rig.model.dt)))
+    stop_condition = None
+    if stop_at_goal:
+        stop_condition = lambda: bool(getattr(controller, "goal_reached", False))
+    return simulator.run(n_steps, rng, stop_condition=stop_condition)
+
+
+def _reduce(
+    rig: RobotRig, scenario: Scenario | None, seed: int, trace: SimulationTrace
+) -> RunResult:
+    """Reduce a reported trace to the paper's metrics."""
+    sensor_confusion, actuator_confusion = confusion_from_run(trace)
+    delays = detection_delays(trace)
+    return RunResult(
+        rig_name=rig.name,
+        scenario_name=scenario.name if scenario is not None else "clean",
+        seed=seed,
+        trace=trace,
+        sensor_confusion=sensor_confusion,
+        actuator_confusion=actuator_confusion,
+        delays=delays,
+    )
+
+
 def run_scenario(
     rig: RobotRig,
     scenario: Scenario | None,
@@ -87,43 +140,14 @@ def run_scenario(
     a parked robot exercises no dynamics, so counting parked iterations
     would only dilute the metrics.
     """
-    rng = np.random.default_rng(seed)
-    path = rig.plan_path(path_seed)
-    platform = rig.make_platform()
-    controller = rig.make_controller(path)
     if detector is None:
         detector = rig.detector(decision=decision, modes=modes, policy=policy)
     else:
         detector.reset()
-    schedule = scenario.build_schedule() if scenario is not None else AttackSchedule()
-
-    simulator = ClosedLoopSimulator(
-        platform,
-        controller,
-        schedule=schedule,
-        nav_sensor=rig.nav_sensor,
-        detector=detector,
-        responder=responder,
+    trace = _simulate(
+        rig, scenario, seed, path_seed, duration, detector, responder, stop_at_goal
     )
-    if duration is None:
-        duration = scenario.duration if scenario is not None else rig.mission.duration
-    n_steps = max(1, int(round(duration / rig.model.dt)))
-    stop_condition = None
-    if stop_at_goal:
-        stop_condition = lambda: bool(getattr(controller, "goal_reached", False))
-    trace = simulator.run(n_steps, rng, stop_condition=stop_condition)
-
-    sensor_confusion, actuator_confusion = confusion_from_run(trace)
-    delays = detection_delays(trace)
-    return RunResult(
-        rig_name=rig.name,
-        scenario_name=scenario.name if scenario is not None else "clean",
-        seed=seed,
-        trace=trace,
-        sensor_confusion=sensor_confusion,
-        actuator_confusion=actuator_confusion,
-        delays=delays,
-    )
+    return _reduce(rig, scenario, seed, trace)
 
 
 def monte_carlo(
@@ -131,10 +155,56 @@ def monte_carlo(
     scenario: Scenario | None,
     n_trials: int,
     base_seed: int = 0,
+    batched: bool = False,
     **kwargs,
 ) -> list[RunResult]:
-    """Run *n_trials* independent trials of one scenario."""
-    return [
-        run_scenario(rig, scenario, seed=base_seed + trial, **kwargs)
+    """Run *n_trials* independent trials of one scenario.
+
+    With ``batched=True`` the trials are simulated open-loop (no detector in
+    the control period) and then replayed back-to-back through a single
+    detector via :func:`repro.core.batch.replay_batch`. Without a responder
+    the detector never influences the closed loop — the planner navigates by
+    the nav sensor's readings either way — so the reports, and therefore the
+    metrics, are identical to the sequential path; the batch amortizes
+    detector construction and report bookkeeping across the trials.
+    """
+    if not batched:
+        return [
+            run_scenario(rig, scenario, seed=base_seed + trial, **kwargs)
+            for trial in range(n_trials)
+        ]
+    if kwargs.get("responder") is not None:
+        raise ConfigurationError(
+            "batched replay requires an open detection loop (no responder): "
+            "a responder feeds detector verdicts back into the planner, so the "
+            "detector cannot be deferred to offline replay"
+        )
+    sim_args = {
+        "path_seed": kwargs.get("path_seed", 0),
+        "duration": kwargs.get("duration"),
+        "stop_at_goal": kwargs.get("stop_at_goal", True),
+    }
+    traces = [
+        _simulate(
+            rig,
+            scenario,
+            base_seed + trial,
+            detector=None,
+            responder=None,
+            **sim_args,
+        )
         for trial in range(n_trials)
     ]
+    detector = kwargs.get("detector")
+    if detector is None:
+        detector = rig.detector(
+            decision=kwargs.get("decision"),
+            modes=kwargs.get("modes"),
+            policy=kwargs.get("policy"),
+        )
+    batch = replay_batch(detector, traces, keep_reports=True)
+    results: list[RunResult] = []
+    for trial, trace in enumerate(traces):
+        trace.attach_reports(batch.trace_reports(trial))
+        results.append(_reduce(rig, scenario, base_seed + trial, trace))
+    return results

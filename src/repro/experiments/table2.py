@@ -114,13 +114,19 @@ class Table2Result:
         return "n/a" if value is None else f"{value:.2f}s"
 
 
-def run_table2(n_trials: int = 3, base_seed: int = 100) -> Table2Result:
-    """Reproduce Table II with *n_trials* Monte-Carlo trials per scenario."""
+def run_table2(n_trials: int = 3, base_seed: int = 100, batched: bool = False) -> Table2Result:
+    """Reproduce Table II with *n_trials* Monte-Carlo trials per scenario.
+
+    ``batched=True`` simulates the trials open-loop and replays them through
+    a single detector via :func:`repro.core.batch.replay_batch` — same
+    reports and metrics (there is no responder in these missions), less
+    per-trial detector setup.
+    """
     rig = khepera_rig()
     rig.plan_path(0)
     rows: list[Table2Row] = []
     for scenario in khepera_scenarios():
-        results = monte_carlo(rig, scenario, n_trials, base_seed=base_seed)
+        results = monte_carlo(rig, scenario, n_trials, base_seed=base_seed, batched=batched)
         sensor_total, actuator_total = ConfusionCounts(), ConfusionCounts()
         sensor_delays: list[float] = []
         actuator_delays: list[float] = []

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+from scipy.linalg.lapack import dpotrs
 
 from .errors import DimensionError
 
@@ -27,7 +28,12 @@ __all__ = [
     "pseudo_inverse",
     "pseudo_determinant",
     "pinv_and_pdet",
+    "chol_psd",
+    "chol_solve",
+    "solve_psd",
     "gaussian_likelihood",
+    "gaussian_likelihood_chol",
+    "gaussian_likelihood_pinv",
     "mahalanobis_squared",
     "numerical_jacobian",
     "wrap_angle",
@@ -41,6 +47,13 @@ __all__ = [
 #: Relative eigenvalue tolerance below which a covariance direction is
 #: treated as exactly singular (consumed by the unknown-input estimator).
 EIG_TOL = 1e-10
+
+#: Safety margin on top of EIG_TOL for the Cholesky fast paths: a factor
+#: whose squared diagonal ratio falls below ``_CHOL_MARGIN * EIG_TOL`` is
+#: close enough to the pseudo-inverse's truncation region that we fall back
+#: to the eigendecomposition path rather than risk diverging from its
+#: rank-deficient semantics.
+_CHOL_MARGIN = 1e4
 
 
 def as_vector(value: Iterable[float] | float, dim: int | None = None, name: str = "vector") -> np.ndarray:
@@ -88,18 +101,36 @@ def project_psd(matrix: np.ndarray, floor: float = 0.0) -> np.ndarray:
 
     Negative eigenvalues (numerical noise from covariance recursions) are
     clipped to *floor*. The result is exactly symmetric.
+
+    Fast path: a strictly positive-definite matrix is its own projection, and
+    a Cholesky factorization is the cheapest PD certificate — covariances in
+    the NUISE recursions are PD almost every iteration, so the eigen-clip
+    below only runs on the rare numerically-indefinite stragglers.
     """
     sym = symmetrize(matrix)
+    if floor == 0.0 and sym.shape[0]:
+        try:
+            np.linalg.cholesky(sym)
+            return sym
+        except np.linalg.LinAlgError:
+            pass
     eigvals, eigvecs = np.linalg.eigh(sym)
     clipped = np.clip(eigvals, floor, None)
     return symmetrize(eigvecs @ np.diag(clipped) @ eigvecs.T)
 
 
-def _eig_decompose(matrix: np.ndarray, tol: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _eig_decompose(
+    matrix: np.ndarray, tol: float, abs_tol: float = 0.0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Eigendecompose a symmetric matrix and split spectrum at *tol*.
 
     Returns ``(eigvals, eigvecs, keep_mask)`` where ``keep_mask`` selects
-    eigenvalues considered numerically nonzero.
+    eigenvalues considered numerically nonzero. The cutoff is relative to the
+    matrix's own spectral radius; *abs_tol* adds an absolute floor for
+    callers that know the matrix's natural scale. Without it, a matrix that
+    is *exactly* zero up to round-off (e.g. an innovation covariance whose
+    every direction was consumed by the unknown-input estimate) keeps its
+    round-off eigenvalues (~1e-37) as "nonzero" — inverting pure noise.
     """
     sym = symmetrize(matrix)
     eigvals, eigvecs = np.linalg.eigh(sym)
@@ -107,7 +138,7 @@ def _eig_decompose(matrix: np.ndarray, tol: float) -> tuple[np.ndarray, np.ndarr
     if scale <= 0.0:
         keep = np.zeros_like(eigvals, dtype=bool)
     else:
-        keep = np.abs(eigvals) > tol * scale
+        keep = np.abs(eigvals) > max(tol * scale, abs_tol)
     return eigvals, eigvecs, keep
 
 
@@ -133,15 +164,85 @@ def pseudo_determinant(matrix: np.ndarray, tol: float = EIG_TOL) -> tuple[float,
     return pdet, rank
 
 
-def pinv_and_pdet(matrix: np.ndarray, tol: float = EIG_TOL) -> tuple[np.ndarray, float, int]:
-    """Pseudo-inverse, pseudo-determinant and rank in one decomposition."""
-    eigvals, eigvecs, keep = _eig_decompose(matrix, tol)
+def pinv_and_pdet(
+    matrix: np.ndarray, tol: float = EIG_TOL, abs_tol: float = 0.0
+) -> tuple[np.ndarray, float, int]:
+    """Pseudo-inverse, pseudo-determinant and rank in one decomposition.
+
+    *abs_tol* optionally floors the spectral cutoff in absolute terms (see
+    :func:`_eig_decompose`); pass the known noise scale of the matrix so an
+    identically-zero matrix is treated as rank 0 instead of as an invertible
+    matrix of round-off noise.
+    """
+    eigvals, eigvecs, keep = _eig_decompose(matrix, tol, abs_tol)
     inv_vals = np.zeros_like(eigvals)
     inv_vals[keep] = 1.0 / eigvals[keep]
     pinv = symmetrize(eigvecs @ np.diag(inv_vals) @ eigvecs.T)
     rank = int(np.count_nonzero(keep))
     pdet = float(np.prod(eigvals[keep])) if rank else 1.0
     return pinv, pdet, rank
+
+
+def chol_psd(matrix: np.ndarray, tol: float = EIG_TOL):
+    """Positive-definiteness certificate for a symmetric matrix, or None.
+
+    Returns an opaque factor accepted by :func:`chol_solve` and
+    :func:`gaussian_likelihood_chol`. Returns ``None`` — signalling callers to
+    fall back to the pseudo-inverse path — when the matrix is empty, not
+    positive definite (Cholesky fails), or conditioned badly enough that the
+    pseudo-inverse's spectral truncation (relative *tol*) could engage. The
+    conservative fallback is what keeps the rank-deficient ``C2 G`` semantics
+    of Algorithm 2 intact: unexcitable input directions still receive the
+    minimum-norm estimate instead of an exploding solve.
+
+    Implemented on ``np.linalg.cholesky`` rather than SciPy's
+    ``cho_factor``: for the 2x2-8x8 matrices of the filter recursions the
+    SciPy wrapper's Python overhead costs more than the factorization.
+    """
+    sym = symmetrize(matrix)
+    n = sym.shape[0]
+    if n == 0:
+        return None
+    try:
+        lower = np.linalg.cholesky(sym)
+    except np.linalg.LinAlgError:
+        return None
+    diag = lower.diagonal()
+    d_max = diag.max()
+    if d_max <= 0.0 or not np.isfinite(d_max):
+        return None
+    if (diag.min() / d_max) ** 2 <= _CHOL_MARGIN * tol:
+        return None
+    return sym, lower
+
+
+def chol_solve(factor, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``M x = rhs`` given ``factor = chol_psd(M)`` (1-D or 2-D rhs).
+
+    Solves through the already-computed Cholesky factor (LAPACK ``dpotrs``),
+    so the factorization paid for the PD certificate is reused instead of
+    running a second (LU) factorization on the matrix.
+    """
+    _, lower = factor
+    solution, info = dpotrs(lower, np.asarray(rhs, dtype=float), lower=1)
+    if info != 0:
+        sym, _ = factor
+        return np.linalg.solve(sym, rhs)
+    return solution
+
+
+def solve_psd(matrix: np.ndarray, rhs: np.ndarray, tol: float = EIG_TOL) -> np.ndarray:
+    """``pinv(M) @ rhs`` with a Cholesky fast path for well-conditioned PD M.
+
+    For positive-definite *matrix* the two paths agree to round-off; for
+    singular or near-truncation matrices the eigendecomposition-based
+    pseudo-inverse (with its spectral cutoff) is used, preserving the
+    minimum-norm behaviour the NUISE filter relies on.
+    """
+    factor = chol_psd(matrix, tol)
+    if factor is None:
+        return pseudo_inverse(matrix, tol) @ rhs
+    return chol_solve(factor, rhs)
 
 
 def mahalanobis_squared(residual: np.ndarray, covariance: np.ndarray, tol: float = EIG_TOL) -> float:
@@ -159,11 +260,47 @@ def gaussian_likelihood(residual: np.ndarray, covariance: np.ndarray, tol: float
     by the unknown-input estimate) contribute no probability mass.
     """
     residual = as_vector(residual, name="residual")
+    factor = chol_psd(covariance, tol)
+    if factor is not None:
+        return gaussian_likelihood_chol(residual, factor)
     pinv, pdet, rank = pinv_and_pdet(covariance, tol)
+    return gaussian_likelihood_pinv(residual, pinv, pdet, rank)
+
+
+def gaussian_likelihood_pinv(
+    residual: np.ndarray, pinv: np.ndarray, pdet: float, rank: int
+) -> float:
+    """Gaussian density from a precomputed :func:`pinv_and_pdet` result.
+
+    Lets callers that already pseudo-inverted a (possibly singular)
+    innovation covariance — e.g. for the filter gain — evaluate Algorithm 2
+    line 20 without a second eigendecomposition. Numerically identical to
+    :func:`gaussian_likelihood`'s fallback path.
+    """
     if rank == 0:
         return 1.0
+    residual = np.asarray(residual, dtype=float)
     quad = float(residual @ pinv @ residual)
     norm = (2.0 * np.pi) ** (rank / 2.0) * np.sqrt(max(pdet, np.finfo(float).tiny))
+    return float(np.exp(-0.5 * quad) / norm)
+
+
+def gaussian_likelihood_chol(residual: np.ndarray, factor) -> float:
+    """Gaussian density from a precomputed :func:`chol_psd` factorization.
+
+    The fast-path companion to :func:`gaussian_likelihood` for callers that
+    already factored the (full-rank) innovation covariance: the quadratic
+    form comes from a triangular solve and the determinant from the factor's
+    diagonal, with no extra decomposition.
+    """
+    residual = np.asarray(residual, dtype=float)
+    n = residual.shape[0]
+    if n == 0:
+        return 1.0
+    quad = float(residual @ chol_solve(factor, residual))
+    diag = factor[1].diagonal()
+    det = float(np.prod(diag * diag))
+    norm = (2.0 * np.pi) ** (n / 2.0) * np.sqrt(max(det, np.finfo(float).tiny))
     return float(np.exp(-0.5 * quad) / norm)
 
 

@@ -73,6 +73,22 @@ class WallDistanceSensor(Sensor):
         self._walls = walls
         self._wall_names = tuple(wall_names)
         self._idx = tuple(int(i) for i in pose_indices)
+        # The perpendicular distance to a wall *line* is affine in (x, y):
+        # d = (p - p0) . n, so the whole feature block is N p + c with the
+        # stacked inward normals N and offsets c = -N p0. Walls never move,
+        # so both are precomputed; the estimator linearizes this sensor at
+        # several points per mode per iteration, which makes the per-call
+        # Segment property arithmetic the dominant cost otherwise.
+        self._normals = np.array([w.segment.normal for w in walls])
+        self._offsets = np.array(
+            [-float(w.segment.normal @ w.segment.p0) for w in walls]
+        )
+        ix, iy, itheta = self._idx
+        jac = np.zeros((dim, state_dim))
+        jac[:-1, ix] = self._normals[:, 0]
+        jac[:-1, iy] = self._normals[:, 1]
+        jac[dim - 1, itheta] = 1.0
+        self._jac_const = jac
 
     @property
     def wall_names(self) -> tuple[str, ...]:
@@ -85,22 +101,15 @@ class WallDistanceSensor(Sensor):
     def h(self, state: np.ndarray) -> np.ndarray:
         state = np.asarray(state, dtype=float)
         ix, iy, itheta = self._idx
-        point = (state[ix], state[iy])
-        distances = [wall.distance_from(point) for wall in self._walls]
-        return np.array(distances + [state[itheta]])
+        out = np.empty(self.dim)
+        out[:-1] = self._normals @ np.array([state[ix], state[iy]]) + self._offsets
+        out[-1] = state[itheta]
+        return out
 
     def jacobian(self, state: np.ndarray) -> np.ndarray:
-        # The perpendicular distance to a wall *line* is affine in (x, y):
-        # d = (p - p0) . n with n the wall's inward normal, so its gradient
-        # is the constant normal vector.
-        jac = np.zeros((self.dim, self._state_dim))
-        ix, iy, itheta = self._idx
-        for row, wall in enumerate(self._walls):
-            normal = wall.segment.normal
-            jac[row, ix] = normal[0]
-            jac[row, iy] = normal[1]
-        jac[self.dim - 1, itheta] = 1.0
-        return jac
+        # Constant: the distance features are affine in (x, y) and the
+        # heading feature is a state component.
+        return self._jac_const.copy()
 
 
 @dataclass(frozen=True)

@@ -89,6 +89,10 @@ class SensorSuite:
             self._slices[sensor.name] = slice(offset, offset + sensor.dim)
             offset += sensor.dim
         self._total_dim = offset
+        # Selection cache: the estimator asks for the same name tuples every
+        # control iteration; resolving them through set algebra each time is
+        # measurable in the hot path.
+        self._select_cache: dict[tuple[str, ...] | None, tuple[Sensor, ...]] = {}
 
     # ------------------------------------------------------------------
     # Metadata
@@ -170,11 +174,17 @@ class SensorSuite:
     def _select(self, names: Sequence[str] | None) -> tuple[Sensor, ...]:
         if names is None:
             return self._sensors
-        requested = set(names)
+        key = tuple(names)
+        cached = self._select_cache.get(key)
+        if cached is not None:
+            return cached
+        requested = set(key)
         known = set(self.names)
         if not requested <= known:
             raise ConfigurationError(f"unknown sensors: {sorted(requested - known)}")
-        return tuple(s for s in self._sensors if s.name in requested)
+        selected = tuple(s for s in self._sensors if s.name in requested)
+        self._select_cache[key] = selected
+        return selected
 
     # ------------------------------------------------------------------
     # Readings

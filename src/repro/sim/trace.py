@@ -69,6 +69,20 @@ class SimulationTrace:
             clean_reading = reading
         self.clean_readings.append(np.asarray(clean_reading, dtype=float).copy())
 
+    def attach_reports(self, reports: Sequence[Any]) -> None:
+        """Install per-iteration detector reports produced offline.
+
+        Batched replay (:func:`repro.core.batch.replay_batch`) simulates
+        missions open-loop and regenerates the reports afterwards; this hooks
+        them back onto the trace so every reducer that reads
+        ``trace.reports`` (confusion counts, delay scans) works unchanged.
+        """
+        if len(reports) != len(self.times):
+            raise SimulationError(
+                f"got {len(reports)} reports for a trace of {len(self.times)} iterations"
+            )
+        self.reports = list(reports)
+
     def __len__(self) -> int:
         return len(self.times)
 

@@ -1,0 +1,130 @@
+"""Batched offline replay: stacked outputs must equal sequential replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.catalog import khepera_scenarios
+from repro.core.batch import replay_batch
+from repro.errors import ConfigurationError, DimensionError
+from repro.eval.runner import monte_carlo, run_scenario
+
+
+@pytest.fixture(scope="module")
+def short_traces(khepera):
+    """Two short recorded missions of different lengths (no online detector)."""
+    scenario = khepera_scenarios()[0]
+    long = run_scenario(khepera, scenario, seed=5, duration=4.0).trace
+    short = run_scenario(khepera, scenario, seed=6, duration=3.0).trace
+    return [long, short]
+
+
+def test_batch_matches_sequential_replay(khepera, short_traces):
+    detector = khepera.detector()
+    batch = replay_batch(detector, short_traces)
+
+    for i, trace in enumerate(short_traces):
+        sequential = khepera.detector().replay(trace.planned_controls, trace.readings)
+        assert batch.lengths[i] == len(sequential)
+        for k, report in enumerate(sequential):
+            assert batch.mode_name_at(i, k) == report.selected_mode
+            np.testing.assert_array_equal(batch.state_estimate[i, k], report.state_estimate)
+            np.testing.assert_array_equal(
+                batch.actuator_estimate[i, k], report.statistics.actuator_estimate
+            )
+            assert batch.sensor_statistic[i, k] == report.statistics.sensor_statistic
+            assert batch.actuator_statistic[i, k] == report.statistics.actuator_statistic
+            assert batch.flagged_sensors_at(i, k) == report.flagged_sensors
+            assert bool(batch.actuator_alarm[i, k]) == report.actuator_alarm
+        # Retained report objects are the replay's own.
+        retained = batch.trace_reports(i)
+        assert len(retained) == len(sequential)
+        assert retained[-1].selected_mode == sequential[-1].selected_mode
+
+
+def test_batch_padding_semantics(khepera, short_traces):
+    batch = replay_batch(khepera.detector(), short_traces)
+    lengths = batch.lengths
+    assert lengths[0] > lengths[1], "fixture should produce unequal lengths"
+    assert batch.max_length == lengths.max()
+    pad = slice(int(lengths[1]), None)
+    assert np.all(batch.selected_mode[1, pad] == -1)
+    assert np.all(np.isnan(batch.state_estimate[1, pad]))
+    assert np.all(np.isnan(batch.sensor_statistic[1, pad]))
+    assert not batch.flagged[1, pad].any()
+    assert not batch.actuator_alarm[1, pad].any()
+    assert batch.mode_name_at(1, batch.max_length - 1) is None
+    # Real iterations are fully populated.
+    assert np.all(batch.selected_mode[0] >= 0)
+    assert np.all(np.isfinite(batch.state_estimate[0]))
+
+
+def test_batch_without_reports(khepera, short_traces):
+    batch = replay_batch(khepera.detector(), short_traces[:1], keep_reports=False)
+    assert batch.reports is None
+    with pytest.raises(ConfigurationError):
+        batch.trace_reports(0)
+
+
+def test_batch_accepts_raw_pairs(khepera, short_traces):
+    trace = short_traces[1]
+    from_trace = replay_batch(khepera.detector(), [trace], keep_reports=False)
+    from_pair = replay_batch(
+        khepera.detector(),
+        [(trace.planned_controls, trace.readings)],
+        keep_reports=False,
+    )
+    np.testing.assert_array_equal(from_trace.selected_mode, from_pair.selected_mode)
+    np.testing.assert_array_equal(from_trace.state_estimate, from_pair.state_estimate)
+
+
+def test_batch_input_validation(khepera, short_traces):
+    detector = khepera.detector()
+    with pytest.raises(ConfigurationError):
+        replay_batch(detector, [])
+    with pytest.raises(ConfigurationError):
+        replay_batch(detector, [object()])
+    trace = short_traces[1]
+    with pytest.raises(DimensionError):
+        replay_batch(detector, [(trace.planned_controls[:-1], trace.readings)])
+
+
+def test_monte_carlo_batched_equals_sequential(khepera):
+    scenario = khepera_scenarios()[0]
+    sequential = monte_carlo(khepera, scenario, 2, base_seed=9, duration=4.0)
+    batched = monte_carlo(khepera, scenario, 2, base_seed=9, duration=4.0, batched=True)
+    for a, b in zip(sequential, batched):
+        assert len(a.trace) == len(b.trace)
+        assert a.trace.has_reports and b.trace.has_reports
+        for ra, rb in zip(a.reports, b.reports):
+            assert ra.selected_mode == rb.selected_mode
+            np.testing.assert_array_equal(ra.state_estimate, rb.state_estimate)
+            assert ra.flagged_sensors == rb.flagged_sensors
+            assert ra.actuator_alarm == rb.actuator_alarm
+        assert a.sensor_confusion.false_positive_rate == b.sensor_confusion.false_positive_rate
+        assert a.actuator_confusion.false_negative_rate == b.actuator_confusion.false_negative_rate
+        assert [(e.channel, e.delay) for e in a.delays] == [
+            (e.channel, e.delay) for e in b.delays
+        ]
+
+
+def test_monte_carlo_batched_rejects_responder(khepera):
+    from repro.core.response import NavigationFailover
+
+    with pytest.raises(ConfigurationError):
+        monte_carlo(
+            khepera,
+            None,
+            1,
+            batched=True,
+            responder=NavigationFailover((khepera.nav_sensor,)),
+        )
+
+
+def test_attach_reports_length_check(khepera, short_traces):
+    from repro.errors import SimulationError
+
+    trace = short_traces[1]
+    with pytest.raises(SimulationError):
+        trace.attach_reports([None] * (len(trace) + 1))
