@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Tier-2 smoke check: a small fault campaign must stay healthy and fast.
+
+Usage (from the repository root)::
+
+    python scripts/fault_campaign_smoke.py
+
+Runs a 3-intensity uniform-dropout sweep (0%, 5%, 10%) of Table II
+scenario #1 on the Khepera rig and enforces the robustness acceptance
+criteria from docs/ROBUSTNESS.md:
+
+* the campaign completes with no exceptions and no NaN statistics,
+* the zero-intensity column is identical to the fault-free baseline
+  (same confusions, zero degraded iterations),
+* dropout on the testing sensor raises no false actuator alarm,
+* the whole sweep finishes in under 60 seconds.
+
+Exit status is non-zero on any violation, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.attacks.catalog import khepera_scenarios  # noqa: E402
+from repro.eval.fault_campaign import run_fault_campaign  # noqa: E402
+from repro.eval.runner import run_scenario  # noqa: E402
+from repro.robots.khepera import khepera_rig  # noqa: E402
+
+INTENSITIES = (0.0, 0.05, 0.10)
+DURATION = 8.0  # seconds of mission per trial; enough to confirm detection
+TIME_BUDGET_S = 60.0
+
+
+def main() -> int:
+    start = time.perf_counter()
+    rig = khepera_rig()
+    rig.plan_path(0)
+    scenario = khepera_scenarios()[0]  # wheel-speed attack (Table II #1)
+
+    campaign = run_fault_campaign(
+        rig,
+        [scenario],
+        intensities=INTENSITIES,
+        n_trials=1,
+        base_seed=100,
+        sensors=["wheel_encoder"],  # the testing sensor of the default mode
+        duration=DURATION,
+        stop_at_goal=False,
+    )
+    baseline = run_scenario(rig, scenario, seed=100, duration=DURATION, stop_at_goal=False)
+    elapsed = time.perf_counter() - start
+
+    print(campaign.format())
+    print(f"\nelapsed: {elapsed:.1f}s (budget {TIME_BUDGET_S:.0f}s)")
+
+    failures: list[str] = []
+    if not campaign.all_finite:
+        failures.append("non-finite statistics in at least one cell")
+
+    def counts(c):
+        return (c.tp, c.fp, c.fn, c.tn)
+
+    zero = campaign.cells_at(0.0)[0]
+    if zero.degraded_fraction != 0.0:
+        failures.append("zero-intensity cell ran degraded iterations")
+    if counts(zero.sensor_confusion) != counts(baseline.sensor_confusion):
+        failures.append("zero-intensity sensor confusion differs from fault-free baseline")
+    if counts(zero.actuator_confusion) != counts(baseline.actuator_confusion):
+        failures.append("zero-intensity actuator confusion differs from fault-free baseline")
+
+    for cell in campaign.cells:
+        if cell.intensity > 0.0 and cell.degraded_fraction == 0.0:
+            failures.append(f"{cell.intensity:.0%} dropout produced no degraded iterations")
+        # Scenario #1 is an actuator attack: sensor-channel alarms are false
+        # positives, and dropout must not create them.
+        if cell.sensor_confusion.fp:
+            failures.append(f"{cell.intensity:.0%} cell raised a false sensor alarm")
+
+    if elapsed > TIME_BUDGET_S:
+        failures.append(f"sweep took {elapsed:.1f}s > {TIME_BUDGET_S:.0f}s budget")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: fault campaign smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate the golden mission archives under tests/golden/.
+
+Run this ONLY when a numerical change is intentional (e.g. a deliberate
+algorithm fix); commit the refreshed archives together with the change that
+caused the drift so `tests/test_golden_trace.py` stays green.
+
+Usage:  PYTHONPATH=src python scripts/make_golden_traces.py
+"""
+
+from pathlib import Path
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.golden import GOLDEN_MISSIONS, golden_mission, save_golden  # noqa: E402
+
+
+def main() -> None:
+    out_dir = Path(__file__).resolve().parent.parent / "tests" / "golden"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in GOLDEN_MISSIONS:
+        arrays = golden_mission(name)
+        path = out_dir / f"{name}_200.npz"
+        save_golden(path, arrays)
+        n = arrays["state_estimate"].shape[0]
+        alarms = int(arrays["flagged"].any(axis=1).sum() + arrays["actuator_alarm"].sum())
+        print(f"wrote {path} ({n} steps, {alarms} alarm steps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -89,17 +89,27 @@ class BatchReplayResult:
         return self.reports[trace]
 
 
-def _controls_and_readings(trace: Any) -> tuple[Sequence[np.ndarray], Sequence[np.ndarray]]:
-    """Accept a SimulationTrace-like object or a raw (controls, readings) pair."""
+def _controls_and_readings(
+    trace: Any,
+) -> tuple[Sequence[np.ndarray], Sequence[np.ndarray], Sequence[Any] | None]:
+    """Accept a SimulationTrace-like object or a raw (controls, readings) pair.
+
+    Traces recorded under fault injection also carry per-iteration delivery
+    masks (``availability``); those replay through the detector's degraded
+    path so offline results match the online run.
+    """
     if hasattr(trace, "planned_controls") and hasattr(trace, "readings"):
-        return trace.planned_controls, trace.readings
+        availability = getattr(trace, "availability", None)
+        if availability is not None and all(a is None for a in availability):
+            availability = None
+        return trace.planned_controls, trace.readings, availability
     try:
         controls, readings = trace
     except (TypeError, ValueError) as exc:
         raise ConfigurationError(
             "each trace must be a SimulationTrace or a (controls, readings) pair"
         ) from exc
-    return controls, readings
+    return controls, readings, None
 
 
 def replay_batch(
@@ -126,7 +136,7 @@ def replay_batch(
     if not traces:
         raise ConfigurationError("replay_batch needs at least one trace")
     pairs = [_controls_and_readings(t) for t in traces]
-    for controls, readings in pairs:
+    for controls, readings, _ in pairs:
         if len(controls) != len(readings):
             raise DimensionError(
                 f"controls ({len(controls)}) and readings ({len(readings)}) "
@@ -140,7 +150,8 @@ def replay_batch(
     n_controls = detector.model.control_dim
 
     all_reports: list[list[DetectionReport]] = [
-        detector.replay(controls, readings, reset=True) for controls, readings in pairs
+        detector.replay(controls, readings, reset=True, availability=availability)
+        for controls, readings, availability in pairs
     ]
 
     lengths = np.array([len(reports) for reports in all_reports], dtype=int)

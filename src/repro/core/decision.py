@@ -48,6 +48,16 @@ class SlidingWindow:
         self._buffer.append(bool(positive))
         return sum(self._buffer) >= self._criteria
 
+    @property
+    def met(self) -> bool:
+        """Window condition over the current buffer, without pushing.
+
+        Used to *hold* a window across degraded iterations where the test
+        could not run (sensor reading never delivered): the buffer keeps its
+        history instead of absorbing a fabricated negative.
+        """
+        return sum(self._buffer) >= self._criteria
+
     def reset(self) -> None:
         self._buffer.clear()
 
@@ -132,18 +142,32 @@ class DecisionMaker:
         return self._per_sensor_windows[name]
 
     def step(self, stats: IterationStatistics) -> DecisionOutcome:
-        """One decision iteration over the engine's raw statistics."""
+        """One decision iteration over the engine's raw statistics.
+
+        Degraded iterations (``stats.degraded``) distinguish "test ran and
+        was negative" from "test could not run": when a statistic carries no
+        degrees of freedom because the measurements behind it were never
+        delivered, the corresponding window is *held* — no push, so a
+        dropout burst neither dilutes an in-progress confirmation nor
+        manufactures silent negatives. On nominal iterations the behavior is
+        unchanged (dof 0 pushes a negative, exactly as before).
+        """
         cfg = self._config
 
         sensor_positive = False
         if stats.sensor_dof > 0:
             threshold = chi_square_threshold(cfg.sensor_alpha, stats.sensor_dof)
             sensor_positive = stats.sensor_statistic > threshold
-        sensor_alarm = self._sensor_window.push(sensor_positive)
+        if stats.degraded and stats.sensor_dof == 0:
+            sensor_alarm = self._sensor_window.met
+        else:
+            sensor_alarm = self._sensor_window.push(sensor_positive)
 
         # Per-sensor streams advance every iteration so their windows carry
-        # history; sensors absent from this iteration's testing set (the
-        # selected mode's reference) push a negative.
+        # history; sensors absent from this iteration's testing set because
+        # they serve as the selected mode's reference push a negative, while
+        # sensors absent because their reading was never delivered hold.
+        available = stats.available_sensors or ()
         per_sensor_met: dict[str, bool] = {}
         for name, sensor_stat in stats.sensor_stats.items():
             positive = False
@@ -153,6 +177,8 @@ class DecisionMaker:
             per_sensor_met[name] = self._sensor_window_for(name).push(positive)
         for name in list(self._per_sensor_windows):
             if name not in stats.sensor_stats:
+                if stats.degraded and name not in available:
+                    continue  # reading never arrived: hold the window
                 self._per_sensor_windows[name].push(False)
 
         flagged: frozenset[str] = frozenset()
@@ -163,7 +189,10 @@ class DecisionMaker:
         if stats.actuator_dof > 0:
             threshold = chi_square_threshold(cfg.actuator_alpha, stats.actuator_dof)
             actuator_positive = stats.actuator_statistic > threshold
-        actuator_alarm = self._actuator_window.push(actuator_positive)
+        if stats.degraded and stats.actuator_dof == 0:
+            actuator_alarm = self._actuator_window.met
+        else:
+            actuator_alarm = self._actuator_window.push(actuator_positive)
 
         return DecisionOutcome(
             sensor_positive=sensor_positive,

@@ -155,8 +155,21 @@ class RoboADS:
     # ------------------------------------------------------------------
     # One control iteration
     # ------------------------------------------------------------------
-    def step(self, planned_control: np.ndarray, stacked_reading: np.ndarray) -> DetectionReport:
-        """Consume ``(u_{k-1}, z_k)`` and report this iteration's verdict."""
+    def step(
+        self,
+        planned_control: np.ndarray,
+        stacked_reading: np.ndarray,
+        available: Sequence[str] | None = None,
+    ) -> DetectionReport:
+        """Consume ``(u_{k-1}, z_k)`` and report this iteration's verdict.
+
+        *available* names the sensors whose readings were actually delivered
+        this iteration (``None`` = all, the nominal case). Any nominally
+        available sensor whose stacked block contains a non-finite value
+        (NaN/Inf payload corruption) is excluded from the effective
+        availability automatically — corrupted packets must degrade the
+        iteration, never poison the Chi-square statistics.
+        """
         planned_control = self._model.validate_control(np.asarray(planned_control, dtype=float))
         stacked_reading = np.asarray(stacked_reading, dtype=float)
         if stacked_reading.shape != (self._suite.total_dim,):
@@ -164,8 +177,19 @@ class RoboADS:
                 f"stacked reading must have shape ({self._suite.total_dim},), "
                 f"got {stacked_reading.shape}"
             )
+        if not np.all(np.isfinite(stacked_reading)):
+            present = set(self._suite.names) if available is None else set(available)
+            for name in tuple(present):
+                if not np.all(np.isfinite(stacked_reading[self._suite.slice_of(name)])):
+                    present.discard(name)
+            available = tuple(n for n in self._suite.names if n in present)
+            # Neutralize the poisoned entries: the engine never reads excluded
+            # blocks, but NaN would still propagate through full-stack slicing.
+            stacked_reading = np.where(np.isfinite(stacked_reading), stacked_reading, 0.0)
         self._iteration += 1
-        output: EngineOutput = self._engine.step(planned_control, stacked_reading)
+        output: EngineOutput = self._engine.step(
+            planned_control, stacked_reading, available=available
+        )
         stats = self._engine.statistics(output)
         outcome = self._decision.step(stats)
         return DetectionReport(
@@ -180,19 +204,31 @@ class RoboADS:
         controls: Sequence[np.ndarray],
         readings: Sequence[np.ndarray],
         reset: bool = True,
+        availability: Sequence[Sequence[str] | None] | None = None,
     ) -> list[DetectionReport]:
         """Run the detector over a recorded ``(u_{k-1}, z_k)`` log.
 
         The offline analogue of online operation — forensics teams replay a
         vehicle's logged bus traffic after an incident. Produces exactly the
         reports online detection would have (the detector is deterministic
-        given its inputs).
+        given its inputs). *availability* optionally carries the recorded
+        per-iteration delivery masks (``None`` entries = full delivery), so
+        replays of fault-degraded missions match their online runs.
         """
         if len(controls) != len(readings):
             raise DimensionError(
                 f"controls ({len(controls)}) and readings ({len(readings)}) "
                 "must have equal length"
             )
+        if availability is not None and len(availability) != len(controls):
+            raise DimensionError(
+                f"availability ({len(availability)}) must match controls ({len(controls)})"
+            )
         if reset:
             self.reset()
-        return [self.step(u, z) for u, z in zip(controls, readings)]
+        if availability is None:
+            return [self.step(u, z) for u, z in zip(controls, readings)]
+        return [
+            self.step(u, z, available=a)
+            for u, z, a in zip(controls, readings, availability)
+        ]

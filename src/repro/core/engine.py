@@ -47,7 +47,13 @@ _LOG_FLOOR = -300.0
 
 @dataclass(frozen=True)
 class EngineOutput:
-    """Everything one engine iteration produced."""
+    """Everything one engine iteration produced.
+
+    ``available`` names the sensors whose readings were delivered this
+    iteration; ``None`` is the nominal full-delivery case (including an
+    explicit mask that happens to cover the whole suite, which the engine
+    normalizes back to ``None`` so the nominal path stays bit-identical).
+    """
 
     iteration: int
     results: dict[str, NuiseResult]
@@ -55,6 +61,7 @@ class EngineOutput:
     likelihoods: dict[str, float]
     selected_mode: str
     selected: NuiseResult
+    available: tuple[str, ...] | None = None
 
 
 class MultiModeEstimationEngine:
@@ -172,15 +179,36 @@ class MultiModeEstimationEngine:
     # ------------------------------------------------------------------
     # One iteration
     # ------------------------------------------------------------------
-    def step(self, control: np.ndarray, stacked_reading: np.ndarray) -> EngineOutput:
+    def step(
+        self,
+        control: np.ndarray,
+        stacked_reading: np.ndarray,
+        available: Sequence[str] | None = None,
+    ) -> EngineOutput:
         """Run every mode, update probabilities, select and commit.
 
         Algorithm 1 hands every mode the same previous selected estimate, so
         the linearization products around ``(x_hat_{k-1|k-1}, u_{k-1})`` are
         computed once in a shared workspace and reused by all M filters.
+
+        *available* restricts the iteration to the sensors actually
+        delivered (``None`` = all). Modes whose entire reference block is
+        absent run open-loop and report ``measurement_updated=False``; their
+        probability is held (no likelihood multiply, zero log-evidence in
+        the consistency window) rather than updated on no evidence.
         """
         self._iteration += 1
         stacked_reading = np.asarray(stacked_reading, dtype=float)
+        if available is not None:
+            present = set(available)
+            unknown = present - set(self._suite.names)
+            if unknown:
+                raise ConfigurationError(
+                    f"availability mask names unknown sensors: {sorted(unknown)}"
+                )
+            available = tuple(n for n in self._suite.names if n in present)
+            if available == tuple(self._suite.names):
+                available = None  # full delivery: take the nominal path
         workspace = self._policy.workspace(
             self._model, self._suite, self._x, control, covariance=self._P
         )
@@ -188,20 +216,39 @@ class MultiModeEstimationEngine:
         likelihoods: dict[str, float] = {}
         for mode in self._modes:
             result = self._filters[mode.name].step(
-                workspace.control, self._x, self._P, stacked_reading, workspace=workspace
+                workspace.control,
+                self._x,
+                self._P,
+                stacked_reading,
+                workspace=workspace,
+                available=available,
             )
             results[mode.name] = result
             likelihoods[mode.name] = result.likelihood
 
         # Recursive probability update with floor, then normalization
         # (Algorithm 1 line 6; reported, not used for selection — see class
-        # docstring).
-        raw = {name: max(likelihoods[name] * self._mu[name], self._epsilon) for name in self._mu}
+        # docstring). A held mode (no reference evidence this iteration)
+        # keeps its prior probability through the normalization.
+        raw = {
+            name: max(
+                (likelihoods[name] * self._mu[name])
+                if results[name].measurement_updated
+                else self._mu[name],
+                self._epsilon,
+            )
+            for name in self._mu
+        }
         total = sum(raw.values())
         self._mu = {name: value / total for name, value in raw.items()}
 
-        # Finite-window consistency scores drive selection.
+        # Finite-window consistency scores drive selection. Held modes
+        # contribute zero log-evidence for the iteration (not a penalty, not
+        # a reward) so the window keeps aging at the same rate for everyone.
         for name, value in likelihoods.items():
+            if not results[name].measurement_updated:
+                self._log_history[name].append(0.0)
+                continue
             log_n = np.log(value) if value > 0.0 else _LOG_FLOOR
             self._log_history[name].append(max(float(log_n), _LOG_FLOOR))
         scores = {name: sum(hist) for name, hist in self._log_history.items()}
@@ -217,6 +264,7 @@ class MultiModeEstimationEngine:
             likelihoods=likelihoods,
             selected_mode=selected_name,
             selected=selected,
+            available=available,
         )
 
     # ------------------------------------------------------------------
@@ -235,7 +283,7 @@ class MultiModeEstimationEngine:
         )
 
         per_sensor: dict[str, SensorStatistic] = {}
-        for name, sl in mode_filter.testing_slices().items():
+        for name, sl in mode_filter.testing_slices(selected.testing_used).items():
             estimate = selected.sensor_anomaly[sl]
             covariance = selected.sensor_covariance[sl, sl]
             stat, dof = anomaly_statistic(estimate, covariance)
@@ -260,4 +308,6 @@ class MultiModeEstimationEngine:
             actuator_estimate=selected.actuator_anomaly.copy(),
             actuator_covariance=selected.actuator_covariance.copy(),
             likelihoods=dict(output.likelihoods),
+            available_sensors=output.available,
+            degraded=output.available is not None,
         )

@@ -42,6 +42,7 @@ true innovation covariance (verified by the filter-consistency tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -83,7 +84,16 @@ def _wrap_inplace(residual: np.ndarray, idx: np.ndarray) -> np.ndarray:
 
 @dataclass(frozen=True)
 class NuiseResult:
-    """Outputs of one NUISE iteration (Algorithm 2's output line)."""
+    """Outputs of one NUISE iteration (Algorithm 2's output line).
+
+    ``reference_used``/``testing_used`` name the sensors that actually fed
+    this iteration — the mode's full blocks in nominal operation, a subset on
+    degraded iterations (sensor dropout restricts the stacks to what was
+    delivered). ``measurement_updated`` is False when the entire reference
+    block was unavailable: the filter then propagated the dynamics open-loop
+    and the likelihood carries no evidence (the engine holds the mode's
+    probability instead of updating it).
+    """
 
     state: np.ndarray
     state_covariance: np.ndarray
@@ -94,6 +104,31 @@ class NuiseResult:
     likelihood: float
     innovation: np.ndarray
     innovation_covariance: np.ndarray
+    reference_used: tuple[str, ...] = ()
+    testing_used: tuple[str, ...] = ()
+    measurement_updated: bool = True
+
+
+@dataclass(frozen=True)
+class _BlockPlan:
+    """Precomputed reference/testing block layout for one availability set.
+
+    The filter's constructor builds the full-availability plan once; degraded
+    iterations (missing sensors) get restricted plans built on demand and
+    memoized per availability subset, so repeated dropout patterns pay the
+    restriction cost once.
+    """
+
+    ref_names: tuple[str, ...]
+    test_names: tuple[str, ...]
+    ref_idx: np.ndarray
+    test_idx: np.ndarray
+    R2: np.ndarray
+    R1: np.ndarray
+    ref_wrap: np.ndarray
+    test_wrap: np.ndarray
+    R2_abs_tol: float
+    testing_slices: dict[str, slice]
 
 
 class NuiseFilter:
@@ -176,6 +211,22 @@ class NuiseFilter:
             dim = suite.sensor(name).dim
             self._testing_slices[name] = slice(offset, offset + dim)
             offset += dim
+        # Full-availability block plan (the nominal iteration reads exactly
+        # these arrays); restricted plans for degraded iterations are built
+        # lazily in _plan_for and memoized per availability subset.
+        self._full_plan = _BlockPlan(
+            ref_names=self._ref_names,
+            test_names=self._test_names,
+            ref_idx=self._ref_idx,
+            test_idx=self._test_idx,
+            R2=self._R2,
+            R1=self._R1,
+            ref_wrap=self._ref_wrap,
+            test_wrap=self._test_wrap,
+            R2_abs_tol=self._R2_abs_tol,
+            testing_slices=self._testing_slices,
+        )
+        self._plans: dict[tuple[tuple[str, ...], tuple[str, ...]], _BlockPlan] = {}
 
         if check_observability:
             x0 = (
@@ -205,9 +256,64 @@ class NuiseFilter:
     def testing_names(self) -> tuple[str, ...]:
         return self._test_names
 
-    def testing_slices(self) -> dict[str, slice]:
-        """Slice of each testing sensor inside the stacked ``d_hat^s``."""
-        return dict(self._testing_slices)
+    def testing_slices(self, names: Sequence[str] | None = None) -> dict[str, slice]:
+        """Slice of each testing sensor inside the stacked ``d_hat^s``.
+
+        With *names* (the testing sensors actually used on a degraded
+        iteration — see :attr:`NuiseResult.testing_used`) the slices describe
+        the restricted stack instead of the full one.
+        """
+        if names is None or tuple(names) == self._test_names:
+            return dict(self._testing_slices)
+        slices: dict[str, slice] = {}
+        offset = 0
+        for name in names:
+            dim = self._suite.sensor(name).dim
+            slices[name] = slice(offset, offset + dim)
+            offset += dim
+        return slices
+
+    def _plan_for(self, available: Sequence[str]) -> _BlockPlan:
+        """Block plan restricted to the *available* sensors.
+
+        The restriction preserves suite ordering inside each block, so a plan
+        with every block sensor present is the full plan (same arrays, same
+        math, bit for bit).
+        """
+        present = set(available)
+        ref = tuple(n for n in self._ref_names if n in present)
+        test = tuple(n for n in self._test_names if n in present)
+        if ref == self._ref_names and test == self._test_names:
+            return self._full_plan
+        key = (ref, test)
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan
+        suite = self._suite
+        R2 = suite.covariance(ref) if ref else np.zeros((0, 0))
+        R1 = suite.covariance(test) if test else np.zeros((0, 0))
+        ref_angular = suite.angular_mask(ref) if ref else np.zeros(0, dtype=bool)
+        test_angular = suite.angular_mask(test) if test else np.zeros(0, dtype=bool)
+        slices: dict[str, slice] = {}
+        offset = 0
+        for name in test:
+            dim = suite.sensor(name).dim
+            slices[name] = slice(offset, offset + dim)
+            offset += dim
+        plan = _BlockPlan(
+            ref_names=ref,
+            test_names=test,
+            ref_idx=suite.indices_of(ref) if ref else np.zeros(0, dtype=int),
+            test_idx=suite.indices_of(test) if test else np.zeros(0, dtype=int),
+            R2=R2,
+            R1=R1,
+            ref_wrap=np.flatnonzero(ref_angular),
+            test_wrap=np.flatnonzero(test_angular),
+            R2_abs_tol=EIG_TOL * float(np.abs(R2).max()) if R2.size else 0.0,
+            testing_slices=slices,
+        )
+        self._plans[key] = plan
+        return plan
 
     def _nominal_control_guess(self) -> np.ndarray:
         # A zero control makes many models' G degenerate (a parked car
@@ -244,6 +350,7 @@ class NuiseFilter:
         prev_covariance: np.ndarray,
         stacked_reading: np.ndarray,
         workspace: IterationWorkspace | None = None,
+        available: Sequence[str] | None = None,
     ) -> NuiseResult:
         """One NUISE iteration (Algorithm 2).
 
@@ -253,22 +360,33 @@ class NuiseFilter:
         measurement model at the shared predicted point come from it instead
         of being recomputed per mode. A standalone call builds a private
         workspace, so the two entry points run identical math.
+
+        *available* names the sensors whose readings were actually delivered
+        this iteration (None = all). Absent sensors are removed from both the
+        reference and testing stacks; when the entire reference block is
+        absent the filter propagates open-loop and reports a held result
+        (``measurement_updated=False``).
         """
         model, suite, policy = self._model, self._suite, self._policy
         if workspace is None:
             workspace = IterationWorkspace(
                 policy, model, suite, prev_state, control, prev_covariance
             )
+        plan = self._full_plan if available is None else self._plan_for(available)
+        if not plan.ref_names:
+            return self._degraded_hold(workspace, prev_covariance, stacked_reading, plan)
         P_prev = workspace.covariance
-        z1, z2 = self.split_reading(stacked_reading)
+        stacked = np.asarray(stacked_reading, dtype=float)
+        z1 = stacked[plan.test_idx] if plan.test_names else np.zeros(0)
+        z2 = stacked[plan.ref_idx]
 
         A, G = workspace.jacobians()
         Q = self._Q
-        R2 = self._R2
+        R2 = plan.R2
 
         # --- Step 1: actuator anomaly estimation (lines 2-6) -----------
         x_check = workspace.propagate()
-        h2_check, C2 = workspace.measurement(self._ref_names)
+        h2_check, C2 = workspace.measurement(plan.ref_names)
         if P_prev is None:
             # Caller-supplied workspace without a shared covariance.
             P_prev = symmetrize(np.asarray(prev_covariance, dtype=float))
@@ -283,7 +401,7 @@ class NuiseFilter:
         # solve_psd takes the Cholesky fast path when C2 G is well excited
         # and falls back to the pseudo-inverse otherwise.
         M2 = solve_psd(FtRi @ F, FtRi)
-        innovation0 = _wrap_inplace(z2 - h2_check, self._ref_wrap)
+        innovation0 = _wrap_inplace(z2 - h2_check, plan.ref_wrap)
         d_a = M2 @ innovation0
         P_a = project_psd(M2 @ R_star @ M2.T)
 
@@ -308,8 +426,8 @@ class NuiseFilter:
         S = -GM2 @ R2
 
         # --- Step 3: state estimation (lines 11-14) --------------------
-        C2p = policy.measurement_jacobian(suite, self._ref_names, x_pred)
-        innovation = _wrap_inplace(z2 - policy.h(suite, self._ref_names, x_pred), self._ref_wrap)
+        C2p = policy.measurement_jacobian(suite, plan.ref_names, x_pred)
+        innovation = _wrap_inplace(z2 - policy.h(suite, plan.ref_names, x_pred), plan.ref_wrap)
         CS = C2p @ S
         R2_tilde = symmetrize(C2p @ P_pred @ C2p.T + R2 + CS + CS.T)
         gain_rhs = P_pred @ C2p.T + S
@@ -318,7 +436,7 @@ class NuiseFilter:
         # unknown-input estimate consumes rank(C2 G) directions — hence the
         # paper's pseudo-determinant), so no Cholesky attempt is made here;
         # one eigendecomposition serves both the gain and the likelihood.
-        R2t_pinv, R2t_pdet, R2t_rank = pinv_and_pdet(R2_tilde, abs_tol=self._R2_abs_tol)
+        R2t_pinv, R2t_pdet, R2t_rank = pinv_and_pdet(R2_tilde, abs_tol=plan.R2_abs_tol)
         L = gain_rhs @ R2t_pinv
         x_new = model.normalize_state(x_pred + L @ innovation)
         I_LC = I_n - L @ C2p
@@ -331,10 +449,10 @@ class NuiseFilter:
         P_new = project_psd(P_new)
 
         # --- Step 4: sensor anomaly estimation (lines 15-16) -----------
-        if self._test_names:
-            C1 = policy.measurement_jacobian(suite, self._test_names, x_new)
-            d_s = _wrap_inplace(z1 - policy.h(suite, self._test_names, x_new), self._test_wrap)
-            P_s = project_psd(C1 @ P_new @ C1.T + self._R1)
+        if plan.test_names:
+            C1 = policy.measurement_jacobian(suite, plan.test_names, x_new)
+            d_s = _wrap_inplace(z1 - policy.h(suite, plan.test_names, x_new), plan.test_wrap)
+            P_s = project_psd(C1 @ P_new @ C1.T + plan.R1)
         else:
             d_s = np.zeros(0)
             P_s = np.zeros((0, 0))
@@ -354,4 +472,58 @@ class NuiseFilter:
             likelihood=likelihood,
             innovation=innovation,
             innovation_covariance=R2_tilde,
+            reference_used=plan.ref_names,
+            testing_used=plan.test_names,
+        )
+
+    def _degraded_hold(
+        self,
+        workspace: IterationWorkspace,
+        prev_covariance: np.ndarray,
+        stacked_reading: np.ndarray,
+        plan: _BlockPlan,
+    ) -> NuiseResult:
+        """Open-loop propagation when the mode's reference block is absent.
+
+        Without a single reference reading there is no innovation: the state
+        prediction stands uncorrected, the actuator anomaly is unobservable
+        (zero estimate with zero covariance, so its Chi-square term carries
+        zero degrees of freedom and the decision maker skips it), and the
+        likelihood is evidence-free — the engine holds this mode's
+        probability rather than updating it.
+        """
+        model, suite, policy = self._model, self._suite, self._policy
+        P_prev = workspace.covariance
+        A, _ = workspace.jacobians()
+        x_check = workspace.propagate()
+        if P_prev is None:
+            P_prev = symmetrize(np.asarray(prev_covariance, dtype=float))
+            P_tilde = A @ P_prev @ A.T + self._Q
+        else:
+            P_tilde = workspace.propagated_prior() + self._Q
+        x_new = model.normalize_state(x_check)
+        P_new = project_psd(P_tilde)
+        n_controls = model.control_dim
+        if plan.test_names:
+            stacked = np.asarray(stacked_reading, dtype=float)
+            z1 = stacked[plan.test_idx]
+            C1 = policy.measurement_jacobian(suite, plan.test_names, x_new)
+            d_s = _wrap_inplace(z1 - policy.h(suite, plan.test_names, x_new), plan.test_wrap)
+            P_s = project_psd(C1 @ P_new @ C1.T + plan.R1)
+        else:
+            d_s = np.zeros(0)
+            P_s = np.zeros((0, 0))
+        return NuiseResult(
+            state=x_new,
+            state_covariance=P_new,
+            actuator_anomaly=np.zeros(n_controls),
+            actuator_covariance=np.zeros((n_controls, n_controls)),
+            sensor_anomaly=d_s,
+            sensor_covariance=P_s,
+            likelihood=1.0,
+            innovation=np.zeros(0),
+            innovation_covariance=np.zeros((0, 0)),
+            reference_used=(),
+            testing_used=plan.test_names,
+            measurement_updated=False,
         )

@@ -54,6 +54,14 @@ class IterationStatistics:
         ``d_hat^a_{k-1}`` and its error covariance from the selected mode.
     likelihoods:
         Raw per-mode likelihoods ``N^m_k`` keyed by mode name.
+    available_sensors:
+        Sensors whose readings were actually delivered this iteration
+        (``None`` = full delivery, the nominal case). On degraded iterations
+        the engine restricts every mode to the delivered subset, so absent
+        sensors contribute neither measurement updates nor Chi-square terms
+        (see ``docs/ROBUSTNESS.md``).
+    degraded:
+        True when at least one suite sensor was unavailable this iteration.
     """
 
     iteration: int
@@ -68,3 +76,5 @@ class IterationStatistics:
     actuator_estimate: np.ndarray
     actuator_covariance: np.ndarray
     likelihoods: dict[str, float] = field(default_factory=dict)
+    available_sensors: tuple[str, ...] | None = None
+    degraded: bool = False

@@ -7,6 +7,7 @@ robot misbehaves; detection *delay* is the time from trigger to correct
 identification.
 """
 
+from .fault_campaign import FaultCampaignCell, FaultCampaignResult, run_fault_campaign
 from .forensics import QuantificationReport, quantify_run
 from .metrics import ConfusionCounts, DelayEvent, confusion_from_run, detection_delays
 from .runner import RunResult, monte_carlo, run_scenario
@@ -21,6 +22,9 @@ __all__ = [
     "RunResult",
     "run_scenario",
     "monte_carlo",
+    "FaultCampaignCell",
+    "FaultCampaignResult",
+    "run_fault_campaign",
     "redecide",
     "roc_sweep",
     "f1_sweep",

@@ -1,0 +1,112 @@
+"""Golden-trace capture: canonical missions pinned bit-for-bit.
+
+A golden trace freezes everything a canonical no-fault mission reports —
+states, anomaly estimates, mode probabilities, Chi-square statistics and
+alarms — into a compressed archive under ``tests/golden/``. The regression
+test re-runs the mission and compares against the archive to 1e-10, so any
+refactor that silently drifts the seed math (a reordered reduction, a
+"harmless" fast path) fails loudly instead of skewing every downstream
+table. ``scripts/make_golden_traces.py`` regenerates the archives when a
+drift is *intentional*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..robots.khepera import khepera_rig
+from ..robots.rig import RobotRig
+from ..robots.tamiya import tamiya_rig
+from ..sim.faults import FaultSchedule
+from .runner import run_scenario
+
+__all__ = ["GOLDEN_MISSIONS", "golden_mission", "save_golden", "load_golden", "compare_golden"]
+
+#: Canonical missions: (rig factory, trial seed, steps). 200 steps covers
+#: mission start-up transients plus steady tracking on both platforms.
+GOLDEN_MISSIONS: dict[str, tuple] = {
+    "khepera": (khepera_rig, 2024, 200),
+    "tamiya": (tamiya_rig, 2024, 200),
+}
+
+
+def golden_mission(
+    name: str,
+    rig: RobotRig | None = None,
+    faults: FaultSchedule | None = None,
+) -> dict[str, np.ndarray]:
+    """Run one canonical mission and reduce its reports to flat arrays."""
+    if name not in GOLDEN_MISSIONS:
+        raise ConfigurationError(f"unknown golden mission {name!r}: {sorted(GOLDEN_MISSIONS)}")
+    factory, seed, n_steps = GOLDEN_MISSIONS[name]
+    if rig is None:
+        rig = factory()
+        rig.plan_path(0)
+    duration = n_steps * rig.model.dt
+    result = run_scenario(
+        rig,
+        None,
+        seed=seed,
+        duration=duration,
+        stop_at_goal=False,
+        faults=faults,
+    )
+    trace = result.trace
+    reports = result.reports
+    if len(reports) != n_steps:
+        raise ConfigurationError(
+            f"golden mission {name!r} produced {len(reports)} reports, expected {n_steps}"
+        )
+    mode_names = tuple(sorted(reports[0].statistics.mode_probabilities))
+    sensor_names = tuple(trace.sensor_names)
+    return {
+        "mode_names": np.array(mode_names, dtype=np.str_),
+        "sensor_names": np.array(sensor_names, dtype=np.str_),
+        "readings": trace.readings_array(),
+        "planned": trace.planned_array(),
+        "true_states": trace.states_array(),
+        "state_estimate": np.array([r.statistics.state_estimate for r in reports]),
+        "actuator_estimate": np.array([r.statistics.actuator_estimate for r in reports]),
+        "sensor_statistic": np.array([r.statistics.sensor_statistic for r in reports]),
+        "actuator_statistic": np.array([r.statistics.actuator_statistic for r in reports]),
+        "mode_probabilities": np.array(
+            [[r.statistics.mode_probabilities[m] for m in mode_names] for r in reports]
+        ),
+        "selected_mode": np.array(
+            [mode_names.index(r.statistics.selected_mode) for r in reports], dtype=int
+        ),
+        "flagged": np.array(
+            [[s in r.flagged_sensors for s in sensor_names] for r in reports], dtype=bool
+        ),
+        "actuator_alarm": np.array([r.actuator_alarm for r in reports], dtype=bool),
+    }
+
+
+def save_golden(path, arrays: dict[str, np.ndarray]) -> None:
+    np.savez_compressed(path, **arrays)
+
+
+def load_golden(path) -> dict[str, np.ndarray]:
+    with np.load(path, allow_pickle=False) as data:
+        return {key: data[key].copy() for key in data.files}
+
+
+def compare_golden(
+    fresh: dict[str, np.ndarray],
+    stored: dict[str, np.ndarray],
+    atol: float = 1e-10,
+) -> list[str]:
+    """Return the list of keys that drifted beyond *atol* (empty = match)."""
+    drifted: list[str] = []
+    for key in sorted(stored):
+        a, b = fresh.get(key), stored[key]
+        if a is None or a.shape != b.shape:
+            drifted.append(key)
+            continue
+        if a.dtype.kind in ("U", "S", "b", "i"):
+            if not np.array_equal(a, b):
+                drifted.append(key)
+        elif not np.allclose(a, b, atol=atol, rtol=0.0, equal_nan=True):
+            drifted.append(key)
+    return drifted

@@ -9,7 +9,7 @@ result so decision-parameter sweeps can replay them offline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence, Union
 
 import numpy as np
 
@@ -21,8 +21,14 @@ from ..core.linearization import LinearizationPolicy
 from ..core.modes import Mode
 from ..errors import ConfigurationError
 from ..robots.rig import RobotRig
+from ..sim.faults import FaultSchedule
 from ..sim.simulator import ClosedLoopSimulator
 from ..sim.trace import SimulationTrace
+
+#: Fault injection for a run: a ready schedule (reset and reused across
+#: trials, so every trial sees the same fault realization) or a factory
+#: called with the trial seed (independent realizations per trial).
+FaultSpec = Union[FaultSchedule, Callable[[int], FaultSchedule], None]
 from .metrics import ConfusionCounts, DelayEvent, confusion_from_run, detection_delays
 
 __all__ = ["RunResult", "run_scenario", "monte_carlo"]
@@ -67,6 +73,12 @@ class RunResult:
         )
 
 
+def _resolve_faults(faults: FaultSpec, seed: int) -> FaultSchedule | None:
+    if faults is None or isinstance(faults, FaultSchedule):
+        return faults
+    return faults(seed)
+
+
 def _simulate(
     rig: RobotRig,
     scenario: Scenario | None,
@@ -76,6 +88,7 @@ def _simulate(
     detector,
     responder,
     stop_at_goal: bool,
+    faults: FaultSpec = None,
 ) -> SimulationTrace:
     """Simulate one mission (``detector=None`` records the raw logs only)."""
     rng = np.random.default_rng(seed)
@@ -91,6 +104,7 @@ def _simulate(
         nav_sensor=rig.nav_sensor,
         detector=detector,
         responder=responder,
+        faults=_resolve_faults(faults, seed),
     )
     if duration is None:
         duration = scenario.duration if scenario is not None else rig.mission.duration
@@ -130,6 +144,7 @@ def run_scenario(
     detector=None,
     responder=None,
     stop_at_goal: bool = True,
+    faults: FaultSpec = None,
 ) -> RunResult:
     """Run one trial of *scenario* on *rig* (``scenario=None`` = clean run).
 
@@ -138,14 +153,24 @@ def run_scenario(
     from *seed*. With ``stop_at_goal`` (default, matching the paper's
     missions) the run ends when the tracking controller reports arrival —
     a parked robot exercises no dynamics, so counting parked iterations
-    would only dilute the metrics.
+    would only dilute the metrics. *faults* optionally injects benign
+    delivery faults (see :data:`FaultSpec`); their randomness is independent
+    of *seed*'s noise stream.
     """
     if detector is None:
         detector = rig.detector(decision=decision, modes=modes, policy=policy)
     else:
         detector.reset()
     trace = _simulate(
-        rig, scenario, seed, path_seed, duration, detector, responder, stop_at_goal
+        rig,
+        scenario,
+        seed,
+        path_seed,
+        duration,
+        detector,
+        responder,
+        stop_at_goal,
+        faults=faults,
     )
     return _reduce(rig, scenario, seed, trace)
 
@@ -183,6 +208,7 @@ def monte_carlo(
         "path_seed": kwargs.get("path_seed", 0),
         "duration": kwargs.get("duration"),
         "stop_at_goal": kwargs.get("stop_at_goal", True),
+        "faults": kwargs.get("faults"),
     }
     traces = [
         _simulate(

@@ -20,6 +20,7 @@ from .linear_benchmark import LinearBenchmarkResult, run_linear_benchmark
 from .evasive import EvasiveResult, run_evasive
 from .ablation import AblationResult, run_ablation
 from .response import ResponseResult, run_response
+from .robustness import RobustnessResult, run_robustness
 from .sensor_quality import SensorQualityResult, run_sensor_quality
 from .switching import SwitchingResult, run_switching
 
@@ -46,6 +47,8 @@ __all__ = [
     "AblationResult",
     "run_response",
     "ResponseResult",
+    "run_robustness",
+    "RobustnessResult",
     "run_switching",
     "SwitchingResult",
     "run_sensor_quality",

@@ -29,6 +29,7 @@ from . import (
     run_tamiya_eval,
 )
 from .response import run_response
+from .robustness import run_robustness
 from .sensor_quality import run_sensor_quality
 from .switching import run_switching
 
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "response": lambda args: run_response(seed=args.seed),
     "switching": lambda args: run_switching(seed=args.seed),
     "sensor-quality": lambda args: run_sensor_quality(seed=args.seed),
+    "robustness": lambda args: run_robustness(n_trials=args.trials),
 }
 
 

@@ -1,0 +1,60 @@
+"""Robustness study: detection quality under benign sensor-delivery faults.
+
+Extension experiment (no paper counterpart — see ``docs/ROBUSTNESS.md``):
+sweeps uniform delivery-dropout intensity against a slice of the Table II
+Khepera catalog and reports the degradation curves. The zero-intensity
+column doubles as a self-check — it runs the literal fault-free code path,
+so its metrics must match a plain Table II cell at the same seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..attacks.catalog import khepera_scenarios
+from ..eval.fault_campaign import FaultCampaignResult, run_fault_campaign
+from ..robots.khepera import khepera_rig
+
+__all__ = ["RobustnessResult", "run_robustness"]
+
+
+@dataclass
+class RobustnessResult:
+    """Campaign result plus this experiment's framing."""
+
+    campaign: FaultCampaignResult
+    scenario_numbers: tuple[int, ...]
+
+    def format(self) -> str:
+        header = (
+            "Robustness extension: uniform sensor-delivery dropout vs "
+            f"Khepera scenarios {list(self.scenario_numbers)}\n"
+        )
+        return header + self.campaign.format()
+
+
+def run_robustness(
+    n_trials: int = 2,
+    seed: int = 100,
+    intensities: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    scenario_numbers: Sequence[int] | None = None,
+) -> RobustnessResult:
+    """Run the dropout-intensity sweep.
+
+    *scenario_numbers* selects Table II rows by their paper numbering
+    (default: #1 wheel-speed attack and #4 IPS bias — one actuator-channel
+    and one sensor-channel detection under degradation).
+    """
+    numbers = tuple(scenario_numbers) if scenario_numbers is not None else (1, 4)
+    catalog = [s for s in khepera_scenarios() if s.number in numbers]
+    rig = khepera_rig()
+    rig.plan_path(0)
+    campaign = run_fault_campaign(
+        rig,
+        catalog,
+        intensities=intensities,
+        n_trials=n_trials,
+        base_seed=seed,
+    )
+    return RobustnessResult(campaign=campaign, scenario_numbers=numbers)

@@ -7,6 +7,20 @@ records everything the detector and the evaluation harness need.
 """
 
 from .bus import CommunicationBus, Packet
+from .faults import (
+    BernoulliDropout,
+    BurstDropout,
+    DeliveredReading,
+    DuplicateFault,
+    FaultSchedule,
+    FaultyDelivery,
+    LatencyFault,
+    OutOfOrderFault,
+    PayloadCorruption,
+    SensorFault,
+    TimestampJitter,
+    uniform_dropout_schedule,
+)
 from .platform import PlatformStep, RobotPlatform
 from .simulator import ClosedLoopSimulator
 from .trace import SimulationTrace
@@ -22,6 +36,18 @@ from .workflows import (
 __all__ = [
     "CommunicationBus",
     "Packet",
+    "SensorFault",
+    "BernoulliDropout",
+    "BurstDropout",
+    "LatencyFault",
+    "DuplicateFault",
+    "OutOfOrderFault",
+    "PayloadCorruption",
+    "TimestampJitter",
+    "DeliveredReading",
+    "FaultyDelivery",
+    "FaultSchedule",
+    "uniform_dropout_schedule",
     "SensingWorkflow",
     "FeatureSensingWorkflow",
     "LidarRawWorkflow",

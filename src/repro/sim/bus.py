@@ -55,5 +55,27 @@ class CommunicationBus:
             return list(self._log)
         return [p for p in self._log if p.topic == topic]
 
-    def clear(self) -> None:
+    def clear(self, subscribers: bool = False) -> None:
+        """Empty the packet log; with ``subscribers=True`` also drop every
+        registered callback.
+
+        By default subscriptions survive — workflows subscribe once at
+        construction and a log clear between missions must not sever them.
+        Reusing one bus across *different* workflow stacks is the case that
+        needs ``subscribers=True`` (or :meth:`reset`): otherwise the old
+        stack's callbacks keep firing on the new run's traffic.
+        """
         self._log.clear()
+        if subscribers:
+            self._subscribers.clear()
+
+    def reset(self) -> None:
+        """Return the bus to its freshly-constructed state (log and
+        subscriptions both emptied)."""
+        self.clear(subscribers=True)
+
+    def subscriber_count(self, topic: str | None = None) -> int:
+        """Number of registered callbacks, optionally for one topic."""
+        if topic is not None:
+            return len(self._subscribers.get(topic, []))
+        return sum(len(cbs) for cbs in self._subscribers.values())

@@ -1,0 +1,562 @@
+"""Fault injection: benign sensor-delivery failures on the bus boundary.
+
+Real robot stacks lose, delay, duplicate and reorder measurements
+independently of adversarial corruption — a shared bus drops packets under
+load, a LiDAR driver hiccups, an IPS update arrives one control period late.
+RoboADS must keep running through such *benign* faults without false alarms,
+which is a different requirement from detecting *malicious* corruption: a
+corrupted reading carries wrong content, a faulted delivery carries no (or
+stale) content.
+
+This module models the delivery path of each sensing workflow as a channel:
+every control iteration the fresh measurement enters the channel as an
+in-flight packet, the active fault models perturb its fate (drop it, delay
+its arrival, corrupt its payload, re-send an old copy), and the channel then
+delivers whatever has arrived by that iteration. The consumer-facing result
+per sensor is a :class:`DeliveredReading`: the value that arrived (which may
+be stale or corrupted), whether anything arrived at all, and how old it is.
+
+Fault models mirror :class:`repro.attacks.scheduler.AttackSchedule`'s
+declarative style — a :class:`FaultSchedule` is a list of per-sensor fault
+models with activation windows — but their randomness is *independent* of
+the simulation's generator: each model draws from its own seeded substream,
+so adding a zero-intensity fault (or removing a schedule entirely) never
+perturbs the nominal mission's noise sequence. This is what makes the
+golden-trace identity (zero intensity == no-fault path, bit for bit)
+provable rather than approximate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DeliveredReading",
+    "FaultyDelivery",
+    "SensorFault",
+    "BernoulliDropout",
+    "BurstDropout",
+    "LatencyFault",
+    "DuplicateFault",
+    "OutOfOrderFault",
+    "PayloadCorruption",
+    "TimestampJitter",
+    "FaultSchedule",
+    "uniform_dropout_schedule",
+]
+
+
+@dataclass
+class _InFlight:
+    """One measurement packet travelling through a sensor's delivery channel."""
+
+    value: np.ndarray
+    measured_iteration: int
+    measured_t: float
+    arrival: int
+    dropped: bool = False
+    #: Arrives at the *end* of its arrival iteration — after any fresh packet
+    #: delivered the same iteration (how a straggling retransmission lands).
+    late: bool = False
+    events: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DeliveredReading:
+    """What one sensor's channel delivered at one control iteration.
+
+    Attributes
+    ----------
+    value:
+        The delivered reading — the payload of the *last* packet to arrive
+        this iteration (out-of-order delivery means this can be an older
+        measurement than one already seen). When nothing has ever arrived it
+        is ``None``.
+    available:
+        Whether any packet arrived this iteration. Unavailable sensors keep
+        ``value`` at the last delivered payload (hold semantics) so the
+        planner has something to navigate by, but the detector must exclude
+        them from the measurement update.
+    age:
+        Iterations between the delivered value's measurement and now
+        (0 = fresh). Meaningful only when ``value`` is not ``None``.
+    events:
+        Fault-event labels that touched this delivery (``"dropout"``,
+        ``"latency"``, ``"duplicate"``, ``"reorder"``, ``"corruption"``,
+        ``"jitter"``), for traces and forensics.
+    """
+
+    value: np.ndarray | None
+    available: bool
+    age: int
+    events: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FaultyDelivery:
+    """All sensors' deliveries for one control iteration."""
+
+    iteration: int
+    t: float
+    readings: dict[str, DeliveredReading]
+
+    @property
+    def available_sensors(self) -> frozenset[str]:
+        return frozenset(n for n, r in self.readings.items() if r.available)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one sensor failed to deliver this iteration."""
+        return any(not r.available for r in self.readings.values())
+
+    def stacked(self, suite, fallback: np.ndarray) -> np.ndarray:
+        """Assemble a stacked reading in *suite* order.
+
+        Sensors that never delivered anything fall back to the corresponding
+        block of *fallback* (typically the clean initial reading); their rows
+        are excluded from estimation by the availability mask anyway, but the
+        stacked vector must stay materializable.
+        """
+        out = np.asarray(fallback, dtype=float).copy()
+        for name, delivered in self.readings.items():
+            if delivered.value is not None:
+                out[suite.slice_of(name)] = delivered.value
+        return out
+
+
+class SensorFault(ABC):
+    """Base class: one fault model acting on one sensor's delivery channel.
+
+    Parameters
+    ----------
+    sensor:
+        Name of the sensing workflow whose channel this fault perturbs.
+    start, stop:
+        Activation window in mission time (``stop=None`` = until mission
+        end), mirroring :class:`repro.attacks.base.Attack`.
+    name:
+        Display name for traces and reports.
+    """
+
+    #: Event label recorded on deliveries this fault touched.
+    event = "fault"
+
+    def __init__(
+        self,
+        sensor: str,
+        start: float = 0.0,
+        stop: float | None = None,
+        name: str | None = None,
+    ) -> None:
+        if stop is not None and stop <= start:
+            raise ConfigurationError("fault stop time must be after start")
+        self.sensor = str(sensor)
+        self.start = float(start)
+        self.stop = None if stop is None else float(stop)
+        self.name = name or f"{self.event}:{sensor}"
+        self._rng: np.random.Generator | None = None
+        self._seed: np.random.SeedSequence | None = None
+
+    def active(self, t: float) -> bool:
+        return t >= self.start and (self.stop is None or t < self.stop)
+
+    # -- lifecycle ------------------------------------------------------
+    def bind(self, seed: np.random.SeedSequence) -> None:
+        """Attach this fault's private random substream (idempotent reset base)."""
+        self._seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart the fault's private stream for a fresh run."""
+        if self._seed is None:
+            raise ConfigurationError(
+                f"fault {self.name!r} was never bound to a schedule; "
+                "construct a FaultSchedule around it"
+            )
+        self._rng = np.random.default_rng(self._seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise ConfigurationError(f"fault {self.name!r} used before reset()")
+        return self._rng
+
+    # -- hooks ----------------------------------------------------------
+    def apply(self, packet: _InFlight, t: float) -> None:
+        """Perturb the fresh in-flight packet (drop / delay / corrupt)."""
+
+    def extra_packets(
+        self, channel: "_Channel", iteration: int, t: float
+    ) -> list[_InFlight]:
+        """Additional packets injected into the channel this iteration."""
+        return []
+
+
+class BernoulliDropout(SensorFault):
+    """Independent per-iteration packet loss with probability *probability*."""
+
+    event = "dropout"
+
+    def __init__(self, sensor: str, probability: float, **kwargs) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("dropout probability must be in [0, 1]")
+        super().__init__(sensor, **kwargs)
+        self.probability = float(probability)
+
+    def apply(self, packet: _InFlight, t: float) -> None:
+        if self.probability > 0.0 and self.rng.random() < self.probability:
+            packet.dropped = True
+            packet.events.append(self.event)
+
+
+class BurstDropout(SensorFault):
+    """Two-state (Gilbert–Elliott) burst loss.
+
+    From the good state the channel enters a loss burst with probability
+    *p_enter* per iteration; inside a burst every packet is lost and the
+    burst ends with probability *p_exit* per iteration — the classic model of
+    correlated bus congestion, where losses cluster instead of scattering.
+    """
+
+    event = "dropout"
+
+    def __init__(self, sensor: str, p_enter: float, p_exit: float = 0.5, **kwargs) -> None:
+        if not 0.0 <= p_enter <= 1.0 or not 0.0 < p_exit <= 1.0:
+            raise ConfigurationError("burst probabilities must be in [0, 1] (p_exit > 0)")
+        super().__init__(sensor, **kwargs)
+        self.p_enter = float(p_enter)
+        self.p_exit = float(p_exit)
+        self._in_burst = False
+
+    def reset(self) -> None:
+        super().reset()
+        self._in_burst = False
+
+    def apply(self, packet: _InFlight, t: float) -> None:
+        if self._in_burst:
+            packet.dropped = True
+            packet.events.append(self.event)
+            if self.rng.random() < self.p_exit:
+                self._in_burst = False
+        elif self.p_enter > 0.0 and self.rng.random() < self.p_enter:
+            self._in_burst = True
+            packet.dropped = True
+            packet.events.append(self.event)
+
+
+class LatencyFault(SensorFault):
+    """Delayed delivery: packets arrive *delay* iterations late.
+
+    With ``probability < 1`` only a random subset of packets is delayed
+    (the rest arrive on time, so a delayed packet arrives *after* fresher
+    ones — out-of-order delivery falls out of the arrival ordering). The
+    consumer sees stale readings while delayed packets are in flight.
+    """
+
+    event = "latency"
+
+    def __init__(
+        self, sensor: str, delay: int, probability: float = 1.0, **kwargs
+    ) -> None:
+        if delay < 1:
+            raise ConfigurationError("latency delay must be at least 1 iteration")
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("latency probability must be in [0, 1]")
+        super().__init__(sensor, **kwargs)
+        self.delay = int(delay)
+        self.probability = float(probability)
+
+    def apply(self, packet: _InFlight, t: float) -> None:
+        if self.probability >= 1.0 or (
+            self.probability > 0.0 and self.rng.random() < self.probability
+        ):
+            packet.arrival += self.delay
+            packet.events.append(self.event)
+
+
+class DuplicateFault(SensorFault):
+    """Re-transmission: with probability *probability*, the previously
+    delivered packet is sent again this iteration (arriving after the fresh
+    one, so the consumer's latest value becomes the stale duplicate)."""
+
+    event = "duplicate"
+
+    def __init__(self, sensor: str, probability: float, **kwargs) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("duplicate probability must be in [0, 1]")
+        super().__init__(sensor, **kwargs)
+        self.probability = float(probability)
+
+    def extra_packets(self, channel: "_Channel", iteration: int, t: float) -> list[_InFlight]:
+        last = channel.last_delivered
+        if (
+            last is not None
+            and self.probability > 0.0
+            and self.rng.random() < self.probability
+        ):
+            copy = _InFlight(
+                value=last.value.copy(),
+                measured_iteration=last.measured_iteration,
+                measured_t=last.measured_t,
+                arrival=iteration,
+                events=list(last.events) + [self.event],
+            )
+            return [copy]
+        return []
+
+
+class OutOfOrderFault(SensorFault):
+    """Reordering: with probability *probability*, the current packet is held
+    one iteration and delivered after the next fresh packet — the consumer's
+    latest value regresses to the older measurement."""
+
+    event = "reorder"
+
+    def __init__(self, sensor: str, probability: float, **kwargs) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("reorder probability must be in [0, 1]")
+        super().__init__(sensor, **kwargs)
+        self.probability = float(probability)
+
+    def apply(self, packet: _InFlight, t: float) -> None:
+        if self.probability > 0.0 and self.rng.random() < self.probability:
+            packet.arrival += 1
+            # Arriving after the next iteration's fresh packet makes the held
+            # packet the channel's latest — i.e. delivered out of order.
+            packet.late = True
+            packet.events.append(self.event)
+
+
+class PayloadCorruption(SensorFault):
+    """Non-finite payload corruption: with probability *probability* the
+    packet's components are replaced by *value* (NaN by default — a driver
+    serializing uninitialized memory or a failed checksum decode)."""
+
+    event = "corruption"
+
+    def __init__(
+        self,
+        sensor: str,
+        probability: float,
+        value: float = np.nan,
+        components: Sequence[int] | None = None,
+        **kwargs,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("corruption probability must be in [0, 1]")
+        super().__init__(sensor, **kwargs)
+        self.probability = float(probability)
+        self.value = float(value)
+        self.components = None if components is None else tuple(int(c) for c in components)
+
+    def apply(self, packet: _InFlight, t: float) -> None:
+        if self.probability > 0.0 and self.rng.random() < self.probability:
+            if self.components is None:
+                packet.value[:] = self.value
+            else:
+                packet.value[list(self.components)] = self.value
+            packet.events.append(self.event)
+
+
+class TimestampJitter(SensorFault):
+    """Timestep jitter: the packet's measurement timestamp is skewed by up to
+    ±*skew* seconds (clock drift, asynchronous sampling). The payload is
+    unchanged — downstream consumers that trust timestamps see readings that
+    claim a slightly different sampling instant."""
+
+    event = "jitter"
+
+    def __init__(self, sensor: str, skew: float, probability: float = 1.0, **kwargs) -> None:
+        if skew < 0.0:
+            raise ConfigurationError("jitter skew must be non-negative")
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("jitter probability must be in [0, 1]")
+        super().__init__(sensor, **kwargs)
+        self.skew = float(skew)
+        self.probability = float(probability)
+
+    def apply(self, packet: _InFlight, t: float) -> None:
+        if self.skew > 0.0 and (
+            self.probability >= 1.0 or self.rng.random() < self.probability
+        ):
+            packet.measured_t += float(self.rng.uniform(-self.skew, self.skew))
+            packet.events.append(self.event)
+
+
+class _Channel:
+    """Delivery state of one sensor: in-flight queue + last delivered packet."""
+
+    __slots__ = ("queue", "last_delivered")
+
+    def __init__(self) -> None:
+        self.queue: list[_InFlight] = []
+        self.last_delivered: _InFlight | None = None
+
+    def reset(self) -> None:
+        self.queue.clear()
+        self.last_delivered = None
+
+
+class FaultSchedule:
+    """Declarative collection of sensor-delivery faults for one mission.
+
+    Parameters
+    ----------
+    faults:
+        The fault models. Several faults may target the same sensor; they are
+        applied in list order to each fresh packet.
+    seed:
+        Root seed of the schedule's private random streams. Every fault gets
+        its own :class:`numpy.random.SeedSequence` child, so fault randomness
+        is reproducible and independent of the simulation's generator and of
+        the other faults.
+
+    Usage mirrors :class:`repro.attacks.scheduler.AttackSchedule`: build one
+    schedule per run (or :meth:`reset` between runs), then call
+    :meth:`deliver` once per control iteration with the fresh per-sensor
+    readings.
+    """
+
+    def __init__(self, faults: Sequence[SensorFault] = (), seed: int = 0) -> None:
+        self._faults = list(faults)
+        self._seed = int(seed)
+        root = np.random.SeedSequence(self._seed)
+        for fault, child in zip(self._faults, root.spawn(max(len(self._faults), 1))):
+            fault.bind(child)
+        self._channels: dict[str, _Channel] = {}
+        self._iteration = 0
+
+    @property
+    def faults(self) -> list[SensorFault]:
+        return list(self._faults)
+
+    @property
+    def sensors(self) -> frozenset[str]:
+        """Sensors with at least one fault model attached."""
+        return frozenset(f.sensor for f in self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self):
+        return iter(self._faults)
+
+    def reset(self) -> None:
+        """Restart every fault stream and empty the channels for a new run."""
+        for fault in self._faults:
+            fault.reset()
+        for channel in self._channels.values():
+            channel.reset()
+        self._iteration = 0
+
+    def _channel(self, sensor: str) -> _Channel:
+        channel = self._channels.get(sensor)
+        if channel is None:
+            channel = self._channels[sensor] = _Channel()
+        return channel
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        readings: Mapping[str, np.ndarray],
+        iteration: int,
+        t: float,
+    ) -> FaultyDelivery:
+        """Push this iteration's fresh readings through the fault channels.
+
+        Sensors without fault models pass through untouched (always
+        available, age 0), so a schedule only pays for — and only perturbs —
+        the channels it declares.
+        """
+        delivered: dict[str, DeliveredReading] = {}
+        faulted = self.sensors
+        for name, value in readings.items():
+            if name not in faulted:
+                delivered[name] = DeliveredReading(
+                    value=np.asarray(value, dtype=float),
+                    available=True,
+                    age=0,
+                )
+                continue
+            delivered[name] = self._deliver_one(name, value, iteration, t)
+        return FaultyDelivery(iteration=iteration, t=t, readings=delivered)
+
+    def _deliver_one(
+        self, sensor: str, value: np.ndarray, iteration: int, t: float
+    ) -> DeliveredReading:
+        channel = self._channel(sensor)
+        fresh = _InFlight(
+            value=np.asarray(value, dtype=float).copy(),
+            measured_iteration=iteration,
+            measured_t=t,
+            arrival=iteration,
+        )
+        for fault in self._faults:
+            if fault.sensor != sensor or not fault.active(t):
+                continue
+            fault.apply(fresh, t)
+        if not fresh.dropped:
+            channel.queue.append(fresh)
+        for fault in self._faults:
+            if fault.sensor != sensor or not fault.active(t):
+                continue
+            channel.queue.extend(fault.extra_packets(channel, iteration, t))
+
+        # Stable sort: within one iteration, punctual packets keep queue
+        # order and late ones (reordered stragglers) land after them.
+        arrivals = sorted(
+            (p for p in channel.queue if p.arrival <= iteration),
+            key=lambda p: p.late,
+        )
+        channel.queue = [p for p in channel.queue if p.arrival > iteration]
+
+        events: list[str] = []
+        if fresh.dropped:
+            events.extend(fresh.events)
+        for packet in arrivals:
+            events.extend(packet.events)
+
+        if arrivals:
+            # Last to arrive wins: reordered/duplicated packets overwrite the
+            # fresher ones, exactly as a "latest value" consumer experiences.
+            latest = arrivals[-1]
+            channel.last_delivered = latest
+            return DeliveredReading(
+                value=latest.value,
+                available=True,
+                age=iteration - latest.measured_iteration,
+                events=tuple(dict.fromkeys(events)),
+            )
+        held = channel.last_delivered
+        return DeliveredReading(
+            value=None if held is None else held.value,
+            available=False,
+            age=0 if held is None else iteration - held.measured_iteration,
+            events=tuple(dict.fromkeys(events)),
+        )
+
+
+def uniform_dropout_schedule(
+    sensors: Iterable[str],
+    probability: float,
+    seed: int = 0,
+    start: float = 0.0,
+    stop: float | None = None,
+) -> FaultSchedule:
+    """Bernoulli dropout at one *probability* on every listed sensor — the
+    fault-campaign runner's default intensity knob."""
+    return FaultSchedule(
+        [
+            BernoulliDropout(name, probability, start=start, stop=stop)
+            for name in sensors
+        ],
+        seed=seed,
+    )

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..attacks.scheduler import AttackSchedule
 from ..errors import ConfigurationError, SimulationError
+from .faults import FaultSchedule
 from .platform import RobotPlatform
 from .trace import SimulationTrace
 
@@ -58,6 +59,13 @@ class ClosedLoopSimulator:
         ``navigation_pose(readings, report)`` method; when present (and a
         detector is), it chooses the pose the planner navigates by each
         iteration instead of the fixed ``nav_sensor``.
+    faults:
+        Optional :class:`repro.sim.faults.FaultSchedule` of benign delivery
+        faults (dropout, latency, duplicates, corruption). Fault randomness
+        is independent of *rng*, so an all-zero-intensity schedule leaves
+        the mission bit-identical to a fault-free run. On degraded
+        iterations the planner navigates by the last delivered pose and the
+        detector receives the per-iteration availability mask.
     """
 
     def __init__(
@@ -68,6 +76,7 @@ class ClosedLoopSimulator:
         nav_sensor: str = "ips",
         detector: Any = None,
         responder: Any = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
         if nav_sensor not in platform.suite.names:
             raise ConfigurationError(
@@ -83,6 +92,7 @@ class ClosedLoopSimulator:
         self._nav_sensor = nav_sensor
         self._detector = detector
         self._responder = responder
+        self._faults = faults
 
     @property
     def platform(self) -> RobotPlatform:
@@ -91,6 +101,10 @@ class ClosedLoopSimulator:
     @property
     def schedule(self) -> AttackSchedule:
         return self._schedule
+
+    @property
+    def faults(self) -> FaultSchedule | None:
+        return self._faults
 
     def run(
         self,
@@ -115,6 +129,8 @@ class ClosedLoopSimulator:
         self._controller.reset()
         if self._responder is not None:
             self._responder.reset()
+        if self._faults is not None:
+            self._faults.reset()
 
         trace = SimulationTrace(dt=dt, sensor_names=platform.suite.names)
 
@@ -130,14 +146,45 @@ class ClosedLoopSimulator:
             )
             t_sense = t_command + dt
 
+            # Push the sensed readings through the fault channels: what the
+            # consumers (planner, detector) see is whatever was delivered,
+            # which may be stale, corrupted, or absent.
+            stacked = step.stacked_reading
+            consumer_readings = step.readings
+            available: tuple[str, ...] | None = None
+            delivery = None
+            if self._faults is not None:
+                delivery = self._faults.deliver(step.readings, k, t_sense)
+                stacked = delivery.stacked(platform.suite, fallback=step.stacked_reading)
+                consumer_readings = {
+                    name: (r.value if r.value is not None else step.readings[name])
+                    for name, r in delivery.readings.items()
+                }
+                if delivery.degraded:
+                    available = tuple(
+                        n
+                        for n in platform.suite.names
+                        if delivery.readings[n].available
+                    )
+
             report = None
             if self._detector is not None:
-                report = self._detector.step(planned, step.stacked_reading)
+                if available is None:
+                    report = self._detector.step(planned, stacked)
+                else:
+                    report = self._detector.step(planned, stacked, available=available)
 
             if self._responder is not None and report is not None:
                 nav_pose = np.asarray(
-                    self._responder.navigation_pose(step.readings, report), dtype=float
+                    self._responder.navigation_pose(consumer_readings, report), dtype=float
                 )
+            elif delivery is not None:
+                # Navigate by the delivered pose; a dropout (or a non-finite
+                # corrupted payload) holds the previous navigation fix, as a
+                # real planner consuming a latest-value topic would.
+                nav_delivered = delivery.readings[self._nav_sensor].value
+                if nav_delivered is not None and np.all(np.isfinite(nav_delivered[:3])):
+                    nav_pose = np.asarray(nav_delivered[:3], dtype=float)
             else:
                 nav_pose = np.asarray(step.readings[self._nav_sensor][:3], dtype=float)
 
@@ -146,12 +193,13 @@ class ClosedLoopSimulator:
                 true_state=step.state,
                 planned=planned,
                 executed=step.executed_control,
-                reading=step.stacked_reading,
+                reading=stacked,
                 nav_pose=nav_pose,
                 corrupted_sensors=self._schedule.corrupted_sensors(t_sense),
                 actuator_corrupted=self._schedule.actuator_corrupted(t_command),
                 report=report,
                 clean_reading=step.clean_reading,
+                available=available,
             )
             if on_iteration is not None:
                 on_iteration(k, trace)

@@ -42,6 +42,10 @@ class SimulationTrace:
     truth_actuator: list[bool] = field(default_factory=list)
     reports: list[Any] = field(default_factory=list)
     clean_readings: list[np.ndarray] = field(default_factory=list)
+    #: Per-iteration delivery masks under fault injection (``None`` = full
+    #: delivery, the nominal case). Replays feed these back to the detector so
+    #: offline results match the online degraded run.
+    availability: list[tuple[str, ...] | None] = field(default_factory=list)
 
     def append(
         self,
@@ -55,6 +59,7 @@ class SimulationTrace:
         actuator_corrupted: bool,
         report: Any = None,
         clean_reading: np.ndarray | None = None,
+        available: Sequence[str] | None = None,
     ) -> None:
         self.times.append(float(t))
         self.true_states.append(np.asarray(true_state, dtype=float).copy())
@@ -68,6 +73,7 @@ class SimulationTrace:
         if clean_reading is None:
             clean_reading = reading
         self.clean_readings.append(np.asarray(clean_reading, dtype=float).copy())
+        self.availability.append(None if available is None else tuple(available))
 
     def attach_reports(self, reports: Sequence[Any]) -> None:
         """Install per-iteration detector reports produced offline.
@@ -156,6 +162,12 @@ class SimulationTrace:
                 ["|".join(sorted(s)) for s in self.truth_sensors], dtype=np.str_
             ),
             truth_actuator=np.asarray(self.truth_actuator, dtype=bool),
+            # "*" encodes the nominal full-delivery iteration (None); a
+            # delivered subset is "|"-joined in suite order (possibly empty).
+            availability=np.array(
+                ["*" if a is None else "|".join(a) for a in self.availability],
+                dtype=np.str_,
+            ),
         )
 
     @classmethod
@@ -167,9 +179,15 @@ class SimulationTrace:
                 sensor_names=tuple(str(n) for n in data["sensor_names"]),
             )
             n = data["times"].shape[0]
+            has_availability = "availability" in data.files  # pre-fault-layer archives lack it
             for k in range(n):
                 encoded = str(data["truth_sensors"][k])
                 sensors = frozenset(encoded.split("|")) if encoded else frozenset()
+                available: tuple[str, ...] | None = None
+                if has_availability:
+                    raw = str(data["availability"][k])
+                    if raw != "*":
+                        available = tuple(raw.split("|")) if raw else ()
                 trace.append(
                     t=float(data["times"][k]),
                     true_state=data["true_states"][k],
@@ -181,5 +199,6 @@ class SimulationTrace:
                     actuator_corrupted=bool(data["truth_actuator"][k]),
                     report=None,
                     clean_reading=data["clean_readings"][k],
+                    available=available,
                 )
         return trace

@@ -82,6 +82,30 @@ class TestSlidingWindow:
             expected = sum(history[-window_size:]) >= criteria
             assert met == expected
 
+    def test_met_reads_without_pushing(self):
+        window = SlidingWindow(3, 2)
+        window.push(True)
+        window.push(True)
+        assert window.met
+        assert window.met  # repeated reads don't age the buffer
+        assert window.push(False)  # the two positives are still in-window
+
+    def test_confirmation_before_buffer_fills(self):
+        # c positives confirm even when fewer than w values were ever pushed.
+        window = SlidingWindow(6, 3)
+        assert not window.push(True)
+        assert not window.push(True)
+        assert window.push(True)
+
+    def test_exact_boundary(self):
+        # Exactly c positives in the last w: met. One falls out: not met.
+        window = SlidingWindow(4, 2)
+        window.push(True)
+        window.push(False)
+        window.push(False)
+        assert window.push(True)  # positives at offsets 0 and 3: exactly c=2
+        assert not window.push(False)  # oldest positive ages out: 1 < c
+
 
 def make_stats(
     sensor_stat=0.0,
@@ -90,6 +114,8 @@ def make_stats(
     iteration=1,
     sensor_dof=3,
     actuator_dof=2,
+    degraded=False,
+    available_sensors=None,
 ):
     per_sensor = per_sensor or {}
     sensor_stats = {
@@ -114,6 +140,8 @@ def make_stats(
         sensor_stats=sensor_stats,
         actuator_estimate=np.zeros(2),
         actuator_covariance=np.eye(2),
+        available_sensors=available_sensors,
+        degraded=degraded,
     )
 
 
@@ -195,3 +223,87 @@ class TestDecisionMaker:
         maker.reset()
         outcome = maker.step(high)
         assert not outcome.sensor_alarm
+
+    def test_alarm_at_exact_c_of_w_boundary(self):
+        # 3-of-6: positives at steps 1, 3, 6 — the third lands exactly at the
+        # window edge and must still confirm; step 7 (low) drops it to 2-of-6.
+        maker = DecisionMaker(DecisionConfig(actuator_window=6, actuator_criteria=3))
+        high = make_stats(actuator_stat=100.0)
+        low = make_stats(actuator_stat=0.1)
+        sequence = [high, low, high, low, low, high, low]
+        outcomes = [maker.step(s) for s in sequence]
+        assert [o.actuator_alarm for o in outcomes] == [
+            False, False, False, False, False, True, False,
+        ]
+
+    def test_recovery_after_attack_stops(self):
+        # Alarms confirm during the attack and clear once the positives age
+        # out of every window — no latching.
+        maker = DecisionMaker(DecisionConfig(sensor_window=2, sensor_criteria=2,
+                                             actuator_window=6, actuator_criteria=3))
+        high = make_stats(sensor_stat=100.0, per_sensor={"a": 100.0},
+                          actuator_stat=100.0)
+        low = make_stats(sensor_stat=0.1, per_sensor={"a": 0.1}, actuator_stat=0.1)
+        for _ in range(4):
+            outcome = maker.step(high)
+        assert outcome.sensor_alarm and outcome.actuator_alarm
+        recovered = [maker.step(low) for _ in range(6)]
+        assert not recovered[0].sensor_alarm  # 2-of-2 clears on first low step
+        assert recovered[2].actuator_alarm  # 3 highs still inside 6-window
+        assert not recovered[3].actuator_alarm  # ...until they age out
+        assert all(not o.sensor_alarm for o in recovered)
+        assert recovered[-1].flagged_sensors == frozenset()
+
+
+class TestDecisionMakerDegraded:
+    def test_missing_sensor_window_held_not_decayed(self):
+        # Sensor "a" confirms once, then goes unavailable (degraded) for two
+        # steps: its window is held, so one more positive re-confirms.
+        maker = DecisionMaker(DecisionConfig(sensor_window=2, sensor_criteria=2))
+        high = make_stats(sensor_stat=100.0, per_sensor={"a": 100.0, "b": 0.1})
+        maker.step(high)
+        absent = make_stats(sensor_stat=100.0, per_sensor={"b": 0.1},
+                            degraded=True, available_sensors=("b",))
+        maker.step(absent)
+        maker.step(absent)
+        outcome = maker.step(high)
+        assert "a" in outcome.flagged_sensors
+
+    def test_reference_rotation_still_decays_when_not_degraded(self):
+        # Same absence pattern without the degraded flag is a reference
+        # rotation: the window must decay (paper semantics, unchanged).
+        maker = DecisionMaker(DecisionConfig(sensor_window=2, sensor_criteria=2))
+        high = make_stats(sensor_stat=100.0, per_sensor={"a": 100.0, "b": 0.1})
+        maker.step(high)
+        rotated = make_stats(sensor_stat=100.0, per_sensor={"b": 0.1})
+        maker.step(rotated)
+        maker.step(rotated)
+        outcome = maker.step(high)
+        assert "a" not in outcome.flagged_sensors
+
+    def test_degraded_zero_dof_holds_aggregate_windows(self):
+        # Total blackout (dof 0, degraded): aggregate windows hold instead of
+        # pushing negatives, so a prior near-confirmation survives the gap.
+        maker = DecisionMaker(DecisionConfig(actuator_window=6, actuator_criteria=3))
+        high = make_stats(actuator_stat=100.0)
+        blackout = make_stats(actuator_stat=0.0, sensor_dof=0, actuator_dof=0,
+                              degraded=True, available_sensors=())
+        maker.step(high)
+        maker.step(high)
+        for _ in range(5):
+            outcome = maker.step(blackout)
+            assert not outcome.actuator_alarm  # a hold never raises an alarm
+        outcome = maker.step(high)
+        assert outcome.actuator_alarm  # third positive joins the held two
+
+    def test_nominal_zero_dof_still_pushes_negative(self):
+        # Without the degraded flag, dof 0 keeps the paper's behavior: a
+        # negative is pushed and the earlier positives age out.
+        maker = DecisionMaker(DecisionConfig(actuator_window=3, actuator_criteria=3))
+        high = make_stats(actuator_stat=100.0)
+        zero = make_stats(actuator_stat=0.0, actuator_dof=0)
+        maker.step(high)
+        maker.step(high)
+        maker.step(zero)
+        outcome = maker.step(high)
+        assert not outcome.actuator_alarm  # 2 highs + 1 pushed negative

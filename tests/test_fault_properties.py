@@ -1,0 +1,148 @@
+"""Property-based invariants the fault layer must preserve (hypothesis).
+
+Three families, matching the robustness contract in ``docs/ROBUSTNESS.md``:
+
+1. Mode probabilities stay a distribution (sum 1, every entry positive and
+   at least the normalized floor) for *any* per-iteration availability mask.
+2. Chi-square statistics stay non-negative and finite for any mask,
+   including total blackout and NaN-corrupted payloads.
+3. Offline replay — sequential or batched — of a fault-degraded mission
+   reproduces the online reports exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import replay_batch
+from repro.core.detector import RoboADS
+from repro.dynamics.unicycle import UnicycleModel
+from repro.sensors.pose_sensors import IPS, InertialNavSensor, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+
+pytestmark = pytest.mark.faults
+
+Q = np.diag([1e-6, 1e-6, 4e-6])
+SENSOR_NAMES = ("ips", "wheel_encoder", "imu")
+X0 = np.array([0.5, 0.5, 0.2])
+U = np.array([0.2, 0.15])
+
+
+def make_detector() -> tuple[UnicycleModel, SensorSuite, RoboADS]:
+    model = UnicycleModel(dt=0.1)
+    suite = SensorSuite(
+        [
+            IPS(sigma_xy=0.002, sigma_theta=0.004),
+            OdometryPoseSensor(sigma_xy=0.003, sigma_theta=0.006),
+            InertialNavSensor(sigma_xy=0.004, sigma_theta=0.008),
+        ]
+    )
+    detector = RoboADS(model, suite, Q, initial_state=X0, nominal_control=U)
+    return model, suite, detector
+
+
+# One detector for the whole module: construction dominates, and reset()
+# restores it exactly (pinned by the replay test below).
+MODEL, SUITE, DETECTOR = make_detector()
+
+
+def synthesize(n_steps: int, seed: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    x = X0.copy()
+    controls, readings = [], []
+    for _ in range(n_steps):
+        x = MODEL.normalize_state(
+            MODEL.f(x, U) + np.sqrt(np.diag(Q)) * rng.standard_normal(3)
+        )
+        controls.append(U.copy())
+        readings.append(SUITE.measure(x, rng))
+    return controls, readings
+
+
+masks = st.lists(
+    st.sets(st.sampled_from(SENSOR_NAMES)).map(
+        lambda s: tuple(n for n in SENSOR_NAMES if n in s)
+    ),
+    min_size=5,
+    max_size=25,
+)
+
+
+class TestDegradedInvariants:
+    @given(mask_seq=masks, seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_probabilities_and_statistics(self, mask_seq, seed):
+        DETECTOR.reset()
+        epsilon = DETECTOR.engine._epsilon
+        controls, readings = synthesize(len(mask_seq), seed)
+        floor = epsilon / (epsilon * len(DETECTOR.engine.modes) + 1.0)
+        for u, z, mask in zip(controls, readings, mask_seq):
+            report = DETECTOR.step(u, z, available=mask)
+            stats = report.statistics
+            probs = stats.mode_probabilities
+            assert abs(sum(probs.values()) - 1.0) < 1e-9
+            assert all(p >= floor for p in probs.values())
+            assert np.isfinite(stats.sensor_statistic) and stats.sensor_statistic >= 0.0
+            assert np.isfinite(stats.actuator_statistic) and stats.actuator_statistic >= 0.0
+            assert np.all(np.isfinite(stats.state_estimate))
+            for sensor_stat in stats.sensor_stats.values():
+                assert np.isfinite(sensor_stat.statistic) and sensor_stat.statistic >= 0.0
+            if len(mask) < len(SENSOR_NAMES):
+                assert stats.degraded
+                assert stats.available_sensors == mask
+            else:
+                assert not stats.degraded
+
+    @given(seed=st.integers(0, 2**16), corrupt=st.sampled_from(SENSOR_NAMES))
+    @settings(max_examples=10, deadline=None)
+    def test_nan_payload_never_poisons_statistics(self, seed, corrupt):
+        DETECTOR.reset()
+        controls, readings = synthesize(12, seed)
+        for k, (u, z) in enumerate(zip(controls, readings)):
+            z = z.copy()
+            if k % 3 == 0:
+                z[SUITE.slice_of(corrupt)] = np.nan
+            report = DETECTOR.step(u, z)
+            stats = report.statistics
+            assert np.isfinite(stats.sensor_statistic)
+            assert np.isfinite(stats.actuator_statistic)
+            assert np.all(np.isfinite(stats.state_estimate))
+            if k % 3 == 0:
+                assert stats.degraded
+                assert corrupt not in (stats.available_sensors or ())
+
+
+class TestReplayEquivalence:
+    @given(mask_seq=masks, seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_batched_equals_sequential_under_faults(self, mask_seq, seed):
+        controls, readings = synthesize(len(mask_seq), seed)
+        availability = [m if len(m) < len(SENSOR_NAMES) else None for m in mask_seq]
+
+        DETECTOR.reset()
+        online = [
+            DETECTOR.step(u, z, available=a)
+            for u, z, a in zip(controls, readings, availability)
+        ]
+        sequential = DETECTOR.replay(controls, readings, availability=availability)
+
+        trace = type(
+            "T",
+            (),
+            {
+                "planned_controls": controls,
+                "readings": readings,
+                "availability": availability,
+            },
+        )()
+        batch = replay_batch(DETECTOR, [trace], keep_reports=True)
+        batched = batch.trace_reports(0)
+
+        assert len(online) == len(sequential) == len(batched)
+        for a, b, c in zip(online, sequential, batched):
+            assert np.array_equal(a.statistics.state_estimate, b.statistics.state_estimate)
+            assert np.array_equal(b.statistics.state_estimate, c.statistics.state_estimate)
+            assert a.statistics.sensor_statistic == b.statistics.sensor_statistic
+            assert b.statistics.sensor_statistic == c.statistics.sensor_statistic
+            assert a.outcome == b.outcome == c.outcome

@@ -1,0 +1,254 @@
+"""Tests for the sensor-delivery fault layer (sim/faults.py)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.faults import (
+    BernoulliDropout,
+    BurstDropout,
+    DuplicateFault,
+    FaultSchedule,
+    LatencyFault,
+    OutOfOrderFault,
+    PayloadCorruption,
+    TimestampJitter,
+    uniform_dropout_schedule,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def deliver_series(schedule, values, sensor="s"):
+    """Run a sequence of scalar readings through one sensor's channel."""
+    out = []
+    for k, v in enumerate(values, start=1):
+        delivery = schedule.deliver({sensor: np.array([float(v)])}, k, k * 0.05)
+        out.append(delivery.readings[sensor])
+    return out
+
+
+class TestPassthrough:
+    def test_no_faults_always_available(self):
+        schedule = FaultSchedule()
+        delivered = deliver_series(schedule, [1.0, 2.0, 3.0])
+        assert all(r.available for r in delivered)
+        assert [float(r.value[0]) for r in delivered] == [1.0, 2.0, 3.0]
+        assert all(r.age == 0 for r in delivered)
+
+    def test_zero_intensity_faults_are_passthrough(self):
+        schedule = FaultSchedule(
+            [
+                BernoulliDropout("s", 0.0),
+                DuplicateFault("s", 0.0),
+                OutOfOrderFault("s", 0.0),
+                PayloadCorruption("s", 0.0),
+                TimestampJitter("s", 0.0),
+            ],
+            seed=7,
+        )
+        delivered = deliver_series(schedule, [1.0, 2.0, 3.0])
+        assert all(r.available for r in delivered)
+        assert [float(r.value[0]) for r in delivered] == [1.0, 2.0, 3.0]
+        assert all(r.events == () for r in delivered)
+
+    def test_unfaulted_sensor_untouched_next_to_faulted(self):
+        schedule = FaultSchedule([BernoulliDropout("a", 1.0)], seed=0)
+        delivery = schedule.deliver(
+            {"a": np.array([1.0]), "b": np.array([2.0])}, 1, 0.05
+        )
+        assert not delivery.readings["a"].available
+        assert delivery.readings["b"].available
+        assert delivery.available_sensors == frozenset({"b"})
+        assert delivery.degraded
+
+
+class TestDropout:
+    def test_certain_dropout_holds_last_value(self):
+        schedule = FaultSchedule([BernoulliDropout("s", 1.0, start=0.11)], seed=0)
+        delivered = deliver_series(schedule, [1.0, 2.0, 3.0])
+        # k=1,2 arrive (t=0.05, 0.10 < start), k=3 dropped -> hold k=2's value.
+        assert delivered[1].available
+        assert not delivered[2].available
+        assert float(delivered[2].value[0]) == 2.0
+        assert delivered[2].age == 1
+        assert "dropout" in delivered[2].events
+
+    def test_dropout_before_any_delivery_yields_none(self):
+        schedule = FaultSchedule([BernoulliDropout("s", 1.0)], seed=0)
+        delivered = deliver_series(schedule, [1.0])
+        assert not delivered[0].available
+        assert delivered[0].value is None
+
+    def test_rate_roughly_matches_probability(self):
+        schedule = FaultSchedule([BernoulliDropout("s", 0.3)], seed=42)
+        delivered = deliver_series(schedule, np.arange(2000))
+        rate = sum(not r.available for r in delivered) / len(delivered)
+        assert 0.25 < rate < 0.35
+
+    def test_reset_reproduces_realization(self):
+        schedule = FaultSchedule([BernoulliDropout("s", 0.5)], seed=9)
+        first = [r.available for r in deliver_series(schedule, np.arange(50))]
+        schedule.reset()
+        second = [r.available for r in deliver_series(schedule, np.arange(50))]
+        assert first == second
+
+    def test_window_gating(self):
+        schedule = FaultSchedule([BernoulliDropout("s", 1.0, start=0.1, stop=0.2)], seed=0)
+        delivered = deliver_series(schedule, np.arange(1, 7))
+        availability = [r.available for r in delivered]
+        # t = 0.05 .. 0.30; active window [0.1, 0.2) covers t=0.10, 0.15.
+        assert availability == [True, False, False, True, True, True]
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliDropout("s", 1.5)
+
+
+class TestBurstDropout:
+    def test_losses_cluster(self):
+        schedule = FaultSchedule([BurstDropout("s", p_enter=0.05, p_exit=0.2)], seed=3)
+        delivered = deliver_series(schedule, np.arange(3000))
+        losses = [not r.available for r in delivered]
+        loss_rate = sum(losses) / len(losses)
+        assert loss_rate > 0.05  # bursts amplify the entry rate
+        # Mean run length of consecutive losses must exceed 1 (clustering).
+        runs, current = [], 0
+        for lost in losses:
+            if lost:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert np.mean(runs) > 1.5
+
+    def test_reset_leaves_burst_state(self):
+        fault = BurstDropout("s", p_enter=1.0, p_exit=1e-9)
+        schedule = FaultSchedule([fault], seed=0)
+        deliver_series(schedule, np.arange(10))
+        assert fault._in_burst
+        schedule.reset()
+        assert not fault._in_burst
+
+
+class TestLatency:
+    def test_constant_delay_shifts_arrivals(self):
+        schedule = FaultSchedule([LatencyFault("s", delay=2)], seed=0)
+        delivered = deliver_series(schedule, [10.0, 20.0, 30.0, 40.0])
+        # Nothing arrives at k=1,2; k=3 receives k=1's packet, k=4 k=2's.
+        assert not delivered[0].available and delivered[0].value is None
+        assert not delivered[1].available
+        assert delivered[2].available
+        assert float(delivered[2].value[0]) == 10.0
+        assert delivered[2].age == 2
+        assert delivered[3].available
+        assert float(delivered[3].value[0]) == 20.0
+        assert "latency" in delivered[2].events
+
+
+class TestDuplicate:
+    def test_duplicate_regresses_to_stale_value(self):
+        schedule = FaultSchedule([DuplicateFault("s", 1.0)], seed=0)
+        delivered = deliver_series(schedule, [1.0, 2.0, 3.0])
+        # k=2: fresh 2.0 arrives, then the re-sent k=1 packet arrives after
+        # it — the consumer's latest value is the stale duplicate.
+        assert delivered[1].available
+        assert float(delivered[1].value[0]) == 1.0
+        assert delivered[1].age == 1
+        assert "duplicate" in delivered[1].events
+
+
+class TestOutOfOrder:
+    def test_reordered_packet_wins_next_iteration(self):
+        schedule = FaultSchedule([OutOfOrderFault("s", 1.0, stop=0.07)], seed=0)
+        delivered = deliver_series(schedule, [1.0, 2.0, 3.0])
+        # k=1's packet is held to k=2 and delivered after k=2's fresh one:
+        # the consumer's latest regresses to the older measurement.
+        assert not delivered[0].available
+        assert delivered[1].available
+        assert float(delivered[1].value[0]) == 1.0
+        assert delivered[1].age == 1
+        assert "reorder" in delivered[1].events
+
+
+class TestPayloadCorruption:
+    def test_nan_payload(self):
+        schedule = FaultSchedule([PayloadCorruption("s", 1.0)], seed=0)
+        delivered = deliver_series(schedule, [1.0])
+        assert delivered[0].available
+        assert np.isnan(delivered[0].value[0])
+        assert "corruption" in delivered[0].events
+
+    def test_component_subset(self):
+        schedule = FaultSchedule(
+            [PayloadCorruption("s", 1.0, value=np.inf, components=(1,))], seed=0
+        )
+        delivery = schedule.deliver({"s": np.array([1.0, 2.0, 3.0])}, 1, 0.05)
+        value = delivery.readings["s"].value
+        assert value[0] == 1.0 and np.isinf(value[1]) and value[2] == 3.0
+
+    def test_source_reading_never_mutated(self):
+        schedule = FaultSchedule([PayloadCorruption("s", 1.0)], seed=0)
+        original = np.array([1.0, 2.0])
+        schedule.deliver({"s": original}, 1, 0.05)
+        assert np.array_equal(original, [1.0, 2.0])
+
+
+class TestTimestampJitter:
+    def test_jitter_marks_event_but_keeps_payload(self):
+        schedule = FaultSchedule([TimestampJitter("s", skew=0.01)], seed=0)
+        delivered = deliver_series(schedule, [5.0])
+        assert delivered[0].available
+        assert float(delivered[0].value[0]) == 5.0
+        assert "jitter" in delivered[0].events
+
+
+class TestSchedule:
+    def test_stacked_with_fallback(self):
+        from repro.sensors.pose_sensors import IPS
+        from repro.sensors.suite import SensorSuite
+
+        suite = SensorSuite([IPS()])
+        schedule = FaultSchedule([BernoulliDropout("ips", 1.0)], seed=0)
+        fallback = np.array([9.0, 9.0, 9.0])
+        delivery = schedule.deliver({"ips": np.array([1.0, 2.0, 3.0])}, 1, 0.05)
+        stacked = delivery.stacked(suite, fallback)
+        # Never delivered: the stacked vector falls back.
+        assert np.array_equal(stacked, fallback)
+        delivery2 = schedule.deliver({"ips": np.array([4.0, 5.0, 6.0])}, 2, 0.10)
+        stacked2 = delivery2.stacked(suite, fallback)
+        # Still dropped, but nothing ever arrived, so fallback persists.
+        assert np.array_equal(stacked2, fallback)
+
+    def test_uniform_dropout_schedule(self):
+        schedule = uniform_dropout_schedule(["a", "b"], 0.25, seed=1)
+        assert schedule.sensors == frozenset({"a", "b"})
+        assert all(isinstance(f, BernoulliDropout) for f in schedule)
+        assert all(f.probability == 0.25 for f in schedule)
+
+    def test_unbound_fault_rejected(self):
+        fault = BernoulliDropout("s", 0.5)
+        with pytest.raises(ConfigurationError):
+            fault.reset()
+
+    def test_independent_streams_per_fault(self):
+        # Removing one fault must not change another's realization.
+        both = FaultSchedule(
+            [BernoulliDropout("a", 0.5), BernoulliDropout("b", 0.5)], seed=5
+        )
+        only_a = FaultSchedule([BernoulliDropout("a", 0.5)], seed=5)
+        pattern_both = [
+            both.deliver({"a": np.array([0.0]), "b": np.array([0.0])}, k, k * 0.05)
+            .readings["a"]
+            .available
+            for k in range(1, 40)
+        ]
+        pattern_alone = [
+            only_a.deliver({"a": np.array([0.0])}, k, k * 0.05).readings["a"].available
+            for k in range(1, 40)
+        ]
+        assert pattern_both == pattern_alone
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliDropout("s", 0.5, start=2.0, stop=1.0)

@@ -1,0 +1,70 @@
+"""Golden-trace regression: canonical missions pinned to 1e-10.
+
+Two fault-free missions (200-step Khepera and Tamiya, fixed seeds) are
+frozen under ``tests/golden/``. These tests re-run the exact missions and
+compare every per-iteration statistic against the archive — any numerical
+drift from a refactor fails here before it skews Table II/III numbers.
+
+The zero-intensity tests additionally pin the ISSUE acceptance criterion:
+a fault schedule whose every model has zero intensity must leave the
+mission *identical* to the no-fault path (fault RNG streams are spawned
+independently of the simulation noise stream, so the realization cannot
+shift).
+
+Regenerate archives only for an intentional change:
+``PYTHONPATH=src python scripts/make_golden_traces.py``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.golden import GOLDEN_MISSIONS, compare_golden, golden_mission, load_golden
+from repro.sim.faults import (
+    BernoulliDropout,
+    DuplicateFault,
+    FaultSchedule,
+    LatencyFault,
+    OutOfOrderFault,
+    PayloadCorruption,
+    TimestampJitter,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+pytestmark = pytest.mark.slow
+
+
+def zero_intensity_schedule(sensor_names) -> FaultSchedule:
+    """Every fault model, on every sensor, at zero intensity."""
+    faults = []
+    for name in sensor_names:
+        faults.extend(
+            [
+                BernoulliDropout(name, 0.0),
+                LatencyFault(name, delay=1, probability=0.0),
+                DuplicateFault(name, 0.0),
+                OutOfOrderFault(name, 0.0),
+                PayloadCorruption(name, 0.0),
+                TimestampJitter(name, skew=0.01, probability=0.0),
+            ]
+        )
+    return FaultSchedule(faults, seed=123)
+
+
+@pytest.mark.parametrize("mission", sorted(GOLDEN_MISSIONS))
+class TestGoldenTrace:
+    def test_clean_mission_matches_archive(self, mission):
+        stored = load_golden(GOLDEN_DIR / f"{mission}_200.npz")
+        fresh = golden_mission(mission)
+        drifted = compare_golden(fresh, stored, atol=1e-10)
+        assert not drifted, f"golden drift beyond 1e-10 in: {drifted}"
+
+    def test_zero_intensity_faults_identical_to_archive(self, mission):
+        stored = load_golden(GOLDEN_DIR / f"{mission}_200.npz")
+        sensors = tuple(str(n) for n in stored["sensor_names"])
+        fresh = golden_mission(mission, faults=zero_intensity_schedule(sensors))
+        # Exact identity, not tolerance: zero-intensity faults must leave
+        # the delivered readings and every downstream statistic untouched.
+        drifted = compare_golden(fresh, stored, atol=0.0)
+        assert not drifted, f"zero-intensity faults perturbed: {drifted}"

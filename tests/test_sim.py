@@ -77,6 +77,33 @@ class TestBus:
         bus.clear()
         assert bus.history() == []
 
+    def test_clear_keeps_subscribers_by_default(self):
+        bus = CommunicationBus()
+        received = []
+        bus.subscribe("a", received.append)
+        bus.clear()
+        assert bus.subscriber_count("a") == 1
+        bus.send("a", 1, 0.0, None, "x")
+        assert len(received) == 1  # subscription survived the log clear
+
+    def test_reset_drops_subscribers(self):
+        bus = CommunicationBus()
+        received = []
+        bus.subscribe("a", received.append)
+        bus.send("a", 1, 0.0, None, "x")
+        bus.reset()
+        assert bus.history() == []
+        assert bus.subscriber_count() == 0
+        bus.send("a", 2, 0.0, None, "x")
+        assert len(received) == 1  # only the pre-reset packet was delivered
+
+    def test_clear_with_subscribers_flag(self):
+        bus = CommunicationBus()
+        bus.subscribe("a", lambda p: None)
+        bus.subscribe("b", lambda p: None)
+        bus.clear(subscribers=True)
+        assert bus.subscriber_count() == 0
+
 
 class TestFeatureSensingWorkflow:
     def test_clean_reading_near_truth(self, rng):
@@ -399,3 +426,41 @@ class TestBusIntegration:
         packet = bus.history("sensors/ips")[-1]
         assert packet.payload[0] == pytest.approx(step.readings["ips"][0])
         assert packet.payload[0] == pytest.approx(1.5, abs=1e-4)
+
+    def test_bus_reused_across_two_runs(self, world, model, rng):
+        """One bus, two back-to-back platform runs, reset() between them.
+
+        Without reset() the first run's subscriptions keep firing on the
+        second run's traffic — the regression this test pins down.
+        """
+        from repro.sim.bus import CommunicationBus
+
+        bus = CommunicationBus()
+
+        def build_platform():
+            ips = IPS()
+            return RobotPlatform(
+                model=model,
+                suite=SensorSuite([ips]),
+                workflows={"ips": FeatureSensingWorkflow(ips)},
+                actuation=ActuationWorkflow(WheelPairActuator(speed_unit=0.0)),
+                process_noise=1e-8,
+                initial_state=[1.0, 1.0, 0.0],
+                bus=bus,
+            )
+
+        first_run, second_run = [], []
+        bus.subscribe("sensors/ips", first_run.append)
+        build_platform().step(np.array([0.1, 0.1]), 0.0, rng, AttackSchedule())
+        assert len(first_run) == 1 and len(bus.history()) > 0
+
+        bus.reset()
+        assert bus.history() == [] and bus.subscriber_count() == 0
+
+        bus.subscribe("sensors/ips", second_run.append)
+        platform2 = build_platform()
+        platform2.step(np.array([0.1, 0.1]), 0.0, rng, AttackSchedule())
+        platform2.step(np.array([0.1, 0.1]), 0.05, rng, AttackSchedule())
+        assert len(second_run) == 2
+        assert len(first_run) == 1  # stale subscriber stayed severed
+        assert len(bus.history("sensors/ips")) == 2  # log holds run 2 only
