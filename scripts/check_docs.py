@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Docs gate: markdown link validity + public-API docstring coverage.
+
+Two independent checks, both offline and fast (<1 s):
+
+1. **Markdown links** — every relative link/image target in the README and
+   the ``docs/`` pages must resolve to an existing file inside the repo
+   (anchors are stripped; ``http(s)``/``mailto`` targets are skipped).
+2. **Docstring lint** — the documented-API modules
+   (``core/engine.py``, ``core/decision.py``, ``sim/faults.py`` and the
+   whole ``obs/`` package) must carry docstrings on the module and on
+   every public class, function and method. This is the
+   pydocstyle D100/D101/D102/D103 subset, reimplemented on ``ast`` so the
+   gate runs without ruff/pydocstyle installed; the matching ruff config
+   in ``pyproject.toml`` enforces the same subset where ruff exists.
+
+Exit status 0 when clean, 1 with a per-finding report otherwise.
+``tests/test_docs.py`` runs this as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+#: Markdown files whose relative links must resolve.
+MARKDOWN_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/OBSERVABILITY.md",
+    "docs/PERFORMANCE.md",
+    "docs/ROBUSTNESS.md",
+    "docs/THEORY.md",
+)
+
+#: Modules whose public API must be fully docstringed (D100-D103 subset).
+DOCSTRING_MODULES = (
+    "src/repro/core/engine.py",
+    "src/repro/core/decision.py",
+    "src/repro/sim/faults.py",
+    "src/repro/obs/__init__.py",
+    "src/repro/obs/telemetry.py",
+    "src/repro/obs/timing.py",
+    "src/repro/obs/export.py",
+)
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions ([id]: target) are rare here and intentionally not parsed.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_markdown_links(repo: pathlib.Path = REPO) -> list[str]:
+    """Return one finding per broken relative link in :data:`MARKDOWN_FILES`."""
+    findings: list[str] = []
+    for rel in MARKDOWN_FILES:
+        path = repo / rel
+        if not path.is_file():
+            findings.append(f"{rel}: file listed in MARKDOWN_FILES is missing")
+            continue
+        in_fence = False
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+            if in_fence:
+                continue
+            for match in _LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                resolved = (path.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    findings.append(f"{rel}:{lineno}: broken link -> {target}")
+    return findings
+
+
+def _is_property_accessor(node: ast.FunctionDef) -> bool:
+    """True for ``@x.setter`` / ``@x.deleter`` bodies (documented on the getter)."""
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Attribute) and deco.attr in ("setter", "deleter"):
+            return True
+    return False
+
+
+def _missing_docstrings(tree: ast.Module, rel: str) -> list[str]:
+    findings: list[str] = []
+    if ast.get_docstring(tree) is None:
+        findings.append(f"{rel}:1: D100 missing module docstring")
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if child.name.startswith("_"):
+                    continue  # privacy is inherited: skip the whole subtree
+                if ast.get_docstring(child) is None:
+                    findings.append(
+                        f"{rel}:{child.lineno}: D101 missing docstring on "
+                        f"class {prefix}{child.name}"
+                    )
+                visit(child, f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (
+                    child.name.startswith("_")  # private and dunders
+                    or _is_property_accessor(child)
+                    or ast.get_docstring(child) is not None
+                ):
+                    continue
+                code = "D102" if prefix else "D103"
+                kind = "method" if prefix else "function"
+                findings.append(
+                    f"{rel}:{child.lineno}: {code} missing docstring on "
+                    f"{kind} {prefix}{child.name}"
+                )
+
+    visit(tree, "")
+    return findings
+
+
+def check_docstrings(repo: pathlib.Path = REPO) -> list[str]:
+    """Return one finding per missing public docstring in :data:`DOCSTRING_MODULES`."""
+    findings: list[str] = []
+    for rel in DOCSTRING_MODULES:
+        path = repo / rel
+        if not path.is_file():
+            findings.append(f"{rel}: file listed in DOCSTRING_MODULES is missing")
+            continue
+        tree = ast.parse(path.read_text(), filename=rel)
+        findings.extend(_missing_docstrings(tree, rel))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run both checks and print a report; return 0 when everything is clean."""
+    del argv  # no options yet; kept for symmetry with the other CLIs
+    findings = check_markdown_links() + check_docstrings()
+    if findings:
+        print(f"check_docs: {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  {finding}")
+        return 1
+    n_md, n_py = len(MARKDOWN_FILES), len(DOCSTRING_MODULES)
+    print(f"check_docs: OK ({n_md} markdown files, {n_py} python modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

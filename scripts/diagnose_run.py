@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Diagnose one detection run: record telemetry, export JSONL + timeline.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/diagnose_run.py \
+        --rig khepera --scenario 4 --seed 7 --out diagnostics/
+
+Runs one seeded mission of the chosen rig/scenario with a
+``RecordingTelemetry`` attached to the detector, then writes three
+artifacts into ``--out``:
+
+* ``<rig>_s<scenario>_seed<seed>.jsonl`` — every telemetry event
+  (mode-bank, decision, availability), one JSON object per line,
+* ``..._timeline.txt`` — the human-readable anomaly timeline (mode
+  switches, alarm onsets/clears, degraded-delivery spans),
+* ``..._timing.json`` — per-stage latency aggregates
+  (linearize / mode_bank / select / decide) in the ``BENCH_perf.json``
+  results shape.
+
+The timeline is also printed to stdout. ``--scenario 0`` (or omitting it)
+runs the clean mission; ``--dropout P`` additionally injects uniform
+Bernoulli delivery dropout at probability ``P`` so degraded-delivery spans
+show up in the timeline. ``docs/OBSERVABILITY.md`` walks through reading
+the artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.attacks.catalog import khepera_scenarios, tamiya_scenarios  # noqa: E402
+from repro.eval.runner import run_scenario  # noqa: E402
+from repro.obs.export import export_run, render_timeline  # noqa: E402
+from repro.obs.telemetry import RecordingTelemetry  # noqa: E402
+from repro.robots.khepera import khepera_rig  # noqa: E402
+from repro.robots.tamiya import tamiya_rig  # noqa: E402
+from repro.sim.faults import uniform_dropout_schedule  # noqa: E402
+
+RIGS = {"khepera": (khepera_rig, khepera_scenarios), "tamiya": (tamiya_rig, tamiya_scenarios)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rig", choices=sorted(RIGS), default="khepera")
+    parser.add_argument(
+        "--scenario",
+        type=int,
+        default=0,
+        help="Table II scenario number (0 = clean mission)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="trial noise seed")
+    parser.add_argument(
+        "--duration", type=float, default=None, help="override mission duration (s)"
+    )
+    parser.add_argument(
+        "--dropout",
+        type=float,
+        default=0.0,
+        help="uniform Bernoulli delivery-dropout probability (0 = no faults)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=7, help="seed of the fault streams"
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("diagnostics"),
+        help="output directory for the artifacts",
+    )
+    args = parser.parse_args(argv)
+
+    rig_factory, scenario_factory = RIGS[args.rig]
+    rig = rig_factory()
+    scenario = None
+    if args.scenario:
+        by_number = {s.number: s for s in scenario_factory()}
+        if args.scenario not in by_number:
+            parser.error(
+                f"unknown scenario {args.scenario} for {args.rig}: {sorted(by_number)}"
+            )
+        scenario = by_number[args.scenario]
+
+    faults = None
+    if args.dropout > 0.0:
+        faults = uniform_dropout_schedule(
+            tuple(rig.suite.names), args.dropout, seed=args.fault_seed
+        )
+
+    telemetry = RecordingTelemetry()
+    result = run_scenario(
+        rig,
+        scenario,
+        seed=args.seed,
+        duration=args.duration,
+        faults=faults,
+        telemetry=telemetry,
+    )
+
+    prefix = f"{args.rig}_s{args.scenario}_seed{args.seed}"
+    paths = export_run(telemetry, args.out, prefix=prefix, dt=rig.model.dt)
+
+    print(result.summary())
+    print()
+    print(render_timeline(telemetry, dt=rig.model.dt), end="")
+    print()
+    for kind, path in paths.items():
+        print(f"{kind:>8}: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,9 @@ The package implements the paper's complete system and evaluation stack:
 * :mod:`repro.robots` — the Khepera and Tamiya prototypes.
 * :mod:`repro.eval`, :mod:`repro.experiments` — metrics, Monte-Carlo
   running, parameter sweeps and one module per paper table/figure.
+* :mod:`repro.obs` — opt-in detector telemetry: structured per-iteration
+  events, per-stage timing, JSONL/timeline diagnostics export
+  (``docs/OBSERVABILITY.md``).
 
 Quickstart::
 
@@ -38,6 +41,7 @@ from .core import (
     single_reference_modes,
 )
 from .eval import RunResult, run_scenario
+from .obs import NullTelemetry, RecordingTelemetry, export_run, render_timeline
 from .robots import RobotRig, khepera_rig, tamiya_rig
 
 __version__ = "1.0.0"
@@ -60,4 +64,8 @@ __all__ = [
     "tamiya_scenarios",
     "run_scenario",
     "RunResult",
+    "NullTelemetry",
+    "RecordingTelemetry",
+    "export_run",
+    "render_timeline",
 ]

@@ -17,6 +17,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
+from ..obs.telemetry import NULL_TELEMETRY, DecisionEvent, Telemetry
 from .chi2 import chi_square_threshold
 from .report import IterationStatistics
 
@@ -37,10 +38,12 @@ class SlidingWindow:
 
     @property
     def window(self) -> int:
+        """Window length *w* of the c-of-w confirmation rule."""
         return self._window
 
     @property
     def criteria(self) -> int:
+        """Positive count *c* required inside the window to confirm."""
         return self._criteria
 
     def push(self, positive: bool) -> bool:
@@ -58,7 +61,27 @@ class SlidingWindow:
         """
         return sum(self._buffer) >= self._criteria
 
+    @property
+    def positives(self) -> int:
+        """Number of positive results currently inside the window."""
+        return sum(self._buffer)
+
+    @property
+    def filled(self) -> int:
+        """Number of results currently buffered (< window during warm-up)."""
+        return len(self._buffer)
+
+    @property
+    def occupancy(self) -> tuple[int, int, int, int]:
+        """``(positives, filled, window, criteria)`` — the telemetry view.
+
+        How close the c-of-w condition is to firing: met when
+        ``positives >= criteria``.
+        """
+        return (self.positives, self.filled, self._window, self._criteria)
+
     def reset(self) -> None:
+        """Clear the buffered results (fresh mission)."""
         self._buffer.clear()
 
 
@@ -118,8 +141,13 @@ class DecisionMaker:
     the paper's technical report notes no per-actuator test is performed).
     """
 
-    def __init__(self, config: DecisionConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: DecisionConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self._config = config or DecisionConfig()
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         cfg = self._config
         self._sensor_window = SlidingWindow(cfg.sensor_window, cfg.sensor_criteria)
         self._actuator_window = SlidingWindow(cfg.actuator_window, cfg.actuator_criteria)
@@ -127,9 +155,20 @@ class DecisionMaker:
 
     @property
     def config(self) -> DecisionConfig:
+        """The decision parameters this maker applies."""
         return self._config
 
+    @property
+    def telemetry(self) -> Telemetry:
+        """The attached telemetry sink (``NULL_TELEMETRY`` by default)."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, sink: Telemetry | None) -> None:
+        self._telemetry = sink if sink is not None else NULL_TELEMETRY
+
     def reset(self) -> None:
+        """Clear every sliding window for a fresh mission."""
         self._sensor_window.reset()
         self._actuator_window.reset()
         for window in self._per_sensor_windows.values():
@@ -154,10 +193,11 @@ class DecisionMaker:
         """
         cfg = self._config
 
+        sensor_threshold: float | None = None
         sensor_positive = False
         if stats.sensor_dof > 0:
-            threshold = chi_square_threshold(cfg.sensor_alpha, stats.sensor_dof)
-            sensor_positive = stats.sensor_statistic > threshold
+            sensor_threshold = chi_square_threshold(cfg.sensor_alpha, stats.sensor_dof)
+            sensor_positive = stats.sensor_statistic > sensor_threshold
         if stats.degraded and stats.sensor_dof == 0:
             sensor_alarm = self._sensor_window.met
         else:
@@ -169,11 +209,14 @@ class DecisionMaker:
         # sensors absent because their reading was never delivered hold.
         available = stats.available_sensors or ()
         per_sensor_met: dict[str, bool] = {}
+        per_sensor_thresholds: dict[str, float | None] = {}
         for name, sensor_stat in stats.sensor_stats.items():
             positive = False
+            threshold: float | None = None
             if sensor_stat.dof > 0:
                 threshold = chi_square_threshold(cfg.sensor_alpha, sensor_stat.dof)
                 positive = sensor_stat.statistic > threshold
+            per_sensor_thresholds[name] = threshold
             per_sensor_met[name] = self._sensor_window_for(name).push(positive)
         for name in list(self._per_sensor_windows):
             if name not in stats.sensor_stats:
@@ -185,19 +228,49 @@ class DecisionMaker:
         if sensor_alarm:
             flagged = frozenset(name for name, met in per_sensor_met.items() if met)
 
+        actuator_threshold: float | None = None
         actuator_positive = False
         if stats.actuator_dof > 0:
-            threshold = chi_square_threshold(cfg.actuator_alpha, stats.actuator_dof)
-            actuator_positive = stats.actuator_statistic > threshold
+            actuator_threshold = chi_square_threshold(cfg.actuator_alpha, stats.actuator_dof)
+            actuator_positive = stats.actuator_statistic > actuator_threshold
         if stats.degraded and stats.actuator_dof == 0:
             actuator_alarm = self._actuator_window.met
         else:
             actuator_alarm = self._actuator_window.push(actuator_positive)
 
-        return DecisionOutcome(
+        outcome = DecisionOutcome(
             sensor_positive=sensor_positive,
             actuator_positive=actuator_positive,
             sensor_alarm=sensor_alarm and bool(flagged),
             flagged_sensors=flagged,
             actuator_alarm=actuator_alarm,
         )
+        if self._telemetry.enabled:
+            self._telemetry.emit(
+                DecisionEvent(
+                    iteration=stats.iteration,
+                    sensor_statistic=float(stats.sensor_statistic),
+                    sensor_threshold=sensor_threshold,
+                    sensor_dof=stats.sensor_dof,
+                    sensor_positive=sensor_positive,
+                    sensor_alarm=outcome.sensor_alarm,
+                    actuator_statistic=float(stats.actuator_statistic),
+                    actuator_threshold=actuator_threshold,
+                    actuator_dof=stats.actuator_dof,
+                    actuator_positive=actuator_positive,
+                    actuator_alarm=actuator_alarm,
+                    flagged_sensors=tuple(sorted(flagged)),
+                    sensor_window=self._sensor_window.occupancy,
+                    actuator_window=self._actuator_window.occupancy,
+                    per_sensor={
+                        name: {
+                            "statistic": float(stat.statistic),
+                            "threshold": per_sensor_thresholds[name],
+                            "dof": stat.dof,
+                            "window": self._per_sensor_windows[name].occupancy,
+                        }
+                        for name, stat in stats.sensor_stats.items()
+                    },
+                )
+            )
+        return outcome

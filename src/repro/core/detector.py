@@ -10,12 +10,14 @@ the selected mode's statistics into confirmed alarms.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from ..dynamics.base import RobotModel
 from ..errors import DimensionError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..sensors.suite import SensorSuite
 from .decision import DecisionConfig, DecisionMaker, DecisionOutcome
 from .engine import EngineOutput, MultiModeEstimationEngine
@@ -84,6 +86,13 @@ class RoboADS:
     policy:
         Linearization policy — every-step by default; a fixed-point policy
         turns this detector into the Section V-G baseline.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` sink shared by the
+        engine, decision maker and this monitor. Defaults to the no-op
+        ``NULL_TELEMETRY`` (zero hot-path overhead); attach a
+        :class:`~repro.obs.telemetry.RecordingTelemetry` — here or later via
+        :meth:`attach_telemetry` — to capture per-iteration events and
+        per-stage timings (``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
@@ -99,9 +108,11 @@ class RoboADS:
         epsilon: float = 1e-12,
         check_observability: bool = True,
         nominal_control: np.ndarray | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._model = model
         self._suite = suite
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._engine = MultiModeEstimationEngine(
             model,
             suite,
@@ -114,9 +125,10 @@ class RoboADS:
             check_observability=check_observability,
             nominal_state=np.asarray(initial_state, dtype=float),
             nominal_control=nominal_control,
+            telemetry=self._telemetry,
         )
         self._decision_config = decision or DecisionConfig()
-        self._decision = DecisionMaker(self._decision_config)
+        self._decision = DecisionMaker(self._decision_config, telemetry=self._telemetry)
         self._iteration = 0
 
     # ------------------------------------------------------------------
@@ -145,6 +157,22 @@ class RoboADS:
     @property
     def mode_probabilities(self) -> dict[str, float]:
         return self._engine.probabilities
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The attached telemetry sink (``NULL_TELEMETRY`` by default)."""
+        return self._telemetry
+
+    def attach_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Attach (or with ``None``, detach) a telemetry sink everywhere.
+
+        Swaps the sink on the monitor, the estimation engine and the
+        decision maker in one call, so a detector built by a rig factory can
+        be instrumented after the fact without reconstructing it.
+        """
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._engine.telemetry = self._telemetry
+        self._decision.telemetry = self._telemetry
 
     def reset(self, initial_state: np.ndarray | None = None) -> None:
         """Restore the detector for a fresh mission."""
@@ -190,8 +218,13 @@ class RoboADS:
         output: EngineOutput = self._engine.step(
             planned_control, stacked_reading, available=available
         )
+        timed = self._telemetry.enabled
+        if timed:
+            t0 = perf_counter()
         stats = self._engine.statistics(output)
         outcome = self._decision.step(stats)
+        if timed:
+            self._telemetry.record_duration("decide", perf_counter() - t0)
         return DetectionReport(
             iteration=self._iteration,
             time=self._iteration * self._model.dt,

@@ -13,12 +13,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from ..dynamics.base import RobotModel
 from ..errors import ConfigurationError
+from ..obs.telemetry import (
+    NULL_TELEMETRY,
+    AvailabilityEvent,
+    ModeBankEvent,
+    Telemetry,
+)
 from ..sensors.suite import SensorSuite
 from .chi2 import anomaly_statistic
 from .linearization import EveryStepLinearization, LinearizationPolicy
@@ -99,6 +106,7 @@ class MultiModeEstimationEngine:
         check_observability: bool = True,
         nominal_state: np.ndarray | None = None,
         nominal_control: np.ndarray | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if modes is None:
             modes = single_reference_modes(suite)
@@ -112,6 +120,7 @@ class MultiModeEstimationEngine:
         if consistency_window < 1:
             raise ConfigurationError("consistency window must be at least 1")
         self._window = int(consistency_window)
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._model = model
         self._suite = suite
         self._modes = list(modes)
@@ -148,19 +157,32 @@ class MultiModeEstimationEngine:
     # ------------------------------------------------------------------
     @property
     def modes(self) -> list[Mode]:
+        """The hypothesis bank (copy): one :class:`Mode` per candidate set."""
         return list(self._modes)
 
     @property
     def state_estimate(self) -> np.ndarray:
+        """Latest selected-mode posterior state x̂_k (copy)."""
         return self._x.copy()
 
     @property
     def state_covariance(self) -> np.ndarray:
+        """Latest selected-mode posterior covariance P^x_k (copy)."""
         return self._P.copy()
 
     @property
     def probabilities(self) -> dict[str, float]:
+        """Current recursive mode probabilities μ^m_k (Eq. 30), by mode name."""
         return dict(self._mu)
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The attached telemetry sink (``NULL_TELEMETRY`` by default)."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, sink: Telemetry | None) -> None:
+        self._telemetry = sink if sink is not None else NULL_TELEMETRY
 
     def reset(self, initial_state: np.ndarray | None = None) -> None:
         """Restore the shared estimate and uniform mode probabilities."""
@@ -196,8 +218,17 @@ class MultiModeEstimationEngine:
         absent run open-loop and report ``measurement_updated=False``; their
         probability is held (no likelihood multiply, zero log-evidence in
         the consistency window) rather than updated on no evidence.
+
+        An enabled telemetry sink receives per-stage wall-clock durations
+        (``linearize`` / ``mode_bank`` / ``select``) and one
+        :class:`~repro.obs.telemetry.ModeBankEvent` per iteration (plus an
+        :class:`~repro.obs.telemetry.AvailabilityEvent` on degraded ones).
+        With the default ``NullTelemetry`` none of that work happens — the
+        nominal path stays bit-identical.
         """
         self._iteration += 1
+        telemetry = self._telemetry
+        timed = telemetry.enabled
         stacked_reading = np.asarray(stacked_reading, dtype=float)
         if available is not None:
             present = set(available)
@@ -209,9 +240,19 @@ class MultiModeEstimationEngine:
             available = tuple(n for n in self._suite.names if n in present)
             if available == tuple(self._suite.names):
                 available = None  # full delivery: take the nominal path
+        if timed:
+            t0 = perf_counter()
         workspace = self._policy.workspace(
             self._model, self._suite, self._x, control, covariance=self._P
         )
+        if timed:
+            # Force the lazily-computed shared products now so "linearize"
+            # captures their cost instead of the first mode's step. Same
+            # functions at the same inputs — memoized, bit-identical.
+            workspace.propagate()
+            workspace.jacobians()
+            telemetry.record_duration("linearize", perf_counter() - t0)
+            t0 = perf_counter()
         results: dict[str, NuiseResult] = {}
         likelihoods: dict[str, float] = {}
         for mode in self._modes:
@@ -225,6 +266,9 @@ class MultiModeEstimationEngine:
             )
             results[mode.name] = result
             likelihoods[mode.name] = result.likelihood
+        if timed:
+            telemetry.record_duration("mode_bank", perf_counter() - t0)
+            t0 = perf_counter()
 
         # Recursive probability update with floor, then normalization
         # (Algorithm 1 line 6; reported, not used for selection — see class
@@ -256,6 +300,36 @@ class MultiModeEstimationEngine:
         selected = results[selected_name]
         self._x = selected.state.copy()
         self._P = selected.state_covariance.copy()
+        if timed:
+            telemetry.record_duration("select", perf_counter() - t0)
+            if available is not None:
+                telemetry.emit(
+                    AvailabilityEvent(
+                        iteration=self._iteration,
+                        available=available,
+                        missing=tuple(
+                            n for n in self._suite.names if n not in available
+                        ),
+                    )
+                )
+            telemetry.emit(
+                ModeBankEvent(
+                    iteration=self._iteration,
+                    probabilities=dict(self._mu),
+                    likelihoods={n: float(v) for n, v in likelihoods.items()},
+                    consistency_scores={n: float(s) for n, s in scores.items()},
+                    selected_mode=selected_name,
+                    actuator_estimates={
+                        n: r.actuator_anomaly.tolist() for n, r in results.items()
+                    },
+                    sensor_estimates={
+                        n: r.sensor_anomaly.tolist() for n, r in results.items()
+                    },
+                    held_modes=tuple(
+                        n for n, r in results.items() if not r.measurement_updated
+                    ),
+                )
+            )
 
         return EngineOutput(
             iteration=self._iteration,

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..attacks.catalog import Scenario
 from ..errors import ConfigurationError
+from ..obs.telemetry import Telemetry
 from ..robots.rig import RobotRig
 from ..sim.faults import FaultSchedule, uniform_dropout_schedule
 from .metrics import ConfusionCounts
@@ -192,6 +193,7 @@ def run_fault_campaign(
     fault_seed: int = 7,
     sensors: Sequence[str] | None = None,
     schedule_factory: Callable[[float, int], FaultSchedule | None] | None = None,
+    telemetry_factory: Callable[[Scenario, float, int], Telemetry | None] | None = None,
     **run_kwargs,
 ) -> FaultCampaignResult:
     """Sweep fault intensity x attack scenarios on one rig.
@@ -219,6 +221,12 @@ def run_fault_campaign(
         Override mapping ``(intensity, trial_seed)`` to a
         :class:`FaultSchedule` (or None) — for sweeping burst loss, latency
         or mixed fault cocktails instead of uniform dropout.
+    telemetry_factory:
+        Optional mapping ``(scenario, intensity, trial)`` to a telemetry
+        sink (or None) attached to that trial's detector — e.g. record one
+        :class:`~repro.obs.telemetry.RecordingTelemetry` per misdetecting
+        cell and export it with :func:`repro.obs.export.export_run` to see
+        *which* degraded iterations ate an in-progress confirmation.
     run_kwargs:
         Extra keyword arguments for :func:`repro.eval.runner.run_scenario`
         (``duration``, ``decision``, ...).
@@ -247,6 +255,11 @@ def run_fault_campaign(
                     faults=factory(
                         float(intensity),
                         fault_seed + 1000 * intensity_index + trial,
+                    ),
+                    telemetry=(
+                        telemetry_factory(scenario, float(intensity), trial)
+                        if telemetry_factory is not None
+                        else None
                     ),
                     **run_kwargs,
                 )

@@ -35,8 +35,14 @@ def golden_mission(
     name: str,
     rig: RobotRig | None = None,
     faults: FaultSchedule | None = None,
+    telemetry=None,
 ) -> dict[str, np.ndarray]:
-    """Run one canonical mission and reduce its reports to flat arrays."""
+    """Run one canonical mission and reduce its reports to flat arrays.
+
+    *telemetry* is forwarded to :func:`repro.eval.runner.run_scenario`; the
+    observability tests use it to prove an attached sink (null or recording)
+    leaves the archived statistics bit-identical.
+    """
     if name not in GOLDEN_MISSIONS:
         raise ConfigurationError(f"unknown golden mission {name!r}: {sorted(GOLDEN_MISSIONS)}")
     factory, seed, n_steps = GOLDEN_MISSIONS[name]
@@ -51,6 +57,7 @@ def golden_mission(
         duration=duration,
         stop_at_goal=False,
         faults=faults,
+        telemetry=telemetry,
     )
     trace = result.trace
     reports = result.reports

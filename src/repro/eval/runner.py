@@ -20,6 +20,7 @@ from ..core.decision import DecisionConfig
 from ..core.linearization import LinearizationPolicy
 from ..core.modes import Mode
 from ..errors import ConfigurationError
+from ..obs.telemetry import Telemetry
 from ..robots.rig import RobotRig
 from ..sim.faults import FaultSchedule
 from ..sim.simulator import ClosedLoopSimulator
@@ -145,6 +146,7 @@ def run_scenario(
     responder=None,
     stop_at_goal: bool = True,
     faults: FaultSpec = None,
+    telemetry: Telemetry | None = None,
 ) -> RunResult:
     """Run one trial of *scenario* on *rig* (``scenario=None`` = clean run).
 
@@ -155,12 +157,17 @@ def run_scenario(
     a parked robot exercises no dynamics, so counting parked iterations
     would only dilute the metrics. *faults* optionally injects benign
     delivery faults (see :data:`FaultSpec`); their randomness is independent
-    of *seed*'s noise stream.
+    of *seed*'s noise stream. *telemetry* optionally attaches an
+    observability sink (e.g. :class:`~repro.obs.telemetry.RecordingTelemetry`)
+    to the detector for the duration of the run — export the recording with
+    :func:`repro.obs.export.export_run` or ``scripts/diagnose_run.py``.
     """
     if detector is None:
         detector = rig.detector(decision=decision, modes=modes, policy=policy)
     else:
         detector.reset()
+    if telemetry is not None:
+        detector.attach_telemetry(telemetry)
     trace = _simulate(
         rig,
         scenario,
@@ -228,6 +235,8 @@ def monte_carlo(
             modes=kwargs.get("modes"),
             policy=kwargs.get("policy"),
         )
+    if kwargs.get("telemetry") is not None:
+        detector.attach_telemetry(kwargs["telemetry"])
     batch = replay_batch(detector, traces, keep_reports=True)
     results: list[RunResult] = []
     for trial, trace in enumerate(traces):

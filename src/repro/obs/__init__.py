@@ -1,0 +1,42 @@
+"""Observability: structured telemetry for the RoboADS detection pipeline.
+
+The detector stack is instrumented with an opt-in telemetry layer
+(``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` protocol, the no-op
+  default :class:`NullTelemetry` (bit-identical hot path) and the in-memory
+  :class:`RecordingTelemetry`, plus the typed events
+  (:class:`ModeBankEvent`, :class:`DecisionEvent`,
+  :class:`AvailabilityEvent`).
+* :mod:`repro.obs.timing` — O(1)-memory per-stage latency aggregation
+  (:class:`StageTimer`) with ``BENCH_perf.json``-compatible summaries.
+* :mod:`repro.obs.export` — JSONL / anomaly-timeline / timing-summary
+  artifacts for a recorded run (``scripts/diagnose_run.py`` is the CLI).
+"""
+
+from .export import export_run, read_jsonl, render_timeline, write_jsonl
+from .telemetry import (
+    AvailabilityEvent,
+    DecisionEvent,
+    ModeBankEvent,
+    NullTelemetry,
+    RecordingTelemetry,
+    Telemetry,
+    TelemetryEvent,
+)
+from .timing import StageTimer
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "RecordingTelemetry",
+    "TelemetryEvent",
+    "ModeBankEvent",
+    "DecisionEvent",
+    "AvailabilityEvent",
+    "StageTimer",
+    "write_jsonl",
+    "read_jsonl",
+    "render_timeline",
+    "export_run",
+]

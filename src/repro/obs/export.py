@@ -1,0 +1,167 @@
+"""Diagnostics export: recorded telemetry → JSONL, timeline, timing summary.
+
+Three artifacts cover the "why did this alarm fire?" workflow
+(``docs/OBSERVABILITY.md`` walks through one):
+
+* **JSONL** — one JSON object per event, ``kind``-discriminated, every
+  numeric field a plain list/float. Machine-greppable, diffable, and
+  round-trippable (:func:`read_jsonl` is the schema test's inverse).
+* **Timeline** — a human-readable rendering of the run's *edges*: mode
+  switches, alarm onsets/clears with the statistic-vs-threshold margin at
+  onset, and degraded-delivery spans.
+* **Timing summary** — per-stage latency aggregates in the
+  ``BENCH_perf.json`` results shape (see :mod:`repro.obs.timing`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .telemetry import RecordingTelemetry, TelemetryEvent
+
+__all__ = ["write_jsonl", "read_jsonl", "render_timeline", "export_run"]
+
+
+def write_jsonl(events, path) -> int:
+    """Write *events* (or a recording sink) to *path*; return the line count.
+
+    Accepts either an iterable of :class:`TelemetryEvent` or a
+    :class:`RecordingTelemetry` whose ``events`` are taken.
+    """
+    if isinstance(events, RecordingTelemetry):
+        events = events.events
+    path = Path(path)
+    n = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for event in events:
+            record = event.to_record() if isinstance(event, TelemetryEvent) else dict(event)
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path) -> list[dict]:
+    """Read a JSONL artifact back into a list of per-event dicts."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _stamp(iteration: int, dt: float | None) -> str:
+    if dt is None:
+        return f"k={iteration:5d}"
+    return f"t={iteration * dt:8.2f}s (k={iteration:5d})"
+
+
+def render_timeline(telemetry: RecordingTelemetry, dt: float | None = None) -> str:
+    """Render the run's anomaly timeline as human-readable text.
+
+    Reports edges, not per-iteration state: the committed mode's switches
+    (with the winning mode's probability ``mu^m_k`` at the switch), sensor /
+    actuator alarm onsets and clears (with the Chi-square statistic against
+    its threshold at onset), and contiguous degraded-delivery spans, merged
+    chronologically. *dt* (the control period) adds mission-time stamps next
+    to the iteration indices.
+    """
+    entries: list[tuple[int, int, str]] = []
+
+    previous_mode: str | None = None
+    for event in telemetry.events_of("mode_bank"):
+        if event.selected_mode != previous_mode:
+            mu = event.probabilities.get(event.selected_mode, float("nan"))
+            origin = "initial mode" if previous_mode is None else f"mode switch {previous_mode} ->"
+            entries.append(
+                (event.iteration, 0, f"{origin} {event.selected_mode}  (mu={mu:.3g})")
+            )
+            previous_mode = event.selected_mode
+
+    sensor_on = actuator_on = False
+    flagged_prev: tuple[str, ...] = ()
+    for event in telemetry.events_of("decision"):
+        if event.sensor_alarm and (not sensor_on or event.flagged_sensors != flagged_prev):
+            named = ", ".join(event.flagged_sensors) or "(unidentified)"
+            threshold = event.sensor_threshold
+            margin = (
+                f"stat {event.sensor_statistic:.2f} > thr {threshold:.2f}"
+                if threshold is not None
+                else f"stat {event.sensor_statistic:.2f}"
+            )
+            entries.append(
+                (event.iteration, 1, f"SENSOR ALARM on [{named}]  ({margin})")
+            )
+        elif sensor_on and not event.sensor_alarm:
+            entries.append((event.iteration, 1, "sensor alarm cleared"))
+        sensor_on = event.sensor_alarm
+        flagged_prev = event.flagged_sensors
+
+        if event.actuator_alarm and not actuator_on:
+            threshold = event.actuator_threshold
+            margin = (
+                f"stat {event.actuator_statistic:.2f} > thr {threshold:.2f}"
+                if threshold is not None
+                else f"stat {event.actuator_statistic:.2f}"
+            )
+            entries.append((event.iteration, 2, f"ACTUATOR ALARM  ({margin})"))
+        elif actuator_on and not event.actuator_alarm:
+            entries.append((event.iteration, 2, "actuator alarm cleared"))
+        actuator_on = event.actuator_alarm
+
+    span_start: int | None = None
+    span_end = -1
+    span_missing: set[str] = set()
+
+    def flush_span() -> None:
+        if span_start is None:
+            return
+        missing = ", ".join(sorted(span_missing))
+        span = "" if span_start == span_end else f" .. k={span_end}"
+        entries.append(
+            (span_start, 3, f"degraded delivery{span} (missing: {missing})")
+        )
+
+    for event in telemetry.events_of("availability"):
+        if span_start is not None and event.iteration == span_end + 1:
+            span_end = event.iteration
+            span_missing.update(event.missing)
+        else:
+            flush_span()
+            span_start = span_end = event.iteration
+            span_missing = set(event.missing)
+    flush_span()
+
+    if not entries:
+        return "(no telemetry events recorded)\n"
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+    return "\n".join(f"{_stamp(k, dt)}  {text}" for k, _, text in entries) + "\n"
+
+
+def export_run(
+    telemetry: RecordingTelemetry,
+    out_dir,
+    prefix: str = "run",
+    dt: float | None = None,
+) -> dict[str, Path]:
+    """Write all three artifacts for one recorded run into *out_dir*.
+
+    Returns the paths keyed ``{"events", "timeline", "timing"}``. The
+    directory is created if needed.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    events_path = out_dir / f"{prefix}.jsonl"
+    timeline_path = out_dir / f"{prefix}_timeline.txt"
+    timing_path = out_dir / f"{prefix}_timing.json"
+
+    write_jsonl(telemetry, events_path)
+    timeline_path.write_text(render_timeline(telemetry, dt=dt), encoding="utf-8")
+    timing_path.write_text(
+        json.dumps({"results": telemetry.timing_summary()}, indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return {"events": events_path, "timeline": timeline_path, "timing": timing_path}

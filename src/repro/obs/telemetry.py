@@ -1,0 +1,230 @@
+"""Telemetry protocol and its two built-in sinks.
+
+The detector stack (engine → selector → decision maker) emits structured
+events describing every internal quantity the paper's Algorithms 1–2
+compute: mode probabilities ``mu^m_k``, likelihoods ``N^m_k``, the per-mode
+unknown-input estimates ``d_hat^a_{k-1}`` / ``d_hat^s_k``, Chi-square
+statistics against their thresholds, sliding-window occupancy, and the
+degraded-mode availability events introduced by the fault layer.
+
+Two sinks ship with the package:
+
+* :class:`NullTelemetry` — the default. ``enabled`` is False, every hook is
+  a no-op, and instrumented call sites guard on ``enabled`` before doing
+  *any* extra work (no ``perf_counter`` calls, no dict copies), so the hot
+  path and its golden-trace bit-identity are untouched.
+* :class:`RecordingTelemetry` — appends every event to an in-memory list
+  and aggregates per-stage wall-clock durations into
+  :class:`~repro.obs.timing.StageTimer` histograms. Feed it to
+  :mod:`repro.obs.export` for JSONL / timeline / timing-summary artifacts.
+
+The module is dependency-free (stdlib + numpy only) and the event types are
+frozen dataclasses, so a recorded run is an immutable, serializable fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from .timing import StageTimer
+
+__all__ = [
+    "TelemetryEvent",
+    "ModeBankEvent",
+    "DecisionEvent",
+    "AvailabilityEvent",
+    "Telemetry",
+    "NullTelemetry",
+    "RecordingTelemetry",
+    "NULL_TELEMETRY",
+]
+
+
+def _listify(value):
+    """Recursively convert numpy containers to plain JSON-ready Python."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {k: _listify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_listify(v) for v in value]
+    if isinstance(value, frozenset):
+        return sorted(value)
+    return value
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base event: every emission carries the 1-based control iteration."""
+
+    iteration: int
+
+    #: Short machine-readable discriminator written to the JSONL ``kind``
+    #: field; subclasses override it.
+    kind = "event"
+
+    def to_record(self) -> dict:
+        """Flatten to a JSON-serializable dict (numpy → lists, sets → sorted)."""
+        record = {"kind": self.kind}
+        record.update({k: _listify(v) for k, v in asdict(self).items()})
+        return record
+
+
+@dataclass(frozen=True)
+class ModeBankEvent(TelemetryEvent):
+    """One multi-mode estimation iteration (Algorithm 1 lines 4–9).
+
+    Attributes
+    ----------
+    probabilities:
+        Normalized recursive mode probabilities ``mu^m_k`` keyed by mode.
+    likelihoods:
+        Raw mode likelihoods ``N^m_k`` (Algorithm 2 lines 17–20).
+    consistency_scores:
+        Finite-window log-likelihood sums the selector actually ranks
+        (see the selection note in :mod:`repro.core.engine`).
+    selected_mode:
+        The committed maximum-consistency mode.
+    actuator_estimates:
+        Per-mode ``d_hat^a_{k-1}`` (Algorithm 2 lines 2–6).
+    sensor_estimates:
+        Per-mode stacked ``d_hat^s_k`` over the mode's testing block
+        (Algorithm 2 lines 15–16).
+    held_modes:
+        Modes whose measurement update was skipped this iteration (their
+        entire reference block was undelivered; probability held).
+    """
+
+    probabilities: dict[str, float]
+    likelihoods: dict[str, float]
+    consistency_scores: dict[str, float]
+    selected_mode: str
+    actuator_estimates: dict[str, list]
+    sensor_estimates: dict[str, list]
+    held_modes: tuple[str, ...] = ()
+
+    kind = "mode_bank"
+
+
+@dataclass(frozen=True)
+class DecisionEvent(TelemetryEvent):
+    """One decision-maker iteration (Algorithm 1 lines 10–25).
+
+    Statistics are compared against their Chi-square thresholds
+    ``chi2_{1-alpha}(dof)``; window occupancy records ``(positives, filled,
+    window, criteria)`` for the aggregate c-of-w windows and per testing
+    sensor — the "how close is this alarm to firing" view.
+    """
+
+    sensor_statistic: float
+    sensor_threshold: float | None
+    sensor_dof: int
+    sensor_positive: bool
+    sensor_alarm: bool
+    actuator_statistic: float
+    actuator_threshold: float | None
+    actuator_dof: int
+    actuator_positive: bool
+    actuator_alarm: bool
+    flagged_sensors: tuple[str, ...]
+    sensor_window: tuple[int, int, int, int]
+    actuator_window: tuple[int, int, int, int]
+    per_sensor: dict[str, dict] = field(default_factory=dict)
+
+    kind = "decision"
+
+
+@dataclass(frozen=True)
+class AvailabilityEvent(TelemetryEvent):
+    """A degraded iteration: at least one sensor's reading never arrived.
+
+    Emitted by the engine whenever the fault layer (or a caller-supplied
+    mask) restricts the iteration, so a recorded run carries the exact
+    degradation history alongside the statistics it explains.
+    """
+
+    available: tuple[str, ...]
+    missing: tuple[str, ...]
+
+    kind = "availability"
+
+
+@runtime_checkable
+class Telemetry(Protocol):
+    """What the detector stack requires of a telemetry sink.
+
+    ``enabled`` is the single hot-path guard: instrumented call sites must
+    skip all event construction and timing when it is False, which is what
+    lets :class:`NullTelemetry` promise bit-identical nominal behavior.
+    """
+
+    enabled: bool
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Consume one structured event."""
+        ...
+
+    def record_duration(self, stage: str, seconds: float) -> None:
+        """Aggregate one wall-clock stage measurement."""
+        ...
+
+
+class NullTelemetry:
+    """The default no-op sink: nothing recorded, no hot-path overhead."""
+
+    enabled = False
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Discard the event."""
+
+    def record_duration(self, stage: str, seconds: float) -> None:
+        """Discard the measurement."""
+
+
+class RecordingTelemetry:
+    """In-memory sink: keeps every event and aggregates stage timings."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+        self.timers: dict[str, StageTimer] = {}
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Append one event to the recording."""
+        self.events.append(event)
+
+    def record_duration(self, stage: str, seconds: float) -> None:
+        """Fold one stage duration into that stage's aggregate timer."""
+        timer = self.timers.get(stage)
+        if timer is None:
+            timer = self.timers[stage] = StageTimer(stage)
+        timer.add(seconds)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def events_of(self, kind: str) -> list[TelemetryEvent]:
+        """All recorded events with the given ``kind`` discriminator."""
+        return [e for e in self.events if e.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all recorded events and timers (e.g. between missions)."""
+        self.events.clear()
+        self.timers.clear()
+
+    def timing_summary(self) -> dict:
+        """Per-stage aggregates in the ``BENCH_perf.json`` results shape."""
+        return {
+            name: timer.summary() for name, timer in sorted(self.timers.items())
+        }
+
+
+#: Shared no-op sink: the stack-wide default, so un-instrumented pipelines
+#: never allocate a sink per component.
+NULL_TELEMETRY = NullTelemetry()

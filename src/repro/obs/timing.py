@@ -1,0 +1,113 @@
+"""Lightweight per-stage wall-clock aggregation.
+
+A :class:`StageTimer` folds individual ``time.perf_counter`` measurements
+into streaming aggregates (count / mean / variance via Welford, min / max)
+plus a fixed log-spaced histogram, so a full mission's worth of
+per-iteration timings costs O(1) memory. :meth:`StageTimer.summary`
+renders the aggregates in the same ``{"group", "mean_s", "stddev_s",
+"rounds"}`` shape ``BENCH_perf.json`` records, so observability numbers and
+benchmark numbers are directly comparable.
+
+The instrumented call sites (``core/engine.py``, ``core/detector.py``)
+only measure when the attached telemetry sink is enabled — the default
+:class:`~repro.obs.telemetry.NullTelemetry` never pays a ``perf_counter``
+call.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["StageTimer", "HISTOGRAM_EDGES_S"]
+
+#: Log-spaced histogram bucket edges (seconds): 1 µs … 1 s, one bucket per
+#: decade third. Detector stages on the reference machine land in the
+#: 0.1–3 ms decade; the wide range keeps outliers (cold numpy, page faults)
+#: visible instead of clipped.
+HISTOGRAM_EDGES_S: tuple[float, ...] = tuple(
+    10.0 ** (-6 + i / 3.0) for i in range(19)
+)
+
+
+class StageTimer:
+    """Streaming aggregate of one pipeline stage's wall-clock durations."""
+
+    __slots__ = ("stage", "count", "total", "min", "max", "_mean", "_m2", "buckets")
+
+    def __init__(self, stage: str) -> None:
+        self.stage = stage
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.buckets = [0] * (len(HISTOGRAM_EDGES_S) + 1)
+
+    def add(self, seconds: float) -> None:
+        """Fold one measurement into the aggregates (Welford update)."""
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        delta = seconds - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (seconds - self._mean)
+        self.buckets[self._bucket(seconds)] += 1
+
+    @staticmethod
+    def _bucket(seconds: float) -> int:
+        lo, hi = 0, len(HISTOGRAM_EDGES_S)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds < HISTOGRAM_EDGES_S[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        """Mean duration in seconds (0.0 before any measurement)."""
+        return self._mean
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation in seconds (0.0 below two samples)."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+    def histogram(self) -> list[tuple[float, float, int]]:
+        """Non-empty buckets as ``(low_edge_s, high_edge_s, count)`` rows."""
+        edges = (0.0,) + HISTOGRAM_EDGES_S + (math.inf,)
+        return [
+            (edges[i], edges[i + 1], n)
+            for i, n in enumerate(self.buckets)
+            if n > 0
+        ]
+
+    def summary(self) -> dict:
+        """Aggregates in the ``BENCH_perf.json`` per-result shape."""
+        return {
+            "group": "obs",
+            "rounds": self.count,
+            "mean_s": self.mean,
+            "stddev_s": self.stddev,
+            "min_s": 0.0 if self.count == 0 else self.min,
+            "max_s": self.max,
+            "total_s": self.total,
+            "histogram": [
+                {"ge_s": lo, "lt_s": "inf" if math.isinf(hi) else hi, "count": n}
+                for lo, hi, n in self.histogram()
+            ],
+        }
+
+    def __repr__(self) -> str:  # noqa: D105 — debugging aid only
+        return (
+            f"StageTimer({self.stage!r}, rounds={self.count}, "
+            f"mean={self.mean * 1e3:.3f}ms)"
+        )

@@ -108,6 +108,7 @@ class FaultyDelivery:
 
     @property
     def available_sensors(self) -> frozenset[str]:
+        """Names of the sensors that delivered a packet this iteration."""
         return frozenset(n for n, r in self.readings.items() if r.available)
 
     @property
@@ -164,6 +165,7 @@ class SensorFault(ABC):
         self._seed: np.random.SeedSequence | None = None
 
     def active(self, t: float) -> bool:
+        """Whether the fault's [start, stop) activity window covers time *t*."""
         return t >= self.start and (self.stop is None or t < self.stop)
 
     # -- lifecycle ------------------------------------------------------
@@ -183,6 +185,7 @@ class SensorFault(ABC):
 
     @property
     def rng(self) -> np.random.Generator:
+        """The fault's private random stream (independent of trial noise)."""
         if self._rng is None:
             raise ConfigurationError(f"fault {self.name!r} used before reset()")
         return self._rng
@@ -210,6 +213,7 @@ class BernoulliDropout(SensorFault):
         self.probability = float(probability)
 
     def apply(self, packet: _InFlight, t: float) -> None:
+        """Drop the packet with the configured Bernoulli probability."""
         if self.probability > 0.0 and self.rng.random() < self.probability:
             packet.dropped = True
             packet.events.append(self.event)
@@ -235,10 +239,12 @@ class BurstDropout(SensorFault):
         self._in_burst = False
 
     def reset(self) -> None:
+        """Restart the private stream and leave any in-progress burst."""
         super().reset()
         self._in_burst = False
 
     def apply(self, packet: _InFlight, t: float) -> None:
+        """Advance the two-state chain; drop the packet while in a burst."""
         if self._in_burst:
             packet.dropped = True
             packet.events.append(self.event)
@@ -273,6 +279,7 @@ class LatencyFault(SensorFault):
         self.probability = float(probability)
 
     def apply(self, packet: _InFlight, t: float) -> None:
+        """Postpone the packet's arrival by the configured iteration count."""
         if self.probability >= 1.0 or (
             self.probability > 0.0 and self.rng.random() < self.probability
         ):
@@ -294,6 +301,7 @@ class DuplicateFault(SensorFault):
         self.probability = float(probability)
 
     def extra_packets(self, channel: "_Channel", iteration: int, t: float) -> list[_InFlight]:
+        """Maybe re-inject a copy of the channel's last delivered packet."""
         last = channel.last_delivered
         if (
             last is not None
@@ -325,6 +333,7 @@ class OutOfOrderFault(SensorFault):
         self.probability = float(probability)
 
     def apply(self, packet: _InFlight, t: float) -> None:
+        """Hold the packet one iteration so it lands behind a fresher one."""
         if self.probability > 0.0 and self.rng.random() < self.probability:
             packet.arrival += 1
             # Arriving after the next iteration's fresh packet makes the held
@@ -356,6 +365,7 @@ class PayloadCorruption(SensorFault):
         self.components = None if components is None else tuple(int(c) for c in components)
 
     def apply(self, packet: _InFlight, t: float) -> None:
+        """Overwrite the targeted payload components with the stuck value."""
         if self.probability > 0.0 and self.rng.random() < self.probability:
             if self.components is None:
                 packet.value[:] = self.value
@@ -382,6 +392,7 @@ class TimestampJitter(SensorFault):
         self.probability = float(probability)
 
     def apply(self, packet: _InFlight, t: float) -> None:
+        """Skew the packet's measurement timestamp by uniform ±skew seconds."""
         if self.skew > 0.0 and (
             self.probability >= 1.0 or self.rng.random() < self.probability
         ):
@@ -434,6 +445,7 @@ class FaultSchedule:
 
     @property
     def faults(self) -> list[SensorFault]:
+        """The schedule's fault models (copy), in registration order."""
         return list(self._faults)
 
     @property

@@ -1,0 +1,70 @@
+"""Docs gate: run ``scripts/check_docs.py`` as part of tier-1.
+
+The script owns the logic (markdown link validity + public-API docstring
+coverage); these tests wire it into the default pytest run and pin its
+failure-detection behavior so a broken checker can't silently pass.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    """Import ``scripts/check_docs.py`` as a module (scripts/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_gate_passes(check_docs, capsys):
+    """The repository's docs must be clean: exit status 0, OK report."""
+    assert check_docs.main([]) == 0
+    assert "check_docs: OK" in capsys.readouterr().out
+
+
+def test_link_checker_detects_broken_link(check_docs, tmp_path):
+    (tmp_path / "docs").mkdir()
+    for rel in check_docs.MARKDOWN_FILES:
+        path = tmp_path / rel
+        path.parent.mkdir(exist_ok=True)
+        path.write_text("[ok](../README.md)\n" if "/" in rel else "fine\n")
+    (tmp_path / "README.md").write_text(
+        "[gone](docs/NOPE.md) [web](https://example.com) [anchor](#here)\n"
+        "```\n[inside a fence](docs/ALSO_NOPE.md)\n```\n"
+    )
+    findings = check_docs.check_markdown_links(tmp_path)
+    assert findings == ["README.md:1: broken link -> docs/NOPE.md"]
+
+
+def test_docstring_checker_detects_gaps(check_docs, tmp_path, monkeypatch):
+    module = tmp_path / "mod.py"
+    module.write_text(
+        '"""Module docstring."""\n'
+        "class Public:\n"
+        '    """Documented."""\n'
+        "    def bare(self):\n"
+        "        return 1\n"
+        "    def _private(self):\n"
+        "        return 2\n"
+        "class _Hidden:\n"
+        "    def also_bare(self):\n"
+        "        return 3\n"
+        "def naked():\n"
+        "    return 4\n"
+    )
+    monkeypatch.setattr(check_docs, "DOCSTRING_MODULES", ("mod.py",))
+    findings = check_docs.check_docstrings(tmp_path)
+    assert findings == [
+        "mod.py:4: D102 missing docstring on method Public.bare",
+        "mod.py:11: D103 missing docstring on function naked",
+    ]

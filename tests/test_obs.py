@@ -1,0 +1,308 @@
+"""Observability layer: bit-identity, event schema round-trip, timing.
+
+Three guarantees pin the telemetry subsystem (``docs/OBSERVABILITY.md``):
+
+1. **Bit-identity** — an attached sink must never perturb the detector's
+   math. An explicit ``NullTelemetry`` *and* a ``RecordingTelemetry`` both
+   reproduce the golden 200-step archives to the same 1e-10 pins as the
+   default un-instrumented path.
+2. **Schema round-trip** — every recorded event survives JSONL export and
+   re-import with its fields intact, and the event stream carries the
+   quantities the paper names (``mu^m_k``, ``N^m_k``, ``d_hat^a_{k-1}``,
+   ``d_hat^s_k``, Chi-square statistics vs. thresholds).
+3. **Timing aggregation** — ``StageTimer`` streaming statistics match a
+   batch recomputation, and summaries are ``BENCH_perf.json``-shaped.
+"""
+
+from pathlib import Path
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.decision import SlidingWindow
+from repro.eval.golden import GOLDEN_MISSIONS, compare_golden, golden_mission, load_golden
+from repro.eval.runner import run_scenario
+from repro.obs.export import export_run, read_jsonl, render_timeline, write_jsonl
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    AvailabilityEvent,
+    DecisionEvent,
+    ModeBankEvent,
+    NullTelemetry,
+    RecordingTelemetry,
+    Telemetry,
+)
+from repro.obs.timing import HISTOGRAM_EDGES_S, StageTimer
+from repro.sim.faults import uniform_dropout_schedule
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+# ----------------------------------------------------------------------
+# 1. Bit-identity with the golden archives
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("mission", sorted(GOLDEN_MISSIONS))
+def test_null_telemetry_bit_identical_to_golden(mission):
+    stored = load_golden(GOLDEN_DIR / f"{mission}_200.npz")
+    fresh = golden_mission(mission, telemetry=NullTelemetry())
+    drifted = compare_golden(fresh, stored, atol=1e-10)
+    assert not drifted, f"NullTelemetry perturbed golden {mission}: {drifted}"
+
+
+@pytest.mark.slow
+def test_recording_telemetry_bit_identical_to_golden():
+    # The instrumented path eagerly forces the shared workspace products and
+    # wraps stages in perf_counter calls; none of that may move a single
+    # bit of the statistics.
+    telemetry = RecordingTelemetry()
+    stored = load_golden(GOLDEN_DIR / "khepera_200.npz")
+    fresh = golden_mission("khepera", telemetry=telemetry)
+    drifted = compare_golden(fresh, stored, atol=1e-10)
+    assert not drifted, f"RecordingTelemetry perturbed golden khepera: {drifted}"
+    # And the recording actually happened: one mode-bank + one decision
+    # event per control iteration, all four stages timed.
+    assert len(telemetry.events_of("mode_bank")) == 200
+    assert len(telemetry.events_of("decision")) == 200
+    assert set(telemetry.timers) == {"linearize", "mode_bank", "select", "decide"}
+    assert all(t.count == 200 for t in telemetry.timers.values())
+
+
+# ----------------------------------------------------------------------
+# 2. Event schema round-trip through the JSONL exporter
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def recorded_run(request):
+    """A short degraded khepera mission with full telemetry recorded."""
+    khepera = request.getfixturevalue("khepera")
+    telemetry = RecordingTelemetry()
+    run_scenario(
+        khepera,
+        None,
+        seed=5,
+        duration=2.0,
+        stop_at_goal=False,
+        faults=uniform_dropout_schedule(tuple(khepera.suite.names), 0.3, seed=3),
+        telemetry=telemetry,
+    )
+    return telemetry
+
+
+class TestEventSchema:
+    def test_all_kinds_emitted(self, recorded_run):
+        kinds = {e.kind for e in recorded_run.events}
+        assert kinds == {"mode_bank", "decision", "availability"}
+
+    def test_mode_bank_event_carries_paper_quantities(self, recorded_run):
+        event = recorded_run.events_of("mode_bank")[0]
+        assert isinstance(event, ModeBankEvent)
+        modes = set(event.probabilities)
+        assert modes == set(event.likelihoods) == set(event.consistency_scores)
+        assert event.selected_mode in modes
+        assert abs(sum(event.probabilities.values()) - 1.0) < 1e-9
+        # d_hat^a_{k-1} per mode: one entry per control dimension.
+        assert set(event.actuator_estimates) == modes
+        assert set(event.sensor_estimates) == modes
+
+    def test_decision_event_thresholds_and_windows(self, recorded_run):
+        events = recorded_run.events_of("decision")
+        assert events, "no decision events recorded"
+        for event in events:
+            assert isinstance(event, DecisionEvent)
+            if event.sensor_dof > 0:
+                assert event.sensor_threshold is not None
+                assert event.sensor_positive == (
+                    event.sensor_statistic > event.sensor_threshold
+                )
+            positives, filled, window, criteria = event.sensor_window
+            assert 0 <= positives <= filled <= window
+            assert 1 <= criteria <= window
+            for record in event.per_sensor.values():
+                p, f, w, c = record["window"]
+                assert 0 <= p <= f <= w
+
+    def test_availability_events_match_degraded_iterations(self, recorded_run):
+        for event in recorded_run.events_of("availability"):
+            assert isinstance(event, AvailabilityEvent)
+            assert event.missing, "availability event without missing sensors"
+            assert not set(event.available) & set(event.missing)
+
+    def test_jsonl_round_trip(self, recorded_run, tmp_path):
+        path = tmp_path / "events.jsonl"
+        n = write_jsonl(recorded_run, path)
+        assert n == len(recorded_run.events)
+        records = read_jsonl(path)
+        assert len(records) == n
+        for event, record in zip(recorded_run.events, records):
+            assert record == event.to_record()
+            # JSON round-trip must be loss-free for every field asdict
+            # produces (numpy already converted to plain lists/floats).
+            assert json.loads(json.dumps(record)) == record
+
+    def test_export_run_writes_all_artifacts(self, recorded_run, tmp_path):
+        paths = export_run(recorded_run, tmp_path, prefix="diag", dt=0.05)
+        assert sorted(paths) == ["events", "timeline", "timing"]
+        assert all(p.exists() for p in paths.values())
+        timing = json.loads(paths["timing"].read_text())
+        assert set(timing["results"]) == {"linearize", "mode_bank", "select", "decide"}
+        for summary in timing["results"].values():
+            assert summary["group"] == "obs"
+            assert summary["rounds"] > 0
+            assert summary["mean_s"] > 0.0
+        timeline = paths["timeline"].read_text()
+        assert "degraded delivery" in timeline
+
+    def test_timeline_renders_edges_in_order(self):
+        telemetry = RecordingTelemetry()
+        base = dict(
+            sensor_statistic=30.0,
+            sensor_threshold=10.0,
+            sensor_dof=2,
+            sensor_positive=True,
+            actuator_statistic=1.0,
+            actuator_threshold=5.0,
+            actuator_dof=2,
+            actuator_positive=False,
+            actuator_alarm=False,
+            sensor_window=(2, 2, 2, 2),
+            actuator_window=(0, 2, 6, 3),
+        )
+        telemetry.emit(
+            ModeBankEvent(
+                iteration=1,
+                probabilities={"a": 0.9, "b": 0.1},
+                likelihoods={"a": 1.0, "b": 0.5},
+                consistency_scores={"a": 0.0, "b": -1.0},
+                selected_mode="a",
+                actuator_estimates={"a": [0.0], "b": [0.0]},
+                sensor_estimates={"a": [], "b": []},
+            )
+        )
+        telemetry.emit(
+            ModeBankEvent(
+                iteration=5,
+                probabilities={"a": 0.2, "b": 0.8},
+                likelihoods={"a": 0.1, "b": 1.0},
+                consistency_scores={"a": -2.0, "b": 0.0},
+                selected_mode="b",
+                actuator_estimates={"a": [0.0], "b": [0.0]},
+                sensor_estimates={"a": [], "b": []},
+            )
+        )
+        telemetry.emit(
+            DecisionEvent(iteration=6, sensor_alarm=True, flagged_sensors=("ips",), **base)
+        )
+        telemetry.emit(AvailabilityEvent(iteration=3, available=("ips",), missing=("lidar",)))
+        telemetry.emit(AvailabilityEvent(iteration=4, available=("ips",), missing=("lidar",)))
+        text = render_timeline(telemetry, dt=0.1)
+        lines = text.strip().splitlines()
+        assert "initial mode a" in lines[0]
+        assert "degraded delivery .. k=4" in lines[1]
+        assert "missing: lidar" in lines[1]
+        assert "mode switch a -> b" in lines[2]
+        assert "SENSOR ALARM on [ips]" in lines[3]
+        assert "stat 30.00 > thr 10.00" in lines[3]
+
+
+# ----------------------------------------------------------------------
+# 3. Timer aggregation
+# ----------------------------------------------------------------------
+class TestStageTimer:
+    def test_streaming_aggregates_match_batch(self, rng):
+        samples = rng.uniform(1e-5, 5e-3, size=257)
+        timer = StageTimer("mode_bank")
+        for s in samples:
+            timer.add(float(s))
+        assert timer.count == len(samples)
+        assert timer.total == pytest.approx(float(samples.sum()))
+        assert timer.min == pytest.approx(float(samples.min()))
+        assert timer.max == pytest.approx(float(samples.max()))
+        assert timer.mean == pytest.approx(float(samples.mean()))
+        assert timer.stddev == pytest.approx(float(samples.std(ddof=1)), rel=1e-9)
+
+    def test_histogram_buckets_partition_samples(self):
+        timer = StageTimer("x")
+        values = [5e-7, 1e-6, 3e-4, 2e-3, 0.5, 10.0]
+        for v in values:
+            timer.add(v)
+        rows = timer.histogram()
+        assert sum(n for _, _, n in rows) == len(values)
+        for lo, hi, _ in rows:
+            assert lo < hi
+        # Below the first edge and above the last edge both land somewhere.
+        assert rows[0][0] == 0.0
+        assert math.isinf(rows[-1][1])
+        for v in values:
+            assert any(lo <= v < hi for lo, hi, _ in rows)
+
+    def test_bucket_index_agrees_with_searchsorted(self):
+        probe = [1e-7, *HISTOGRAM_EDGES_S, 2.5e-4, 1.0, 7.3]
+        for v in probe:
+            assert StageTimer._bucket(v) == int(
+                np.searchsorted(HISTOGRAM_EDGES_S, v, side="right")
+            )
+
+    def test_summary_is_bench_perf_shaped(self):
+        timer = StageTimer("select")
+        timer.add(1e-3)
+        timer.add(2e-3)
+        summary = timer.summary()
+        assert summary["group"] == "obs"
+        assert summary["rounds"] == 2
+        assert summary["mean_s"] == pytest.approx(1.5e-3)
+        assert summary["stddev_s"] > 0.0
+        assert json.loads(json.dumps(summary)) == summary
+
+    def test_empty_timer_summary(self):
+        summary = StageTimer("idle").summary()
+        assert summary["rounds"] == 0
+        assert summary["min_s"] == 0.0
+        assert summary["histogram"] == []
+
+
+# ----------------------------------------------------------------------
+# Sink plumbing
+# ----------------------------------------------------------------------
+class TestSinks:
+    def test_null_telemetry_is_disabled_protocol_member(self):
+        assert isinstance(NULL_TELEMETRY, Telemetry)
+        assert isinstance(RecordingTelemetry(), Telemetry)
+        assert not NULL_TELEMETRY.enabled
+        # No-ops must really be no-ops.
+        NULL_TELEMETRY.record_duration("x", 1.0)
+        NULL_TELEMETRY.emit(AvailabilityEvent(iteration=1, available=(), missing=("a",)))
+
+    def test_attach_telemetry_reaches_engine_and_decision(self, khepera):
+        detector = khepera.detector()
+        assert detector.telemetry is detector.engine.telemetry
+        assert not detector.telemetry.enabled
+        sink = RecordingTelemetry()
+        detector.attach_telemetry(sink)
+        assert detector.telemetry is sink
+        assert detector.engine.telemetry is sink
+        detector.attach_telemetry(None)
+        assert detector.telemetry is NULL_TELEMETRY
+
+    def test_sliding_window_occupancy(self):
+        window = SlidingWindow(window=3, criteria=2)
+        assert window.occupancy == (0, 0, 3, 2)
+        window.push(True)
+        window.push(False)
+        assert window.occupancy == (1, 2, 3, 2)
+        window.push(True)
+        window.push(True)  # evicts the first True
+        assert window.occupancy == (2, 3, 3, 2)
+        assert window.met
+        window.reset()
+        assert window.occupancy == (0, 0, 3, 2)
+
+    def test_recording_clear(self):
+        sink = RecordingTelemetry()
+        sink.emit(AvailabilityEvent(iteration=1, available=(), missing=("a",)))
+        sink.record_duration("s", 0.1)
+        sink.clear()
+        assert sink.events == []
+        assert sink.timing_summary() == {}
