@@ -1,0 +1,110 @@
+"""Bench: serial vs process-pool throughput of the evaluation layer.
+
+Measures the same Monte-Carlo workload through ``monte_carlo`` serial and
+through the :mod:`repro.eval.parallel` pool at 2 and 4 workers, plus a
+serial-vs-parallel fault campaign. The interesting number is
+``speedup_vs_serial`` (computed by ``scripts/bench_smoke.py`` from the
+``baseline`` extra-info link) **interpreted against the recorded
+``cpu_count``** — on a single-core machine the pool can only add process
+overhead, and the recorded numbers say so honestly; on an N-core machine
+the Monte-Carlo sweep should approach N-fold.
+
+All tests carry the ``bench_smoke`` marker so ``scripts/bench_smoke.py``
+records them to ``BENCH_perf.json`` alongside the iteration-latency
+benchmarks.
+"""
+
+import os
+
+import pytest
+
+from repro.attacks.catalog import khepera_scenarios
+from repro.eval.fault_campaign import run_fault_campaign
+from repro.eval.parallel import ParallelConfig
+from repro.eval.runner import monte_carlo
+from repro.robots.khepera import khepera_rig
+
+N_TRIALS = 4
+DURATION = 4.0
+CAMPAIGN = dict(
+    intensities=(0.0, 0.1),
+    n_trials=2,
+    base_seed=11,
+    duration=DURATION,
+    stop_at_goal=False,
+)
+
+
+def _mc(rig, parallel=None):
+    scenario = khepera_scenarios()[0]
+    return monte_carlo(
+        rig,
+        scenario,
+        N_TRIALS,
+        base_seed=7,
+        duration=DURATION,
+        stop_at_goal=False,
+        parallel=parallel,
+    )
+
+
+def _record_env(benchmark, workers, baseline=None):
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    if baseline is not None:
+        benchmark.extra_info["baseline"] = baseline
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parallel
+@pytest.mark.benchmark(group="parallel")
+def test_monte_carlo_serial_baseline(benchmark, khepera_pool):
+    _record_env(benchmark, workers=1)
+    benchmark.pedantic(lambda: _mc(khepera_pool), rounds=2, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parallel
+@pytest.mark.benchmark(group="parallel")
+@pytest.mark.parametrize("workers", [2, 4])
+def test_monte_carlo_parallel_throughput(benchmark, khepera_pool, workers):
+    _record_env(benchmark, workers=workers, baseline="test_monte_carlo_serial_baseline")
+    config = ParallelConfig(workers=workers)
+    benchmark.pedantic(
+        lambda: _mc(khepera_pool, parallel=config), rounds=2, iterations=1, warmup_rounds=1
+    )
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parallel
+@pytest.mark.benchmark(group="parallel")
+def test_campaign_serial_baseline(benchmark, khepera_pool):
+    scenarios = [s for s in khepera_scenarios() if s.number in (1, 4)]
+    _record_env(benchmark, workers=1)
+    benchmark.pedantic(
+        lambda: run_fault_campaign(khepera_pool, scenarios, **CAMPAIGN),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parallel
+@pytest.mark.benchmark(group="parallel")
+def test_campaign_parallel_throughput(benchmark, khepera_pool):
+    scenarios = [s for s in khepera_scenarios() if s.number in (1, 4)]
+    _record_env(benchmark, workers=2, baseline="test_campaign_serial_baseline")
+    benchmark.pedantic(
+        lambda: run_fault_campaign(khepera_pool, scenarios, parallel=2, **CAMPAIGN),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def khepera_pool():
+    rig = khepera_rig()
+    rig.plan_path(0)
+    return rig

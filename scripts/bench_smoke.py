@@ -6,10 +6,13 @@ Usage (from the repository root)::
     python scripts/bench_smoke.py [extra pytest args...]
 
 Runs every ``bench_smoke``-marked benchmark in ``benchmarks/bench_perf.py``
-via pytest-benchmark and reduces the statistics to a small committed JSON
-file, so the repository carries a recorded perf trajectory across PRs:
-mean/stddev iteration latency per rig and per mode-set, plus the pinned
-pre-optimization baseline the current numbers are compared against.
+and ``benchmarks/bench_parallel.py`` via pytest-benchmark and reduces the
+statistics to a small committed JSON file, so the repository carries a
+recorded perf trajectory across PRs: mean/stddev iteration latency per rig
+and per mode-set, serial-vs-parallel evaluation throughput, plus the pinned
+pre-optimization baseline the current numbers are compared against. The
+metadata block records ``cpu_count`` and the platform, because the parallel
+speedups are only interpretable relative to the cores they ran on.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import platform
 import subprocess
 import sys
 import tempfile
@@ -43,6 +47,7 @@ def main(argv: list[str]) -> int:
             "-m",
             "pytest",
             str(REPO / "benchmarks" / "bench_perf.py"),
+            str(REPO / "benchmarks" / "bench_parallel.py"),
             "-m",
             "bench_smoke",
             "-q",
@@ -67,20 +72,37 @@ def main(argv: list[str]) -> int:
             "rounds": stats["rounds"],
             "group": bench.get("group"),
         }
+        extra = bench.get("extra_info") or {}
+        for key in ("workers", "cpu_count", "baseline"):
+            if key in extra:
+                entry[key] = extra[key]
         baseline = PRE_CHANGE_BASELINE_S.get(name)
         if baseline is not None:
             entry["pre_change_mean_s"] = baseline
             entry["speedup_vs_pre_change"] = baseline / stats["mean"]
         results[name] = entry
 
+    # Serial-vs-parallel speedups: parallel benchmarks link their serial
+    # counterpart by name via extra_info["baseline"].
+    for entry in results.values():
+        reference = results.get(entry.get("baseline"))
+        if reference is not None:
+            entry["speedup_vs_serial"] = reference["mean_s"] / entry["mean_s"]
+
     payload = {
         "datetime": data.get("datetime"),
         "machine": data.get("machine_info", {}).get("node"),
         "python": data.get("machine_info", {}).get("python_version"),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "processor": platform.processor() or platform.machine(),
         "comment": (
-            "Mean detector iteration latency per rig/mode-set; "
-            "pre_change_mean_s pins the pre-shared-workspace seed revision "
-            "measured on the reference machine (docs/PERFORMANCE.md)."
+            "Mean detector iteration latency per rig/mode-set plus "
+            "serial-vs-parallel evaluation throughput; pre_change_mean_s "
+            "pins the pre-shared-workspace seed revision measured on the "
+            "reference machine; speedup_vs_serial compares each parallel "
+            "benchmark to its serial baseline on this machine's cpu_count "
+            "(docs/PERFORMANCE.md)."
         ),
         "results": results,
     }

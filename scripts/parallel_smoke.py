@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Tier-2 smoke check: parallel evaluation must equal serial, quickly.
+
+Usage (from the repository root)::
+
+    python scripts/parallel_smoke.py
+
+Runs a 2-worker mini fault campaign (Table II scenario #1, dropout sweep)
+and a 2-worker Monte-Carlo batch next to their serial twins and enforces
+the parallel layer's acceptance criteria from docs/PERFORMANCE.md:
+
+* every parallel cell/trial is identical to its serial counterpart
+  (confusions, delays, degraded fractions, report sequences),
+* the pool actually fans out (a ParallelConfig resolves >1 worker),
+* the whole check finishes in under 60 seconds.
+
+Exit status is non-zero on any violation, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.attacks.catalog import khepera_scenarios  # noqa: E402
+from repro.eval.fault_campaign import run_fault_campaign  # noqa: E402
+from repro.eval.parallel import ParallelConfig  # noqa: E402
+from repro.eval.runner import monte_carlo  # noqa: E402
+from repro.robots.khepera import khepera_rig  # noqa: E402
+
+INTENSITIES = (0.0, 0.10)
+DURATION = 5.0  # seconds of mission per trial
+WORKERS = 2
+TIME_BUDGET_S = 60.0
+
+
+def _cell_key(cell):
+    def counts(c):
+        return (c.tp, c.fp, c.fn, c.tn)
+
+    return (
+        cell.scenario_number,
+        cell.intensity,
+        counts(cell.sensor_confusion),
+        counts(cell.actuator_confusion),
+        cell.mean_sensor_delay,
+        cell.mean_actuator_delay,
+        cell.degraded_fraction,
+        cell.finite,
+    )
+
+
+def main() -> int:
+    start = time.perf_counter()
+    rig = khepera_rig()
+    rig.plan_path(0)
+    scenario = khepera_scenarios()[0]  # wheel-speed attack (Table II #1)
+    config = ParallelConfig(workers=WORKERS)
+    failures: list[str] = []
+
+    if config.resolved_workers() != WORKERS:
+        failures.append(f"ParallelConfig resolved {config.resolved_workers()} workers, wanted {WORKERS}")
+
+    campaign_kwargs = dict(
+        intensities=INTENSITIES,
+        n_trials=2,
+        base_seed=100,
+        duration=DURATION,
+        stop_at_goal=False,
+    )
+    serial_campaign = run_fault_campaign(rig, [scenario], **campaign_kwargs)
+    parallel_campaign = run_fault_campaign(rig, [scenario], parallel=config, **campaign_kwargs)
+    serial_cells = [_cell_key(c) for c in serial_campaign.cells]
+    parallel_cells = [_cell_key(c) for c in parallel_campaign.cells]
+    if serial_cells != parallel_cells:
+        failures.append("parallel fault campaign differs from serial")
+        for a, b in zip(serial_cells, parallel_cells):
+            if a != b:
+                failures.append(f"  serial {a} != parallel {b}")
+
+    mc_kwargs = dict(base_seed=100, duration=DURATION, stop_at_goal=False)
+    serial_mc = monte_carlo(rig, scenario, 4, **mc_kwargs)
+    parallel_mc = monte_carlo(rig, scenario, 4, parallel=config, **mc_kwargs)
+    for s, p in zip(serial_mc, parallel_mc):
+        if repr(s.trace.reports) != repr(p.trace.reports):
+            failures.append(f"parallel Monte-Carlo reports differ at seed {s.seed}")
+        if [(e.channel, e.delay) for e in s.delays] != [(e.channel, e.delay) for e in p.delays]:
+            failures.append(f"parallel Monte-Carlo delays differ at seed {s.seed}")
+
+    elapsed = time.perf_counter() - start
+    print(parallel_campaign.format())
+    print(f"\n{len(serial_mc)} Monte-Carlo trials compared serial vs {WORKERS} workers")
+    print(f"elapsed: {elapsed:.1f}s (budget {TIME_BUDGET_S:.0f}s)")
+
+    if elapsed > TIME_BUDGET_S:
+        failures.append(f"smoke took {elapsed:.1f}s > {TIME_BUDGET_S:.0f}s budget")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: parallel evaluation smoke passed (parallel == serial)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,7 +40,7 @@ from .core import (
     complete_modes,
     single_reference_modes,
 )
-from .eval import RunResult, run_scenario
+from .eval import ParallelConfig, RunResult, monte_carlo, run_scenario
 from .obs import NullTelemetry, RecordingTelemetry, export_run, render_timeline
 from .robots import RobotRig, khepera_rig, tamiya_rig
 
@@ -63,6 +63,8 @@ __all__ = [
     "khepera_scenarios",
     "tamiya_scenarios",
     "run_scenario",
+    "monte_carlo",
+    "ParallelConfig",
     "RunResult",
     "NullTelemetry",
     "RecordingTelemetry",

@@ -270,21 +270,32 @@ class MultiModeEstimationEngine:
             telemetry.record_duration("mode_bank", perf_counter() - t0)
             t0 = perf_counter()
 
-        # Recursive probability update with floor, then normalization
+        # Recursive probability update, normalization, then floor
         # (Algorithm 1 line 6; reported, not used for selection — see class
         # docstring). A held mode (no reference evidence this iteration)
-        # keeps its prior probability through the normalization.
-        raw = {
-            name: max(
-                (likelihoods[name] * self._mu[name])
-                if results[name].measurement_updated
-                else self._mu[name],
-                self._epsilon,
-            )
+        # keeps its prior probability through the normalization. The floor
+        # applies to the *normalized* distribution — flooring the raw
+        # likelihood-weighted terms would let a large total (Gaussian
+        # densities routinely exceed 1) push a defeated mode below the
+        # documented eps/(m*eps + 1) bound after division.
+        weighted = {
+            name: (likelihoods[name] * self._mu[name])
+            if results[name].measurement_updated
+            else self._mu[name]
             for name in self._mu
         }
-        total = sum(raw.values())
-        self._mu = {name: value / total for name, value in raw.items()}
+        total = sum(weighted.values())
+        if total > 0.0 and np.isfinite(total):
+            mu = {name: value / total for name, value in weighted.items()}
+        else:
+            # No mode retained any evidence (all-zero likelihoods): keep the
+            # prior rather than dividing by zero; the floor below revives it.
+            mu = dict(self._mu)
+        if any(value < self._epsilon for value in mu.values()):
+            floored = {name: max(value, self._epsilon) for name, value in mu.items()}
+            floor_total = sum(floored.values())
+            mu = {name: value / floor_total for name, value in floored.items()}
+        self._mu = mu
 
         # Finite-window consistency scores drive selection. Held modes
         # contribute zero log-evidence for the iteration (not a penalty, not

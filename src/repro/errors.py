@@ -14,6 +14,7 @@ __all__ = [
     "DimensionError",
     "SimulationError",
     "PlanningError",
+    "ParallelExecutionError",
 ]
 
 
@@ -47,3 +48,13 @@ class SimulationError(ReproError):
 
 class PlanningError(ReproError):
     """A motion planner failed to produce a feasible path."""
+
+
+class ParallelExecutionError(ReproError):
+    """A worker process failed while executing fanned-out trials.
+
+    Raised by :func:`repro.eval.parallel.map_trials` when a worker chunk
+    raises (the message carries the worker traceback plus the chunk's trial
+    descriptors, so the failing seed is identifiable without re-running) or
+    when the process pool itself breaks (a worker died without reporting).
+    """

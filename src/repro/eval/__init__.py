@@ -10,6 +10,7 @@ identification.
 from .fault_campaign import FaultCampaignCell, FaultCampaignResult, run_fault_campaign
 from .forensics import QuantificationReport, quantify_run
 from .metrics import ConfusionCounts, DelayEvent, confusion_from_run, detection_delays
+from .parallel import ParallelConfig, map_trials
 from .runner import RunResult, monte_carlo, run_scenario
 from .sweeps import f1_sweep, redecide, roc_sweep
 from .tables import format_table
@@ -22,6 +23,8 @@ __all__ = [
     "RunResult",
     "run_scenario",
     "monte_carlo",
+    "ParallelConfig",
+    "map_trials",
     "FaultCampaignCell",
     "FaultCampaignResult",
     "run_fault_campaign",

@@ -22,12 +22,23 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..attacks.catalog import Scenario
+from ..core.batch import replay_batch
 from ..errors import ConfigurationError
-from ..obs.telemetry import Telemetry
+from ..obs.telemetry import RecordingTelemetry, Telemetry
 from ..robots.rig import RobotRig
 from ..sim.faults import FaultSchedule, uniform_dropout_schedule
 from .metrics import ConfusionCounts
-from .runner import RunResult, run_scenario
+from .parallel import ParallelSpec, as_parallel_config, map_trials
+from .runner import (
+    RunResult,
+    _chunk_detector,
+    _reduce,
+    _sim_args,
+    _simulate,
+    _trace_availability,
+    run_scenario,
+    validate_run_kwargs,
+)
 from .tables import format_table
 
 __all__ = ["FaultCampaignCell", "FaultCampaignResult", "run_fault_campaign"]
@@ -184,6 +195,123 @@ def _collect_cell(
     )
 
 
+def _campaign_chunk(payload, items):
+    """Worker: one fault-campaign work unit per ``(intensity_index, scenario_index, trial)``.
+
+    Each item resolves its fault schedule in the worker via the factory with
+    the exact serial seed arithmetic (``fault_seed + 1000·intensity_index +
+    trial``), simulates the mission open-loop, and replays through a
+    chunk-shared detector. Returns ``(RunResult, RecordingTelemetry | None)``
+    pairs in item order.
+    """
+    (rig, scenarios, intensities, base_seed, fault_seed, factory, telemetry_factory, run_kwargs) = payload
+    sim_args = _sim_args(run_kwargs)
+    traces = []
+    for intensity_index, scenario_index, trial in items:
+        sim_args["faults"] = factory(
+            float(intensities[intensity_index]),
+            fault_seed + 1000 * intensity_index + trial,
+        )
+        traces.append(
+            _simulate(
+                rig,
+                scenarios[scenario_index],
+                base_seed + trial,
+                detector=None,
+                responder=None,
+                **sim_args,
+            )
+        )
+    detector = _chunk_detector(rig, run_kwargs)
+    out: list[tuple[RunResult, RecordingTelemetry | None]] = []
+    if telemetry_factory is not None:
+        for (intensity_index, scenario_index, trial), trace in zip(items, traces):
+            scenario = scenarios[scenario_index]
+            sink = telemetry_factory(scenario, float(intensities[intensity_index]), trial)
+            if sink is not None and not isinstance(sink, RecordingTelemetry):
+                raise ConfigurationError(
+                    "parallel fault campaigns require telemetry_factory to return "
+                    "RecordingTelemetry (or a subclass) or None — worker recordings "
+                    "must be picklable and mergeable into the parent"
+                )
+            detector.attach_telemetry(sink)
+            reports = detector.replay(
+                trace.planned_controls,
+                trace.readings,
+                reset=True,
+                availability=_trace_availability(trace),
+            )
+            trace.attach_reports(reports)
+            out.append((_reduce(rig, scenario, base_seed + trial, trace), sink))
+        detector.attach_telemetry(None)
+    else:
+        batch = replay_batch(detector, traces, keep_reports=True)
+        for position, ((intensity_index, scenario_index, trial), trace) in enumerate(
+            zip(items, traces)
+        ):
+            trace.attach_reports(batch.trace_reports(position))
+            out.append(
+                (_reduce(rig, scenarios[scenario_index], base_seed + trial, trace), None)
+            )
+    return out
+
+
+def _run_campaign_parallel(
+    rig: RobotRig,
+    scenarios: Sequence[Scenario],
+    intensities: Sequence[float],
+    n_trials: int,
+    base_seed: int,
+    fault_seed: int,
+    factory,
+    telemetry_factory,
+    run_kwargs: dict,
+    config,
+) -> list[FaultCampaignCell]:
+    rig.plan_path(run_kwargs.get("path_seed", 0))  # plan once; workers inherit the cache
+    items = [
+        (intensity_index, scenario_index, trial)
+        for intensity_index in range(len(intensities))
+        for scenario_index in range(len(scenarios))
+        for trial in range(n_trials)
+    ]
+    payload = (
+        rig,
+        tuple(scenarios),
+        tuple(float(i) for i in intensities),
+        base_seed,
+        fault_seed,
+        factory,
+        telemetry_factory,
+        run_kwargs,
+    )
+    flat = map_trials(_campaign_chunk, items, parallel=config, payload=payload)
+    cells: list[FaultCampaignCell] = []
+    position = 0
+    for intensity_index, intensity in enumerate(intensities):
+        for scenario_index, scenario in enumerate(scenarios):
+            results: list[RunResult] = []
+            for trial in range(n_trials):
+                result, recording = flat[position]
+                position += 1
+                if recording is not None:
+                    # The parent-side factory call owns the sink the caller
+                    # will inspect (and performs any registration side
+                    # effects); the worker's recording is folded into it.
+                    parent_sink = telemetry_factory(scenario, float(intensity), trial)
+                    if parent_sink is not None:
+                        if not isinstance(parent_sink, RecordingTelemetry):
+                            raise ConfigurationError(
+                                "telemetry_factory returned a non-mergeable sink "
+                                "on the parent side; return RecordingTelemetry "
+                                "(or a subclass) for parallel campaigns"
+                            )
+                        parent_sink.merge(recording)
+                results.append(result)
+            cells.append(_collect_cell(scenario, float(intensity), results))
+    return cells
+
+
 def run_fault_campaign(
     rig: RobotRig,
     scenarios: Sequence[Scenario],
@@ -194,6 +322,7 @@ def run_fault_campaign(
     sensors: Sequence[str] | None = None,
     schedule_factory: Callable[[float, int], FaultSchedule | None] | None = None,
     telemetry_factory: Callable[[Scenario, float, int], Telemetry | None] | None = None,
+    parallel: ParallelSpec = None,
     **run_kwargs,
 ) -> FaultCampaignResult:
     """Sweep fault intensity x attack scenarios on one rig.
@@ -226,7 +355,19 @@ def run_fault_campaign(
         sink (or None) attached to that trial's detector — e.g. record one
         :class:`~repro.obs.telemetry.RecordingTelemetry` per misdetecting
         cell and export it with :func:`repro.obs.export.export_run` to see
-        *which* degraded iterations ate an in-progress confirmation.
+        *which* degraded iterations ate an in-progress confirmation. Under
+        ``parallel=`` the factory must return ``RecordingTelemetry`` (or a
+        subclass) or None, and is invoked twice per trial: once inside the
+        worker (to record) and once in the parent (to own the sink the
+        worker recording is merged into) — it should therefore be
+        idempotent apart from registering the sink.
+    parallel:
+        ``None`` (serial), a worker count, or a
+        :class:`~repro.eval.parallel.ParallelConfig`. The work grid is
+        cells × trials; every trial's noise and fault seeds are derived
+        exactly as the serial loop derives them, so the campaign result is
+        identical for any worker count. Falls back to the serial path when
+        the resolved worker count is 1 or a *responder* closes the loop.
     run_kwargs:
         Extra keyword arguments for :func:`repro.eval.runner.run_scenario`
         (``duration``, ``decision``, ...).
@@ -235,6 +376,7 @@ def run_fault_campaign(
         raise ConfigurationError("fault campaign needs at least one scenario")
     if any(not 0.0 <= i <= 1.0 for i in intensities):
         raise ConfigurationError("fault intensities must be in [0, 1]")
+    validate_run_kwargs(run_kwargs, reserved=frozenset({"faults", "telemetry"}))
     target_sensors = tuple(sensors) if sensors is not None else tuple(rig.suite.names)
 
     def default_factory(intensity: float, trial_seed: int) -> FaultSchedule | None:
@@ -244,7 +386,33 @@ def run_fault_campaign(
 
     factory = schedule_factory or default_factory
 
-    cells: list[FaultCampaignCell] = []
+    config = as_parallel_config(parallel)
+    if (
+        config is not None
+        and run_kwargs.get("responder") is None
+        and config.resolved_workers() > 1
+        and len(intensities) * len(scenarios) * n_trials > 1
+    ):
+        cells = _run_campaign_parallel(
+            rig,
+            scenarios,
+            intensities,
+            n_trials,
+            base_seed,
+            fault_seed,
+            factory,
+            telemetry_factory,
+            run_kwargs,
+            config,
+        )
+        return FaultCampaignResult(
+            rig_name=rig.name,
+            intensities=tuple(float(i) for i in intensities),
+            cells=cells,
+            n_trials=n_trials,
+        )
+
+    cells = []
     for intensity_index, intensity in enumerate(intensities):
         for scenario in scenarios:
             results = [

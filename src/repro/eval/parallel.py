@@ -1,0 +1,248 @@
+"""Process-pool fan-out for embarrassingly parallel evaluation workloads.
+
+Monte-Carlo sweeps, fault-intensity campaigns and the experiment tables all
+reduce to the same shape: a grid of *trials* that are fully independent
+given their seeds (every trial derives its noise, attack and fault streams
+from ``base_seed + trial`` / ``fault_seed + 1000·intensity_index + trial``
+exactly as the serial loops do). This module fans such grids out to worker
+processes while keeping the results **bit-identical to the serial path for
+any worker count**:
+
+* **Deterministic seed partitioning** — workers receive trial *descriptors*
+  (scenario index, seed), never pre-drawn random state; each worker derives
+  the trial's streams with the same arithmetic the serial loop uses, so the
+  partitioning scheme cannot perturb a single sample.
+* **Chunked scheduling** — trials are grouped into chunks and each worker
+  amortizes rig/detector construction across its chunk via the
+  :func:`repro.core.batch.replay_batch` fast path (simulate open-loop, then
+  replay every chunk trace through one detector). Chunk boundaries cannot
+  affect results because the detector is reset per trace.
+* **Crash containment** — a failing trial surfaces the worker traceback and
+  the chunk's trial descriptors as a
+  :class:`~repro.errors.ParallelExecutionError` instead of hanging the pool.
+
+The default ``fork`` start method lets workers inherit closures (rig
+factories, fault/telemetry factories) without pickling. Under ``spawn`` /
+``forkserver`` the shared payload must be picklable; a clear
+:class:`~repro.errors.ConfigurationError` is raised when it is not.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, Union
+
+from ..errors import ConfigurationError, ParallelExecutionError
+
+__all__ = ["ParallelConfig", "ParallelSpec", "as_parallel_config", "map_trials"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to fan independent trials out to worker processes.
+
+    Attributes
+    ----------
+    workers:
+        Number of worker processes. ``0`` (the default) resolves to
+        ``os.cpu_count()``; ``1`` (or a resolved count of 1) selects the
+        in-process serial path — identical results, no pool.
+    chunk_size:
+        Trials per work unit. ``0`` auto-sizes to about four chunks per
+        worker (small enough to balance load, large enough that each worker
+        amortizes detector construction across its chunk via the batched
+        replay fast path).
+    start_method:
+        ``multiprocessing`` start method. ``None`` picks ``"fork"`` when the
+        platform supports it (workers inherit rig/factory closures without
+        pickling) and ``"spawn"`` otherwise.
+    """
+
+    workers: int = 0
+    chunk_size: int = 0
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if int(self.workers) != self.workers or int(self.chunk_size) != self.chunk_size:
+            raise ConfigurationError("workers and chunk_size must be integers")
+        if self.start_method is not None:
+            available = multiprocessing.get_all_start_methods()
+            if self.start_method not in available:
+                raise ConfigurationError(
+                    f"start_method {self.start_method!r} is not available on this "
+                    f"platform (choose from {available})"
+                )
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (``workers<=0`` → ``os.cpu_count()``)."""
+        if self.workers > 0:
+            return int(self.workers)
+        return os.cpu_count() or 1
+
+    def resolved_chunk_size(self, n_items: int) -> int:
+        """The effective chunk size for a grid of *n_items* trials."""
+        if self.chunk_size > 0:
+            return int(self.chunk_size)
+        workers = self.resolved_workers()
+        return max(1, math.ceil(n_items / (4 * workers)))
+
+    def resolved_start_method(self) -> str:
+        """The effective start method (``None`` → ``fork`` where available)."""
+        if self.start_method is not None:
+            return self.start_method
+        return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+#: What evaluation entry points accept for their ``parallel=`` argument:
+#: ``None`` (serial), a worker count, or a full :class:`ParallelConfig`.
+ParallelSpec = Union[ParallelConfig, int, None]
+
+
+def as_parallel_config(parallel: ParallelSpec) -> ParallelConfig | None:
+    """Normalize a ``parallel=`` argument (None / int / ParallelConfig)."""
+    if parallel is None:
+        return None
+    if isinstance(parallel, ParallelConfig):
+        return parallel
+    if isinstance(parallel, bool):
+        raise ConfigurationError("parallel must be None, an int worker count or a ParallelConfig")
+    if isinstance(parallel, int):
+        return ParallelConfig(workers=parallel)
+    raise ConfigurationError(
+        f"parallel must be None, an int worker count or a ParallelConfig, got {parallel!r}"
+    )
+
+
+def ensure_picklable(value: Any, what: str) -> None:
+    """Raise :class:`ConfigurationError` when *value* cannot cross a process boundary."""
+    try:
+        pickle.dumps(value)
+    except Exception as exc:
+        raise ConfigurationError(
+            f"{what} is not picklable and cannot cross a process boundary "
+            f"({exc!r}); pass a factory callable resolved inside the worker "
+            "instead of a shared mutable instance"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing
+# ----------------------------------------------------------------------
+# The chunk function and shared payload travel once per worker through the
+# pool initializer: under the default fork start method they are inherited
+# (no pickling — closures and rigs work), under spawn they are pickled.
+# Per-task traffic is only the small (index, items) descriptors and the
+# pickled results.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _init_worker(chunk_fn: Callable[[Any, list], list], payload: Any) -> None:
+    _WORKER_STATE["fn"] = chunk_fn
+    _WORKER_STATE["payload"] = payload
+
+
+def _run_chunk(indexed_chunk: tuple[int, list]) -> tuple[int, bool, Any]:
+    index, items = indexed_chunk
+    try:
+        results = _WORKER_STATE["fn"](_WORKER_STATE["payload"], items)
+        return index, True, results
+    except BaseException:
+        import traceback
+
+        return index, False, traceback.format_exc()
+
+
+def _check_chunk_result(chunk_index: int, items: list, results: Any) -> list:
+    if not isinstance(results, list) or len(results) != len(items):
+        raise ParallelExecutionError(
+            f"chunk function returned {type(results).__name__} of length "
+            f"{len(results) if isinstance(results, list) else 'n/a'} for a chunk "
+            f"of {len(items)} trials — it must return one result per trial"
+        )
+    return results
+
+
+def map_trials(
+    chunk_fn: Callable[[Any, list], list],
+    items: Sequence[Any],
+    parallel: ParallelSpec = None,
+    payload: Any = None,
+) -> list:
+    """Run ``chunk_fn(payload, chunk)`` over chunks of *items*, possibly in parallel.
+
+    Parameters
+    ----------
+    chunk_fn:
+        A **module-level** function mapping ``(payload, chunk_items)`` to a
+        list with exactly one result per chunk item. It must treat items
+        independently (no cross-item state) so that chunk boundaries — and
+        therefore the worker count — can never influence results.
+    items:
+        Small picklable trial descriptors (e.g. ``(scenario_index, seed)``
+        tuples). They are the only per-task traffic to the workers.
+    parallel:
+        ``None`` / worker count / :class:`ParallelConfig`. A resolved worker
+        count of 1 (or a single chunk) runs everything in-process through
+        the identical chunked code path.
+    payload:
+        Shared read-only context handed to every ``chunk_fn`` call (rig,
+        scenarios, factories). Under ``fork`` it is inherited; under other
+        start methods it must pickle.
+
+    Returns
+    -------
+    list
+        The flattened per-item results, in input order, regardless of
+        chunking or worker count.
+
+    Raises
+    ------
+    ParallelExecutionError
+        When a worker chunk raises (message carries the worker traceback and
+        the chunk's trial descriptors) or the pool breaks.
+    """
+    config = as_parallel_config(parallel) or ParallelConfig(workers=1)
+    items = list(items)
+    if not items:
+        return []
+    chunk_size = config.resolved_chunk_size(len(items))
+    chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+    workers = min(config.resolved_workers(), len(chunks))
+
+    if workers <= 1:
+        out: list = []
+        for chunk in chunks:
+            out.extend(_check_chunk_result(0, chunk, chunk_fn(payload, chunk)))
+        return out
+
+    method = config.resolved_start_method()
+    if method != "fork":
+        ensure_picklable(payload, f"the shared work payload (start_method={method!r})")
+    context = multiprocessing.get_context(method)
+    results: list = [None] * len(chunks)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(chunk_fn, payload),
+        ) as pool:
+            for index, ok, value in pool.map(_run_chunk, list(enumerate(chunks))):
+                if not ok:
+                    raise ParallelExecutionError(
+                        f"worker chunk {index} failed; its trials were "
+                        f"{chunks[index]!r}.\nWorker traceback:\n{value}"
+                    )
+                results[index] = _check_chunk_result(index, chunks[index], value)
+    except BrokenProcessPool as exc:
+        raise ParallelExecutionError(
+            "a worker process died without reporting a result (out-of-memory "
+            "killer or hard crash); re-run serially to localize the failing trial"
+        ) from exc
+    return [result for chunk_results in results for result in chunk_results]

@@ -20,11 +20,12 @@ from ..core.decision import DecisionConfig
 from ..core.linearization import LinearizationPolicy
 from ..core.modes import Mode
 from ..errors import ConfigurationError
-from ..obs.telemetry import Telemetry
+from ..obs.telemetry import RecordingTelemetry, Telemetry
 from ..robots.rig import RobotRig
 from ..sim.faults import FaultSchedule
 from ..sim.simulator import ClosedLoopSimulator
 from ..sim.trace import SimulationTrace
+from .parallel import ParallelSpec, as_parallel_config, ensure_picklable, map_trials
 
 #: Fault injection for a run: a ready schedule (reset and reused across
 #: trials, so every trial sees the same fault realization) or a factory
@@ -182,12 +183,166 @@ def run_scenario(
     return _reduce(rig, scenario, seed, trace)
 
 
+#: Keyword arguments :func:`run_scenario` accepts beyond (rig, scenario,
+#: seed) — the extras Monte-Carlo style entry points may forward. Kept as an
+#: explicit set so both the sequential and the batched/parallel branches
+#: reject unknown keys identically, before any trial runs.
+RUN_SCENARIO_KWARGS = frozenset(
+    {
+        "decision",
+        "modes",
+        "policy",
+        "path_seed",
+        "duration",
+        "detector",
+        "responder",
+        "stop_at_goal",
+        "faults",
+        "telemetry",
+    }
+)
+
+
+def validate_run_kwargs(kwargs, reserved: frozenset[str] = frozenset()) -> None:
+    """Reject ``run_scenario`` forwarding kwargs that are unknown or reserved.
+
+    *reserved* names arguments the calling sweep supplies itself (e.g. the
+    fault campaign owns ``seed``/``faults``/``telemetry``); passing one is a
+    configuration error rather than a silent override.
+    """
+    unknown = set(kwargs) - RUN_SCENARIO_KWARGS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown run_scenario argument(s) {sorted(unknown)}; "
+            f"valid extras are {sorted(RUN_SCENARIO_KWARGS)}"
+        )
+    clashes = set(kwargs) & reserved
+    if clashes:
+        raise ConfigurationError(
+            f"argument(s) {sorted(clashes)} are supplied by the sweep itself "
+            "and cannot be overridden through run kwargs"
+        )
+
+
+def _sim_args(kwargs: dict) -> dict:
+    """The open-loop simulation arguments of a run-kwarg dict."""
+    return {
+        "path_seed": kwargs.get("path_seed", 0),
+        "duration": kwargs.get("duration"),
+        "stop_at_goal": kwargs.get("stop_at_goal", True),
+        "faults": kwargs.get("faults"),
+    }
+
+
+def _chunk_detector(rig: RobotRig, kwargs: dict):
+    """One detector per chunk — amortized across every trace the chunk replays."""
+    detector = kwargs.get("detector")
+    if detector is None:
+        detector = rig.detector(
+            decision=kwargs.get("decision"),
+            modes=kwargs.get("modes"),
+            policy=kwargs.get("policy"),
+        )
+    return detector
+
+
+def _trace_availability(trace: SimulationTrace):
+    """Per-iteration delivery masks for replay (None when fully nominal)."""
+    availability = trace.availability
+    if not availability or all(a is None for a in availability):
+        return None
+    return availability
+
+
+def _replay_chunk(payload, items):
+    """Worker: simulate each trial open-loop, replay the chunk through one detector.
+
+    *payload* is ``(rig, scenarios, kwargs, per_trial_telemetry)`` and each
+    item is a ``(scenario_index, seed)`` descriptor — the same seed the
+    serial loop would have passed to :func:`run_scenario`, so every noise,
+    attack and fault stream is derived identically. Returns one
+    ``(RunResult, RecordingTelemetry | None)`` pair per item.
+    """
+    rig, scenarios, kwargs, per_trial_telemetry = payload
+    sim_args = _sim_args(kwargs)
+    traces = [
+        _simulate(
+            rig,
+            scenarios[scenario_index],
+            seed,
+            detector=None,
+            responder=None,
+            **sim_args,
+        )
+        for scenario_index, seed in items
+    ]
+    detector = _chunk_detector(rig, kwargs)
+    out: list[tuple[RunResult, RecordingTelemetry | None]] = []
+    if per_trial_telemetry:
+        # One fresh recording per trial so the parent can merge them back in
+        # trial order — reproducing the event sequence a serial run with one
+        # shared sink records. Per-trace replay instead of one batch call
+        # because the sink must swap between traces.
+        for (scenario_index, seed), trace in zip(items, traces):
+            recording = RecordingTelemetry()
+            detector.attach_telemetry(recording)
+            reports = detector.replay(
+                trace.planned_controls,
+                trace.readings,
+                reset=True,
+                availability=_trace_availability(trace),
+            )
+            trace.attach_reports(reports)
+            out.append((_reduce(rig, scenarios[scenario_index], seed, trace), recording))
+        detector.attach_telemetry(None)
+    else:
+        batch = replay_batch(detector, traces, keep_reports=True)
+        for position, ((scenario_index, seed), trace) in enumerate(zip(items, traces)):
+            trace.attach_reports(batch.trace_reports(position))
+            out.append((_reduce(rig, scenarios[scenario_index], seed, trace), None))
+    return out
+
+
+def _monte_carlo_parallel(
+    rig: RobotRig,
+    scenario: Scenario | None,
+    n_trials: int,
+    base_seed: int,
+    config,
+    kwargs: dict,
+) -> list[RunResult]:
+    telemetry = kwargs.get("telemetry")
+    if telemetry is not None and not isinstance(telemetry, RecordingTelemetry):
+        raise ConfigurationError(
+            "parallel Monte-Carlo requires a mergeable telemetry sink "
+            "(RecordingTelemetry or a subclass); worker recordings are merged "
+            "back into it trial by trial"
+        )
+    faults = kwargs.get("faults")
+    if isinstance(faults, FaultSchedule):
+        # A shared mutable schedule is only safe across processes when it can
+        # be copied; fork copies it implicitly, but requiring picklability
+        # keeps behavior identical under every start method.
+        ensure_picklable(faults, "the shared FaultSchedule instance")
+    rig.plan_path(kwargs.get("path_seed", 0))  # plan once; workers inherit the cache
+    worker_kwargs = {k: v for k, v in kwargs.items() if k != "telemetry"}
+    items = [(0, base_seed + trial) for trial in range(n_trials)]
+    payload = (rig, (scenario,), worker_kwargs, telemetry is not None)
+    results: list[RunResult] = []
+    for result, recording in map_trials(_replay_chunk, items, parallel=config, payload=payload):
+        if recording is not None and telemetry is not None:
+            telemetry.merge(recording)
+        results.append(result)
+    return results
+
+
 def monte_carlo(
     rig: RobotRig,
     scenario: Scenario | None,
     n_trials: int,
     base_seed: int = 0,
     batched: bool = False,
+    parallel: ParallelSpec = None,
     **kwargs,
 ) -> list[RunResult]:
     """Run *n_trials* independent trials of one scenario.
@@ -199,7 +354,27 @@ def monte_carlo(
     the nav sensor's readings either way — so the reports, and therefore the
     metrics, are identical to the sequential path; the batch amortizes
     detector construction and report bookkeeping across the trials.
+
+    With ``parallel=`` (a worker count or
+    :class:`~repro.eval.parallel.ParallelConfig`) the trials fan out to
+    worker processes in seed-deterministic chunks, each worker amortizing
+    detector construction across its chunk exactly like the batched path —
+    results are identical to the serial path for any worker count. Attached
+    ``telemetry`` must be a :class:`~repro.obs.telemetry.RecordingTelemetry`
+    (worker recordings are merged back in trial order). Falls back to the
+    serial path when the resolved worker count is 1 or a *responder* closes
+    the detection loop (a responder makes trials closed-loop online runs,
+    which neither batching nor offline replay can reproduce).
     """
+    validate_run_kwargs(kwargs)
+    config = as_parallel_config(parallel)
+    if (
+        config is not None
+        and n_trials > 1
+        and kwargs.get("responder") is None
+        and config.resolved_workers() > 1
+    ):
+        return _monte_carlo_parallel(rig, scenario, n_trials, base_seed, config, kwargs)
     if not batched:
         return [
             run_scenario(rig, scenario, seed=base_seed + trial, **kwargs)
@@ -211,12 +386,7 @@ def monte_carlo(
             "a responder feeds detector verdicts back into the planner, so the "
             "detector cannot be deferred to offline replay"
         )
-    sim_args = {
-        "path_seed": kwargs.get("path_seed", 0),
-        "duration": kwargs.get("duration"),
-        "stop_at_goal": kwargs.get("stop_at_goal", True),
-        "faults": kwargs.get("faults"),
-    }
+    sim_args = _sim_args(kwargs)
     traces = [
         _simulate(
             rig,
@@ -228,13 +398,7 @@ def monte_carlo(
         )
         for trial in range(n_trials)
     ]
-    detector = kwargs.get("detector")
-    if detector is None:
-        detector = rig.detector(
-            decision=kwargs.get("decision"),
-            modes=kwargs.get("modes"),
-            policy=kwargs.get("policy"),
-        )
+    detector = _chunk_detector(rig, kwargs)
     if kwargs.get("telemetry") is not None:
         detector.attach_telemetry(kwargs["telemetry"])
     batch = replay_batch(detector, traces, keep_reports=True)

@@ -34,10 +34,10 @@ from .sensor_quality import run_sensor_quality
 from .switching import run_switching
 
 EXPERIMENTS: dict[str, Callable[..., object]] = {
-    "table2": lambda args: run_table2(n_trials=args.trials),
-    "table4": lambda args: run_table4(),
+    "table2": lambda args: run_table2(n_trials=args.trials, parallel=args.workers),
+    "table4": lambda args: run_table4(parallel=args.workers),
     "fig6": lambda args: run_fig6(seed=args.seed),
-    "fig7": lambda args: run_fig7(n_trials=args.trials),
+    "fig7": lambda args: run_fig7(n_trials=args.trials, parallel=args.workers),
     "tamiya": lambda args: run_tamiya_eval(n_trials=args.trials),
     "linear": lambda args: run_linear_benchmark(seed=args.seed),
     "evasive": lambda args: run_evasive(seed=args.seed),
@@ -45,7 +45,7 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "response": lambda args: run_response(seed=args.seed),
     "switching": lambda args: run_switching(seed=args.seed),
     "sensor-quality": lambda args: run_sensor_quality(seed=args.seed),
-    "robustness": lambda args: run_robustness(n_trials=args.trials),
+    "robustness": lambda args: run_robustness(n_trials=args.trials, parallel=args.workers),
 }
 
 
@@ -61,6 +61,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--trials", type=int, default=2, help="Monte-Carlo trials where applicable")
     parser.add_argument("--seed", type=int, default=42, help="base random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the Monte-Carlo experiments "
+        "(table2/table4/fig7/robustness); results are identical to serial",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..attacks.catalog import khepera_scenarios
-from ..eval.runner import RunResult, monte_carlo, run_scenario
+from ..eval.parallel import ParallelSpec, as_parallel_config, map_trials
+from ..eval.runner import RunResult, _replay_chunk, monte_carlo, run_scenario
 from ..eval.sweeps import SweepPoint, f1_sweep, roc_sweep
 from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
@@ -102,13 +103,35 @@ class Fig7Result:
 
 
 def collect_runs(
-    n_trials: int = 1, base_seed: int = 300, n_clean: int = 2
+    n_trials: int = 1,
+    base_seed: int = 300,
+    n_clean: int = 2,
+    parallel: ParallelSpec = None,
 ) -> list[RunResult]:
-    """The run pool Fig 7's offline sweeps replay."""
+    """The run pool Fig 7's offline sweeps replay.
+
+    ``parallel=`` fans the pool — every Table II scenario × trial plus the
+    clean missions — out to worker processes as one grid. The seeds are the
+    serial loop's (``base_seed + trial`` per scenario, ``base_seed + 50 + i``
+    for the clean runs), so the pool is identical for any worker count.
+    """
     rig = khepera_rig()
     rig.plan_path(0)
+    scenarios = khepera_scenarios()
+    config = as_parallel_config(parallel)
+    if config is not None and config.resolved_workers() > 1:
+        # Index len(scenarios) holds None = the clean mission.
+        pool = tuple(scenarios) + (None,)
+        items = [
+            (scenario_index, base_seed + trial)
+            for scenario_index in range(len(scenarios))
+            for trial in range(n_trials)
+        ]
+        items += [(len(scenarios), base_seed + 50 + i) for i in range(n_clean)]
+        payload = (rig, pool, {}, False)
+        return [result for result, _ in map_trials(_replay_chunk, items, parallel=config, payload=payload)]
     runs: list[RunResult] = []
-    for scenario in khepera_scenarios():
+    for scenario in scenarios:
         runs.extend(monte_carlo(rig, scenario, n_trials, base_seed=base_seed))
     for i in range(n_clean):
         runs.append(run_scenario(rig, None, seed=base_seed + 50 + i))
@@ -121,9 +144,15 @@ def run_fig7(
     alphas=DEFAULT_ALPHAS,
     wc_series=DEFAULT_WC,
     max_window: int = 6,
+    parallel: ParallelSpec = None,
 ) -> Fig7Result:
-    """Reproduce Fig 7's four panels from one pool of recorded runs."""
-    runs = collect_runs(n_trials=n_trials, base_seed=base_seed)
+    """Reproduce Fig 7's four panels from one pool of recorded runs.
+
+    ``parallel=`` parallelizes the run-pool collection (the dominant cost);
+    the offline decision sweeps that follow replay recorded statistics and
+    stay in-process.
+    """
+    runs = collect_runs(n_trials=n_trials, base_seed=base_seed, parallel=parallel)
     roc = {
         (w, c): roc_sweep(runs, alphas, window=w, criteria=c)
         for (w, c) in wc_series

@@ -14,6 +14,7 @@ from typing import Sequence
 
 from ..attacks.catalog import khepera_scenarios
 from ..eval.fault_campaign import FaultCampaignResult, run_fault_campaign
+from ..eval.parallel import ParallelSpec
 from ..robots.khepera import khepera_rig
 
 __all__ = ["RobustnessResult", "run_robustness"]
@@ -39,12 +40,15 @@ def run_robustness(
     seed: int = 100,
     intensities: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
     scenario_numbers: Sequence[int] | None = None,
+    parallel: ParallelSpec = None,
 ) -> RobustnessResult:
     """Run the dropout-intensity sweep.
 
     *scenario_numbers* selects Table II rows by their paper numbering
     (default: #1 wheel-speed attack and #4 IPS bias — one actuator-channel
-    and one sensor-channel detection under degradation).
+    and one sensor-channel detection under degradation). *parallel* fans the
+    campaign's intensity × scenario × trial grid out to worker processes
+    with serial-identical seed derivation.
     """
     numbers = tuple(scenario_numbers) if scenario_numbers is not None else (1, 4)
     catalog = [s for s in khepera_scenarios() if s.number in numbers]
@@ -56,5 +60,6 @@ def run_robustness(
         intensities=intensities,
         n_trials=n_trials,
         base_seed=seed,
+        parallel=parallel,
     )
     return RobustnessResult(campaign=campaign, scenario_numbers=numbers)

@@ -14,7 +14,8 @@ import numpy as np
 
 from ..attacks.catalog import khepera_scenarios
 from ..eval.metrics import ConfusionCounts
-from ..eval.runner import monte_carlo
+from ..eval.parallel import ParallelSpec, as_parallel_config, map_trials
+from ..eval.runner import _replay_chunk, monte_carlo
 from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
 from .common import KHEPERA_SENSOR_ORDER, detected_sequence, truth_sequence
@@ -114,56 +115,89 @@ class Table2Result:
         return "n/a" if value is None else f"{value:.2f}s"
 
 
-def run_table2(n_trials: int = 3, base_seed: int = 100, batched: bool = False) -> Table2Result:
+def _table2_row(scenario, results) -> Table2Row:
+    """Aggregate one scenario's Monte-Carlo results into its table row."""
+    sensor_total, actuator_total = ConfusionCounts(), ConfusionCounts()
+    sensor_delays: list[float] = []
+    actuator_delays: list[float] = []
+    identified = True
+    for result in results:
+        sensor_total.add(result.sensor_confusion)
+        actuator_total.add(result.actuator_confusion)
+        for event in result.delays:
+            if event.delay is None:
+                # A truth transition never identified within its window
+                # counts against identification unless the window was so
+                # short the decision window could not fill.
+                identified = False
+                continue
+            if event.channel == "sensor":
+                sensor_delays.append(event.delay)
+            else:
+                actuator_delays.append(event.delay)
+    reference = results[0]
+    truth_a = "A0→1" if any(reference.trace.truth_actuator) else "A0"
+    if reference.trace.truth_actuator and reference.trace.truth_actuator[0]:
+        truth_a = "A1"
+    return Table2Row(
+        number=scenario.number,
+        name=scenario.name,
+        detail=scenario.detail,
+        truth_sensor_seq=truth_sequence(reference.trace, KHEPERA_SENSOR_ORDER),
+        truth_actuator=truth_a,
+        detected_sensor_seq=detected_sequence(reference.trace, KHEPERA_SENSOR_ORDER),
+        sensor_delay=float(np.mean(sensor_delays)) if sensor_delays else None,
+        actuator_delay=float(np.mean(actuator_delays)) if actuator_delays else None,
+        sensor_fpr=sensor_total.false_positive_rate,
+        sensor_fnr=sensor_total.false_negative_rate,
+        actuator_fpr=actuator_total.false_positive_rate,
+        actuator_fnr=actuator_total.false_negative_rate,
+        identified=identified,
+    )
+
+
+def run_table2(
+    n_trials: int = 3,
+    base_seed: int = 100,
+    batched: bool = False,
+    parallel: ParallelSpec = None,
+) -> Table2Result:
     """Reproduce Table II with *n_trials* Monte-Carlo trials per scenario.
 
     ``batched=True`` simulates the trials open-loop and replays them through
     a single detector via :func:`repro.core.batch.replay_batch` — same
     reports and metrics (there is no responder in these missions), less
     per-trial detector setup.
+
+    ``parallel=`` fans the full scenarios × trials grid out to worker
+    processes (one pool for the whole table, so load balances across
+    scenarios of different mission lengths); per-trial seeds are derived
+    exactly as the serial loops derive them, so the table is identical for
+    any worker count.
     """
     rig = khepera_rig()
     rig.plan_path(0)
-    rows: list[Table2Row] = []
-    for scenario in khepera_scenarios():
-        results = monte_carlo(rig, scenario, n_trials, base_seed=base_seed, batched=batched)
-        sensor_total, actuator_total = ConfusionCounts(), ConfusionCounts()
-        sensor_delays: list[float] = []
-        actuator_delays: list[float] = []
-        identified = True
-        for result in results:
-            sensor_total.add(result.sensor_confusion)
-            actuator_total.add(result.actuator_confusion)
-            for event in result.delays:
-                if event.delay is None:
-                    # A truth transition never identified within its window
-                    # counts against identification unless the window was so
-                    # short the decision window could not fill.
-                    identified = False
-                    continue
-                if event.channel == "sensor":
-                    sensor_delays.append(event.delay)
-                else:
-                    actuator_delays.append(event.delay)
-        reference = results[0]
-        truth_a = "A0→1" if any(reference.trace.truth_actuator) else "A0"
-        if reference.trace.truth_actuator and reference.trace.truth_actuator[0]:
-            truth_a = "A1"
-        rows.append(
-            Table2Row(
-                number=scenario.number,
-                name=scenario.name,
-                detail=scenario.detail,
-                truth_sensor_seq=truth_sequence(reference.trace, KHEPERA_SENSOR_ORDER),
-                truth_actuator=truth_a,
-                detected_sensor_seq=detected_sequence(reference.trace, KHEPERA_SENSOR_ORDER),
-                sensor_delay=float(np.mean(sensor_delays)) if sensor_delays else None,
-                actuator_delay=float(np.mean(actuator_delays)) if actuator_delays else None,
-                sensor_fpr=sensor_total.false_positive_rate,
-                sensor_fnr=sensor_total.false_negative_rate,
-                actuator_fpr=actuator_total.false_positive_rate,
-                actuator_fnr=actuator_total.false_negative_rate,
-                identified=identified,
-            )
-        )
+    scenarios = khepera_scenarios()
+    config = as_parallel_config(parallel)
+    if config is not None and config.resolved_workers() > 1:
+        items = [
+            (scenario_index, base_seed + trial)
+            for scenario_index in range(len(scenarios))
+            for trial in range(n_trials)
+        ]
+        payload = (rig, tuple(scenarios), {}, False)
+        flat = map_trials(_replay_chunk, items, parallel=config, payload=payload)
+        per_scenario = [
+            [flat[scenario_index * n_trials + trial][0] for trial in range(n_trials)]
+            for scenario_index in range(len(scenarios))
+        ]
+    else:
+        per_scenario = [
+            monte_carlo(rig, scenario, n_trials, base_seed=base_seed, batched=batched)
+            for scenario in scenarios
+        ]
+    rows = [
+        _table2_row(scenario, results)
+        for scenario, results in zip(scenarios, per_scenario)
+    ]
     return Table2Result(rows=rows, n_trials=n_trials)

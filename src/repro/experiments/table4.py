@@ -9,11 +9,12 @@ reproduced claim; absolute numbers depend on the testbed's noise floors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..core.modes import Mode
+from ..eval.parallel import ParallelSpec, as_parallel_config, map_trials
 from ..eval.runner import run_scenario
 from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
@@ -74,33 +75,78 @@ class Table4Result:
         )
 
 
-def run_table4(seed: int = 200, duration: float = 18.0) -> Table4Result:
-    """Clean mission per reference setting; collect ``d_hat^a`` statistics."""
-    rig = khepera_rig()
-    rig.plan_path(0)
-    variances: dict[str, tuple[float, float]] = {}
-    theoretical: dict[str, tuple[float, float]] = {}
-    n_iterations = 0
-    for setting, reference in SENSOR_SETTINGS:
+def _setting_stats(result) -> tuple[tuple[float, float], tuple[float, float], int]:
+    """Reduce one clean run to (empirical variances, filter variances, count)."""
+    estimates = np.array(
+        [r.statistics.actuator_estimate for r in result.reports]
+    )
+    covariances = np.array(
+        [np.diag(r.statistics.actuator_covariance) for r in result.reports]
+    )
+    # Skip the initial convergence transient of the shared covariance.
+    skip = min(20, len(estimates) // 4)
+    estimates = estimates[skip:]
+    covariances = covariances[skip:]
+    emp = estimates.var(axis=0, ddof=1)
+    theo = covariances.mean(axis=0)
+    return (
+        (float(emp[0]), float(emp[1])),
+        (float(theo[0]), float(theo[1])),
+        len(estimates),
+    )
+
+
+def _table4_chunk(payload, items):
+    """Worker: run one clean mission per sensor setting, reduced to its stats.
+
+    Each setting needs its own detector mode bank, so the grid is settings
+    (not seeds) and the reduction happens worker-side — only the small stats
+    tuples travel back to the parent.
+    """
+    rig, seed, duration = payload
+    out = []
+    for setting_index in items:
+        _, reference = SENSOR_SETTINGS[setting_index]
         mode = Mode.for_suite(rig.suite, reference)
         result = run_scenario(
             rig, None, seed=seed, modes=[mode], duration=duration, stop_at_goal=False
         )
-        estimates = np.array(
-            [r.statistics.actuator_estimate for r in result.reports]
+        out.append(_setting_stats(result))
+    return out
+
+
+def run_table4(
+    seed: int = 200, duration: float = 18.0, parallel: ParallelSpec = None
+) -> Table4Result:
+    """Clean mission per reference setting; collect ``d_hat^a`` statistics.
+
+    ``parallel=`` runs the four sensor settings in worker processes (every
+    setting uses the same mission *seed*, as the serial loop does, so results
+    are identical for any worker count).
+    """
+    rig = khepera_rig()
+    rig.plan_path(0)
+    config = as_parallel_config(parallel)
+    if config is not None and config.resolved_workers() > 1:
+        # One setting per chunk: the settings are the natural work unit and
+        # there are only four of them.
+        if config.chunk_size == 0:
+            config = replace(config, chunk_size=1)
+        stats = map_trials(
+            _table4_chunk,
+            list(range(len(SENSOR_SETTINGS))),
+            parallel=config,
+            payload=(rig, seed, duration),
         )
-        covariances = np.array(
-            [np.diag(r.statistics.actuator_covariance) for r in result.reports]
-        )
-        # Skip the initial convergence transient of the shared covariance.
-        skip = min(20, len(estimates) // 4)
-        estimates = estimates[skip:]
-        covariances = covariances[skip:]
-        n_iterations = len(estimates)
-        emp = estimates.var(axis=0, ddof=1)
-        theo = covariances.mean(axis=0)
-        variances[setting] = (float(emp[0]), float(emp[1]))
-        theoretical[setting] = (float(theo[0]), float(theo[1]))
+    else:
+        stats = _table4_chunk((rig, seed, duration), list(range(len(SENSOR_SETTINGS))))
+    variances: dict[str, tuple[float, float]] = {}
+    theoretical: dict[str, tuple[float, float]] = {}
+    n_iterations = 0
+    for (setting, _), (emp, theo, count) in zip(SENSOR_SETTINGS, stats):
+        variances[setting] = emp
+        theoretical[setting] = theo
+        n_iterations = count
     return Table4Result(
         variances=variances, theoretical=theoretical, n_iterations=n_iterations
     )

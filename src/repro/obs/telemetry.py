@@ -187,7 +187,14 @@ class NullTelemetry:
 
 
 class RecordingTelemetry:
-    """In-memory sink: keeps every event and aggregates stage timings."""
+    """In-memory sink: keeps every event and aggregates stage timings.
+
+    Instances are picklable (events are frozen dataclasses, timers plain
+    aggregates), so a recording made inside a worker process can cross the
+    process boundary and be folded into a parent-side sink with
+    :meth:`merge` — the mechanism :mod:`repro.eval.parallel` uses to give
+    parallel evaluation runs the same telemetry a serial run produces.
+    """
 
     enabled = True
 
@@ -205,6 +212,21 @@ class RecordingTelemetry:
         if timer is None:
             timer = self.timers[stage] = StageTimer(stage)
         timer.add(seconds)
+
+    def merge(self, other: "RecordingTelemetry") -> None:
+        """Append another recording's events and fold in its stage timers.
+
+        Events keep *other*'s internal order and land after everything this
+        sink already recorded, so merging per-trial worker recordings in
+        trial order reproduces the event sequence a serial run with one
+        shared sink would have produced.
+        """
+        self.events.extend(other.events)
+        for stage, timer in other.timers.items():
+            mine = self.timers.get(stage)
+            if mine is None:
+                mine = self.timers[stage] = StageTimer(stage)
+            mine.merge(timer)
 
     # ------------------------------------------------------------------
     # Views

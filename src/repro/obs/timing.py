@@ -69,6 +69,35 @@ class StageTimer:
                 lo = mid + 1
         return lo
 
+    def merge(self, other: "StageTimer") -> None:
+        """Fold another timer's aggregates into this one.
+
+        Exact (not approximate) combination: count/total/min/max add
+        directly, mean and M2 combine via Chan's parallel Welford update,
+        histogram buckets add elementwise. Used to merge worker-process
+        recordings back into a parent-side timer.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.min = other.min
+            self.max = other.max
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.buckets = list(other.buckets)
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / combined
+        self._mean = (self._mean * self.count + other._mean * other.count) / combined
+        self.count = combined
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.buckets = [a + b for a, b in zip(self.buckets, other.buckets)]
+
     @property
     def mean(self) -> float:
         """Mean duration in seconds (0.0 before any measurement)."""

@@ -128,3 +128,65 @@ def test_attach_reports_length_check(khepera, short_traces):
     trace = short_traces[1]
     with pytest.raises(SimulationError):
         trace.attach_reports([None] * (len(trace) + 1))
+
+
+def test_batch_single_zero_length_trace(khepera):
+    """A raw pair with no iterations: one all-padding row, no crash."""
+    batch = replay_batch(khepera.detector(), [([], [])], keep_reports=True)
+    assert batch.lengths.tolist() == [0]
+    assert batch.max_length == 0
+    assert batch.selected_mode.shape == (1, 0)
+    assert len(batch.trace_reports(0)) == 0
+
+
+def test_batch_zero_length_next_to_real_trace(khepera, short_traces):
+    """An empty trace padded against a real one keeps the real row intact."""
+    trace = short_traces[1]
+    batch = replay_batch(
+        khepera.detector(),
+        [([], []), (trace.planned_controls, trace.readings)],
+        keep_reports=True,
+    )
+    assert batch.lengths.tolist() == [0, len(trace)]
+    assert np.all(batch.selected_mode[0] == -1)
+    assert np.all(np.isnan(batch.state_estimate[0]))
+    assert len(batch.trace_reports(0)) == 0
+    alone = replay_batch(khepera.detector(), [trace], keep_reports=False)
+    np.testing.assert_array_equal(batch.selected_mode[1], alone.selected_mode[0])
+    np.testing.assert_array_equal(batch.state_estimate[1], alone.state_estimate[0])
+
+
+def test_batch_wildly_different_lengths(khepera, short_traces):
+    """Padding stays correct when one trace dwarfs the other (~10x)."""
+    long_trace = short_traces[0]
+    stub = (long_trace.planned_controls[:5], long_trace.readings[:5])
+    batch = replay_batch(khepera.detector(), [stub, long_trace])
+    assert batch.lengths.tolist() == [5, len(long_trace)]
+    assert batch.max_length == len(long_trace)
+    assert np.all(batch.selected_mode[0, 5:] == -1)
+    assert np.all(np.isnan(batch.state_estimate[0, 5:]))
+    assert np.all(batch.selected_mode[0, :5] >= 0)
+    assert np.all(batch.selected_mode[1] >= 0)
+
+
+def test_batch_mode_name_at_out_of_range(khepera, short_traces):
+    batch = replay_batch(khepera.detector(), short_traces[1:])
+    with pytest.raises(IndexError):
+        batch.mode_name_at(0, batch.max_length)
+    with pytest.raises(IndexError):
+        batch.mode_name_at(len(batch.lengths), 0)
+
+
+@pytest.mark.parametrize("batched", [False, True])
+def test_monte_carlo_rejects_unknown_kwargs(khepera, batched):
+    """Both paths must reject unknown kwargs before running any trial.
+
+    Regression: the batched path used to consume kwargs via ``.get`` and
+    silently drop anything it did not recognize (e.g. a misspelled
+    ``path_sed=``), while the sequential path raised a TypeError.
+    """
+    scenario = khepera_scenarios()[0]
+    with pytest.raises(ConfigurationError, match="path_sed"):
+        monte_carlo(
+            khepera, scenario, 1, base_seed=9, duration=4.0, batched=batched, path_sed=3
+        )

@@ -1,0 +1,395 @@
+"""Process-pool evaluation: parallel results must be bit-identical to serial.
+
+The contract under test (see ``docs/PERFORMANCE.md``): for any worker
+count, ``monte_carlo(..., parallel=...)`` and
+``run_fault_campaign(..., parallel=...)`` produce exactly the serial
+results — same reports, same metrics, same delays, same telemetry event
+sequence — because workers derive every random stream with the serial
+loop's seed arithmetic and replay through detectors that reset per trace.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.attacks.catalog import khepera_scenarios
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.eval.fault_campaign import run_fault_campaign
+from repro.eval.parallel import (
+    ParallelConfig,
+    as_parallel_config,
+    map_trials,
+)
+from repro.eval.runner import monte_carlo
+from repro.obs.telemetry import NullTelemetry, RecordingTelemetry
+from repro.obs.timing import StageTimer
+from repro.sim.faults import uniform_dropout_schedule
+
+pytestmark = pytest.mark.parallel
+
+DURATION = 4.0
+
+
+def _assert_results_equal(serial, parallel):
+    assert len(serial) == len(parallel)
+    for s, p in zip(serial, parallel):
+        assert s.seed == p.seed
+        assert s.scenario_name == p.scenario_name
+        assert len(s.trace) == len(p.trace)
+        np.testing.assert_array_equal(
+            np.asarray(s.trace.true_states), np.asarray(p.trace.true_states)
+        )
+        np.testing.assert_array_equal(
+            np.asarray(s.trace.readings), np.asarray(p.trace.readings)
+        )
+        for rs, rp in zip(s.reports, p.reports):
+            assert rs.selected_mode == rp.selected_mode
+            np.testing.assert_array_equal(rs.state_estimate, rp.state_estimate)
+            assert rs.statistics.sensor_statistic == rp.statistics.sensor_statistic
+            assert rs.statistics.actuator_statistic == rp.statistics.actuator_statistic
+            assert rs.flagged_sensors == rp.flagged_sensors
+            assert rs.actuator_alarm == rp.actuator_alarm
+        assert s.sensor_confusion.__dict__ == p.sensor_confusion.__dict__
+        assert s.actuator_confusion.__dict__ == p.actuator_confusion.__dict__
+        assert [(e.channel, e.delay) for e in s.delays] == [
+            (e.channel, e.delay) for e in p.delays
+        ]
+
+
+def _dropout_factory(seed: int):
+    """Module-level fault factory: picklable under any start method."""
+    return uniform_dropout_schedule(("ips", "lidar"), 0.1, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# monte_carlo equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [2, 4])
+def test_monte_carlo_parallel_equals_serial(khepera, workers):
+    scenario = khepera_scenarios()[0]
+    serial = monte_carlo(khepera, scenario, 4, base_seed=7, duration=DURATION)
+    parallel = monte_carlo(
+        khepera,
+        scenario,
+        4,
+        base_seed=7,
+        duration=DURATION,
+        parallel=ParallelConfig(workers=workers),
+    )
+    _assert_results_equal(serial, parallel)
+
+
+def test_monte_carlo_parallel_chunk_size_irrelevant(khepera):
+    """Chunk boundaries cannot influence results (detector resets per trace)."""
+    scenario = khepera_scenarios()[1]
+    serial = monte_carlo(khepera, scenario, 3, base_seed=21, duration=DURATION)
+    parallel = monte_carlo(
+        khepera,
+        scenario,
+        3,
+        base_seed=21,
+        duration=DURATION,
+        parallel=ParallelConfig(workers=2, chunk_size=1),
+    )
+    _assert_results_equal(serial, parallel)
+
+
+def test_monte_carlo_parallel_with_fault_factory(khepera):
+    scenario = khepera_scenarios()[0]
+    kwargs = dict(
+        base_seed=3, duration=DURATION, stop_at_goal=False, faults=_dropout_factory
+    )
+    serial = monte_carlo(khepera, scenario, 3, **kwargs)
+    parallel = monte_carlo(khepera, scenario, 3, parallel=2, **kwargs)
+    _assert_results_equal(serial, parallel)
+    assert any(a is not None for r in parallel for a in r.trace.availability)
+
+
+def test_monte_carlo_parallel_telemetry_matches_serial(khepera):
+    scenario = khepera_scenarios()[0]
+    serial_sink, parallel_sink = RecordingTelemetry(), RecordingTelemetry()
+    serial = monte_carlo(
+        khepera, scenario, 3, base_seed=5, duration=DURATION, telemetry=serial_sink
+    )
+    parallel = monte_carlo(
+        khepera,
+        scenario,
+        3,
+        base_seed=5,
+        duration=DURATION,
+        telemetry=parallel_sink,
+        parallel=2,
+    )
+    _assert_results_equal(serial, parallel)
+    assert len(parallel_sink.events) == len(serial_sink.events)
+    assert [e.kind for e in parallel_sink.events] == [e.kind for e in serial_sink.events]
+    assert [e.iteration for e in parallel_sink.events] == [
+        e.iteration for e in serial_sink.events
+    ]
+
+
+def test_monte_carlo_parallel_rejects_non_mergeable_telemetry(khepera):
+    with pytest.raises(ConfigurationError, match="RecordingTelemetry"):
+        monte_carlo(
+            khepera,
+            khepera_scenarios()[0],
+            2,
+            duration=DURATION,
+            telemetry=NullTelemetry(),
+            parallel=2,
+        )
+
+
+def test_monte_carlo_responder_falls_back_to_serial(khepera):
+    """A responder closes the loop: parallel must quietly run serial."""
+    from repro.core.response import NavigationFailover
+
+    results = monte_carlo(
+        khepera,
+        khepera_scenarios()[0],
+        2,
+        base_seed=5,
+        duration=DURATION,
+        responder=NavigationFailover((khepera.nav_sensor,)),
+        parallel=2,
+    )
+    assert len(results) == 2
+
+
+def test_monte_carlo_parallel_rejects_unknown_kwargs(khepera):
+    with pytest.raises(ConfigurationError, match="path_sed"):
+        monte_carlo(
+            khepera, khepera_scenarios()[0], 2, duration=DURATION, parallel=2, path_sed=1
+        )
+
+
+# ----------------------------------------------------------------------
+# Fault campaign equivalence (incl. telemetry_factory merging)
+# ----------------------------------------------------------------------
+def _campaign_kwargs():
+    return dict(
+        intensities=(0.0, 0.1),
+        n_trials=2,
+        base_seed=11,
+        duration=DURATION,
+        stop_at_goal=False,
+    )
+
+
+def _assert_cells_equal(a, b):
+    assert len(a.cells) == len(b.cells)
+    for ca, cb in zip(a.cells, b.cells):
+        assert (ca.scenario_number, ca.intensity) == (cb.scenario_number, cb.intensity)
+        assert ca.sensor_confusion.__dict__ == cb.sensor_confusion.__dict__
+        assert ca.actuator_confusion.__dict__ == cb.actuator_confusion.__dict__
+        assert ca.mean_sensor_delay == cb.mean_sensor_delay
+        assert ca.mean_actuator_delay == cb.mean_actuator_delay
+        assert ca.degraded_fraction == cb.degraded_fraction
+        assert ca.finite == cb.finite
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_fault_campaign_parallel_equals_serial(khepera, workers):
+    scenarios = [s for s in khepera_scenarios() if s.number in (1, 4)]
+    serial = run_fault_campaign(khepera, scenarios, **_campaign_kwargs())
+    parallel = run_fault_campaign(
+        khepera, scenarios, parallel=ParallelConfig(workers=workers), **_campaign_kwargs()
+    )
+    _assert_cells_equal(serial, parallel)
+
+
+def test_fault_campaign_parallel_telemetry_factory(khepera):
+    """One RecordingTelemetry per cell trial, merged parent-side.
+
+    The parallel campaign must end with the caller's sinks holding exactly
+    the event sequences a serial campaign records into them.
+    """
+    scenarios = [s for s in khepera_scenarios() if s.number in (1,)]
+
+    def make_factory(store):
+        def factory(scenario, intensity, trial):
+            key = (scenario.number, intensity, trial)
+            if key not in store:
+                store[key] = RecordingTelemetry()
+            return store[key]
+
+        return factory
+
+    serial_sinks, parallel_sinks = {}, {}
+    serial = run_fault_campaign(
+        khepera, scenarios, telemetry_factory=make_factory(serial_sinks), **_campaign_kwargs()
+    )
+    parallel = run_fault_campaign(
+        khepera,
+        scenarios,
+        telemetry_factory=make_factory(parallel_sinks),
+        parallel=2,
+        **_campaign_kwargs(),
+    )
+    _assert_cells_equal(serial, parallel)
+    assert set(serial_sinks) == set(parallel_sinks)
+    assert serial_sinks, "factory should have been invoked"
+    for key, serial_sink in serial_sinks.items():
+        parallel_sink = parallel_sinks[key]
+        assert len(parallel_sink.events) == len(serial_sink.events), key
+        assert [e.kind for e in parallel_sink.events] == [
+            e.kind for e in serial_sink.events
+        ]
+        assert parallel_sink.timing_summary().keys() == serial_sink.timing_summary().keys()
+
+
+def test_fault_campaign_parallel_rejects_reserved_kwargs(khepera):
+    scenarios = khepera_scenarios()[:1]
+    with pytest.raises(ConfigurationError, match="faults"):
+        run_fault_campaign(khepera, scenarios, faults=None, parallel=2)
+
+
+# ----------------------------------------------------------------------
+# Crash handling and pickling constraints
+# ----------------------------------------------------------------------
+def _exploding_factory(seed: int):
+    raise RuntimeError(f"boom at seed {seed}")
+
+
+def test_worker_crash_surfaces_traceback_and_trials(khepera):
+    scenario = khepera_scenarios()[0]
+    with pytest.raises(ParallelExecutionError) as excinfo:
+        monte_carlo(
+            khepera,
+            scenario,
+            3,
+            base_seed=40,
+            duration=DURATION,
+            faults=_exploding_factory,
+            parallel=2,
+        )
+    message = str(excinfo.value)
+    assert "boom at seed 40" in message
+    assert "RuntimeError" in message
+    assert "40" in message  # the chunk's trial descriptors name the seeds
+
+
+def test_unpicklable_shared_fault_schedule_rejected(khepera):
+    schedule = uniform_dropout_schedule(("ips",), 0.1, seed=1)
+    schedule.unpicklable = lambda: None
+    with pytest.raises(ConfigurationError, match="picklable"):
+        monte_carlo(
+            khepera,
+            khepera_scenarios()[0],
+            2,
+            duration=DURATION,
+            faults=schedule,
+            parallel=2,
+        )
+
+
+def test_map_trials_chunk_length_mismatch_raises():
+    with pytest.raises(ParallelExecutionError, match="one result per trial"):
+        map_trials(_short_chunk, [1, 2, 3], parallel=1)
+
+
+def _short_chunk(payload, items):
+    return items[:-1]  # drops one result: must be caught, not silently shifted
+
+
+# ----------------------------------------------------------------------
+# map_trials mechanics
+# ----------------------------------------------------------------------
+def _square_chunk(payload, items):
+    return [payload + item * item for item in items]
+
+
+@pytest.mark.parametrize("workers,chunk_size", [(1, 0), (2, 1), (2, 3), (4, 2)])
+def test_map_trials_order_and_chunking(workers, chunk_size):
+    items = list(range(11))
+    out = map_trials(
+        _square_chunk,
+        items,
+        parallel=ParallelConfig(workers=workers, chunk_size=chunk_size),
+        payload=100,
+    )
+    assert out == [100 + i * i for i in items]
+
+
+def test_map_trials_empty_items():
+    assert map_trials(_square_chunk, [], parallel=2, payload=0) == []
+
+
+# ----------------------------------------------------------------------
+# ParallelConfig / spec normalization
+# ----------------------------------------------------------------------
+def test_parallel_config_validation():
+    with pytest.raises(ConfigurationError, match="start_method"):
+        ParallelConfig(start_method="not-a-method")
+    with pytest.raises(ConfigurationError):
+        ParallelConfig(workers=1.5)
+    config = ParallelConfig()
+    assert config.resolved_workers() >= 1
+    assert config.resolved_chunk_size(100) >= 1
+    assert ParallelConfig(workers=3).resolved_workers() == 3
+    assert ParallelConfig(chunk_size=7).resolved_chunk_size(100) == 7
+    assert ParallelConfig().resolved_start_method() in ("fork", "spawn")
+
+
+def test_as_parallel_config_normalization():
+    assert as_parallel_config(None) is None
+    assert as_parallel_config(4).workers == 4
+    config = ParallelConfig(workers=2)
+    assert as_parallel_config(config) is config
+    with pytest.raises(ConfigurationError):
+        as_parallel_config(True)
+    with pytest.raises(ConfigurationError):
+        as_parallel_config("four")
+
+
+# ----------------------------------------------------------------------
+# Merge primitives
+# ----------------------------------------------------------------------
+def test_stage_timer_merge_is_exact():
+    samples_a = [0.001, 0.003, 0.0006, 0.02]
+    samples_b = [0.005, 0.0001, 0.008]
+    whole, part_a, part_b = StageTimer("s"), StageTimer("s"), StageTimer("s")
+    for s in samples_a + samples_b:
+        whole.add(s)
+    for s in samples_a:
+        part_a.add(s)
+    for s in samples_b:
+        part_b.add(s)
+    part_a.merge(part_b)
+    assert part_a.count == whole.count
+    assert math.isclose(part_a.total, whole.total)
+    assert math.isclose(part_a.mean, whole.mean)
+    assert math.isclose(part_a.stddev, whole.stddev)
+    assert part_a.min == whole.min and part_a.max == whole.max
+    assert part_a.buckets == whole.buckets
+
+
+def test_stage_timer_merge_empty_sides():
+    empty, full = StageTimer("s"), StageTimer("s")
+    full.add(0.002)
+    full.merge(StageTimer("s"))  # merging empty is a no-op
+    assert full.count == 1
+    empty.merge(full)
+    assert empty.count == 1 and empty.mean == full.mean
+
+
+def test_recording_telemetry_merge_and_pickle_roundtrip():
+    from repro.obs.telemetry import AvailabilityEvent
+
+    a, b = RecordingTelemetry(), RecordingTelemetry()
+    a.emit(AvailabilityEvent(iteration=1, available=("ips",), missing=("lidar",)))
+    a.record_duration("engine", 0.001)
+    b.emit(AvailabilityEvent(iteration=2, available=("lidar",), missing=("ips",)))
+    b.record_duration("engine", 0.003)
+    b.record_duration("decision", 0.0005)
+
+    restored = pickle.loads(pickle.dumps(b))
+    a.merge(restored)
+    assert [e.iteration for e in a.events] == [1, 2]
+    assert a.timers["engine"].count == 2
+    assert math.isclose(a.timers["engine"].total, 0.004)
+    assert a.timers["decision"].count == 1
