@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Perf regression gate: fresh benchmarks vs the committed BENCH_perf.json.
+
+Usage (from the repository root)::
+
+    python scripts/check_perf.py [--threshold 0.25] [extra pytest args...]
+
+Runs the ``perf`` benchmark group fresh (the same ``bench_smoke``-marked
+tests ``scripts/bench_smoke.py`` records) and compares each mean against
+the corresponding entry committed in ``BENCH_perf.json``. A benchmark whose
+fresh mean exceeds the committed mean by more than ``--threshold``
+(default 25%) fails the gate with exit code 1; benchmarks without a
+committed entry are reported but never fail (they gate only after a
+``bench_smoke`` run commits their baseline).
+
+The committed file is never rewritten — this is the read-only CI check;
+refresh the baselines with ``scripts/bench_smoke.py`` when a perf change is
+intentional. The gate is also wired as the opt-in ``perf_gate`` pytest
+marker (``pytest -m perf_gate``), excluded from default runs alongside
+``bench_smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+COMMITTED = REPO / "BENCH_perf.json"
+DEFAULT_THRESHOLD = 0.25
+
+
+def run_fresh(extra_args: list[str]) -> dict[str, float]:
+    """Fresh ``perf``-group means by benchmark name, via pytest-benchmark."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = pathlib.Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(REPO / "benchmarks" / "bench_perf.py"),
+            "-m",
+            "bench_smoke",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            f"--benchmark-json={raw}",
+            *extra_args,
+        ]
+        env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+        proc = subprocess.run(cmd, cwd=REPO, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(proc.returncode)
+        data = json.loads(raw.read_text())
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in data.get("benchmarks", [])
+        if bench.get("group") == "perf"
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional regression over the committed mean "
+        f"(default {DEFAULT_THRESHOLD:.0%})",
+    )
+    args, extra = parser.parse_known_args(argv)
+
+    if not COMMITTED.exists():
+        print(f"no committed {COMMITTED.name}; run scripts/bench_smoke.py first")
+        return 1
+    committed = json.loads(COMMITTED.read_text()).get("results", {})
+
+    fresh = run_fresh(extra)
+    if not fresh:
+        print("no fresh perf-group benchmarks were collected")
+        return 1
+
+    failures: list[str] = []
+    for name in sorted(fresh):
+        mean = fresh[name]
+        entry = committed.get(name)
+        base = entry.get("mean_s") if isinstance(entry, dict) else None
+        if base is None:
+            print(f"{name}: fresh {mean * 1e3:8.2f} ms (no committed baseline)")
+            continue
+        ratio = mean / base - 1.0
+        verdict = "ok" if ratio <= args.threshold else "REGRESSION"
+        print(
+            f"{name}: committed {base * 1e3:8.2f} ms, "
+            f"fresh {mean * 1e3:8.2f} ms ({ratio:+7.1%}) {verdict}"
+        )
+        if ratio > args.threshold:
+            failures.append(name)
+
+    if failures:
+        print(
+            f"\nperf gate FAILED: {len(failures)} benchmark(s) regressed more "
+            f"than {args.threshold:.0%}: {', '.join(failures)}"
+        )
+        return 1
+    print(f"\nperf gate passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -104,6 +104,26 @@ def main(argv: list[str] | None = None) -> int:
     paths = export_run(telemetry, args.out, prefix=prefix, dt=rig.model.dt)
 
     print(result.summary())
+    bank_events = telemetry.events_of("mode_bank")
+    total_fallbacks = sum(
+        sum(e.solver_fallbacks.values()) for e in bank_events
+    )
+    hit_iterations = sum(
+        1 for e in bank_events if any(e.solver_fallbacks.values())
+    )
+    per_mode: dict[str, int] = {}
+    for e in bank_events:
+        for mode, count in e.solver_fallbacks.items():
+            if count:
+                per_mode[mode] = per_mode.get(mode, 0) + count
+    line = (
+        f"solver fallbacks: {total_fallbacks} pseudo-inverse solves over "
+        f"{hit_iterations}/{len(bank_events)} iterations"
+    )
+    if per_mode:
+        detail = ", ".join(f"{m}: {c}" for m, c in sorted(per_mode.items()))
+        line += f" ({detail})"
+    print(line)
     print()
     print(render_timeline(telemetry, dt=rig.model.dt), end="")
     print()

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, DimensionError
 from .detector import DetectionReport, RoboADS
+from .stacked import replay_batch_stacked
 
 __all__ = ["BatchReplayResult", "replay_batch"]
 
@@ -116,6 +117,7 @@ def replay_batch(
     detector: RoboADS,
     traces: Sequence[Any],
     keep_reports: bool = True,
+    stacked: bool | None = None,
 ) -> BatchReplayResult:
     """Replay every trace through *detector* and stack the outputs.
 
@@ -132,9 +134,43 @@ def replay_batch(
         Also retain the full per-iteration :class:`DetectionReport` lists
         (``result.reports``). Disable for large sweeps that only need the
         stacked arrays.
+    stacked:
+        Replay all missions simultaneously through the stacked
+        ``(mission, mode)`` lattice
+        (:func:`repro.core.stacked.replay_batch_stacked`) instead of
+        back-to-back. Default (``None``): engage automatically whenever the
+        lattice can serve the request — ``keep_reports=False``, telemetry
+        disabled, and the detector's bank supports the stacked layout.
+        ``True`` forces it (raising if report objects or telemetry events
+        were requested); ``False`` pins the serial path. Lattice results
+        agree with the serial path to solver round-off, not bit-for-bit.
     """
     if not traces:
         raise ConfigurationError("replay_batch needs at least one trace")
+    telemetry_on = detector.telemetry.enabled
+    bank_ready = detector.engine.stacked_bank is not None
+    if stacked:
+        if keep_reports:
+            raise ConfigurationError(
+                "stacked replay does not retain report objects; "
+                "pass keep_reports=False (or stacked=False)"
+            )
+        if telemetry_on:
+            raise ConfigurationError(
+                "stacked replay emits no telemetry events; detach the sink "
+                "(or pass stacked=False)"
+            )
+        if not bank_ready:
+            raise ConfigurationError(
+                "this detector's mode bank cannot be stacked; pass stacked=False"
+            )
+    use_lattice = (
+        stacked
+        if stacked is not None
+        else (not keep_reports and not telemetry_on and bank_ready)
+    )
+    if use_lattice:
+        return replay_batch_stacked(detector, traces)
     pairs = [_controls_and_readings(t) for t in traces]
     for controls, readings, _ in pairs:
         if len(controls) != len(readings):

@@ -15,9 +15,15 @@ import numpy as np
 from scipy import stats
 
 from ..errors import ConfigurationError
-from ..linalg import chol_psd, chol_solve, pinv_and_pdet
+from ..linalg import chol_psd, chol_solve, pinv_and_pdet, stacked_chol_mask, symmetrize_stacked
 
-__all__ = ["chi_square_threshold", "anomaly_statistic"]
+__all__ = [
+    "chi_square_threshold",
+    "chi_square_thresholds",
+    "anomaly_statistic",
+    "anomaly_statistic_batch",
+    "anomaly_statistic_stacked",
+]
 
 
 @lru_cache(maxsize=512)
@@ -54,3 +60,85 @@ def anomaly_statistic(estimate: np.ndarray, covariance: np.ndarray) -> tuple[flo
     pinv, _, rank = pinv_and_pdet(covariance)
     stat = float(estimate @ pinv @ estimate)
     return stat, max(rank, 0)
+
+
+def chi_square_thresholds(alpha: float, dofs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`chi_square_threshold` lookup over a dof array.
+
+    Entries with ``dof < 1`` get ``+inf`` (the corresponding test can never
+    fire, matching the decision maker's dof-0 short-circuit). Distinct dof
+    values in a replay lattice number at most the stacked measurement
+    dimension, so the per-value scalar lookups hit the lru cache.
+    """
+    dofs = np.asarray(dofs)
+    out = np.full(dofs.shape, np.inf)
+    for dof in np.unique(dofs):
+        if dof >= 1:
+            out[dofs == dof] = chi_square_threshold(alpha, int(dof))
+    return out
+
+
+def anomaly_statistic_batch(
+    estimates: np.ndarray, covariances: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`anomaly_statistic` over a batch: ``(C, d), (C, d, d) -> (C,), (C,)``.
+
+    Well-conditioned PD cells take one batched solve; singular cells keep the
+    per-cell pseudo-inverse semantics (rank-limited degrees of freedom).
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    count, dim = estimates.shape
+    stats = np.zeros(count)
+    dofs = np.zeros(count, dtype=int)
+    if dim == 0 or count == 0:
+        return stats, dofs
+    sym = symmetrize_stacked(covariances)
+    _, ok = stacked_chol_mask(sym)
+    if ok.any():
+        sol = np.linalg.solve(sym[ok], estimates[ok][..., None])[..., 0]
+        stats[ok] = (estimates[ok] * sol).sum(axis=-1)
+        dofs[ok] = dim
+    for i in np.nonzero(~ok)[0]:
+        stats[i], dofs[i] = anomaly_statistic(estimates[i], sym[i])
+    return stats, dofs
+
+
+def anomaly_statistic_stacked(
+    estimates: np.ndarray, covariances: np.ndarray, dims: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`anomaly_statistic` over a padded heterogeneous batch.
+
+    ``estimates`` is ``(C, d_max)`` with each row zero-padded past its true
+    dimension ``dims[i]``; ``covariances`` is ``(C, d_max, d_max)`` with each
+    cell's real block in the leading principal corner and exact identity
+    padding outside it. One batched certificate + solve covers every
+    well-conditioned cell regardless of its true dimension: identity padding
+    is inert under Cholesky/LU in the real block, the padded quadratic-form
+    terms are exactly ``0.0``, and the conditioning certificate is masked to
+    the real diagonal entries so the padding cannot tilt the fallback
+    decision. Cells that fail the certificate (and ``dims == 0`` cells)
+    recover the serial per-cell semantics on their unpadded slices.
+
+    Expects exactly symmetric covariances (e.g. the output of a PSD
+    projection); they are passed to the certificate unsymmetrized.
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    count, d_max = estimates.shape
+    stats = np.zeros(count)
+    dofs = np.zeros(count, dtype=int)
+    if d_max == 0 or count == 0:
+        return stats, dofs
+    dims = np.asarray(dims)
+    mask = np.arange(d_max) < dims[:, None]
+    _, ok = stacked_chol_mask(covariances, diag_mask=mask, assume_symmetric=True)
+    ok &= dims > 0
+    if ok.any():
+        sol = np.linalg.solve(covariances[ok], estimates[ok][..., None])[..., 0]
+        stats[ok] = (estimates[ok] * sol).sum(axis=-1)
+        dofs[ok] = dims[ok]
+    for i in np.nonzero(~ok & (dims > 0))[0]:
+        d = int(dims[i])
+        stats[i], dofs[i] = anomaly_statistic(
+            estimates[i, :d], covariances[i, :d, :d]
+        )
+    return stats, dofs

@@ -32,6 +32,7 @@ from .linearization import EveryStepLinearization, LinearizationPolicy
 from .modes import Mode, single_reference_modes
 from .nuise import NuiseFilter, NuiseResult
 from .report import IterationStatistics, SensorStatistic
+from .stacked import StackedBank
 
 __all__ = ["MultiModeEstimationEngine", "EngineOutput"]
 
@@ -107,6 +108,7 @@ class MultiModeEstimationEngine:
         nominal_state: np.ndarray | None = None,
         nominal_control: np.ndarray | None = None,
         telemetry: Telemetry | None = None,
+        stacked_bank: bool = True,
     ) -> None:
         if modes is None:
             modes = single_reference_modes(suite)
@@ -150,6 +152,17 @@ class MultiModeEstimationEngine:
             self._P0 = float(initial_covariance) * np.eye(model.state_dim)
         else:
             self._P0 = np.asarray(initial_covariance, dtype=float)
+        # Stacked mode bank: nominal (full-delivery) iterations advance every
+        # mode with single batched linalg calls instead of the per-mode
+        # Python loop. Degraded iterations keep the serial loop (their block
+        # shapes are data-dependent). ``stacked_bank=False`` pins the serial
+        # loop everywhere — the equivalence tests' reference path.
+        ordered_filters = [self._filters[m.name] for m in self._modes]
+        self._bank = (
+            StackedBank(ordered_filters)
+            if stacked_bank and StackedBank.usable(ordered_filters)
+            else None
+        )
         self.reset()
 
     # ------------------------------------------------------------------
@@ -174,6 +187,12 @@ class MultiModeEstimationEngine:
     def probabilities(self) -> dict[str, float]:
         """Current recursive mode probabilities μ^m_k (Eq. 30), by mode name."""
         return dict(self._mu)
+
+    @property
+    def stacked_bank(self) -> StackedBank | None:
+        """The batched mode bank (``None`` when the bank layout is unusable
+        or the engine was built with ``stacked_bank=False``)."""
+        return self._bank
 
     @property
     def telemetry(self) -> Telemetry:
@@ -253,19 +272,40 @@ class MultiModeEstimationEngine:
             workspace.jacobians()
             telemetry.record_duration("linearize", perf_counter() - t0)
             t0 = perf_counter()
-        results: dict[str, NuiseResult] = {}
-        likelihoods: dict[str, float] = {}
-        for mode in self._modes:
-            result = self._filters[mode.name].step(
-                workspace.control,
-                self._x,
-                self._P,
-                stacked_reading,
-                workspace=workspace,
-                available=available,
+        if available is None and self._bank is not None:
+            # Nominal iteration: the whole bank advances in stacked array
+            # calls, reusing the shared workspace products bit-for-bit.
+            x_check = workspace.propagate()
+            A, G = workspace.jacobians()
+            h_check, C_check = workspace.measurement(self._suite.names)
+            bank_result = self._bank.run(
+                self._x[None],
+                workspace.covariance[None],
+                workspace.control[None],
+                stacked_reading[None],
+                x_check=x_check[None],
+                A=A[None],
+                G=G[None],
+                APA=workspace.propagated_prior()[None],
+                h_check=h_check[None],
+                C_check=C_check[None],
             )
-            results[mode.name] = result
-            likelihoods[mode.name] = result.likelihood
+            results = self._bank.results_for_cell(bank_result, 0)
+            likelihoods = {name: r.likelihood for name, r in results.items()}
+        else:
+            results = {}
+            likelihoods = {}
+            for mode in self._modes:
+                result = self._filters[mode.name].step(
+                    workspace.control,
+                    self._x,
+                    self._P,
+                    stacked_reading,
+                    workspace=workspace,
+                    available=available,
+                )
+                results[mode.name] = result
+                likelihoods[mode.name] = result.likelihood
         if timed:
             telemetry.record_duration("mode_bank", perf_counter() - t0)
             t0 = perf_counter()
@@ -339,6 +379,9 @@ class MultiModeEstimationEngine:
                     held_modes=tuple(
                         n for n, r in results.items() if not r.measurement_updated
                     ),
+                    solver_fallbacks={
+                        n: int(r.solver_fallbacks) for n, r in results.items()
+                    },
                 )
             )
 

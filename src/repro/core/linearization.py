@@ -64,6 +64,58 @@ class LinearizationPolicy(ABC):
         """Shared per-iteration workspace (see :class:`IterationWorkspace`)."""
         return IterationWorkspace(self, model, suite, state, control, covariance)
 
+    # ------------------------------------------------------------------
+    # Batched evaluation (stacked NUISE kernels)
+    # ------------------------------------------------------------------
+    def f_batch(self, model: RobotModel, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        """:meth:`f` over leading batch axes (default: Python loop)."""
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        if states.shape[0] == 0:
+            return np.zeros((0, model.state_dim))
+        return np.stack([self.f(model, x, u) for x, u in zip(states, controls)])
+
+    def jacobians_batch(
+        self, model: RobotModel, states: np.ndarray, controls: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(A, G)`` stacks over a batch: ``-> (B, n, n), (B, n, l)``."""
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        if states.shape[0] == 0:
+            return (
+                np.zeros((0, model.state_dim, model.state_dim)),
+                np.zeros((0, model.state_dim, model.control_dim)),
+            )
+        pairs = [self.jacobians(model, x, u) for x, u in zip(states, controls)]
+        return np.stack([p[0] for p in pairs]), np.stack([p[1] for p in pairs])
+
+    def f_and_jacobians_batch(
+        self, model: RobotModel, states: np.ndarray, controls: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(f, A, G)`` stacks in one call (default: the two batch calls)."""
+        f = self.f_batch(model, states, controls)
+        A, G = self.jacobians_batch(model, states, controls)
+        return f, A, G
+
+    def h_batch(
+        self, suite: SensorSuite, names: Sequence[str] | None, states: np.ndarray
+    ) -> np.ndarray:
+        """Stacked measurement prediction over a batch of states."""
+        states = np.asarray(states, dtype=float)
+        if states.shape[0] == 0:
+            return np.zeros((0, suite.total_dim if names is None else len(suite.indices_of(names))))
+        return np.stack([self.h(suite, names, x) for x in states])
+
+    def measurement_jacobian_batch(
+        self, suite: SensorSuite, names: Sequence[str] | None, states: np.ndarray
+    ) -> np.ndarray:
+        """Stacked ``C`` over a batch of states."""
+        states = np.asarray(states, dtype=float)
+        if states.shape[0] == 0:
+            m = suite.total_dim if names is None else len(suite.indices_of(names))
+            return np.zeros((0, m, suite.state_dim))
+        return np.stack([self.measurement_jacobian(suite, names, x) for x in states])
+
 
 class IterationWorkspace:
     """Shared linearization products for one control iteration.
@@ -192,6 +244,24 @@ class EveryStepLinearization(LinearizationPolicy):
     def measurement_jacobian(self, suite, names, state):
         return suite.jacobian(state, names)
 
+    def f_batch(self, model, states, controls):
+        return model.f_batch(states, controls)
+
+    def jacobians_batch(self, model, states, controls):
+        return (
+            model.jacobian_state_batch(states, controls),
+            model.jacobian_control_batch(states, controls),
+        )
+
+    def f_and_jacobians_batch(self, model, states, controls):
+        return model.f_and_jacobians_batch(states, controls)
+
+    def h_batch(self, suite, names, states):
+        return suite.h_batch(states, names)
+
+    def measurement_jacobian_batch(self, suite, names, states):
+        return suite.jacobian_batch(states, names)
+
 
 class FixedPointLinearization(LinearizationPolicy):
     """Section V-G baseline: affine model frozen at ``(x_ref, u_ref)``.
@@ -229,8 +299,10 @@ class FixedPointLinearization(LinearizationPolicy):
         self._ensure_dynamics(model)
         return self._A, self._G
 
-    def _ensure_measurement(self, suite: SensorSuite, names: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
-        key = tuple(names)
+    def _ensure_measurement(
+        self, suite: SensorSuite, names: Sequence[str] | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        key = tuple(names) if names is not None else None
         if key not in self._h_cache:
             self._h_cache[key] = (
                 suite.h(self._x_ref, names),
@@ -245,3 +317,29 @@ class FixedPointLinearization(LinearizationPolicy):
     def measurement_jacobian(self, suite, names, state):
         _, C = self._ensure_measurement(suite, names)
         return C
+
+    def f_batch(self, model, states, controls):
+        self._ensure_dynamics(model)
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        return (
+            self._f_ref
+            + (states - self._x_ref) @ self._A.T
+            + (controls - self._u_ref) @ self._G.T
+        )
+
+    def jacobians_batch(self, model, states, controls):
+        self._ensure_dynamics(model)
+        batch = np.asarray(states).shape[:-1]
+        return (
+            np.broadcast_to(self._A, batch + self._A.shape),
+            np.broadcast_to(self._G, batch + self._G.shape),
+        )
+
+    def h_batch(self, suite, names, states):
+        h_ref, C = self._ensure_measurement(suite, names)
+        return h_ref + (np.asarray(states, dtype=float) - self._x_ref) @ C.T
+
+    def measurement_jacobian_batch(self, suite, names, states):
+        _, C = self._ensure_measurement(suite, names)
+        return np.broadcast_to(C, np.asarray(states).shape[:-1] + C.shape)

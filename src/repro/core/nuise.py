@@ -51,10 +51,12 @@ from ..dynamics.noise import validate_covariance
 from ..errors import ConfigurationError, ObservabilityError
 from ..linalg import (
     EIG_TOL,
+    chol_psd,
+    chol_solve,
     gaussian_likelihood_pinv,
     pinv_and_pdet,
     project_psd,
-    solve_psd,
+    pseudo_inverse,
     symmetrize,
 )
 from ..sensors.suite import SensorSuite
@@ -107,6 +109,11 @@ class NuiseResult:
     reference_used: tuple[str, ...] = ()
     testing_used: tuple[str, ...] = ()
     measurement_updated: bool = True
+    #: How many of this iteration's unknown-input solves (the ``R*`` solve
+    #: and the normal-equations solve, so 0-2) left the Cholesky fast path
+    #: for the pseudo-inverse fallback — e.g. the rank-deficient ``C2 G`` of
+    #: a steering mode at standstill.
+    solver_fallbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -395,12 +402,24 @@ class NuiseFilter:
             P_tilde = workspace.propagated_prior() + Q
         R_star = symmetrize(C2 @ P_tilde @ C2.T + R2)
         F = C2 @ G
-        FtRi = solve_psd(R_star, F).T
+        solver_fallbacks = 0
+        factor = chol_psd(R_star)
+        if factor is None:
+            solver_fallbacks += 1
+            FtRi = (pseudo_inverse(R_star) @ F).T
+        else:
+            FtRi = chol_solve(factor, F).T
         # (F' R*^-1 F)^dagger handles rank-deficient C2 G (unexcitable input
         # directions get the minimum-norm zero estimate instead of a crash);
-        # solve_psd takes the Cholesky fast path when C2 G is well excited
-        # and falls back to the pseudo-inverse otherwise.
-        M2 = solve_psd(FtRi @ F, FtRi)
+        # the Cholesky fast path applies when C2 G is well excited, with the
+        # pseudo-inverse fallback otherwise (counted in solver_fallbacks).
+        normal = FtRi @ F
+        factor = chol_psd(normal)
+        if factor is None:
+            solver_fallbacks += 1
+            M2 = pseudo_inverse(normal) @ FtRi
+        else:
+            M2 = chol_solve(factor, FtRi)
         innovation0 = _wrap_inplace(z2 - h2_check, plan.ref_wrap)
         d_a = M2 @ innovation0
         P_a = project_psd(M2 @ R_star @ M2.T)
@@ -474,6 +493,7 @@ class NuiseFilter:
             innovation_covariance=R2_tilde,
             reference_used=plan.ref_names,
             testing_used=plan.test_names,
+            solver_fallbacks=solver_fallbacks,
         )
 
     def _degraded_hold(

@@ -1,0 +1,1186 @@
+"""Stacked-array NUISE kernels: the mode bank and replay lattice as batches.
+
+The serial engine advances its ``M`` NUISE filters one Python call at a
+time, and :func:`~repro.core.batch.replay_batch` replays missions
+back-to-back — every iteration pays ``M`` (or ``N x M``) rounds of Python
+dispatch and small-matrix LAPACK calls. This module restructures both
+around an explicit struct-of-arrays batch axis:
+
+* :class:`StackedBank` stacks the whole mode bank into leading
+  ``(batch, mode)`` dimensions and advances it with single calls to NumPy's
+  stacked ``linalg`` kernels — one batched Cholesky/solve per algorithm
+  line instead of one per mode. Modes whose reference blocks differ in size
+  are padded to a shared width with exact identity rows (block-diagonal
+  padding is exact in floating point: the real block's arithmetic is
+  bit-identical to the unpadded computation), while the spectral
+  pseudo-inverse/likelihood step runs unpadded per true reference
+  dimension so eigendecompositions never see the padding.
+* :func:`replay_batch_stacked` runs *all missions simultaneously*: a
+  ``(mission, mode)`` lattice that shares one vectorized linearization per
+  control iteration and carries the mode-probability, consistency-window
+  and decision-window recursions as arrays. The sensor-anomaly testing
+  block (Algorithm 2 lines 15-16) is evaluated only for each mission's
+  *selected* mode — the likelihoods that drive selection never depend on
+  it — which cuts a full-suite re-linearization per iteration.
+
+Numerics: well-conditioned cells ride the batched Cholesky fast path;
+ill-conditioned cells (e.g. the rank-deficient ``C2 G`` of a steering mode
+at standstill) fall out per-cell into the same eigendecomposition-based
+pseudo-inverse the serial filter uses (see :mod:`repro.linalg`), so the
+batched bank agrees with the per-mode loop to solver round-off (the
+equivalence tests pin 1e-8 over 200-step missions). Fallback counts are
+surfaced per mode (:attr:`StackedBankResult.fallbacks`) and flow into
+:class:`~repro.obs.telemetry.ModeBankEvent.solver_fallbacks`.
+
+Degraded iterations (restricted availability, non-finite readings) keep
+the serial per-mission path — block shapes become data-dependent there —
+so fault-injected replays produce the same results as online detection.
+The leading batch axes are deliberately the only structural assumption,
+laying the layout groundwork for a future GPU/JAX backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, DimensionError
+from ..linalg import (
+    EIG_TOL,
+    _CHOL_MARGIN,
+    stacked_gaussian_likelihood_pinv,
+    stacked_pinv_and_pdet,
+    stacked_project_psd,
+    stacked_solve_psd,
+    symmetrize_stacked,
+    wrap_residual_stacked,
+)
+from .chi2 import anomaly_statistic, anomaly_statistic_stacked, chi_square_thresholds
+from .nuise import NuiseFilter, NuiseResult
+
+__all__ = ["StackedBank", "StackedBankResult", "replay_batch_stacked"]
+
+
+@dataclass(frozen=True)
+class _TestGroup:
+    """Modes whose testing blocks share a per-slot shape.
+
+    The reference block advances merged (padded) across the whole bank;
+    testing blocks stay grouped by their per-slot sensor dimensions so the
+    stacked ``d_hat^s``/``P^s`` arrays keep one shape per group.
+    """
+
+    #: ``(Mg,)`` positions of the member modes in engine bank order.
+    mode_indices: np.ndarray
+    #: ``(Mg, m1)`` suite indices of each mode's testing components.
+    test_idx: np.ndarray
+    #: ``(Mg, m1, m1)`` testing noise blocks.
+    R1: np.ndarray
+    #: ``(Mg, m1)`` angular-component masks of the testing stacks.
+    test_wrap: np.ndarray
+    #: Per-slot slices into the stacked ``d_hat^s`` (shared by the group).
+    test_slices: tuple[slice, ...]
+    #: ``(Mg, n_slots)`` suite *sensor* index of each testing slot.
+    slot_sensor: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.mode_indices.shape[0])
+
+    @property
+    def test_dim(self) -> int:
+        return int(self.test_idx.shape[1])
+
+
+@dataclass(frozen=True)
+class StackedBankResult:
+    """One batched advance of the whole mode bank over ``B`` cells.
+
+    Global arrays carry every mode (bank order) on axis 1. Reference-block
+    quantities are padded to the bank's shared reference width; each mode's
+    true width is ``ref_dims[m]`` (padding occupies the trailing entries and
+    is exactly zero / identity). Testing-block stacks are per
+    :attr:`groups` and are ``None`` when the advance deferred them
+    (``testing=False``).
+    """
+
+    #: The bank's testing-shape groups (axis order of the per-group lists).
+    groups: tuple[_TestGroup, ...]
+    #: ``(M,)`` true reference dimension of each mode.
+    ref_dims: np.ndarray
+    #: ``(B, M)`` mode likelihoods ``N^m_k``.
+    likelihoods: np.ndarray
+    #: ``(B, M, n)`` posterior states ``x_hat^m_{k|k}``.
+    states: np.ndarray
+    #: ``(B, M, n, n)`` posterior covariances ``P^{x,m}_k``.
+    covariances: np.ndarray
+    #: ``(B, M, l)`` actuator anomaly estimates ``d_hat^a_{k-1}``.
+    actuator_anomaly: np.ndarray
+    #: ``(B, M, l, l)`` actuator anomaly covariances.
+    actuator_covariance: np.ndarray
+    #: ``(B, M)`` pseudo-inverse fallback counts (0-2 per cell).
+    fallbacks: np.ndarray
+    #: ``(B, M, m2p)`` post-compensation innovations (padded).
+    innovation: np.ndarray
+    #: ``(B, M, m2p, m2p)`` innovation covariances ``R2_tilde`` (padded).
+    innovation_covariance: np.ndarray
+    #: Per group: ``(B, Mg, m1)`` sensor anomaly stacks ``d_hat^s_k``.
+    sensor_anomaly: tuple[np.ndarray, ...] | None
+    #: Per group: ``(B, Mg, m1, m1)`` sensor anomaly covariances.
+    sensor_covariance: tuple[np.ndarray, ...] | None
+
+
+class StackedBank:
+    """The engine's NUISE bank advanced as one ``(batch, mode)`` stack.
+
+    Built once from the engine's per-mode filters (their full-availability
+    block plans); :meth:`run` then mirrors Algorithm 2 line by line with the
+    ``(batch, mode)`` axes leading every operand, using the stacked
+    :mod:`repro.linalg` kernels for every factorization. The serial filters
+    stay authoritative for degraded availability (restricted plans).
+    """
+
+    def __init__(self, filters: Sequence[NuiseFilter]) -> None:
+        if not filters:
+            raise ConfigurationError("a stacked bank needs at least one filter")
+        first = filters[0]
+        self._model = first._model
+        self._suite = first._suite
+        self._policy = first._policy
+        self._Q = first._Q
+        self._mode_names = tuple(f.mode.name for f in filters)
+        self._filters = tuple(filters)
+        self._I_n = np.eye(self._model.state_dim)
+        self._build_reference_layout(filters)
+        self._groups = self._build_test_groups(filters)
+
+    @staticmethod
+    def usable(filters: Sequence[NuiseFilter]) -> bool:
+        """Whether every filter's full plan fits the stacked layout.
+
+        A mode with an empty reference block (constructed with observability
+        checking disabled) never runs the measurement update, so the bank
+        declines and the engine keeps the serial loop.
+        """
+        if not filters:
+            return False
+        shared = {(id(f._model), id(f._suite), id(f._policy)) for f in filters}
+        if len(shared) != 1:
+            return False
+        return all(f._full_plan.ref_names for f in filters)
+
+    def _build_reference_layout(self, filters: Sequence[NuiseFilter]) -> None:
+        """Pad every mode's reference block to the bank's widest one.
+
+        Padding appends exact identity rows: gathered measurement rows are
+        zeroed, the noise block gets a unit diagonal. Block-diagonal
+        structure keeps the real block's Cholesky/LU arithmetic bit-identical
+        to the unpadded computation, and :func:`stacked_chol_mask`'s
+        ``diag_mask`` keeps the conditioning certificate blind to the pads.
+        """
+        plans = [f._full_plan for f in filters]
+        for f in filters:
+            if not f._full_plan.ref_names:
+                raise ConfigurationError(
+                    f"mode {f.mode.name!r} has an empty reference block; "
+                    "the stacked bank requires every mode to measure"
+                )
+        M = len(plans)
+        ref_dims = np.array([len(p.ref_idx) for p in plans], dtype=int)
+        m2p = int(ref_dims.max())
+        ref_idx = np.zeros((M, m2p), dtype=int)
+        ref_mask = np.zeros((M, m2p), dtype=bool)
+        ref_wrap = np.zeros((M, m2p), dtype=bool)
+        R2 = np.zeros((M, m2p, m2p))
+        for i, plan in enumerate(plans):
+            m2 = int(ref_dims[i])
+            ref_idx[i, :m2] = plan.ref_idx
+            ref_mask[i, :m2] = True
+            ref_wrap[i, plan.ref_wrap] = True
+            R2[i, :m2, :m2] = plan.R2
+            for j in range(m2, m2p):
+                R2[i, j, j] = 1.0
+        self._ref_dims = ref_dims
+        self._ref_idx = ref_idx
+        self._ref_mask = ref_mask
+        self._ref_mask_col = ref_mask[..., None]
+        self._ref_wrap = ref_wrap
+        self._R2 = R2
+        self._R2_abs_tol = np.array([p.R2_abs_tol for p in plans])
+        # The spectral pinv/likelihood step runs unpadded: bucket modes by
+        # their true reference dimension (padding sits in trailing slots, so
+        # a leading [:m2] slice recovers the exact unpadded block).
+        self._ref_subgroups = tuple(
+            (np.flatnonzero(ref_dims == d), int(d)) for d in np.unique(ref_dims)
+        )
+        self._mode_col = np.arange(M)[:, None]
+
+    def _build_test_groups(
+        self, filters: Sequence[NuiseFilter]
+    ) -> tuple[_TestGroup, ...]:
+        suite = self._suite
+        sensor_pos = {name: i for i, name in enumerate(suite.names)}
+        buckets: dict[tuple, list[int]] = {}
+        for i, f in enumerate(filters):
+            plan = f._full_plan
+            test_dims = tuple(suite.sensor(n).dim for n in plan.test_names)
+            buckets.setdefault(test_dims, []).append(i)
+        groups: list[_TestGroup] = []
+        for test_dims, members in buckets.items():
+            plans = [filters[i]._full_plan for i in members]
+            m1 = sum(test_dims)
+            slices: list[slice] = []
+            offset = 0
+            for dim in test_dims:
+                slices.append(slice(offset, offset + dim))
+                offset += dim
+            test_wrap = np.zeros((len(members), m1), dtype=bool)
+            for j, plan in enumerate(plans):
+                test_wrap[j, plan.test_wrap] = True
+            groups.append(
+                _TestGroup(
+                    mode_indices=np.array(members, dtype=int),
+                    test_idx=(
+                        np.stack([p.test_idx for p in plans])
+                        if m1
+                        else np.zeros((len(members), 0), dtype=int)
+                    ),
+                    R1=(
+                        np.stack([p.R1 for p in plans])
+                        if m1
+                        else np.zeros((len(members), 0, 0))
+                    ),
+                    test_wrap=test_wrap,
+                    test_slices=tuple(slices),
+                    slot_sensor=np.array(
+                        [[sensor_pos[n] for n in p.test_names] for p in plans],
+                        dtype=int,
+                    ).reshape(len(members), len(test_dims)),
+                )
+            )
+        return tuple(groups)
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> tuple[_TestGroup, ...]:
+        return self._groups
+
+    @property
+    def mode_names(self) -> tuple[str, ...]:
+        return self._mode_names
+
+    @property
+    def n_modes(self) -> int:
+        return len(self._mode_names)
+
+    # ------------------------------------------------------------------
+    # One batched Algorithm 2 advance
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        prev_states: np.ndarray,
+        prev_covariances: np.ndarray,
+        controls: np.ndarray,
+        readings: np.ndarray,
+        x_check: np.ndarray | None = None,
+        A: np.ndarray | None = None,
+        G: np.ndarray | None = None,
+        APA: np.ndarray | None = None,
+        h_check: np.ndarray | None = None,
+        C_check: np.ndarray | None = None,
+        testing: bool = True,
+        fast_gain: bool = False,
+        project_actuator_cov: bool = True,
+    ) -> StackedBankResult:
+        """Advance every mode for every batch cell in stacked array calls.
+
+        ``prev_covariances`` must already be symmetrized (the engine's
+        workspace and the replay lattice both hand over ``symmetrize(P)``).
+        The optional keyword products let the engine's single-cell path
+        reuse its shared :class:`~repro.core.linearization.IterationWorkspace`
+        quantities bit-for-bit; the replay lattice leaves them ``None`` and
+        one batched linearization is computed here for all missions.
+        ``testing=False`` defers the sensor-anomaly block (the lattice
+        evaluates it post-selection via :meth:`testing_selected`).
+        ``fast_gain=True`` computes the filter gain and likelihood through
+        one padded Cholesky factorization instead of the per-dimension
+        eigendecomposition — same solver-round-off class as the LU solves
+        (the 1e-8 replay equivalence covers it), so the offline lattice uses
+        it; the engine keeps the exact spectral path online.
+        ``project_actuator_cov=False`` returns the raw ``P^a`` Gram product;
+        the actuator covariance never feeds back into the recursion, so the
+        lattice defers its PSD projection to one post-replay pass over the
+        selected cells instead of paying a per-step call.
+        """
+        model, suite, policy = self._model, self._suite, self._policy
+        prev_states = np.asarray(prev_states, dtype=float)
+        prev_covariances = np.asarray(prev_covariances, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        readings = np.asarray(readings, dtype=float)
+
+        # --- Shared linearization (one batched call for all cells) -----
+        if x_check is None and A is None and G is None:
+            x_check, A, G = policy.f_and_jacobians_batch(
+                model, prev_states, controls
+            )
+        if x_check is None:
+            x_check = policy.f_batch(model, prev_states, controls)
+        if A is None or G is None:
+            A, G = policy.jacobians_batch(model, prev_states, controls)
+        if APA is None:
+            APA = A @ prev_covariances @ A.swapaxes(-1, -2)
+        if h_check is None:
+            h_check = policy.h_batch(suite, None, x_check)
+        if C_check is None:
+            C_check = policy.measurement_jacobian_batch(suite, None, x_check)
+        P_tilde = APA + self._Q
+
+        out = self._advance_bank(
+            prev_covariances,
+            readings,
+            x_check,
+            A,
+            G,
+            P_tilde,
+            h_check,
+            C_check,
+            fast_gain=fast_gain,
+            project_actuator_cov=project_actuator_cov,
+        )
+
+        sensor_anom = sensor_cov = None
+        if testing:
+            sensor_anom, sensor_cov = self._testing_all(
+                out["state"], out["state_cov"], readings
+            )
+
+        return StackedBankResult(
+            groups=self._groups,
+            ref_dims=self._ref_dims,
+            likelihoods=out["likelihood"],
+            states=out["state"],
+            covariances=out["state_cov"],
+            actuator_anomaly=out["d_a"],
+            actuator_covariance=out["P_a"],
+            fallbacks=out["fallbacks"],
+            innovation=out["innovation"],
+            innovation_covariance=out["R2_tilde"],
+            sensor_anomaly=sensor_anom,
+            sensor_covariance=sensor_cov,
+        )
+
+    def _advance_bank(
+        self,
+        P_prev: np.ndarray,
+        readings: np.ndarray,
+        x_check: np.ndarray,
+        A: np.ndarray,
+        G: np.ndarray,
+        P_tilde: np.ndarray,
+        h_check: np.ndarray,
+        C_check: np.ndarray,
+        fast_gain: bool = False,
+        project_actuator_cov: bool = True,
+    ) -> dict[str, np.ndarray]:
+        """Algorithm 2 with ``(B, M)`` cell axes leading every operand."""
+        model, suite, policy = self._model, self._suite, self._policy
+        B = readings.shape[0]
+        M = self.n_modes
+        I_n = self._I_n
+        Q = self._Q
+        R2 = self._R2
+        mask = self._ref_mask
+        mask_col = self._ref_mask_col
+
+        # Per-mode gathers of the shared linearization (fancy indexing with
+        # the (M, m2p) index grid broadcasts the batch axis in front);
+        # padded slots are zeroed so they contribute exact identity rows.
+        # Residuals are gathered from the full-suite difference — elementwise
+        # identical to subtracting two gathered stacks, one gather cheaper.
+        diff_check = readings - h_check
+        z2_minus_h2 = np.where(mask, diff_check[:, self._ref_idx], 0.0)
+        C2 = np.where(mask_col, C_check[:, self._ref_idx, :], 0.0)
+        Pt = P_tilde[:, None]
+        Gb = G[:, None]
+
+        # --- Step 1: actuator anomaly estimation (lines 2-6) -----------
+        R_star = symmetrize_stacked(C2 @ Pt @ C2.swapaxes(-1, -2) + R2)
+        F = C2 @ Gb
+        sol1, fb1 = stacked_solve_psd(R_star, F, diag_mask=mask, assume_symmetric=True)
+        FtRi = sol1.swapaxes(-1, -2)
+        normal = FtRi @ F
+        M2, fb2 = stacked_solve_psd(normal, FtRi)
+        fallbacks = fb1.astype(int) + fb2.astype(int)
+        innovation0 = wrap_residual_stacked(z2_minus_h2, self._ref_wrap)
+        d_a = (M2 @ innovation0[..., None])[..., 0]
+        P_a = M2 @ R_star @ M2.swapaxes(-1, -2)
+        if project_actuator_cov:
+            P_a = stacked_project_psd(P_a)
+
+        # --- Step 2: compensated state prediction (lines 7-10) ---------
+        x_pred = x_check[:, None] + (Gb @ d_a[..., None])[..., 0]
+        GM2 = Gb @ M2
+        K = I_n - GM2 @ C2
+        A_bar = K @ A[:, None]
+        GM2R2 = GM2 @ R2
+        Q_bar = K @ Q @ K.swapaxes(-1, -2) + GM2R2 @ GM2.swapaxes(-1, -2)
+        P_pred = stacked_project_psd(
+            A_bar @ P_prev[:, None] @ A_bar.swapaxes(-1, -2) + Q_bar
+        )
+        S = -GM2R2
+
+        # --- Step 3: state estimation (lines 11-14) --------------------
+        # One full-suite re-linearization at every cell's x_pred, then
+        # per-mode row gathers — same per-sensor maps the serial filter
+        # evaluates, batched over the whole (B, M) lattice.
+        flat_pred = x_pred.reshape(B * M, -1)
+        h_pred = policy.h_batch(suite, None, flat_pred).reshape(B, M, -1)
+        C_pred = policy.measurement_jacobian_batch(suite, None, flat_pred).reshape(
+            B, M, h_pred.shape[-1], -1
+        )
+        diff_pred = readings[:, None, :] - h_pred
+        mode_col = self._mode_col
+        innovation = wrap_residual_stacked(
+            np.where(mask, diff_pred[:, mode_col, self._ref_idx], 0.0),
+            self._ref_wrap,
+        )
+        C2p = np.where(mask_col, C_pred[:, mode_col, self._ref_idx, :], 0.0)
+        CS = C2p @ S
+        PCt = P_pred @ C2p.swapaxes(-1, -2)
+        if fast_gain:
+            # Lattice path: reassociated products (C2p @ (P C2p') instead of
+            # (C2p P) @ C2p', and the cross term's transpose instead of its
+            # re-multiplication) — same values to round-off, four fewer
+            # matmul launches per step. The engine path below keeps the
+            # association the serial filter uses, bit-for-bit.
+            R2_core = C2p @ PCt
+        else:
+            R2_core = C2p @ P_pred @ C2p.swapaxes(-1, -2)
+        R2_tilde = symmetrize_stacked(R2_core + R2 + CS + CS.swapaxes(-1, -2))
+        gain_rhs = PCt + S
+        L, likelihood = self._gain_and_likelihood(
+            R2_tilde, gain_rhs, innovation, fast_gain
+        )
+        x_new = model.normalize_state_batch(
+            x_pred + (L @ innovation[..., None])[..., 0]
+        )
+        I_LC = I_n - L @ C2p
+        cross = I_LC @ S @ L.swapaxes(-1, -2)
+        if fast_gain:
+            cross_t = cross.swapaxes(-1, -2)
+        else:
+            cross_t = L @ S.swapaxes(-1, -2) @ I_LC.swapaxes(-1, -2)
+        P_new = stacked_project_psd(
+            I_LC @ P_pred @ I_LC.swapaxes(-1, -2)
+            + L @ R2 @ L.swapaxes(-1, -2)
+            - cross
+            - cross_t
+        )
+
+        return {
+            "likelihood": likelihood,
+            "state": x_new,
+            "state_cov": P_new,
+            "d_a": d_a,
+            "P_a": P_a,
+            "innovation": innovation,
+            "R2_tilde": R2_tilde,
+            "fallbacks": fallbacks,
+        }
+
+    def _gain_and_likelihood(
+        self,
+        R2_tilde: np.ndarray,
+        gain_rhs: np.ndarray,
+        innovation: np.ndarray,
+        fast_gain: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Filter gain ``L`` and mode likelihood (Algorithm 2 lines 11, 20).
+
+        Exact path (engine, ``fast_gain=False``): the spectral pseudo-inverse
+        / pseudo-determinant / likelihood run unpadded per true reference
+        dimension — eigendecompositions are the one step where identity
+        padding would perturb (and miscount) the spectrum.
+
+        Fast path (``fast_gain=True``): one whole-lattice Cholesky
+        factorization certifies every cell, one LU solve computes gain and
+        quadratic form together, and the pseudo-determinant comes from the
+        factor diagonal. Padding is exact (block-diagonal); the chol-vs-eigh
+        solver difference is the same round-off class the replay equivalence
+        tests pin at 1e-8. If any cell is indefinite (LAPACK raises on the
+        whole batch) or any certified pivot dips into the conditioning or
+        truncation band, the entire step takes the fused spectral path —
+        that path is valid for every cell, and rank-deficient lattices
+        (standstill iterations) degrade the whole batch together, so
+        per-cell mixing would only pay gather costs to save nothing.
+        """
+        if not fast_gain:
+            return self._gain_spectral(R2_tilde, gain_rhs, innovation)
+
+        try:
+            lower = np.linalg.cholesky(R2_tilde)
+        except np.linalg.LinAlgError:
+            return self._gain_spectral_fast(R2_tilde, gain_rhs, innovation)
+        mask = self._ref_mask
+        diag = np.diagonal(lower, axis1=-2, axis2=-1)
+        d_max = np.where(mask, diag, -np.inf).max(axis=-1)
+        d_min = np.where(mask, diag, np.inf).min(axis=-1)
+        safe = np.where(d_max > 0.0, d_max, 1.0)
+        ok = (
+            np.isfinite(d_max)
+            & (d_max > 0.0)
+            & ((d_min / safe) ** 2 > _CHOL_MARGIN * EIG_TOL)
+            & (d_min**2 > self._R2_abs_tol)
+        )
+        if not ok.all():
+            return self._gain_spectral_fast(R2_tilde, gain_rhs, innovation)
+        # Gain and quadratic form share one solve: rhs = [gain_rhs^T | r].
+        rhs = np.concatenate(
+            [gain_rhs.swapaxes(-1, -2), innovation[..., None]], axis=-1
+        )
+        sol = np.linalg.solve(R2_tilde, rhs)
+        L = sol[..., :-1].swapaxes(-1, -2)
+        quad = (innovation * sol[..., -1]).sum(axis=-1)
+        pdet = np.where(mask, diag, 1.0).prod(axis=-1) ** 2
+        rank = self._ref_dims
+        norm = (2.0 * np.pi) ** (rank / 2.0) * np.sqrt(
+            np.maximum(pdet, np.finfo(float).tiny)
+        )
+        with np.errstate(over="ignore", under="ignore"):
+            likelihood = np.exp(-0.5 * quad) / norm
+        return L, likelihood
+
+    def _gain_spectral(
+        self, R2_tilde: np.ndarray, gain_rhs: np.ndarray, innovation: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact spectral gain/likelihood, batched per reference subgroup."""
+        B, M = innovation.shape[:2]
+        L = np.zeros_like(gain_rhs)
+        likelihood = np.empty((B, M))
+        for pos, m2 in self._ref_subgroups:
+            R2t_pinv, R2t_pdet, R2t_rank = stacked_pinv_and_pdet(
+                R2_tilde[:, pos, :m2, :m2],
+                abs_tol=self._R2_abs_tol[pos],
+                assume_symmetric=True,
+            )
+            L[:, pos, :, :m2] = gain_rhs[:, pos, :, :m2] @ R2t_pinv
+            likelihood[:, pos] = stacked_gaussian_likelihood_pinv(
+                innovation[:, pos, :m2], R2t_pinv, R2t_pdet, R2t_rank
+            )
+        return L, likelihood
+
+    def _gain_spectral_fast(
+        self, R2_tilde: np.ndarray, gain_rhs: np.ndarray, innovation: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Spectral gain/likelihood fused in the eigenbasis (lattice only).
+
+        Same truncation semantics as :meth:`_gain_spectral` (the
+        :func:`stacked_pinv_and_pdet` cutoff against each mode's noise
+        floor), but the gain and the likelihood's quadratic form contract
+        against the eigenvectors directly instead of materializing the
+        pseudo-inverse — fewer kernel launches on the replay lattice's
+        standstill steps. Agrees with the exact path to solver round-off.
+        """
+        B, M = innovation.shape[:2]
+        L = np.zeros_like(gain_rhs)
+        likelihood = np.empty((B, M))
+        tiny = np.finfo(float).tiny
+        for pos, m2 in self._ref_subgroups:
+            if m2 == 0:
+                likelihood[:, pos] = 1.0
+                continue
+            eigvals, eigvecs = np.linalg.eigh(R2_tilde[:, pos, :m2, :m2])
+            abs_vals = np.abs(eigvals)
+            scale = abs_vals.max(axis=-1)
+            cutoff = np.maximum(EIG_TOL * scale, self._R2_abs_tol[pos])
+            keep = (abs_vals > cutoff[..., None]) & (scale[..., None] > 0.0)
+            inv_vals = np.where(keep, 1.0 / np.where(keep, eigvals, 1.0), 0.0)
+            grV = gain_rhs[:, pos, :, :m2] @ eigvecs
+            L[:, pos, :, :m2] = (grV * inv_vals[..., None, :]) @ eigvecs.swapaxes(
+                -1, -2
+            )
+            w = (innovation[:, pos, None, :m2] @ eigvecs)[..., 0, :]
+            quad = (inv_vals * w * w).sum(axis=-1)
+            rank = keep.sum(axis=-1)
+            pdet = np.where(rank > 0, np.where(keep, eigvals, 1.0).prod(axis=-1), 1.0)
+            norm = (2.0 * np.pi) ** (rank / 2.0) * np.sqrt(np.maximum(pdet, tiny))
+            with np.errstate(over="ignore", under="ignore"):
+                lik = np.exp(-0.5 * quad) / norm
+            likelihood[:, pos] = np.where(rank == 0, 1.0, lik)
+        return L, likelihood
+
+    # ------------------------------------------------------------------
+    # Testing block (Algorithm 2 lines 15-16)
+    # ------------------------------------------------------------------
+    def _testing_all(
+        self, x_new: np.ndarray, P_new: np.ndarray, readings: np.ndarray
+    ) -> tuple[tuple[np.ndarray, ...], tuple[np.ndarray, ...]]:
+        """Sensor-anomaly estimates for every ``(cell, mode)`` pair."""
+        suite, policy = self._suite, self._policy
+        B, M, n = x_new.shape
+        flat_new = x_new.reshape(B * M, n)
+        h_new = policy.h_batch(suite, None, flat_new).reshape(B, M, -1)
+        C_new = policy.measurement_jacobian_batch(suite, None, flat_new).reshape(
+            B, M, h_new.shape[-1], n
+        )
+        sensor_anom: list[np.ndarray] = []
+        sensor_cov: list[np.ndarray] = []
+        for g in self._groups:
+            if not g.test_dim:
+                sensor_anom.append(np.zeros((B, g.size, 0)))
+                sensor_cov.append(np.zeros((B, g.size, 0, 0)))
+                continue
+            idx = g.mode_indices
+            z1 = readings[:, g.test_idx]
+            h1 = np.take_along_axis(h_new[:, idx], g.test_idx[None], axis=2)
+            C1 = np.take_along_axis(
+                C_new[:, idx], g.test_idx[None, :, :, None], axis=2
+            )
+            d_s = wrap_residual_stacked(z1 - h1, g.test_wrap)
+            P_s = stacked_project_psd(
+                C1 @ P_new[:, idx] @ C1.swapaxes(-1, -2) + g.R1
+            )
+            sensor_anom.append(d_s)
+            sensor_cov.append(P_s)
+        return tuple(sensor_anom), tuple(sensor_cov)
+
+    def testing_selected(
+        self,
+        states: np.ndarray,
+        covariances: np.ndarray,
+        readings: np.ndarray,
+        modes: np.ndarray,
+    ) -> Iterator[tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Testing block for chosen ``(cell, mode)`` pairs only.
+
+        ``states``/``covariances``/``readings`` are the selected-mode
+        posterior per cell (``(C, n)``, ``(C, n, n)``, ``(C, z)``) and
+        ``modes`` the selected bank index per cell. Yields
+        ``(group_index, rows, jpos, d_s, P_s)`` per testing group with
+        members among the selections — ``rows`` indexes the input cells,
+        ``jpos`` each row's position inside the group.
+        """
+        suite, policy = self._suite, self._policy
+        h_new = policy.h_batch(suite, None, states)
+        C_new = policy.measurement_jacobian_batch(suite, None, states)
+        group_of, pos_in_group = self._group_maps()
+        sel_groups = group_of[modes]
+        for gi, g in enumerate(self._groups):
+            rows = np.flatnonzero(sel_groups == gi)
+            if not rows.size:
+                continue
+            jpos = pos_in_group[modes[rows]]
+            if not g.test_dim:
+                yield gi, rows, jpos, np.zeros((rows.size, 0)), np.zeros(
+                    (rows.size, 0, 0)
+                )
+                continue
+            idx = g.test_idx[jpos]
+            z1 = np.take_along_axis(readings[rows], idx, axis=1)
+            h1 = np.take_along_axis(h_new[rows], idx, axis=1)
+            C1 = np.take_along_axis(C_new[rows], idx[..., None], axis=1)
+            d_s = wrap_residual_stacked(z1 - h1, g.test_wrap[jpos])
+            P_s = stacked_project_psd(
+                C1 @ covariances[rows] @ C1.swapaxes(-1, -2) + g.R1[jpos]
+            )
+            yield gi, rows, jpos, d_s, P_s
+
+    def _group_maps(self) -> tuple[np.ndarray, np.ndarray]:
+        maps = getattr(self, "_group_maps_cache", None)
+        if maps is None:
+            group_of = np.zeros(self.n_modes, dtype=int)
+            pos_in_group = np.zeros(self.n_modes, dtype=int)
+            for gi, g in enumerate(self._groups):
+                group_of[g.mode_indices] = gi
+                pos_in_group[g.mode_indices] = np.arange(g.size)
+            maps = (group_of, pos_in_group)
+            self._group_maps_cache = maps
+        return maps
+
+    # ------------------------------------------------------------------
+    # Single-cell view (the engine's nominal iteration)
+    # ------------------------------------------------------------------
+    def results_for_cell(
+        self, result: StackedBankResult, b: int = 0
+    ) -> dict[str, NuiseResult]:
+        """Materialize one batch cell's bank advance as per-mode results.
+
+        The engine's nominal iteration consumes these exactly like the
+        serial loop's outputs (selection, statistics, telemetry). Requires
+        an advance that ran with ``testing=True``.
+        """
+        if result.sensor_anomaly is None:
+            raise ConfigurationError(
+                "this bank advance deferred the testing block; run with "
+                "testing=True to materialize per-mode results"
+            )
+        group_of, pos_in_group = self._group_maps()
+        out: dict[str, NuiseResult] = {}
+        for mode_idx, name in enumerate(self._mode_names):
+            plan = self._filters[mode_idx]._full_plan
+            gi = int(group_of[mode_idx])
+            j = int(pos_in_group[mode_idx])
+            m2 = int(result.ref_dims[mode_idx])
+            out[name] = NuiseResult(
+                state=result.states[b, mode_idx],
+                state_covariance=result.covariances[b, mode_idx],
+                actuator_anomaly=result.actuator_anomaly[b, mode_idx],
+                actuator_covariance=result.actuator_covariance[b, mode_idx],
+                sensor_anomaly=result.sensor_anomaly[gi][b, j],
+                sensor_covariance=result.sensor_covariance[gi][b, j],
+                likelihood=float(result.likelihoods[b, mode_idx]),
+                innovation=result.innovation[b, mode_idx, :m2],
+                innovation_covariance=result.innovation_covariance[
+                    b, mode_idx, :m2, :m2
+                ],
+                reference_used=plan.ref_names,
+                testing_used=plan.test_names,
+                solver_fallbacks=int(result.fallbacks[b, mode_idx]),
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Simultaneous mission replay: the (mission, mode) lattice
+# ----------------------------------------------------------------------
+def _window_met(
+    values: np.ndarray, pushed: np.ndarray, window: int, criteria: int
+) -> np.ndarray:
+    """``criteria``-of-``window`` ring-buffer decisions, batched over steps.
+
+    ``values`` and ``pushed`` are ``(rows, T)``: at step ``k`` each row
+    pushes ``values[:, k]`` into its ring buffer iff ``pushed[:, k]`` (a
+    skipped step holds the buffer unchanged). Returns the post-push buffer
+    test — at least ``criteria`` True among the last ``window`` pushes — at
+    every step: exactly the serial decision maker's deque state, computed
+    with two cumulative sums instead of a step loop. Before ``window``
+    pushes have occurred the count runs over every push so far, matching a
+    zero-initialized ring.
+    """
+    n_rows, T = pushed.shape
+    if T == 0 or n_rows == 0:
+        return np.zeros((n_rows, T), dtype=bool)
+    j = np.cumsum(pushed, axis=1)
+    seq = np.zeros((n_rows, T + 1), dtype=np.int64)
+    rows, cols = np.nonzero(pushed)
+    seq[rows, j[rows, cols]] = values[rows, cols]
+    counts = np.cumsum(seq, axis=1)
+    head = np.take_along_axis(counts, j, axis=1)
+    tail = np.take_along_axis(counts, np.maximum(j - window, 0), axis=1)
+    return (head - tail) >= criteria
+
+
+def replay_batch_stacked(detector, traces: Sequence[Any]):
+    """Replay every trace simultaneously through one stacked lattice.
+
+    The array-native fast path behind
+    :func:`repro.core.batch.replay_batch(..., keep_reports=False)`: instead
+    of running missions back-to-back, all ``N`` missions advance together —
+    iteration ``k`` of every still-active mission shares a single
+    vectorized linearization and one :meth:`StackedBank.run` (on the
+    Cholesky ``fast_gain`` path) over the ``(mission, mode)`` lattice.
+    Only what feeds back into the filter recursion stays inside the step
+    loop: the bank advance and the consistency-window mode selection.
+    Everything downstream of the recursion — the selected-mode testing
+    block, every chi-square statistic (one fused padded batch over all
+    iterations' cells), and the c-of-w decision windows (two cumulative
+    sums per channel, :func:`_window_met`) — runs as vectorized
+    post-replay passes over the stored ``(N, T)`` lattice outputs.
+    Missions shorter than the longest drop out of the active set (their
+    output rows keep the documented padding); degraded iterations
+    (restricted or non-finite readings) run the serial per-mission filter
+    path for exact parity with online detection.
+
+    Returns a :class:`~repro.core.batch.BatchReplayResult` with
+    ``reports=None``; per-iteration results agree with the serial replay to
+    solver round-off (the equivalence tests pin 1e-8).
+    """
+    from .batch import BatchReplayResult, _controls_and_readings
+    from .engine import _LOG_FLOOR
+
+    if not traces:
+        raise ConfigurationError("replay_batch needs at least one trace")
+    engine = detector.engine
+    bank = engine.stacked_bank
+    if bank is None:
+        raise ConfigurationError(
+            "this detector's mode bank cannot be stacked (see StackedBank.usable)"
+        )
+    model, suite, policy = engine._model, engine._suite, engine._policy
+    filters = [engine._filters[m.name] for m in engine._modes]
+    mode_names = bank.mode_names
+    M = len(mode_names)
+    sensor_names = tuple(suite.names)
+    p_sensors = len(sensor_names)
+    n = model.state_dim
+    l_dim = model.control_dim
+    z_dim = suite.total_dim
+    cfg = detector.decision_config
+
+    pairs = [_controls_and_readings(t) for t in traces]
+    N = len(pairs)
+    lengths = np.array([len(c) for c, _, _ in pairs], dtype=int)
+    T = int(lengths.max()) if N else 0
+
+    controls_arr = np.zeros((N, T, l_dim))
+    readings_arr = np.zeros((N, T, z_dim))
+    delivered = np.ones((N, T, p_sensors), dtype=bool)
+    for i, (controls, readings, availability) in enumerate(pairs):
+        if len(controls) != len(readings):
+            raise DimensionError(
+                f"controls ({len(controls)}) and readings ({len(readings)}) "
+                "must have equal length"
+            )
+        if availability is not None and len(availability) != len(controls):
+            raise DimensionError(
+                f"availability ({len(availability)}) must match controls "
+                f"({len(controls)})"
+            )
+        if not len(controls):
+            continue
+        cu = np.asarray(list(controls), dtype=float)
+        if cu.ndim != 2 or cu.shape[1] != l_dim:
+            raise DimensionError(
+                f"trace {i}: controls must have shape (steps, {l_dim})"
+            )
+        zs = np.asarray(list(readings), dtype=float)
+        if zs.ndim != 2 or zs.shape[1] != z_dim:
+            raise DimensionError(
+                f"trace {i}: stacked readings must have shape (steps, {z_dim})"
+            )
+        if not np.all(np.isfinite(cu)):
+            raise DimensionError(f"trace {i}: controls contain non-finite values")
+        controls_arr[i, : len(controls)] = cu
+        readings_arr[i, : len(readings)] = zs
+        if availability is not None:
+            for k, avail in enumerate(availability):
+                if avail is None:
+                    continue
+                present = set(avail)
+                unknown = present - set(sensor_names)
+                if unknown:
+                    raise ConfigurationError(
+                        f"availability mask names unknown sensors: {sorted(unknown)}"
+                    )
+                delivered[i, k] = [name in present for name in sensor_names]
+
+    # Non-finite readings exclude their sensor block and are neutralized,
+    # exactly as RoboADS.step does online.
+    finite = np.isfinite(readings_arr)
+    for s, name in enumerate(sensor_names):
+        sl = suite.slice_of(name)
+        delivered[:, :, s] &= finite[:, :, sl].all(axis=2)
+    readings_clean = np.where(finite, readings_arr, 0.0)
+
+    # Per-mode testing membership (which sensors a mode's selected stats
+    # cover) and chi-square threshold tables by dof — both loop-invariant.
+    mode_in_stats = np.zeros((M, p_sensors), dtype=bool)
+    for m, f in enumerate(filters):
+        for name in f._full_plan.test_names:
+            mode_in_stats[m, sensor_names.index(name)] = True
+    thr_table_s = chi_square_thresholds(cfg.sensor_alpha, np.arange(z_dim + 1))
+    thr_table_a = chi_square_thresholds(cfg.actuator_alpha, np.arange(l_dim + 1))
+
+    # Lattice state: the shared estimate and the consistency ring
+    # (zeros-initialized slots are exactly an unfilled deque's absence).
+    # Mode probabilities (Algorithm 1 line 6) influence nothing the stacked
+    # result reports — selection runs on the consistency window — so the
+    # lattice skips the mu recursion the online engine maintains.
+    x = np.tile(engine._x0, (N, 1))
+    P = symmetrize_stacked(np.tile(engine._P0, (N, 1, 1)))
+    W = engine._window
+    ring = np.zeros((N, W, M))
+    rows_all = np.arange(N)
+    ws_, cs_ = cfg.sensor_window, cfg.sensor_criteria
+    wa_, ca_ = cfg.actuator_window, cfg.actuator_criteria
+
+    selected_out = np.full((N, T), -1, dtype=int)
+    state_out = np.full((N, T, n), np.nan)
+    actuator_out = np.full((N, T, l_dim), np.nan)
+
+    # Per-step scratch consumed by the post-replay passes: posterior and
+    # actuator covariances, the degraded-path statistics (computed in-loop
+    # on the serial path, where block shapes are data-dependent), and the
+    # degraded-iteration mask.
+    P_hist = np.zeros((N, T, n, n))
+    act_cov_hist = np.zeros((N, T, l_dim, l_dim))
+    s_stat_arr = np.zeros((N, T))
+    s_dof_arr = np.zeros((N, T), dtype=int)
+    ps_stat_arr = np.zeros((N, T, p_sensors))
+    ps_dof_arr = np.zeros((N, T, p_sensors), dtype=int)
+    in_stats_arr = np.zeros((N, T, p_sensors), dtype=bool)
+    deg_arr = np.zeros((N, T), dtype=bool)
+
+    act_mask = np.arange(T)[None, :] < lengths[:, None]
+    uniform = act_mask.all(axis=0) & delivered.all(axis=2).all(axis=0)
+
+    for k in range(T):
+        if uniform[k]:
+            # Every mission active with full delivery: whole-lattice step
+            # with no row bookkeeping (the overwhelmingly common case).
+            bank_res = bank.run(
+                x,
+                P,
+                controls_arr[:, k],
+                readings_clean[:, k],
+                testing=False,
+                fast_gain=True,
+                project_actuator_cov=False,
+            )
+            lik_a = bank_res.likelihoods
+            with np.errstate(divide="ignore"):
+                log_lik = np.log(np.where(lik_a > 0.0, lik_a, 1.0))
+            ring[:, k % W, :] = np.where(
+                lik_a > 0.0, np.maximum(log_lik, _LOG_FLOOR), _LOG_FLOOR
+            )
+            sel = ring.sum(axis=1).argmax(axis=1)
+            x = bank_res.states[rows_all, sel]
+            P = bank_res.covariances[rows_all, sel]
+            selected_out[:, k] = sel
+            state_out[:, k] = x
+            P_hist[:, k] = P
+            actuator_out[:, k] = bank_res.actuator_anomaly[rows_all, sel]
+            act_cov_hist[:, k] = bank_res.actuator_covariance[rows_all, sel]
+            continue
+
+        active = k < lengths
+        a = np.flatnonzero(active)
+        if not a.size:
+            break
+        step_delivered = delivered[:, k]
+        full_delivery = step_delivered.all(axis=1)
+        nominal = active & full_delivery
+        degraded_rows = active & ~full_delivery
+        nom_idx = np.flatnonzero(nominal)
+        deg_idx = np.flatnonzero(degraded_rows)
+        deg_arr[deg_idx, k] = True
+
+        bank_res = None
+        if nom_idx.size:
+            bank_res = bank.run(
+                x[nom_idx],
+                P[nom_idx],
+                controls_arr[nom_idx, k],
+                readings_clean[nom_idx, k],
+                testing=False,
+                fast_gain=True,
+                project_actuator_cov=False,
+            )
+
+        if deg_idx.size:
+            lik = np.zeros((N, M))
+            updated = np.zeros((N, M), dtype=bool)
+            states_all = np.zeros((N, M, n))
+            covs_all = np.zeros((N, M, n, n))
+            act_all = np.zeros((N, M, l_dim))
+            act_cov_all = np.zeros((N, M, l_dim, l_dim))
+            if bank_res is not None:
+                lik[nom_idx] = bank_res.likelihoods
+                updated[nom_idx] = True
+                states_all[nom_idx] = bank_res.states
+                covs_all[nom_idx] = bank_res.covariances
+                act_all[nom_idx] = bank_res.actuator_anomaly
+                act_cov_all[nom_idx] = bank_res.actuator_covariance
+            deg_results: dict[int, list[NuiseResult]] = {}
+            for i in deg_idx:
+                avail_t = tuple(
+                    name for name, d in zip(sensor_names, step_delivered[i]) if d
+                )
+                workspace = policy.workspace(
+                    model, suite, x[i], controls_arr[i, k], covariance=P[i]
+                )
+                row = [
+                    f.step(
+                        workspace.control,
+                        x[i],
+                        P[i],
+                        readings_clean[i, k],
+                        workspace=workspace,
+                        available=avail_t,
+                    )
+                    for f in filters
+                ]
+                deg_results[i] = row
+                lik[i] = [r.likelihood for r in row]
+                updated[i] = [r.measurement_updated for r in row]
+                states_all[i] = np.stack([r.state for r in row])
+                covs_all[i] = np.stack([r.state_covariance for r in row])
+                act_all[i] = np.stack([r.actuator_anomaly for r in row])
+                act_cov_all[i] = np.stack([r.actuator_covariance for r in row])
+            lik_a = lik[a]
+            updated_a = updated[a]
+            states_a = states_all[a]
+            covs_a = covs_all[a]
+            act_a = act_all[a]
+            act_cov_a = act_cov_all[a]
+        else:
+            # All-nominal iteration (the common case): the bank's stacked
+            # outputs are already row-aligned with the active set.
+            deg_results = {}
+            lik_a = bank_res.likelihoods
+            updated_a = None
+            states_a = bank_res.states
+            covs_a = bank_res.covariances
+            act_a = bank_res.actuator_anomaly
+            act_cov_a = bank_res.actuator_covariance
+
+        # --- Consistency ring and selection ----------------------------
+        with np.errstate(divide="ignore"):
+            log_lik = np.log(np.where(lik_a > 0.0, lik_a, 1.0))
+        contrib = np.where(lik_a > 0.0, np.maximum(log_lik, _LOG_FLOOR), _LOG_FLOOR)
+        if updated_a is not None:
+            contrib = np.where(updated_a, contrib, 0.0)
+        ring[a, k % W, :] = contrib
+        scores = ring[a].sum(axis=1)
+        sel = scores.argmax(axis=1)
+        rows = np.arange(a.size)
+        x[a] = states_a[rows, sel]
+        P[a] = covs_a[rows, sel]
+        selected_out[a, k] = sel
+        state_out[a, k] = x[a]
+        P_hist[a, k] = P[a]
+        actuator_out[a, k] = act_a[rows, sel]
+        act_cov_hist[a, k] = act_cov_a[rows, sel]
+
+        # Degraded rows' sensor statistics come from the serial results and
+        # stay in-loop (their testing block shapes are data-dependent); the
+        # post-replay pass covers every nominal iteration.
+        for pos_in_a in np.flatnonzero(degraded_rows[a]):
+            i = a[pos_in_a]
+            result = deg_results[i][sel[pos_in_a]]
+            stat, dof = anomaly_statistic(
+                result.sensor_anomaly, result.sensor_covariance
+            )
+            s_stat_arr[i, k] = stat
+            s_dof_arr[i, k] = dof
+            mode_filter = filters[sel[pos_in_a]]
+            for name, sl in mode_filter.testing_slices(result.testing_used).items():
+                stat_t, dof_t = anomaly_statistic(
+                    result.sensor_anomaly[sl], result.sensor_covariance[sl, sl]
+                )
+                s_idx = sensor_names.index(name)
+                ps_stat_arr[i, k, s_idx] = stat_t
+                ps_dof_arr[i, k, s_idx] = dof_t
+                in_stats_arr[i, k, s_idx] = True
+
+    # --- Post-replay statistics: fused chi-square batches ---------------
+    # Every chi-square cell of the whole replay — each active iteration's
+    # actuator vector plus each nominal iteration's selected-mode aggregate
+    # and per-slot sensor stacks — fuses into one
+    # :func:`anomaly_statistic_stacked` call per distinct cell width
+    # (exact-size batches: a handful of widths cover every cell, and tight
+    # blocks keep the batched factorizations off the padded worst case).
+    # The testing block linearizes all nominal cells at once. The deferred
+    # actuator-covariance projection lands here too: one stacked pass over
+    # the lattice-path cells (degraded iterations stored serial,
+    # already-projected covariances).
+    a_stat_arr = np.zeros((N, T))
+    a_dof_arr = np.zeros((N, T), dtype=int)
+    ci, ck = np.nonzero(act_mask & ~deg_arr)
+    if ci.size:
+        act_cov_hist[ci, ck] = stacked_project_psd(act_cov_hist[ci, ck])
+    ai, ak = np.nonzero(act_mask)
+    seg_est = [actuator_out[ai, ak]]
+    seg_cov = [act_cov_hist[ai, ak]]
+    seg_sink: list[tuple[str, np.ndarray, np.ndarray, Any]] = [
+        ("actuator", ai, ak, None)
+    ]
+
+    if ci.size:
+        sel_c = selected_out[ci, ck]
+        in_stats_arr[ci, ck] = mode_in_stats[sel_c]
+        for gi, rel_rows, jpos, d_s, P_s in bank.testing_selected(
+            state_out[ci, ck],
+            P_hist[ci, ck],
+            readings_clean[ci, ck],
+            sel_c,
+        ):
+            g = bank.groups[gi]
+            if not g.test_dim:
+                continue
+            gr, gk = ci[rel_rows], ck[rel_rows]
+            seg_est.append(d_s)
+            seg_cov.append(P_s)
+            seg_sink.append(("sensor", gr, gk, None))
+            for t, sl in enumerate(g.test_slices):
+                seg_est.append(d_s[:, sl])
+                seg_cov.append(P_s[:, sl, sl])
+                seg_sink.append(("slot", gr, gk, g.slot_sensor[jpos, t]))
+
+    by_dim: dict[int, list[int]] = {}
+    for j, e in enumerate(seg_est):
+        by_dim.setdefault(e.shape[1], []).append(j)
+    for d, seg_ids in by_dim.items():
+        est_d = np.concatenate([seg_est[j] for j in seg_ids], axis=0)
+        cov_d = np.concatenate([seg_cov[j] for j in seg_ids], axis=0)
+        stat_f, dof_f = anomaly_statistic_stacked(
+            est_d, cov_d, np.full(est_d.shape[0], d, dtype=int)
+        )
+        off = 0
+        for j in seg_ids:
+            kind, rr, kk, s_idx = seg_sink[j]
+            m = seg_est[j].shape[0]
+            seg_s = stat_f[off : off + m]
+            seg_d = dof_f[off : off + m]
+            if kind == "actuator":
+                a_stat_arr[rr, kk] = seg_s
+                a_dof_arr[rr, kk] = seg_d
+            elif kind == "sensor":
+                s_stat_arr[rr, kk] = seg_s
+                s_dof_arr[rr, kk] = seg_d
+            else:
+                ps_stat_arr[rr, kk, s_idx] = seg_s
+                ps_dof_arr[rr, kk, s_idx] = seg_d
+            off += m
+
+    # --- Decision windows (Section IV-D, post-replay) -------------------
+    # Joint-sensor and actuator channels: one ring-buffer pass each. A
+    # degraded iteration whose statistic has no degrees of freedom holds
+    # the window (no push), exactly like the serial decision maker.
+    pos_s = (s_dof_arr > 0) & (s_stat_arr > thr_table_s[s_dof_arr])
+    push_s = act_mask & ~(deg_arr & (s_dof_arr == 0))
+    met_s = _window_met(pos_s, push_s, ws_, cs_)
+
+    pos_a = (a_dof_arr > 0) & (a_stat_arr > thr_table_a[a_dof_arr])
+    push_a = act_mask & ~(deg_arr & (a_dof_arr == 0))
+    alarm_out = _window_met(pos_a, push_a, wa_, ca_) & act_mask
+
+    # Per-sensor windows exist from a sensor's first appearance in the
+    # selected mode's testing stats; once created, an iteration without the
+    # sensor pushes a negative — unless the reading never arrived (degraded
+    # hold). ``created_prev`` is "seen strictly before this iteration".
+    seen = np.cumsum(in_stats_arr, axis=1) > 0
+    created_prev = np.zeros_like(seen)
+    created_prev[:, 1:] = seen[:, :-1]
+    push_true = in_stats_arr & act_mask[:, :, None]
+    hold = deg_arr[:, :, None] & ~delivered
+    push_false = created_prev & ~in_stats_arr & ~hold & act_mask[:, :, None]
+    pos_ps = (ps_dof_arr > 0) & (ps_stat_arr > thr_table_s[ps_dof_arr])
+    met_ps = _window_met(
+        (pos_ps & push_true).transpose(0, 2, 1).reshape(N * p_sensors, T),
+        (push_true | push_false).transpose(0, 2, 1).reshape(N * p_sensors, T),
+        ws_,
+        cs_,
+    ).reshape(N, p_sensors, T).transpose(0, 2, 1)
+    flagged_out = met_s[:, :, None] & in_stats_arr & met_ps
+
+    sensor_stat_out = np.where(act_mask, s_stat_arr, np.nan)
+    actuator_stat_out = np.where(act_mask, a_stat_arr, np.nan)
+
+    return BatchReplayResult(
+        mode_names=mode_names,
+        sensor_names=sensor_names,
+        lengths=lengths,
+        selected_mode=selected_out,
+        state_estimate=state_out,
+        actuator_estimate=actuator_out,
+        sensor_statistic=sensor_stat_out,
+        actuator_statistic=actuator_stat_out,
+        flagged=flagged_out,
+        actuator_alarm=alarm_out,
+        reports=None,
+    )

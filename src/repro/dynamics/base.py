@@ -110,6 +110,64 @@ class RobotModel(ABC):
         return numerical_jacobian(lambda u: self.f(state, u), control)
 
     # ------------------------------------------------------------------
+    # Batched dynamics (stacked NUISE kernels)
+    # ------------------------------------------------------------------
+    def f_batch(self, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        """:meth:`f` over leading batch axes: ``(B, n), (B, l) -> (B, n)``.
+
+        Default: a Python loop over rows. Built-in models override with a
+        vectorized expression so the stacked replay lattice advances every
+        mission with a handful of array ops.
+        """
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        if states.shape[0] == 0:
+            return np.zeros((0, self._state_dim))
+        return np.stack([self.f(x, u) for x, u in zip(states, controls)])
+
+    def jacobian_state_batch(self, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        """:meth:`jacobian_state` over a batch: ``-> (B, n, n)``."""
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        if states.shape[0] == 0:
+            return np.zeros((0, self._state_dim, self._state_dim))
+        return np.stack([self.jacobian_state(x, u) for x, u in zip(states, controls)])
+
+    def jacobian_control_batch(self, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        """:meth:`jacobian_control` over a batch: ``-> (B, n, l)``."""
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        if states.shape[0] == 0:
+            return np.zeros((0, self._state_dim, self._control_dim))
+        return np.stack([self.jacobian_control(x, u) for x, u in zip(states, controls)])
+
+    def f_and_jacobians_batch(
+        self, states: np.ndarray, controls: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(f, A, G)`` over a batch in one call.
+
+        Default: the three separate batch evaluations. Built-in models
+        override to share the twist/trigonometry subexpressions all three
+        maps need, which the stacked replay lattice calls every iteration.
+        """
+        return (
+            self.f_batch(states, controls),
+            self.jacobian_state_batch(states, controls),
+            self.jacobian_control_batch(states, controls),
+        )
+
+    def normalize_state_batch(self, states: np.ndarray) -> np.ndarray:
+        """:meth:`normalize_state` over leading batch axes (vectorized)."""
+        states = np.array(np.asarray(states, dtype=float))
+        if self._angular_states and states.size:
+            idx = list(self._angular_states)
+            vals = states[..., idx]
+            wrapped = np.mod(vals + np.pi, 2.0 * np.pi) - np.pi
+            wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+            states[..., idx] = wrapped
+        return states
+
+    # ------------------------------------------------------------------
     # Utilities
     # ------------------------------------------------------------------
     def validate_state(self, state: np.ndarray) -> np.ndarray:

@@ -98,6 +98,43 @@ class BicycleModel(RobotModel):
         jac[1, 2] = v * np.cos(theta) * dt
         return jac
 
+    def f_batch(self, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        v, delta = controls[..., 0], controls[..., 1]
+        x, y, theta = states[..., 0], states[..., 1], states[..., 2]
+        dt = self.dt
+        nx = x + v * np.cos(theta) * dt
+        ny = y + v * np.sin(theta) * dt
+        ntheta = theta + (v / self._wheelbase) * np.tan(delta) * dt
+        return np.stack([nx, ny, np.asarray(wrap_angle(ntheta))], axis=-1)
+
+    def jacobian_state_batch(self, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        v = controls[..., 0]
+        theta = states[..., 2]
+        dt = self.dt
+        jac = np.broadcast_to(np.eye(3), states.shape[:-1] + (3, 3)).copy()
+        jac[..., 0, 2] = -v * np.sin(theta) * dt
+        jac[..., 1, 2] = v * np.cos(theta) * dt
+        return jac
+
+    def jacobian_control_batch(self, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        v, delta = controls[..., 0], controls[..., 1]
+        theta = states[..., 2]
+        dt = self.dt
+        L = self._wheelbase
+        sec2 = 1.0 / np.cos(delta) ** 2
+        jac = np.zeros(states.shape[:-1] + (3, 2))
+        jac[..., 0, 0] = np.cos(theta) * dt
+        jac[..., 1, 0] = np.sin(theta) * dt
+        jac[..., 2, 0] = np.tan(delta) * dt / L
+        jac[..., 2, 1] = v * sec2 * dt / L
+        return jac
+
     def jacobian_control(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
         state = self.validate_state(state)
         control = self.validate_control(control)

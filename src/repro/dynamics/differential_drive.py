@@ -113,6 +113,139 @@ class DifferentialDriveModel(RobotModel):
             jac[1, 2] = radius * (np.sin(ntheta) - np.sin(theta))
         return jac
 
+    def _twist_batch(self, controls: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        v = 0.5 * (controls[..., 0] + controls[..., 1])
+        omega = (controls[..., 1] - controls[..., 0]) / self._wheel_base
+        return v, omega
+
+    def f_batch(self, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        v, omega = self._twist_batch(controls)
+        x, y, theta = states[..., 0], states[..., 1], states[..., 2]
+        dt = self.dt
+        small = np.abs(omega * dt) < _OMEGA_EPS
+        # Both branches are evaluated densely; the arc branch divides by an
+        # omega sanitized to 1.0 on the straight-line rows so no warnings or
+        # NaNs leak out of the unselected branch.
+        omega_safe = np.where(small, 1.0, omega)
+        radius = v / omega_safe
+        sin_t, cos_t = np.sin(theta), np.cos(theta)
+        ntheta = theta + omega * dt
+        sin_n, cos_n = np.sin(ntheta), np.cos(ntheta)
+        nx = np.where(
+            small,
+            x + v * dt * cos_t - 0.5 * v * omega * dt**2 * sin_t,
+            x + radius * (sin_n - sin_t),
+        )
+        ny = np.where(
+            small,
+            y + v * dt * sin_t + 0.5 * v * omega * dt**2 * cos_t,
+            y - radius * (cos_n - cos_t),
+        )
+        return np.stack([nx, ny, np.asarray(wrap_angle(ntheta))], axis=-1)
+
+    def jacobian_state_batch(self, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        v, omega = self._twist_batch(controls)
+        theta = states[..., 2]
+        dt = self.dt
+        small = np.abs(omega * dt) < _OMEGA_EPS
+        omega_safe = np.where(small, 1.0, omega)
+        radius = v / omega_safe
+        sin_t, cos_t = np.sin(theta), np.cos(theta)
+        ntheta = theta + omega * dt
+        sin_n, cos_n = np.sin(ntheta), np.cos(ntheta)
+        jac = np.broadcast_to(np.eye(3), states.shape[:-1] + (3, 3)).copy()
+        jac[..., 0, 2] = np.where(small, -v * sin_t * dt, radius * (cos_n - cos_t))
+        jac[..., 1, 2] = np.where(small, v * cos_t * dt, radius * (sin_n - sin_t))
+        return jac
+
+    def jacobian_control_batch(self, states: np.ndarray, controls: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        v, omega = self._twist_batch(controls)
+        theta = states[..., 2]
+        dt = self.dt
+        b = self._wheel_base
+        small = np.abs(omega * dt) < _OMEGA_EPS
+        omega_safe = np.where(small, 1.0, omega)
+        sin_t, cos_t = np.sin(theta), np.cos(theta)
+        ntheta = theta + omega * dt
+        sin_n, cos_n = np.sin(ntheta), np.cos(ntheta)
+        sin_d = sin_n - sin_t
+        cos_d = cos_n - cos_t
+        dpose = np.zeros(states.shape[:-1] + (3, 2))
+        dpose[..., 0, 0] = np.where(small, cos_t * dt, sin_d / omega_safe)
+        dpose[..., 0, 1] = np.where(
+            small,
+            -0.5 * v * sin_t * dt**2,
+            -v * sin_d / omega_safe**2 + v * dt * cos_n / omega_safe,
+        )
+        dpose[..., 1, 0] = np.where(small, sin_t * dt, -cos_d / omega_safe)
+        dpose[..., 1, 1] = np.where(
+            small,
+            0.5 * v * cos_t * dt**2,
+            v * cos_d / omega_safe**2 + v * dt * sin_n / omega_safe,
+        )
+        dpose[..., 2, 1] = dt
+        dtwist = np.array([[0.5, 0.5], [-1.0 / b, 1.0 / b]])
+        return dpose @ dtwist
+
+    def f_and_jacobians_batch(
+        self, states: np.ndarray, controls: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # One twist/trig evaluation feeds all three maps; each output
+        # expression matches its standalone batch method term for term.
+        states = np.asarray(states, dtype=float)
+        controls = np.asarray(controls, dtype=float)
+        v, omega = self._twist_batch(controls)
+        x, y, theta = states[..., 0], states[..., 1], states[..., 2]
+        dt = self.dt
+        b = self._wheel_base
+        small = np.abs(omega * dt) < _OMEGA_EPS
+        omega_safe = np.where(small, 1.0, omega)
+        radius = v / omega_safe
+        sin_t, cos_t = np.sin(theta), np.cos(theta)
+        ntheta = theta + omega * dt
+        sin_n, cos_n = np.sin(ntheta), np.cos(ntheta)
+        sin_d = sin_n - sin_t
+        cos_d = cos_n - cos_t
+
+        nx = np.where(
+            small,
+            x + v * dt * cos_t - 0.5 * v * omega * dt**2 * sin_t,
+            x + radius * sin_d,
+        )
+        ny = np.where(
+            small,
+            y + v * dt * sin_t + 0.5 * v * omega * dt**2 * cos_t,
+            y - radius * cos_d,
+        )
+        f = np.stack([nx, ny, np.asarray(wrap_angle(ntheta))], axis=-1)
+
+        A = np.broadcast_to(np.eye(3), states.shape[:-1] + (3, 3)).copy()
+        A[..., 0, 2] = np.where(small, -v * sin_t * dt, radius * cos_d)
+        A[..., 1, 2] = np.where(small, v * cos_t * dt, radius * sin_d)
+
+        dpose = np.zeros(states.shape[:-1] + (3, 2))
+        dpose[..., 0, 0] = np.where(small, cos_t * dt, sin_d / omega_safe)
+        dpose[..., 0, 1] = np.where(
+            small,
+            -0.5 * v * sin_t * dt**2,
+            -v * sin_d / omega_safe**2 + v * dt * cos_n / omega_safe,
+        )
+        dpose[..., 1, 0] = np.where(small, sin_t * dt, -cos_d / omega_safe)
+        dpose[..., 1, 1] = np.where(
+            small,
+            0.5 * v * cos_t * dt**2,
+            v * cos_d / omega_safe**2 + v * dt * sin_n / omega_safe,
+        )
+        dpose[..., 2, 1] = dt
+        dtwist = np.array([[0.5, 0.5], [-1.0 / b, 1.0 / b]])
+        return f, A, dpose @ dtwist
+
     def jacobian_control(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
         # The chain rule through (v, omega) is exact; the (v, omega) -> pose
         # part is differentiated analytically below.

@@ -24,6 +24,7 @@ from .errors import DimensionError
 
 __all__ = [
     "symmetrize",
+    "symmetrize_stacked",
     "project_psd",
     "pseudo_inverse",
     "pseudo_determinant",
@@ -31,6 +32,12 @@ __all__ = [
     "chol_psd",
     "chol_solve",
     "solve_psd",
+    "stacked_chol_mask",
+    "stacked_solve_psd",
+    "stacked_pinv_and_pdet",
+    "stacked_project_psd",
+    "stacked_gaussian_likelihood_pinv",
+    "wrap_residual_stacked",
     "gaussian_likelihood",
     "gaussian_likelihood_chol",
     "gaussian_likelihood_pinv",
@@ -243,6 +250,225 @@ def solve_psd(matrix: np.ndarray, rhs: np.ndarray, tol: float = EIG_TOL) -> np.n
     if factor is None:
         return pseudo_inverse(matrix, tol) @ rhs
     return chol_solve(factor, rhs)
+
+
+def symmetrize_stacked(matrices: np.ndarray) -> np.ndarray:
+    """Symmetric part of a stack of square matrices (``(..., n, n)``)."""
+    matrices = np.asarray(matrices, dtype=float)
+    return 0.5 * (matrices + matrices.swapaxes(-1, -2))
+
+
+def _chol_recurrence(sym: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Column-by-column batched Cholesky that masks instead of raising.
+
+    The Cholesky–Banachiewicz recurrence, vectorized over the batch axes: a
+    nonpositive (or non-finite) pivot marks its cell failed and is replaced
+    by 1 so the remaining columns stay finite, instead of aborting the whole
+    batch the way LAPACK does. The loop runs over the ``n`` columns only —
+    reference stacks are a handful of entries wide — never over the batch.
+    Factors of failed cells are garbage and must be gated by ``ok``.
+    """
+    n = sym.shape[-1]
+    lower = np.zeros_like(sym)
+    ok = np.ones(sym.shape[:-2], dtype=bool)
+    for j in range(n):
+        row_j = lower[..., j, :j]
+        pivot_sq = sym[..., j, j] - (row_j * row_j).sum(axis=-1)
+        good = pivot_sq > 0.0
+        ok &= good
+        pivot = np.sqrt(np.where(good, pivot_sq, 1.0))
+        lower[..., j, j] = pivot
+        if j + 1 < n:
+            below = sym[..., j + 1 :, j] - (lower[..., j + 1 :, :j] @ row_j[..., None])[
+                ..., 0
+            ]
+            lower[..., j + 1 :, j] = below / pivot[..., None]
+    return lower, ok
+
+
+def stacked_chol_mask(
+    matrices: np.ndarray,
+    tol: float = EIG_TOL,
+    diag_mask: np.ndarray | None = None,
+    assume_symmetric: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Cholesky certificate over a stack of symmetric matrices.
+
+    Returns ``(lower, ok)`` where ``lower`` holds the Cholesky factor of each
+    cell for which ``ok`` is True. A cell is accepted on exactly the
+    :func:`chol_psd` terms: the factorization must succeed and the squared
+    diagonal ratio must clear the ``_CHOL_MARGIN * tol`` conditioning margin;
+    everything else is left for the caller's per-cell pseudo-inverse fallback.
+
+    ``diag_mask`` (broadcastable to ``(..., n)``) restricts the conditioning
+    ratio to the masked diagonal entries: callers that pad heterogeneous
+    blocks to a shared size with exact identity rows use it so the padding
+    cannot tilt the certificate away from the unpadded decision.
+    ``assume_symmetric`` skips the (idempotent) symmetrization for inputs
+    that are already exactly symmetric.
+
+    ``np.linalg.cholesky`` raises on the *whole* batch if any one cell is
+    indefinite, so a mixed batch re-factors through a vectorized
+    Cholesky–Banachiewicz recurrence that poisons failing pivots instead of
+    raising — singular cells are a normal operating regime (standstill
+    iterations), not an exception, and must not trigger per-cell Python
+    loops. ``lower`` is only meaningful where ``ok`` is True.
+    """
+    sym = matrices if assume_symmetric else symmetrize_stacked(matrices)
+    batch = sym.shape[:-2]
+    n = sym.shape[-1]
+    if n == 0 or sym.size == 0:
+        return np.zeros_like(sym), np.zeros(batch, dtype=bool)
+    try:
+        lower = np.linalg.cholesky(sym)
+        ok = np.ones(batch, dtype=bool)
+    except np.linalg.LinAlgError:
+        lower, ok = _chol_recurrence(sym)
+    diag = np.diagonal(lower, axis1=-2, axis2=-1)
+    if diag_mask is not None:
+        d_max = np.where(diag_mask, diag, -np.inf).max(axis=-1)
+        d_min = np.where(diag_mask, diag, np.inf).min(axis=-1)
+    else:
+        d_max = diag.max(axis=-1)
+        d_min = diag.min(axis=-1)
+    safe = np.where(d_max > 0.0, d_max, 1.0)
+    ratio_sq = (d_min / safe) ** 2
+    ok &= np.isfinite(d_max) & (d_max > 0.0) & (ratio_sq > _CHOL_MARGIN * tol)
+    return lower, ok
+
+
+def stacked_solve_psd(
+    matrices: np.ndarray,
+    rhs: np.ndarray,
+    tol: float = EIG_TOL,
+    diag_mask: np.ndarray | None = None,
+    assume_symmetric: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ``pinv(M) @ rhs`` over stacks ``(..., n, n)`` / ``(..., n, k)``.
+
+    Cells that pass the :func:`stacked_chol_mask` certificate are solved with
+    one batched ``np.linalg.solve`` call; the rest fall back per cell to the
+    :func:`pseudo_inverse` spectral-truncation path, exactly as the serial
+    :func:`solve_psd` would. ``diag_mask`` and ``assume_symmetric`` are
+    forwarded to the certificate (see :func:`stacked_chol_mask`). Returns
+    ``(solution, fallback_mask)`` so callers can surface conditioning
+    regressions through telemetry.
+    """
+    sym = matrices if assume_symmetric else symmetrize_stacked(matrices)
+    rhs = np.asarray(rhs, dtype=float)
+    batch = sym.shape[:-2]
+    n = sym.shape[-1]
+    k = rhs.shape[-1]
+    _, ok = stacked_chol_mask(sym, tol, diag_mask=diag_mask, assume_symmetric=True)
+    if ok.all():
+        # Homogeneous well-conditioned batch (the every-iteration case):
+        # one gufunc call, no masking copies.
+        return np.linalg.solve(sym, rhs), ~ok
+    rhs_full = np.broadcast_to(rhs, batch + (n, k))
+    out = np.empty(batch + (n, k))
+    if ok.any():
+        out[ok] = np.linalg.solve(sym[ok], rhs_full[ok])
+    bad = ~ok
+    for idx in zip(*np.nonzero(bad)):
+        out[idx] = pseudo_inverse(sym[idx], tol) @ rhs_full[idx]
+    return out, bad
+
+
+def stacked_pinv_and_pdet(
+    matrices: np.ndarray,
+    tol: float = EIG_TOL,
+    abs_tol: float | np.ndarray = 0.0,
+    assume_symmetric: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :func:`pinv_and_pdet` over a stack of symmetric matrices.
+
+    ``abs_tol`` broadcasts over the batch axes so each cell can carry its own
+    noise-scale floor. Per cell the result is bit-identical to the serial
+    helper: batched ``eigh`` factors each slice with the same algorithm, and
+    the masked product over kept eigenvalues multiplies the same values in
+    the same order.
+    """
+    sym = matrices if assume_symmetric else symmetrize_stacked(matrices)
+    batch = sym.shape[:-2]
+    n = sym.shape[-1]
+    if n == 0:
+        return (
+            np.zeros_like(sym),
+            np.ones(batch),
+            np.zeros(batch, dtype=int),
+        )
+    eigvals, eigvecs = np.linalg.eigh(sym)
+    abs_vals = np.abs(eigvals)
+    scale = abs_vals.max(axis=-1)
+    cutoff = np.maximum(tol * scale, np.asarray(abs_tol, dtype=float))
+    keep = (abs_vals > cutoff[..., None]) & (scale[..., None] > 0.0)
+    inv_vals = np.where(keep, 1.0 / np.where(keep, eigvals, 1.0), 0.0)
+    pinv = symmetrize_stacked((eigvecs * inv_vals[..., None, :]) @ eigvecs.swapaxes(-1, -2))
+    rank = keep.sum(axis=-1)
+    pdet = np.where(keep, eigvals, 1.0).prod(axis=-1)
+    pdet = np.where(rank > 0, pdet, 1.0)
+    return pinv, pdet, rank
+
+
+def stacked_project_psd(
+    matrices: np.ndarray, assume_symmetric: bool = False
+) -> np.ndarray:
+    """Batched :func:`project_psd` (floor 0) over a stack of matrices.
+
+    Positive-definite cells are certified by one batched Cholesky and pass
+    through unchanged (the serial fast path); numerically-indefinite
+    stragglers are eigen-clipped per cell with the serial helper.
+    """
+    sym = matrices if assume_symmetric else symmetrize_stacked(matrices)
+    n = sym.shape[-1]
+    if n == 0 or sym.size == 0:
+        return sym
+    try:
+        np.linalg.cholesky(sym)
+        return sym
+    except np.linalg.LinAlgError:
+        pass
+    flat = sym.reshape((-1, n, n))
+    out = flat.copy()
+    for i in range(flat.shape[0]):
+        try:
+            np.linalg.cholesky(flat[i])
+        except np.linalg.LinAlgError:
+            out[i] = project_psd(flat[i])
+    return out.reshape(sym.shape)
+
+
+def stacked_gaussian_likelihood_pinv(
+    residuals: np.ndarray, pinv: np.ndarray, pdet: np.ndarray, rank: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`gaussian_likelihood_pinv` (Algorithm 2 line 20).
+
+    ``residuals`` has shape ``(..., m)``; ``pinv``/``pdet``/``rank`` come from
+    :func:`stacked_pinv_and_pdet`. Rank-0 cells yield likelihood 1.0 exactly
+    as the serial helper does.
+    """
+    residuals = np.asarray(residuals, dtype=float)
+    if residuals.shape[-1] == 0:
+        return np.ones(residuals.shape[:-1])
+    tmp = (pinv @ residuals[..., None])[..., 0]
+    quad = (residuals * tmp).sum(axis=-1)
+    norm = (2.0 * np.pi) ** (rank / 2.0) * np.sqrt(np.maximum(pdet, np.finfo(float).tiny))
+    with np.errstate(over="ignore", under="ignore"):
+        lik = np.exp(-0.5 * quad) / norm
+    return np.where(rank == 0, 1.0, lik)
+
+
+def wrap_residual_stacked(residuals: np.ndarray, angular_mask: np.ndarray) -> np.ndarray:
+    """Wrap angular components of stacked residuals ``(..., m)``.
+
+    ``angular_mask`` broadcasts against the residual stack; masked entries
+    get the :func:`wrap_angle` treatment (including the ``+pi`` convention at
+    the branch cut), the rest pass through untouched.
+    """
+    residuals = np.asarray(residuals, dtype=float)
+    wrapped = np.mod(residuals + np.pi, 2.0 * np.pi) - np.pi
+    wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+    return np.where(angular_mask, wrapped, residuals)
 
 
 def mahalanobis_squared(residual: np.ndarray, covariance: np.ndarray, tol: float = EIG_TOL) -> float:

@@ -98,6 +98,11 @@ class ModeBankEvent(TelemetryEvent):
     held_modes:
         Modes whose measurement update was skipped this iteration (their
         entire reference block was undelivered; probability held).
+    solver_fallbacks:
+        Per-mode count of unknown-input solves that left the Cholesky fast
+        path for the pseudo-inverse fallback this iteration (0–2 per mode:
+        the ``R*`` solve and the normal-equations solve). Persistent nonzero
+        counts outside standstill phases indicate a conditioning regression.
     """
 
     probabilities: dict[str, float]
@@ -107,6 +112,7 @@ class ModeBankEvent(TelemetryEvent):
     actuator_estimates: dict[str, list]
     sensor_estimates: dict[str, list]
     held_modes: tuple[str, ...] = ()
+    solver_fallbacks: dict[str, int] = field(default_factory=dict)
 
     kind = "mode_bank"
 

@@ -114,6 +114,38 @@ class Sensor(ABC):
         state = as_vector(state, self._state_dim, "state")
         return numerical_jacobian(self.h, state)
 
+    def h_batch(self, states: np.ndarray) -> np.ndarray:
+        """:meth:`h` over a batch of states: ``(B, n) -> (B, dim)``.
+
+        Default: a Python loop. Built-in sensors override with vectorized
+        expressions for the stacked NUISE kernels.
+        """
+        states = np.asarray(states, dtype=float)
+        if states.shape[0] == 0:
+            return np.zeros((0, self._dim))
+        return np.stack([self.h(s) for s in states])
+
+    @property
+    def constant_jacobian(self) -> np.ndarray | None:
+        """The measurement Jacobian when it is state-independent, else None.
+
+        Sensors whose ``h`` is affine in the state (pose selections, wall
+        distances) expose their constant ``C_i`` here so batched
+        linearization can broadcast one cached stack instead of
+        re-concatenating per call.
+        """
+        return None
+
+    def jacobian_batch(self, states: np.ndarray) -> np.ndarray:
+        """:meth:`jacobian` over a batch of states: ``-> (B, dim, n)``.
+
+        May return a read-only broadcast view when the Jacobian is constant.
+        """
+        states = np.asarray(states, dtype=float)
+        if states.shape[0] == 0:
+            return np.zeros((0, self._dim, self._state_dim))
+        return np.stack([self.jacobian(s) for s in states])
+
     def residual(self, reading: np.ndarray, state: np.ndarray) -> np.ndarray:
         """``z - h(x)`` with angular components wrapped to (-pi, pi]."""
         reading = as_vector(reading, self._dim, f"{self._name} reading")

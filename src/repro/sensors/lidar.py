@@ -111,6 +111,24 @@ class WallDistanceSensor(Sensor):
         # heading feature is a state component.
         return self._jac_const.copy()
 
+    @property
+    def constant_jacobian(self) -> np.ndarray:
+        return self._jac_const
+
+    def h_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        ix, iy, itheta = self._idx
+        out = np.empty(states.shape[:-1] + (self.dim,))
+        out[..., :-1] = states[..., (ix, iy)] @ self._normals.T + self._offsets
+        out[..., -1] = states[..., itheta]
+        return out
+
+    def jacobian_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        return np.broadcast_to(
+            self._jac_const, states.shape[:-1] + self._jac_const.shape
+        )
+
 
 @dataclass(frozen=True)
 class LidarScan:

@@ -61,16 +61,31 @@ class PoseSensorBase(Sensor):
         for i in self._idx:
             if not 0 <= i < state_dim:
                 raise ConfigurationError(f"pose index {i} out of state range")
+        jac = np.zeros((3, state_dim))
+        for row, col in enumerate(self._idx):
+            jac[row, col] = 1.0
+        self._jac_const = jac
 
     def h(self, state: np.ndarray) -> np.ndarray:
         state = np.asarray(state, dtype=float)
         return state[list(self._idx)]
 
     def jacobian(self, state: np.ndarray) -> np.ndarray:
-        jac = np.zeros((3, self._state_dim))
-        for row, col in enumerate(self._idx):
-            jac[row, col] = 1.0
-        return jac
+        return self._jac_const.copy()
+
+    @property
+    def constant_jacobian(self) -> np.ndarray:
+        return self._jac_const
+
+    def h_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        return states[..., list(self._idx)]
+
+    def jacobian_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        return np.broadcast_to(
+            self._jac_const, states.shape[:-1] + (3, self._state_dim)
+        )
 
 
 class IPS(PoseSensorBase):

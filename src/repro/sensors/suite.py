@@ -65,6 +65,12 @@ class SensorGroup(Sensor):
     def jacobian(self, state: np.ndarray) -> np.ndarray:
         return np.vstack([s.jacobian(state) for s in self._members])
 
+    def h_batch(self, states: np.ndarray) -> np.ndarray:
+        return np.concatenate([s.h_batch(states) for s in self._members], axis=-1)
+
+    def jacobian_batch(self, states: np.ndarray) -> np.ndarray:
+        return np.concatenate([s.jacobian_batch(states) for s in self._members], axis=-2)
+
     def measure(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         return np.concatenate([s.measure(state, rng) for s in self._members])
 
@@ -93,6 +99,13 @@ class SensorSuite:
         # control iteration; resolving them through set algebra each time is
         # measurable in the hot path.
         self._select_cache: dict[tuple[str, ...] | None, tuple[Sensor, ...]] = {}
+        # Constant-Jacobian cache keyed like the selection cache: when every
+        # selected sensor is affine in the state, the stacked Jacobian is one
+        # precomputed block broadcast over the batch instead of a per-call
+        # concatenation (False = not resolved yet, None = not constant).
+        self._const_jac_cache: dict[
+            tuple[str, ...] | None, np.ndarray | None | bool
+        ] = {}
 
     # ------------------------------------------------------------------
     # Metadata
@@ -155,6 +168,33 @@ class SensorSuite:
     def jacobian(self, state: np.ndarray, names: Sequence[str] | None = None) -> np.ndarray:
         sensors = self._select(names)
         return np.vstack([s.jacobian(state) for s in sensors])
+
+    def h_batch(self, states: np.ndarray, names: Sequence[str] | None = None) -> np.ndarray:
+        """Stacked measurement over a batch of states: ``(B, n) -> (B, m)``."""
+        sensors = self._select(names)
+        return np.concatenate([s.h_batch(states) for s in sensors], axis=-1)
+
+    def jacobian_batch(self, states: np.ndarray, names: Sequence[str] | None = None) -> np.ndarray:
+        """Stacked Jacobian over a batch of states: ``(B, n) -> (B, m, n)``.
+
+        When every selected sensor has a :attr:`Sensor.constant_jacobian`
+        the result is a read-only broadcast view of one cached stack.
+        """
+        states = np.asarray(states, dtype=float)
+        key = None if names is None else tuple(names)
+        cached = self._const_jac_cache.get(key, False)
+        if cached is False:
+            consts = [s.constant_jacobian for s in self._select(names)]
+            cached = (
+                np.concatenate(consts, axis=0)
+                if consts and all(c is not None for c in consts)
+                else None
+            )
+            self._const_jac_cache[key] = cached
+        if cached is not None:
+            return np.broadcast_to(cached, states.shape[:-1] + cached.shape)
+        sensors = self._select(names)
+        return np.concatenate([s.jacobian_batch(states) for s in sensors], axis=-2)
 
     def covariance(self, names: Sequence[str] | None = None) -> np.ndarray:
         sensors = self._select(names)

@@ -153,7 +153,11 @@ def test_batch_zero_length_next_to_real_trace(khepera, short_traces):
     assert len(batch.trace_reports(0)) == 0
     alone = replay_batch(khepera.detector(), [trace], keep_reports=False)
     np.testing.assert_array_equal(batch.selected_mode[1], alone.selected_mode[0])
-    np.testing.assert_array_equal(batch.state_estimate[1], alone.state_estimate[0])
+    # keep_reports=False engages the lattice, which agrees with the serial
+    # path to solver round-off (documented in replay_batch), not bit-for-bit.
+    np.testing.assert_allclose(
+        batch.state_estimate[1], alone.state_estimate[0], rtol=0.0, atol=1e-8
+    )
 
 
 def test_batch_wildly_different_lengths(khepera, short_traces):

@@ -1,0 +1,29 @@
+"""Opt-in CI perf regression gate (``pytest -m perf_gate``).
+
+Runs ``scripts/check_perf.py``: the ``perf`` benchmark group is measured
+fresh and each mean compared against the committed ``BENCH_perf.json``; a
+>25% regression fails. Excluded from default runs (like ``bench_smoke``)
+because it re-runs the benchmarks — wire it into CI as a separate job.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.perf_gate
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_perf_regression_gate():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_perf.py")],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, (
+        f"perf gate failed:\n{proc.stdout}\n{proc.stderr}"
+    )

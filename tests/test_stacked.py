@@ -1,0 +1,302 @@
+"""Stacked (mission, mode) lattice vs the serial replay path.
+
+The stacked kernels (:mod:`repro.core.stacked`) replace the per-mode
+Python loop and back-to-back mission replay with one vectorized lattice.
+They intentionally reassociate a handful of matmuls on the ``fast_gain``
+path, so agreement with the serial filter is pinned at 1e-8 (solver
+round-off), not bit-for-bit — while every *decision* (selected mode,
+flagged sensors, actuator alarms) must match exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.attacks.catalog import khepera_scenarios, tamiya_scenarios
+from repro.core.batch import replay_batch
+from repro.core.chi2 import anomaly_statistic, anomaly_statistic_stacked
+from repro.core.stacked import _window_met
+from repro.eval.runner import run_scenario
+from repro.linalg import _chol_recurrence, stacked_chol_mask
+from repro.obs.telemetry import RecordingTelemetry
+from repro.sim.faults import uniform_dropout_schedule
+
+ATOL = 1e-8
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _standstill_traces(rig, control, n_traces, n_steps, seed=0):
+    """Parked-robot logs replayed against *control*. With a parked Ackermann
+    rig steering hard, ``C2 G`` is rank deficient at every iteration, so
+    each one exercises the batched pseudo-inverse fallback."""
+    rng = np.random.default_rng(seed)
+    state = np.array(rig.mission.start_pose, dtype=float)
+    control = np.asarray(control, dtype=float)
+    return [
+        (
+            [control.copy() for _ in range(n_steps)],
+            [rig.suite.measure(state, rng) for _ in range(n_steps)],
+        )
+        for _ in range(n_traces)
+    ]
+
+
+def _assert_batches_agree(stacked, serial, atol=ATOL):
+    """Stacked lattice vs serial replay: decisions exact, floats to *atol*."""
+    np.testing.assert_array_equal(stacked.lengths, serial.lengths)
+    np.testing.assert_array_equal(stacked.selected_mode, serial.selected_mode)
+    np.testing.assert_array_equal(stacked.flagged, serial.flagged)
+    np.testing.assert_array_equal(stacked.actuator_alarm, serial.actuator_alarm)
+    for field in ("state_estimate", "actuator_estimate", "sensor_statistic", "actuator_statistic"):
+        np.testing.assert_allclose(
+            getattr(stacked, field),
+            getattr(serial, field),
+            rtol=0.0,
+            atol=atol,
+            equal_nan=True,
+            err_msg=field,
+        )
+
+
+def _replay_both(rig, traces):
+    stacked = replay_batch(rig.detector(), traces, keep_reports=False, stacked=True)
+    serial = replay_batch(rig.detector(), traces, keep_reports=False, stacked=False)
+    return stacked, serial
+
+
+# ----------------------------------------------------------------------
+# 200-step mission equivalence (khepera and tamiya)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def khepera_missions(khepera):
+    """Three 200-step khepera missions: clean, attacked, attacked."""
+    scenarios = khepera_scenarios()
+    duration = 200 * khepera.model.dt
+    return [
+        run_scenario(
+            khepera, sc, seed=seed, duration=duration, stop_at_goal=False
+        ).trace
+        for sc, seed in ((None, 3), (scenarios[0], 4), (scenarios[1], 5))
+    ]
+
+
+def test_stacked_matches_serial_khepera_200_steps(khepera, khepera_missions):
+    assert all(len(t) >= 200 for t in khepera_missions)
+    stacked, serial = _replay_both(khepera, khepera_missions)
+    _assert_batches_agree(stacked, serial)
+
+
+def test_stacked_matches_serial_tamiya_200_steps(tamiya):
+    duration = 200 * tamiya.model.dt
+    traces = [
+        run_scenario(
+            tamiya, sc, seed=seed, duration=duration, stop_at_goal=False
+        ).trace
+        for sc, seed in ((None, 3), (tamiya_scenarios()[0], 4))
+    ]
+    assert all(len(t) >= 200 for t in traces)
+    stacked, serial = _replay_both(tamiya, traces)
+    _assert_batches_agree(stacked, serial)
+
+
+# ----------------------------------------------------------------------
+# Degraded availability masks
+# ----------------------------------------------------------------------
+def test_stacked_matches_serial_with_degraded_masks(khepera, khepera_missions):
+    """Iterations with restricted sensor availability take the serial
+    per-mission path inside the lattice; mixing them with healthy missions
+    must not perturb either side."""
+    faults = uniform_dropout_schedule(tuple(khepera.suite.names), 0.35, seed=11)
+    degraded = run_scenario(
+        khepera,
+        None,
+        seed=6,
+        duration=200 * khepera.model.dt,
+        stop_at_goal=False,
+        faults=faults,
+    ).trace
+    full_set = set(khepera.suite.names)
+    restricted = [
+        a
+        for a in (degraded.availability or [])
+        if a is not None and set(a) != full_set
+    ]
+    assert restricted, "fixture should actually restrict availability"
+    traces = [khepera_missions[0], degraded, khepera_missions[1]]
+    stacked, serial = _replay_both(khepera, traces)
+    _assert_batches_agree(stacked, serial)
+
+
+# ----------------------------------------------------------------------
+# Rank-deficient standstill fallback
+# ----------------------------------------------------------------------
+def test_stacked_standstill_rank_deficient_fallback(tamiya):
+    """A parked Ackermann rig steering hard is rank deficient at every step
+    (the serial bank's telemetry confirms pseudo-inverse fallbacks fire);
+    the stacked bank's batched fallback must reproduce the serial
+    minimum-norm results."""
+    traces = _standstill_traces(tamiya, [0.0, 0.3], 4, 30, seed=2)
+
+    # Establish the regime on the serial path: solver fallbacks every step.
+    telemetry = RecordingTelemetry()
+    detector = tamiya.detector()
+    detector.attach_telemetry(telemetry)
+    serial = replay_batch(detector, traces[:1], keep_reports=False, stacked=False)
+    bank_events = telemetry.events_of("mode_bank")
+    assert bank_events, "telemetry should record mode-bank events"
+    assert all(any(e.solver_fallbacks.values()) for e in bank_events)
+
+    stacked = replay_batch(tamiya.detector(), traces[:1], keep_reports=False, stacked=True)
+    _assert_batches_agree(stacked, serial)
+
+    # And across a whole standstill batch (each mission hits the fallback).
+    stacked, serial = _replay_both(tamiya, traces)
+    _assert_batches_agree(stacked, serial)
+
+
+# ----------------------------------------------------------------------
+# Skewed-length mission batches
+# ----------------------------------------------------------------------
+def test_stacked_skewed_lengths_zero_and_10x(khepera, khepera_missions):
+    """A zero-length raw pair, a 20-step stub, and a 200-step mission (10x
+    skew) replay together: missions drop out of the active lattice as they
+    end, and padding semantics match the serial path exactly."""
+    full = khepera_missions[1]
+    stub = (full.planned_controls[:20], full.readings[:20])
+    empty = ([], [])
+    traces = [empty, stub, full]
+    stacked, serial = _replay_both(khepera, traces)
+    _assert_batches_agree(stacked, serial)
+
+    assert stacked.lengths.tolist() == [0, 20, len(full)]
+    assert stacked.max_length == len(full)
+    assert np.all(stacked.selected_mode[0] == -1)
+    assert np.all(np.isnan(stacked.state_estimate[0]))
+    assert np.all(stacked.selected_mode[1, 20:] == -1)
+    assert np.all(np.isnan(stacked.sensor_statistic[1, 20:]))
+    assert not stacked.flagged[1, 20:].any()
+    assert np.all(stacked.selected_mode[2] >= 0)
+
+
+# ----------------------------------------------------------------------
+# Kernel unit tests
+# ----------------------------------------------------------------------
+def test_window_met_matches_deque_reference(rng):
+    """`_window_met`'s two-cumsum trick equals the serial ring buffer."""
+    for window, criteria in ((1, 1), (4, 2), (5, 5), (6, 3)):
+        values = rng.random((7, 40)) < 0.5
+        pushed = rng.random((7, 40)) < 0.7
+        got = _window_met(values, pushed, window, criteria)
+        for row in range(values.shape[0]):
+            ring: deque = deque(maxlen=window)
+            for k in range(values.shape[1]):
+                if pushed[row, k]:
+                    ring.append(bool(values[row, k]))
+                assert got[row, k] == (sum(ring) >= criteria), (
+                    f"window={window} criteria={criteria} row={row} step={k}"
+                )
+
+
+def test_window_met_empty_axes():
+    assert _window_met(np.zeros((0, 5)), np.zeros((0, 5), dtype=bool), 3, 1).shape == (0, 5)
+    assert _window_met(np.zeros((2, 0)), np.zeros((2, 0), dtype=bool), 3, 1).shape == (2, 0)
+
+
+def test_chol_recurrence_mixed_batch(rng):
+    """The masking recurrence factors PSD cells exactly and flags the
+    indefinite ones instead of raising like LAPACK."""
+    n = 4
+    a = rng.standard_normal((6, n, n))
+    spd = a @ a.swapaxes(-1, -2) + n * np.eye(n)
+    bad = spd.copy()
+    bad[1] = np.eye(n)
+    bad[1, 2, 2] = -1.0  # negative pivot
+    bad[4] = np.ones((n, n))  # rank one: zero pivot in column 1
+    lower, ok = _chol_recurrence(bad)
+    assert ok.tolist() == [True, False, True, True, False, True]
+    np.testing.assert_allclose(lower[ok], np.linalg.cholesky(bad[ok]), rtol=0, atol=1e-12)
+    assert np.all(np.isfinite(lower))  # failed cells poisoned, not NaN
+
+
+def test_stacked_chol_mask_certificate(rng):
+    """Well-conditioned cells pass; singular cells are masked out so the
+    caller's pseudo-inverse fallback (not an exception) handles them."""
+    n = 3
+    a = rng.standard_normal((5, n, n))
+    mats = a @ a.swapaxes(-1, -2) + n * np.eye(n)
+    v = rng.standard_normal(n)
+    mats[2] = np.outer(v, v)  # exactly singular
+    lower, ok = stacked_chol_mask(mats)
+    assert ok.tolist() == [True, True, False, True, True]
+    recon = lower[ok] @ lower[ok].swapaxes(-1, -2)
+    np.testing.assert_allclose(recon, mats[ok], rtol=0, atol=1e-10)
+
+
+def test_anomaly_statistic_stacked_matches_serial(rng):
+    """Padded heterogeneous cells (dims 0..d_max, incl. a rank-deficient
+    one) reproduce the per-cell serial statistic and dof."""
+    d_max = 4
+    dims = np.array([4, 2, 0, 1, 3, 2])
+    count = dims.size
+    estimates = np.zeros((count, d_max))
+    covariances = np.broadcast_to(np.eye(d_max), (count, d_max, d_max)).copy()
+    serial = []
+    for i, d in enumerate(dims):
+        est = rng.standard_normal(d)
+        a = rng.standard_normal((d, d))
+        cov = a @ a.T + 0.1 * np.eye(d)
+        if i == 4:  # rank-deficient cell: serial pinv semantics must survive
+            cov[-1] = cov[0]
+            cov[:, -1] = cov[:, 0]
+            cov[-1, -1] = cov[0, 0]
+        estimates[i, :d] = est
+        covariances[i, :d, :d] = cov
+        serial.append(anomaly_statistic(est, cov) if d else (0.0, 0))
+    stats, dofs = anomaly_statistic_stacked(estimates, covariances, dims)
+    for i, (stat, dof) in enumerate(serial):
+        assert dofs[i] == dof
+        assert stats[i] == pytest.approx(stat, rel=1e-10, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Shared-linearization building blocks
+# ----------------------------------------------------------------------
+def test_constant_jacobian_sensors_match_pointwise(khepera, rng):
+    """Every sensor advertising a constant Jacobian must return exactly the
+    pointwise Jacobian at arbitrary states (the suite's broadcast cache
+    depends on it)."""
+    states = rng.standard_normal((8, khepera.model.state_dim))
+    advertised = 0
+    for sensor in khepera.suite.sensors:
+        const = sensor.constant_jacobian
+        if const is None:
+            continue
+        advertised += 1
+        for x in states:
+            np.testing.assert_array_equal(const, sensor.jacobian(x))
+    assert advertised > 0, "khepera's affine sensors should advertise constants"
+
+    batched = khepera.suite.jacobian_batch(states)
+    pointwise = np.stack([khepera.suite.jacobian(x) for x in states])
+    np.testing.assert_array_equal(batched, pointwise)
+
+
+def test_fused_dynamics_bit_exact(khepera, tamiya, rng):
+    """`f_and_jacobians_batch` shares subexpressions but every output must be
+    bit-identical to the standalone batch methods (the lattice's goldens
+    depend on it), including near-zero turn rates."""
+    for rig in (khepera, tamiya):
+        model = rig.model
+        states = rng.standard_normal((10, model.state_dim))
+        controls = 0.3 * rng.standard_normal((10, model.control_dim))
+        controls[3] = 0.0  # standstill
+        controls[4, -1] = 1e-13  # straight-line small-omega branch
+        f, A, G = model.f_and_jacobians_batch(states, controls)
+        np.testing.assert_array_equal(f, model.f_batch(states, controls))
+        np.testing.assert_array_equal(A, model.jacobian_state_batch(states, controls))
+        np.testing.assert_array_equal(G, model.jacobian_control_batch(states, controls))
