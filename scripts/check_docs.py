@@ -7,8 +7,9 @@ Two independent checks, both offline and fast (<1 s):
    the ``docs/`` pages must resolve to an existing file inside the repo
    (anchors are stripped; ``http(s)``/``mailto`` targets are skipped).
 2. **Docstring lint** — the documented-API modules
-   (``core/engine.py``, ``core/decision.py``, ``sim/faults.py`` and the
-   whole ``obs/`` package) must carry docstrings on the module and on
+   (``core/engine.py``, ``core/decision.py``, ``sim/faults.py``, the
+   whole ``obs/`` and ``serve/`` packages and
+   ``eval/session_replay.py``) must carry docstrings on the module and on
    every public class, function and method. This is the
    pydocstyle D100/D101/D102/D103 subset, reimplemented on ``ast`` so the
    gate runs without ruff/pydocstyle installed; the matching ruff config
@@ -36,6 +37,7 @@ MARKDOWN_FILES = (
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
     "docs/ROBUSTNESS.md",
+    "docs/STREAMING.md",
     "docs/THEORY.md",
 )
 
@@ -48,6 +50,14 @@ DOCSTRING_MODULES = (
     "src/repro/obs/telemetry.py",
     "src/repro/obs/timing.py",
     "src/repro/obs/export.py",
+    "src/repro/serve/__init__.py",
+    "src/repro/serve/messages.py",
+    "src/repro/serve/ingest.py",
+    "src/repro/serve/session.py",
+    "src/repro/serve/snapshot.py",
+    "src/repro/serve/service.py",
+    "src/repro/serve/adapter.py",
+    "src/repro/eval/session_replay.py",
 )
 
 # Inline links/images: [text](target) / ![alt](target). Reference-style

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Tier-2 smoke check: the streaming layer must equal batch, quickly.
+
+Usage (from the repository root)::
+
+    python scripts/serve_smoke.py [--duration S] [--robots N]
+
+Runs one short Khepera mission and pushes it through every streaming
+surface, enforcing the acceptance criteria from docs/STREAMING.md:
+
+* a :class:`~repro.serve.session.DetectorSession` fed the mission
+  message-by-message is bit-identical to the batch replay reports,
+* interrupting the stream with checkpoint → pickle → restore into a fresh
+  detector (worker migration) changes nothing,
+* a :class:`~repro.serve.service.FleetService` hosting N concurrent
+  sessions — some with stale redeliveries in their streams — reproduces
+  the same reports for every robot, with backpressure engaged on its
+  bounded ingest queues,
+* the whole check finishes in under 60 seconds.
+
+Exit status is non-zero on any violation, so CI can gate on it.
+``tests/test_serve_smoke.py`` runs a scaled-down variant as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.eval.runner import run_scenario  # noqa: E402
+from repro.eval.session_replay import report_drift, stream_trace  # noqa: E402
+from repro.robots.khepera import khepera_rig  # noqa: E402
+from repro.serve import DetectorSession, FleetService, trace_messages  # noqa: E402
+
+TIME_BUDGET_S = 60.0
+QUEUE_CAPACITY = 4
+CHECKPOINT_EVERY = 10
+
+
+async def _run_fleet(rig, messages, n_robots: int):
+    """Host *n_robots* concurrent sessions over the same mission stream.
+
+    Odd-indexed robots get a dirty stream (every fourth message redelivered
+    two iterations late), so the fleet exercises the drop-stale ingest path
+    alongside the clean one.
+    """
+    service = FleetService(queue_capacity=QUEUE_CAPACITY)
+    streams = {}
+    for i in range(n_robots):
+        robot_id = f"robot-{i}"
+        stream = []
+        for k, message in enumerate(messages):
+            stream.append(message)
+            if i % 2 == 1 and k >= 2 and k % 4 == 2:
+                stream.append(messages[k - 2])  # stale redelivery
+        streams[robot_id] = stream
+        await service.open_session(robot_id, rig.detector())
+
+    async def produce(robot_id):
+        for message in streams[robot_id]:
+            await service.submit(robot_id, message)
+
+    await asyncio.gather(*(produce(robot_id) for robot_id in streams))
+    return await service.close_all()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the streaming smoke; return 0 when every surface is bit-exact."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=5.0, help="mission seconds")
+    parser.add_argument("--robots", type=int, default=8, help="fleet size")
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    failures: list[str] = []
+
+    rig = khepera_rig()
+    rig.plan_path(0)
+    result = run_scenario(
+        rig, None, seed=2024, duration=args.duration, stop_at_goal=False
+    )
+    trace, batch_reports = result.trace, result.reports
+    n = len(batch_reports)
+
+    streamed = stream_trace(rig.detector, trace)
+    drift = report_drift(streamed, batch_reports, atol=0.0)
+    if drift:
+        failures.append(f"streaming != batch: {drift[:3]}")
+
+    resumed = stream_trace(rig.detector, trace, checkpoint_every=CHECKPOINT_EVERY)
+    drift = report_drift(resumed, batch_reports, atol=0.0)
+    if drift:
+        failures.append(
+            f"checkpoint/restore every {CHECKPOINT_EVERY} perturbed the stream: {drift[:3]}"
+        )
+
+    messages = list(trace_messages(trace))
+    fleet = asyncio.run(_run_fleet(rig, messages, args.robots))
+    max_depth = max(r.max_queue_depth for r in fleet.values())
+    suppressed = sum(
+        r.ingest.duplicates + r.ingest.dropped_stale for r in fleet.values()
+    )
+    for robot_id, robot in fleet.items():
+        drift = report_drift(robot.reports, batch_reports, atol=0.0)
+        if drift:
+            failures.append(f"fleet {robot_id} != batch: {drift[:3]}")
+        if robot.ingest.processed != n:
+            failures.append(
+                f"fleet {robot_id} processed {robot.ingest.processed} of {n} messages"
+            )
+    if max_depth != QUEUE_CAPACITY:
+        failures.append(
+            f"backpressure never engaged (max queue depth {max_depth}, "
+            f"capacity {QUEUE_CAPACITY})"
+        )
+    if suppressed == 0:
+        failures.append("dirty streams suppressed nothing: redelivery path untested")
+
+    # A resumed serial session must also sequence from the checkpoint: a
+    # message replayed from before the cut is suppressed, not reprocessed.
+    session = DetectorSession(rig.detector())
+    for message in messages[: n // 2]:
+        session.process(message)
+    migrated = DetectorSession.resume(rig.detector(), session.checkpoint())
+    if migrated.process(messages[0]) is not None:
+        failures.append("restored session reprocessed a pre-checkpoint message")
+
+    elapsed = time.perf_counter() - start
+    print(f"mission: {n} iterations, fleet of {args.robots} sessions")
+    print(f"fleet max queue depth: {max_depth} (capacity {QUEUE_CAPACITY})")
+    print(f"stale redeliveries suppressed across fleet: {suppressed}")
+    print(f"elapsed: {elapsed:.1f}s (budget {TIME_BUDGET_S:.0f}s)")
+
+    if elapsed > TIME_BUDGET_S:
+        failures.append(f"smoke took {elapsed:.1f}s > {TIME_BUDGET_S:.0f}s budget")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: streaming smoke passed (streaming == batch == resumed)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,10 @@ The package implements the paper's complete system and evaluation stack:
 * :mod:`repro.obs` — opt-in detector telemetry: structured per-iteration
   events, per-stage timing, JSONL/timeline diagnostics export
   (``docs/OBSERVABILITY.md``).
+* :mod:`repro.serve` — streaming detector sessions: resident resumable
+  detectors fed one message at a time, versioned checkpoint/restore, and an
+  asyncio fleet service with bounded-queue backpressure
+  (``docs/STREAMING.md``).
 
 Quickstart::
 
@@ -43,6 +47,14 @@ from .core import (
 from .eval import ParallelConfig, RunResult, monte_carlo, run_scenario
 from .obs import NullTelemetry, RecordingTelemetry, export_run, render_timeline
 from .robots import RobotRig, khepera_rig, tamiya_rig
+from .serve import (
+    DetectorSession,
+    FleetService,
+    IngestPolicy,
+    SessionMessage,
+    SessionSnapshot,
+    trace_messages,
+)
 
 __version__ = "1.0.0"
 
@@ -70,4 +82,10 @@ __all__ = [
     "RecordingTelemetry",
     "export_run",
     "render_timeline",
+    "DetectorSession",
+    "FleetService",
+    "IngestPolicy",
+    "SessionMessage",
+    "SessionSnapshot",
+    "trace_messages",
 ]

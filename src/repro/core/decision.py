@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SnapshotCompatibilityError
 from ..obs.telemetry import NULL_TELEMETRY, DecisionEvent, Telemetry
 from .chi2 import chi_square_threshold
 from .report import IterationStatistics
@@ -83,6 +83,27 @@ class SlidingWindow:
     def reset(self) -> None:
         """Clear the buffered results (fresh mission)."""
         self._buffer.clear()
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore hooks (repro.serve.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple[bool, ...]:
+        """The buffered results, oldest first — everything :meth:`push` reads."""
+        return tuple(self._buffer)
+
+    def restore_state(self, values: tuple[bool, ...]) -> None:
+        """Replace the buffer with *values* (a prior :meth:`snapshot_state`).
+
+        Raises :class:`~repro.errors.SnapshotCompatibilityError` when the
+        saved buffer could not have come from a window of this geometry.
+        """
+        if len(values) > self._window:
+            raise SnapshotCompatibilityError(
+                f"snapshot buffers {len(values)} results but this window holds "
+                f"at most {self._window}"
+            )
+        self._buffer.clear()
+        self._buffer.extend(bool(v) for v in values)
 
 
 @dataclass(frozen=True)
@@ -173,6 +194,53 @@ class DecisionMaker:
         self._actuator_window.reset()
         for window in self._per_sensor_windows.values():
             window.reset()
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore hooks (repro.serve.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Every c-of-w window buffer, keyed exactly as :meth:`restore_state` expects.
+
+        Per-sensor windows keep their insertion order (the order the sensors
+        were first seen in), so a restored maker iterates them identically.
+        """
+        return {
+            "sensor_window": self._sensor_window.snapshot_state(),
+            "actuator_window": self._actuator_window.snapshot_state(),
+            "per_sensor": {
+                name: window.snapshot_state()
+                for name, window in self._per_sensor_windows.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Apply a prior :meth:`snapshot_state`, replacing all window buffers.
+
+        All-or-nothing: incompatible buffers raise
+        :class:`~repro.errors.SnapshotCompatibilityError` before any window
+        is touched.
+        """
+        cfg = self._config
+        for key, window in (
+            ("sensor_window", cfg.sensor_window),
+            ("actuator_window", cfg.actuator_window),
+        ):
+            if len(state[key]) > window:
+                raise SnapshotCompatibilityError(
+                    f"snapshot {key} buffers {len(state[key])} results but this "
+                    f"config's window holds at most {window}"
+                )
+        for name, values in state["per_sensor"].items():
+            if len(values) > cfg.sensor_window:
+                raise SnapshotCompatibilityError(
+                    f"snapshot per-sensor window {name!r} buffers {len(values)} "
+                    f"results but this config's window holds at most {cfg.sensor_window}"
+                )
+        self._sensor_window.restore_state(state["sensor_window"])
+        self._actuator_window.restore_state(state["actuator_window"])
+        self._per_sensor_windows = {}
+        for name, values in state["per_sensor"].items():
+            self._sensor_window_for(name).restore_state(values)
 
     def _sensor_window_for(self, name: str) -> SlidingWindow:
         if name not in self._per_sensor_windows:

@@ -181,6 +181,46 @@ class RoboADS:
         self._iteration = 0
 
     # ------------------------------------------------------------------
+    # Checkpoint/restore hooks (repro.serve.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """All mutable detector state: engine recursion + decision windows.
+
+        The NUISE filters themselves are stateless between iterations (the
+        engine feeds them the shared previous estimate every step), so the
+        engine's recursion variables plus the decision maker's c-of-w window
+        buffers are the complete resumable state. Restoring this dict into an
+        identically-configured detector continues the mission bit-for-bit —
+        the contract :mod:`repro.serve` builds sessions on.
+        """
+        return {
+            "iteration": self._iteration,
+            "engine": self._engine.snapshot_state(),
+            "decision": self._decision.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Apply a prior :meth:`snapshot_state` to this detector.
+
+        All-or-nothing: an incompatible snapshot (mode bank, window
+        geometry, state dimension) raises
+        :class:`~repro.errors.SnapshotCompatibilityError` and the detector
+        rolls back to the state it held before the call.
+        """
+        backup = self.snapshot_state()
+        try:
+            self._engine.restore_state(state["engine"])
+            self._decision.restore_state(state["decision"])
+            self._iteration = int(state["iteration"])
+        except Exception:
+            # The backup came from this very detector, so re-applying it
+            # cannot fail — the caller observes an untouched detector.
+            self._engine.restore_state(backup["engine"])
+            self._decision.restore_state(backup["decision"])
+            self._iteration = backup["iteration"]
+            raise
+
+    # ------------------------------------------------------------------
     # One control iteration
     # ------------------------------------------------------------------
     def step(

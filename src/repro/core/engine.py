@@ -19,7 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..dynamics.base import RobotModel
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SnapshotCompatibilityError
 from ..obs.telemetry import (
     NULL_TELEMETRY,
     AvailabilityEvent,
@@ -216,6 +216,77 @@ class MultiModeEstimationEngine:
             m.name: deque(maxlen=self._window) for m in self._modes
         }
         self._iteration = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore hooks (repro.serve.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Every mutable quantity one engine iteration reads or writes.
+
+        The shared estimate ``(x̂, P)``, the recursive mode probabilities,
+        the finite-window log-likelihood history driving selection, and the
+        iteration counter — restoring these into an identically-configured
+        engine resumes the recursion bit-for-bit. Mode order is preserved
+        (probability normalization sums in mode order, so a reordered dict
+        would not be bit-identical).
+        """
+        return {
+            "iteration": self._iteration,
+            "state": self._x.copy(),
+            "covariance": self._P.copy(),
+            "probabilities": dict(self._mu),
+            "log_history": {
+                name: tuple(hist) for name, hist in self._log_history.items()
+            },
+            "consistency_window": self._window,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Apply a prior :meth:`snapshot_state` to this engine.
+
+        All-or-nothing: a snapshot naming a different mode bank, consistency
+        window or state dimension raises
+        :class:`~repro.errors.SnapshotCompatibilityError` with the engine
+        untouched.
+        """
+        names = tuple(m.name for m in self._modes)
+        if tuple(state["probabilities"]) != names or tuple(state["log_history"]) != names:
+            raise SnapshotCompatibilityError(
+                f"snapshot carries modes {tuple(state['probabilities'])} but this "
+                f"engine's bank is {names}"
+            )
+        if int(state["consistency_window"]) != self._window:
+            raise SnapshotCompatibilityError(
+                f"snapshot used a consistency window of {state['consistency_window']} "
+                f"but this engine is configured with {self._window}"
+            )
+        x = np.asarray(state["state"], dtype=float)
+        n = self._model.state_dim
+        if x.shape != (n,):
+            raise SnapshotCompatibilityError(
+                f"snapshot state has shape {x.shape}, this model expects ({n},)"
+            )
+        P = np.asarray(state["covariance"], dtype=float)
+        if P.shape != (n, n):
+            raise SnapshotCompatibilityError(
+                f"snapshot covariance has shape {P.shape}, this model expects ({n}, {n})"
+            )
+        for name in names:
+            if len(state["log_history"][name]) > self._window:
+                raise SnapshotCompatibilityError(
+                    f"snapshot log history for mode {name!r} holds "
+                    f"{len(state['log_history'][name])} entries, window is {self._window}"
+                )
+        self._x = x.copy()
+        self._P = P.copy()
+        self._mu = {name: float(state["probabilities"][name]) for name in names}
+        self._log_history = {
+            name: deque(
+                (float(v) for v in state["log_history"][name]), maxlen=self._window
+            )
+            for name in names
+        }
+        self._iteration = int(state["iteration"])
 
     # ------------------------------------------------------------------
     # One iteration

@@ -15,6 +15,10 @@ __all__ = [
     "SimulationError",
     "PlanningError",
     "ParallelExecutionError",
+    "SnapshotError",
+    "SnapshotVersionError",
+    "SnapshotCompatibilityError",
+    "IngestSequenceError",
 ]
 
 
@@ -57,4 +61,40 @@ class ParallelExecutionError(ReproError):
     raises (the message carries the worker traceback plus the chunk's trial
     descriptors, so the failing seed is identifiable without re-running) or
     when the process pool itself breaks (a worker died without reporting).
+    """
+
+
+class SnapshotError(ReproError):
+    """A detector-state snapshot could not be produced or applied.
+
+    Base class for every checkpoint/restore failure raised by
+    :mod:`repro.serve.snapshot`; restore is all-or-nothing, so catching this
+    means the target detector was left untouched.
+    """
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot's format version does not match this library's.
+
+    Raised *before* any state is applied: a snapshot written by a different
+    snapshot-format revision must fail loudly instead of silently corrupting
+    a resident detector session.
+    """
+
+
+class SnapshotCompatibilityError(SnapshotError):
+    """A snapshot's detector configuration does not match the restore target.
+
+    The snapshot names a different mode bank, sensor suite, window geometry
+    or state dimension than the detector it is being applied to — e.g. a
+    Khepera session snapshot restored into a Tamiya detector.
+    """
+
+
+class IngestSequenceError(ReproError):
+    """A streaming session received a message violating its sequencing policy.
+
+    Raised only under :class:`repro.serve.ingest.IngestPolicy`'s ``strict``
+    ordering: a stale or duplicated sequence number is a protocol error the
+    producer must fix. The default tolerant policies count and drop instead.
     """

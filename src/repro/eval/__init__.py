@@ -12,6 +12,7 @@ from .forensics import QuantificationReport, quantify_run
 from .metrics import ConfusionCounts, DelayEvent, confusion_from_run, detection_delays
 from .parallel import ParallelConfig, map_trials
 from .runner import RunResult, monte_carlo, run_scenario
+from .session_replay import report_drift, stream_trace
 from .sweeps import f1_sweep, redecide, roc_sweep
 from .tables import format_table
 
@@ -34,4 +35,6 @@ __all__ = [
     "format_table",
     "QuantificationReport",
     "quantify_run",
+    "stream_trace",
+    "report_drift",
 ]

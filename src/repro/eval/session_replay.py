@@ -1,0 +1,158 @@
+"""Session-replay parity: prove streaming == batch == resume-after-checkpoint.
+
+The streaming layer's correctness claim is an *equivalence*: a
+:class:`~repro.serve.session.DetectorSession` fed a recorded mission
+message-by-message must produce exactly the reports
+:meth:`~repro.core.detector.RoboADS.replay` produces in one call, and
+interrupting the stream at any message boundary with a
+checkpoint → pickle → restore cycle (optionally into a freshly-built
+detector, i.e. worker migration) must not perturb a single statistic.
+
+These helpers make that claim testable in one place: :func:`stream_trace`
+drives a session over a trace with optional periodic checkpoint/restore, and
+:func:`report_drift` compares two report sequences field-by-field at a
+tolerance. Both the example-based parity tests (golden 200-step missions at
+1e-10) and ``scripts/serve_smoke.py`` are built on them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+from ..core.detector import DetectionReport, RoboADS
+from ..serve.adapter import trace_messages
+from ..serve.ingest import IngestPolicy
+from ..serve.session import DetectorSession
+from ..serve.snapshot import SessionSnapshot
+from ..sim.trace import SimulationTrace
+
+__all__ = ["stream_trace", "report_drift"]
+
+#: A detector, or a zero-argument factory building fresh identically
+#: configured detectors (the worker-migration case: every checkpoint
+#: restores into a brand-new detector instance).
+DetectorSpec = Union[RoboADS, Callable[[], RoboADS]]
+
+
+def _fresh(spec: DetectorSpec) -> RoboADS:
+    return spec() if callable(spec) else spec
+
+
+def stream_trace(
+    detector: DetectorSpec,
+    trace: SimulationTrace,
+    checkpoint_every: int | None = None,
+    policy: IngestPolicy | None = None,
+    robot_id: str = "replay",
+) -> list[DetectionReport]:
+    """Stream a recorded trace through a session; return the reports.
+
+    With ``checkpoint_every=k`` the session is checkpointed after every *k*
+    processed messages, the snapshot round-trips through
+    ``to_bytes``/``from_bytes`` (the real migration wire form), and the
+    stream resumes from the restored snapshot — into a *fresh* detector when
+    *detector* is a factory, in place otherwise. Suppressed messages (the
+    ingest policy dropped them) contribute no report, exactly like the
+    session API.
+    """
+    session = DetectorSession(_fresh(detector), robot_id=robot_id, policy=policy)
+    reports: list[DetectionReport] = []
+    since_checkpoint = 0
+    for message in trace_messages(trace):
+        if (
+            checkpoint_every is not None
+            and since_checkpoint >= checkpoint_every
+        ):
+            blob = session.checkpoint().to_bytes()
+            snapshot = SessionSnapshot.from_bytes(blob)
+            session = DetectorSession.resume(_fresh(detector), snapshot, policy=policy)
+            since_checkpoint = 0
+        report = session.process(message)
+        if report is not None:
+            reports.append(report)
+            since_checkpoint += 1
+    return reports
+
+
+def _close(a, b, atol: float) -> bool:
+    return np.allclose(
+        np.asarray(a, dtype=float),
+        np.asarray(b, dtype=float),
+        atol=atol,
+        rtol=0.0,
+        equal_nan=True,
+    )
+
+
+def report_drift(
+    streamed: Sequence[DetectionReport],
+    reference: Sequence[DetectionReport],
+    atol: float = 1e-10,
+) -> list[str]:
+    """Field-by-field drift between two report sequences (empty = parity).
+
+    Discrete fields (iterations, selected modes, alarms, flagged sets,
+    degrees of freedom) must match exactly; continuous fields (state
+    estimates, anomaly estimates, Chi-square statistics, mode probabilities,
+    likelihoods) within *atol*. Each finding is a human-readable
+    ``"k=<iteration>: <field> ..."`` string, so a failing parity assertion
+    names exactly what moved.
+    """
+    drift: list[str] = []
+    if len(streamed) != len(reference):
+        drift.append(f"report count {len(streamed)} != {len(reference)}")
+        return drift
+    for r_s, r_r in zip(streamed, reference):
+        k = r_r.iteration
+        s_stats, r_stats = r_s.statistics, r_r.statistics
+        if r_s.iteration != r_r.iteration:
+            drift.append(f"k={k}: iteration {r_s.iteration} != {r_r.iteration}")
+        if s_stats.selected_mode != r_stats.selected_mode:
+            drift.append(
+                f"k={k}: selected mode {s_stats.selected_mode!r} != {r_stats.selected_mode!r}"
+            )
+        if not _close(s_stats.state_estimate, r_stats.state_estimate, atol):
+            drift.append(f"k={k}: state estimate drifted")
+        if not _close(s_stats.actuator_estimate, r_stats.actuator_estimate, atol):
+            drift.append(f"k={k}: actuator anomaly estimate drifted")
+        for field in ("sensor_statistic", "actuator_statistic"):
+            if not _close(getattr(s_stats, field), getattr(r_stats, field), atol):
+                drift.append(f"k={k}: {field} drifted")
+        for field in ("sensor_dof", "actuator_dof"):
+            if getattr(s_stats, field) != getattr(r_stats, field):
+                drift.append(f"k={k}: {field} differs")
+        if tuple(s_stats.mode_probabilities) != tuple(r_stats.mode_probabilities):
+            drift.append(f"k={k}: mode probability keys/order differ")
+        elif not _close(
+            list(s_stats.mode_probabilities.values()),
+            list(r_stats.mode_probabilities.values()),
+            atol,
+        ):
+            drift.append(f"k={k}: mode probabilities drifted")
+        if not _close(
+            [s_stats.likelihoods[m] for m in sorted(s_stats.likelihoods)],
+            [r_stats.likelihoods[m] for m in sorted(r_stats.likelihoods)],
+            atol,
+        ):
+            drift.append(f"k={k}: mode likelihoods drifted")
+        if set(s_stats.sensor_stats) != set(r_stats.sensor_stats):
+            drift.append(f"k={k}: per-sensor statistic sets differ")
+        else:
+            for name, stat in s_stats.sensor_stats.items():
+                ref = r_stats.sensor_stats[name]
+                if stat.dof != ref.dof or not _close(stat.statistic, ref.statistic, atol):
+                    drift.append(f"k={k}: per-sensor statistic {name!r} drifted")
+                elif not _close(stat.estimate, ref.estimate, atol):
+                    drift.append(f"k={k}: per-sensor estimate {name!r} drifted")
+        if r_s.flagged_sensors != r_r.flagged_sensors:
+            drift.append(
+                f"k={k}: flagged {sorted(r_s.flagged_sensors)} != {sorted(r_r.flagged_sensors)}"
+            )
+        for field in ("sensor_positive", "actuator_positive", "sensor_alarm", "actuator_alarm"):
+            if getattr(r_s.outcome, field) != getattr(r_r.outcome, field):
+                drift.append(f"k={k}: outcome.{field} differs")
+        if s_stats.available_sensors != r_stats.available_sensors:
+            drift.append(f"k={k}: availability masks differ")
+    return drift

@@ -1,0 +1,43 @@
+"""Streaming detection service: resident, resumable detector sessions.
+
+Everything in :mod:`repro.core` and :mod:`repro.eval` runs a mission to
+completion. This package turns the detector into a *service* component
+(``docs/STREAMING.md``):
+
+* :mod:`repro.serve.messages` — :class:`SessionMessage`, the ``(u, z,
+  availability)`` streaming unit with producer-side sequencing.
+* :mod:`repro.serve.ingest` — :class:`IngestPolicy` /
+  :class:`SequenceTracker`: what a session does with late, stale and
+  duplicated deliveries (the :mod:`repro.sim.faults` channel vocabulary at
+  the service boundary).
+* :mod:`repro.serve.session` — :class:`DetectorSession`: a resident
+  detector fed one message at a time, checkpointable at any message
+  boundary.
+* :mod:`repro.serve.snapshot` — :class:`SessionSnapshot`: the versioned,
+  picklable pause/migrate/resume primitive (bit-identical resume).
+* :mod:`repro.serve.service` — :class:`FleetService`: an asyncio host for
+  many concurrent sessions with bounded-queue backpressure and per-session
+  telemetry export.
+* :mod:`repro.serve.adapter` — :func:`trace_messages`: recorded missions as
+  message streams.
+"""
+
+from .adapter import trace_messages
+from .ingest import IngestPolicy, IngestStats, SequenceTracker
+from .messages import SessionMessage
+from .service import FleetService, SessionResult
+from .session import DetectorSession
+from .snapshot import SNAPSHOT_VERSION, SessionSnapshot
+
+__all__ = [
+    "SessionMessage",
+    "IngestPolicy",
+    "IngestStats",
+    "SequenceTracker",
+    "DetectorSession",
+    "SessionSnapshot",
+    "SNAPSHOT_VERSION",
+    "FleetService",
+    "SessionResult",
+    "trace_messages",
+]

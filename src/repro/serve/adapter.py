@@ -1,0 +1,39 @@
+"""Trace-to-message adapter: recorded missions as streaming input.
+
+A :class:`~repro.sim.trace.SimulationTrace` records exactly the per-step
+quantities a :class:`~repro.serve.messages.SessionMessage` carries — planned
+control, stacked reading, delivery mask, timestamp, and (since the streaming
+layer) an explicit sequence number. This module converts between the two, so
+every recorded or simulated mission doubles as a replayable message feed for
+sessions and the fleet service, and the parity tests can prove streaming
+equals batch on the *same* inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.trace import SimulationTrace
+from .messages import SessionMessage
+
+__all__ = ["trace_messages"]
+
+
+def trace_messages(trace: SimulationTrace) -> Iterator[SessionMessage]:
+    """Yield one :class:`SessionMessage` per recorded step, in trace order.
+
+    Sequence numbers come from the trace's explicit
+    :attr:`~repro.sim.trace.SimulationTrace.sequences` column (the step index
+    for traces recorded by this library's simulator), so a deliberately
+    perturbed trace — duplicated or reordered steps — streams with its
+    perturbation intact and the ingest policy's response becomes testable
+    against recorded data.
+    """
+    for k in range(len(trace)):
+        yield SessionMessage(
+            seq=trace.sequences[k],
+            t=trace.times[k],
+            control=trace.planned_controls[k],
+            reading=trace.readings[k],
+            available=trace.availability[k] if trace.availability else None,
+        )

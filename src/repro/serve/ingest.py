@@ -1,0 +1,169 @@
+"""Ingest sequencing: what a session does with late, stale or duplicate input.
+
+The fault layer (:mod:`repro.sim.faults`) established the delivery-channel
+vocabulary on the simulation side: packets drop, arrive late, duplicate and
+reorder, and the *last packet to arrive wins* at the consumer. The streaming
+ingest layer applies the same vocabulary at the service boundary, where the
+question inverts: given messages that already carry their producer-side
+sequence numbers, which should a resident detector actually process?
+
+Three orderings cover the deployments we model:
+
+* ``"drop_stale"`` (default) — process only messages that advance the
+  sequence; count and drop duplicates (same seq as the newest processed) and
+  stale arrivals (older seq). The detector's recursion then sees a monotone
+  subsequence of the mission — precisely the degraded-but-consistent view
+  the graceful-degradation path was built for.
+* ``"accept"`` — process everything in arrival order, mirroring the fault
+  channel's last-to-arrive-wins hold semantics; reordered arrivals are
+  counted but not suppressed. Use when the producer already guarantees the
+  arrival order is the order to trust.
+* ``"strict"`` — any non-advancing sequence raises
+  :class:`~repro.errors.IngestSequenceError`; for producers (e.g. replay
+  harnesses) where out-of-order input can only mean a bug.
+
+Sequence *gaps* are never an error: an absent message is indistinguishable
+from upstream loss, and the detector handles missing iterations the same way
+it handles dropped sensor packets — by continuing from what it has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, IngestSequenceError
+from .messages import SessionMessage
+
+__all__ = ["IngestPolicy", "IngestStats", "SequenceTracker"]
+
+_ORDERINGS = ("drop_stale", "accept", "strict")
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """How a session sequences its inbound messages.
+
+    Attributes
+    ----------
+    ordering:
+        One of ``"drop_stale"`` (default), ``"accept"``, ``"strict"`` — see
+        the module docstring for semantics.
+    """
+
+    ordering: str = "drop_stale"
+
+    def __post_init__(self) -> None:
+        """Reject unknown orderings at construction."""
+        if self.ordering not in _ORDERINGS:
+            raise ConfigurationError(
+                f"unknown ingest ordering {self.ordering!r}: valid orderings "
+                f"are {_ORDERINGS}"
+            )
+
+
+@dataclass
+class IngestStats:
+    """Counters describing one session's delivery history.
+
+    ``received = processed + dropped_stale + duplicates`` always holds;
+    ``reordered`` counts *accepted* non-monotone arrivals (``"accept"``
+    ordering only), so it overlaps ``processed``.
+    """
+
+    received: int = 0
+    processed: int = 0
+    dropped_stale: int = 0
+    duplicates: int = 0
+    reordered: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (JSONL export and snapshots)."""
+        return {
+            "received": self.received,
+            "processed": self.processed,
+            "dropped_stale": self.dropped_stale,
+            "duplicates": self.duplicates,
+            "reordered": self.reordered,
+        }
+
+
+class SequenceTracker:
+    """Applies an :class:`IngestPolicy` to an arriving message stream.
+
+    One tracker per session; its mutable state (the newest processed
+    sequence number plus the counters) is part of the session snapshot, so a
+    restored session continues sequencing exactly where the checkpoint left
+    off.
+    """
+
+    def __init__(self, policy: IngestPolicy | None = None) -> None:
+        self._policy = policy or IngestPolicy()
+        self._last_seq: int | None = None
+        self._stats = IngestStats()
+
+    @property
+    def policy(self) -> IngestPolicy:
+        """The sequencing policy this tracker applies."""
+        return self._policy
+
+    @property
+    def stats(self) -> IngestStats:
+        """Live counters (mutated by :meth:`admit`)."""
+        return self._stats
+
+    @property
+    def last_seq(self) -> int | None:
+        """Newest processed sequence number (``None`` before any message)."""
+        return self._last_seq
+
+    def admit(self, message: SessionMessage) -> bool:
+        """Record one arrival and decide whether the session processes it.
+
+        Returns True when the message should reach the detector. Under the
+        ``"strict"`` ordering a non-advancing sequence raises
+        :class:`~repro.errors.IngestSequenceError` instead of returning.
+        """
+        stats = self._stats
+        advancing = self._last_seq is None or message.seq > self._last_seq
+        if not advancing and self._policy.ordering == "strict":
+            # Raised before any counter moves: a strict-mode violation is a
+            # protocol error, not a delivery observation.
+            raise IngestSequenceError(
+                f"message seq {message.seq} does not advance the stream "
+                f"(newest processed: {self._last_seq}) under the strict ordering"
+            )
+        stats.received += 1
+        if advancing:
+            self._last_seq = message.seq
+            stats.processed += 1
+            return True
+        if self._policy.ordering == "accept":
+            stats.processed += 1
+            stats.reordered += 1
+            return True
+        if message.seq == self._last_seq:
+            stats.duplicates += 1
+        else:
+            stats.dropped_stale += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore hooks (repro.serve.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Sequencing position and counters, for the session snapshot."""
+        return {
+            "ordering": self._policy.ordering,
+            "last_seq": self._last_seq,
+            "stats": self._stats.as_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Apply a prior :meth:`snapshot_state` (the policy must match)."""
+        if state["ordering"] != self._policy.ordering:
+            raise ConfigurationError(
+                f"snapshot was taken under ingest ordering {state['ordering']!r}, "
+                f"this tracker uses {self._policy.ordering!r}"
+            )
+        self._last_seq = None if state["last_seq"] is None else int(state["last_seq"])
+        self._stats = IngestStats(**{k: int(v) for k, v in state["stats"].items()})

@@ -1,0 +1,65 @@
+"""Session messages: the streaming unit of detector input.
+
+A resident detector session consumes one :class:`SessionMessage` per control
+iteration — the planned command ``u_{k-1}``, the stacked reading ``z_k``, and
+the delivery metadata the ingest layer sequences on (a per-robot monotone
+sequence number plus the mission timestamp). This is the wire shape of the
+run-to-completion loop's ``(u, z, availability)`` triple: everything
+:meth:`repro.core.detector.RoboADS.step` takes, plus identity.
+
+Messages are frozen and picklable, so they can cross process boundaries
+(queues, sockets) unchanged and a recorded trace converts losslessly into a
+message stream (:func:`repro.serve.adapter.trace_messages`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SessionMessage"]
+
+
+@dataclass(frozen=True)
+class SessionMessage:
+    """One control iteration's detector input, addressed by sequence number.
+
+    Attributes
+    ----------
+    seq:
+        Per-robot monotone sequence number assigned at the producer (for a
+        recorded trace, the step's :attr:`repro.sim.trace.SimulationTrace.sequences`
+        entry). The ingest policy uses it to detect stale, duplicated and
+        reordered deliveries — mirroring how :mod:`repro.sim.faults` models
+        the delivery channel.
+    t:
+        Mission time of the reading (seconds).
+    control:
+        Planned command ``u_{k-1}`` (copied to float64).
+    reading:
+        Stacked sensor reading ``z_k`` in suite order (copied to float64).
+    available:
+        Names of the sensors actually delivered this iteration, or ``None``
+        for nominal full delivery — exactly
+        :meth:`~repro.core.detector.RoboADS.step`'s *available* argument.
+    """
+
+    seq: int
+    t: float
+    control: np.ndarray
+    reading: np.ndarray
+    available: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        """Coerce the payload to immutable-by-convention float64 copies."""
+        object.__setattr__(self, "seq", int(self.seq))
+        object.__setattr__(self, "t", float(self.t))
+        object.__setattr__(
+            self, "control", np.array(self.control, dtype=float, copy=True)
+        )
+        object.__setattr__(
+            self, "reading", np.array(self.reading, dtype=float, copy=True)
+        )
+        if self.available is not None:
+            object.__setattr__(self, "available", tuple(self.available))

@@ -1,0 +1,244 @@
+"""FleetService: many resident detector sessions in one asyncio process.
+
+Multi-tenant fleet monitoring: every robot gets a :class:`DetectorSession`
+behind a bounded ingest queue, a worker coroutine drains the queue in FIFO
+order, and producers feeding :meth:`FleetService.submit` experience
+*backpressure* (the await blocks) whenever a robot's queue is full — the
+bounded-queue semantics a real ingest tier needs so one slow session cannot
+absorb unbounded memory.
+
+Determinism under concurrency is structural, not accidental: each session's
+messages are processed in the exact order its own producer submitted them
+(per-robot FIFO), and sessions share no mutable state, so the final
+per-robot reports are independent of how the event loop interleaves robots.
+The opt-in soak test (``tests/test_soak.py``, ``soak`` marker) drives ≥1000
+concurrent sessions under randomized scheduling to pin exactly that.
+
+Detector steps are synchronous CPU-bound work (~1 ms), so a single service
+hosts a fleet limited by one core's throughput; scaling beyond it is what
+session snapshots are for — checkpoint, move to another worker process,
+resume (see ``docs/STREAMING.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.detector import DetectionReport, RoboADS
+from ..errors import ConfigurationError
+from ..obs.telemetry import Telemetry
+from .ingest import IngestPolicy, IngestStats
+from .messages import SessionMessage
+from .session import DetectorSession
+from .snapshot import SessionSnapshot
+
+__all__ = ["FleetService", "SessionResult"]
+
+#: Queue sentinel asking a session worker to finish and exit.
+_CLOSE = object()
+
+
+@dataclass
+class SessionResult:
+    """What one closed session produced.
+
+    Attributes
+    ----------
+    robot_id:
+        The session's identity.
+    reports:
+        Every detector report, in processing order (suppressed stale /
+        duplicate messages produce no report).
+    ingest:
+        Final delivery counters.
+    max_queue_depth:
+        High-water mark of the session's ingest queue — how close the
+        producer came to experiencing backpressure (depth == capacity means
+        it did).
+    telemetry_path:
+        The per-session JSONL export, when the service was built with an
+        ``export_dir`` and the session recorded telemetry; ``None`` otherwise.
+    """
+
+    robot_id: str
+    reports: list[DetectionReport]
+    ingest: IngestStats
+    max_queue_depth: int
+    telemetry_path: Path | None = None
+
+
+class _SessionWorker:
+    """One robot's session, queue, worker task and counters."""
+
+    def __init__(self, session: DetectorSession, capacity: int) -> None:
+        self.session = session
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
+        self.reports: list[DetectionReport] = []
+        self.max_depth = 0
+        self.failure: BaseException | None = None
+        self.task: asyncio.Task | None = None
+
+    async def run(self) -> None:
+        while True:
+            item = await self.queue.get()
+            try:
+                if item is _CLOSE:
+                    return
+                try:
+                    report = self.session.process(item)
+                except BaseException as exc:  # surfaced at submit/close
+                    self.failure = exc
+                    return
+                if report is not None:
+                    self.reports.append(report)
+            finally:
+                self.queue.task_done()
+
+
+class FleetService:
+    """Hosts concurrent detector sessions with bounded-queue ingest.
+
+    Parameters
+    ----------
+    queue_capacity:
+        Per-session ingest queue bound; :meth:`submit` awaits (backpressure)
+        while a robot's queue is full.
+    export_dir:
+        When set, each closed session with a recording telemetry sink writes
+        its events to ``<export_dir>/<robot_id>.jsonl`` (incremental — a
+        session flushed mid-run via :meth:`flush_telemetry` appends only the
+        tail).
+    """
+
+    def __init__(self, queue_capacity: int = 64, export_dir=None) -> None:
+        if queue_capacity < 1:
+            raise ConfigurationError("queue capacity must be at least 1")
+        self._capacity = int(queue_capacity)
+        self._export_dir = None if export_dir is None else Path(export_dir)
+        self._workers: dict[str, _SessionWorker] = {}
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def active_sessions(self) -> tuple[str, ...]:
+        """Robot ids currently hosted, in registration order."""
+        return tuple(self._workers)
+
+    def session(self, robot_id: str) -> DetectorSession:
+        """The resident session for *robot_id* (introspection/checkpointing)."""
+        return self._worker(robot_id).session
+
+    async def open_session(
+        self,
+        robot_id: str,
+        detector: RoboADS,
+        policy: IngestPolicy | None = None,
+        telemetry: Telemetry | None = None,
+        snapshot: SessionSnapshot | None = None,
+    ) -> DetectorSession:
+        """Register a robot and start its worker.
+
+        With *snapshot* the session resumes from a checkpoint (worker
+        migration); otherwise the detector starts a fresh mission. Returns
+        the resident session.
+        """
+        if robot_id in self._workers:
+            raise ConfigurationError(f"robot {robot_id!r} already has a session")
+        if snapshot is not None:
+            session = DetectorSession.resume(
+                detector, snapshot, policy=policy, telemetry=telemetry,
+                robot_id=robot_id,
+            )
+        else:
+            session = DetectorSession(
+                detector, robot_id=robot_id, policy=policy, telemetry=telemetry
+            )
+        worker = _SessionWorker(session, self._capacity)
+        worker.task = asyncio.create_task(worker.run())
+        self._workers[robot_id] = worker
+        return session
+
+    async def submit(self, robot_id: str, message: SessionMessage) -> None:
+        """Enqueue one message for *robot_id*'s session.
+
+        Awaits while the session's bounded queue is full — the backpressure
+        contract: a producer can never outrun a session by more than the
+        queue capacity. Raises the session's processing failure, if its
+        worker died.
+        """
+        worker = self._worker(robot_id)
+        if worker.failure is not None:
+            raise worker.failure
+        await worker.queue.put(message)
+        worker.max_depth = max(worker.max_depth, worker.queue.qsize())
+
+    async def drain(self, robot_id: str) -> None:
+        """Wait until every message submitted so far has been processed.
+
+        The quiescence point for mid-run checkpoints: ``await drain(...)``
+        then ``service.session(robot_id).checkpoint()`` freezes the session
+        at a well-defined message boundary (assuming the caller pauses its
+        producers meanwhile).
+        """
+        await self._worker(robot_id).queue.join()
+
+    async def checkpoint_session(self, robot_id: str) -> SessionSnapshot:
+        """Drain *robot_id*'s queue, then snapshot its session."""
+        worker = self._worker(robot_id)
+        await worker.queue.join()
+        if worker.failure is not None:
+            raise worker.failure
+        return worker.session.checkpoint()
+
+    async def close_session(self, robot_id: str) -> SessionResult:
+        """Stop *robot_id*'s worker after its queue drains; return the result.
+
+        Re-raises the worker's processing failure, if any, after unwinding
+        the worker task. Exports the session's telemetry when the service
+        has an ``export_dir``.
+        """
+        worker = self._workers.pop(robot_id, None)
+        if worker is None:
+            raise ConfigurationError(f"robot {robot_id!r} has no open session")
+        await worker.queue.put(_CLOSE)
+        await worker.task
+        if worker.failure is not None:
+            raise worker.failure
+        telemetry_path = self._export(worker.session)
+        return SessionResult(
+            robot_id=robot_id,
+            reports=worker.reports,
+            ingest=worker.session.ingest_stats,
+            max_queue_depth=worker.max_depth,
+            telemetry_path=telemetry_path,
+        )
+
+    async def close_all(self) -> dict[str, SessionResult]:
+        """Close every session (registration order); results keyed by robot."""
+        return {
+            robot_id: await self.close_session(robot_id)
+            for robot_id in tuple(self._workers)
+        }
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def flush_telemetry(self, robot_id: str) -> Path | None:
+        """Flush *robot_id*'s unexported telemetry now; return the path."""
+        return self._export(self._worker(robot_id).session)
+
+    def _export(self, session: DetectorSession) -> Path | None:
+        if self._export_dir is None:
+            return None
+        path = self._export_dir / f"{session.robot_id}.jsonl"
+        written = session.export_telemetry(path)
+        return path if written or path.exists() else None
+
+    def _worker(self, robot_id: str) -> _SessionWorker:
+        worker = self._workers.get(robot_id)
+        if worker is None:
+            raise ConfigurationError(f"robot {robot_id!r} has no open session")
+        return worker

@@ -1,0 +1,224 @@
+"""DetectorSession: a resident, resumable detector fed one message at a time.
+
+The run-to-completion entry points (:meth:`repro.core.detector.RoboADS.replay`,
+:func:`repro.eval.runner.run_scenario`) drive a detector over a whole mission
+in one call. A :class:`DetectorSession` inverts the control flow for the
+service-shaped deployment: the detector stays resident, messages arrive one
+at a time (possibly late, duplicated or out of order — the ingest policy
+decides), and at any message boundary the session can be checkpointed into a
+:class:`~repro.serve.snapshot.SessionSnapshot`, moved to another process,
+and resumed bit-identically.
+
+The equivalence contract — *streaming == batch == resume-after-checkpoint*
+— is proven by ``tests/test_session_parity.py`` (golden traces at 1e-10) and
+the hypothesis round-trip properties in ``tests/test_session_properties.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.detector import DetectionReport, RoboADS
+from ..obs.telemetry import RecordingTelemetry, Telemetry
+from .ingest import IngestPolicy, IngestStats, SequenceTracker
+from .messages import SessionMessage
+from .snapshot import SNAPSHOT_VERSION, SessionSnapshot
+
+__all__ = ["DetectorSession"]
+
+
+class DetectorSession:
+    """One robot's resident detector plus its streaming bookkeeping.
+
+    Parameters
+    ----------
+    detector:
+        The wrapped :class:`~repro.core.detector.RoboADS`. The session owns
+        its mutable state from here on (``reset=True`` starts it fresh;
+        pass ``reset=False`` to adopt a detector mid-mission).
+    robot_id:
+        Identity used in snapshots and telemetry export filenames.
+    policy:
+        Ingest sequencing policy (default: drop stale/duplicate arrivals).
+    telemetry:
+        Optional sink attached to the detector for the session's lifetime; a
+        :class:`~repro.obs.telemetry.RecordingTelemetry` additionally enables
+        incremental JSONL export (:meth:`export_telemetry`) with cursors that
+        survive checkpoint/restore.
+    reset:
+        Reset the detector on construction (default True).
+    """
+
+    def __init__(
+        self,
+        detector: RoboADS,
+        robot_id: str = "robot",
+        policy: IngestPolicy | None = None,
+        telemetry: Telemetry | None = None,
+        reset: bool = True,
+    ) -> None:
+        self._detector = detector
+        self._robot_id = str(robot_id)
+        self._tracker = SequenceTracker(policy)
+        if reset:
+            detector.reset()
+        if telemetry is not None:
+            detector.attach_telemetry(telemetry)
+        self._messages_processed = 0
+        self._telemetry_exported = 0
+        self._last_report: DetectionReport | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def robot_id(self) -> str:
+        """The session's identity (snapshot bookkeeping, export filenames)."""
+        return self._robot_id
+
+    @property
+    def detector(self) -> RoboADS:
+        """The wrapped resident detector."""
+        return self._detector
+
+    @property
+    def ingest_stats(self) -> IngestStats:
+        """Delivery counters maintained by the ingest tracker."""
+        return self._tracker.stats
+
+    @property
+    def messages_processed(self) -> int:
+        """How many messages actually reached the detector."""
+        return self._messages_processed
+
+    @property
+    def last_report(self) -> DetectionReport | None:
+        """The newest detector report (``None`` before the first message)."""
+        return self._last_report
+
+    def _recording(self) -> RecordingTelemetry | None:
+        telemetry = self._detector.telemetry
+        return telemetry if isinstance(telemetry, RecordingTelemetry) else None
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def process(self, message: SessionMessage) -> DetectionReport | None:
+        """Consume one message; return the detector's report, or ``None``.
+
+        ``None`` means the ingest policy suppressed the message (stale or
+        duplicate delivery) — the detector never saw it, so the recursion is
+        untouched and the caller should treat the iteration as absent, not
+        negative.
+        """
+        if not self._tracker.admit(message):
+            return None
+        report = self._detector.step(
+            message.control, message.reading, available=message.available
+        )
+        self._messages_processed += 1
+        self._last_report = report
+        return report
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> SessionSnapshot:
+        """Freeze the session at the current message boundary.
+
+        The snapshot carries the detector recursion, ingest position and
+        telemetry cursors (plus any recorded-but-unexported events, so a
+        migrated session flushes them from its new process). Checkpointing
+        is read-only — the session continues unaffected.
+        """
+        recording = self._recording()
+        pending: tuple = ()
+        if recording is not None:
+            pending = tuple(recording.events[self._telemetry_exported :])
+        return SessionSnapshot(
+            version=SNAPSHOT_VERSION,
+            robot_id=self._robot_id,
+            messages_processed=self._messages_processed,
+            detector_state=self._detector.snapshot_state(),
+            ingest_state=self._tracker.snapshot_state(),
+            telemetry_exported=self._telemetry_exported,
+            telemetry_pending=pending,
+        )
+
+    def restore(self, snapshot: SessionSnapshot) -> None:
+        """Resume from *snapshot*, replacing all session state.
+
+        The detector must be configured identically to the one the snapshot
+        came from (same rig/modes/decision parameters — the factory pattern:
+        rebuild via the rig, then restore). Raises
+        :class:`~repro.errors.SnapshotVersionError` on a format-version
+        mismatch and :class:`~repro.errors.SnapshotCompatibilityError` on a
+        configuration mismatch, both without corrupting the current state.
+        """
+        snapshot.require_version()
+        self._detector.restore_state(snapshot.detector_state)
+        self._tracker.restore_state(snapshot.ingest_state)
+        self._messages_processed = int(snapshot.messages_processed)
+        self._last_report = None
+        recording = self._recording()
+        if recording is not None:
+            # The new process's sink starts from the snapshot's unflushed
+            # tail; everything before the cursor already lives in the
+            # exported JSONL on the previous worker.
+            recording.events = list(snapshot.telemetry_pending)
+            self._telemetry_exported = 0
+        else:
+            self._telemetry_exported = int(snapshot.telemetry_exported)
+
+    @classmethod
+    def resume(
+        cls,
+        detector: RoboADS,
+        snapshot: SessionSnapshot,
+        policy: IngestPolicy | None = None,
+        telemetry: Telemetry | None = None,
+        robot_id: str | None = None,
+    ) -> "DetectorSession":
+        """Build a session around a freshly-constructed detector and restore.
+
+        The worker-migration entry point: the new process rebuilds the
+        detector from configuration (e.g. ``rig.detector()``), then adopts
+        the snapshot's state. Equivalent to constructing a session and
+        calling :meth:`restore`. *robot_id* optionally re-keys the migrated
+        session (default: keep the snapshot's identity).
+        """
+        session = cls(
+            detector,
+            robot_id=snapshot.robot_id if robot_id is None else robot_id,
+            policy=policy,
+            telemetry=telemetry,
+            reset=False,
+        )
+        session.restore(snapshot)
+        return session
+
+    # ------------------------------------------------------------------
+    # Telemetry export
+    # ------------------------------------------------------------------
+    def export_telemetry(self, path) -> int:
+        """Append the unexported telemetry events to *path* as JSONL.
+
+        Incremental: each call flushes only the events recorded since the
+        previous call (the cursor is part of the snapshot, so a resumed
+        session never re-exports). Returns the number of events written;
+        0 (and no file touched) when no recording sink is attached.
+        """
+        recording = self._recording()
+        if recording is None:
+            return 0
+        pending = recording.events[self._telemetry_exported :]
+        if not pending:
+            return 0
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
+            for event in pending:
+                fh.write(json.dumps(event.to_record(), sort_keys=True) + "\n")
+        self._telemetry_exported = len(recording.events)
+        return len(pending)

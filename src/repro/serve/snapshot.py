@@ -1,0 +1,103 @@
+"""Versioned session snapshots: the pause/migrate/resume primitive.
+
+A :class:`SessionSnapshot` freezes everything a
+:class:`~repro.serve.session.DetectorSession` needs to continue a mission
+bit-for-bit — the detector's recursion state (shared estimate, mode
+probabilities, consistency-window history, c-of-w decision windows), the
+ingest sequencing position, and the telemetry cursors. The recursive NUISE
+structure is what makes this small: the filters themselves carry no
+per-iteration state, so the whole resumable object is a few arrays and
+counters.
+
+Snapshots are plain picklable dataclasses with an explicit format version.
+``to_bytes``/``from_bytes`` wrap pickling so callers move sessions across
+processes (worker migration, the sharding primitive for fleet scale) without
+touching the wire format; a version mismatch raises the typed
+:class:`~repro.errors.SnapshotVersionError` *before* any state is applied,
+so an incompatible snapshot can never corrupt a resident session.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+from ..errors import SnapshotError, SnapshotVersionError
+
+__all__ = ["SNAPSHOT_VERSION", "SessionSnapshot"]
+
+#: Current snapshot format version. Bump on any change to the snapshot's
+#: structure or to the meaning of the state dicts it carries; restore
+#: refuses other versions with :class:`~repro.errors.SnapshotVersionError`.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """One session's complete resumable state at a message boundary.
+
+    Attributes
+    ----------
+    version:
+        Snapshot format version (must equal :data:`SNAPSHOT_VERSION` to
+        restore).
+    robot_id:
+        The session's identity, carried for bookkeeping; restore does not
+        require it to match (a migrated session may be re-keyed).
+    messages_processed:
+        How many messages the session had processed at checkpoint time.
+    detector_state:
+        :meth:`repro.core.detector.RoboADS.snapshot_state` — engine
+        recursion plus decision windows.
+    ingest_state:
+        :meth:`repro.serve.ingest.SequenceTracker.snapshot_state` —
+        sequencing position and delivery counters.
+    telemetry_exported:
+        How many telemetry events the session had already flushed to its
+        JSONL export when the checkpoint was taken (the export cursor).
+    telemetry_pending:
+        The recorded-but-unflushed telemetry events, carried in the snapshot
+        so a migrated session exports them from its new process; empty when
+        no recording sink was attached.
+    """
+
+    version: int
+    robot_id: str
+    messages_processed: int
+    detector_state: dict
+    ingest_state: dict
+    telemetry_exported: int = 0
+    telemetry_pending: tuple = ()
+
+    def require_version(self) -> None:
+        """Raise :class:`~repro.errors.SnapshotVersionError` unless current."""
+        if self.version != SNAPSHOT_VERSION:
+            raise SnapshotVersionError(
+                f"snapshot format version {self.version} cannot be restored by "
+                f"this library (expects {SNAPSHOT_VERSION}); re-checkpoint the "
+                "session with a matching library revision"
+            )
+
+    def to_bytes(self) -> bytes:
+        """Serialize for transport/storage (the worker-migration wire form)."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "SessionSnapshot":
+        """Inverse of :meth:`to_bytes`, with version checking.
+
+        Raises :class:`~repro.errors.SnapshotError` when the bytes do not
+        decode to a :class:`SessionSnapshot`, and
+        :class:`~repro.errors.SnapshotVersionError` on a format-version
+        mismatch — both before the caller can touch any session state.
+        """
+        try:
+            snapshot = pickle.loads(blob)
+        except Exception as exc:  # pickle raises a zoo of error types
+            raise SnapshotError(f"snapshot bytes failed to decode: {exc}") from exc
+        if not isinstance(snapshot, SessionSnapshot):
+            raise SnapshotError(
+                f"decoded object is {type(snapshot).__name__}, not a SessionSnapshot"
+            )
+        snapshot.require_version()
+        return snapshot

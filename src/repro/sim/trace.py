@@ -46,6 +46,11 @@ class SimulationTrace:
     #: delivery, the nominal case). Replays feed these back to the detector so
     #: offline results match the online degraded run.
     availability: list[tuple[str, ...] | None] = field(default_factory=list)
+    #: Explicit per-step sequence numbers (monotone 0-based by default). A
+    #: recorded step's identity used to be implied by its list index; carrying
+    #: it explicitly lets streaming ingest (:mod:`repro.serve.ingest`) detect
+    #: duplicated/reordered message deliveries against the recorded order.
+    sequences: list[int] = field(default_factory=list)
 
     def append(
         self,
@@ -60,7 +65,9 @@ class SimulationTrace:
         report: Any = None,
         clean_reading: np.ndarray | None = None,
         available: Sequence[str] | None = None,
+        sequence: int | None = None,
     ) -> None:
+        self.sequences.append(len(self.times) if sequence is None else int(sequence))
         self.times.append(float(t))
         self.true_states.append(np.asarray(true_state, dtype=float).copy())
         self.planned_controls.append(np.asarray(planned, dtype=float).copy())
@@ -101,6 +108,9 @@ class SimulationTrace:
     # ------------------------------------------------------------------
     def times_array(self) -> np.ndarray:
         return np.asarray(self.times)
+
+    def sequences_array(self) -> np.ndarray:
+        return np.asarray(self.sequences, dtype=int)
 
     def states_array(self) -> np.ndarray:
         return np.asarray(self.true_states)
@@ -168,6 +178,7 @@ class SimulationTrace:
                 ["*" if a is None else "|".join(a) for a in self.availability],
                 dtype=np.str_,
             ),
+            sequences=self.sequences_array(),
         )
 
     @classmethod
@@ -180,6 +191,7 @@ class SimulationTrace:
             )
             n = data["times"].shape[0]
             has_availability = "availability" in data.files  # pre-fault-layer archives lack it
+            has_sequences = "sequences" in data.files  # pre-streaming archives lack it
             for k in range(n):
                 encoded = str(data["truth_sensors"][k])
                 sensors = frozenset(encoded.split("|")) if encoded else frozenset()
@@ -200,5 +212,6 @@ class SimulationTrace:
                     report=None,
                     clean_reading=data["clean_readings"][k],
                     available=available,
+                    sequence=int(data["sequences"][k]) if has_sequences else None,
                 )
         return trace

@@ -1,0 +1,345 @@
+"""Unit tests for the streaming layer: messages, ingest, sessions, fleet.
+
+The parity/property suites prove the equivalence claims; these tests pin the
+component contracts — message coercion, the three ingest orderings, explicit
+trace sequence numbers (including the duplicated/reordered-trace replay
+regression), session bookkeeping and telemetry cursors, and the fleet
+service's lifecycle, backpressure accounting and failure propagation.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.detector import RoboADS
+from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.errors import ConfigurationError, IngestSequenceError
+from repro.eval.session_replay import report_drift, stream_trace
+from repro.obs import RecordingTelemetry
+from repro.sensors.lidar import WallDistanceSensor
+from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+from repro.serve import (
+    DetectorSession,
+    FleetService,
+    IngestPolicy,
+    SequenceTracker,
+    SessionMessage,
+    trace_messages,
+)
+from repro.sim.trace import SimulationTrace
+from repro.world.map import WorldMap
+
+pytestmark = [pytest.mark.serve]
+
+PROCESS = np.diag([0.0005**2, 0.0005**2, 0.0015**2])
+WORLD = WorldMap.rectangle(3.0, 3.0)
+
+
+def build_detector() -> RoboADS:
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)])
+    return RoboADS(
+        DifferentialDriveModel(dt=0.05),
+        suite,
+        PROCESS,
+        initial_state=np.array([1.5, 1.5, 0.0]),
+        nominal_control=np.array([0.1, 0.12]),
+    )
+
+
+def mission_steps(n: int, seed: int = 5):
+    """n raw (t, u, z) steps of a short randomized mission."""
+    model = DifferentialDriveModel(dt=0.05)
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)])
+    rng = np.random.default_rng(seed)
+    x = np.array([1.5, 1.5, 0.0])
+    q_sqrt = np.sqrt(np.diag(PROCESS))
+    steps = []
+    for k in range(n):
+        u = np.array([0.1, 0.12]) + 0.05 * rng.standard_normal(2)
+        x = model.normalize_state(model.f(x, u) + q_sqrt * rng.standard_normal(3))
+        steps.append((k * model.dt, u, suite.measure(x, rng), x.copy()))
+    return steps
+
+
+def mission_messages(n: int, seed: int = 5):
+    return [
+        SessionMessage(seq=k, t=t, control=u, reading=z)
+        for k, (t, u, z, _) in enumerate(mission_steps(n, seed))
+    ]
+
+
+def trace_from_steps(steps, sequences=None) -> SimulationTrace:
+    """Assemble a trace from raw steps, optionally with explicit sequences."""
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)])
+    trace = SimulationTrace(dt=0.05, sensor_names=tuple(suite.names))
+    for k, (t, u, z, x) in enumerate(steps):
+        trace.append(
+            t=t,
+            true_state=x,
+            planned=u,
+            executed=u,
+            reading=z,
+            nav_pose=x,
+            corrupted_sensors=frozenset(),
+            actuator_corrupted=False,
+            sequence=None if sequences is None else sequences[k],
+        )
+    return trace
+
+
+class TestSessionMessage:
+    def test_payload_is_coerced_and_copied(self):
+        u = np.array([1, 2], dtype=int)
+        z = [1.0, 2.0, 3.0]
+        msg = SessionMessage(seq=np.int64(3), t=1, control=u, reading=z, available=["ips"])
+        assert isinstance(msg.seq, int) and isinstance(msg.t, float)
+        assert msg.control.dtype == float and msg.reading.dtype == float
+        assert msg.available == ("ips",)
+        u[0] = 99
+        assert msg.control[0] == 1.0  # defensive copy
+
+
+class TestIngest:
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IngestPolicy(ordering="fifo")
+
+    def msg(self, seq):
+        return SessionMessage(seq=seq, t=0.0, control=[0.0], reading=[0.0])
+
+    def test_drop_stale_processes_monotone_subsequence(self):
+        tracker = SequenceTracker()
+        decisions = [tracker.admit(self.msg(s)) for s in [0, 1, 1, 0, 3, 2, 5]]
+        assert decisions == [True, True, False, False, True, False, True]
+        stats = tracker.stats
+        assert stats.received == 7
+        assert stats.processed == 4
+        assert stats.duplicates == 1  # the repeated 1
+        assert stats.dropped_stale == 2  # the late 0 and 2
+        assert tracker.last_seq == 5
+
+    def test_gaps_are_never_an_error(self):
+        tracker = SequenceTracker(IngestPolicy("strict"))
+        assert tracker.admit(self.msg(0))
+        assert tracker.admit(self.msg(10))  # a gap is upstream loss, not a bug
+        assert tracker.stats.processed == 2
+
+    def test_accept_processes_everything_and_counts_reorders(self):
+        tracker = SequenceTracker(IngestPolicy("accept"))
+        decisions = [tracker.admit(self.msg(s)) for s in [0, 2, 1, 2]]
+        assert decisions == [True, True, True, True]
+        assert tracker.stats.processed == 4
+        assert tracker.stats.reordered == 2
+
+    def test_strict_raises_before_any_counter_moves(self):
+        tracker = SequenceTracker(IngestPolicy("strict"))
+        tracker.admit(self.msg(4))
+        with pytest.raises(IngestSequenceError):
+            tracker.admit(self.msg(4))
+        assert tracker.stats.received == 1
+        assert tracker.stats.processed == 1
+
+    def test_snapshot_restore_resumes_sequencing(self):
+        tracker = SequenceTracker()
+        for s in [0, 1, 5]:
+            tracker.admit(self.msg(s))
+        state = tracker.snapshot_state()
+        restored = SequenceTracker()
+        restored.restore_state(state)
+        assert restored.last_seq == 5
+        assert not restored.admit(self.msg(3))  # still stale after restore
+        assert restored.stats.received == 4
+
+    def test_restore_rejects_mismatched_ordering(self):
+        state = SequenceTracker(IngestPolicy("accept")).snapshot_state()
+        with pytest.raises(ConfigurationError):
+            SequenceTracker(IngestPolicy("strict")).restore_state(state)
+
+
+class TestTraceSequences:
+    def test_sequences_default_to_step_index(self):
+        trace = trace_from_steps(mission_steps(4))
+        assert trace.sequences == [0, 1, 2, 3]
+
+    def test_explicit_sequences_round_trip_through_npz(self, tmp_path):
+        trace = trace_from_steps(mission_steps(3), sequences=[7, 9, 30])
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = SimulationTrace.load(path)
+        assert loaded.sequences == [7, 9, 30]
+        assert [m.seq for m in trace_messages(loaded)] == [7, 9, 30]
+
+    def test_archives_without_sequences_still_load(self, tmp_path):
+        trace = trace_from_steps(mission_steps(3))
+        saved = tmp_path / "old.npz"
+        trace.save(saved)
+        with np.load(saved) as data:
+            stripped = {k: data[k] for k in data.files if k != "sequences"}
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **stripped)
+        loaded = SimulationTrace.load(legacy)
+        assert loaded.sequences == [0, 1, 2]  # implied by step order
+
+    def test_duplicated_and_reordered_trace_replays_clean(self):
+        """Regression: a trace recording dirty delivery replays unperturbed.
+
+        The dirty trace carries the clean mission's steps plus duplicated
+        and out-of-order re-recordings (explicit stale sequence numbers).
+        Streaming it under the default ``drop_stale`` policy must produce
+        bit-identical reports to the clean trace.
+        """
+        steps = mission_steps(8)
+        clean = trace_from_steps(steps)
+        dirty_steps = (
+            steps[:3]
+            + [steps[2]]  # duplicate of the newest step
+            + steps[3:6]
+            + [steps[1], steps[4]]  # late re-deliveries, out of order
+            + steps[6:]
+        )
+        dirty_sequences = [0, 1, 2, 2, 3, 4, 5, 1, 4, 6, 7]
+        dirty = trace_from_steps(dirty_steps, sequences=dirty_sequences)
+
+        clean_reports = stream_trace(build_detector, clean)
+        dirty_reports = stream_trace(build_detector, dirty)
+        assert len(dirty_reports) == len(steps)
+        assert report_drift(dirty_reports, clean_reports, atol=0.0) == []
+
+    def test_strict_replay_of_dirty_trace_raises(self):
+        steps = mission_steps(4)
+        dirty = trace_from_steps(steps + [steps[1]], sequences=[0, 1, 2, 3, 1])
+        with pytest.raises(IngestSequenceError):
+            stream_trace(build_detector, dirty, policy=IngestPolicy("strict"))
+
+
+class TestDetectorSession:
+    def test_suppressed_messages_produce_no_report(self):
+        session = DetectorSession(build_detector())
+        messages = mission_messages(3)
+        assert session.process(messages[0]) is not None
+        assert session.process(messages[0]) is None  # duplicate
+        assert session.messages_processed == 1
+        assert session.last_report is not None
+        assert session.last_report.iteration == 1
+
+    def test_checkpoint_is_read_only(self):
+        session = DetectorSession(build_detector())
+        messages = mission_messages(6)
+        for m in messages[:3]:
+            session.process(m)
+        first = session.checkpoint().to_bytes()
+        assert session.checkpoint().to_bytes() == first  # no self-perturbation
+        for m in messages[3:]:
+            assert session.process(m) is not None
+
+    def test_telemetry_cursor_survives_migration(self, tmp_path):
+        session = DetectorSession(
+            build_detector(), robot_id="r1", telemetry=RecordingTelemetry()
+        )
+        messages = mission_messages(6)
+        for m in messages[:3]:
+            session.process(m)
+        path = tmp_path / "r1.jsonl"
+        flushed = session.export_telemetry(path)
+        assert flushed > 0
+        exported_lines = path.read_text().count("\n")
+        assert exported_lines == flushed
+
+        snapshot = session.checkpoint()
+        migrated = DetectorSession.resume(
+            build_detector(), snapshot, telemetry=RecordingTelemetry()
+        )
+        for m in messages[3:]:
+            migrated.process(m)
+        # The migrated session flushes only events after the old cursor:
+        # nothing that was already exported appears twice.
+        migrated.export_telemetry(path)
+        total_lines = path.read_text().count("\n")
+        assert total_lines > exported_lines
+        reference = DetectorSession(
+            build_detector(), robot_id="ref", telemetry=RecordingTelemetry()
+        )
+        for m in messages:
+            reference.process(m)
+        assert total_lines == len(reference.detector.telemetry.events)
+
+
+class TestFleetService:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_duplicate_robot_rejected(self):
+        async def scenario():
+            service = FleetService()
+            await service.open_session("r1", build_detector())
+            with pytest.raises(ConfigurationError):
+                await service.open_session("r1", build_detector())
+            await service.close_all()
+
+        self.run(scenario())
+
+    def test_unknown_robot_rejected(self):
+        async def scenario():
+            service = FleetService()
+            with pytest.raises(ConfigurationError):
+                await service.submit("ghost", mission_messages(1)[0])
+            with pytest.raises(ConfigurationError):
+                await service.close_session("ghost")
+
+        self.run(scenario())
+
+    def test_processing_failure_propagates_at_close(self):
+        async def scenario():
+            service = FleetService()
+            await service.open_session("r1", build_detector())
+            bad = SessionMessage(seq=0, t=0.0, control=[0.1, 0.12], reading=[1.0])
+            await service.submit("r1", bad)  # wrong reading shape: worker dies
+            with pytest.raises(Exception):
+                await service.close_session("r1")
+            assert service.active_sessions == ()
+
+        self.run(scenario())
+
+    def test_checkpoint_session_then_resume_elsewhere(self):
+        async def scenario():
+            messages = mission_messages(10)
+            service = FleetService()
+            await service.open_session("r1", build_detector())
+            for m in messages[:4]:
+                await service.submit("r1", m)
+            snapshot = await service.checkpoint_session("r1")
+            await service.close_session("r1")
+
+            other = FleetService()
+            await other.open_session("r1", build_detector(), snapshot=snapshot)
+            for m in messages[4:]:
+                await other.submit("r1", m)
+            resumed = (await other.close_all())["r1"]
+
+            reference = DetectorSession(build_detector())
+            ref_reports = [
+                r for m in messages if (r := reference.process(m)) is not None
+            ]
+            assert report_drift(resumed.reports, ref_reports[4:], atol=0.0) == []
+
+        self.run(scenario())
+
+    def test_fleet_telemetry_export(self, tmp_path):
+        async def scenario():
+            service = FleetService(queue_capacity=2, export_dir=tmp_path)
+            await service.open_session(
+                "r1", build_detector(), telemetry=RecordingTelemetry()
+            )
+            await service.open_session("r2", build_detector())  # no telemetry
+            for m in mission_messages(5):
+                await service.submit("r1", m)
+                await service.submit("r2", m)
+            results = await service.close_all()
+            assert results["r1"].telemetry_path == tmp_path / "r1.jsonl"
+            assert results["r1"].telemetry_path.exists()
+            assert results["r2"].telemetry_path is None
+            assert results["r1"].max_queue_depth <= 2
+
+        self.run(scenario())

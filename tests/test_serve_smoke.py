@@ -1,0 +1,35 @@
+"""Streaming smoke gate: run ``scripts/serve_smoke.py`` as part of tier-1.
+
+The script owns the logic (streaming == batch == resumed, fleet
+backpressure, the 60 s budget); this test wires a scaled-down variant into
+the default pytest run so the gate cannot rot unnoticed between CI setups
+that only run pytest.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+pytestmark = [pytest.mark.serve, pytest.mark.slow]
+
+
+@pytest.fixture(scope="module")
+def serve_smoke():
+    """Import ``scripts/serve_smoke.py`` as a module (scripts/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "serve_smoke", REPO / "scripts" / "serve_smoke.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_serve_smoke_passes(serve_smoke, capsys):
+    """A scaled-down smoke (short mission, small fleet) must be bit-exact."""
+    assert serve_smoke.main(["--duration", "2.0", "--robots", "3"]) == 0
+    assert "OK: streaming smoke passed" in capsys.readouterr().out

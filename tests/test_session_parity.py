@@ -1,0 +1,112 @@
+"""Golden parity: streaming == batch == resume-after-checkpoint, at 1e-10.
+
+The streaming layer's product is an equivalence claim. These tests pin it on
+the canonical 200-step Khepera/Tamiya golden missions:
+
+* a :class:`~repro.serve.session.DetectorSession` fed the mission
+  message-by-message reproduces the archived per-iteration statistics to
+  1e-10 (the same bar the batch golden tests hold),
+* streaming is *bit-identical* to :meth:`RoboADS.replay` on the same trace,
+* interrupting the stream with checkpoint → pickle → restore every k
+  messages — restoring into a freshly built detector, i.e. worker migration
+  — changes nothing, for several k including k=1 (a checkpoint at every
+  single message boundary).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.golden import GOLDEN_MISSIONS, compare_golden, load_golden
+from repro.eval.runner import run_scenario
+from repro.eval.session_replay import report_drift, stream_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+pytestmark = [pytest.mark.serve, pytest.mark.slow]
+
+
+@pytest.fixture(scope="module")
+def golden_run(khepera, tamiya):
+    """The canonical missions re-run once: (rig, trace, replay reports)."""
+    rigs = {"khepera": khepera, "tamiya": tamiya}
+    cache: dict[str, tuple] = {}
+
+    def get(mission: str):
+        if mission not in cache:
+            factory, seed, n_steps = GOLDEN_MISSIONS[mission]
+            rig = rigs[mission]
+            result = run_scenario(
+                rig,
+                None,
+                seed=seed,
+                duration=n_steps * rig.model.dt,
+                stop_at_goal=False,
+            )
+            cache[mission] = (rig, result.trace, result.reports)
+        return cache[mission]
+
+    return get
+
+
+def reports_as_golden(trace, reports) -> dict:
+    """Reduce streamed reports to the golden-archive array layout."""
+    import numpy as np
+
+    mode_names = tuple(sorted(reports[0].statistics.mode_probabilities))
+    sensor_names = tuple(trace.sensor_names)
+    return {
+        "mode_names": np.array(mode_names, dtype=np.str_),
+        "sensor_names": np.array(sensor_names, dtype=np.str_),
+        "readings": trace.readings_array(),
+        "planned": trace.planned_array(),
+        "true_states": trace.states_array(),
+        "state_estimate": np.array([r.statistics.state_estimate for r in reports]),
+        "actuator_estimate": np.array([r.statistics.actuator_estimate for r in reports]),
+        "sensor_statistic": np.array([r.statistics.sensor_statistic for r in reports]),
+        "actuator_statistic": np.array([r.statistics.actuator_statistic for r in reports]),
+        "mode_probabilities": np.array(
+            [[r.statistics.mode_probabilities[m] for m in mode_names] for r in reports]
+        ),
+        "selected_mode": np.array(
+            [mode_names.index(r.statistics.selected_mode) for r in reports], dtype=int
+        ),
+        "flagged": np.array(
+            [[s in r.flagged_sensors for s in sensor_names] for r in reports], dtype=bool
+        ),
+        "actuator_alarm": np.array([r.actuator_alarm for r in reports], dtype=bool),
+    }
+
+
+@pytest.mark.parametrize("mission", sorted(GOLDEN_MISSIONS))
+class TestStreamingGoldenParity:
+    def test_streaming_matches_archive(self, mission, golden_run):
+        """Message-by-message streaming reproduces the archive at 1e-10."""
+        rig, trace, _ = golden_run(mission)
+        streamed = stream_trace(lambda: rig.detector(), trace)
+        stored = load_golden(GOLDEN_DIR / f"{mission}_200.npz")
+        drifted = compare_golden(reports_as_golden(trace, streamed), stored, atol=1e-10)
+        assert not drifted, f"streaming drifted beyond 1e-10 in: {drifted}"
+
+    def test_streaming_bit_identical_to_replay(self, mission, golden_run):
+        """Streaming equals the batch replay path exactly, not just to 1e-10."""
+        rig, trace, reports = golden_run(mission)
+        streamed = stream_trace(lambda: rig.detector(), trace)
+        assert report_drift(streamed, reports, atol=0.0) == []
+
+    @pytest.mark.parametrize("every", [1, 7, 50])
+    def test_checkpoint_restore_continue(self, mission, every, golden_run):
+        """Checkpoint → pickle → restore into a fresh detector every k steps.
+
+        k=1 checkpoints at every message boundary; k=7 lands mid
+        c-of-w-window on both decision channels (sensor w=2, actuator w=6);
+        k=50 exercises long uninterrupted stretches. All must be
+        bit-identical to the uninterrupted replay, and therefore within
+        1e-10 of the archive.
+        """
+        rig, trace, reports = golden_run(mission)
+        streamed = stream_trace(lambda: rig.detector(), trace, checkpoint_every=every)
+        assert report_drift(streamed, reports, atol=0.0) == []
+        stored = load_golden(GOLDEN_DIR / f"{mission}_200.npz")
+        drifted = compare_golden(reports_as_golden(trace, streamed), stored, atol=1e-10)
+        assert not drifted, f"checkpointed stream drifted beyond 1e-10 in: {drifted}"

@@ -1,0 +1,258 @@
+"""Hypothesis properties: checkpoint → pickle → restore is *exact*.
+
+The example-based parity tests pin the golden missions; these properties pin
+the mechanism over randomized detector states: arbitrary mission prefixes
+with degraded availability masks (which exercise held modes and the partial
+NUISE path), checkpoints landing mid c-of-w-window, differently sized mode
+banks, and redelivered/stale message streams. In every case the round trip
+through the pickled wire form must change *nothing* — report drift at
+``atol=0.0`` and bit-identical end-of-run snapshot bytes — and malformed or
+version-mismatched snapshots must raise the typed errors without perturbing
+the resident session.
+"""
+
+import dataclasses
+import itertools
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.detector import RoboADS
+from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.errors import (
+    SnapshotCompatibilityError,
+    SnapshotError,
+    SnapshotVersionError,
+)
+from repro.eval.session_replay import report_drift
+from repro.sensors.lidar import WallDistanceSensor
+from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+from repro.serve import (
+    SNAPSHOT_VERSION,
+    DetectorSession,
+    SessionMessage,
+    SessionSnapshot,
+)
+from repro.world.map import WorldMap
+
+pytestmark = [pytest.mark.serve]
+
+PROCESS = np.diag([0.0005**2, 0.0005**2, 0.0015**2])
+WORLD = WorldMap.rectangle(3.0, 3.0)
+
+# Two rig shapes so the properties cover different mode-bank sizes: the full
+# three-sensor bank and a two-sensor bank with one fewer reference mode.
+SUITES = {
+    "full": lambda: [IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)],
+    "dual": lambda: [IPS(), OdometryPoseSensor()],
+}
+SUITE_NAMES = {
+    "full": ("ips", "wheel_encoder", "lidar"),
+    "dual": ("ips", "wheel_encoder"),
+}
+
+
+def build_detector(suite_key: str = "full") -> RoboADS:
+    return RoboADS(
+        DifferentialDriveModel(dt=0.05),
+        SensorSuite(SUITES[suite_key]()),
+        PROCESS,
+        initial_state=np.array([1.5, 1.5, 0.0]),
+        nominal_control=np.array([0.1, 0.12]),
+    )
+
+
+def random_messages(suite_key, seed, masks):
+    """A short randomized mission as a message stream, seq = step index."""
+    model = DifferentialDriveModel(dt=0.05)
+    suite = SensorSuite(SUITES[suite_key]())
+    rng = np.random.default_rng(seed)
+    x = np.array([1.5, 1.5, 0.0])
+    q_sqrt = np.sqrt(np.diag(PROCESS))
+    messages = []
+    for k, mask in enumerate(masks):
+        u = np.array([0.1, 0.12]) + 0.05 * rng.standard_normal(2)
+        x = model.normalize_state(model.f(x, u) + q_sqrt * rng.standard_normal(3))
+        z = suite.measure(x, rng)
+        messages.append(
+            SessionMessage(seq=k, t=k * model.dt, control=u, reading=z, available=mask)
+        )
+    return messages
+
+
+def _mask_strategy(suite_key):
+    names = SUITE_NAMES[suite_key]
+    subsets = [
+        combo
+        for r in range(1, len(names) + 1)
+        for combo in itertools.combinations(names, r)
+    ]
+    # None = nominal full delivery; a proper subset = a degraded iteration
+    # (held modes for every reference sensor that went missing).
+    return st.one_of(st.none(), st.sampled_from(subsets))
+
+
+@st.composite
+def streaming_cases(draw):
+    """(suite_key, seed, masks, cut): a mission and a checkpoint position."""
+    suite_key = draw(st.sampled_from(sorted(SUITES)))
+    n = draw(st.integers(min_value=3, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    masks = draw(
+        st.lists(_mask_strategy(suite_key), min_size=n, max_size=n)
+    )
+    cut = draw(st.integers(min_value=1, max_value=n - 1))
+    return suite_key, seed, masks, cut
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=streaming_cases())
+def test_checkpoint_pickle_restore_roundtrip_exact(case):
+    """Interrupt anywhere, round-trip the wire form, migrate: zero drift.
+
+    The cut position is unconstrained, so checkpoints routinely land mid
+    c-of-w-window on both decision channels and between held-mode degraded
+    iterations; the restored detector is freshly built (migration), and both
+    the reports and the *end-of-run snapshot bytes* must match the
+    uninterrupted session exactly.
+    """
+    suite_key, seed, masks, cut = case
+    messages = random_messages(suite_key, seed, masks)
+
+    reference = DetectorSession(build_detector(suite_key))
+    ref_reports = [r for m in messages if (r := reference.process(m)) is not None]
+
+    interrupted = DetectorSession(build_detector(suite_key))
+    reports = [r for m in messages[:cut] if (r := interrupted.process(m)) is not None]
+    blob = interrupted.checkpoint().to_bytes()
+    migrated = DetectorSession.resume(
+        build_detector(suite_key), SessionSnapshot.from_bytes(blob)
+    )
+    reports += [r for m in messages[cut:] if (r := migrated.process(m)) is not None]
+
+    assert report_drift(reports, ref_reports, atol=0.0) == []
+    assert migrated.checkpoint().to_bytes() == reference.checkpoint().to_bytes()
+
+
+@st.composite
+def redelivery_cases(draw):
+    """A clean mission plus injected duplicate/stale redeliveries."""
+    suite_key, seed, masks, _ = draw(streaming_cases())
+    n = len(masks)
+    n_inject = draw(st.integers(min_value=1, max_value=6))
+    injections = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=n),  # insertion point
+                st.integers(min_value=0, max_value=n - 1),  # redelivered step
+            ),
+            min_size=n_inject,
+            max_size=n_inject,
+        )
+    )
+    return suite_key, seed, masks, injections
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=redelivery_cases())
+def test_stale_redelivery_never_perturbs_the_recursion(case):
+    """Under ``drop_stale``, duplicated/late arrivals are exactly invisible.
+
+    A dirty stream — the clean mission with messages redelivered at
+    arbitrary later points — must leave the detector bit-identical to the
+    clean stream, and the suppressions must be fully accounted for in the
+    ingest counters.
+    """
+    suite_key, seed, masks, injections = case
+    messages = random_messages(suite_key, seed, masks)
+
+    dirty = list(messages)
+    suppressed = 0
+    for at, source in sorted(injections, reverse=True):
+        # Re-insert an already-delivered message later in the stream; only
+        # count it as suppressed when it lands at/after its clean position.
+        if at > source:
+            suppressed += 1
+            dirty.insert(at, messages[source])
+
+    clean_session = DetectorSession(build_detector(suite_key))
+    clean = [r for m in messages if (r := clean_session.process(m)) is not None]
+    dirty_session = DetectorSession(build_detector(suite_key))
+    streamed = [r for m in dirty if (r := dirty_session.process(m)) is not None]
+
+    assert report_drift(streamed, clean, atol=0.0) == []
+    stats = dirty_session.ingest_stats
+    assert stats.processed == len(messages)
+    assert stats.duplicates + stats.dropped_stale == suppressed
+    assert stats.received == stats.processed + suppressed
+    assert pickle.dumps(dirty_session.detector.snapshot_state()) == pickle.dumps(
+        clean_session.detector.snapshot_state()
+    )
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    bad_version=st.integers().filter(lambda v: v != SNAPSHOT_VERSION),
+    n_steps=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_version_mismatch_raises_typed_error_without_corruption(
+    bad_version, n_steps, seed
+):
+    """A wrong-version snapshot fails loudly and changes nothing.
+
+    Both the decode path (``from_bytes``) and the in-process restore raise
+    :class:`SnapshotVersionError`, and afterwards the resident session's own
+    checkpoint is byte-for-byte what it was before the failed restore.
+    """
+    session = DetectorSession(build_detector("dual"))
+    for message in random_messages("dual", seed, [None] * n_steps):
+        session.process(message)
+    good = session.checkpoint()
+    bad = dataclasses.replace(good, version=bad_version)
+
+    with pytest.raises(SnapshotVersionError):
+        SessionSnapshot.from_bytes(bad.to_bytes())
+    with pytest.raises(SnapshotVersionError):
+        session.restore(bad)
+    assert session.checkpoint().to_bytes() == good.to_bytes()
+
+
+class TestSnapshotRejection:
+    """Malformed snapshots raise typed errors; the session survives intact."""
+
+    def test_garbage_bytes_raise_snapshot_error(self):
+        with pytest.raises(SnapshotError):
+            SessionSnapshot.from_bytes(b"\x00not a pickle")
+
+    def test_wrong_object_raises_snapshot_error(self):
+        blob = pickle.dumps({"version": SNAPSHOT_VERSION})
+        with pytest.raises(SnapshotError):
+            SessionSnapshot.from_bytes(blob)
+
+    def test_version_error_is_a_snapshot_error(self):
+        assert issubclass(SnapshotVersionError, SnapshotError)
+
+    def test_mismatched_rig_rolls_back_cleanly(self):
+        """Restoring a foreign rig's snapshot fails typed and atomically.
+
+        The three-sensor snapshot names modes the two-sensor detector does
+        not have; the restore must raise
+        :class:`SnapshotCompatibilityError` and leave the resident session
+        exactly where it was (all-or-nothing restore).
+        """
+        foreign = DetectorSession(build_detector("full"))
+        for message in random_messages("full", 7, [None] * 5):
+            foreign.process(message)
+        session = DetectorSession(build_detector("dual"))
+        for message in random_messages("dual", 11, [None] * 5):
+            session.process(message)
+        before = session.checkpoint().to_bytes()
+
+        with pytest.raises(SnapshotCompatibilityError):
+            session.restore(foreign.checkpoint())
+        assert session.checkpoint().to_bytes() == before

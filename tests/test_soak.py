@@ -5,18 +5,29 @@ These tests drive a patrol circuit for thousands of control iterations and
 assert the properties that silently rot in unstable filters: bounded
 covariances, normalized mode probabilities, a flat false-alarm rate, and
 intact detection sensitivity at the end of the soak.
+
+The opt-in ``soak``-marked fleet test extends the idea to the streaming
+layer: ≥1000 concurrent :class:`~repro.serve.service.FleetService` sessions
+under randomized producer interleaving, small bounded queues (so
+backpressure actually engages) and dirty per-robot delivery, with every
+robot's reports required to be bit-identical across schedules and to a
+serial reference. Run it with ``pytest -m soak``.
 """
+
+import asyncio
 
 import numpy as np
 import pytest
 
 from repro.core.detector import RoboADS
 from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.eval.session_replay import report_drift
 from repro.planning.path import Path
 from repro.planning.tracking import DifferentialDriveTracker
 from repro.sensors.lidar import WallDistanceSensor
 from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
 from repro.sensors.suite import SensorSuite
+from repro.serve import DetectorSession, FleetService, SessionMessage
 from repro.world.map import WorldMap
 
 PROCESS = np.diag([0.0005**2, 0.0005**2, 0.0015**2])
@@ -111,3 +122,129 @@ class TestSoak:
             if report.flagged_sensors == frozenset({"ips"}):
                 detected += 1
         assert detected >= 15
+
+
+def fleet_detector() -> RoboADS:
+    """A cheap three-sensor detector, one per fleet robot."""
+    world = WorldMap.rectangle(3.0, 3.0)
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(world)])
+    return RoboADS(
+        DifferentialDriveModel(dt=0.05),
+        suite,
+        PROCESS,
+        initial_state=np.array([1.5, 1.5, 0.0]),
+        nominal_control=np.array([0.1, 0.12]),
+    )
+
+
+def fleet_messages(robot_index: int, n_steps: int) -> list[SessionMessage]:
+    """One robot's message stream; a third of the fleet gets dirty delivery.
+
+    Robots cycle through three delivery personas: clean, degraded (a sensor
+    missing on every third iteration), and redelivering (stale duplicates of
+    earlier messages injected mid-stream — suppressed by the default
+    ``drop_stale`` ingest policy).
+    """
+    model = DifferentialDriveModel(dt=0.05)
+    world = WorldMap.rectangle(3.0, 3.0)
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(world)])
+    rng = np.random.default_rng(1_000_003 * (robot_index + 1))
+    x = np.array([1.5, 1.5, 0.0])
+    q_sqrt = np.sqrt(np.diag(PROCESS))
+    persona = robot_index % 3
+    messages: list[SessionMessage] = []
+    for k in range(n_steps):
+        u = np.array([0.1, 0.12]) + 0.05 * rng.standard_normal(2)
+        x = model.normalize_state(model.f(x, u) + q_sqrt * rng.standard_normal(3))
+        z = suite.measure(x, rng)
+        available = None
+        if persona == 1 and k % 3 == 2:
+            available = ("ips", "wheel_encoder")
+        messages.append(
+            SessionMessage(seq=k, t=k * model.dt, control=u, reading=z, available=available)
+        )
+        if persona == 2 and k >= 2 and k % 4 == 2:
+            messages.append(messages[k - 2])  # stale redelivery
+    return messages
+
+
+@pytest.mark.soak
+class TestFleetSoak:
+    """≥1000 concurrent sessions; reports independent of scheduling."""
+
+    N_ROBOTS = 1000
+    N_STEPS = 12
+    QUEUE_CAPACITY = 4  # small on purpose: producers must hit backpressure
+
+    def robot_ids(self):
+        return [f"robot-{i:04d}" for i in range(self.N_ROBOTS)]
+
+    def streams(self):
+        return {
+            robot_id: fleet_messages(i, self.N_STEPS)
+            for i, robot_id in enumerate(self.robot_ids())
+        }
+
+    async def run_fleet(self, streams, schedule_seed: int):
+        """Drive the whole fleet concurrently under one randomized schedule.
+
+        Each robot has its own producer coroutine; a per-producer RNG decides
+        after every submit whether to yield the event loop, so different
+        seeds interleave the robots differently. Correctness must not care.
+        """
+        service = FleetService(queue_capacity=self.QUEUE_CAPACITY)
+        for robot_id in streams:
+            await service.open_session(robot_id, fleet_detector())
+
+        async def produce(robot_id, messages, seed):
+            rng = np.random.default_rng(seed)
+            for message in messages:
+                await service.submit(robot_id, message)
+                if rng.random() < 0.5:
+                    await asyncio.sleep(0)
+
+        await asyncio.gather(
+            *(
+                produce(robot_id, messages, schedule_seed * self.N_ROBOTS + i)
+                for i, (robot_id, messages) in enumerate(streams.items())
+            )
+        )
+        return await service.close_all()
+
+    def test_thousand_sessions_schedule_independent(self):
+        streams = self.streams()
+        first = asyncio.run(self.run_fleet(streams, schedule_seed=1))
+        second = asyncio.run(self.run_fleet(streams, schedule_seed=2))
+        assert len(first) == self.N_ROBOTS
+
+        # Bounded queues really engaged: with capacity 4 and 12+ messages per
+        # robot, producers must have filled a queue somewhere in the fleet.
+        assert max(r.max_queue_depth for r in first.values()) == self.QUEUE_CAPACITY
+        assert all(
+            r.max_queue_depth <= self.QUEUE_CAPACITY for r in first.values()
+        )
+
+        # Dirty delivery personas actually exercised their paths.
+        suppressed = sum(
+            r.ingest.duplicates + r.ingest.dropped_stale for r in first.values()
+        )
+        assert suppressed > 0
+        assert all(r.ingest.processed == self.N_STEPS for r in first.values())
+
+        # The core claim: per-robot reports are independent of scheduling.
+        for robot_id in streams:
+            assert (
+                report_drift(second[robot_id].reports, first[robot_id].reports, atol=0.0)
+                == []
+            ), f"{robot_id} drifted between schedules"
+
+        # And a sample of robots (every 97th, all three personas) matches a
+        # serial single-session reference bit-for-bit.
+        for robot_id in list(streams)[:: 97]:
+            session = DetectorSession(fleet_detector(), robot_id=robot_id)
+            serial = [
+                r for m in streams[robot_id] if (r := session.process(m)) is not None
+            ]
+            assert (
+                report_drift(first[robot_id].reports, serial, atol=0.0) == []
+            ), f"{robot_id} drifted from the serial reference"
