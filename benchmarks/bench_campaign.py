@@ -1,0 +1,69 @@
+"""Bench: campaign-runner throughput and cache-hit economics.
+
+Runs a small detection campaign (two scenarios, short missions) through
+:func:`repro.campaign.run_campaign` against a throwaway store, twice:
+
+* **cold** — every cell computed; the recorded mean is the end-to-end
+  wall time including hashing, execution and artifact persistence, and
+  ``cells_per_s`` is the runner's compute throughput;
+* **warm** — the identical manifest against the now-populated store; every
+  cell must be a cache hit (asserted), so the mean is pure
+  hash-and-lookup overhead and ``cache_hit_rate`` must be 1.0.
+
+Both tests carry the ``bench_smoke`` marker; ``scripts/bench_smoke.py``
+copies ``cells``, ``cells_per_s`` and ``cache_hit_rate`` into
+``BENCH_perf.json`` so the repository tracks the incremental runner's
+overhead across PRs (docs/CAMPAIGNS.md).
+"""
+
+import pytest
+
+from repro.campaign import CampaignManifest, ResultStore, run_campaign
+from repro.campaign.manifest import detection_grid
+
+
+def _manifest() -> CampaignManifest:
+    return CampaignManifest(
+        "bench-campaign",
+        cells=detection_grid(
+            "khepera", [1, 4], intensities=(0.0,), n_trials=1, duration=4.0
+        ),
+        description="campaign-runner throughput bench",
+    )
+
+
+def _record(benchmark, report) -> None:
+    benchmark.extra_info["cells"] = report.total
+    benchmark.extra_info["cells_per_s"] = round(report.cells_per_s, 3)
+    benchmark.extra_info["cache_hit_rate"] = report.cache_hit_rate
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_cold_throughput(benchmark, tmp_path):
+    manifest = _manifest()
+
+    def cold():
+        store = ResultStore(tmp_path / f"store-{cold.calls}")
+        cold.calls += 1
+        return run_campaign(manifest, store)
+
+    cold.calls = 0
+    report = benchmark.pedantic(cold, rounds=2, iterations=1, warmup_rounds=1)
+    assert report.computed == report.total
+    _record(benchmark, report)
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_warm_cache_hits(benchmark, tmp_path):
+    manifest = _manifest()
+    store = ResultStore(tmp_path / "store")
+    run_campaign(manifest, store)  # populate once, outside the measurement
+
+    report = benchmark.pedantic(
+        lambda: run_campaign(manifest, store), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert report.cached == report.total, "warm run must be all cache hits"
+    assert report.cache_hit_rate == 1.0
+    _record(benchmark, report)

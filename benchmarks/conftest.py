@@ -1,26 +1,37 @@
 """Benchmark harness helpers.
 
 Every bench regenerates one paper table/figure, asserts the paper's
-qualitative claims, saves the rendered report under
-``benchmarks/results/`` and prints it (visible with ``pytest -s``).
+qualitative claims, persists the rendered report and prints it (visible
+with ``pytest -s``). Reports land in the content-addressed artifact store
+(``benchmarks/artifacts/`` — see docs/CAMPAIGNS.md) with a plain-text
+compat copy under ``benchmarks/results/`` for quick diffing.
 """
 
 from __future__ import annotations
 
 import pathlib
+import sys
 
 import pytest
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+ARTIFACTS_DIR = pathlib.Path(__file__).parent / "artifacts"
 
 
 @pytest.fixture(scope="session")
 def save_report():
+    from repro.campaign.store import ResultStore
+
     RESULTS_DIR.mkdir(exist_ok=True)
+    store = ResultStore(ARTIFACTS_DIR)
 
     def _save(name: str, text: str) -> None:
+        address = store.put_report(name, text)
+        # Compat shim: keep the historical .txt alongside the store object.
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
-        print(f"\n{text}\n[saved to {path}]")
+        print(f"\n{text}\n[saved to {path}; store object {address[:16]}]")
 
     return _save

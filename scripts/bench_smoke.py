@@ -5,8 +5,9 @@ Usage (from the repository root)::
 
     python scripts/bench_smoke.py [extra pytest args...]
 
-Runs every ``bench_smoke``-marked benchmark in ``benchmarks/bench_perf.py``
-and ``benchmarks/bench_parallel.py`` via pytest-benchmark and reduces the
+Runs every ``bench_smoke``-marked benchmark in ``benchmarks/bench_perf.py``,
+``benchmarks/bench_campaign.py`` and (on multi-core machines)
+``benchmarks/bench_parallel.py`` via pytest-benchmark and reduces the
 statistics to a small committed JSON file, so the repository carries a
 recorded perf trajectory across PRs: mean/stddev iteration latency per rig
 and per mode-set, serial-vs-parallel evaluation throughput, plus the pinned
@@ -47,7 +48,10 @@ def main(argv: list[str]) -> int:
     # overhead — skip the whole ``parallel`` group and record why, instead
     # of committing numbers that read as a parallelization regression.
     skip_parallel = os.cpu_count() == 1
-    bench_files = [str(REPO / "benchmarks" / "bench_perf.py")]
+    bench_files = [
+        str(REPO / "benchmarks" / "bench_perf.py"),
+        str(REPO / "benchmarks" / "bench_campaign.py"),
+    ]
     if not skip_parallel:
         bench_files.append(str(REPO / "benchmarks" / "bench_parallel.py"))
     with tempfile.TemporaryDirectory() as tmp:
@@ -82,7 +86,7 @@ def main(argv: list[str]) -> int:
             "group": bench.get("group"),
         }
         extra = bench.get("extra_info") or {}
-        for key in ("workers", "cpu_count", "baseline"):
+        for key in ("workers", "cpu_count", "baseline", "cells", "cells_per_s", "cache_hit_rate"):
             if key in extra:
                 entry[key] = extra[key]
         baseline = PRE_CHANGE_BASELINE_S.get(name)
@@ -111,7 +115,10 @@ def main(argv: list[str]) -> int:
             "pins the pre-shared-workspace seed revision measured on the "
             "reference machine; speedup_vs_serial compares each parallel "
             "benchmark to its serial baseline on this machine's cpu_count "
-            "(docs/PERFORMANCE.md)."
+            "(docs/PERFORMANCE.md). The campaign group records the "
+            "incremental runner's compute throughput (cells_per_s, cold) "
+            "and cache-lookup overhead (warm, cache_hit_rate 1.0) — see "
+            "docs/CAMPAIGNS.md."
         ),
         "results": results,
     }

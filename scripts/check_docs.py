@@ -1,14 +1,18 @@
 #!/usr/bin/env python
-"""Docs gate: markdown link validity + public-API docstring coverage.
+"""Docs gate: markdown link validity + path drift + docstring coverage.
 
-Two independent checks, both offline and fast (<1 s):
+Three independent checks, all offline and fast (<1 s):
 
 1. **Markdown links** — every relative link/image target in the README and
    the ``docs/`` pages must resolve to an existing file inside the repo
    (anchors are stripped; ``http(s)``/``mailto`` targets are skipped).
-2. **Docstring lint** — the documented-API modules
+2. **Path references** — every ``docs/*.md`` page or ``scripts/*.py``
+   script a markdown file mentions (in prose *or* in fenced command
+   lines) must exist, so renamed docs and deleted scripts cannot leave
+   stale instructions behind.
+3. **Docstring lint** — the documented-API modules
    (``core/engine.py``, ``core/decision.py``, ``sim/faults.py``, the
-   whole ``obs/`` and ``serve/`` packages and
+   whole ``obs/``, ``serve/`` and ``campaign/`` packages and
    ``eval/session_replay.py``) must carry docstrings on the module and on
    every public class, function and method. This is the
    pydocstyle D100/D101/D102/D103 subset, reimplemented on ``ast`` so the
@@ -34,6 +38,7 @@ MARKDOWN_FILES = (
     "DESIGN.md",
     "EXPERIMENTS.md",
     "docs/ARCHITECTURE.md",
+    "docs/CAMPAIGNS.md",
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
     "docs/ROBUSTNESS.md",
@@ -58,6 +63,13 @@ DOCSTRING_MODULES = (
     "src/repro/serve/service.py",
     "src/repro/serve/adapter.py",
     "src/repro/eval/session_replay.py",
+    "src/repro/campaign/__init__.py",
+    "src/repro/campaign/hashing.py",
+    "src/repro/campaign/manifest.py",
+    "src/repro/campaign/cells.py",
+    "src/repro/campaign/store.py",
+    "src/repro/campaign/runner.py",
+    "src/repro/campaign/report.py",
 )
 
 # Inline links/images: [text](target) / ![alt](target). Reference-style
@@ -87,6 +99,34 @@ def check_markdown_links(repo: pathlib.Path = REPO) -> list[str]:
                 resolved = (path.parent / target.split("#", 1)[0]).resolve()
                 if not resolved.exists():
                     findings.append(f"{rel}:{lineno}: broken link -> {target}")
+    return findings
+
+
+# Repo paths under docs/ and scripts/ mentioned anywhere in a page —
+# backticked prose and fenced command lines alike. Wildcard references
+# (e.g. ``benchmarks/results/*.txt``) fall outside the charset on purpose.
+_PATH_REF_RE = re.compile(r"\b(?:docs|scripts)/[A-Za-z0-9_\-][A-Za-z0-9_\-./]*\.(?:md|py)\b")
+
+
+def check_path_references(repo: pathlib.Path = REPO) -> list[str]:
+    """Return one finding per mention of a nonexistent docs page or script.
+
+    Unlike :func:`check_markdown_links` this scans *all* text including
+    code fences, because stale command lines (``python scripts/gone.py``)
+    are exactly the drift this catches; paths are resolved from the repo
+    root, which is how every page in :data:`MARKDOWN_FILES` writes them.
+    """
+    findings: list[str] = []
+    for rel in MARKDOWN_FILES:
+        path = repo / rel
+        if not path.is_file():
+            continue  # already reported by check_markdown_links
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            for match in _PATH_REF_RE.finditer(line):
+                if not (repo / match.group(0)).is_file():
+                    findings.append(
+                        f"{rel}:{lineno}: reference to nonexistent {match.group(0)}"
+                    )
     return findings
 
 
@@ -148,7 +188,7 @@ def check_docstrings(repo: pathlib.Path = REPO) -> list[str]:
 def main(argv: list[str] | None = None) -> int:
     """Run both checks and print a report; return 0 when everything is clean."""
     del argv  # no options yet; kept for symmetry with the other CLIs
-    findings = check_markdown_links() + check_docstrings()
+    findings = check_markdown_links() + check_path_references() + check_docstrings()
     if findings:
         print(f"check_docs: {len(findings)} finding(s)")
         for finding in findings:

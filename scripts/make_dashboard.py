@@ -1,0 +1,518 @@
+#!/usr/bin/env python
+"""Render the campaign artifact store as a self-contained HTML dashboard.
+
+Usage (from the repository root)::
+
+    python scripts/make_dashboard.py [--store DIR] [--manifest FILE ...]
+                                     [--bench FILE] [--out FILE]
+
+Reads campaign manifests (by default every manifest the store has recorded;
+``--manifest`` selects explicit files instead) and the committed
+``BENCH_perf.json`` trajectory, and writes one static HTML file — no
+server, no external assets, stdlib templating only. Sections:
+
+* a Table II reproduction per campaign with detection cells,
+* a Table IV reproduction where ``table4_setting`` cells exist,
+* the fault-campaign grid (scenario x dropout intensity heat table) with
+  per-channel degradation curves as inline SVG,
+* rendered reports of whole-experiment cells,
+* the recorded perf trajectory from ``BENCH_perf.json``,
+* a cell index listing every cell id, content address and cache state.
+
+See docs/CAMPAIGNS.md for the artifact-store layout this renders from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.campaign import (  # noqa: E402
+    CampaignManifest,
+    ResultStore,
+    campaign_report,
+)
+from repro.campaign.report import detection_table, fault_grid, table4_rows  # noqa: E402
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+# Reference data-viz palette (validated ordering; see the dataviz skill's
+# palette instance). Charts reference roles via CSS custom properties so the
+# light/dark values swap in one place.
+CSS = """
+:root {
+  color-scheme: light dark;
+}
+body {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --gridline: #e1e0d9;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  margin: 0;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  font: 14px/1.5 system-ui, sans-serif;
+}
+@media (prefers-color-scheme: dark) {
+  body {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --gridline: #2c2c2a;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+  }
+}
+main { max-width: 72rem; margin: 0 auto; padding: 1.5rem; }
+h1 { font-size: 1.4rem; }
+h2 { font-size: 1.15rem; margin-top: 2.5rem; }
+h3 { font-size: 1rem; color: var(--text-secondary); }
+p.meta { color: var(--text-secondary); }
+table { border-collapse: collapse; margin: 0.75rem 0; }
+th, td {
+  padding: 0.3rem 0.7rem;
+  text-align: left;
+  border-bottom: 1px solid var(--gridline);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--text-secondary); font-weight: 600; }
+td.num { text-align: right; }
+td.heat { text-align: right; min-width: 4.5rem; }
+code { font-family: ui-monospace, monospace; font-size: 0.85em; }
+details { margin: 0.75rem 0; }
+details pre {
+  overflow-x: auto;
+  padding: 0.75rem;
+  border: 1px solid var(--gridline);
+  font-size: 0.8rem;
+}
+.legend { display: flex; gap: 1.25rem; margin: 0.5rem 0; color: var(--text-secondary); }
+.legend .swatch {
+  display: inline-block;
+  width: 0.75rem; height: 0.75rem;
+  border-radius: 2px;
+  margin-right: 0.35rem;
+  vertical-align: -1px;
+}
+.pending { color: var(--text-muted); }
+svg text { fill: var(--text-secondary); font: 11px system-ui, sans-serif; }
+svg .axis { stroke: var(--gridline); stroke-width: 1; }
+svg .grid { stroke: var(--gridline); stroke-width: 1; }
+"""
+
+# Sequential blue ramp (steps 100..700) for the heat grid; the lightest step
+# reads as "near zero" and recedes toward the surface.
+HEAT_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+)
+
+
+def esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def heat_cell(value: float, text: str) -> str:
+    """A table cell whose background encodes *value* in [0, 1]."""
+    index = min(len(HEAT_RAMP) - 1, max(0, int(round(value * (len(HEAT_RAMP) - 1)))))
+    color = HEAT_RAMP[index]
+    # Explicit backgrounds need explicit ink: dark ramp steps get white text.
+    ink = "#ffffff" if index >= 6 else "#0b0b0b"
+    return (
+        f'<td class="heat" style="background:{color};color:{ink}" '
+        f'title="{esc(text)}">{esc(text)}</td>'
+    )
+
+
+def render_table(headers: list[str], rows: list[list[str]], numeric=()) -> str:
+    """Plain HTML table; *numeric* column indices are right-aligned."""
+    head = "".join(f"<th>{esc(h)}</th>" for h in headers)
+    body = []
+    for row in rows:
+        cells = []
+        for index, cell in enumerate(row):
+            if isinstance(cell, str) and cell.startswith("<td"):
+                cells.append(cell)  # pre-rendered (heat) cell
+            else:
+                klass = ' class="num"' if index in numeric else ""
+                cells.append(f"<td{klass}>{esc(cell)}</td>")
+        body.append("<tr>" + "".join(cells) + "</tr>")
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def line_chart(series: list[tuple[str, str, list[tuple[float, float]]]], y_max: float = 1.0) -> str:
+    """Inline SVG line chart: series of (label, css-var, [(x, y)]) points.
+
+    One x axis (dropout intensity), y fixed to [0, y_max]; 2px lines,
+    8px markers with native ``<title>`` tooltips, hairline gridlines.
+    """
+    width, height = 460, 220
+    left, right, top, bottom = 48, 16, 12, 34
+    plot_w, plot_h = width - left - right, height - top - bottom
+    xs = sorted({x for _, _, pts in series for x, _ in pts})
+    if not xs:
+        return ""
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+
+    def sx(x: float) -> float:
+        return left + (x - x_min) / span * plot_w
+
+    def sy(y: float) -> float:
+        return top + (1.0 - min(y, y_max) / y_max) * plot_h
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        'role="img" aria-label="degradation curves">'
+    ]
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = sy(frac * y_max)
+        parts.append(f'<line class="grid" x1="{left}" y1="{y:.1f}" x2="{width - right}" y2="{y:.1f}"/>')
+        parts.append(f'<text x="{left - 6}" y="{y + 4:.1f}" text-anchor="end">{frac * y_max:.0%}</text>')
+    parts.append(f'<line class="axis" x1="{left}" y1="{top + plot_h}" x2="{width - right}" y2="{top + plot_h}"/>')
+    for x in xs:
+        parts.append(
+            f'<text x="{sx(x):.1f}" y="{height - 14}" text-anchor="middle">{x:.0%}</text>'
+        )
+    parts.append(
+        f'<text x="{left + plot_w / 2:.0f}" y="{height - 2}" text-anchor="middle">dropout intensity</text>'
+    )
+    for label, var, pts in series:
+        if not pts:
+            continue
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in sorted(pts))
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="var({var})" '
+            'stroke-width="2" stroke-linejoin="round"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="4" fill="var({var})">'
+                f"<title>{esc(label)} @ {x:.0%}: {y:.1%}</title></circle>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def bar_chart(rows: list[tuple[str, float, str]], unit: str = "x") -> str:
+    """Inline SVG horizontal bars: (label, value, tooltip) per row.
+
+    Thin bars (18px) with a 4px-rounded data end, value as a direct label
+    in ink (text never wears the series color).
+    """
+    if not rows:
+        return ""
+    bar_h, gap, left, right = 18, 10, 230, 80
+    width = 560
+    height = len(rows) * (bar_h + gap) + gap
+    v_max = max(value for _, value, _ in rows) or 1.0
+    plot_w = width - left - right
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        'role="img" aria-label="perf trajectory">'
+    ]
+    for index, (label, value, tip) in enumerate(rows):
+        y = gap + index * (bar_h + gap)
+        w = max(6.0, value / v_max * plot_w)
+        r = 4
+        parts.append(f'<text x="{left - 8}" y="{y + bar_h - 5}" text-anchor="end">{esc(label)}</text>')
+        parts.append(
+            f'<path d="M{left},{y} h{w - r:.1f} a{r},{r} 0 0 1 {r},{r} '
+            f'v{bar_h - 2 * r} a{r},{r} 0 0 1 -{r},{r} h-{w - r:.1f} z" '
+            f'fill="var(--series-1)"><title>{esc(tip)}</title></path>'
+        )
+        parts.append(
+            f'<text x="{left + w + 8:.1f}" y="{y + bar_h - 5}">{value:.2f}{esc(unit)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def legend(entries: list[tuple[str, str]]) -> str:
+    items = "".join(
+        f'<span><span class="swatch" style="background:var({var})"></span>{esc(label)}</span>'
+        for label, var in entries
+    )
+    return f'<div class="legend">{items}</div>'
+
+
+def pct(value) -> str:
+    return "-" if value is None else f"{value:.2%}"
+
+
+def seconds(value) -> str:
+    return "-" if value is None else f"{value:.2f}s"
+
+
+def detection_section(report: dict) -> str:
+    """Table II reproduction: fault-free detection rows of one campaign."""
+    rows = detection_table(report, intensity=0.0)
+    if not rows:
+        return ""
+    body = [
+        [
+            "-" if r["scenario"] is None else str(r["scenario"]),
+            r["scenario_name"],
+            r["rig"],
+            str(r["n_trials"]),
+            pct(r["sensor"]["fpr"]),
+            pct(r["sensor"]["fnr"]),
+            pct(r["actuator"]["fpr"]),
+            pct(r["actuator"]["fnr"]),
+            seconds(r["mean_sensor_delay"]),
+            seconds(r["mean_actuator_delay"]),
+            "yes" if r["identified"] else "NO",
+        ]
+        for r in rows
+    ]
+    return "<h3>Detection at zero fault intensity (Table II shape)</h3>" + render_table(
+        ["#", "Scenario", "Rig", "Trials", "S FPR", "S FNR", "A FPR", "A FNR",
+         "S delay", "A delay", "ident."],
+        body,
+        numeric=(3, 4, 5, 6, 7, 8, 9),
+    )
+
+
+def table4_section(report: dict) -> str:
+    rows = table4_rows(report)
+    if not rows:
+        return ""
+    body = [
+        [
+            r["setting"],
+            f"{r['empirical_variance'][0]:.3e}",
+            f"{r['empirical_variance'][1]:.3e}",
+            f"{r['theoretical_variance'][0]:.3e}",
+            f"{r['theoretical_variance'][1]:.3e}",
+            str(r["n_iterations"]),
+        ]
+        for r in rows
+    ]
+    return "<h3>Actuator-anomaly variance per reference setting (Table IV shape)</h3>" + render_table(
+        ["Sensor setting", "Var Vl (emp)", "Var Vr (emp)", "Vl (filter)", "Vr (filter)", "iters"],
+        body,
+        numeric=(1, 2, 3, 4, 5),
+    )
+
+
+def fault_section(report: dict) -> str:
+    """Scenario x intensity heat grid plus per-channel degradation curves."""
+    grid = fault_grid(report)
+    if len(grid["intensities"]) < 2:
+        return ""
+    headers = ["Scenario"] + [f"{i:.0%}" for i in grid["intensities"]]
+    body = []
+    for scenario in grid["scenarios"]:
+        row = [f"#{scenario['number']} {scenario['name']}"]
+        for intensity in grid["intensities"]:
+            cell = grid["cells"].get(f"{scenario['number']}|{intensity}")
+            if cell is None:
+                row.append("<td class='heat pending'>pending</td>")
+                continue
+            rate = min(cell["sensor_detection_rate"], cell["actuator_detection_rate"])
+            row.append(heat_cell(rate, f"{rate:.0%}"))
+        body.append(row)
+    curves = grid["curves"]
+    chart = line_chart(
+        [
+            ("sensor detection", "--series-1",
+             [(c["intensity"], c["detection_rate"]) for c in curves["sensor"]]),
+            ("actuator detection", "--series-2",
+             [(c["intensity"], c["detection_rate"]) for c in curves["actuator"]]),
+        ]
+    )
+    return (
+        "<h3>Fault campaign: worst-channel detection rate by dropout intensity</h3>"
+        + render_table(headers, body)
+        + "<h3>Degradation curves (mean over scenarios)</h3>"
+        + legend([("sensor detection", "--series-1"), ("actuator detection", "--series-2")])
+        + chart
+    )
+
+
+def experiment_section(report: dict) -> str:
+    """Rendered reports of whole-experiment cells, collapsed by default."""
+    parts = []
+    for cell in report["cells"]:
+        result = cell["result"] or {}
+        if result.get("kind") != "experiment":
+            continue
+        parts.append(
+            f"<details><summary><code>{esc(cell['cell_id'])}</code></summary>"
+            f"<pre>{esc(result['formatted'])}</pre></details>"
+        )
+    if not parts:
+        return ""
+    return "<h3>Experiment reports</h3>" + "".join(parts)
+
+
+def campaign_section(manifest: CampaignManifest, store: ResultStore) -> tuple[str, dict]:
+    report = campaign_report(manifest, store)
+    section = [
+        f'<h2 id="campaign-{esc(report["name"])}">Campaign: {esc(report["name"])}</h2>',
+        f'<p class="meta">{esc(report["description"] or "")} '
+        f'— {report["cached"]}/{report["total"]} cell(s) cached.</p>',
+        detection_section(report),
+        table4_section(report),
+        fault_section(report),
+        experiment_section(report),
+    ]
+    return "".join(section), report
+
+
+def perf_section(bench_path: pathlib.Path) -> str:
+    """The committed BENCH_perf.json trajectory: speedup bars plus raw table."""
+    if not bench_path.exists():
+        return ""
+    data = json.loads(bench_path.read_text())
+    results = data.get("results", {})
+    bars = []
+    body = []
+    for name in sorted(results):
+        entry = results[name]
+        mean = entry.get("mean_s")
+        speedup = entry.get("speedup_vs_pre_change") or entry.get("speedup_vs_serial")
+        if speedup:
+            bars.append((name, float(speedup), f"{name}: {speedup:.2f}x, mean {mean:.4f}s"))
+        extras = {
+            k: entry[k]
+            for k in ("cells", "cells_per_s", "cache_hit_rate", "workers")
+            if k in entry
+        }
+        body.append(
+            [
+                name,
+                entry.get("group", "-"),
+                "-" if mean is None else f"{mean:.4f}",
+                "-" if speedup is None else f"{speedup:.2f}x",
+                str(entry.get("rounds", "-")),
+                ", ".join(f"{k}={v}" for k, v in extras.items()) or "-",
+            ]
+        )
+    return (
+        "<h2 id=\"perf\">Recorded perf trajectory (BENCH_perf.json)</h2>"
+        f'<p class="meta">{esc(data.get("datetime", ""))} on '
+        f'{esc(data.get("machine", "?"))} ({data.get("cpu_count", "?")} cpu).</p>'
+        + bar_chart(bars)
+        + render_table(
+            ["benchmark", "group", "mean (s)", "speedup", "rounds", "extra"],
+            body,
+            numeric=(2, 3, 4),
+        )
+    )
+
+
+def index_section(reports: list[dict]) -> str:
+    """Every cell of every campaign: id, kind, address, state, cost."""
+    body = []
+    for report in reports:
+        for cell in report["cells"]:
+            body.append(
+                [
+                    report["name"],
+                    f"<td><code>{esc(cell['cell_id'])}</code></td>",
+                    cell["kind"],
+                    f"<td><code>{esc(cell['address'][:16])}</code></td>",
+                    "cached" if cell["cached"] else "pending",
+                    seconds(cell["elapsed_s"]),
+                    "yes" if cell["has_telemetry"] else "-",
+                ]
+            )
+    return "<h2 id=\"cells\">Cell index</h2>" + render_table(
+        ["campaign", "cell", "kind", "address", "state", "cost", "telemetry"],
+        body,
+        numeric=(5,),
+    )
+
+
+def build(manifests: list[CampaignManifest], store: ResultStore, bench_path: pathlib.Path) -> str:
+    sections = []
+    reports = []
+    for manifest in manifests:
+        section, report = campaign_section(manifest, store)
+        sections.append(section)
+        reports.append(report)
+    total = sum(r["total"] for r in reports)
+    cached = sum(r["cached"] for r in reports)
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>RoboADS campaign dashboard</title>
+<style>{CSS}</style>
+</head>
+<body>
+<main>
+<h1>RoboADS campaign dashboard</h1>
+<p class="meta">{len(reports)} campaign(s), {cached}/{total} cell(s) cached in
+<code>{esc(store.root)}</code>. Regenerate with
+<code>python scripts/make_dashboard.py</code> (docs/CAMPAIGNS.md).</p>
+{''.join(sections)}
+{perf_section(bench_path)}
+{index_section(reports)}
+</main>
+</body>
+</html>
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--store",
+        default=str(REPO / "benchmarks" / "artifacts"),
+        help="artifact store root (default: benchmarks/artifacts)",
+    )
+    parser.add_argument(
+        "--manifest",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="manifest JSON file (repeatable; default: every manifest the store has recorded)",
+    )
+    parser.add_argument(
+        "--bench",
+        default=str(REPO / "BENCH_perf.json"),
+        help="perf trajectory JSON (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output HTML path (default: <store>/dashboard.html)",
+    )
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.store)
+    if args.manifest:
+        manifests = [CampaignManifest.load(path) for path in args.manifest]
+    else:
+        manifests = store.manifests()
+    if not manifests:
+        print("no campaign manifests found (run a campaign or pass --manifest)", file=sys.stderr)
+        return 1
+    out = pathlib.Path(args.out) if args.out else pathlib.Path(args.store) / "dashboard.html"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(build(manifests, store, pathlib.Path(args.bench)))
+    cells = sum(len(m) for m in manifests)
+    print(f"wrote {out} ({len(manifests)} campaign(s), {cells} cell(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Campaign orchestration: manifest-driven evaluation grids with a results store.
+
+Experiments in this repository historically printed tables and dropped
+ad-hoc text files. This package turns every grid-shaped workload — attacks
+x faults x robots x detector configs — into a declarative
+:class:`CampaignManifest` whose cells execute over the
+:mod:`repro.eval.parallel` process pool and persist as **content-addressed
+artifacts**: a stable hash of the cell's configuration addresses its JSON
+result (plus optional telemetry), so re-running a manifest skips every
+unchanged cell and computes only the diff.
+
+The layers, bottom to top:
+
+* :mod:`repro.campaign.hashing` — canonical JSON + SHA-256 cell addressing.
+* :mod:`repro.campaign.manifest` — :class:`CellSpec` / :class:`CampaignManifest`
+  and the grid composition helpers experiments build their manifests with.
+* :mod:`repro.campaign.cells` — the cell-kind executor registry (what one
+  cell *means*: a detection Monte-Carlo cell, a Table IV variance setting,
+  a whole scalar experiment).
+* :mod:`repro.campaign.store` — the on-disk artifact store
+  (``benchmarks/artifacts/`` by default) with atomic writes and GC.
+* :mod:`repro.campaign.runner` — incremental execution (cache-hit skip,
+  parallel fan-out, status/throughput accounting).
+* :mod:`repro.campaign.report` — store-backed aggregation consumed by the
+  text reports and ``scripts/make_dashboard.py``.
+
+Command line: ``python -m repro.campaign {run,status,report,gc}``.
+See ``docs/CAMPAIGNS.md`` for the manifest schema, the hashing and
+invalidation rules, the artifact layout and a dashboard walkthrough.
+"""
+
+from __future__ import annotations
+
+from .cells import execute_cell, register_cell_kind
+from .hashing import CELL_SCHEMA_VERSION, canonical_json, config_hash
+from .manifest import CampaignManifest, CellSpec, detection_cell, experiment_cell
+from .report import campaign_report
+from .runner import CampaignRunReport, CampaignStatus, campaign_status, run_campaign
+from .store import DEFAULT_STORE_ROOT, ResultStore
+
+__all__ = [
+    "CELL_SCHEMA_VERSION",
+    "CampaignManifest",
+    "CampaignRunReport",
+    "CampaignStatus",
+    "CellSpec",
+    "DEFAULT_STORE_ROOT",
+    "ResultStore",
+    "campaign_report",
+    "campaign_status",
+    "canonical_json",
+    "config_hash",
+    "detection_cell",
+    "execute_cell",
+    "experiment_cell",
+    "register_cell_kind",
+    "run_campaign",
+]

@@ -1,0 +1,102 @@
+"""Campaign command line: ``python -m repro.campaign {run,status,report,gc}``.
+
+Manifests come from a JSON file (``--manifest grid.json``, written by
+:meth:`~repro.campaign.manifest.CampaignManifest.save` or by an
+experiment's ``manifest()`` entry point via
+``python -m repro.experiments <name> --manifest out.json``) or, for
+``status``/``report``/``gc``, from the manifests recorded in the store by
+previous runs. The store defaults to ``benchmarks/artifacts/`` under the
+current directory; point ``--store`` elsewhere for scratch campaigns.
+
+Examples::
+
+    python -m repro.experiments robustness --manifest robustness.json
+    python -m repro.campaign run --manifest robustness.json --workers 4
+    python -m repro.campaign status --manifest robustness.json
+    python -m repro.campaign report                 # every recorded campaign
+    python -m repro.campaign gc                     # drop unreachable artifacts
+    python scripts/make_dashboard.py                # render the HTML dashboard
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .manifest import CampaignManifest
+from .report import format_campaign
+from .runner import campaign_status, run_campaign
+from .store import DEFAULT_STORE_ROOT, ResultStore
+
+
+def _load_manifests(args, store: ResultStore) -> list[CampaignManifest]:
+    if args.manifest:
+        return [CampaignManifest.load(path) for path in args.manifest]
+    manifests = store.manifests()
+    if not manifests:
+        print(
+            "no manifests given (--manifest) and none recorded in the store yet",
+            file=sys.stderr,
+        )
+    return manifests
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (returns a process exit status)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run, inspect and garbage-collect campaign grids "
+        "against the content-addressed results store (docs/CAMPAIGNS.md).",
+    )
+    parser.add_argument(
+        "command", choices=("run", "status", "report", "gc"), help="what to do"
+    )
+    parser.add_argument(
+        "--manifest",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="manifest JSON file (repeatable; default: manifests recorded "
+        "in the store by previous runs)",
+    )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE_ROOT,
+        metavar="DIR",
+        help=f"artifact store root (default: {DEFAULT_STORE_ROOT})",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for pending cells (results identical to serial)",
+    )
+    args = parser.parse_args(argv)
+    store = ResultStore(args.store)
+
+    if args.command == "gc":
+        deleted = store.gc()
+        print(f"gc: deleted {len(deleted)} artifact(s) from {store.root}")
+        for address in deleted:
+            print(f"  {address}")
+        return 0
+
+    manifests = _load_manifests(args, store)
+    if not manifests:
+        return 1
+    for manifest in manifests:
+        if args.command == "run":
+            report = run_campaign(
+                manifest, store, parallel=args.workers, progress=print
+            )
+            print(report.format())
+        elif args.command == "status":
+            print(campaign_status(manifest, store).format())
+        else:  # report
+            print(format_campaign(manifest, store))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

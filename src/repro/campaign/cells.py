@@ -1,0 +1,302 @@
+"""Cell executors: what one campaign cell *means*.
+
+The runner never interprets a cell itself — it resolves the cell's
+``kind`` in this registry and calls the executor with the cell's JSON
+config. Executors return ``(result, telemetry_records)`` where *result* is
+a JSON-serializable mapping (the artifact payload) and *telemetry_records*
+is an optional list of per-event dicts stored alongside it as JSONL.
+
+Built-in kinds:
+
+* ``detection`` — a Monte-Carlo detection cell (rig x scenario x fault
+  intensity x trials), reduced to the paper's confusion/delay metrics.
+* ``table4_setting`` — one Table IV sensor setting's actuator-anomaly
+  variance statistics on a clean mission.
+* ``experiment`` — a whole scalar experiment (its rendered report), for
+  workloads with no natural grid decomposition.
+
+New kinds register through :func:`register_cell_kind`; third-party
+detectors or the ROADMAP's attacker-vs-detector tournaments plug in the
+same way. Experiment modules are imported lazily inside the executors so
+``repro.campaign`` stays importable from ``repro.experiments`` without a
+cycle.
+
+Determinism contract: an executor must derive every random stream from the
+cell config alone (trial noise from ``base_seed + trial``, fault streams
+from ``fault_seed + trial``) so that a cell's artifact is a pure function
+of its content address.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["execute_cell", "register_cell_kind", "cell_kinds"]
+
+#: Executor signature: config -> (json result, telemetry records or None).
+CellExecutor = Callable[[Mapping[str, Any]], tuple[dict, list[dict] | None]]
+
+_EXECUTORS: dict[str, CellExecutor] = {}
+
+#: Cells actually executed by this process (cache hits never increment it);
+#: the campaign smoke test pins the all-cached re-run to zero executions.
+EXECUTION_COUNT = 0
+
+
+def register_cell_kind(kind: str, executor: CellExecutor, replace: bool = False) -> None:
+    """Register *executor* for cells of *kind* (``replace=False`` guards typos)."""
+    if not replace and kind in _EXECUTORS:
+        raise ConfigurationError(f"cell kind {kind!r} is already registered")
+    _EXECUTORS[kind] = executor
+
+
+def cell_kinds() -> tuple[str, ...]:
+    """The registered cell kinds (sorted)."""
+    return tuple(sorted(_EXECUTORS))
+
+
+def execute_cell(kind: str, config: Mapping[str, Any]) -> tuple[dict, list[dict] | None]:
+    """Run one cell; returns the artifact payload and optional telemetry."""
+    global EXECUTION_COUNT
+    executor = _EXECUTORS.get(kind)
+    if executor is None:
+        raise ConfigurationError(
+            f"unknown cell kind {kind!r}; registered kinds: {list(cell_kinds())}"
+        )
+    EXECUTION_COUNT += 1
+    return executor(config)
+
+
+# ----------------------------------------------------------------------
+# Rig / scenario resolution (names are the manifest's robot axis)
+# ----------------------------------------------------------------------
+
+
+#: Per-process rig cache: planning (RRT*) dominates rig construction and
+#: the planned path is immutable, so cells in one process share the rig —
+#: exactly like the session-scoped test fixtures. Per-run mutable objects
+#: (platform, controller, detector) still come fresh from the rig factories.
+_RIG_CACHE: dict[str, Any] = {}
+
+
+def _resolve_rig(name: str):
+    from ..robots.khepera import khepera_rig
+    from ..robots.tamiya import tamiya_rig
+
+    factories = {"khepera": khepera_rig, "tamiya": tamiya_rig}
+    if name not in factories:
+        raise ConfigurationError(
+            f"unknown rig {name!r}; campaign rigs are {sorted(factories)}"
+        )
+    if name not in _RIG_CACHE:
+        rig = factories[name]()
+        rig.plan_path(0)
+        _RIG_CACHE[name] = rig
+    return _RIG_CACHE[name]
+
+
+def _resolve_scenario(rig_name: str, number: int | None):
+    if number is None:
+        return None
+    from ..attacks.catalog import khepera_scenarios, tamiya_scenarios
+
+    catalog = khepera_scenarios() if rig_name == "khepera" else tamiya_scenarios()
+    for scenario in catalog:
+        if scenario.number == number:
+            return scenario
+    raise ConfigurationError(
+        f"scenario #{number} is not in the {rig_name} catalog "
+        f"({[s.number for s in catalog]})"
+    )
+
+
+# ----------------------------------------------------------------------
+# detection: Monte-Carlo confusion/delay metrics for one grid cell
+# ----------------------------------------------------------------------
+
+
+def _run_detection(config: Mapping[str, Any]) -> tuple[dict, list[dict] | None]:
+    """Execute a ``detection`` cell (see :func:`repro.campaign.manifest.detection_cell`)."""
+    from ..core.decision import DecisionConfig
+    from ..eval.metrics import ConfusionCounts
+    from ..eval.runner import run_scenario
+    from ..obs.export import to_records
+    from ..obs.telemetry import RecordingTelemetry
+    from ..sim.faults import uniform_dropout_schedule
+
+    rig = _resolve_rig(config["rig"])
+    scenario = _resolve_scenario(config["rig"], config.get("scenario"))
+    n_trials = int(config.get("n_trials", 1))
+    base_seed = int(config.get("base_seed", 100))
+    intensity = float(config.get("intensity", 0.0))
+    fault_seed = int(config.get("fault_seed", 7))
+    duration = config.get("duration")
+    decision = (
+        DecisionConfig(**config["decision"]) if config.get("decision") else None
+    )
+    record = bool(config.get("telemetry", False))
+
+    telemetry_records: list[dict] = []
+    sensor_total, actuator_total = ConfusionCounts(), ConfusionCounts()
+    sensor_delays: list[float] = []
+    actuator_delays: list[float] = []
+    missed = 0
+    transitions = 0
+    degraded = 0
+    iterations = 0
+    finite = True
+    for trial in range(n_trials):
+        faults = (
+            uniform_dropout_schedule(
+                tuple(rig.suite.names), intensity, seed=fault_seed + trial
+            )
+            if intensity > 0.0
+            else None
+        )
+        sink = RecordingTelemetry() if record else None
+        result = run_scenario(
+            rig,
+            scenario,
+            seed=base_seed + trial,
+            duration=duration,
+            decision=decision,
+            faults=faults,
+            telemetry=sink,
+        )
+        if sink is not None:
+            telemetry_records.extend(to_records(sink))
+        sensor_total.add(result.sensor_confusion)
+        actuator_total.add(result.actuator_confusion)
+        for event in result.delays:
+            transitions += 1
+            if event.delay is None:
+                missed += 1
+            elif event.channel == "sensor":
+                sensor_delays.append(event.delay)
+            else:
+                actuator_delays.append(event.delay)
+        iterations += len(result.trace)
+        degraded += sum(1 for a in result.trace.availability if a is not None)
+        for report in result.reports:
+            stats = report.statistics
+            if not (
+                np.isfinite(stats.sensor_statistic)
+                and np.isfinite(stats.actuator_statistic)
+                and np.all(np.isfinite(stats.state_estimate))
+            ):
+                finite = False
+
+    result_payload = {
+        "kind": "detection",
+        "rig": config["rig"],
+        "scenario": config.get("scenario"),
+        "scenario_name": scenario.name if scenario is not None else "clean",
+        "n_trials": n_trials,
+        "intensity": intensity,
+        "sensor": sensor_total.to_dict(),
+        "actuator": actuator_total.to_dict(),
+        "mean_sensor_delay": float(np.mean(sensor_delays)) if sensor_delays else None,
+        "mean_actuator_delay": (
+            float(np.mean(actuator_delays)) if actuator_delays else None
+        ),
+        "transitions": transitions,
+        "missed_transitions": missed,
+        "iterations": iterations,
+        "degraded_fraction": degraded / iterations if iterations else 0.0,
+        "finite": finite,
+    }
+    return result_payload, telemetry_records if record else None
+
+
+# ----------------------------------------------------------------------
+# table4_setting: one sensor setting's variance statistics
+# ----------------------------------------------------------------------
+
+
+def _run_table4_setting(config: Mapping[str, Any]) -> tuple[dict, list[dict] | None]:
+    """Execute a ``table4_setting`` cell (one Table IV reference-sensor row)."""
+    from ..core.modes import Mode
+    from ..eval.runner import run_scenario
+    from ..experiments.table4 import SENSOR_SETTINGS, _setting_stats
+
+    setting_name = config["setting"]
+    settings = dict(SENSOR_SETTINGS)
+    if setting_name not in settings:
+        raise ConfigurationError(
+            f"unknown Table IV setting {setting_name!r} (have {sorted(settings)})"
+        )
+    rig = _resolve_rig(config.get("rig", "khepera"))
+    mode = Mode.for_suite(rig.suite, settings[setting_name])
+    result = run_scenario(
+        rig,
+        None,
+        seed=int(config.get("seed", 200)),
+        modes=[mode],
+        duration=float(config.get("duration", 18.0)),
+        stop_at_goal=False,
+    )
+    empirical, theoretical, count = _setting_stats(result)
+    return (
+        {
+            "kind": "table4_setting",
+            "setting": setting_name,
+            "empirical_variance": list(empirical),
+            "theoretical_variance": list(theoretical),
+            "n_iterations": count,
+        },
+        None,
+    )
+
+
+# ----------------------------------------------------------------------
+# experiment: a whole scalar experiment as one cached unit
+# ----------------------------------------------------------------------
+
+#: Experiment-name -> (module, function) for ``experiment`` cells; matches
+#: the ``python -m repro.experiments`` vocabulary.
+_EXPERIMENT_FUNCS: dict[str, tuple[str, str]] = {
+    "table2": ("repro.experiments.table2", "run_table2"),
+    "table4": ("repro.experiments.table4", "run_table4"),
+    "fig6": ("repro.experiments.fig6", "run_fig6"),
+    "fig7": ("repro.experiments.fig7", "run_fig7"),
+    "tamiya": ("repro.experiments.tamiya_eval", "run_tamiya_eval"),
+    "linear": ("repro.experiments.linear_benchmark", "run_linear_benchmark"),
+    "evasive": ("repro.experiments.evasive", "run_evasive"),
+    "ablation": ("repro.experiments.ablation", "run_ablation"),
+    "response": ("repro.experiments.response", "run_response"),
+    "switching": ("repro.experiments.switching", "run_switching"),
+    "sensor-quality": ("repro.experiments.sensor_quality", "run_sensor_quality"),
+    "robustness": ("repro.experiments.robustness", "run_robustness"),
+}
+
+
+def _run_experiment(config: Mapping[str, Any]) -> tuple[dict, list[dict] | None]:
+    """Execute an ``experiment`` cell: run the named experiment, cache its report."""
+    import importlib
+
+    name = config["experiment"]
+    if name not in _EXPERIMENT_FUNCS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; campaign experiments are "
+            f"{sorted(_EXPERIMENT_FUNCS)}"
+        )
+    module_name, func_name = _EXPERIMENT_FUNCS[name]
+    func = getattr(importlib.import_module(module_name), func_name)
+    result = func(**dict(config.get("args", {})))
+    return (
+        {
+            "kind": "experiment",
+            "experiment": name,
+            "formatted": result.format(),
+        },
+        None,
+    )
+
+
+register_cell_kind("detection", _run_detection)
+register_cell_kind("table4_setting", _run_table4_setting)
+register_cell_kind("experiment", _run_experiment)

@@ -1,0 +1,91 @@
+"""Content addressing: canonical JSON and stable configuration hashes.
+
+A cell's address is ``sha256(canonical_json(config))`` where the canonical
+form is deterministic across processes, interpreter runs and platforms:
+
+* keys sorted, no insignificant whitespace;
+* floats serialized by ``repr`` round-trip (Python's shortest-repr float
+  formatting is deterministic since 3.1) with ``-0.0`` normalized to
+  ``0.0`` and non-finite values rejected — a NaN intensity cannot silently
+  alias another cell;
+* only JSON scalar/container types are accepted (tuples are serialized as
+  lists); anything else is a :class:`~repro.errors.ConfigurationError`,
+  never a repr-based fallback whose text could differ between runs.
+
+The hash is salted with :data:`CELL_SCHEMA_VERSION`. Bump that constant
+whenever the *meaning* of a stored result changes (an executor fix, a
+metric definition change): every artifact in every store is invalidated at
+once, which is exactly what a semantics change requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = ["CELL_SCHEMA_VERSION", "canonical_json", "config_hash"]
+
+#: Global hash salt: the version of the cell-result semantics. Bumping it
+#: invalidates every stored artifact (see module docstring).
+CELL_SCHEMA_VERSION = 1
+
+
+def _canonicalize(value: Any, path: str) -> Any:
+    """Normalize *value* into deterministic JSON-encodable primitives."""
+    if value is None or isinstance(value, (bool, str, int)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"non-finite float at {path!r} cannot be content-addressed"
+            )
+        if value == 0.0:
+            return 0.0  # fold -0.0, whose repr differs from 0.0
+        if value == int(value) and abs(value) < 2**53:
+            # 1.0 and 1 must address the same cell: JSON readers (and the
+            # round-trip through a manifest file) cannot tell them apart.
+            return int(value)
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    if isinstance(value, Mapping):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"non-string mapping key {key!r} at {path!r} cannot be "
+                    "content-addressed"
+                )
+            out[key] = _canonicalize(value[key], f"{path}.{key}")
+        return out
+    raise ConfigurationError(
+        f"value of type {type(value).__name__} at {path!r} is not "
+        "JSON-serializable; campaign cell configs must hold only "
+        "None/bool/int/float/str/list/dict"
+    )
+
+
+def canonical_json(config: Any) -> str:
+    """The canonical (deterministic) JSON text of *config*.
+
+    Equal configurations — including ones that round-tripped through a
+    manifest file, reordered their keys or swapped tuples for lists —
+    produce byte-identical text.
+    """
+    return json.dumps(
+        _canonicalize(config, "$"),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """The content address (64 hex chars) of one cell configuration."""
+    text = f"repro.campaign/v{CELL_SCHEMA_VERSION}:{canonical_json(config)}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,223 @@
+"""Campaign manifests: declarative grids of content-addressed cells.
+
+A manifest is a named list of :class:`CellSpec`, each a pure-data
+description of one unit of evaluation work (a ``kind`` naming the executor
+plus a JSON-only ``config``). Manifests compose the axes the evaluation
+stack already exposes — attack scenarios, fault intensities, robots,
+detector decision parameters, Monte-Carlo depth — and are what
+``python -m repro.campaign run`` executes incrementally.
+
+Two invariants make incremental re-runs sound:
+
+* a cell's identity is its *configuration*, not its position — the
+  content address (:func:`repro.campaign.hashing.config_hash`) covers the
+  kind and every config key, so editing one axis value invalidates exactly
+  the cells that axis touches;
+* ``cell_id`` is a human-readable label, deliberately **excluded** from
+  the hash — renaming a cell does not recompute it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from .hashing import config_hash
+
+__all__ = [
+    "CellSpec",
+    "CampaignManifest",
+    "detection_cell",
+    "detection_grid",
+    "experiment_cell",
+]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One unit of campaign work: an executor kind plus its configuration.
+
+    Attributes
+    ----------
+    cell_id:
+        Human-readable unique label within the manifest (dashboard/report
+        key; not part of the content address).
+    kind:
+        Executor name registered in :mod:`repro.campaign.cells`.
+    config:
+        JSON-only configuration passed to the executor. Hashed together
+        with *kind* into the cell's content address.
+    """
+
+    cell_id: str
+    kind: str
+    config: Mapping[str, Any]
+
+    def address(self) -> str:
+        """The cell's content address (stable across processes and runs)."""
+        return config_hash({"kind": self.kind, "config": dict(self.config)})
+
+    def to_dict(self) -> dict:
+        """JSON form (manifest file row)."""
+        return {"cell_id": self.cell_id, "kind": self.kind, "config": dict(self.config)}
+
+
+@dataclass
+class CampaignManifest:
+    """A named, ordered collection of cells (one campaign)."""
+
+    name: str
+    cells: list[CellSpec] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for cell in self.cells:
+            if cell.cell_id in seen:
+                raise ConfigurationError(
+                    f"duplicate cell_id {cell.cell_id!r} in manifest {self.name!r}"
+                )
+            seen.add(cell.cell_id)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def addresses(self) -> dict[str, str]:
+        """Mapping of ``cell_id`` to content address, in manifest order."""
+        return {cell.cell_id: cell.address() for cell in self.cells}
+
+    def to_dict(self) -> dict:
+        """JSON form of the whole manifest."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignManifest":
+        """Rebuild a manifest from its JSON form (inverse of :meth:`to_dict`)."""
+        try:
+            cells = [
+                CellSpec(
+                    cell_id=row["cell_id"], kind=row["kind"], config=dict(row["config"])
+                )
+                for row in data["cells"]
+            ]
+            return cls(
+                name=data["name"],
+                cells=cells,
+                description=data.get("description", ""),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed campaign manifest: {exc!r}") from exc
+
+    def save(self, path) -> Path:
+        """Write the manifest as JSON to *path* (returned as a :class:`Path`)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "CampaignManifest":
+        """Read a manifest JSON file written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Cell builders — the vocabulary experiments compose manifests from
+# ----------------------------------------------------------------------
+
+
+def detection_cell(
+    rig: str,
+    scenario: int | None,
+    n_trials: int = 1,
+    base_seed: int = 100,
+    intensity: float = 0.0,
+    fault_seed: int = 7,
+    duration: float | None = None,
+    decision: Mapping[str, Any] | None = None,
+    telemetry: bool = False,
+    cell_id: str | None = None,
+) -> CellSpec:
+    """One Monte-Carlo detection cell: rig x scenario x fault intensity.
+
+    *scenario* is a Table II row number (``None`` = clean mission);
+    *intensity* a uniform sensor-delivery dropout probability (``0.0`` runs
+    the literal fault-free code path); *decision* optional
+    :class:`~repro.core.decision.DecisionConfig` keyword overrides. With
+    *telemetry* the cell's artifact carries the per-iteration event stream
+    as JSONL (``docs/OBSERVABILITY.md``).
+    """
+    config: dict[str, Any] = {
+        "rig": rig,
+        "scenario": scenario,
+        "n_trials": int(n_trials),
+        "base_seed": int(base_seed),
+        "intensity": float(intensity),
+        "fault_seed": int(fault_seed),
+        "duration": duration if duration is None else float(duration),
+        "telemetry": bool(telemetry),
+    }
+    if decision:
+        config["decision"] = dict(decision)
+    if cell_id is None:
+        scen = "clean" if scenario is None else f"s{scenario:02d}"
+        cell_id = f"detection/{rig}/{scen}/drop{round(intensity * 100):03d}"
+    return CellSpec(cell_id=cell_id, kind="detection", config=config)
+
+
+def detection_grid(
+    rig: str,
+    scenarios: Sequence[int | None],
+    intensities: Iterable[float] = (0.0,),
+    n_trials: int = 1,
+    base_seed: int = 100,
+    fault_seed: int = 7,
+    duration: float | None = None,
+    decision: Mapping[str, Any] | None = None,
+    telemetry: bool = False,
+) -> list[CellSpec]:
+    """The scenario x intensity product as detection cells (manifest order).
+
+    Fault streams stay independent across intensities: each intensity's
+    cells derive their schedules from ``fault_seed + 1000 * intensity_index``
+    (the :func:`repro.eval.fault_campaign.run_fault_campaign` convention),
+    so adding or removing an intensity never perturbs another's randomness.
+    """
+    return [
+        detection_cell(
+            rig,
+            scenario,
+            n_trials=n_trials,
+            base_seed=base_seed,
+            intensity=float(intensity),
+            fault_seed=fault_seed + 1000 * intensity_index,
+            duration=duration,
+            decision=decision,
+            telemetry=telemetry,
+        )
+        for intensity_index, intensity in enumerate(intensities)
+        for scenario in scenarios
+    ]
+
+
+def experiment_cell(
+    experiment: str, cell_id: str | None = None, **args: Any
+) -> CellSpec:
+    """A whole scalar experiment as one cell (rendered report + headline numbers).
+
+    For experiments with no natural grid decomposition (Fig 6's single
+    mission, the evasive bounds, the ablations) the unit of incremental
+    re-run is the experiment itself: the cell caches its formatted report
+    and whatever scalar summary the result object exposes.
+    """
+    config = {"experiment": experiment, "args": dict(args)}
+    if cell_id is None:
+        cell_id = f"experiment/{experiment}"
+    return CellSpec(cell_id=cell_id, kind="experiment", config=config)

@@ -1,0 +1,210 @@
+"""Store-backed aggregation: from artifacts to tables, grids and curves.
+
+Everything here is a pure function of (manifest, store) — the reporting
+layer never executes cells. ``campaign_report`` returns the generic
+envelope listing the CLI prints; the shaped views (``detection_table``,
+``fault_grid``, ``table4_rows``) are what ``scripts/make_dashboard.py``
+renders as the Table II / Table IV reproductions and the fault-campaign
+grid with its degradation curves.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .manifest import CampaignManifest
+from .store import ResultStore
+
+__all__ = [
+    "campaign_report",
+    "detection_table",
+    "fault_grid",
+    "format_campaign",
+    "table4_rows",
+]
+
+
+def campaign_report(manifest: CampaignManifest, store: ResultStore) -> dict:
+    """Per-cell envelope listing for *manifest* (missing cells marked pending)."""
+    cells = []
+    for cell in manifest.cells:
+        address = cell.address()
+        envelope = store.get(address)
+        cells.append(
+            {
+                "cell_id": cell.cell_id,
+                "kind": cell.kind,
+                "address": address,
+                "cached": envelope is not None,
+                "result": None if envelope is None else envelope["result"],
+                "elapsed_s": None if envelope is None else envelope.get("elapsed_s"),
+                "has_telemetry": bool(envelope and envelope.get("has_telemetry")),
+            }
+        )
+    cached = sum(1 for c in cells if c["cached"])
+    return {
+        "name": manifest.name,
+        "description": manifest.description,
+        "total": len(cells),
+        "cached": cached,
+        "pending": len(cells) - cached,
+        "cells": cells,
+    }
+
+
+def _detection_results(report: Mapping) -> list[dict]:
+    return [
+        cell
+        for cell in report["cells"]
+        if cell["cached"] and cell["result"] and cell["result"].get("kind") == "detection"
+    ]
+
+
+def detection_table(report: Mapping, intensity: float = 0.0) -> list[dict]:
+    """Table II-shaped rows: one per detection cell at *intensity*.
+
+    Each row carries the scenario identity, per-channel FPR/FNR/detection
+    rates, mean delays and the finite flag — the dashboard renders them as
+    the Table II reproduction.
+    """
+    rows = []
+    for cell in _detection_results(report):
+        result = cell["result"]
+        if result["intensity"] != intensity:
+            continue
+        rows.append(
+            {
+                "cell_id": cell["cell_id"],
+                "scenario": result["scenario"],
+                "scenario_name": result["scenario_name"],
+                "rig": result["rig"],
+                "n_trials": result["n_trials"],
+                "sensor": result["sensor"],
+                "actuator": result["actuator"],
+                "mean_sensor_delay": result["mean_sensor_delay"],
+                "mean_actuator_delay": result["mean_actuator_delay"],
+                "identified": result["missed_transitions"] == 0,
+                "finite": result["finite"],
+            }
+        )
+    rows.sort(key=lambda r: (r["scenario"] is None, r["scenario"] or 0))
+    return rows
+
+
+def fault_grid(report: Mapping) -> dict:
+    """The intensity x scenario grid plus per-intensity degradation curves.
+
+    Returns ``{"intensities", "scenarios", "cells", "curves"}`` where
+    ``cells`` maps ``"<scenario>|<intensity>"`` to that cell's detection
+    summary and ``curves`` holds, per channel, the mean detection rate and
+    false-positive rate at each intensity (the degradation curve the
+    dashboard plots).
+    """
+    intensities: list[float] = []
+    scenarios: list[tuple] = []
+    cells: dict[str, dict] = {}
+    for cell in _detection_results(report):
+        result = cell["result"]
+        intensity = float(result["intensity"])
+        key = (result["scenario"], result["scenario_name"])
+        if intensity not in intensities:
+            intensities.append(intensity)
+        if key not in scenarios:
+            scenarios.append(key)
+        cells[f"{result['scenario']}|{intensity}"] = {
+            "cell_id": cell["cell_id"],
+            "sensor_detection_rate": 1.0 - result["sensor"]["fnr"],
+            "actuator_detection_rate": 1.0 - result["actuator"]["fnr"],
+            "sensor_fpr": result["sensor"]["fpr"],
+            "actuator_fpr": result["actuator"]["fpr"],
+            "degraded_fraction": result["degraded_fraction"],
+            "finite": result["finite"],
+        }
+    intensities.sort()
+    scenarios.sort(key=lambda key: (key[0] is None, key[0] or 0))
+    curves: dict[str, list[dict]] = {"sensor": [], "actuator": []}
+    for intensity in intensities:
+        at = [
+            cells[f"{scenario}|{intensity}"]
+            for scenario, _ in scenarios
+            if f"{scenario}|{intensity}" in cells
+        ]
+        if not at:
+            continue
+        for channel in ("sensor", "actuator"):
+            curves[channel].append(
+                {
+                    "intensity": intensity,
+                    "detection_rate": sum(c[f"{channel}_detection_rate"] for c in at)
+                    / len(at),
+                    "fpr": sum(c[f"{channel}_fpr"] for c in at) / len(at),
+                }
+            )
+    return {
+        "intensities": intensities,
+        "scenarios": [{"number": n, "name": name} for n, name in scenarios],
+        "cells": cells,
+        "curves": curves,
+    }
+
+
+def table4_rows(report: Mapping) -> list[dict]:
+    """Table IV-shaped rows from ``table4_setting`` cells (manifest order)."""
+    rows = []
+    for cell in report["cells"]:
+        if not cell["cached"] or not cell["result"]:
+            continue
+        result = cell["result"]
+        if result.get("kind") != "table4_setting":
+            continue
+        rows.append(
+            {
+                "cell_id": cell["cell_id"],
+                "setting": result["setting"],
+                "empirical_variance": result["empirical_variance"],
+                "theoretical_variance": result["theoretical_variance"],
+                "n_iterations": result["n_iterations"],
+            }
+        )
+    return rows
+
+
+def format_campaign(manifest: CampaignManifest, store: ResultStore) -> str:
+    """Text rendering of a campaign's state (the ``report`` CLI output)."""
+    from ..eval.tables import format_table
+
+    report = campaign_report(manifest, store)
+    rows: list[Sequence] = []
+    for cell in report["cells"]:
+        result = cell["result"] or {}
+        summary = ""
+        if result.get("kind") == "detection":
+            summary = (
+                f"S det {1.0 - result['sensor']['fnr']:.0%} "
+                f"FPR {result['sensor']['fpr']:.2%} | "
+                f"A det {1.0 - result['actuator']['fnr']:.0%} "
+                f"FPR {result['actuator']['fpr']:.2%}"
+            )
+        elif result.get("kind") == "table4_setting":
+            emp = result["empirical_variance"]
+            summary = f"var d^a = ({emp[0]:.2e}, {emp[1]:.2e})"
+        elif result.get("kind") == "experiment":
+            summary = f"{len(result['formatted'].splitlines())} report line(s)"
+        rows.append(
+            [
+                cell["cell_id"],
+                cell["address"][:12],
+                "cached" if cell["cached"] else "PENDING",
+                "-" if cell["elapsed_s"] is None else f"{cell['elapsed_s']:.2f}s",
+                summary,
+            ]
+        )
+    table = format_table(
+        ["cell", "address", "state", "cost", "summary"],
+        rows,
+        title=(
+            f"campaign {report['name']!r}: {report['cached']}/{report['total']} "
+            "cell(s) cached"
+        ),
+    )
+    return table

@@ -1,0 +1,152 @@
+"""Incremental campaign execution over the process pool.
+
+``run_campaign`` is the tentpole loop: hash every cell, look each address
+up in the store, execute **only the misses** (over
+:func:`repro.eval.parallel.map_trials`, so big grids fan out to worker
+processes), persist each result parent-side, and record the manifest for
+dashboard discovery. Re-running an unchanged manifest is a pure read —
+zero cells execute, zero detector iterations run.
+
+``campaign_status`` answers the "what would a run do?" question without
+doing it: cached vs pending counts and the pending cell ids.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..eval.parallel import ParallelSpec, map_trials
+from .cells import execute_cell
+from .manifest import CampaignManifest
+from .store import ResultStore
+
+__all__ = ["CampaignStatus", "CampaignRunReport", "campaign_status", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Cached-vs-pending accounting for one manifest against one store."""
+
+    name: str
+    total: int
+    cached: int
+    pending_cells: tuple[str, ...]
+
+    @property
+    def pending(self) -> int:
+        """Number of cells a run would execute."""
+        return len(self.pending_cells)
+
+    def format(self) -> str:
+        """One-paragraph human summary (the ``status`` CLI output)."""
+        lines = [
+            f"campaign {self.name!r}: {self.total} cell(s), "
+            f"{self.cached} cached, {self.pending} pending"
+        ]
+        for cell_id in self.pending_cells:
+            lines.append(f"  pending: {cell_id}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CampaignRunReport:
+    """What one ``run_campaign`` call did (throughput + cache accounting)."""
+
+    name: str
+    total: int
+    cached: int
+    computed: int
+    elapsed_s: float
+    addresses: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cells served from the store."""
+        return self.cached / self.total if self.total else 1.0
+
+    @property
+    def cells_per_s(self) -> float:
+        """End-to-end throughput of this run over *all* cells (cached included)."""
+        return self.total / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+    def format(self) -> str:
+        """One-line human summary (the ``run`` CLI output)."""
+        return (
+            f"campaign {self.name!r}: {self.total} cell(s) in "
+            f"{self.elapsed_s:.2f}s ({self.cells_per_s:.1f} cells/s) — "
+            f"{self.cached} cached ({self.cache_hit_rate:.0%} hit rate), "
+            f"{self.computed} computed"
+        )
+
+
+def campaign_status(manifest: CampaignManifest, store: ResultStore) -> CampaignStatus:
+    """Cached/pending split of *manifest* against *store*, without executing."""
+    pending = tuple(
+        cell.cell_id for cell in manifest.cells if not store.has(cell.address())
+    )
+    return CampaignStatus(
+        name=manifest.name,
+        total=len(manifest.cells),
+        cached=len(manifest.cells) - len(pending),
+        pending_cells=pending,
+    )
+
+
+def _cell_chunk(payload, items):
+    """Worker: execute the chunk's cells; results travel back for parent-side persist."""
+    cells = payload
+    out = []
+    for index in items:
+        cell = cells[index]
+        start = time.perf_counter()
+        result, telemetry = execute_cell(cell.kind, cell.config)
+        out.append((result, telemetry, time.perf_counter() - start))
+    return out
+
+
+def run_campaign(
+    manifest: CampaignManifest,
+    store: ResultStore,
+    parallel: ParallelSpec = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignRunReport:
+    """Execute *manifest* incrementally against *store*.
+
+    Cached cells (their content address already has an artifact) are
+    skipped outright; the misses run through
+    :func:`~repro.eval.parallel.map_trials` — serial in-process by default,
+    fanned out to worker processes with ``parallel=``. Artifacts are
+    persisted parent-side (one writer), and the manifest is recorded in
+    the store for ``report``/dashboard discovery. *progress* (when given)
+    receives one line per computed cell.
+    """
+    start = time.perf_counter()
+    addresses = manifest.addresses()
+    pending_indices = [
+        index
+        for index, cell in enumerate(manifest.cells)
+        if not store.has(addresses[cell.cell_id])
+    ]
+    if pending_indices:
+        outcomes = map_trials(
+            _cell_chunk,
+            pending_indices,
+            parallel=parallel,
+            payload=tuple(manifest.cells),
+        )
+        for index, (result, telemetry, elapsed) in zip(pending_indices, outcomes):
+            cell = manifest.cells[index]
+            store.put(cell, result, telemetry=telemetry, elapsed_s=elapsed)
+            if progress is not None:
+                progress(f"computed {cell.cell_id} in {elapsed:.2f}s")
+    store.save_manifest(manifest)
+    return CampaignRunReport(
+        name=manifest.name,
+        total=len(manifest.cells),
+        cached=len(manifest.cells) - len(pending_indices),
+        computed=len(pending_indices),
+        elapsed_s=time.perf_counter() - start,
+        addresses=addresses,
+    )

@@ -1,0 +1,246 @@
+"""The content-addressed results store (``benchmarks/artifacts/`` by default).
+
+Layout — one directory per artifact, addressed by the cell's config hash::
+
+    <root>/
+      objects/<aa>/<address>/result.json      envelope: config + result + metadata
+      objects/<aa>/<address>/telemetry.jsonl  optional per-cell event stream
+      campaigns/<name>.json                   last-run manifest copies (dashboard discovery)
+      reports/<name>.json                     named-report pointers (benchmark .txt migration)
+
+Properties the rest of the campaign layer leans on:
+
+* **Idempotent, atomic writes.** An artifact is staged in a temp directory
+  and moved into place with :func:`os.replace` semantics, so a crashed run
+  never leaves a half-written artifact behind and concurrent writers of
+  the *same* address converge on identical content.
+* **Self-describing envelopes.** ``result.json`` embeds the cell's full
+  config next to its result, so an artifact remains interpretable after
+  the manifest that produced it changes (and ``gc`` can tell you what it
+  is deleting).
+* **Named reports ride the same objects.** Benchmark tables
+  (historically ``benchmarks/results/*.txt``) are stored as ``report``
+  objects whose address is the hash of their name + text, with a small
+  mutable pointer under ``reports/`` giving "latest report by name".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..errors import ConfigurationError
+from .hashing import CELL_SCHEMA_VERSION, config_hash
+from .manifest import CampaignManifest, CellSpec
+
+__all__ = ["DEFAULT_STORE_ROOT", "ResultStore"]
+
+#: Default store location relative to the repository root (the CLI and the
+#: benchmark harness both resolve it against their own repo checkout).
+DEFAULT_STORE_ROOT = "benchmarks/artifacts"
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class ResultStore:
+    """Content-addressed artifact store rooted at *root* (created lazily)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _ensure_root(self) -> None:
+        # Self-ignoring, like .hypothesis/: artifacts are derived data and
+        # must never be committed, wherever --store points.
+        marker = self.root / ".gitignore"
+        if not marker.is_file():
+            self.root.mkdir(parents=True, exist_ok=True)
+            marker.write_text("*\n")
+
+    # -- addressing ----------------------------------------------------
+
+    def _object_dir(self, address: str) -> Path:
+        if len(address) != 64 or any(c not in "0123456789abcdef" for c in address):
+            raise ConfigurationError(f"malformed artifact address {address!r}")
+        return self.root / "objects" / address[:2] / address
+
+    def has(self, address: str) -> bool:
+        """Whether an artifact exists at *address*."""
+        return (self._object_dir(address) / "result.json").is_file()
+
+    def get(self, address: str) -> dict | None:
+        """The artifact envelope at *address* (``None`` when absent)."""
+        path = self._object_dir(address) / "result.json"
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text())
+
+    def addresses(self) -> set[str]:
+        """Every artifact address currently in the store."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return set()
+        return {d.name for prefix in objects.iterdir() if prefix.is_dir() for d in prefix.iterdir() if d.is_dir()}
+
+    # -- writing -------------------------------------------------------
+
+    def put(
+        self,
+        cell: CellSpec,
+        result: Mapping,
+        telemetry: Iterable[Mapping] | None = None,
+        elapsed_s: float | None = None,
+    ) -> dict:
+        """Persist one executed cell; returns the stored envelope.
+
+        The staged directory is populated completely (telemetry first) and
+        moved into place last, so :meth:`has` never observes a partial
+        artifact.
+        """
+        self._ensure_root()
+        address = cell.address()
+        final = self._object_dir(address)
+        envelope = {
+            "address": address,
+            "cell_id": cell.cell_id,
+            "kind": cell.kind,
+            "config": dict(cell.config),
+            "result": dict(result),
+            "schema_version": CELL_SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "elapsed_s": elapsed_s,
+            "has_telemetry": telemetry is not None,
+        }
+        final.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(tempfile.mkdtemp(dir=final.parent, prefix=".staging-"))
+        try:
+            if telemetry is not None:
+                with (staging / "telemetry.jsonl").open("w", encoding="utf-8") as fh:
+                    for record in telemetry:
+                        fh.write(json.dumps(dict(record), sort_keys=True) + "\n")
+            _write_json_atomic(staging / "result.json", envelope)
+            if final.exists():
+                shutil.rmtree(final)
+            os.replace(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return envelope
+
+    # -- telemetry -----------------------------------------------------
+
+    def telemetry_path(self, address: str) -> Path | None:
+        """Path of the artifact's telemetry JSONL (``None`` when absent)."""
+        path = self._object_dir(address) / "telemetry.jsonl"
+        return path if path.is_file() else None
+
+    def read_telemetry(self, address: str) -> list[dict]:
+        """The artifact's telemetry records (empty when none were stored)."""
+        path = self.telemetry_path(address)
+        if path is None:
+            return []
+        return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+    # -- manifests (dashboard discovery) -------------------------------
+
+    def save_manifest(self, manifest: CampaignManifest) -> Path:
+        """Record the manifest under ``campaigns/<name>.json`` (last-run copy)."""
+        self._ensure_root()
+        path = self.root / "campaigns" / f"{manifest.name}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(path, manifest.to_dict())
+        return path
+
+    def manifests(self) -> list[CampaignManifest]:
+        """Every manifest recorded by past runs, sorted by name."""
+        campaigns = self.root / "campaigns"
+        if not campaigns.is_dir():
+            return []
+        return [
+            CampaignManifest.load(path) for path in sorted(campaigns.glob("*.json"))
+        ]
+
+    # -- named reports (benchmark .txt migration) ----------------------
+
+    def put_report(self, name: str, text: str) -> str:
+        """Store a rendered report as a content-addressed ``report`` object.
+
+        Returns the address. A ``reports/<name>.json`` pointer tracks the
+        latest report per name; superseded report objects stay until
+        :meth:`gc`.
+        """
+        cell = CellSpec(
+            cell_id=f"report/{name}",
+            kind="report",
+            config={"name": name, "text": text},
+        )
+        envelope = self.put(cell, {"kind": "report", "name": name, "text": text})
+        pointer = self.root / "reports" / f"{name}.json"
+        pointer.parent.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(pointer, {"name": name, "address": envelope["address"]})
+        return envelope["address"]
+
+    def get_report(self, name: str) -> str | None:
+        """The latest report text stored under *name* (``None`` when absent)."""
+        pointer = self.root / "reports" / f"{name}.json"
+        if not pointer.is_file():
+            return None
+        envelope = self.get(json.loads(pointer.read_text())["address"])
+        if envelope is None:
+            return None
+        return envelope["result"]["text"]
+
+    def report_names(self) -> list[str]:
+        """Names of all stored reports (sorted)."""
+        reports = self.root / "reports"
+        if not reports.is_dir():
+            return []
+        return sorted(path.stem for path in reports.glob("*.json"))
+
+    # -- garbage collection --------------------------------------------
+
+    def live_addresses(self) -> set[str]:
+        """Addresses reachable from recorded manifests and report pointers."""
+        live: set[str] = set()
+        for manifest in self.manifests():
+            live.update(manifest.addresses().values())
+        reports = self.root / "reports"
+        if reports.is_dir():
+            for pointer in reports.glob("*.json"):
+                live.add(json.loads(pointer.read_text())["address"])
+        return live
+
+    def gc(self, keep: set[str] | None = None) -> list[str]:
+        """Delete artifacts not in *keep* (default: :meth:`live_addresses`).
+
+        Returns the deleted addresses. Invalidated cells (a changed seed, a
+        schema-version bump) become unreachable the moment their manifest
+        is re-saved, and this is what reclaims them.
+        """
+        keep = self.live_addresses() if keep is None else set(keep)
+        deleted: list[str] = []
+        for address in sorted(self.addresses() - keep):
+            shutil.rmtree(self._object_dir(address))
+            deleted.append(address)
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for prefix in objects.iterdir():
+                if prefix.is_dir() and not any(prefix.iterdir()):
+                    prefix.rmdir()
+        return deleted

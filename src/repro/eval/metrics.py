@@ -72,6 +72,32 @@ class ConfusionCounts:
         p, r = self.precision, self.recall
         return 2.0 * p * r / (p + r) if (p + r) > 0.0 else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON form: raw counts plus the derived rates campaign artifacts store.
+
+        The counts alone reproduce every property; the rates are
+        denormalized in so a stored artifact is readable without this
+        class (the dashboard consumes the JSON directly).
+        """
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "fn": self.fn,
+            "tn": self.tn,
+            "fpr": self.false_positive_rate,
+            "fnr": self.false_negative_rate,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfusionCounts":
+        """Rebuild counts from :meth:`to_dict` output (rates are rederived)."""
+        return cls(
+            tp=int(data["tp"]), fp=int(data["fp"]), fn=int(data["fn"]), tn=int(data["tn"])
+        )
+
     def classify(self, detected_positive: bool, correct: bool, truth_positive: bool) -> None:
         """Classify one iteration and accumulate.
 

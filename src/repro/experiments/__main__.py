@@ -6,6 +6,11 @@ Regenerate any paper table/figure (or extension study) from a terminal::
     python -m repro.experiments fig7 --trials 2
     python -m repro.experiments all
 
+With ``--manifest FILE`` the experiment is not run: its campaign manifest
+is written as JSON instead, ready for the incremental runner
+(``python -m repro.campaign run --manifest FILE`` — see
+``docs/CAMPAIGNS.md``).
+
 The same experiments run (with assertions) under
 ``pytest benchmarks/ --benchmark-only``; this entry point is for quick
 interactive regeneration.
@@ -32,6 +37,22 @@ from .response import run_response
 from .robustness import run_robustness
 from .sensor_quality import run_sensor_quality
 from .switching import run_switching
+
+# Module (under this package) providing each experiment's ``manifest()``.
+MANIFEST_MODULES: dict[str, str] = {
+    "table2": "table2",
+    "table4": "table4",
+    "fig6": "fig6",
+    "fig7": "fig7",
+    "tamiya": "tamiya_eval",
+    "linear": "linear_benchmark",
+    "evasive": "evasive",
+    "ablation": "ablation",
+    "response": "response",
+    "switching": "switching",
+    "sensor-quality": "sensor_quality",
+    "robustness": "robustness",
+}
 
 EXPERIMENTS: dict[str, Callable[..., object]] = {
     "table2": lambda args: run_table2(n_trials=args.trials, parallel=args.workers),
@@ -68,7 +89,26 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the Monte-Carlo experiments "
         "(table2/table4/fig7/robustness); results are identical to serial",
     )
+    parser.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="instead of running, write the experiment's campaign manifest "
+        "(JSON) to FILE for `python -m repro.campaign run`",
+    )
     args = parser.parse_args(argv)
+
+    if args.manifest is not None:
+        if args.experiment == "all":
+            parser.error("--manifest needs a single experiment, not 'all'")
+        import importlib
+
+        module = importlib.import_module(
+            f".{MANIFEST_MODULES[args.experiment]}", __package__
+        )
+        path = module.manifest().save(args.manifest)
+        print(f"wrote manifest for {args.experiment} to {path}")
+        return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

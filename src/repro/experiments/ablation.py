@@ -15,6 +15,13 @@ Three studies the paper discusses qualitatively, quantified here:
    reference on its own (the engine refuses with an
    :class:`~repro.errors.ObservabilityError`); grouped with a GPS it can
    (Section VI, "Sensor capabilities").
+
+Where do results go? ``run_ablation`` returns an :class:`AblationResult`;
+``benchmarks/bench_ablation.py`` persists the rendering to the artifact
+store (``benchmarks/artifacts/``, with a
+``benchmarks/results/ablation.txt`` compat copy), and :func:`manifest`
+wraps the three studies as a single ``experiment`` campaign cell
+(``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -38,7 +45,19 @@ from ..sensors.pose_sensors import IPS
 from ..sensors.suite import SensorGroup, SensorSuite
 from ..core.nuise import NuiseFilter
 
-__all__ = ["AblationResult", "run_ablation"]
+__all__ = ["AblationResult", "manifest", "run_ablation"]
+
+
+def manifest(seed: int = 700):
+    """The three Section VI ablation studies as a one-cell campaign manifest."""
+    from ..campaign.manifest import CampaignManifest, experiment_cell
+
+    return CampaignManifest(
+        "ablation",
+        cells=[experiment_cell("ablation", seed=seed)],
+        description="Section VI ablations: mode-set selection, sliding-window "
+        "necessity, sensor grouping",
+    )
 
 
 @dataclass

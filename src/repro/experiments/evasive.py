@@ -7,6 +7,13 @@ alteration under 900 speed units (0.006 m/s) — magnitudes too small to
 matter operationally. This experiment sweeps both attack magnitudes and
 reports the largest value that evades detection, plus the smallest that is
 reliably caught.
+
+Where do results go? ``run_evasive`` returns an :class:`EvasiveResult`;
+``benchmarks/bench_evasive.py`` persists the rendering to the artifact
+store (``benchmarks/artifacts/``, with a
+``benchmarks/results/evasive.txt`` compat copy), and :func:`manifest`
+wraps the sweep as a single ``experiment`` campaign cell
+(``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -24,7 +31,19 @@ from ..eval.runner import run_scenario
 from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
 
-__all__ = ["EvasiveResult", "run_evasive"]
+__all__ = ["EvasiveResult", "manifest", "run_evasive"]
+
+
+def manifest(seed: int = 600):
+    """The evasive-magnitude sweep as a one-cell campaign manifest."""
+    from ..campaign.manifest import CampaignManifest, experiment_cell
+
+    return CampaignManifest(
+        "evasive",
+        cells=[experiment_cell("evasive", seed=seed)],
+        description="Section V-H reproduction: largest evading / smallest "
+        "reliably-caught attack magnitudes",
+    )
 
 
 @dataclass

@@ -16,6 +16,13 @@ wheel-controller logic bomb at 10 s (-/+6000 speed units): panel 1's x
 component must step to ~0.07 while wheel-encoder and LiDAR anomalies stay
 silent, and panel 4 must deviate after 10 s — the checks
 :meth:`Fig6Result.checkpoints` quantifies.
+
+Where do results go? ``run_fig6`` returns a :class:`Fig6Result` (panel
+time series plus checkpoint assertions); ``benchmarks/bench_fig6.py``
+persists the rendering to the artifact store (``benchmarks/artifacts/``,
+with a ``benchmarks/results/fig6.txt`` compat copy), and :func:`manifest`
+wraps the run as a single ``experiment`` campaign cell
+(``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -32,7 +39,19 @@ from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
 from .common import KHEPERA_SENSOR_ORDER, condition_label
 
-__all__ = ["Fig6Result", "run_fig6"]
+__all__ = ["Fig6Result", "manifest", "run_fig6"]
+
+
+def manifest(seed: int = 42):
+    """Fig 6's single scenario-#8 mission as a one-cell campaign manifest."""
+    from ..campaign.manifest import CampaignManifest, experiment_cell
+
+    return CampaignManifest(
+        "fig6",
+        cells=[experiment_cell("fig6", seed=seed)],
+        description="Fig 6 reproduction: raw estimation-engine outputs for "
+        "scenario #8",
+    )
 
 
 @dataclass

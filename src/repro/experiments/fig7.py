@@ -13,6 +13,12 @@ The reproduced claims: the ROC hugs the top-left corner at sensible alphas;
 for a fixed window, F1 rises then falls with the criteria (the paper's
 "increases first and reduces afterward"); and the paper's chosen configs
 (sensor 2/2 @ 0.005, actuator 3/6 @ 0.05) land at or near the optimum.
+
+Where do results go? ``run_fig7`` returns a :class:`Fig7Result` (ROC and
+F1 grids); ``benchmarks/bench_fig7.py`` persists the rendering to the
+artifact store (``benchmarks/artifacts/``, with a
+``benchmarks/results/fig7.txt`` compat copy), and :func:`manifest` wraps
+the sweep as a single ``experiment`` campaign cell (``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -28,7 +34,19 @@ from ..eval.sweeps import SweepPoint, f1_sweep, roc_sweep
 from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
 
-__all__ = ["Fig7Result", "run_fig7"]
+__all__ = ["Fig7Result", "manifest", "run_fig7"]
+
+
+def manifest(n_trials: int = 1, base_seed: int = 300):
+    """The decision-parameter sweep as a one-cell campaign manifest."""
+    from ..campaign.manifest import CampaignManifest, experiment_cell
+
+    return CampaignManifest(
+        "fig7",
+        cells=[experiment_cell("fig7", n_trials=n_trials, base_seed=base_seed)],
+        description="Fig 7 reproduction: decision-parameter ROC curves and "
+        "F1 grids from replayed runs",
+    )
 
 DEFAULT_ALPHAS = (0.0005, 0.005, 0.02, 0.05, 0.2, 0.5, 0.8, 0.995)
 DEFAULT_WC = ((1, 1), (3, 3), (6, 6))

@@ -7,6 +7,13 @@ lead to false positives", measuring 61.68% average FPR (with no false
 negatives) for the attack/failure scenarios on the Khepera. The reproduced
 claim is the *gap*: the baseline's sensor FPR is catastrophically higher
 than RoboADS's on identical runs.
+
+Where do results go? ``run_linear_benchmark`` returns a
+:class:`LinearBenchmarkResult`; ``benchmarks/bench_linear_baseline.py``
+persists the rendering to the artifact store (``benchmarks/artifacts/``,
+with a ``benchmarks/results/linear_baseline.txt`` compat copy), and
+:func:`manifest` wraps the comparison as a single ``experiment`` campaign
+cell (``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -22,7 +29,19 @@ from ..eval.runner import run_scenario
 from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
 
-__all__ = ["LinearBenchmarkResult", "run_linear_benchmark"]
+__all__ = ["LinearBenchmarkResult", "manifest", "run_linear_benchmark"]
+
+
+def manifest(seed: int = 500):
+    """The linearize-once comparison as a one-cell campaign manifest."""
+    from ..campaign.manifest import CampaignManifest, experiment_cell
+
+    return CampaignManifest(
+        "linear",
+        cells=[experiment_cell("linear", seed=seed)],
+        description="Section V-G benchmark: RoboADS vs a linearize-once "
+        "baseline on identical runs",
+    )
 
 
 @dataclass

@@ -8,6 +8,13 @@ faithfully tracks the spoofed position and parks the robot wherever the
 attacker chose; with :class:`~repro.core.response.NavigationFailover`, the
 confirmed IPS alarm reroutes navigation to the wheel-encoder workflow and
 the mission completes.
+
+Where do results go? ``run_response`` returns a :class:`ResponseResult`;
+``benchmarks/bench_extensions.py`` persists the rendering to the artifact
+store (``benchmarks/artifacts/``, with a
+``benchmarks/results/response.txt`` compat copy), and :func:`manifest`
+wraps the paired missions as a single ``experiment`` campaign cell
+(``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -23,7 +30,19 @@ from ..eval.runner import run_scenario
 from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
 
-__all__ = ["ResponseResult", "run_response"]
+__all__ = ["ResponseResult", "manifest", "run_response"]
+
+
+def manifest(seed: int = 800, spoof_rate: float = 0.03):
+    """The response-failover comparison as a one-cell campaign manifest."""
+    from ..campaign.manifest import CampaignManifest, experiment_cell
+
+    return CampaignManifest(
+        "response",
+        cells=[experiment_cell("response", seed=seed, spoof_rate=spoof_rate)],
+        description="Response extension: navigation failover vs a drifting "
+        "IPS spoofer, with and without the responder",
+    )
 
 
 @dataclass

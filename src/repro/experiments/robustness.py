@@ -5,6 +5,13 @@ sweeps uniform delivery-dropout intensity against a slice of the Table II
 Khepera catalog and reports the degradation curves. The zero-intensity
 column doubles as a self-check — it runs the literal fault-free code path,
 so its metrics must match a plain Table II cell at the same seeds.
+
+Where do results go? ``run_robustness`` returns a
+:class:`RobustnessResult` (``format()`` renders the degradation table);
+:func:`manifest` exposes the intensity x scenario grid as
+content-addressed campaign cells — the dashboard's fault-campaign grid
+and degradation curves render from those artifacts
+(``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -17,7 +24,30 @@ from ..eval.fault_campaign import FaultCampaignResult, run_fault_campaign
 from ..eval.parallel import ParallelSpec
 from ..robots.khepera import khepera_rig
 
-__all__ = ["RobustnessResult", "run_robustness"]
+__all__ = ["RobustnessResult", "manifest", "run_robustness"]
+
+
+def manifest(
+    n_trials: int = 2,
+    seed: int = 100,
+    intensities: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    scenario_numbers: Sequence[int] = (1, 4),
+):
+    """The dropout-intensity sweep as a campaign manifest (intensity x scenario)."""
+    from ..campaign.manifest import CampaignManifest, detection_grid
+
+    return CampaignManifest(
+        "robustness",
+        cells=detection_grid(
+            "khepera",
+            list(scenario_numbers),
+            intensities=intensities,
+            n_trials=n_trials,
+            base_seed=seed,
+        ),
+        description="Robustness extension: uniform sensor-delivery dropout "
+        "intensity swept against Table II scenarios",
+    )
 
 
 @dataclass

@@ -14,6 +14,13 @@ This experiment quantifies both axes directly on the estimator:
 
 The estimator is exercised on the Khepera model with a wandering control
 profile (straights and arcs) so both control channels stay excited.
+
+Where do results go? ``run_sensor_quality`` returns a
+:class:`SensorQualityResult`; ``benchmarks/bench_extensions.py`` persists
+the rendering to the artifact store (``benchmarks/artifacts/``, with a
+``benchmarks/results/sensor_quality.txt`` compat copy), and
+:func:`manifest` wraps both sweeps as a single ``experiment`` campaign
+cell (``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -31,7 +38,19 @@ from ..sensors.pose_sensors import IPS, OdometryPoseSensor
 from ..sensors.suite import SensorSuite
 from ..world.presets import paper_arena
 
-__all__ = ["SensorQualityResult", "run_sensor_quality"]
+__all__ = ["SensorQualityResult", "manifest", "run_sensor_quality"]
+
+
+def manifest(seed: int = 1000):
+    """The quality/quantity sweeps as a one-cell campaign manifest."""
+    from ..campaign.manifest import CampaignManifest, experiment_cell
+
+    return CampaignManifest(
+        "sensor-quality",
+        cells=[experiment_cell("sensor-quality", seed=seed)],
+        description="Section V-E reproduction: estimation variance vs sensor "
+        "quality and quantity",
+    )
 
 PROCESS_SIGMAS = np.array([0.0005, 0.0005, 0.0015])
 

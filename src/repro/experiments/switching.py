@@ -12,6 +12,13 @@ Expected shape: near-perfect identification for slow switching, degrading
 as the period approaches the sliding windows' fill time (the detector still
 *alarms* — raw detection barely degrades — but attributing the right sensor
 lags the attacker).
+
+Where do results go? ``run_switching`` returns a :class:`SwitchingResult`;
+``benchmarks/bench_extensions.py`` persists the rendering to the artifact
+store (``benchmarks/artifacts/``, with a
+``benchmarks/results/switching.txt`` compat copy), and :func:`manifest`
+wraps the period sweep as a single ``experiment`` campaign cell
+(``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -27,7 +34,19 @@ from ..eval.runner import run_scenario
 from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
 
-__all__ = ["SwitchingResult", "run_switching"]
+__all__ = ["SwitchingResult", "manifest", "run_switching"]
+
+
+def manifest(seed: int = 900):
+    """The switching-period sweep as a one-cell campaign manifest."""
+    from ..campaign.manifest import CampaignManifest, experiment_cell
+
+    return CampaignManifest(
+        "switching",
+        cells=[experiment_cell("switching", seed=seed)],
+        description="Switching-attack extension: identification accuracy vs "
+        "attacker hop period",
+    )
 
 
 @dataclass

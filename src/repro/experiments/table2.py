@@ -4,6 +4,13 @@ For every scenario the experiment reports, as the paper's Table II does:
 the ground-truth misbehavior transition (``A0→1`` / ``S0→2→4`` labels from
 Table III), the detected transition, per-channel detection delays, and the
 sensor/actuator FPR/FNR averaged over Monte-Carlo trials.
+
+Where do results go? ``run_table2`` returns a :class:`Table2Result`
+(``format()`` renders the table); ``benchmarks/bench_table2.py`` persists
+the rendering to the artifact store (``benchmarks/artifacts/``, with a
+``benchmarks/results/table2.txt`` compat copy), and :func:`manifest`
+exposes the scenario grid as content-addressed campaign cells for
+``python -m repro.campaign`` and the dashboard (``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -20,7 +27,24 @@ from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
 from .common import KHEPERA_SENSOR_ORDER, detected_sequence, truth_sequence
 
-__all__ = ["Table2Row", "Table2Result", "run_table2"]
+__all__ = ["Table2Row", "Table2Result", "manifest", "run_table2"]
+
+
+def manifest(n_trials: int = 3, base_seed: int = 100):
+    """The Table II grid as a campaign manifest (one detection cell per scenario)."""
+    from ..campaign.manifest import CampaignManifest, detection_grid
+
+    return CampaignManifest(
+        "table2",
+        cells=detection_grid(
+            "khepera",
+            [s.number for s in khepera_scenarios()],
+            n_trials=n_trials,
+            base_seed=base_seed,
+        ),
+        description="Table II reproduction: the eleven Khepera attack/failure "
+        "scenarios as Monte-Carlo detection cells",
+    )
 
 
 @dataclass

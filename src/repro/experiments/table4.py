@@ -5,6 +5,12 @@ reduces the variance of the actuator anomaly estimates: each single sensor
 is evaluated as the sole reference, then all three fused. The *ordering*
 (IPS best single, LiDAR worst, fusion better than any single) is the
 reproduced claim; absolute numbers depend on the testbed's noise floors.
+
+Where do results go? ``run_table4`` returns a :class:`Table4Result`;
+``benchmarks/bench_table4.py`` persists the rendering to the artifact
+store (``benchmarks/artifacts/``, with a ``benchmarks/results/table4.txt``
+compat copy), and :func:`manifest` exposes one ``table4_setting`` campaign
+cell per reference-sensor setting (``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -19,7 +25,38 @@ from ..eval.runner import run_scenario
 from ..eval.tables import format_table
 from ..robots.khepera import khepera_rig
 
-__all__ = ["Table4Result", "run_table4"]
+__all__ = ["Table4Result", "manifest", "run_table4"]
+
+
+def manifest(seed: int = 200, duration: float = 18.0):
+    """The Table IV settings as a campaign manifest (one cell per setting)."""
+    from ..campaign.manifest import CampaignManifest, CellSpec
+
+    slugs = {
+        "IPS": "ips",
+        "Wheel encoder": "wheel-encoder",
+        "LiDAR": "lidar",
+        "All 3 sensors": "fused",
+    }
+    cells = [
+        CellSpec(
+            cell_id=f"table4/{slugs[setting]}",
+            kind="table4_setting",
+            config={
+                "setting": setting,
+                "rig": "khepera",
+                "seed": int(seed),
+                "duration": float(duration),
+            },
+        )
+        for setting, _ in SENSOR_SETTINGS
+    ]
+    return CampaignManifest(
+        "table4",
+        cells=cells,
+        description="Table IV reproduction: actuator-anomaly variance per "
+        "reference-sensor setting",
+    )
 
 SENSOR_SETTINGS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("IPS", ("ips",)),

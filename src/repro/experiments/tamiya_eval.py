@@ -4,6 +4,12 @@ The paper implements the identical detector construction on a robot with a
 different dynamic model and sensor mix and reports average FPR/FNR of
 2.77%/0.83% and an average delay of 0.33 s. This experiment runs the
 adapted Tamiya scenario suite and reports the same aggregates.
+
+Where do results go? ``run_tamiya_eval`` returns a :class:`TamiyaResult`;
+``benchmarks/bench_tamiya.py`` persists the rendering to the artifact
+store (``benchmarks/artifacts/``, with a ``benchmarks/results/tamiya.txt``
+compat copy), and :func:`manifest` exposes the Tamiya scenario suite as
+campaign cells for ``python -m repro.campaign`` (``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
@@ -19,7 +25,24 @@ from ..eval.tables import format_table
 from ..robots.tamiya import tamiya_rig
 from .common import TAMIYA_SENSOR_ORDER, detected_sequence, truth_sequence
 
-__all__ = ["TamiyaResult", "run_tamiya_eval"]
+__all__ = ["TamiyaResult", "manifest", "run_tamiya_eval"]
+
+
+def manifest(n_trials: int = 2, base_seed: int = 400):
+    """The Tamiya suite as a campaign manifest (one detection cell per scenario)."""
+    from ..campaign.manifest import CampaignManifest, detection_grid
+
+    return CampaignManifest(
+        "tamiya",
+        cells=detection_grid(
+            "tamiya",
+            [s.number for s in tamiya_scenarios()],
+            n_trials=n_trials,
+            base_seed=base_seed,
+        ),
+        description="Section V-D generality: the adapted Tamiya scenario suite "
+        "as Monte-Carlo detection cells",
+    )
 
 
 @dataclass

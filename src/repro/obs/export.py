@@ -20,7 +20,22 @@ from pathlib import Path
 
 from .telemetry import RecordingTelemetry, TelemetryEvent
 
-__all__ = ["write_jsonl", "read_jsonl", "render_timeline", "export_run"]
+__all__ = ["to_records", "write_jsonl", "read_jsonl", "render_timeline", "export_run"]
+
+
+def to_records(events) -> list[dict]:
+    """Events (or a recording sink) as plain JSON-ready dicts, in order.
+
+    The in-memory counterpart of :func:`write_jsonl`: campaign cells embed
+    the records directly in their content-addressed artifacts instead of
+    owning a file handle.
+    """
+    if isinstance(events, RecordingTelemetry):
+        events = events.events
+    return [
+        event.to_record() if isinstance(event, TelemetryEvent) else dict(event)
+        for event in events
+    ]
 
 
 def write_jsonl(events, path) -> int:

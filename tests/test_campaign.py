@@ -1,0 +1,300 @@
+"""Campaign layer unit tests: hashing, manifests, store, status, CLI.
+
+The heavier end-to-end behavior (real detector cells, the zero-execution
+warm-run guarantee, the dashboard) lives in ``test_campaign_smoke.py``;
+this module covers the identity and persistence machinery with cheap
+synthetic cells.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import (
+    CampaignManifest,
+    CellSpec,
+    ResultStore,
+    campaign_status,
+    canonical_json,
+    config_hash,
+    register_cell_kind,
+    run_campaign,
+)
+from repro.campaign.cells import cell_kinds
+from repro.campaign.manifest import detection_cell, detection_grid, experiment_cell
+from repro.campaign.report import campaign_report, format_campaign
+from repro.errors import ConfigurationError
+
+
+def synthetic_manifest(values=(1, 2, 3), name="synthetic") -> CampaignManifest:
+    return CampaignManifest(
+        name,
+        cells=[
+            CellSpec(f"cell/{v}", "synthetic", {"value": v, "scale": 2.0})
+            for v in values
+        ],
+    )
+
+
+@pytest.fixture(autouse=True)
+def synthetic_kind():
+    if "synthetic" not in cell_kinds():
+        register_cell_kind(
+            "synthetic",
+            lambda config: ({"kind": "synthetic", "out": config["value"] * config["scale"]}, None),
+        )
+    yield
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_int_valued_floats_fold_to_int(self):
+        # A JSON round-trip cannot tell 1.0 from 1, so neither may the hash.
+        assert config_hash({"x": 1.0}) == config_hash({"x": 1})
+
+    def test_negative_zero_folds(self):
+        assert config_hash({"x": -0.0}) == config_hash({"x": 0.0})
+
+    def test_tuples_hash_as_lists(self):
+        assert config_hash({"x": (1, 2)}) == config_hash({"x": [1, 2]})
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_hash({"x": float("nan")})
+        with pytest.raises(ConfigurationError):
+            config_hash({"x": float("inf")})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_hash({1: "x"})
+
+    def test_non_json_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_hash({"x": object()})
+
+
+class TestHashStability:
+    def test_identical_manifests_hash_identically(self):
+        a = synthetic_manifest().addresses()
+        b = synthetic_manifest().addresses()
+        assert a == b
+
+    def test_round_trip_preserves_addresses(self, tmp_path):
+        manifest = synthetic_manifest()
+        path = manifest.save(tmp_path / "m.json")
+        assert CampaignManifest.load(path).addresses() == manifest.addresses()
+
+    def test_addresses_stable_across_processes(self, tmp_path):
+        # The whole point of content addressing: a fresh interpreter (fresh
+        # PYTHONHASHSEED, fresh import order) derives the same addresses.
+        manifest = synthetic_manifest()
+        path = manifest.save(tmp_path / "m.json")
+        script = (
+            "import json, sys\n"
+            "from repro.campaign import CampaignManifest\n"
+            "m = CampaignManifest.load(sys.argv[1])\n"
+            "print(json.dumps(m.addresses()))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert json.loads(proc.stdout) == manifest.addresses()
+
+    def test_cell_id_not_part_of_identity(self):
+        a = CellSpec("one-name", "synthetic", {"value": 1})
+        b = CellSpec("another-name", "synthetic", {"value": 1})
+        assert a.address() == b.address()
+
+    def test_kind_is_part_of_identity(self):
+        a = CellSpec("c", "synthetic", {"value": 1})
+        b = CellSpec("c", "other", {"value": 1})
+        assert a.address() != b.address()
+
+    def test_changed_seed_invalidates_only_affected_cells(self):
+        base = detection_grid("khepera", [1, 4], intensities=(0.0, 0.1), n_trials=2)
+        bumped = detection_grid(
+            "khepera", [1, 4], intensities=(0.0, 0.1), n_trials=2, fault_seed=8
+        )
+        changed = [
+            old.cell_id
+            for old, new in zip(base, bumped)
+            if old.address() != new.address()
+        ]
+        # fault_seed feeds the fault schedules, which only exist at
+        # intensity > 0 — but it is part of every cell's config, so all
+        # cells change; the *intensity* axis is the selective one:
+        assert changed == [c.cell_id for c in base]
+
+    def test_changed_intensity_invalidates_only_that_intensity(self):
+        base = detection_grid("khepera", [1, 4], intensities=(0.0, 0.1))
+        edited = detection_grid("khepera", [1, 4], intensities=(0.0, 0.2))
+        base_addr, edited_addr = (
+            {c.cell_id: c.address() for c in cells} for cells in (base, edited)
+        )
+        # Zero-intensity cells share ids across the two grids and keep
+        # their addresses; only the edited intensity's cells differ.
+        for cell_id, address in base_addr.items():
+            if cell_id.endswith("drop000"):
+                assert edited_addr[cell_id] == address
+            else:
+                assert cell_id not in edited_addr
+
+    def test_trial_count_change_invalidates(self):
+        a = detection_cell("khepera", 1, n_trials=2)
+        b = detection_cell("khepera", 1, n_trials=3)
+        assert a.address() != b.address()
+
+
+class TestManifest:
+    def test_duplicate_cell_ids_rejected(self):
+        cells = [
+            CellSpec("same", "synthetic", {"value": 1}),
+            CellSpec("same", "synthetic", {"value": 2}),
+        ]
+        with pytest.raises(ConfigurationError):
+            CampaignManifest("dup", cells=cells)
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(ConfigurationError):
+            CampaignManifest.from_dict({"name": "x"})
+
+    def test_experiment_cell_defaults(self):
+        cell = experiment_cell("fig6", seed=42)
+        assert cell.cell_id == "experiment/fig6"
+        assert cell.config == {"experiment": "fig6", "args": {"seed": 42}}
+
+
+class TestStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = CellSpec("c", "synthetic", {"value": 5})
+        envelope = store.put(cell, {"kind": "synthetic", "out": 10.0}, elapsed_s=0.5)
+        assert store.has(cell.address())
+        loaded = store.get(cell.address())
+        assert loaded["result"] == {"kind": "synthetic", "out": 10.0}
+        assert loaded["cell_id"] == "c"
+        assert loaded["elapsed_s"] == 0.5
+        assert envelope["address"] == cell.address()
+
+    def test_get_missing_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("0" * 64) is None
+        assert not store.has("0" * 64)
+
+    def test_telemetry_persisted_as_jsonl(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = CellSpec("c", "synthetic", {"value": 5})
+        records = [{"event": "a", "k": 0}, {"event": "b", "k": 1}]
+        store.put(cell, {"kind": "synthetic"}, telemetry=records)
+        assert store.read_telemetry(cell.address()) == records
+
+    def test_report_pointer_tracks_latest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_report("table2", "old text")
+        store.put_report("table2", "new text")
+        assert store.get_report("table2") == "new text"
+        assert store.report_names() == ["table2"]
+
+    def test_gc_keeps_live_drops_orphans(self, tmp_path):
+        store = ResultStore(tmp_path)
+        manifest = synthetic_manifest(values=(1, 2))
+        run_campaign(manifest, store)
+        orphan = CellSpec("orphan", "synthetic", {"value": 99})
+        store.put(orphan, {"kind": "synthetic", "out": 0})
+        deleted = store.gc()
+        assert deleted == [orphan.address()]
+        assert all(store.has(a) for a in manifest.addresses().values())
+        assert not store.has(orphan.address())
+
+
+class TestRunnerAndStatus:
+    def test_status_counts_cached_vs_pending(self, tmp_path):
+        store = ResultStore(tmp_path)
+        manifest = synthetic_manifest(values=(1, 2, 3))
+        before = campaign_status(manifest, store)
+        assert (before.total, before.cached, before.pending) == (3, 0, 3)
+        assert before.pending_cells == ("cell/1", "cell/2", "cell/3")
+
+        # Pre-populate one cell: status must see exactly it as cached.
+        store.put(manifest.cells[1], {"kind": "synthetic", "out": 4.0})
+        mid = campaign_status(manifest, store)
+        assert (mid.cached, mid.pending) == (1, 2)
+        assert "cell/2" not in mid.pending_cells
+
+        run_campaign(manifest, store)
+        after = campaign_status(manifest, store)
+        assert (after.cached, after.pending) == (3, 0)
+
+    def test_rerun_is_all_cache_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        manifest = synthetic_manifest()
+        cold = run_campaign(manifest, store)
+        warm = run_campaign(manifest, store)
+        assert cold.computed == 3 and cold.cache_hit_rate == 0.0
+        assert warm.computed == 0 and warm.cache_hit_rate == 1.0
+
+    def test_edited_cell_recomputes_alone(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_campaign(synthetic_manifest(values=(1, 2, 3)), store)
+        edited = synthetic_manifest(values=(1, 2, 4))
+        report = run_campaign(edited, store)
+        assert report.cached == 2 and report.computed == 1
+
+    def test_unknown_kind_is_configuration_error(self, tmp_path):
+        manifest = CampaignManifest(
+            "bad", cells=[CellSpec("c", "no-such-kind", {})]
+        )
+        with pytest.raises(ConfigurationError):
+            run_campaign(manifest, ResultStore(tmp_path))
+
+    def test_report_lists_every_cell(self, tmp_path):
+        store = ResultStore(tmp_path)
+        manifest = synthetic_manifest()
+        run_campaign(manifest, store)
+        report = campaign_report(manifest, store)
+        assert [c["cell_id"] for c in report["cells"]] == [
+            c.cell_id for c in manifest.cells
+        ]
+        assert report["cached"] == report["total"] == 3
+        text = format_campaign(manifest, store)
+        for cell in manifest.cells:
+            assert cell.cell_id in text
+
+    def test_store_records_manifest_for_discovery(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_campaign(synthetic_manifest(), store)
+        names = [m.name for m in store.manifests()]
+        assert names == ["synthetic"]
+
+
+class TestCli:
+    def test_status_run_report_gc(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main
+
+        manifest_path = synthetic_manifest(values=(1, 2)).save(tmp_path / "m.json")
+        store = str(tmp_path / "store")
+        args = ["--store", store, "--manifest", str(manifest_path)]
+
+        assert main(["status", *args]) == 0
+        assert "2 pending" in capsys.readouterr().out
+
+        assert main(["run", *args]) == 0
+        assert "2 computed" in capsys.readouterr().out
+
+        assert main(["status", *args]) == 0
+        assert "2 cached, 0 pending" in capsys.readouterr().out
+
+        assert main(["report", *args]) == 0
+        assert "cell/1" in capsys.readouterr().out
+
+        assert main(["gc", "--store", store]) == 0
+        assert "deleted 0 artifact(s)" in capsys.readouterr().out

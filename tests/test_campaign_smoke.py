@@ -1,0 +1,115 @@
+"""Tier-1 campaign smoke: real cells end-to-end, then the dashboard.
+
+A 4-cell mini-campaign (two Khepera detection cells, short missions, at
+two dropout intensities) runs cold against a throwaway store, then again
+warm — the warm run must perform **zero** cell executions and zero
+detector iterations (the ISSUE acceptance criterion), enforced two ways:
+the executor invocation counter stays flat, and a poisoned
+``run_scenario`` proves no detection code path is entered. Finally
+``scripts/make_dashboard.py`` renders the store and the HTML must contain
+every cell id.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import (
+    CampaignManifest,
+    ResultStore,
+    campaign_status,
+    run_campaign,
+)
+from repro.campaign import cells as cells_mod
+from repro.campaign.manifest import detection_grid
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+DURATION = 3.0  # seconds of simulated mission per cell: enough to detect
+
+
+@pytest.fixture(scope="module")
+def mini_campaign():
+    return CampaignManifest(
+        "mini",
+        cells=detection_grid(
+            "khepera",
+            [1, 4],
+            intensities=(0.0, 0.2),
+            n_trials=1,
+            duration=DURATION,
+        ),
+        description="tier-1 smoke grid",
+    )
+
+
+@pytest.fixture(scope="module")
+def populated_store(tmp_path_factory, mini_campaign):
+    store = ResultStore(tmp_path_factory.mktemp("artifacts"))
+    report = run_campaign(mini_campaign, store)
+    assert report.computed == 4 and report.cached == 0
+    return store
+
+
+def test_cold_run_produces_finite_results(mini_campaign, populated_store):
+    for cell in mini_campaign.cells:
+        envelope = populated_store.get(cell.address())
+        assert envelope is not None
+        result = envelope["result"]
+        assert result["finite"], f"{cell.cell_id} produced non-finite statistics"
+        assert result["iterations"] > 0
+        if result["intensity"] > 0:
+            assert result["degraded_fraction"] > 0
+
+
+def test_warm_rerun_executes_nothing(mini_campaign, populated_store, monkeypatch):
+    # Belt: the executor counter must not move. Braces: if any detection
+    # cell ran anyway, the poisoned run_scenario would blow up the run.
+    import repro.eval.runner as runner_mod
+
+    def poisoned(*args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError("warm campaign re-run executed a detector mission")
+
+    monkeypatch.setattr(runner_mod, "run_scenario", poisoned)
+    before = cells_mod.EXECUTION_COUNT
+    report = run_campaign(mini_campaign, populated_store)
+    assert cells_mod.EXECUTION_COUNT == before
+    assert report.computed == 0
+    assert report.cached == report.total == 4
+    assert report.cache_hit_rate == 1.0
+
+
+def test_status_reflects_population(mini_campaign, populated_store, tmp_path):
+    warm = campaign_status(mini_campaign, populated_store)
+    assert (warm.cached, warm.pending) == (4, 0)
+    cold = campaign_status(mini_campaign, ResultStore(tmp_path))
+    assert (cold.cached, cold.pending) == (0, 4)
+
+
+def test_dashboard_contains_every_cell(mini_campaign, populated_store, tmp_path):
+    out = tmp_path / "dashboard.html"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "scripts" / "make_dashboard.py"),
+            "--store",
+            str(populated_store.root),
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr
+    html = out.read_text()
+    for cell in mini_campaign.cells:
+        assert cell.cell_id in html, f"dashboard is missing {cell.cell_id}"
+    # The mini-grid sweeps two intensities, so the fault-campaign section
+    # (heat grid + SVG degradation curves) must have rendered.
+    assert "Degradation curves" in html
+    assert "<svg" in html
+    assert "Cell index" in html

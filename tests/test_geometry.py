@@ -125,8 +125,10 @@ class TestRaySegment:
     def test_hit_point_lies_on_segment_line(self, angle, offset):
         # A long vertical wall at x=offset is hit by any ray with positive
         # x-direction; the hit distance must place the point on the wall.
+        # The wall must out-span the guard: cos(angle) just above 1e-6
+        # crosses x=offset at |y| up to ~2e7, so ±1000 was too short.
         ray = Ray((0.0, 0.0), angle)
-        seg = Segment((offset, -1000.0), (offset, 1000.0))
+        seg = Segment((offset, -1e9), (offset, 1e9))
         hit = ray_segment_intersection(ray, seg)
         if np.cos(angle) > 1e-6:
             assert hit is not None
