@@ -1,0 +1,96 @@
+"""Bench: crash-recovery latency and replay throughput of the sharded fleet.
+
+Runs a fixed kill schedule (every worker SIGKILLed once) against a
+:class:`~repro.serve.shard.ShardManager` streaming synthetic missions and
+records, beyond the wall-clock mean, the recovery numbers the robustness
+story actually cares about: mean/max death-to-restored latency and
+journal-replay throughput, reduced from the
+:class:`~repro.serve.chaos.ChaosReport`. ``scripts/bench_smoke.py`` copies
+them into ``BENCH_perf.json`` so the recorded perf trajectory tracks the
+cost of crash tolerance alongside detector throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import RoboADS
+from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.sensors.lidar import WallDistanceSensor
+from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+from repro.serve import (
+    SessionMessage,
+    SnapshotSpool,
+    SupervisorConfig,
+    run_chaos_fleet,
+)
+from repro.world.map import WorldMap
+
+PROCESS = np.diag([0.0005**2, 0.0005**2, 0.0015**2])
+WORLD = WorldMap.rectangle(3.0, 3.0)
+N_MESSAGES = 40
+N_ROBOTS = 2
+WORKERS = 2
+FAST = SupervisorConfig(heartbeat_interval=0.05, heartbeat_timeout=0.5)
+
+
+def build_detector() -> RoboADS:
+    """The standard three-sensor differential-drive rig."""
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)])
+    return RoboADS(
+        DifferentialDriveModel(dt=0.05),
+        suite,
+        PROCESS,
+        initial_state=np.array([1.5, 1.5, 0.0]),
+        nominal_control=np.array([0.1, 0.12]),
+    )
+
+
+def _mission(n: int, seed: int):
+    model = DifferentialDriveModel(dt=0.05)
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)])
+    rng = np.random.default_rng(seed)
+    x = np.array([1.5, 1.5, 0.0])
+    q_sqrt = np.sqrt(np.diag(PROCESS))
+    messages = []
+    for k in range(n):
+        u = np.array([0.1, 0.12]) + 0.05 * rng.standard_normal(2)
+        x = model.normalize_state(model.f(x, u) + q_sqrt * rng.standard_normal(3))
+        messages.append(
+            SessionMessage(seq=k, t=k * model.dt, control=u, reading=suite.measure(x, rng))
+        )
+    return messages
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.chaos
+@pytest.mark.benchmark(group="chaos")
+def test_crash_recovery_throughput(benchmark, tmp_path):
+    """Kill every worker once mid-stream; record recovery latency/replay."""
+    streams = {f"r{i}": _mission(N_MESSAGES, seed=80 + i) for i in range(N_ROBOTS)}
+    reports = []
+
+    def run(round_index=[0]):
+        round_index[0] += 1
+        spool_dir = tmp_path / f"spool-{round_index[0]}"
+        results, report = run_chaos_fleet(
+            build_detector,
+            streams,
+            workers=WORKERS,
+            spool=SnapshotSpool(spool_dir),
+            spool_every=10,
+            supervisor_config=FAST,
+            kill_every_worker=True,
+        )
+        assert report.crashes_survived >= WORKERS
+        reports.append(report)
+        return results
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    last = reports[-1]
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["crashes_survived"] = last.crashes_survived
+    benchmark.extra_info["messages_replayed"] = last.messages_replayed
+    benchmark.extra_info["recovery_latency_mean_s"] = last.recovery_latency_mean_s
+    benchmark.extra_info["recovery_latency_max_s"] = last.recovery_latency_max_s
+    benchmark.extra_info["replayed_per_s"] = last.replayed_per_s

@@ -6,8 +6,9 @@ Usage (from the repository root)::
     python scripts/bench_smoke.py [extra pytest args...]
 
 Runs every ``bench_smoke``-marked benchmark in ``benchmarks/bench_perf.py``,
-``benchmarks/bench_campaign.py`` and (on multi-core machines)
-``benchmarks/bench_parallel.py`` via pytest-benchmark and reduces the
+``benchmarks/bench_campaign.py``, ``benchmarks/bench_chaos.py`` and (on
+multi-core machines) ``benchmarks/bench_parallel.py`` via pytest-benchmark
+and reduces the
 statistics to a small committed JSON file, so the repository carries a
 recorded perf trajectory across PRs: mean/stddev iteration latency per rig
 and per mode-set, serial-vs-parallel evaluation throughput, plus the pinned
@@ -51,6 +52,7 @@ def main(argv: list[str]) -> int:
     bench_files = [
         str(REPO / "benchmarks" / "bench_perf.py"),
         str(REPO / "benchmarks" / "bench_campaign.py"),
+        str(REPO / "benchmarks" / "bench_chaos.py"),
     ]
     if not skip_parallel:
         bench_files.append(str(REPO / "benchmarks" / "bench_parallel.py"))
@@ -86,7 +88,19 @@ def main(argv: list[str]) -> int:
             "group": bench.get("group"),
         }
         extra = bench.get("extra_info") or {}
-        for key in ("workers", "cpu_count", "baseline", "cells", "cells_per_s", "cache_hit_rate"):
+        for key in (
+            "workers",
+            "cpu_count",
+            "baseline",
+            "cells",
+            "cells_per_s",
+            "cache_hit_rate",
+            "crashes_survived",
+            "messages_replayed",
+            "recovery_latency_mean_s",
+            "recovery_latency_max_s",
+            "replayed_per_s",
+        ):
             if key in extra:
                 entry[key] = extra[key]
         baseline = PRE_CHANGE_BASELINE_S.get(name)
@@ -118,7 +132,9 @@ def main(argv: list[str]) -> int:
             "(docs/PERFORMANCE.md). The campaign group records the "
             "incremental runner's compute throughput (cells_per_s, cold) "
             "and cache-lookup overhead (warm, cache_hit_rate 1.0) — see "
-            "docs/CAMPAIGNS.md."
+            "docs/CAMPAIGNS.md. The chaos group records crash-recovery "
+            "latency and journal-replay throughput for the sharded fleet "
+            "under a kill-every-worker schedule (docs/STREAMING.md)."
         ),
         "results": results,
     }

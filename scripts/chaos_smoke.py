@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Tier-2 smoke check: crash recovery must be bit-exact, quickly.
+
+Usage (from the repository root)::
+
+    python scripts/chaos_smoke.py [--duration S] [--robots N]
+
+Runs one short Khepera mission, fans it out to a fleet of sessions, and
+drives the sharded multi-process layer through the acceptance bar of
+docs/STREAMING.md's crash-recovery section:
+
+* a :class:`~repro.serve.shard.ShardManager` with 4 workers loses 2 of them
+  to SIGKILL mid-stream and must still produce per-session reports and
+  end-of-run snapshot bytes bit-identical to an uninterrupted single-process
+  :class:`~repro.serve.service.FleetService` run,
+* a seeded :class:`~repro.serve.chaos.ChaosMonkey` schedule that kills
+  *every* worker at least once (plus randomized hangs and slowdowns) must
+  recover to the same bit-exact results, with the
+  :class:`~repro.serve.chaos.ChaosReport` accounting for every strike,
+* the whole check finishes in under 60 seconds.
+
+Exit status is non-zero on any violation, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.eval.runner import run_scenario  # noqa: E402
+from repro.eval.session_replay import report_drift  # noqa: E402
+from repro.robots.khepera import khepera_rig  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ChaosConfig,
+    DetectorSession,
+    FleetService,
+    ShardManager,
+    SnapshotSpool,
+    SupervisorConfig,
+    run_chaos_fleet,
+    trace_messages,
+)
+
+TIME_BUDGET_S = 60.0
+WORKERS = 4
+SPOOL_EVERY = 10
+#: Short heartbeat/timeout so injected faults cost tenths of a second.
+FAST = SupervisorConfig(heartbeat_interval=0.05, heartbeat_timeout=0.5)
+
+
+async def _fleet_reference(rig, streams):
+    """The uninterrupted single-process FleetService run to beat."""
+    service = FleetService()
+    for robot_id in streams:
+        await service.open_session(robot_id, rig.detector())
+    for robot_id, messages in streams.items():
+        for message in messages:
+            await service.submit(robot_id, message)
+    return await service.close_all()
+
+
+def _snapshot_reference(rig, streams):
+    """Per-robot end-of-run snapshot bytes from uninterrupted sessions."""
+    blobs = {}
+    for robot_id, messages in streams.items():
+        session = DetectorSession(rig.detector(), robot_id=robot_id)
+        for message in messages:
+            session.process(message)
+        blobs[robot_id] = session.checkpoint().to_bytes()
+    return blobs
+
+
+def _check_parity(results, reference, blobs, label, failures):
+    for robot_id, result in results.items():
+        drift = report_drift(result.reports, reference[robot_id].reports, atol=0.0)
+        if drift:
+            failures.append(f"{label}: {robot_id} reports != fleet reference: {drift[:3]}")
+        if result.final_snapshot != blobs[robot_id]:
+            failures.append(f"{label}: {robot_id} end snapshot is not bit-identical")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the chaos smoke; return 0 when recovery is bit-exact in budget."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=4.0, help="mission seconds")
+    parser.add_argument("--robots", type=int, default=8, help="fleet size")
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    failures: list[str] = []
+
+    rig = khepera_rig()
+    rig.plan_path(0)
+    result = run_scenario(rig, None, seed=2024, duration=args.duration, stop_at_goal=False)
+    messages = list(trace_messages(result.trace))
+    streams = {f"robot-{i}": messages for i in range(args.robots)}
+
+    reference = asyncio.run(_fleet_reference(rig, streams))
+    blobs = _snapshot_reference(rig, streams)
+
+    # --- directed: kill 2 of 4 workers mid-stream --------------------------
+    kill_at = {len(messages) // 3: 0, 2 * len(messages) // 3: 2}
+    with tempfile.TemporaryDirectory() as tmp:
+        with ShardManager(
+            rig.detector,
+            workers=WORKERS,
+            spool=SnapshotSpool(pathlib.Path(tmp) / "spool"),
+            spool_every=SPOOL_EVERY,
+            supervisor=FAST,
+        ) as manager:
+            for robot_id in streams:
+                manager.open_session(robot_id)
+            for j in range(len(messages)):
+                for robot_id in streams:
+                    manager.submit(robot_id, messages[j])
+                if j in kill_at:
+                    manager.kill_worker(kill_at[j])
+            directed = manager.close_all()
+        directed_events = list(manager.supervisor.events)
+    _check_parity(directed, reference, blobs, "directed-kill", failures)
+    if len(directed_events) < 2:
+        failures.append(f"directed-kill: expected >=2 recoveries, saw {len(directed_events)}")
+    replayed = sum(r.replayed for r in directed.values())
+    if replayed == 0:
+        failures.append("directed-kill: nothing was replayed; recovery path untested")
+
+    # --- seeded chaos: every worker dies at least once ---------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        chaotic, report = run_chaos_fleet(
+            rig.detector,
+            streams,
+            workers=WORKERS,
+            spool=SnapshotSpool(pathlib.Path(tmp) / "spool"),
+            spool_every=SPOOL_EVERY,
+            config=ChaosConfig(seed=2024, hang_rate=0.002, slow_rate=0.005, max_strikes=4),
+            supervisor_config=FAST,
+            kill_every_worker=True,
+        )
+    _check_parity(chaotic, reference, blobs, "seeded-chaos", failures)
+    killed = {strike.slot for strike in report.strikes if strike.kind == "kill"}
+    if killed != set(range(WORKERS)):
+        failures.append(f"seeded-chaos: kills missed workers {set(range(WORKERS)) - killed}")
+    if report.crashes_survived < WORKERS:
+        failures.append(
+            f"seeded-chaos: {report.crashes_survived} crashes survived < {WORKERS} kills"
+        )
+    if report.failed_recoveries:
+        failures.append(f"seeded-chaos: {report.failed_recoveries} recoveries abandoned")
+
+    elapsed = time.perf_counter() - start
+    print(f"mission: {len(messages)} iterations, fleet of {args.robots} sessions, "
+          f"{WORKERS} workers")
+    print(f"directed kills: {len(directed_events)} recoveries, {replayed} messages replayed")
+    print(report.summary())
+    print(f"elapsed: {elapsed:.1f}s (budget {TIME_BUDGET_S:.0f}s)")
+
+    if elapsed > TIME_BUDGET_S:
+        failures.append(f"smoke took {elapsed:.1f}s > {TIME_BUDGET_S:.0f}s budget")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: chaos smoke passed (crashed fleet == uninterrupted fleet, bit-exact)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

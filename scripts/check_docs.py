@@ -62,6 +62,10 @@ DOCSTRING_MODULES = (
     "src/repro/serve/snapshot.py",
     "src/repro/serve/service.py",
     "src/repro/serve/adapter.py",
+    "src/repro/serve/spool.py",
+    "src/repro/serve/shard.py",
+    "src/repro/serve/supervisor.py",
+    "src/repro/serve/chaos.py",
     "src/repro/eval/session_replay.py",
     "src/repro/campaign/__init__.py",
     "src/repro/campaign/hashing.py",

@@ -19,6 +19,9 @@ __all__ = [
     "SnapshotVersionError",
     "SnapshotCompatibilityError",
     "IngestSequenceError",
+    "ShardSessionError",
+    "ShardRecoveryError",
+    "FleetClosureError",
 ]
 
 
@@ -98,3 +101,46 @@ class IngestSequenceError(ReproError):
     ordering: a stale or duplicated sequence number is a protocol error the
     producer must fix. The default tolerant policies count and drop instead.
     """
+
+
+class ShardSessionError(ReproError):
+    """A sharded session's detector raised inside its worker process.
+
+    The failure is deterministic (a malformed message, a numerically invalid
+    update), so the supervisor must *not* respawn-and-replay its way through
+    it: the session is marked failed, the message carries the worker-side
+    traceback, and the error re-raises at the next
+    :meth:`repro.serve.shard.ShardManager.submit` / close for that robot.
+    Other sessions on the same worker are unaffected.
+    """
+
+
+class ShardRecoveryError(ReproError):
+    """Crash recovery for a worker shard gave up.
+
+    Raised (attached to every session the dead worker hosted) when the
+    supervisor's consecutive-restart budget is exhausted — the worker keeps
+    dying faster than :class:`repro.serve.supervisor.SupervisorConfig`'s
+    ``backoff_reset_s`` healthy period, so respawning again would loop.
+    """
+
+
+class FleetClosureError(ReproError):
+    """Closing a fleet finished, but one or more sessions failed.
+
+    Aggregates per-session failures instead of letting the first raising
+    session orphan the rest: ``results`` holds every successfully closed
+    session's result and ``failures`` maps robot id to the exception its
+    closure raised. Raised by ``FleetService.close_all`` and
+    ``ShardManager.close_all`` after *every* session has been attempted.
+    """
+
+    def __init__(self, results: dict, failures: dict) -> None:
+        self.results = dict(results)
+        self.failures = dict(failures)
+        names = ", ".join(repr(r) for r in sorted(failures))
+        super().__init__(
+            f"{len(failures)} of {len(results) + len(failures)} sessions "
+            f"failed to close ({names}); successful results are preserved "
+            "on this error's .results"
+        )

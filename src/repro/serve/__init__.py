@@ -20,14 +20,31 @@ completion. This package turns the detector into a *service* component
   telemetry export.
 * :mod:`repro.serve.adapter` — :func:`trace_messages`: recorded missions as
   message streams.
+
+The crash-tolerant multi-process half (``docs/STREAMING.md`` § crash
+recovery):
+
+* :mod:`repro.serve.shard` — :class:`ShardManager`: sessions partitioned
+  across supervised worker processes, with a bounded per-session message
+  journal for replay.
+* :mod:`repro.serve.spool` — :class:`SnapshotSpool`: crash-durable,
+  generation-numbered snapshot storage (atomic staging, retention gc).
+* :mod:`repro.serve.supervisor` — :class:`Supervisor`: heartbeat liveness,
+  capped-backoff respawn, restore-from-spool recovery orchestration.
+* :mod:`repro.serve.chaos` — :class:`ChaosMonkey` / :func:`run_chaos_fleet`:
+  seeded kill/hang/slow fault injection proving recovery is bit-identical.
 """
 
 from .adapter import trace_messages
+from .chaos import ChaosConfig, ChaosMonkey, ChaosReport, Strike, run_chaos_fleet
 from .ingest import IngestPolicy, IngestStats, SequenceTracker
 from .messages import SessionMessage
 from .service import FleetService, SessionResult
 from .session import DetectorSession
+from .shard import ShardManager, ShardSessionResult, WorkerHandle
 from .snapshot import SNAPSHOT_VERSION, SessionSnapshot
+from .spool import SnapshotSpool
+from .supervisor import RecoveryEvent, Supervisor, SupervisorConfig
 
 __all__ = [
     "SessionMessage",
@@ -40,4 +57,16 @@ __all__ = [
     "FleetService",
     "SessionResult",
     "trace_messages",
+    "ShardManager",
+    "ShardSessionResult",
+    "WorkerHandle",
+    "SnapshotSpool",
+    "Supervisor",
+    "SupervisorConfig",
+    "RecoveryEvent",
+    "ChaosConfig",
+    "ChaosMonkey",
+    "ChaosReport",
+    "Strike",
+    "run_chaos_fleet",
 ]

@@ -1,0 +1,288 @@
+"""Process-level chaos: seeded fault injection for the sharded fleet.
+
+:mod:`repro.sim.faults` injects misbehaviors into *sensors and actuators*;
+this module applies the same discipline one layer down, to the
+infrastructure hosting the detector. A :class:`ChaosMonkey` strikes worker
+processes with a seeded schedule of faults —
+
+* ``kill`` — SIGKILL, no warning (the crash path);
+* ``hang`` — the worker sleeps silently until the supervisor's heartbeat
+  timeout reaps it (the liveness path);
+* ``slow`` — per-message latency, alive but degraded (must *not* trigger
+  recovery: acks count as liveness);
+
+— while :func:`run_chaos_fleet` streams real missions through a
+:class:`~repro.serve.shard.ShardManager` under fire and the
+:class:`ChaosReport` reduces the supervisor's recovery log to the numbers
+that matter: crashes survived, messages replayed, recovery latency. The
+point of the exercise is the acceptance bar from ROADMAP item 2: a seeded
+run that kills **every** worker at least once must still produce per-session
+reports bit-identical to an undisturbed serial run (``tests/test_chaos.py``,
+``scripts/chaos_smoke.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .ingest import IngestPolicy
+from .shard import ShardManager, ShardSessionResult
+from .spool import SnapshotSpool
+from .supervisor import Supervisor, SupervisorConfig
+
+__all__ = ["ChaosConfig", "Strike", "ChaosMonkey", "ChaosReport", "run_chaos_fleet"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A seeded fault-injection schedule for worker processes.
+
+    Attributes
+    ----------
+    seed:
+        Seed for the strike schedule (``numpy`` Generator) — identical seeds
+        reproduce identical fault timings against the same stream.
+    kill_rate / hang_rate / slow_rate:
+        Per-submitted-message probability of striking a random live worker
+        with that fault.
+    hang_s:
+        How long a hung worker sleeps. Deliberately enormous by default: a
+        hang must be *reaped by the heartbeat timeout*, never waited out.
+    slow_s:
+        Added per-message latency on a slowed worker.
+    max_strikes:
+        Total strike budget (``None`` = unlimited). Bounds wall-clock for
+        randomized schedules — every hang costs one heartbeat timeout.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    slow_rate: float = 0.0
+    hang_s: float = 3600.0
+    slow_s: float = 0.002
+    max_strikes: int | None = None
+
+    def __post_init__(self) -> None:
+        """Validate rates and durations at construction."""
+        for name in ("kill_rate", "hang_rate", "slow_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {rate}")
+        if self.hang_s <= 0 or self.slow_s < 0:
+            raise ConfigurationError("hang_s must be positive and slow_s non-negative")
+        if self.max_strikes is not None and self.max_strikes < 0:
+            raise ConfigurationError("max_strikes must be non-negative (or None)")
+
+
+@dataclass(frozen=True)
+class Strike:
+    """One delivered fault: which worker, what kind, when in the stream."""
+
+    at_message: int
+    slot: int
+    kind: str
+
+
+class ChaosMonkey:
+    """Delivers seeded worker faults through a manager's chaos hooks.
+
+    Drives :meth:`~repro.serve.shard.ShardManager.kill_worker` /
+    ``hang_worker`` / ``slow_worker`` either probabilistically
+    (:meth:`maybe_strike`, once per submitted message) or on demand
+    (:meth:`kill`, :meth:`hang`, :meth:`slow`), recording every delivered
+    fault in :attr:`strikes`.
+    """
+
+    def __init__(self, manager: ShardManager, config: ChaosConfig | None = None) -> None:
+        self.manager = manager
+        self.config = config or ChaosConfig()
+        self.strikes: list[Strike] = []
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def _budget_left(self) -> bool:
+        budget = self.config.max_strikes
+        return budget is None or len(self.strikes) < budget
+
+    def _pick_slot(self) -> int | None:
+        slots = [h.slot for h in self.manager.handles if not h.retired]
+        if not slots:
+            return None
+        return slots[int(self._rng.integers(len(slots)))]
+
+    def maybe_strike(self, at_message: int) -> list[Strike]:
+        """Roll the dice once per fault kind; deliver what comes up."""
+        delivered: list[Strike] = []
+        for kind, rate in (
+            ("kill", self.config.kill_rate),
+            ("hang", self.config.hang_rate),
+            ("slow", self.config.slow_rate),
+        ):
+            if rate <= 0.0 or not self._budget_left():
+                continue
+            if self._rng.random() >= rate:
+                continue
+            slot = self._pick_slot()
+            if slot is None:
+                break
+            getattr(self, kind)(slot, at_message=at_message)
+            delivered.append(self.strikes[-1])
+        return delivered
+
+    def kill(self, slot: int, at_message: int = -1) -> Strike:
+        """SIGKILL a worker slot right now; records and returns the strike."""
+        self.manager.kill_worker(slot)
+        strike = Strike(at_message=at_message, slot=slot, kind="kill")
+        self.strikes.append(strike)
+        return strike
+
+    def hang(self, slot: int, at_message: int = -1) -> Strike:
+        """Silence a worker until the heartbeat timeout reaps it."""
+        self.manager.hang_worker(slot, self.config.hang_s)
+        strike = Strike(at_message=at_message, slot=slot, kind="hang")
+        self.strikes.append(strike)
+        return strike
+
+    def slow(self, slot: int, at_message: int = -1) -> Strike:
+        """Degrade a worker with per-message latency (alive, not reaped)."""
+        self.manager.slow_worker(slot, self.config.slow_s)
+        strike = Strike(at_message=at_message, slot=slot, kind="slow")
+        self.strikes.append(strike)
+        return strike
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """What a chaos run survived, reduced from the supervisor's event log.
+
+    Attributes
+    ----------
+    messages_submitted:
+        Stream messages submitted across all sessions (replays excluded).
+    strikes:
+        Every delivered fault, in delivery order.
+    crashes_survived:
+        Recoveries that fully restored the dead worker's sessions.
+    failed_recoveries:
+        Recoveries abandoned because a slot exhausted its restart budget.
+    messages_replayed:
+        Journal messages re-submitted across all recoveries.
+    recovery_latency_mean_s / recovery_latency_max_s:
+        Death-detection-to-sessions-restored wall clock over successful
+        recoveries (0.0 when none happened).
+    replayed_per_s:
+        Replay throughput: messages replayed per second of total recovery
+        time (0.0 when nothing was replayed).
+    """
+
+    messages_submitted: int
+    strikes: tuple[Strike, ...]
+    crashes_survived: int
+    failed_recoveries: int
+    messages_replayed: int
+    recovery_latency_mean_s: float
+    recovery_latency_max_s: float
+    replayed_per_s: float
+
+    @classmethod
+    def from_run(
+        cls, messages_submitted: int, strikes, supervisor: Supervisor
+    ) -> "ChaosReport":
+        """Reduce a monkey's strikes and a supervisor's events into a report."""
+        recovered = [e for e in supervisor.events if e.recovered]
+        latencies = [e.latency_s for e in recovered]
+        total_latency = float(sum(latencies))
+        replayed = supervisor.messages_replayed
+        return cls(
+            messages_submitted=int(messages_submitted),
+            strikes=tuple(strikes),
+            crashes_survived=len(recovered),
+            failed_recoveries=len(supervisor.events) - len(recovered),
+            messages_replayed=int(replayed),
+            recovery_latency_mean_s=total_latency / len(latencies) if latencies else 0.0,
+            recovery_latency_max_s=max(latencies) if latencies else 0.0,
+            replayed_per_s=replayed / total_latency if replayed and total_latency else 0.0,
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph account of the run."""
+        kinds = {}
+        for strike in self.strikes:
+            kinds[strike.kind] = kinds.get(strike.kind, 0) + 1
+        struck = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items())) or "none"
+        return (
+            f"chaos: {self.messages_submitted} messages submitted under "
+            f"{len(self.strikes)} strikes ({struck}); "
+            f"{self.crashes_survived} crashes survived "
+            f"({self.failed_recoveries} abandoned), "
+            f"{self.messages_replayed} messages replayed "
+            f"(mean recovery {self.recovery_latency_mean_s * 1e3:.1f} ms, "
+            f"max {self.recovery_latency_max_s * 1e3:.1f} ms, "
+            f"{self.replayed_per_s:.0f} replayed/s)"
+        )
+
+
+def run_chaos_fleet(
+    factory,
+    streams: dict,
+    *,
+    workers: int = 4,
+    spool: SnapshotSpool | None = None,
+    spool_every: int = 10,
+    window: int = 16,
+    policy: IngestPolicy | None = None,
+    config: ChaosConfig | None = None,
+    supervisor_config: SupervisorConfig | None = None,
+    kill_every_worker: bool = False,
+) -> tuple[dict[str, ShardSessionResult], ChaosReport]:
+    """Stream missions through a sharded fleet while faults rain down.
+
+    *streams* maps robot id to its ordered list of
+    :class:`~repro.serve.messages.SessionMessage`; sessions are interleaved
+    round-robin one message at a time, with the :class:`ChaosMonkey` rolling
+    its seeded dice after every submit. With ``kill_every_worker=True`` a
+    forced SIGKILL of each worker slot is additionally scheduled at evenly
+    spaced points in the stream — the acceptance bar's "kills every worker
+    at least once" schedule. Returns the per-session results (bit-identical
+    to an undisturbed run) and the :class:`ChaosReport`.
+    """
+    supervisor = Supervisor(supervisor_config)
+    manager = ShardManager(
+        factory,
+        workers=workers,
+        spool=spool,
+        spool_every=spool_every,
+        window=window,
+        supervisor=supervisor,
+    )
+    submitted = 0
+    try:
+        monkey = ChaosMonkey(manager, config)
+        for robot_id in streams:
+            manager.open_session(robot_id, policy)
+        total = sum(len(messages) for messages in streams.values())
+        forced: dict[int, list[int]] = {}
+        if kill_every_worker:
+            for slot in range(workers):
+                at = max(1, (slot + 1) * total // (workers + 1))
+                forced.setdefault(at, []).append(slot)
+        active = deque((robot_id, iter(messages)) for robot_id, messages in streams.items())
+        while active:
+            robot_id, stream = active.popleft()
+            message = next(stream, None)
+            if message is None:
+                continue
+            manager.submit(robot_id, message)
+            submitted += 1
+            for slot in forced.get(submitted, ()):
+                monkey.kill(slot, at_message=submitted)
+            monkey.maybe_strike(submitted)
+            active.append((robot_id, stream))
+        results = manager.close_all()
+    finally:
+        manager.shutdown()
+    return results, ChaosReport.from_run(submitted, monkey.strikes, supervisor)

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.detector import DetectionReport, RoboADS
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, FleetClosureError
 from ..obs.telemetry import Telemetry
 from .ingest import IngestPolicy, IngestStats
 from .messages import SessionMessage
@@ -217,11 +217,24 @@ class FleetService:
         )
 
     async def close_all(self) -> dict[str, SessionResult]:
-        """Close every session (registration order); results keyed by robot."""
-        return {
-            robot_id: await self.close_session(robot_id)
-            for robot_id in tuple(self._workers)
-        }
+        """Close every session (registration order); results keyed by robot.
+
+        Every session is attempted even when one raises — a poisoned session
+        must not orphan the rest of the fleet's results and telemetry
+        exports. On any failure a :class:`~repro.errors.FleetClosureError`
+        is raised carrying both the per-robot failures and the successfully
+        closed results.
+        """
+        results: dict[str, SessionResult] = {}
+        failures: dict[str, BaseException] = {}
+        for robot_id in tuple(self._workers):
+            try:
+                results[robot_id] = await self.close_session(robot_id)
+            except Exception as exc:
+                failures[robot_id] = exc
+        if failures:
+            raise FleetClosureError(results, failures)
+        return results
 
     # ------------------------------------------------------------------
     # Telemetry

@@ -1,0 +1,675 @@
+"""Sharded fleet: detector sessions partitioned across worker processes.
+
+:class:`~repro.serve.service.FleetService` hosts a fleet inside one asyncio
+process — one core's throughput, one process's blast radius. This module is
+the multi-process half of ROADMAP item 2: a :class:`ShardManager` partitions
+robot sessions round-robin across supervised worker processes, frames
+:class:`~repro.serve.messages.SessionMessage` traffic over
+``multiprocessing`` pipes (the same fork-first discipline as
+:mod:`repro.eval.parallel`), and keeps exactly the bookkeeping a crash
+needs:
+
+* a **bounded in-memory journal** per session — every message submitted
+  since the last durably spooled snapshot (so its length is bounded by
+  ``spool_every`` plus the in-flight window);
+* a **snapshot spool** (:class:`~repro.serve.spool.SnapshotSpool`) — workers
+  checkpoint each session every ``spool_every`` messages and the parent
+  persists the blob atomically, pruning the journal up to the covered
+  generation.
+
+When a worker dies or hangs, the :class:`~repro.serve.supervisor.Supervisor`
+respawns it with capped backoff and replays ``spool + journal`` — the
+restored sessions are **bit-identical** to a run that never crashed (golden
+parity in ``tests/test_shard.py``, randomized schedules in
+``tests/test_chaos.py`` and ``scripts/chaos_smoke.py``).
+
+The wire protocol is deliberately dumb: pickled tuples, FIFO per worker.
+Parent → worker: ``open`` / ``msg`` / ``close`` / ``ping`` / ``chaos`` /
+``shutdown``. Worker → parent: ``ack`` (one per message, carrying the
+report), ``snap`` (periodic checkpoint blobs), ``closed``, ``error``
+(deterministic session failure — never retried), ``hb`` idle heartbeats,
+``pong`` and ``fatal``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.detector import DetectionReport
+from ..errors import ConfigurationError, FleetClosureError, ShardSessionError
+from ..eval.parallel import ensure_picklable
+from .ingest import IngestPolicy, IngestStats
+from .messages import SessionMessage
+from .session import DetectorSession
+from .snapshot import SessionSnapshot
+from .spool import SnapshotSpool
+from .supervisor import Supervisor, SupervisorConfig
+
+__all__ = ["ShardManager", "ShardSessionResult", "WorkerHandle"]
+
+
+# ----------------------------------------------------------------------
+# Worker process body
+# ----------------------------------------------------------------------
+def _worker_main(conn, factory, heartbeat_interval: float, spool_every: int) -> None:
+    """Host sessions inside one worker process; speak the pipe protocol.
+
+    Sends an idle heartbeat every *heartbeat_interval* seconds of command
+    silence so the parent can tell "busy" from "hung". With *spool_every*
+    > 0, each session is checkpointed after that many submitted messages
+    and the blob shipped to the parent for spooling.
+    """
+    sessions: dict[str, DetectorSession] = {}
+    since_snap: dict[str, int] = {}
+    latest_idx: dict[str, int] = {}
+    errored: set[str] = set()
+    slow_s = 0.0
+    try:
+        while True:
+            if not conn.poll(heartbeat_interval):
+                conn.send(("hb",))
+                continue
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; nothing left to serve
+            op = command[0]
+            if op == "shutdown":
+                return
+            if op == "ping":
+                conn.send(("pong", command[1]))
+            elif op == "chaos":
+                _, kind, arg = command
+                if kind == "hang":
+                    time.sleep(float(arg))  # no heartbeats: parent times out
+                elif kind == "slow":
+                    slow_s = float(arg)
+                elif kind == "exit":
+                    import os
+
+                    os._exit(int(arg))  # hard crash, bypassing cleanup
+            elif op == "open":
+                _, robot_id, blob, policy = command
+                try:
+                    detector = factory()
+                    if blob is None:
+                        session = DetectorSession(
+                            detector, robot_id=robot_id, policy=policy
+                        )
+                    else:
+                        session = DetectorSession.resume(
+                            detector,
+                            SessionSnapshot.from_bytes(blob),
+                            policy=policy,
+                            robot_id=robot_id,
+                        )
+                except Exception:
+                    errored.add(robot_id)
+                    conn.send(("error", robot_id, traceback.format_exc()))
+                else:
+                    sessions[robot_id] = session
+                    since_snap[robot_id] = 0
+                    errored.discard(robot_id)
+            elif op == "msg":
+                _, robot_id, idx, message = command
+                session = sessions.get(robot_id)
+                if session is None:
+                    continue  # errored session: parent already knows
+                if slow_s:
+                    time.sleep(slow_s)
+                try:
+                    report = session.process(message)
+                except Exception:
+                    del sessions[robot_id]
+                    errored.add(robot_id)
+                    conn.send(("error", robot_id, traceback.format_exc()))
+                    continue
+                conn.send(("ack", robot_id, idx, report))
+                latest_idx[robot_id] = idx
+                since_snap[robot_id] += 1
+                if spool_every and since_snap[robot_id] >= spool_every:
+                    blob = session.checkpoint().to_bytes()
+                    conn.send(("snap", robot_id, idx, blob))
+                    since_snap[robot_id] = 0
+            elif op == "close":
+                _, robot_id = command
+                session = sessions.pop(robot_id, None)
+                if session is None:
+                    continue  # errored or already closed
+                conn.send(
+                    (
+                        "closed",
+                        robot_id,
+                        session.checkpoint().to_bytes(),
+                        session.ingest_stats.as_dict(),
+                        session.messages_processed,
+                    )
+                )
+    except (BrokenPipeError, KeyboardInterrupt):
+        return
+    except BaseException:
+        try:
+            conn.send(("fatal", traceback.format_exc()))
+        except Exception:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# Parent-side state
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerHandle:
+    """Parent-side view of one worker slot: process, pipe, liveness.
+
+    The *slot* is stable across respawns — sessions are assigned to slots,
+    and recovery replaces the slot's process while keeping its identity,
+    journal assignments and restart accounting.
+    """
+
+    slot: int
+    process: multiprocessing.process.BaseProcess | None = None
+    conn: multiprocessing.connection.Connection | None = None
+    session_ids: list[str] = field(default_factory=list)
+    last_seen: float = 0.0
+    broken: bool = False
+    retired: bool = False
+    streak: int = 0
+    last_death: float | None = None
+    total_deaths: int = 0
+
+    @property
+    def pid(self) -> int | None:
+        """The live worker's pid (``None`` between death and respawn)."""
+        return None if self.process is None else self.process.pid
+
+    def send(self, obj) -> bool:
+        """Ship one command; returns False (and marks broken) on a dead pipe."""
+        if self.conn is None or self.broken:
+            return False
+        try:
+            self.conn.send(obj)
+            return True
+        except (BrokenPipeError, OSError):
+            self.broken = True
+            return False
+
+    def kill_process(self) -> None:
+        """SIGKILL and reap the worker, keeping the pipe open for salvage."""
+        if self.process is not None:
+            try:
+                self.process.kill()
+            except Exception:
+                pass
+            self.process.join(timeout=5.0)
+
+    def close_conn(self) -> None:
+        """Close the parent end of the pipe."""
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except Exception:
+                pass
+            self.conn = None
+
+    def terminate(self) -> None:
+        """Kill, reap and disconnect (idempotent; used at shutdown)."""
+        self.kill_process()
+        self.process = None
+        self.close_conn()
+
+
+@dataclass
+class _Session:
+    """One sharded session's parent-side bookkeeping."""
+
+    robot_id: str
+    policy: IngestPolicy | None
+    slot: int
+    n_submitted: int = 0
+    inflight: int = 0
+    spooled_upto: int = -1
+    journal: deque = field(default_factory=deque)
+    reports: dict[int, DetectionReport] = field(default_factory=dict)
+    replayed: int = 0
+    recoveries: int = 0
+    failure: BaseException | None = None
+    closing: bool = False
+    closed: tuple | None = None
+
+
+@dataclass
+class ShardSessionResult:
+    """What one closed sharded session produced.
+
+    Attributes
+    ----------
+    robot_id:
+        The session's identity.
+    reports:
+        Every detector report in submit order (suppressed messages produce
+        none) — bit-identical to an uninterrupted serial run regardless of
+        how many times the hosting worker died.
+    ingest:
+        Final delivery counters from the worker-resident session.
+    messages_processed:
+        Messages that actually reached the detector.
+    final_snapshot:
+        The session's end-of-run snapshot bytes (byte-compares against a
+        reference session's ``checkpoint().to_bytes()`` in the parity
+        tests).
+    replayed:
+        Journal messages re-processed across this session's recoveries.
+    recoveries:
+        Worker deaths this session survived.
+    """
+
+    robot_id: str
+    reports: list[DetectionReport]
+    ingest: IngestStats
+    messages_processed: int
+    final_snapshot: bytes
+    replayed: int = 0
+    recoveries: int = 0
+
+
+# ----------------------------------------------------------------------
+# The manager
+# ----------------------------------------------------------------------
+class ShardManager:
+    """Partitions sessions across supervised worker processes.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building identically configured detectors
+        (e.g. ``rig.detector``) — called inside workers for fresh opens and
+        for snapshot restores. Under a non-``fork`` start method it must be
+        picklable.
+    workers:
+        Worker process count (sessions are assigned round-robin at open).
+    spool:
+        A :class:`~repro.serve.spool.SnapshotSpool` for crash-durable
+        checkpoints, or ``None`` to disable spooling (recovery then replays
+        each session's whole history — the journal is never pruned).
+    spool_every:
+        Messages between worker-side checkpoints of each session. Together
+        with *window* it bounds the journal: at most roughly
+        ``spool_every + window`` messages are ever replayed.
+    window:
+        Per-session in-flight cap; :meth:`submit` blocks (pumping events)
+        while a session has this many unacknowledged messages. Keeps pipes
+        shallow so a hang is detected at the heartbeat timeout, not at a
+        pipe-buffer deadlock.
+    supervisor:
+        A :class:`~repro.serve.supervisor.Supervisor`, a
+        :class:`~repro.serve.supervisor.SupervisorConfig`, or ``None`` for
+        defaults.
+    start_method:
+        ``multiprocessing`` start method (``None``: ``fork`` where
+        available, else ``spawn``).
+    """
+
+    def __init__(
+        self,
+        factory,
+        workers: int = 2,
+        spool: SnapshotSpool | None = None,
+        spool_every: int = 25,
+        window: int = 16,
+        supervisor: Supervisor | SupervisorConfig | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if int(workers) != workers or workers < 1:
+            raise ConfigurationError("workers must be a positive integer")
+        if int(spool_every) != spool_every or spool_every < 1:
+            raise ConfigurationError("spool_every must be a positive integer")
+        if int(window) != window or window < 1:
+            raise ConfigurationError("window must be a positive integer")
+        if isinstance(supervisor, Supervisor):
+            self.supervisor = supervisor
+        else:
+            self.supervisor = Supervisor(supervisor)
+        self._factory = factory
+        self._spool = spool
+        self._spool_every = int(spool_every)
+        self._window = int(window)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        elif start_method not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                f"start_method {start_method!r} is not available on this platform"
+            )
+        if start_method != "fork":
+            ensure_picklable(factory, f"the detector factory (start_method={start_method!r})")
+        self._ctx = multiprocessing.get_context(start_method)
+        self._poll_s = min(0.05, self.supervisor.config.heartbeat_interval)
+        self.handles: list[WorkerHandle] = [WorkerHandle(slot=i) for i in range(workers)]
+        self._sessions: dict[str, _Session] = {}
+        self._next_slot = 0
+        for handle in self.handles:
+            self.spawn_worker(handle)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardManager":
+        """Context-manager entry (workers are already running)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Tear every worker down on exit."""
+        self.shutdown()
+
+    @property
+    def active_sessions(self) -> tuple[str, ...]:
+        """Robot ids currently hosted, in registration order."""
+        return tuple(self._sessions)
+
+    def worker_pids(self) -> dict[int, int | None]:
+        """Live pid per worker slot (chaos targets workers by slot)."""
+        return {handle.slot: handle.pid for handle in self.handles}
+
+    def open_session(self, robot_id: str, policy: IngestPolicy | None = None) -> int:
+        """Register a robot on the next worker slot; returns the slot.
+
+        Any spooled snapshots left behind by a previous fleet under the same
+        robot id are dropped first — a fresh session must never resume from
+        a stale generation.
+        """
+        robot_id = str(robot_id)
+        if robot_id in self._sessions:
+            raise ConfigurationError(f"robot {robot_id!r} already has a session")
+        candidates = [h for h in self.handles if not h.retired]
+        if not candidates:
+            raise ConfigurationError("every worker slot is retired; no capacity left")
+        handle = candidates[self._next_slot % len(candidates)]
+        self._next_slot += 1
+        if self._spool is not None:
+            self._spool.gc(live=set(self._sessions))  # drop stale leftovers
+        state = _Session(robot_id=robot_id, policy=policy, slot=handle.slot)
+        self._sessions[robot_id] = state
+        handle.session_ids.append(robot_id)
+        handle.send(("open", robot_id, None, policy))
+        return handle.slot
+
+    def submit(self, robot_id: str, message: SessionMessage) -> None:
+        """Journal one message and ship it to the session's worker.
+
+        Blocks (pumping worker events, so crash recovery happens *inside*
+        the wait) while the session has ``window`` unacknowledged messages.
+        Raises the session's failure if its worker reported one.
+        """
+        state = self._state(robot_id)
+        self.pump(0.0)
+        while state.failure is None and state.inflight >= self._window:
+            self.pump(self._poll_s)
+        if state.failure is not None:
+            raise state.failure
+        idx = state.n_submitted
+        state.n_submitted += 1
+        state.journal.append((idx, message))
+        handle = self.handles[state.slot]
+        if handle.send(("msg", robot_id, idx, message)):
+            state.inflight += 1
+        # On a dead pipe the message stays journaled; the next pump's
+        # supervisor check recovers the worker and replays it.
+
+    def close_session(self, robot_id: str) -> ShardSessionResult:
+        """Drain, close and collect one session's result.
+
+        Survives worker deaths mid-close: the recovery path re-opens the
+        session, replays its journal and re-issues the close command.
+        Raises the session's (deterministic) failure if one was reported.
+        """
+        state = self._state(robot_id)
+        while state.failure is None and state.inflight > 0:
+            self.pump(self._poll_s)
+        if state.failure is None:
+            state.closing = True
+            self.handles[state.slot].send(("close", robot_id))
+            while state.failure is None and state.closed is None:
+                self.pump(self._poll_s)
+        self._forget(state)
+        if state.failure is not None:
+            raise state.failure
+        blob, stats, processed = state.closed
+        return ShardSessionResult(
+            robot_id=robot_id,
+            reports=[state.reports[i] for i in sorted(state.reports)],
+            ingest=IngestStats(**{k: int(v) for k, v in stats.items()}),
+            messages_processed=int(processed),
+            final_snapshot=blob,
+            replayed=state.replayed,
+            recoveries=state.recoveries,
+        )
+
+    def close_all(self) -> dict[str, ShardSessionResult]:
+        """Close every session; aggregate failures instead of stopping.
+
+        Mirrors ``FleetService.close_all``: every session is attempted, and
+        one poisoned session cannot orphan the rest — on any failure a
+        :class:`~repro.errors.FleetClosureError` carries both the failures
+        and the successfully closed results.
+        """
+        results: dict[str, ShardSessionResult] = {}
+        failures: dict[str, BaseException] = {}
+        for robot_id in tuple(self._sessions):
+            try:
+                results[robot_id] = self.close_session(robot_id)
+            except Exception as exc:
+                failures[robot_id] = exc
+        if failures:
+            raise FleetClosureError(results, failures)
+        return results
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful shutdown command, then the axe)."""
+        for handle in self.handles:
+            if not handle.broken and handle.conn is not None:
+                handle.send(("shutdown",))
+        for handle in self.handles:
+            if handle.process is not None:
+                handle.process.join(timeout=2.0)
+            handle.terminate()
+            handle.retired = True
+
+    # ------------------------------------------------------------------
+    # Chaos hooks (process-level fault injection)
+    # ------------------------------------------------------------------
+    def kill_worker(self, slot: int) -> None:
+        """SIGKILL a worker slot — detection and recovery happen at pump."""
+        handle = self.handles[slot]
+        if handle.process is not None:
+            try:
+                handle.process.kill()
+            except Exception:
+                pass
+
+    def hang_worker(self, slot: int, seconds: float = 3600.0) -> None:
+        """Make a worker sleep silently — the heartbeat timeout reaps it."""
+        self.handles[slot].send(("chaos", "hang", float(seconds)))
+
+    def slow_worker(self, slot: int, per_message_s: float) -> None:
+        """Add per-message latency to a worker (alive, just slow)."""
+        self.handles[slot].send(("chaos", "slow", float(per_message_s)))
+
+    # ------------------------------------------------------------------
+    # Event pump
+    # ------------------------------------------------------------------
+    def pump(self, timeout: float = 0.0) -> None:
+        """Read worker events, then run the supervisor's liveness check.
+
+        With *timeout* > 0, waits up to that long for any worker to become
+        readable. All buffered events are drained *before* liveness is
+        judged, so a busy worker's queued heartbeats and acks always count.
+        """
+        by_conn = {
+            handle.conn: handle
+            for handle in self.handles
+            if handle.conn is not None and not handle.retired and not handle.broken
+        }
+        if by_conn:
+            for conn in multiprocessing.connection.wait(list(by_conn), timeout=timeout):
+                self._drain_ready(by_conn[conn])
+        elif timeout > 0:
+            time.sleep(min(timeout, self._poll_s))
+        self.supervisor.check(self)
+
+    def salvage(self, handle: WorkerHandle) -> None:
+        """Drain a dead worker's pipe: its buffered events are real work.
+
+        Called by the supervisor after the process is reaped — acks and
+        snapshot blobs the worker shipped before dying still count, and
+        every salvaged snapshot shrinks the journal replay.
+        """
+        conn = handle.conn
+        if conn is None:
+            return
+        while True:
+            try:
+                if not conn.poll(0):
+                    break
+                event = conn.recv()
+            except Exception:
+                break  # EOF or a half-written final message: nothing more
+            self._dispatch(handle, event)
+
+    def _drain_ready(self, handle: WorkerHandle) -> None:
+        conn = handle.conn
+        while conn is not None and not handle.broken:
+            try:
+                if not conn.poll(0):
+                    return
+                event = conn.recv()
+            except Exception:
+                handle.broken = True
+                return
+            handle.last_seen = time.perf_counter()
+            self._dispatch(handle, event)
+
+    def _dispatch(self, handle: WorkerHandle, event: tuple) -> None:
+        op = event[0]
+        if op in ("hb", "pong"):
+            return
+        if op == "fatal":
+            handle.broken = True
+            return
+        robot_id = event[1]
+        state = self._sessions.get(robot_id)
+        if state is None:
+            return  # late event for a session already closed and forgotten
+        if op == "ack":
+            _, _, idx, report = event
+            state.inflight = max(0, state.inflight - 1)
+            if report is not None:
+                state.reports[idx] = report
+        elif op == "snap":
+            _, _, idx, blob = event
+            if self._spool is not None and state.failure is None:
+                self._spool.put(robot_id, idx, blob)
+                state.spooled_upto = idx
+                while state.journal and state.journal[0][0] <= idx:
+                    state.journal.popleft()
+        elif op == "error":
+            _, _, worker_tb = event
+            if state.failure is None:
+                state.failure = ShardSessionError(
+                    f"session {robot_id!r} failed in worker slot "
+                    f"{handle.slot}.\nWorker traceback:\n{worker_tb}"
+                )
+            state.inflight = 0
+        elif op == "closed":
+            _, _, blob, stats, processed = event
+            state.closed = (blob, stats, processed)
+            state.inflight = 0
+
+    # ------------------------------------------------------------------
+    # Supervisor plumbing
+    # ------------------------------------------------------------------
+    def spawn_worker(self, handle: WorkerHandle) -> None:
+        """(Re)start a worker process on *handle*'s slot with a fresh pipe."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self._factory,
+                self.supervisor.config.heartbeat_interval,
+                self._spool_every if self._spool is not None else 0,
+            ),
+            daemon=True,
+            name=f"repro-shard-{handle.slot}",
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.broken = False
+        handle.last_seen = time.perf_counter()
+
+    def restore_slot(self, handle: WorkerHandle) -> int:
+        """Re-open a respawned worker's sessions and replay their journals.
+
+        Each session restores from the latest spooled snapshot (fresh open
+        when none exists) and re-submits every journaled message beyond the
+        snapshot's generation, in order. Acks are drained between sends so
+        a large replay cannot deadlock the pipe. Returns the number of
+        messages replayed.
+        """
+        replayed = 0
+        for robot_id in list(handle.session_ids):
+            state = self._sessions.get(robot_id)
+            if state is None or state.failure is not None or state.closed is not None:
+                continue
+            blob = None
+            if self._spool is not None:
+                latest = self._spool.latest(robot_id)
+                if latest is not None:
+                    generation, blob = latest
+                    while state.journal and state.journal[0][0] <= generation:
+                        state.journal.popleft()
+            handle.send(("open", robot_id, blob, state.policy))
+            state.inflight = 0
+            pending = list(state.journal)
+            for idx, message in pending:
+                if handle.broken:
+                    break  # the replacement died too; the next check retries
+                if handle.send(("msg", robot_id, idx, message)):
+                    state.inflight += 1
+                    replayed += 1
+                self._drain_ready(handle)
+            state.replayed += len(pending)
+            state.recoveries += 1
+            if state.closing and state.closed is None:
+                handle.send(("close", robot_id))
+        return replayed
+
+    def fail_sessions(self, robot_ids, failure: BaseException) -> None:
+        """Mark sessions failed (a retired slot cannot host them anymore)."""
+        for robot_id in robot_ids:
+            state = self._sessions.get(robot_id)
+            if state is not None and state.failure is None and state.closed is None:
+                state.failure = failure
+                state.inflight = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _state(self, robot_id: str) -> _Session:
+        state = self._sessions.get(robot_id)
+        if state is None:
+            raise ConfigurationError(f"robot {robot_id!r} has no open session")
+        return state
+
+    def _forget(self, state: _Session) -> None:
+        self._sessions.pop(state.robot_id, None)
+        handle = self.handles[state.slot]
+        if state.robot_id in handle.session_ids:
+            handle.session_ids.remove(state.robot_id)

@@ -1,0 +1,182 @@
+"""Snapshot spooling: crash-durable session checkpoints on disk.
+
+A :class:`SnapshotSpool` persists :meth:`SessionSnapshot.to_bytes
+<repro.serve.snapshot.SessionSnapshot.to_bytes>` blobs so a session can be
+restored after its hosting process dies. Layout — one directory per robot,
+one file per snapshot *generation* (the submit index the snapshot covers)::
+
+    <root>/
+      .gitignore                     self-ignoring, like benchmarks/artifacts/
+      <robot_id>/gen-000000000120.snap
+      <robot_id>/gen-000000000140.snap   <- latest() picks the highest
+
+Writes follow the same atomic-staging discipline as
+:mod:`repro.campaign.store`: the blob lands in a ``mkstemp`` temp file in
+the destination directory and is moved into place with :func:`os.replace`,
+so a crash mid-write can never leave a truncated snapshot that a later
+restore would trust. Retention is generation-numbered: :meth:`put` keeps the
+newest ``keep`` generations per robot and :meth:`gc` reclaims stale
+generations (and, given a live-session set, whole directories of sessions
+that no longer exist — mirroring the store's reachability gc).
+
+Robot ids are percent-encoded into directory names, so any id the session
+layer accepts (including path separators) spools safely.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from pathlib import Path
+from urllib.parse import quote, unquote
+
+from ..errors import ConfigurationError
+
+__all__ = ["SnapshotSpool"]
+
+#: ``gen-<generation>.snap`` — the generation is the submit index covered.
+_GEN_RE = re.compile(r"^gen-(\d{12})\.snap$")
+
+
+class SnapshotSpool:
+    """Durable, generation-numbered snapshot storage for one fleet.
+
+    Parameters
+    ----------
+    root:
+        Spool directory (created lazily, self-ignoring via ``.gitignore``).
+    keep:
+        Newest generations retained per robot by :meth:`put` (default 2 — the
+        latest plus one predecessor, so a crash *during* retention pruning
+        still leaves a restorable snapshot behind).
+    """
+
+    def __init__(self, root, keep: int = 2) -> None:
+        if int(keep) != keep or keep < 1:
+            raise ConfigurationError("keep must be a positive integer")
+        self.root = Path(root)
+        self.keep = int(keep)
+
+    def _ensure_root(self) -> None:
+        # Self-ignoring, like campaign/store.py: spooled snapshots are
+        # derived crash-recovery state and must never be committed.
+        marker = self.root / ".gitignore"
+        if not marker.is_file():
+            self.root.mkdir(parents=True, exist_ok=True)
+            marker.write_text("*\n")
+
+    def _session_dir(self, robot_id: str) -> Path:
+        return self.root / quote(str(robot_id), safe="")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def put(self, robot_id: str, generation: int, blob: bytes) -> Path:
+        """Persist one snapshot atomically; returns the final path.
+
+        *generation* is the monotone submit index the snapshot covers —
+        recovery restores from the highest generation and replays journal
+        entries beyond it. Older generations beyond ``keep`` are pruned
+        after the new one is durably in place.
+        """
+        if int(generation) != generation or generation < 0:
+            raise ConfigurationError("generation must be a non-negative integer")
+        self._ensure_root()
+        directory = self._session_dir(robot_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        final = directory / f"gen-{int(generation):012d}.snap"
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(bytes(blob))
+            os.replace(tmp, final)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        for stale in self.generations(robot_id)[: -self.keep]:
+            (directory / f"gen-{stale:012d}.snap").unlink(missing_ok=True)
+        return final
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def sessions(self) -> list[str]:
+        """Robot ids with at least one spooled snapshot (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            unquote(entry.name)
+            for entry in self.root.iterdir()
+            if entry.is_dir() and self._generations_in(entry)
+        )
+
+    @staticmethod
+    def _generations_in(directory: Path) -> list[int]:
+        found = []
+        for entry in directory.iterdir():
+            match = _GEN_RE.match(entry.name)
+            if match and entry.is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def generations(self, robot_id: str) -> list[int]:
+        """Spooled generations for *robot_id*, oldest first."""
+        directory = self._session_dir(robot_id)
+        if not directory.is_dir():
+            return []
+        return self._generations_in(directory)
+
+    def load(self, robot_id: str, generation: int) -> bytes:
+        """The snapshot blob at an exact generation."""
+        path = self._session_dir(robot_id) / f"gen-{int(generation):012d}.snap"
+        if not path.is_file():
+            raise ConfigurationError(
+                f"no spooled snapshot for robot {robot_id!r} at generation "
+                f"{generation} (have {self.generations(robot_id)})"
+            )
+        return path.read_bytes()
+
+    def latest(self, robot_id: str) -> tuple[int, bytes] | None:
+        """The newest ``(generation, blob)`` for *robot_id*, or ``None``."""
+        generations = self.generations(robot_id)
+        if not generations:
+            return None
+        return generations[-1], self.load(robot_id, generations[-1])
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(self, keep: int | None = None, live: set[str] | None = None) -> list[Path]:
+        """Delete stale generations (and, with *live*, dead sessions).
+
+        Per robot, everything older than the newest *keep* generations
+        (default: the spool's retention setting) is removed. When *live* is
+        given, entire session directories whose robot id is not in the set
+        are reclaimed too — the reachability rule of
+        :meth:`repro.campaign.store.ResultStore.gc` applied to sessions.
+        Returns the deleted paths.
+        """
+        keep = self.keep if keep is None else int(keep)
+        if keep < 1:
+            raise ConfigurationError("gc keep must be a positive integer")
+        deleted: list[Path] = []
+        if not self.root.is_dir():
+            return deleted
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir():
+                continue
+            robot_id = unquote(entry.name)
+            stale = self._generations_in(entry)
+            if live is not None and robot_id not in live:
+                pass  # whole session unreachable: drop every generation
+            else:
+                stale = stale[:-keep]
+            for generation in stale:
+                path = entry / f"gen-{generation:012d}.snap"
+                path.unlink(missing_ok=True)
+                deleted.append(path)
+            if not any(entry.iterdir()):
+                entry.rmdir()
+        return deleted

@@ -1,0 +1,242 @@
+"""Worker supervision: liveness checks, capped-backoff respawn, recovery.
+
+The :class:`~repro.serve.shard.ShardManager` owns the mechanics of running
+sessions across worker processes; the :class:`Supervisor` owns the *policy*
+of keeping them alive:
+
+* **Liveness** — every worker emits traffic continuously (acks while busy,
+  heartbeats every ``heartbeat_interval`` while idle), so parent-side
+  silence longer than ``heartbeat_timeout`` can only mean a hung or dead
+  process. A broken pipe or a reaped process is declared immediately.
+* **Respawn with capped exponential backoff** — a dying worker is replaced
+  after ``backoff_base_s * backoff_factor**(streak-1)`` seconds, capped at
+  ``backoff_cap_s``; the streak resets once a worker survives
+  ``backoff_reset_s``. After ``max_restarts`` consecutive deaths the slot is
+  retired and its sessions fail with the typed
+  :class:`~repro.errors.ShardRecoveryError` instead of crash-looping.
+* **Recovery orchestration** — before the replacement starts, events the
+  dead worker already wrote to its pipe are salvaged (they represent real
+  processing), then each hosted session is restored from the latest spooled
+  snapshot and the manager's in-memory journal is replayed beyond it. The
+  golden parity tests prove the result is bit-identical to a run that never
+  crashed.
+
+Every recovery is recorded as a :class:`RecoveryEvent`; the chaos harness
+(:mod:`repro.serve.chaos`) reduces the event list into its
+:class:`~repro.serve.chaos.ChaosReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError, ShardRecoveryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from .shard import ShardManager, WorkerHandle
+
+__all__ = ["SupervisorConfig", "RecoveryEvent", "Supervisor"]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tunables for worker liveness and respawn behavior.
+
+    Attributes
+    ----------
+    heartbeat_interval:
+        Worker-side idle heartbeat period (seconds). Busy workers need no
+        heartbeats — every ack counts as liveness.
+    heartbeat_timeout:
+        Parent-side silence threshold before a worker is declared hung and
+        killed. Must exceed ``heartbeat_interval`` with margin.
+    backoff_base_s / backoff_factor / backoff_cap_s:
+        Capped exponential respawn delay: the n-th *consecutive* death waits
+        ``min(base * factor**(n-1), cap)`` seconds before the replacement
+        starts.
+    backoff_reset_s:
+        A worker surviving this long resets its consecutive-death streak.
+    max_restarts:
+        Consecutive deaths tolerated per worker slot before it is retired
+        and its sessions fail typed (``None`` = unlimited).
+    """
+
+    heartbeat_interval: float = 0.1
+    heartbeat_timeout: float = 2.0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 1.0
+    backoff_reset_s: float = 5.0
+    max_restarts: int | None = 5
+
+    def __post_init__(self) -> None:
+        """Validate the tunables at construction."""
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ConfigurationError("heartbeat interval and timeout must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ConfigurationError(
+                "heartbeat_timeout must exceed heartbeat_interval, otherwise "
+                "an idle worker is indistinguishable from a hung one"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ConfigurationError("backoff must satisfy 0 <= base <= cap")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if self.max_restarts is not None and self.max_restarts < 1:
+            raise ConfigurationError("max_restarts must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One completed (or abandoned) worker recovery.
+
+    Attributes
+    ----------
+    slot:
+        The worker slot that died.
+    reason:
+        ``"crash"`` (process died / pipe broke) or ``"hang"`` (heartbeat
+        timeout — the process was alive but silent and was killed).
+    robot_ids:
+        Sessions hosted by the dead worker, in registration order.
+    replayed:
+        Journal messages re-submitted to reach the pre-crash state.
+    latency_s:
+        Wall-clock seconds from death detection to every session restored
+        and its journal replayed (includes the backoff delay).
+    streak:
+        The slot's consecutive-death count including this death.
+    recovered:
+        False when the restart budget was exhausted and the slot retired.
+    """
+
+    slot: int
+    reason: str
+    robot_ids: tuple[str, ...]
+    replayed: int
+    latency_s: float
+    streak: int
+    recovered: bool
+
+
+class Supervisor:
+    """Health-checks shard workers and orchestrates their recovery.
+
+    One supervisor per :class:`~repro.serve.shard.ShardManager`; its
+    :attr:`events` list accumulates every :class:`RecoveryEvent` for
+    reporting (the chaos harness and ``scripts/chaos_smoke.py`` read it).
+    """
+
+    def __init__(self, config: SupervisorConfig | None = None) -> None:
+        self.config = config or SupervisorConfig()
+        self.events: list[RecoveryEvent] = []
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def crashes_survived(self) -> int:
+        """Recoveries that fully restored the dead worker's sessions."""
+        return sum(1 for event in self.events if event.recovered)
+
+    @property
+    def messages_replayed(self) -> int:
+        """Total journal messages re-submitted across all recoveries."""
+        return sum(event.replayed for event in self.events)
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def check(self, manager: "ShardManager") -> None:
+        """Declare dead/hung workers and recover them.
+
+        Called by the manager after every pump: a worker whose process has
+        exited (or whose pipe broke) is recovered as a ``"crash"``; one that
+        is alive but silent past ``heartbeat_timeout`` is killed and
+        recovered as a ``"hang"``. Pipe-buffered events are read *before*
+        this runs, so a busy-but-healthy worker can never be misdeclared.
+        """
+        now = time.perf_counter()
+        for handle in manager.handles:
+            if handle.retired or handle.process is None:
+                continue
+            if handle.broken or not handle.process.is_alive():
+                self.recover(manager, handle, "crash")
+            elif now - handle.last_seen > self.config.heartbeat_timeout:
+                self.recover(manager, handle, "hang")
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def backoff_delay(self, streak: int) -> float:
+        """The respawn delay for a slot's n-th consecutive death."""
+        delay = self.config.backoff_base_s * self.config.backoff_factor ** max(
+            0, streak - 1
+        )
+        return min(delay, self.config.backoff_cap_s)
+
+    def recover(self, manager: "ShardManager", handle: "WorkerHandle", reason: str) -> RecoveryEvent:
+        """Replace a dead worker and restore its sessions.
+
+        The sequence: salvage events the dead worker already piped out
+        (completed processing — spooled snapshots shrink the replay), kill
+        and reap the process, wait out the capped backoff, spawn the
+        replacement, then restore every hosted session from the latest
+        spooled snapshot and replay the journal beyond it. When the restart
+        budget is exhausted the slot is retired instead and its sessions
+        fail with :class:`~repro.errors.ShardRecoveryError`.
+        """
+        started = time.perf_counter()
+        robot_ids = tuple(handle.session_ids)
+        manager.salvage(handle)
+        handle.terminate()
+
+        now = time.perf_counter()
+        if (
+            handle.last_death is not None
+            and now - handle.last_death > self.config.backoff_reset_s
+        ):
+            handle.streak = 0
+        handle.streak += 1
+        handle.last_death = now
+        handle.total_deaths += 1
+
+        budget = self.config.max_restarts
+        if budget is not None and handle.streak > budget:
+            handle.retired = True
+            failure = ShardRecoveryError(
+                f"worker slot {handle.slot} died {handle.streak} consecutive "
+                f"times (budget {budget}); retiring the shard instead of "
+                "crash-looping"
+            )
+            manager.fail_sessions(robot_ids, failure)
+            event = RecoveryEvent(
+                slot=handle.slot,
+                reason=reason,
+                robot_ids=robot_ids,
+                replayed=0,
+                latency_s=time.perf_counter() - started,
+                streak=handle.streak,
+                recovered=False,
+            )
+            self.events.append(event)
+            return event
+
+        delay = self.backoff_delay(handle.streak)
+        if delay > 0:
+            time.sleep(delay)
+        manager.spawn_worker(handle)
+        replayed = manager.restore_slot(handle)
+        event = RecoveryEvent(
+            slot=handle.slot,
+            reason=reason,
+            robot_ids=robot_ids,
+            replayed=replayed,
+            latency_s=time.perf_counter() - started,
+            streak=handle.streak,
+            recovered=True,
+        )
+        self.events.append(event)
+        return event

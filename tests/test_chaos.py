@@ -1,0 +1,140 @@
+"""Randomized chaos schedules against the sharded fleet (opt-in marker).
+
+The directed fault tests in ``tests/test_shard.py`` pin each recovery
+mechanism; these runs turn the :class:`~repro.serve.chaos.ChaosMonkey`
+loose with seeded randomized kill/hang/slow schedules — including the
+acceptance bar's "kill every worker at least once" — and require the final
+per-session reports and snapshot bytes to stay bit-identical to
+uninterrupted serial runs. Excluded from the default pytest run like
+``soak``; select with ``-m chaos``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import RoboADS
+from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.eval.session_replay import report_drift
+from repro.sensors.lidar import WallDistanceSensor
+from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+from repro.serve import (
+    ChaosConfig,
+    DetectorSession,
+    SessionMessage,
+    SnapshotSpool,
+    SupervisorConfig,
+    run_chaos_fleet,
+)
+from repro.world.map import WorldMap
+
+pytestmark = [pytest.mark.chaos]
+
+PROCESS = np.diag([0.0005**2, 0.0005**2, 0.0015**2])
+WORLD = WorldMap.rectangle(3.0, 3.0)
+
+#: Short heartbeat/timeout so injected hangs cost tenths of a second.
+FAST = SupervisorConfig(heartbeat_interval=0.05, heartbeat_timeout=0.4)
+
+
+def build_detector() -> RoboADS:
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)])
+    return RoboADS(
+        DifferentialDriveModel(dt=0.05),
+        suite,
+        PROCESS,
+        initial_state=np.array([1.5, 1.5, 0.0]),
+        nominal_control=np.array([0.1, 0.12]),
+    )
+
+
+def mission_messages(n: int, seed: int):
+    model = DifferentialDriveModel(dt=0.05)
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)])
+    rng = np.random.default_rng(seed)
+    x = np.array([1.5, 1.5, 0.0])
+    q_sqrt = np.sqrt(np.diag(PROCESS))
+    messages = []
+    for k in range(n):
+        u = np.array([0.1, 0.12]) + 0.05 * rng.standard_normal(2)
+        x = model.normalize_state(model.f(x, u) + q_sqrt * rng.standard_normal(3))
+        messages.append(
+            SessionMessage(seq=k, t=k * model.dt, control=u, reading=suite.measure(x, rng))
+        )
+    return messages
+
+
+def references(streams):
+    refs = {}
+    for robot_id, messages in streams.items():
+        session = DetectorSession(build_detector(), robot_id=robot_id)
+        reports = [r for m in messages if (r := session.process(m)) is not None]
+        refs[robot_id] = (reports, session.checkpoint().to_bytes())
+    return refs
+
+
+def assert_bit_identical(results, streams):
+    refs = references(streams)
+    for robot_id, result in results.items():
+        ref_reports, ref_blob = refs[robot_id]
+        assert report_drift(result.reports, ref_reports, atol=0.0) == []
+        assert result.final_snapshot == ref_blob
+
+
+def test_killing_every_worker_preserves_bit_identical_results(tmp_path):
+    """The acceptance schedule: every worker slot dies at least once."""
+    streams = {f"r{i}": mission_messages(30, seed=50 + i) for i in range(4)}
+    results, report = run_chaos_fleet(
+        build_detector,
+        streams,
+        workers=4,
+        spool=SnapshotSpool(tmp_path / "spool"),
+        spool_every=8,
+        supervisor_config=FAST,
+        kill_every_worker=True,
+    )
+    assert_bit_identical(results, streams)
+    killed = {strike.slot for strike in report.strikes if strike.kind == "kill"}
+    assert killed == {0, 1, 2, 3}
+    assert report.crashes_survived >= 4
+    assert report.failed_recoveries == 0
+    assert report.messages_submitted == 120
+    assert report.recovery_latency_max_s >= report.recovery_latency_mean_s > 0.0
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_randomized_kill_hang_slow_schedules_stay_exact(tmp_path, seed):
+    streams = {f"r{i}": mission_messages(25, seed=60 + i) for i in range(3)}
+    results, report = run_chaos_fleet(
+        build_detector,
+        streams,
+        workers=3,
+        spool=SnapshotSpool(tmp_path / "spool"),
+        spool_every=6,
+        config=ChaosConfig(
+            seed=seed, kill_rate=0.05, hang_rate=0.02, slow_rate=0.05, max_strikes=6
+        ),
+        supervisor_config=FAST,
+    )
+    assert_bit_identical(results, streams)
+    assert len(report.strikes) <= 6
+    assert report.failed_recoveries == 0
+    if report.messages_replayed:
+        assert report.replayed_per_s > 0.0
+        assert "replayed" in report.summary()
+
+
+def test_chaos_without_spool_replays_whole_histories(tmp_path):
+    streams = {f"r{i}": mission_messages(20, seed=70 + i) for i in range(2)}
+    results, report = run_chaos_fleet(
+        build_detector,
+        streams,
+        workers=2,
+        spool=None,
+        supervisor_config=FAST,
+        kill_every_worker=True,
+    )
+    assert_bit_identical(results, streams)
+    assert report.crashes_survived >= 2
+    # No spool: every recovery replays the session's full prefix.
+    assert report.messages_replayed >= report.crashes_survived

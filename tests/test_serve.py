@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.detector import RoboADS
 from repro.dynamics.differential_drive import DifferentialDriveModel
-from repro.errors import ConfigurationError, IngestSequenceError
+from repro.errors import ConfigurationError, FleetClosureError, IngestSequenceError
 from repro.eval.session_replay import report_drift, stream_trace
 from repro.obs import RecordingTelemetry
 from repro.sensors.lidar import WallDistanceSensor
@@ -298,6 +298,34 @@ class TestFleetService:
             await service.submit("r1", bad)  # wrong reading shape: worker dies
             with pytest.raises(Exception):
                 await service.close_session("r1")
+            assert service.active_sessions == ()
+
+        self.run(scenario())
+
+    def test_close_all_aggregates_failures_instead_of_stopping(self):
+        """One poisoned session must not orphan the rest of the fleet.
+
+        ``close_all`` attempts *every* session; the healthy sessions' results
+        ride on the raised :class:`FleetClosureError` alongside the per-robot
+        failures.
+        """
+
+        async def scenario():
+            service = FleetService()
+            await service.open_session("bad", build_detector())
+            await service.open_session("good", build_detector())
+            poison = SessionMessage(seq=0, t=0.0, control=[0.1, 0.12], reading=[1.0])
+            await service.submit("bad", poison)  # wrong reading shape
+            messages = mission_messages(5)
+            for m in messages:
+                await service.submit("good", m)
+            with pytest.raises(FleetClosureError) as excinfo:
+                await service.close_all()
+            error = excinfo.value
+            assert set(error.failures) == {"bad"}
+            assert set(error.results) == {"good"}
+            assert len(error.results["good"].reports) == len(messages)
+            assert "bad" in str(error)
             assert service.active_sessions == ()
 
         self.run(scenario())

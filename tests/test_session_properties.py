@@ -14,6 +14,8 @@ the resident session.
 import dataclasses
 import itertools
 import pickle
+import tempfile
+from collections import deque
 
 import numpy as np
 import pytest
@@ -36,6 +38,7 @@ from repro.serve import (
     DetectorSession,
     SessionMessage,
     SessionSnapshot,
+    SnapshotSpool,
 )
 from repro.world.map import WorldMap
 
@@ -220,6 +223,70 @@ def test_version_mismatch_raises_typed_error_without_corruption(
     with pytest.raises(SnapshotVersionError):
         session.restore(bad)
     assert session.checkpoint().to_bytes() == good.to_bytes()
+
+
+@st.composite
+def crash_cases(draw):
+    """A mission, a crash position and a spool cadence."""
+    suite_key, seed, masks, crash_at = draw(streaming_cases())
+    spool_every = draw(st.integers(min_value=1, max_value=8))
+    return suite_key, seed, masks, crash_at, spool_every
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=crash_cases())
+def test_crash_anywhere_recovers_bit_identical_from_spool_plus_journal(case):
+    """Spool + journal recovery is exact at every crash index and cadence.
+
+    This is the recovery algebra :class:`repro.serve.shard.ShardManager`
+    runs after a worker death, executed deterministically in-process: spool
+    a snapshot every ``spool_every`` messages (pruning the journal up to the
+    covered generation), crash at an arbitrary message index discarding all
+    in-memory session state, restore from the latest spooled generation (a
+    fresh session when none was spooled yet) and replay the journal, then
+    finish the mission. The end-of-run snapshot bytes must equal the
+    uninterrupted session's exactly, and the journal must have stayed
+    bounded by the spool cadence.
+    """
+    suite_key, seed, masks, crash_at, spool_every = case
+    messages = random_messages(suite_key, seed, masks)
+
+    reference = DetectorSession(build_detector(suite_key))
+    for message in messages:
+        reference.process(message)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        spool = SnapshotSpool(tmp)
+        journal: deque = deque()
+        doomed = DetectorSession(build_detector(suite_key))
+        for idx, message in enumerate(messages[:crash_at]):
+            journal.append((idx, message))
+            doomed.process(message)
+            if (idx + 1) % spool_every == 0:
+                spool.put("r", idx, doomed.checkpoint().to_bytes())
+                while journal and journal[0][0] <= idx:
+                    journal.popleft()
+        del doomed  # the crash: every in-memory session byte is gone
+
+        latest = spool.latest("r")
+        if latest is None:
+            assert len(journal) == crash_at  # nothing spooled: full replay
+            recovered = DetectorSession(build_detector(suite_key))
+        else:
+            generation, blob = latest
+            assert len(journal) < spool_every  # the bounded-journal claim
+            assert all(idx > generation for idx, _ in journal)
+            recovered = DetectorSession.resume(
+                build_detector(suite_key), SessionSnapshot.from_bytes(blob)
+            )
+        for _, message in journal:
+            recovered.process(message)
+        for message in messages[crash_at:]:
+            recovered.process(message)
+
+        assert (
+            recovered.checkpoint().to_bytes() == reference.checkpoint().to_bytes()
+        )
 
 
 class TestSnapshotRejection:

@@ -1,0 +1,270 @@
+"""Crash-recovery tests for the sharded multi-process fleet.
+
+Golden parity under directed faults: a worker killed or hung mid-stream is
+respawned by the supervisor and its sessions restored from spool + journal,
+and the final per-session reports and snapshot bytes must be *bit-identical*
+to an uninterrupted serial run. Randomized fault schedules live in
+``tests/test_chaos.py`` (opt-in ``chaos`` marker); these tests pin each
+mechanism deterministically — crash recovery, hang detection, restart-budget
+retirement, deterministic session errors, and closure aggregation.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.detector import RoboADS
+from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.errors import (
+    ConfigurationError,
+    FleetClosureError,
+    ShardRecoveryError,
+    ShardSessionError,
+)
+from repro.eval.session_replay import report_drift
+from repro.sensors.lidar import WallDistanceSensor
+from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+from repro.serve import (
+    DetectorSession,
+    SessionMessage,
+    ShardManager,
+    SnapshotSpool,
+    SupervisorConfig,
+)
+from repro.world.map import WorldMap
+
+pytestmark = [pytest.mark.serve]
+
+PROCESS = np.diag([0.0005**2, 0.0005**2, 0.0015**2])
+WORLD = WorldMap.rectangle(3.0, 3.0)
+
+#: Small timeouts so fault-recovery tests run in tens of milliseconds.
+FAST = SupervisorConfig(heartbeat_interval=0.05, heartbeat_timeout=0.5)
+
+
+def build_detector() -> RoboADS:
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)])
+    return RoboADS(
+        DifferentialDriveModel(dt=0.05),
+        suite,
+        PROCESS,
+        initial_state=np.array([1.5, 1.5, 0.0]),
+        nominal_control=np.array([0.1, 0.12]),
+    )
+
+
+def mission_messages(n: int, seed: int = 5):
+    model = DifferentialDriveModel(dt=0.05)
+    suite = SensorSuite([IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)])
+    rng = np.random.default_rng(seed)
+    x = np.array([1.5, 1.5, 0.0])
+    q_sqrt = np.sqrt(np.diag(PROCESS))
+    messages = []
+    for k in range(n):
+        u = np.array([0.1, 0.12]) + 0.05 * rng.standard_normal(2)
+        x = model.normalize_state(model.f(x, u) + q_sqrt * rng.standard_normal(3))
+        messages.append(
+            SessionMessage(seq=k, t=k * model.dt, control=u, reading=suite.measure(x, rng))
+        )
+    return messages
+
+
+def serial_reference(messages, robot_id="robot"):
+    """Reports and end-of-run snapshot bytes from an uninterrupted session."""
+    session = DetectorSession(build_detector(), robot_id=robot_id)
+    reports = [r for m in messages if (r := session.process(m)) is not None]
+    return reports, session.checkpoint().to_bytes()
+
+
+def assert_parity(result, messages):
+    ref_reports, ref_blob = serial_reference(messages, robot_id=result.robot_id)
+    assert report_drift(result.reports, ref_reports, atol=0.0) == []
+    assert result.final_snapshot == ref_blob
+    assert result.messages_processed == len(messages)
+
+
+class TestHealthyOperation:
+    def test_undisturbed_fleet_matches_serial_reference(self, tmp_path):
+        streams = {f"r{i}": mission_messages(25, seed=30 + i) for i in range(3)}
+        spool = SnapshotSpool(tmp_path / "spool")
+        with ShardManager(
+            build_detector, workers=2, spool=spool, spool_every=8, supervisor=FAST
+        ) as manager:
+            for robot_id in streams:
+                manager.open_session(robot_id)
+            for j in range(25):
+                for robot_id, messages in streams.items():
+                    manager.submit(robot_id, messages[j])
+            results = manager.close_all()
+        for robot_id, messages in streams.items():
+            assert_parity(results[robot_id], messages)
+            assert results[robot_id].recoveries == 0
+
+    def test_spool_retention_holds_during_a_run(self, tmp_path):
+        spool = SnapshotSpool(tmp_path / "spool", keep=2)
+        messages = mission_messages(30)
+        with ShardManager(
+            build_detector, workers=1, spool=spool, spool_every=5, supervisor=FAST
+        ) as manager:
+            manager.open_session("r1")
+            for message in messages:
+                manager.submit("r1", message)
+            manager.close_all()
+            generations = spool.generations("r1")
+        assert 1 <= len(generations) <= 2  # retention pruned the rest
+        assert generations[-1] >= 20
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ShardManager(build_detector, workers=0)
+        with pytest.raises(ConfigurationError):
+            ShardManager(build_detector, workers=1, spool_every=0)
+        with pytest.raises(ConfigurationError):
+            ShardManager(build_detector, workers=1, window=0)
+        with pytest.raises(ConfigurationError):
+            ShardManager(build_detector, workers=1, start_method="not-a-method")
+        with ShardManager(build_detector, workers=1, supervisor=FAST) as manager:
+            manager.open_session("r1")
+            with pytest.raises(ConfigurationError):
+                manager.open_session("r1")
+            with pytest.raises(ConfigurationError):
+                manager.submit("ghost", mission_messages(1)[0])
+
+
+class TestCrashRecovery:
+    def test_killed_worker_recovers_bit_identical(self, tmp_path):
+        streams = {f"r{i}": mission_messages(30, seed=40 + i) for i in range(3)}
+        spool = SnapshotSpool(tmp_path / "spool")
+        with ShardManager(
+            build_detector, workers=2, spool=spool, spool_every=8, supervisor=FAST
+        ) as manager:
+            for robot_id in streams:
+                manager.open_session(robot_id)
+            for j in range(30):
+                for robot_id, messages in streams.items():
+                    manager.submit(robot_id, messages[j])
+                if j == 10:
+                    manager.kill_worker(0)
+                if j == 20:
+                    manager.kill_worker(1)
+            results = manager.close_all()
+            events = manager.supervisor.events
+        for robot_id, messages in streams.items():
+            assert_parity(results[robot_id], messages)
+        assert sum(result.recoveries for result in results.values()) >= 2
+        assert sum(result.replayed for result in results.values()) > 0
+        assert {event.reason for event in events} == {"crash"}
+        assert all(event.recovered for event in events)
+        assert manager.supervisor.crashes_survived == len(events)
+
+    def test_without_spool_recovery_replays_full_history(self):
+        messages = mission_messages(20)
+        with ShardManager(build_detector, workers=1, spool=None, supervisor=FAST) as manager:
+            manager.open_session("r1")
+            for j, message in enumerate(messages):
+                manager.submit("r1", message)
+                if j == 14:
+                    manager.kill_worker(0)
+            result = manager.close_all()["r1"]
+        assert_parity(result, messages)
+        # No snapshots existed, so the journal held the whole prefix.
+        assert result.replayed >= 15
+
+    def test_hung_worker_is_reaped_at_the_heartbeat_timeout(self, tmp_path):
+        messages = mission_messages(25)
+        spool = SnapshotSpool(tmp_path / "spool")
+        config = SupervisorConfig(heartbeat_interval=0.05, heartbeat_timeout=0.35)
+        with ShardManager(
+            build_detector, workers=1, spool=spool, spool_every=6, supervisor=config
+        ) as manager:
+            manager.open_session("r1")
+            for j, message in enumerate(messages):
+                manager.submit("r1", message)
+                if j == 12:
+                    manager.hang_worker(0)
+            result = manager.close_all()["r1"]
+            events = manager.supervisor.events
+        assert_parity(result, messages)
+        assert any(event.reason == "hang" for event in events)
+
+    def test_slowed_worker_is_degraded_but_never_reaped(self):
+        """Acks count as liveness: slow must not look like hung."""
+        messages = mission_messages(12)
+        with ShardManager(build_detector, workers=1, supervisor=FAST) as manager:
+            manager.open_session("r1")
+            manager.slow_worker(0, 0.01)
+            for message in messages:
+                manager.submit("r1", message)
+            result = manager.close_all()["r1"]
+        assert_parity(result, messages)
+        assert manager.supervisor.events == []
+        assert result.recoveries == 0
+
+    def test_kill_during_close_still_yields_exact_results(self, tmp_path):
+        messages = mission_messages(15)
+        spool = SnapshotSpool(tmp_path / "spool")
+        with ShardManager(
+            build_detector, workers=1, spool=spool, spool_every=4, supervisor=FAST
+        ) as manager:
+            manager.open_session("r1")
+            for message in messages:
+                manager.submit("r1", message)
+            manager.kill_worker(0)  # dies with the close about to be issued
+            result = manager.close_all()["r1"]
+        assert_parity(result, messages)
+        assert result.recoveries >= 1
+
+
+class TestFailurePaths:
+    def test_session_error_is_typed_and_does_not_crash_loop(self):
+        """A deterministic detector error must not trigger respawn-replay."""
+        with ShardManager(build_detector, workers=1, supervisor=FAST) as manager:
+            manager.open_session("bad")
+            manager.open_session("good")
+            poison = SessionMessage(seq=0, t=0.0, control=[0.1, 0.12], reading=[1.0])
+            manager.submit("bad", poison)
+            good_messages = mission_messages(10)
+            for message in good_messages:
+                manager.submit("good", message)
+            with pytest.raises(FleetClosureError) as excinfo:
+                manager.close_all()
+            events = manager.supervisor.events
+        error = excinfo.value
+        assert isinstance(error.failures["bad"], ShardSessionError)
+        assert "Worker traceback" in str(error.failures["bad"])
+        assert_parity(error.results["good"], good_messages)
+        assert events == []  # the worker survived its session's error
+
+    def test_restart_budget_exhaustion_retires_the_slot(self):
+        def pump_until(manager, predicate, timeout=10.0):
+            deadline = time.monotonic() + timeout
+            while not predicate():
+                assert time.monotonic() < deadline, "condition never reached"
+                manager.pump(0.05)
+
+        config = SupervisorConfig(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=0.5,
+            backoff_base_s=0.0,
+            backoff_cap_s=0.0,
+            max_restarts=1,
+        )
+        messages = mission_messages(8)
+        with ShardManager(build_detector, workers=1, supervisor=config) as manager:
+            manager.open_session("r1")
+            manager.submit("r1", messages[0])
+            manager.kill_worker(0)
+            pump_until(manager, lambda: manager.supervisor.crashes_survived == 1)
+            manager.kill_worker(0)  # second death inside the reset window
+            pump_until(manager, lambda: manager.handles[0].retired)
+            with pytest.raises(ShardRecoveryError):
+                manager.submit("r1", messages[1])
+            with pytest.raises(FleetClosureError) as excinfo:
+                manager.close_all()
+            with pytest.raises(ConfigurationError):
+                manager.open_session("r2")  # every slot retired: no capacity
+        assert isinstance(excinfo.value.failures["r1"], ShardRecoveryError)
+        final = [event for event in manager.supervisor.events if not event.recovered]
+        assert len(final) == 1 and final[0].streak == 2

@@ -1,0 +1,103 @@
+"""Unit tests for the snapshot spool: atomicity, retention, gc, encoding.
+
+The crash-recovery parity suites prove the spool's blobs restore exactly;
+these tests pin the storage contract itself — atomic staging (no partial
+files ever visible), generation-numbered retention, reachability gc against
+a live-session set, percent-encoded robot ids, and the self-ignoring
+directory layout shared with ``campaign/store.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import SnapshotSpool
+
+pytestmark = [pytest.mark.serve]
+
+
+class TestSpoolBasics:
+    def test_put_load_latest_roundtrip(self, tmp_path):
+        spool = SnapshotSpool(tmp_path / "spool")
+        spool.put("r1", 9, b"nine")
+        spool.put("r1", 19, b"nineteen")
+        assert spool.load("r1", 9) == b"nine"
+        assert spool.latest("r1") == (19, b"nineteen")
+        assert spool.generations("r1") == [9, 19]
+        assert spool.sessions() == ["r1"]
+
+    def test_empty_spool_reads_cleanly(self, tmp_path):
+        spool = SnapshotSpool(tmp_path / "missing")
+        assert spool.sessions() == []
+        assert spool.generations("ghost") == []
+        assert spool.latest("ghost") is None
+        with pytest.raises(ConfigurationError):
+            spool.load("ghost", 0)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SnapshotSpool(tmp_path, keep=0)
+        spool = SnapshotSpool(tmp_path)
+        with pytest.raises(ConfigurationError):
+            spool.put("r1", -1, b"x")
+        with pytest.raises(ConfigurationError):
+            spool.gc(keep=0)
+
+    def test_robot_ids_are_percent_encoded(self, tmp_path):
+        """Any id the session layer accepts spools safely, even separators."""
+        spool = SnapshotSpool(tmp_path / "spool")
+        weird = "fleet/robot 7:α"
+        spool.put(weird, 3, b"blob")
+        assert spool.sessions() == [weird]
+        assert spool.latest(weird) == (3, b"blob")
+        # the encoded directory stays inside the spool root
+        children = [p for p in (tmp_path / "spool").iterdir() if p.is_dir()]
+        assert len(children) == 1
+        assert "/" not in children[0].name
+
+    def test_directory_is_self_ignoring(self, tmp_path):
+        spool = SnapshotSpool(tmp_path / "spool")
+        spool.put("r1", 0, b"x")
+        assert (tmp_path / "spool" / ".gitignore").read_text() == "*\n"
+
+    def test_writes_leave_no_staging_tmp_behind(self, tmp_path):
+        spool = SnapshotSpool(tmp_path / "spool")
+        for generation in range(5):
+            spool.put("r1", generation, os.urandom(64))
+        leftovers = [
+            p
+            for p in (tmp_path / "spool").rglob("*")
+            if p.is_file() and p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+
+class TestRetentionAndGc:
+    def test_put_prunes_beyond_keep(self, tmp_path):
+        spool = SnapshotSpool(tmp_path / "spool", keep=2)
+        for generation in (4, 9, 14, 19):
+            spool.put("r1", generation, b"g%d" % generation)
+        assert spool.generations("r1") == [14, 19]
+        assert spool.latest("r1") == (19, b"g19")
+
+    def test_gc_prunes_stale_generations(self, tmp_path):
+        spool = SnapshotSpool(tmp_path / "spool", keep=10)
+        for generation in range(5):
+            spool.put("r1", generation, b"x")
+        deleted = spool.gc(keep=1)
+        assert len(deleted) == 4
+        assert spool.generations("r1") == [4]
+
+    def test_gc_with_live_set_reclaims_dead_sessions(self, tmp_path):
+        """The reachability rule: sessions not in *live* vanish entirely."""
+        spool = SnapshotSpool(tmp_path / "spool")
+        spool.put("alive", 1, b"a")
+        spool.put("dead", 1, b"d")
+        spool.gc(live={"alive"})
+        assert spool.sessions() == ["alive"]
+        assert spool.latest("dead") is None
+        assert spool.latest("alive") == (1, b"a")
+
+    def test_gc_on_missing_root_is_a_noop(self, tmp_path):
+        assert SnapshotSpool(tmp_path / "never-created").gc() == []
