@@ -1,0 +1,116 @@
+"""Bench: streaming fleet throughput, fused vs serial session stepping.
+
+The live-service question behind :mod:`repro.serve.fused`: how many
+messages per second can one process sustain when a fleet of co-rigged
+sessions streams concurrently? The serial path steps each
+:class:`~repro.serve.session.DetectorSession` independently (one B=1
+stacked-bank call per message); the fused path coalesces each tick's
+messages into one :class:`~repro.serve.fused.FusedSessionBank` kernel call
+at batch width. Both produce bit-identical reports and snapshots
+(``tests/test_fused.py``), so the only difference worth measuring is
+throughput.
+
+Fleet sizes 1, 8 and 64 map the batching win: a single session cannot fuse
+(``min_batch``) and records the fused layer's pass-through overhead, 8 is
+the acceptance fleet (``speedup_vs_serial`` recorded in
+``BENCH_perf.json``), and 64 shows the amortization ceiling. All tests
+carry the ``bench_smoke`` marker; ``scripts/bench_smoke.py`` links each
+fused run to its serial baseline by name and records ``messages_per_s``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.robots.khepera import khepera_rig
+from repro.serve.fused import FusedSessionBank
+from repro.serve.messages import SessionMessage
+from repro.serve.session import DetectorSession
+
+N_STEPS = 50
+FLEET_SIZES = (1, 8, 64)
+
+
+def _message_stream(rig, n_steps, seed=0):
+    """Synthetic homogeneous stream: one nominal message per control tick."""
+    rng = np.random.default_rng(seed)
+    state = np.array(rig.mission.start_pose, dtype=float)
+    control = np.full(rig.model.control_dim, 0.1)
+    return [
+        SessionMessage(
+            seq=k,
+            t=k * rig.model.dt,
+            control=control.copy(),
+            reading=rig.suite.measure(state, rng),
+        )
+        for k in range(n_steps)
+    ]
+
+
+def _fresh_sessions(rig, n):
+    return [DetectorSession(rig.detector(), robot_id=f"robot-{i}") for i in range(n)]
+
+
+def _record(benchmark, sessions, baseline=None):
+    benchmark.extra_info["sessions"] = sessions
+    benchmark.extra_info["messages"] = sessions * N_STEPS
+    if baseline is not None:
+        benchmark.extra_info["baseline"] = baseline
+    benchmark.extra_info["messages_per_s"] = (
+        sessions * N_STEPS / benchmark.stats["mean"]
+    )
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.benchmark(group="serve")
+@pytest.mark.parametrize("sessions", FLEET_SIZES)
+def test_serve_serial_throughput(benchmark, khepera_shared, messages, sessions):
+    """Per-session serial stepping: the drain loop every tick, one by one."""
+
+    def run(fleet):
+        for message in messages:
+            for session in fleet:
+                session.process(message)
+
+    benchmark.pedantic(
+        run,
+        setup=lambda: ((_fresh_sessions(khepera_shared, sessions),), {}),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    _record(benchmark, sessions)
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.benchmark(group="serve")
+@pytest.mark.parametrize("sessions", FLEET_SIZES)
+def test_serve_fused_throughput(benchmark, khepera_shared, messages, sessions):
+    """Fused stepping: each tick's fleet messages in one batched kernel."""
+
+    def run(fleet):
+        bank = FusedSessionBank()
+        for message in messages:
+            bank.process([(session, message) for session in fleet])
+
+    benchmark.pedantic(
+        run,
+        setup=lambda: ((_fresh_sessions(khepera_shared, sessions),), {}),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    _record(
+        benchmark,
+        sessions,
+        baseline=f"test_serve_serial_throughput[{sessions}]",
+    )
+
+
+@pytest.fixture(scope="module")
+def khepera_shared():
+    return khepera_rig()
+
+
+@pytest.fixture(scope="module")
+def messages(khepera_shared):
+    return _message_stream(khepera_shared, N_STEPS)

@@ -6,15 +6,17 @@ Usage (from the repository root)::
     python scripts/bench_smoke.py [extra pytest args...]
 
 Runs every ``bench_smoke``-marked benchmark in ``benchmarks/bench_perf.py``,
-``benchmarks/bench_campaign.py``, ``benchmarks/bench_chaos.py`` and (on
-multi-core machines) ``benchmarks/bench_parallel.py`` via pytest-benchmark
-and reduces the
+``benchmarks/bench_campaign.py``, ``benchmarks/bench_chaos.py``,
+``benchmarks/bench_serve.py`` and (on multi-core machines)
+``benchmarks/bench_parallel.py`` via pytest-benchmark and reduces the
 statistics to a small committed JSON file, so the repository carries a
 recorded perf trajectory across PRs: mean/stddev iteration latency per rig
-and per mode-set, serial-vs-parallel evaluation throughput, plus the pinned
-pre-optimization baseline the current numbers are compared against. The
-metadata block records ``cpu_count`` and the platform, because the parallel
-speedups are only interpretable relative to the cores they ran on.
+and per mode-set, serial-vs-parallel evaluation throughput, fused-vs-serial
+streaming fleet throughput, plus the pinned pre-optimization baseline the
+current numbers are compared against. A ``headline`` block repeats the
+multiples the prose docs quote, computed from the same run. The metadata
+block records ``cpu_count`` and the platform, because the parallel speedups
+are only interpretable relative to the cores they ran on.
 """
 
 from __future__ import annotations
@@ -53,6 +55,7 @@ def main(argv: list[str]) -> int:
         str(REPO / "benchmarks" / "bench_perf.py"),
         str(REPO / "benchmarks" / "bench_campaign.py"),
         str(REPO / "benchmarks" / "bench_chaos.py"),
+        str(REPO / "benchmarks" / "bench_serve.py"),
     ]
     if not skip_parallel:
         bench_files.append(str(REPO / "benchmarks" / "bench_parallel.py"))
@@ -100,6 +103,9 @@ def main(argv: list[str]) -> int:
             "recovery_latency_mean_s",
             "recovery_latency_max_s",
             "replayed_per_s",
+            "sessions",
+            "messages",
+            "messages_per_s",
         ):
             if key in extra:
                 entry[key] = extra[key]
@@ -116,7 +122,30 @@ def main(argv: list[str]) -> int:
         if reference is not None:
             entry["speedup_vs_serial"] = reference["mean_s"] / entry["mean_s"]
 
+    # Headline numbers quoted by the prose docs (ROADMAP.md,
+    # docs/PERFORMANCE.md, docs/STREAMING.md, README.md). Written from the
+    # same run as the per-benchmark results so the quoted multiples can
+    # never drift from the committed measurements again — update the docs
+    # from this block, not from memory.
+    headline = {}
+    replay = results.get("test_batched_replay_throughput", {})
+    if "speedup_vs_pre_change" in replay:
+        headline["batched_replay_speedup_vs_pre_change"] = replay[
+            "speedup_vs_pre_change"
+        ]
+    for n in (1, 8, 64):
+        fused = results.get(f"test_serve_fused_throughput[{n}]", {})
+        if "speedup_vs_serial" in fused:
+            headline[f"fused_streaming_speedup_{n}_sessions"] = fused[
+                "speedup_vs_serial"
+            ]
+        if "messages_per_s" in fused:
+            headline[f"fused_streaming_messages_per_s_{n}_sessions"] = fused[
+                "messages_per_s"
+            ]
+
     payload = {
+        "headline": headline,
         "datetime": data.get("datetime"),
         "machine": data.get("machine_info", {}).get("node"),
         "python": data.get("machine_info", {}).get("python_version"),
@@ -134,7 +163,11 @@ def main(argv: list[str]) -> int:
             "and cache-lookup overhead (warm, cache_hit_rate 1.0) — see "
             "docs/CAMPAIGNS.md. The chaos group records crash-recovery "
             "latency and journal-replay throughput for the sharded fleet "
-            "under a kill-every-worker schedule (docs/STREAMING.md)."
+            "under a kill-every-worker schedule (docs/STREAMING.md). The "
+            "serve group records streaming fleet throughput, fused vs "
+            "serial session stepping (docs/STREAMING.md § fused "
+            "streaming); headline holds the doc-quoted multiples from "
+            "this same run."
         ),
         "results": results,
     }

@@ -64,6 +64,7 @@ DOCSTRING_MODULES = (
     "src/repro/serve/adapter.py",
     "src/repro/serve/spool.py",
     "src/repro/serve/shard.py",
+    "src/repro/serve/fused.py",
     "src/repro/serve/supervisor.py",
     "src/repro/serve/chaos.py",
     "src/repro/eval/session_replay.py",

@@ -5,9 +5,10 @@ Usage (from the repository root)::
 
     python scripts/check_perf.py [--threshold 0.25] [extra pytest args...]
 
-Runs the ``perf`` benchmark group fresh (the same ``bench_smoke``-marked
-tests ``scripts/bench_smoke.py`` records) and compares each mean against
-the corresponding entry committed in ``BENCH_perf.json``. A benchmark whose
+Runs the ``perf`` and ``serve`` benchmark groups fresh (the same
+``bench_smoke``-marked tests ``scripts/bench_smoke.py`` records) and
+compares each mean against the corresponding entry committed in
+``BENCH_perf.json``. A benchmark whose
 fresh mean exceeds the committed mean by more than ``--threshold``
 (default 25%) fails the gate with exit code 1; benchmarks without a
 committed entry are reported but never fail (they gate only after a
@@ -35,15 +36,22 @@ COMMITTED = REPO / "BENCH_perf.json"
 DEFAULT_THRESHOLD = 0.25
 
 
+#: Benchmark groups the gate re-measures, with the files that host them.
+GATED_GROUPS = {
+    "perf": "bench_perf.py",
+    "serve": "bench_serve.py",
+}
+
+
 def run_fresh(extra_args: list[str]) -> dict[str, float]:
-    """Fresh ``perf``-group means by benchmark name, via pytest-benchmark."""
+    """Fresh gated-group means by benchmark name, via pytest-benchmark."""
     with tempfile.TemporaryDirectory() as tmp:
         raw = pathlib.Path(tmp) / "bench.json"
         cmd = [
             sys.executable,
             "-m",
             "pytest",
-            str(REPO / "benchmarks" / "bench_perf.py"),
+            *(str(REPO / "benchmarks" / f) for f in GATED_GROUPS.values()),
             "-m",
             "bench_smoke",
             "-q",
@@ -60,7 +68,7 @@ def run_fresh(extra_args: list[str]) -> dict[str, float]:
     return {
         bench["name"]: float(bench["stats"]["mean"])
         for bench in data.get("benchmarks", [])
-        if bench.get("group") == "perf"
+        if bench.get("group") in GATED_GROUPS
     }
 
 

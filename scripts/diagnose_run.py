@@ -21,8 +21,12 @@ artifacts into ``--out``:
 The timeline is also printed to stdout. ``--scenario 0`` (or omitting it)
 runs the clean mission; ``--dropout P`` additionally injects uniform
 Bernoulli delivery dropout at probability ``P`` so degraded-delivery spans
-show up in the timeline. ``docs/OBSERVABILITY.md`` walks through reading
-the artifacts.
+show up in the timeline. ``--fused-fleet N`` additionally replays the
+recorded mission through a fused ``N``-session streaming fleet
+(:mod:`repro.serve.fused`) with the same recording attached, so the JSONL
+carries ``fused_batch`` occupancy events and the summary reports the
+batching the fused path achieved. ``docs/OBSERVABILITY.md`` walks through
+reading the artifacts.
 """
 
 from __future__ import annotations
@@ -68,6 +72,13 @@ def main(argv: list[str] | None = None) -> int:
         "--fault-seed", type=int, default=7, help="seed of the fault streams"
     )
     parser.add_argument(
+        "--fused-fleet",
+        type=int,
+        default=0,
+        help="replay the mission through a fused streaming fleet of this "
+        "many sessions, recording fused_batch occupancy events (0 = off)",
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path, default=pathlib.Path("diagnostics"),
         help="output directory for the artifacts",
     )
@@ -100,6 +111,22 @@ def main(argv: list[str] | None = None) -> int:
         telemetry=telemetry,
     )
 
+    if args.fused_fleet > 1:
+        # Stream the recorded mission through a fused co-rigged fleet with
+        # the same recording attached — the fused stepper emits one
+        # fused_batch event per drain tick into the mission's JSONL.
+        from repro.serve.adapter import trace_messages  # noqa: E402
+        from repro.serve.fused import FusedSessionBank  # noqa: E402
+        from repro.serve.session import DetectorSession  # noqa: E402
+
+        bank = FusedSessionBank(telemetry=telemetry)
+        fleet = [
+            DetectorSession(rig_factory().detector(), robot_id=f"{args.rig}-{i}")
+            for i in range(args.fused_fleet)
+        ]
+        for message in trace_messages(result.trace):
+            bank.process([(session, message) for session in fleet])
+
     prefix = f"{args.rig}_s{args.scenario}_seed{args.seed}"
     paths = export_run(telemetry, args.out, prefix=prefix, dt=rig.model.dt)
 
@@ -124,6 +151,18 @@ def main(argv: list[str] | None = None) -> int:
         detail = ", ".join(f"{m}: {c}" for m, c in sorted(per_mode.items()))
         line += f" ({detail})"
     print(line)
+    fused_events = telemetry.events_of("fused_batch")
+    if fused_events:
+        batched = sum(e.batched for e in fused_events)
+        serial = sum(e.serial_fallbacks for e in fused_events)
+        kernels = sum(e.groups for e in fused_events)
+        suppressed = sum(e.suppressed for e in fused_events)
+        mean_width = batched / kernels if kernels else 0.0
+        print(
+            f"fused batches: {batched} sessions batched over {kernels} "
+            f"kernel calls (mean width {mean_width:.1f}), "
+            f"{serial} serial fallbacks, {suppressed} suppressed"
+        )
     print()
     print(render_timeline(telemetry, dt=rig.model.dt), end="")
     print()

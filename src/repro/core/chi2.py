@@ -15,13 +15,22 @@ import numpy as np
 from scipy import stats
 
 from ..errors import ConfigurationError
-from ..linalg import chol_psd, chol_solve, pinv_and_pdet, stacked_chol_mask, symmetrize_stacked
+from ..linalg import (
+    EIG_TOL,
+    _CHOL_MARGIN,
+    chol_psd,
+    chol_solve,
+    pinv_and_pdet,
+    stacked_chol_mask,
+    symmetrize_stacked,
+)
 
 __all__ = [
     "chi_square_threshold",
     "chi_square_thresholds",
     "anomaly_statistic",
     "anomaly_statistic_batch",
+    "anomaly_statistic_cells",
     "anomaly_statistic_stacked",
 ]
 
@@ -101,6 +110,61 @@ def anomaly_statistic_batch(
     for i in np.nonzero(~ok)[0]:
         stats[i], dofs[i] = anomaly_statistic(estimates[i], sym[i])
     return stats, dofs
+
+
+def anomaly_statistic_cells(
+    estimates: np.ndarray, covariances: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bit-identical :func:`anomaly_statistic` over homogeneous cells.
+
+    ``estimates`` is ``(C, d)`` and ``covariances`` ``(C, d, d)``; returns
+    ``(statistics, dofs)`` of shape ``(C,)``. Unlike
+    :func:`anomaly_statistic_batch` — whose batched quadratic form
+    ``(e * solve(S, e)).sum()`` re-associates the float reduction — every
+    cell here reproduces the serial helper's arithmetic exactly: one
+    batched Cholesky amortizes the factorization overhead, the
+    :func:`~repro.linalg.chol_psd` conditioning certificate is evaluated
+    per cell on the batched factor, and accepted cells run the identical
+    ``estimate @ chol_solve(factor, estimate)`` (LAPACK ``dpotrs``)
+    contraction. A mixed batch (the batched Cholesky raises) or a rejected
+    cell falls back to the serial helper wholesale, so the factor fed to
+    the solve always comes from the same code path the serial detector
+    would have used. This is what lets the fused streaming engine
+    (:mod:`repro.serve.fused`) keep snapshots byte-equal to serial
+    sessions.
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    count, dim = estimates.shape
+    stats_out = np.zeros(count)
+    dofs = np.zeros(count, dtype=int)
+    if count == 0 or dim == 0:
+        return stats_out, dofs
+    sym = symmetrize_stacked(covariances)
+    try:
+        lower = np.linalg.cholesky(sym)
+    except np.linalg.LinAlgError:
+        lower = None
+    if lower is None:
+        ok = np.zeros(count, dtype=bool)
+    else:
+        diag = np.diagonal(lower, axis1=-2, axis2=-1)
+        d_max = diag.max(axis=-1)
+        d_min = diag.min(axis=-1)
+        safe = np.where(d_max > 0.0, d_max, 1.0)
+        ok = (
+            np.isfinite(d_max)
+            & (d_max > 0.0)
+            & ((d_min / safe) ** 2 > _CHOL_MARGIN * EIG_TOL)
+        )
+    for i in range(count):
+        if ok[i]:
+            stats_out[i] = float(
+                estimates[i] @ chol_solve((sym[i], lower[i]), estimates[i])
+            )
+            dofs[i] = dim
+        else:
+            stats_out[i], dofs[i] = anomaly_statistic(estimates[i], sym[i])
+    return stats_out, dofs
 
 
 def anomaly_statistic_stacked(

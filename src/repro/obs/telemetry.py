@@ -36,6 +36,7 @@ __all__ = [
     "ModeBankEvent",
     "DecisionEvent",
     "AvailabilityEvent",
+    "FusedBatchEvent",
     "Telemetry",
     "NullTelemetry",
     "RecordingTelemetry",
@@ -158,6 +159,41 @@ class AvailabilityEvent(TelemetryEvent):
     missing: tuple[str, ...]
 
     kind = "availability"
+
+
+@dataclass(frozen=True)
+class FusedBatchEvent(TelemetryEvent):
+    """One fused multi-session kernel call (:mod:`repro.serve.fused`).
+
+    Emitted per drain tick by the fused stepping engine — ``iteration`` is
+    the engine's own tick counter, not a detector iteration. The occupancy
+    numbers make under-filled batches visible: a fleet whose messages keep
+    landing in singleton groups (``serial_fallbacks`` high, ``batched`` low)
+    pays serial cost despite ``fused=True``.
+
+    Attributes
+    ----------
+    batched:
+        Sessions advanced through batched kernel calls this tick.
+    serial_fallbacks:
+        Sessions stepped through the serial per-session path this tick
+        (degraded availability, telemetry-attached detectors, heterogeneous
+        or singleton rig groups, or a kernel-stage exception).
+    groups:
+        Batched kernel calls issued (one per fused rig group).
+    suppressed:
+        Messages the ingest policies rejected before any stepping.
+    group_sizes:
+        Per-kernel-call batch widths, in group order.
+    """
+
+    batched: int
+    serial_fallbacks: int
+    groups: int
+    suppressed: int
+    group_sizes: tuple[int, ...] = ()
+
+    kind = "fused_batch"
 
 
 @runtime_checkable

@@ -18,6 +18,10 @@ completion. This package turns the detector into a *service* component
 * :mod:`repro.serve.service` — :class:`FleetService`: an asyncio host for
   many concurrent sessions with bounded-queue backpressure and per-session
   telemetry export.
+* :mod:`repro.serve.fused` — :class:`FusedSessionBank`: the batched
+  stepping engine behind ``fused=True``; co-rigged live sessions advance
+  through one stacked-lattice kernel call per drain tick, bit-identical to
+  serial stepping.
 * :mod:`repro.serve.adapter` — :func:`trace_messages`: recorded missions as
   message streams.
 
@@ -37,12 +41,13 @@ recovery):
 
 from .adapter import trace_messages
 from .chaos import ChaosConfig, ChaosMonkey, ChaosReport, Strike, run_chaos_fleet
+from .fused import FusedOutcome, FusedSessionBank
 from .ingest import IngestPolicy, IngestStats, SequenceTracker
 from .messages import SessionMessage
 from .service import FleetService, SessionResult
 from .session import DetectorSession
 from .shard import ShardManager, ShardSessionResult, WorkerHandle
-from .snapshot import SNAPSHOT_VERSION, SessionSnapshot
+from .snapshot import SNAPSHOT_PICKLE_PROTOCOL, SNAPSHOT_VERSION, SessionSnapshot
 from .spool import SnapshotSpool
 from .supervisor import RecoveryEvent, Supervisor, SupervisorConfig
 
@@ -53,9 +58,12 @@ __all__ = [
     "SequenceTracker",
     "DetectorSession",
     "SessionSnapshot",
+    "SNAPSHOT_PICKLE_PROTOCOL",
     "SNAPSHOT_VERSION",
     "FleetService",
     "SessionResult",
+    "FusedSessionBank",
+    "FusedOutcome",
     "trace_messages",
     "ShardManager",
     "ShardSessionResult",

@@ -1,0 +1,528 @@
+"""Fused multi-session stepping: many live sessions, one stacked kernel.
+
+:class:`~repro.serve.session.DetectorSession` steps one robot per call, so a
+fleet worker hosting ``N`` homogeneous sessions pays ``N`` serial detector
+iterations per drain tick even though every one of them runs the *same*
+mode-bank arithmetic. The offline replay lattice already advances a whole
+``(mission, mode)`` batch per step (:mod:`repro.core.stacked`); this module
+brings that layout to the streaming path.
+
+A :class:`FusedSessionBank` coalesces one drain tick's pending
+``(session, message)`` pairs, groups sessions whose detectors are
+configured identically (same model, suite, mode bank, process noise,
+decision parameters — the *fuse signature*), and advances each group with
+one batched linearization plus one
+:meth:`~repro.core.stacked.StackedBank.run` call over a
+``(session, mode)`` lattice. Mode probabilities, the consistency-window
+selection, chi-square statistics and the c-of-w decision windows are then
+scattered back into each session's own engine and decision maker.
+
+**Bit-identity contract.** A fused step leaves every session in *exactly*
+the state a serial :meth:`~repro.serve.session.DetectorSession.process`
+loop would have produced — snapshot bytes equal, reports equal at
+``atol=0`` (``tests/test_fused.py``: golden 200-step parity plus a
+hypothesis property over random fleets, interleavings, degraded masks and
+checkpoint cuts). This is what lets fused and serial fleets interoperate
+freely: a fused checkpoint restores into a serial worker and vice versa.
+The contract holds because every fused stage reuses the serial
+arithmetic: the batched kernels are per-slice bit-identical to their
+serial counterparts (``tests/test_stacked.py``), the probability /
+selection / decision updates run per session in plain Python exactly as
+the engine does, and the chi-square statistics go through
+:func:`~repro.core.chi2.anomaly_statistic_cells`, which reproduces the
+serial ``estimate @ chol_solve(factor, estimate)`` contraction cell by
+cell.
+
+**Serial fallback.** Sessions that cannot take the batched path — degraded
+availability or non-finite readings (data-dependent block plans),
+an attached telemetry sink (per-mode event reconstruction), a
+non-default linearization policy, an engine without a usable stacked
+bank, or a fuse group of one — are stepped through the ordinary serial
+:meth:`~repro.serve.session.DetectorSession.apply`, so a mixed fleet
+degrades in throughput only, never in behavior. Batch occupancy is
+surfaced through :class:`~repro.obs.telemetry.FusedBatchEvent` and
+``scripts/diagnose_run.py`` so under-filled batches are visible.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import NamedTuple, Sequence
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from ..core.chi2 import anomaly_statistic_cells
+from ..core.detector import DetectionReport
+from ..core.engine import _LOG_FLOOR
+from ..core.linearization import EveryStepLinearization
+from ..core.report import IterationStatistics, SensorStatistic
+from ..errors import DimensionError
+from ..linalg import symmetrize_stacked
+from ..obs.telemetry import NULL_TELEMETRY, FusedBatchEvent, Telemetry
+from .messages import SessionMessage
+from .session import DetectorSession
+
+__all__ = ["FusedOutcome", "FusedSessionBank"]
+
+
+class FusedOutcome(NamedTuple):
+    """What one ``(session, message)`` pair produced in a fused tick.
+
+    Exactly one interpretation applies per item: a report (the detector
+    stepped), a suppressed message (``report`` and ``error`` both ``None``
+    — the ingest policy rejected it, same as a ``None`` from
+    :meth:`~repro.serve.session.DetectorSession.process`), or an error (the
+    step raised; the exception is captured here so one poisoned session
+    cannot abort its co-batched neighbours mid-scatter). ``batched`` says
+    whether the step went through a batched kernel call (occupancy
+    accounting; suppressed and errored items are never batched).
+    """
+
+    report: DetectionReport | None = None
+    error: BaseException | None = None
+    batched: bool = False
+
+
+class _PreparedItem(NamedTuple):
+    """One admitted message after serial-exact preprocessing."""
+
+    position: int
+    session: DetectorSession
+    message: SessionMessage
+    control: np.ndarray
+    reading: np.ndarray
+
+
+class FusedSessionBank:
+    """Coalesce pending session messages into stacked mode-bank advances.
+
+    One instance serves one worker (an asyncio fleet or a shard worker
+    process); it owns no session state — sessions remain fully usable
+    through their serial entry points between fused ticks, which is what
+    keeps checkpoint/restore and journal replay oblivious to how a message
+    happened to be stepped.
+
+    Parameters
+    ----------
+    telemetry:
+        Optional worker-level sink receiving one
+        :class:`~repro.obs.telemetry.FusedBatchEvent` per
+        :meth:`process` call. This is *worker* observability — per-session
+        detector telemetry intentionally forces the serial path instead.
+    min_batch:
+        Smallest fuse group worth a kernel launch; smaller groups take the
+        serial path (default 2 — a singleton batch would pay stacked-call
+        overhead to save nothing).
+    """
+
+    def __init__(self, telemetry: Telemetry | None = None, min_batch: int = 2) -> None:
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._min_batch = max(2, int(min_batch))
+        self._signatures: WeakKeyDictionary = WeakKeyDictionary()
+        self.ticks = 0
+        self.kernel_calls = 0
+        self.sessions_batched = 0
+        self.sessions_serial = 0
+        self.messages_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+    def occupancy(self) -> dict:
+        """Cumulative batch-occupancy counters (JSON-ready)."""
+        batched = self.sessions_batched
+        calls = self.kernel_calls
+        return {
+            "ticks": self.ticks,
+            "kernel_calls": calls,
+            "sessions_batched": batched,
+            "sessions_serial": self.sessions_serial,
+            "messages_suppressed": self.messages_suppressed,
+            "mean_batch_size": (batched / calls) if calls else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # The fused tick
+    # ------------------------------------------------------------------
+    def process(
+        self, pairs: Sequence[tuple[DetectorSession, SessionMessage]]
+    ) -> list[FusedOutcome]:
+        """Step every ``(session, message)`` pair, batching where possible.
+
+        Returns one :class:`FusedOutcome` per input pair, in input order.
+        Messages are admitted through each session's ingest tracker first
+        (in input order, so per-session sequencing semantics match a serial
+        loop); a session appearing more than once is stepped in input order
+        across successive internal waves, since its second message depends
+        on the recursion state the first one produces.
+        """
+        outcomes: list[FusedOutcome | None] = [None] * len(pairs)
+        admitted: list[tuple[int, DetectorSession, SessionMessage]] = []
+        for position, (session, message) in enumerate(pairs):
+            try:
+                ok = session.admit(message)
+            except BaseException as exc:  # strict-policy sequence errors
+                outcomes[position] = FusedOutcome(error=exc)
+                continue
+            if ok:
+                admitted.append((position, session, message))
+            else:
+                outcomes[position] = FusedOutcome()
+                self.messages_suppressed += 1
+
+        # Waves: at most one message per session per wave, stepped in
+        # arrival order (wave k holds each session's (k+1)-th message).
+        waves: list[list[tuple[int, DetectorSession, SessionMessage]]] = []
+        depth: dict[int, int] = {}
+        for item in admitted:
+            k = depth.get(id(item[1]), 0)
+            depth[id(item[1])] = k + 1
+            if k == len(waves):
+                waves.append([])
+            waves[k].append(item)
+
+        group_sizes: list[int] = []
+        tick_batched = tick_serial = 0
+        for wave in waves:
+            serial_items: list[tuple[int, DetectorSession, SessionMessage]] = []
+            groups: dict[bytes, list[_PreparedItem]] = {}
+            for position, session, message in wave:
+                prepared = None
+                if self._fusable(session):
+                    prepared = self._prepare(position, session, message)
+                if prepared is None:
+                    serial_items.append((position, session, message))
+                else:
+                    key = self._signature(session)
+                    if key is None:
+                        serial_items.append((position, session, message))
+                    else:
+                        groups.setdefault(key, []).append(prepared)
+
+            for items in groups.values():
+                if len(items) < self._min_batch:
+                    serial_items.extend(
+                        (it.position, it.session, it.message) for it in items
+                    )
+                    continue
+                if self._step_group(items, outcomes):
+                    group_sizes.append(len(items))
+                    tick_batched += len(items)
+                else:
+                    serial_items.extend(
+                        (it.position, it.session, it.message) for it in items
+                    )
+
+            for position, session, message in sorted(serial_items):
+                tick_serial += 1
+                try:
+                    report = session.apply(message)
+                except BaseException as exc:
+                    outcomes[position] = FusedOutcome(error=exc)
+                else:
+                    outcomes[position] = FusedOutcome(report=report)
+
+        self.ticks += 1
+        self.kernel_calls += len(group_sizes)
+        self.sessions_batched += tick_batched
+        self.sessions_serial += tick_serial
+        if self._telemetry.enabled:
+            self._telemetry.emit(
+                FusedBatchEvent(
+                    iteration=self.ticks,
+                    batched=tick_batched,
+                    serial_fallbacks=tick_serial,
+                    groups=len(group_sizes),
+                    suppressed=sum(1 for o in outcomes if o and o.report is None and o.error is None),
+                    group_sizes=tuple(group_sizes),
+                )
+            )
+        return [o if o is not None else FusedOutcome() for o in outcomes]
+
+    # ------------------------------------------------------------------
+    # Eligibility, preprocessing, grouping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fusable(session: DetectorSession) -> bool:
+        """Whether this session's detector can take the batched path at all."""
+        detector = session.detector
+        engine = detector.engine
+        return (
+            not detector.telemetry.enabled
+            and engine.stacked_bank is not None
+            and type(engine._policy) is EveryStepLinearization
+        )
+
+    def _prepare(
+        self, position: int, session: DetectorSession, message: SessionMessage
+    ) -> _PreparedItem | None:
+        """Serial-exact step preprocessing; ``None`` routes to the fallback.
+
+        Mirrors :meth:`repro.core.detector.RoboADS.step` validation and
+        non-finite handling plus the engine's availability normalization —
+        any iteration that would end up degraded (or raise) goes back to
+        the serial path, which reproduces the exact behavior including the
+        exception, so the fused layer never invents its own error surface.
+        """
+        detector = session.detector
+        model, suite = detector.model, detector.suite
+        try:
+            control = model.validate_control(
+                np.asarray(message.control, dtype=float)
+            )
+            reading = np.asarray(message.reading, dtype=float)
+            if reading.shape != (suite.total_dim,):
+                raise DimensionError("shape mismatch")  # serial re-raises nicely
+            if not np.isfinite(reading).all():
+                return None  # degraded by payload corruption
+            available = message.available
+            if available is not None:
+                present = set(available)
+                if present - set(suite.names):
+                    return None  # serial path raises ConfigurationError
+                names = tuple(n for n in suite.names if n in present)
+                if names != tuple(suite.names):
+                    return None  # genuinely degraded iteration
+        except Exception:
+            return None
+        return _PreparedItem(position, session, message, control, reading)
+
+    def _signature(self, session: DetectorSession) -> bytes | None:
+        """The fuse-group key: byte-equal keys guarantee co-riggedness.
+
+        Two sessions may fuse only when their detectors would run the
+        identical stacked-bank arithmetic: same model, suite, mode bank,
+        process noise, linearization policy class, selection parameters and
+        decision parameters. Pickle bytes of that configuration tuple are a
+        conservative such certificate — a false *mismatch* merely costs the
+        batch (serial fallback), never correctness. Unpicklable
+        configurations get ``None`` (always serial). Cached per session.
+        """
+        cached = self._signatures.get(session)
+        if cached is not None:
+            return cached or None
+        detector = session.detector
+        engine = detector.engine
+        try:
+            signature = pickle.dumps(
+                (
+                    detector.model,
+                    detector.suite,
+                    tuple(engine.modes),
+                    engine._bank._Q,
+                    engine._epsilon,
+                    engine._window,
+                    type(engine._policy).__qualname__,
+                    detector.decision_config,
+                ),
+                protocol=5,
+            )
+        except Exception:
+            self._signatures[session] = b""
+            return None
+        self._signatures[session] = signature
+        return signature
+
+    # ------------------------------------------------------------------
+    # One batched group advance
+    # ------------------------------------------------------------------
+    def _step_group(
+        self, items: list[_PreparedItem], outcomes: list[FusedOutcome | None]
+    ) -> bool:
+        """Advance one co-rigged group through a single stacked kernel call.
+
+        Returns False — with *no* session state touched — when the batched
+        compute itself fails, so the caller can rerun every item serially.
+        After the kernel succeeds, the scatter mutates sessions one by one;
+        a per-item scatter error poisons only that item's outcome (its
+        session is mid-step, exactly as a serial exception would leave it).
+        """
+        first = items[0].session.detector
+        engine = first.engine
+        bank = engine.stacked_bank
+        model, suite, policy = first.model, first.suite, engine._policy
+        engines = [it.session.detector.engine for it in items]
+        try:
+            X = np.stack([eng._x for eng in engines])
+            Pc = symmetrize_stacked(np.stack([eng._P for eng in engines]))
+            U = np.stack([it.control for it in items])
+            Z = np.stack([it.reading for it in items])
+            x_check, A, G = policy.f_and_jacobians_batch(model, X, U)
+            APA = A @ Pc @ A.swapaxes(-1, -2)
+            h_check = policy.h_batch(suite, None, x_check)
+            C_check = policy.measurement_jacobian_batch(suite, None, x_check)
+            # testing=False defers the sensor-anomaly block: the nominal
+            # engine only ever consumes the *selected* mode's testing
+            # results (telemetry sessions, which read every mode's, take
+            # the serial path), so the fused step evaluates it
+            # post-selection at batch width instead of lattice width.
+            result = bank.run(
+                X,
+                Pc,
+                U,
+                Z,
+                x_check=x_check,
+                A=A,
+                G=G,
+                APA=APA,
+                h_check=h_check,
+                C_check=C_check,
+                testing=False,
+            )
+        except Exception:
+            return False
+
+        # --- Scatter phase A: probabilities, selection, commit ---------
+        # Plain-Python per session, in the engine's exact arithmetic (dict
+        # iteration order, left-to-right sums, the same floor sequencing).
+        mode_names = bank.mode_names
+        mode_pos = {name: m for m, name in enumerate(mode_names)}
+        # tolist() yields the same Python floats float() would, in one pass;
+        # the batched elementwise log is bit-identical to the engine's
+        # per-value ``np.log(value) if value > 0.0 else _LOG_FLOOR`` +
+        # ``max(..., _LOG_FLOOR)`` (no value here is NaN: likelihoods are
+        # non-negative, and non-positive entries are floored before the max).
+        lik_arr = result.likelihoods
+        likelihood_rows = lik_arr.tolist()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw_logs = np.log(lik_arr)
+        log_rows = np.maximum(
+            np.where(lik_arr > 0.0, raw_logs, _LOG_FLOOR), _LOG_FLOOR
+        ).tolist()
+        selected_idx = np.empty(len(items), dtype=int)
+        likelihood_dicts: list[dict[str, float]] = []
+        mu_dicts: list[dict[str, float]] = []
+        for b, item in enumerate(items):
+            detector = item.session.detector
+            eng = detector.engine
+            detector._iteration += 1
+            eng._iteration += 1
+            likelihoods = dict(zip(mode_names, likelihood_rows[b]))
+            mu_prev = eng._mu
+            weighted = {
+                name: likelihoods[name] * mu_prev[name] for name in mu_prev
+            }
+            total = sum(weighted.values())
+            if total > 0.0 and np.isfinite(total):
+                mu = {name: value / total for name, value in weighted.items()}
+            else:
+                mu = dict(mu_prev)
+            if any(value < eng._epsilon for value in mu.values()):
+                floored = {
+                    name: max(value, eng._epsilon) for name, value in mu.items()
+                }
+                floor_total = sum(floored.values())
+                mu = {
+                    name: value / floor_total for name, value in floored.items()
+                }
+            eng._mu = mu
+            history = eng._log_history
+            for name, log_n in zip(mode_names, log_rows[b]):
+                history[name].append(log_n)
+            scores = {name: sum(hist) for name, hist in history.items()}
+            selected_name = max(scores, key=lambda name: scores[name])
+            sel = mode_pos[selected_name]
+            selected_idx[b] = sel
+            eng._x = result.states[b, sel].copy()
+            eng._P = result.covariances[b, sel].copy()
+            likelihood_dicts.append(likelihoods)
+            mu_dicts.append(mu)
+
+        # --- Scatter phase B: chi-square statistics, batched by group --
+        # The deferred testing block runs only for each cell's selected
+        # mode (batch width, not lattice width), exactly like the offline
+        # replay lattice's post-selection evaluation. Cells sharing one
+        # testing group already arrive stacked from ``testing_selected``,
+        # so every chi-square batch (aggregate block, per-sensor slots) is
+        # a view into that stack; actuator cells all share the control
+        # dimension and solve as one gathered batch.
+        count = len(items)
+        rows_arange = np.arange(count)
+        sel_states = result.states[rows_arange, selected_idx]
+        sel_state_covs = result.covariances[rows_arange, selected_idx]
+        act_ests = result.actuator_anomaly[rows_arange, selected_idx]
+        act_covs = result.actuator_covariance[rows_arange, selected_idx]
+        act_stats, act_dofs = anomaly_statistic_cells(act_ests, act_covs)
+        sel_anoms: list[np.ndarray] = [None] * count  # type: ignore[list-item]
+        sel_covs: list[np.ndarray] = [None] * count  # type: ignore[list-item]
+        agg_stats = [0.0] * count
+        agg_dofs = [0] * count
+        slot_stats: list[list[tuple[float, int]]] = [[]] * count
+        for gi, rows, _jpos, d_s, P_s in bank.testing_selected(
+            sel_states, sel_state_covs, Z, selected_idx
+        ):
+            g_stats, g_dofs = anomaly_statistic_cells(d_s, P_s)
+            per_slice = [
+                anomaly_statistic_cells(d_s[:, sl], P_s[:, sl, sl])
+                for sl in bank._groups[gi].test_slices
+            ]
+            for k, b in enumerate(rows.tolist()):
+                sel_anoms[b] = d_s[k]
+                sel_covs[b] = P_s[k]
+                agg_stats[b] = float(g_stats[k])
+                agg_dofs[b] = int(g_dofs[k])
+                slot_stats[b] = [
+                    (float(ss[k]), int(sd[k])) for ss, sd in per_slice
+                ]
+
+        # --- Scatter phase C: assemble statistics, decide, report ------
+        # Sessions in a fused group share one rig config, so the testing
+        # layout for a given selected mode is identical across the batch;
+        # memoize the (name, slice) pairs per mode within this group.
+        dt = model.dt
+        slice_cache: dict[str, list[tuple[str, slice]]] = {}
+        for b, item in enumerate(items):
+            detector = item.session.detector
+            eng = detector.engine
+            sel = int(selected_idx[b])
+            selected_name = mode_names[sel]
+            try:
+                slice_items = slice_cache.get(selected_name)
+                if slice_items is None:
+                    nuise = eng._filters[selected_name]
+                    slice_items = slice_cache[selected_name] = list(
+                        nuise.testing_slices(nuise._full_plan.test_names).items()
+                    )
+                per_sensor: dict[str, SensorStatistic] = {}
+                anom = sel_anoms[b]
+                cov = sel_covs[b]
+                for (name, sl), (slot_stat, slot_dof) in zip(
+                    slice_items, slot_stats[b]
+                ):
+                    per_sensor[name] = SensorStatistic(
+                        name=name,
+                        estimate=anom[sl].copy(),
+                        covariance=cov[sl, sl].copy(),
+                        statistic=slot_stat,
+                        dof=slot_dof,
+                    )
+                stats = IterationStatistics(
+                    iteration=eng._iteration,
+                    selected_mode=selected_name,
+                    mode_probabilities=dict(mu_dicts[b]),
+                    state_estimate=result.states[b, sel].copy(),
+                    sensor_statistic=agg_stats[b],
+                    sensor_dof=agg_dofs[b],
+                    actuator_statistic=float(act_stats[b]),
+                    actuator_dof=int(act_dofs[b]),
+                    sensor_stats=per_sensor,
+                    actuator_estimate=act_ests[b].copy(),
+                    actuator_covariance=act_covs[b].copy(),
+                    likelihoods=dict(likelihood_dicts[b]),
+                    available_sensors=None,
+                    degraded=False,
+                )
+                outcome = detector._decision.step(stats)
+                report = DetectionReport(
+                    iteration=detector._iteration,
+                    time=detector._iteration * dt,
+                    statistics=stats,
+                    outcome=outcome,
+                )
+                item.session.absorb(report)
+            except BaseException as exc:
+                outcomes[item.position] = FusedOutcome(error=exc)
+            else:
+                outcomes[item.position] = FusedOutcome(report=report, batched=True)
+        return True

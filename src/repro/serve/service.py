@@ -18,6 +18,16 @@ Detector steps are synchronous CPU-bound work (~1 ms), so a single service
 hosts a fleet limited by one core's throughput; scaling beyond it is what
 session snapshots are for — checkpoint, move to another worker process,
 resume (see ``docs/STREAMING.md``).
+
+With ``fused=True`` the per-session worker coroutines are replaced by one
+drain coordinator that, each tick, pulls at most one pending message per
+session and advances the whole co-rigged fleet through a single
+:class:`~repro.serve.fused.FusedSessionBank` kernel call. Submit-side
+backpressure, per-robot FIFO order, failure surfacing and ``drain``'s
+``task_done`` accounting are all preserved, and the resulting reports and
+snapshots are bit-identical to the serial worker path (the fused stepper's
+contract); heterogeneous or ineligible sessions fall back to serial steps
+inside the fused bank itself.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from pathlib import Path
 from ..core.detector import DetectionReport, RoboADS
 from ..errors import ConfigurationError, FleetClosureError
 from ..obs.telemetry import Telemetry
+from .fused import FusedSessionBank
 from .ingest import IngestPolicy, IngestStats
 from .messages import SessionMessage
 from .session import DetectorSession
@@ -110,14 +121,45 @@ class FleetService:
         its events to ``<export_dir>/<robot_id>.jsonl`` (incremental — a
         session flushed mid-run via :meth:`flush_telemetry` appends only the
         tail).
+    fused:
+        Opt in to the fused drain coordinator: pending messages across the
+        fleet are stepped through batched
+        :class:`~repro.serve.fused.FusedSessionBank` kernel calls instead of
+        per-session worker coroutines. Results are bit-identical to the
+        default serial path.
+    fused_telemetry:
+        Optional sink receiving the fused stepper's per-tick
+        :class:`~repro.obs.telemetry.FusedBatchEvent` occupancy events
+        (ignored unless ``fused=True``).
     """
 
-    def __init__(self, queue_capacity: int = 64, export_dir=None) -> None:
+    def __init__(
+        self,
+        queue_capacity: int = 64,
+        export_dir=None,
+        fused: bool = False,
+        fused_telemetry: Telemetry | None = None,
+    ) -> None:
         if queue_capacity < 1:
             raise ConfigurationError("queue capacity must be at least 1")
         self._capacity = int(queue_capacity)
         self._export_dir = None if export_dir is None else Path(export_dir)
         self._workers: dict[str, _SessionWorker] = {}
+        self._fused = bool(fused)
+        self._fused_bank = (
+            FusedSessionBank(telemetry=fused_telemetry) if self._fused else None
+        )
+        #: Fused-mode state: workers awaiting coordinator service (entries
+        #: leave on close or failure), the coordinator task itself, and the
+        #: wake event submitters set to end an idle coordinator's sleep.
+        self._fused_registry: list[_SessionWorker] = []
+        self._coordinator: asyncio.Task | None = None
+        self._wake: asyncio.Event | None = None
+
+    @property
+    def fused_bank(self) -> FusedSessionBank | None:
+        """The fused stepping engine (occupancy counters), or ``None``."""
+        return self._fused_bank
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -157,7 +199,16 @@ class FleetService:
                 detector, robot_id=robot_id, policy=policy, telemetry=telemetry
             )
         worker = _SessionWorker(session, self._capacity)
-        worker.task = asyncio.create_task(worker.run())
+        if self._fused:
+            # No per-session coroutine: the shared coordinator services the
+            # queue, and this future stands in for the worker task (resolved
+            # when the coordinator consumes the close sentinel or observes
+            # the session's failure — exactly when a serial worker exits).
+            worker.task = asyncio.get_running_loop().create_future()
+            self._fused_registry.append(worker)
+            self._ensure_coordinator()
+        else:
+            worker.task = asyncio.create_task(worker.run())
         self._workers[robot_id] = worker
         return session
 
@@ -174,6 +225,8 @@ class FleetService:
             raise worker.failure
         await worker.queue.put(message)
         worker.max_depth = max(worker.max_depth, worker.queue.qsize())
+        if self._wake is not None:
+            self._wake.set()
 
     async def drain(self, robot_id: str) -> None:
         """Wait until every message submitted so far has been processed.
@@ -204,6 +257,8 @@ class FleetService:
         if worker is None:
             raise ConfigurationError(f"robot {robot_id!r} has no open session")
         await worker.queue.put(_CLOSE)
+        if self._wake is not None:
+            self._wake.set()
         await worker.task
         if worker.failure is not None:
             raise worker.failure
@@ -235,6 +290,81 @@ class FleetService:
         if failures:
             raise FleetClosureError(results, failures)
         return results
+
+    # ------------------------------------------------------------------
+    # Fused drain coordinator
+    # ------------------------------------------------------------------
+    def _ensure_coordinator(self) -> None:
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        self._wake.set()
+        if self._coordinator is None or self._coordinator.done():
+            self._coordinator = asyncio.create_task(self._coordinate())
+
+    async def _coordinate(self) -> None:
+        """Drain every registered session's queue through fused ticks.
+
+        Runs while any fused worker is registered; exits when the last one
+        closes (a later ``open_session`` restarts it). The clear-then-scan
+        order makes the idle sleep race-free: a submit landing after the
+        scan re-sets the event, so the wait returns immediately.
+        """
+        while self._fused_registry:
+            self._wake.clear()
+            if self._fused_tick():
+                # Yield so producers blocked on a full queue (and fresh
+                # submits) can run between ticks; per-robot FIFO is kept
+                # because each tick takes at most one message per session.
+                await asyncio.sleep(0)
+            else:
+                await self._wake.wait()
+
+    def _fused_tick(self) -> bool:
+        """One coordinator pass; returns whether any queue item was consumed.
+
+        Pulls at most one pending message per live session (so a session
+        whose earlier message fails never has a later one stepped — the
+        serial worker's stop-on-failure contract), fuses them through one
+        :meth:`FusedSessionBank.process` call, and scatters reports,
+        failures and ``task_done`` accounting back per queue.
+        """
+        batch: list[tuple[_SessionWorker, SessionMessage]] = []
+        progressed = False
+        for worker in list(self._fused_registry):
+            if worker.failure is not None:
+                # A serial worker's task exits at failure time, leaving any
+                # queued messages unconsumed; mirror that by retiring the
+                # entry and resolving the stand-in task.
+                self._fused_registry.remove(worker)
+                if not worker.task.done():
+                    worker.task.set_result(None)
+                progressed = True
+                continue
+            if worker.queue.empty():
+                continue
+            item = worker.queue.get_nowait()
+            if item is _CLOSE:
+                worker.queue.task_done()
+                self._fused_registry.remove(worker)
+                if not worker.task.done():
+                    worker.task.set_result(None)
+                progressed = True
+            else:
+                batch.append((worker, item))
+        if batch:
+            progressed = True
+            outcomes = self._fused_bank.process(
+                [(worker.session, message) for worker, message in batch]
+            )
+            for (worker, _message), outcome in zip(batch, outcomes):
+                try:
+                    if outcome.error is not None:
+                        worker.failure = outcome.error
+                    elif outcome.report is not None:
+                        worker.reports.append(outcome.report)
+                finally:
+                    worker.queue.task_done()
+        return progressed
 
     # ------------------------------------------------------------------
     # Telemetry

@@ -112,11 +112,43 @@ class DetectorSession:
         untouched and the caller should treat the iteration as absent, not
         negative.
         """
-        if not self._tracker.admit(message):
+        if not self.admit(message):
             return None
+        return self.apply(message)
+
+    def admit(self, message: SessionMessage) -> bool:
+        """Run only the ingest-policy half of :meth:`process`.
+
+        Returns whether the detector should see *message*. Split out so a
+        fused stepper (:mod:`repro.serve.fused`) can gate admission for a
+        whole batch before advancing any detector, keeping ingest counters
+        exactly where a serial :meth:`process` loop would leave them.
+        """
+        return self._tracker.admit(message)
+
+    def apply(self, message: SessionMessage) -> DetectionReport:
+        """Run only the detector half of :meth:`process`.
+
+        Steps the detector with an already-admitted *message* and updates the
+        session counters. Callers must have taken a ``True`` from
+        :meth:`admit` for this message first; :meth:`process` is the fused
+        pair.
+        """
         report = self._detector.step(
             message.control, message.reading, available=message.available
         )
+        self._messages_processed += 1
+        self._last_report = report
+        return report
+
+    def absorb(self, report: DetectionReport) -> DetectionReport:
+        """Record a report produced outside :meth:`apply` for this session.
+
+        The fused stepper advances the detector recursion itself (batched
+        kernels over several sessions) and hands each session its finished
+        report; this keeps ``messages_processed`` / ``last_report`` exactly
+        as a serial :meth:`apply` would have left them.
+        """
         self._messages_processed += 1
         self._last_report = report
         return report

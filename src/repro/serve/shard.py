@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from ..core.detector import DetectionReport
 from ..errors import ConfigurationError, FleetClosureError, ShardSessionError
 from ..eval.parallel import ensure_picklable
+from .fused import FusedSessionBank
 from .ingest import IngestPolicy, IngestStats
 from .messages import SessionMessage
 from .session import DetectorSession
@@ -56,22 +57,77 @@ __all__ = ["ShardManager", "ShardSessionResult", "WorkerHandle"]
 # ----------------------------------------------------------------------
 # Worker process body
 # ----------------------------------------------------------------------
-def _worker_main(conn, factory, heartbeat_interval: float, spool_every: int) -> None:
+def _worker_main(
+    conn,
+    factory,
+    heartbeat_interval: float,
+    spool_every: int,
+    fused: bool = False,
+) -> None:
     """Host sessions inside one worker process; speak the pipe protocol.
 
     Sends an idle heartbeat every *heartbeat_interval* seconds of command
     silence so the parent can tell "busy" from "hung". With *spool_every*
     > 0, each session is checkpointed after that many submitted messages
     and the blob shipped to the parent for spooling.
+
+    With *fused* the worker drains its pipe backlog before stepping:
+    consecutive ``msg`` commands for distinct sessions coalesce into one
+    :class:`~repro.serve.fused.FusedSessionBank` batch (bit-identical to
+    serial stepping), acks ship in arrival order, and every control command
+    — plus a second message for a session already in the batch — acts as a
+    barrier that flushes the pending batch first. Per-session spool cadence
+    and error reporting are unchanged.
     """
     sessions: dict[str, DetectorSession] = {}
     since_snap: dict[str, int] = {}
     latest_idx: dict[str, int] = {}
     errored: set[str] = set()
     slow_s = 0.0
+    bank = FusedSessionBank() if fused else None
+    pending: list[tuple[str, int, SessionMessage]] = []
+    pending_ids: set[str] = set()
+
+    def flush_batch() -> None:
+        """Step the coalesced backlog through one fused bank call."""
+        if not pending:
+            return
+        batch = pending[:]
+        pending.clear()
+        pending_ids.clear()
+        if slow_s:
+            time.sleep(slow_s * len(batch))
+        outcomes = bank.process(
+            [(sessions[rid], message) for rid, _idx, message in batch]
+        )
+        for (rid, idx, _message), outcome in zip(batch, outcomes):
+            if outcome.error is not None:
+                del sessions[rid]
+                errored.add(rid)
+                conn.send(
+                    (
+                        "error",
+                        rid,
+                        "".join(traceback.format_exception(outcome.error)),
+                    )
+                )
+                continue
+            conn.send(("ack", rid, idx, outcome.report))
+            latest_idx[rid] = idx
+            since_snap[rid] += 1
+            if spool_every and since_snap[rid] >= spool_every:
+                blob = sessions[rid].checkpoint().to_bytes()
+                conn.send(("snap", rid, idx, blob))
+                since_snap[rid] = 0
+
     try:
         while True:
-            if not conn.poll(heartbeat_interval):
+            if pending:
+                # Backlog mode: step the batch as soon as the pipe runs dry.
+                if not conn.poll(0):
+                    flush_batch()
+                    continue
+            elif not conn.poll(heartbeat_interval):
                 conn.send(("hb",))
                 continue
             try:
@@ -79,6 +135,19 @@ def _worker_main(conn, factory, heartbeat_interval: float, spool_every: int) -> 
             except (EOFError, OSError):
                 return  # parent went away; nothing left to serve
             op = command[0]
+            if bank is not None:
+                if op == "msg":
+                    _, robot_id, idx, message = command
+                    if robot_id not in sessions:
+                        continue  # errored session: parent already knows
+                    if robot_id in pending_ids:
+                        # One message per session per batch: its successor
+                        # depends on the recursion state this one produces.
+                        flush_batch()
+                    pending.append((robot_id, idx, message))
+                    pending_ids.add(robot_id)
+                    continue
+                flush_batch()  # any control command is a batch barrier
             if op == "shutdown":
                 return
             if op == "ping":
@@ -313,6 +382,12 @@ class ShardManager:
     start_method:
         ``multiprocessing`` start method (``None``: ``fork`` where
         available, else ``spawn``).
+    fused:
+        Opt in to fused worker stepping: each worker drains its pipe
+        backlog and advances co-rigged sessions through batched
+        :class:`~repro.serve.fused.FusedSessionBank` calls. Acks, spool
+        cadence and recovery semantics are unchanged, and results stay
+        bit-identical to serial workers.
     """
 
     def __init__(
@@ -324,6 +399,7 @@ class ShardManager:
         window: int = 16,
         supervisor: Supervisor | SupervisorConfig | None = None,
         start_method: str | None = None,
+        fused: bool = False,
     ) -> None:
         if int(workers) != workers or workers < 1:
             raise ConfigurationError("workers must be a positive integer")
@@ -339,6 +415,7 @@ class ShardManager:
         self._spool = spool
         self._spool_every = int(spool_every)
         self._window = int(window)
+        self._fused = bool(fused)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -603,6 +680,7 @@ class ShardManager:
                 self._factory,
                 self.supervisor.config.heartbeat_interval,
                 self._spool_every if self._spool is not None else 0,
+                self._fused,
             ),
             daemon=True,
             name=f"repro-shard-{handle.slot}",

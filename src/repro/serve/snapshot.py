@@ -24,12 +24,21 @@ from dataclasses import dataclass
 
 from ..errors import SnapshotError, SnapshotVersionError
 
-__all__ = ["SNAPSHOT_VERSION", "SessionSnapshot"]
+__all__ = ["SNAPSHOT_PICKLE_PROTOCOL", "SNAPSHOT_VERSION", "SessionSnapshot"]
 
 #: Current snapshot format version. Bump on any change to the snapshot's
 #: structure or to the meaning of the state dicts it carries; restore
 #: refuses other versions with :class:`~repro.errors.SnapshotVersionError`.
 SNAPSHOT_VERSION = 1
+
+#: Pickle protocol pinned for :meth:`SessionSnapshot.to_bytes`. The
+#: bit-identity proofs (golden parity, crash recovery, fused-vs-serial)
+#: byte-compare snapshot blobs, so the encoding must not drift with the
+#: interpreter's ``pickle.HIGHEST_PROTOCOL`` default; protocol 5 is
+#: available from Python 3.8 (< our 3.10 floor) and supports the
+#: out-of-band buffers large array states benefit from. Bump together
+#: with :data:`SNAPSHOT_VERSION` if the wire encoding ever changes.
+SNAPSHOT_PICKLE_PROTOCOL = 5
 
 
 @dataclass(frozen=True)
@@ -79,8 +88,13 @@ class SessionSnapshot:
             )
 
     def to_bytes(self) -> bytes:
-        """Serialize for transport/storage (the worker-migration wire form)."""
-        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        """Serialize for transport/storage (the worker-migration wire form).
+
+        The protocol is pinned to :data:`SNAPSHOT_PICKLE_PROTOCOL` so two
+        interpreters with different ``pickle.HIGHEST_PROTOCOL`` defaults
+        still produce byte-identical blobs for identical sessions.
+        """
+        return pickle.dumps(self, protocol=SNAPSHOT_PICKLE_PROTOCOL)
 
     @staticmethod
     def from_bytes(blob: bytes) -> "SessionSnapshot":

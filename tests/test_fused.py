@@ -1,0 +1,419 @@
+"""Fused streaming parity: batched session stepping is *bit-identical*.
+
+:class:`~repro.serve.fused.FusedSessionBank` promises that coalescing a
+drain tick's messages into one stacked kernel call changes throughput and
+nothing else. These tests pin that claim from several directions:
+
+* golden 200-step Khepera/Tamiya fleets streamed through the fused path
+  match per-session serial :class:`~repro.serve.session.DetectorSession`
+  stepping exactly — snapshot byte equality and report drift at
+  ``atol=0`` — with every step actually batched,
+* a hypothesis property holds the same bar over randomized fleets:
+  arbitrary session counts, per-tick arrival orders, multi-message ticks
+  (waves), degraded availability masks, and a checkpoint cut where every
+  fused session round-trips through the pickled wire form into a freshly
+  built detector before the fused fleet resumes,
+* the serial-fallback taxonomy (telemetry-attached sessions, degraded
+  iterations, under-filled fuse groups, heterogeneous rigs) degrades
+  throughput only — outcomes stay identical and occupancy counters say
+  which path ran,
+* a poisoned message errors only its own session's outcome,
+* :class:`~repro.serve.service.FleetService` in fused mode reproduces the
+  serial service's reports, ingest stats and checkpoints,
+* the snapshot wire format stays pinned to pickle protocol 5
+  (``SNAPSHOT_PICKLE_PROTOCOL``), so fused and serial workers on different
+  interpreter builds keep exchanging byte-identical checkpoints.
+"""
+
+import asyncio
+import itertools
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.detector import RoboADS
+from repro.dynamics.differential_drive import DifferentialDriveModel
+from repro.eval.golden import GOLDEN_MISSIONS
+from repro.eval.runner import run_scenario
+from repro.eval.session_replay import report_drift
+from repro.obs.telemetry import RecordingTelemetry
+from repro.sensors.lidar import WallDistanceSensor
+from repro.sensors.pose_sensors import IPS, OdometryPoseSensor
+from repro.sensors.suite import SensorSuite
+from repro.serve import (
+    SNAPSHOT_PICKLE_PROTOCOL,
+    DetectorSession,
+    FleetService,
+    FusedSessionBank,
+    SessionMessage,
+    SessionSnapshot,
+)
+from repro.serve.adapter import trace_messages
+from repro.world.map import WorldMap
+
+pytestmark = [pytest.mark.serve]
+
+PROCESS = np.diag([0.0005**2, 0.0005**2, 0.0015**2])
+WORLD = WorldMap.rectangle(3.0, 3.0)
+
+SUITES = {
+    "full": lambda: [IPS(), OdometryPoseSensor(), WallDistanceSensor(WORLD)],
+    "dual": lambda: [IPS(), OdometryPoseSensor()],
+}
+SUITE_NAMES = {
+    "full": ("ips", "wheel_encoder", "lidar"),
+    "dual": ("ips", "wheel_encoder"),
+}
+
+
+def build_detector(suite_key: str = "full") -> RoboADS:
+    return RoboADS(
+        DifferentialDriveModel(dt=0.05),
+        SensorSuite(SUITES[suite_key]()),
+        PROCESS,
+        initial_state=np.array([1.5, 1.5, 0.0]),
+        nominal_control=np.array([0.1, 0.12]),
+    )
+
+
+def random_messages(suite_key, seed, masks):
+    """A short randomized mission as a message stream, seq = step index."""
+    model = DifferentialDriveModel(dt=0.05)
+    suite = SensorSuite(SUITES[suite_key]())
+    rng = np.random.default_rng(seed)
+    x = np.array([1.5, 1.5, 0.0])
+    q_sqrt = np.sqrt(np.diag(PROCESS))
+    messages = []
+    for k, mask in enumerate(masks):
+        u = np.array([0.1, 0.12]) + 0.05 * rng.standard_normal(2)
+        x = model.normalize_state(model.f(x, u) + q_sqrt * rng.standard_normal(3))
+        z = suite.measure(x, rng)
+        messages.append(
+            SessionMessage(seq=k, t=k * model.dt, control=u, reading=z, available=mask)
+        )
+    return messages
+
+
+def assert_fleet_identical(fused_sessions, serial_sessions, fused_reports, serial_reports):
+    """The whole parity bar: reports at atol=0, snapshots byte-for-byte."""
+    for fused, serial in zip(fused_reports, serial_reports):
+        assert report_drift(fused, serial, atol=0.0) == []
+    for fused, serial in zip(fused_sessions, serial_sessions):
+        assert fused.checkpoint().to_bytes() == serial.checkpoint().to_bytes()
+
+
+# ----------------------------------------------------------------------
+# Golden-mission parity
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("mission", sorted(GOLDEN_MISSIONS))
+def test_golden_fused_fleet_matches_serial_bit_identically(
+    mission, khepera, tamiya
+):
+    """The acceptance bar: golden 200-step fleets, fused == serial exactly.
+
+    Four co-rigged sessions stream the canonical mission through one
+    :class:`FusedSessionBank`; four more step the identical messages
+    serially. Every fused step must actually take the batched path (the
+    occupancy counters prove the test exercised the kernel, not the
+    fallback), and the end state must be indistinguishable: per-report
+    drift at ``atol=0`` and checkpoint bytes equal.
+    """
+    rig = {"khepera": khepera, "tamiya": tamiya}[mission]
+    _, seed, n_steps = GOLDEN_MISSIONS[mission]
+    result = run_scenario(
+        rig, None, seed=seed, duration=n_steps * rig.model.dt, stop_at_goal=False
+    )
+    messages = list(trace_messages(result.trace))
+    n = 4
+
+    serial_sessions = [DetectorSession(rig.detector()) for _ in range(n)]
+    serial_reports = [
+        [r for m in messages if (r := s.process(m)) is not None]
+        for s in serial_sessions
+    ]
+
+    bank = FusedSessionBank()
+    fused_sessions = [DetectorSession(rig.detector()) for _ in range(n)]
+    fused_reports = [[] for _ in range(n)]
+    for message in messages:
+        outcomes = bank.process([(s, message) for s in fused_sessions])
+        for i, outcome in enumerate(outcomes):
+            assert outcome.error is None
+            assert outcome.batched
+            fused_reports[i].append(outcome.report)
+
+    occupancy = bank.occupancy()
+    assert occupancy["sessions_serial"] == 0
+    assert occupancy["sessions_batched"] == n * len(messages)
+    assert occupancy["mean_batch_size"] == n
+    assert_fleet_identical(
+        fused_sessions, serial_sessions, fused_reports, serial_reports
+    )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis property: randomized fleets, interleavings, checkpoint cuts
+# ----------------------------------------------------------------------
+def _mask_strategy(suite_key):
+    names = SUITE_NAMES[suite_key]
+    subsets = [
+        combo
+        for r in range(1, len(names) + 1)
+        for combo in itertools.combinations(names, r)
+    ]
+    return st.one_of(st.none(), st.sampled_from(subsets))
+
+
+@st.composite
+def fused_fleet_cases(draw):
+    """A randomized fleet mission with a mid-stream checkpoint cut.
+
+    Returns ``(suite_key, seeds, masks, ticks, cut, order_seed)``: one rig
+    shape, per-session noise seeds, a shared availability-mask schedule
+    (``None`` = nominal, a proper subset = degraded → serial fallback), the
+    step indices grouped into drain ticks (tick width 2 produces waves —
+    two messages for one session in a single ``process`` call), the tick
+    index where every fused session checkpoints and migrates, and the seed
+    of the per-tick arrival-order shuffle.
+    """
+    suite_key = draw(st.sampled_from(sorted(SUITES)))
+    n_sessions = draw(st.integers(min_value=2, max_value=5))
+    n_steps = draw(st.integers(min_value=3, max_value=14))
+    seeds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**31 - 1),
+            min_size=n_sessions,
+            max_size=n_sessions,
+        )
+    )
+    masks = draw(st.lists(_mask_strategy(suite_key), min_size=n_steps, max_size=n_steps))
+    tick_width = draw(st.integers(min_value=1, max_value=2))
+    ticks = [
+        list(range(k, min(k + tick_width, n_steps)))
+        for k in range(0, n_steps, tick_width)
+    ]
+    cut = draw(st.integers(min_value=1, max_value=len(ticks) - 1))
+    order_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return suite_key, seeds, masks, ticks, cut, order_seed
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=fused_fleet_cases())
+def test_fused_serial_parity_property(case):
+    """Fused == serial over random fleets, orders, masks and a migration.
+
+    Each session streams its own randomized mission. The fused fleet
+    processes the steps in drain ticks whose per-tick arrival order is
+    shuffled; at the cut every fused session checkpoints through the
+    pickled wire form and resumes into a *freshly built* detector (the
+    fused-checkpoint → serial-restore → fused-resume round trip). The
+    serial fleet just steps message by message. End-of-run snapshots must
+    be byte-identical and reports drift-free at ``atol=0``.
+    """
+    suite_key, seeds, masks, ticks, cut, order_seed = case
+    streams = [random_messages(suite_key, seed, masks) for seed in seeds]
+    n = len(streams)
+
+    serial_sessions = [DetectorSession(build_detector(suite_key)) for _ in range(n)]
+    serial_reports = [
+        [r for m in streams[i] if (r := serial_sessions[i].process(m)) is not None]
+        for i in range(n)
+    ]
+
+    order_rng = np.random.default_rng(order_seed)
+    bank = FusedSessionBank()
+    fused_sessions = [DetectorSession(build_detector(suite_key)) for _ in range(n)]
+    fused_reports = [[] for _ in range(n)]
+
+    def run_ticks(tick_range):
+        for tick in tick_range:
+            pairs = []
+            for step in tick:
+                for i in order_rng.permutation(n):
+                    pairs.append((int(i), streams[i][step]))
+            outcomes = bank.process(
+                [(fused_sessions[i], message) for i, message in pairs]
+            )
+            for (i, _), outcome in zip(pairs, outcomes):
+                assert outcome.error is None
+                if outcome.report is not None:
+                    fused_reports[i].append(outcome.report)
+
+    run_ticks(ticks[:cut])
+    blobs = [s.checkpoint().to_bytes() for s in fused_sessions]
+    fused_sessions = [
+        DetectorSession.resume(
+            build_detector(suite_key), SessionSnapshot.from_bytes(blob)
+        )
+        for blob in blobs
+    ]
+    run_ticks(ticks[cut:])
+
+    assert_fleet_identical(
+        fused_sessions, serial_sessions, fused_reports, serial_reports
+    )
+
+
+# ----------------------------------------------------------------------
+# Serial-fallback taxonomy and occupancy accounting
+# ----------------------------------------------------------------------
+class TestSerialFallbacks:
+    """Ineligible sessions fall back serially — same outcomes, counted."""
+
+    def test_underfilled_group_takes_the_serial_path(self):
+        session = DetectorSession(build_detector("dual"))
+        bank = FusedSessionBank()
+        [outcome] = bank.process(
+            [(session, random_messages("dual", 3, [None])[0])]
+        )
+        assert outcome.report is not None and not outcome.batched
+        assert bank.occupancy()["sessions_serial"] == 1
+        assert bank.occupancy()["kernel_calls"] == 0
+
+    def test_min_batch_is_tunable(self):
+        sessions = [DetectorSession(build_detector("dual")) for _ in range(2)]
+        message = random_messages("dual", 3, [None])[0]
+        bank = FusedSessionBank(min_batch=3)
+        outcomes = bank.process([(s, message) for s in sessions])
+        assert all(o.report is not None and not o.batched for o in outcomes)
+        assert bank.occupancy()["sessions_serial"] == 2
+
+    def test_telemetry_attached_sessions_never_fuse(self):
+        detector = build_detector("dual")
+        detector.attach_telemetry(RecordingTelemetry())
+        watched = DetectorSession(detector)
+        plain = [DetectorSession(build_detector("dual")) for _ in range(2)]
+        message = random_messages("dual", 5, [None])[0]
+        bank = FusedSessionBank()
+        outcomes = bank.process([(s, message) for s in (watched, *plain)])
+        assert [o.batched for o in outcomes] == [False, True, True]
+        assert detector.telemetry.events_of("mode_bank")  # serial emitted
+
+    def test_degraded_iterations_fall_back_and_stay_identical(self):
+        masks = [None, ("ips",), None, ("ips", "wheel_encoder"), None]
+        messages = random_messages("full", 11, masks)
+        serial = [DetectorSession(build_detector("full")) for _ in range(3)]
+        for s in serial:
+            for m in messages:
+                s.process(m)
+        bank = FusedSessionBank()
+        fused = [DetectorSession(build_detector("full")) for _ in range(3)]
+        batched_flags = []
+        for m in messages:
+            outcomes = bank.process([(s, m) for s in fused])
+            batched_flags.append([o.batched for o in outcomes])
+        # full-delivery ticks batch; degraded ticks (proper subsets) do not
+        assert [all(row) for row in batched_flags] == [
+            True, False, True, False, True
+        ]
+        for f, s in zip(fused, serial):
+            assert f.checkpoint().to_bytes() == s.checkpoint().to_bytes()
+
+    def test_heterogeneous_rigs_fuse_only_within_their_group(self):
+        full = [DetectorSession(build_detector("full")) for _ in range(2)]
+        dual = [DetectorSession(build_detector("dual")) for _ in range(2)]
+        full_msg = random_messages("full", 7, [None])[0]
+        dual_msg = random_messages("dual", 7, [None])[0]
+        bank = FusedSessionBank()
+        pairs = [(full[0], full_msg), (dual[0], dual_msg),
+                 (full[1], full_msg), (dual[1], dual_msg)]
+        outcomes = bank.process(pairs)
+        assert all(o.batched for o in outcomes)
+        occupancy = bank.occupancy()
+        assert occupancy["kernel_calls"] == 2  # one per co-rigged group
+        assert occupancy["mean_batch_size"] == 2
+
+
+def test_poisoned_message_errors_only_its_own_session():
+    """A malformed reading is captured per item, neighbours keep stepping."""
+    sessions = [DetectorSession(build_detector("dual")) for _ in range(3)]
+    message = random_messages("dual", 13, [None])[0]
+    bad = SessionMessage(
+        seq=0, t=0.0, control=message.control, reading=np.zeros(99)
+    )
+    bank = FusedSessionBank()
+    outcomes = bank.process(
+        [(sessions[0], message), (sessions[1], bad), (sessions[2], message)]
+    )
+    assert outcomes[0].report is not None and outcomes[0].error is None
+    assert outcomes[1].report is None and outcomes[1].error is not None
+    assert outcomes[2].report is not None and outcomes[2].error is None
+
+
+def test_fused_batch_event_emission():
+    """One FusedBatchEvent per tick, carrying the occupancy split."""
+    telemetry = RecordingTelemetry()
+    bank = FusedSessionBank(telemetry=telemetry)
+    sessions = [DetectorSession(build_detector("dual")) for _ in range(3)]
+    messages = random_messages("dual", 17, [None, None])
+    stale = messages[0]  # redelivered below: suppressed by the ingest policy
+    for m in messages:
+        bank.process([(s, m) for s in sessions])
+    bank.process([(sessions[0], stale)])
+    events = telemetry.events_of("fused_batch")
+    assert len(events) == 3
+    for event in events[:2]:
+        assert event.batched == 3
+        assert event.serial_fallbacks == 0
+        assert event.groups == 1
+        assert event.group_sizes == (3,)
+        assert event.suppressed == 0
+    assert events[2].suppressed == 1 and events[2].batched == 0
+    assert bank.occupancy()["messages_suppressed"] == 1
+
+
+# ----------------------------------------------------------------------
+# FleetService fused mode
+# ----------------------------------------------------------------------
+def test_fleet_service_fused_matches_serial():
+    """The asyncio service in fused mode: same reports, ingest, snapshots."""
+    masks = [None] * 12
+    streams = {f"r{i}": random_messages("full", 100 + i, masks) for i in range(3)}
+
+    async def drive(fused):
+        service = FleetService(fused=fused)
+        for robot_id in streams:
+            await service.open_session(robot_id, build_detector("full"))
+        for step in range(len(masks)):
+            for robot_id, stream in streams.items():
+                await service.submit(robot_id, stream[step])
+        snapshots = {
+            robot_id: (await service.checkpoint_session(robot_id)).to_bytes()
+            for robot_id in streams
+        }
+        results = await service.close_all()
+        return results, snapshots
+
+    serial_results, serial_snaps = asyncio.run(drive(False))
+    fused_results, fused_snaps = asyncio.run(drive(True))
+    assert fused_snaps == serial_snaps
+    for robot_id in streams:
+        fused, serial = fused_results[robot_id], serial_results[robot_id]
+        assert report_drift(fused.reports, serial.reports, atol=0.0) == []
+        assert fused.ingest.as_dict() == serial.ingest.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Wire-format pin (satellite of the fused work: cross-worker checkpoints)
+# ----------------------------------------------------------------------
+class TestSnapshotWireFormat:
+    """``to_bytes`` is pinned to pickle protocol 5, not the interpreter's."""
+
+    def test_protocol_constant_is_five(self):
+        assert SNAPSHOT_PICKLE_PROTOCOL == 5
+
+    def test_to_bytes_uses_the_pinned_protocol(self):
+        session = DetectorSession(build_detector("dual"))
+        for message in random_messages("dual", 19, [None] * 3):
+            session.process(message)
+        snapshot = session.checkpoint()
+        blob = snapshot.to_bytes()
+        assert blob == pickle.dumps(snapshot, protocol=SNAPSHOT_PICKLE_PROTOCOL)
+        # The first opcode is PROTO with the pinned version byte — the
+        # serialized form itself, not just this interpreter's default,
+        # carries the pin.
+        assert blob[0] == 0x80 and blob[1] == SNAPSHOT_PICKLE_PROTOCOL
